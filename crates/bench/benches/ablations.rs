@@ -1,0 +1,61 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! * VDA damping — fixed small gain vs the adaptive controller;
+//! * SOR factor in the VP inner sweeps;
+//! * preconditioner choice inside the PCG comparator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use voltprop_core::{VpConfig, VpSolver};
+use voltprop_grid::{NetKind, SynthConfig};
+use voltprop_solvers::{Pcg, PrecondKind, StackSolver};
+
+fn bench_ablations(c: &mut Criterion) {
+    let stack = SynthConfig::new(30, 30, 3).seed(2012).build().unwrap();
+
+    let mut group = c.benchmark_group("ablations");
+    // VDA damping: beta = 1 with adaptation (default) vs conservative
+    // fixed gains.
+    for beta in [1.0f64, 0.5, 0.25] {
+        let solver = VpSolver::new(VpConfig::new().damping(beta));
+        group.bench_with_input(
+            BenchmarkId::new("vda-beta", format!("{beta}")),
+            &stack,
+            |b, s| b.iter(|| solver.solve_stack(s, NetKind::Power).unwrap()),
+        );
+    }
+    // Inner SOR factor.
+    for omega in [1.0f64, 1.2, 1.5] {
+        let solver = VpSolver::new(VpConfig::new().sor_omega(omega));
+        group.bench_with_input(
+            BenchmarkId::new("vp-sor-omega", format!("{omega}")),
+            &stack,
+            |b, s| b.iter(|| solver.solve_stack(s, NetKind::Power).unwrap()),
+        );
+    }
+    // PCG preconditioners.
+    for kind in [
+        PrecondKind::Jacobi,
+        PrecondKind::Ic0,
+        PrecondKind::Ssor(1.3),
+        PrecondKind::Amg,
+    ] {
+        let solver = Pcg::with_preconditioner(kind);
+        group.bench_with_input(
+            BenchmarkId::new("pcg-precond", kind.name()),
+            &stack,
+            |b, s| b.iter(|| solver.solve_stack(s, NetKind::Power).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    targets = bench_ablations
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E1 bench: solve cost as the accuracy target tightens — VP's epsilon
+//! and PCG's residual tolerance swept across the 0.5 mV budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use voltprop_core::{VpConfig, VpSolver};
+use voltprop_grid::{NetKind, SynthConfig};
+use voltprop_solvers::{Pcg, StackSolver};
+
+fn bench_accuracy(c: &mut Criterion) {
+    let stack = SynthConfig::new(30, 30, 3).seed(2012).build().unwrap();
+    let mut group = c.benchmark_group("accuracy");
+    for eps in [1e-3f64, 1e-4, 1e-5] {
+        let solver = VpSolver::new(VpConfig::new().epsilon(eps));
+        group.bench_with_input(
+            BenchmarkId::new("vp-eps", format!("{eps:.0e}")),
+            &stack,
+            |b, s| b.iter(|| solver.solve_stack(s, NetKind::Power).unwrap()),
+        );
+    }
+    for tol in [1e-6f64, 1e-8, 1e-10] {
+        let solver = Pcg::default().tolerance(tol);
+        group.bench_with_input(
+            BenchmarkId::new("pcg-tol", format!("{tol:.0e}")),
+            &stack,
+            |b, s| b.iter(|| solver.solve_stack(s, NetKind::Power).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    targets = bench_accuracy
+}
+criterion_main!(benches);

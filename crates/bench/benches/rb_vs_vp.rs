@@ -1,0 +1,40 @@
+//! E4 bench: naive 3-D row-based vs voltage propagation across TSV
+//! strengths (paper §III-A).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use voltprop_core::VpSolver;
+use voltprop_grid::{NetKind, SynthConfig};
+use voltprop_solvers::{Rb3d, StackSolver};
+
+fn bench_rb_vs_vp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rb_vs_vp");
+    for r_tsv in [1.0f64, 0.05, 0.01] {
+        let stack = SynthConfig::new(20, 20, 3)
+            .tsv_resistance(r_tsv)
+            .seed(2012)
+            .build()
+            .unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("vp", format!("rtsv-{r_tsv}")),
+            &stack,
+            |b, s| b.iter(|| VpSolver::default().solve_stack(s, NetKind::Power).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("rb3d", format!("rtsv-{r_tsv}")),
+            &stack,
+            |b, s| b.iter(|| Rb3d::default().solve_stack(s, NetKind::Power).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    targets = bench_rb_vs_vp
+}
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Row-based sweep kernel: cost per sweep and SOR-factor ablation
+//! (the paper's §II-B / ref [11] discussion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use voltprop_solvers::{RowBased, TierProblem};
+
+fn tier_fixture(edge: usize) -> (Vec<bool>, Vec<f64>, Vec<f64>) {
+    let n = edge * edge;
+    let mut fixed = vec![false; n];
+    for y in (0..edge).step_by(2) {
+        for x in (0..edge).step_by(2) {
+            fixed[y * edge + x] = true;
+        }
+    }
+    let injection: Vec<f64> = (0..n)
+        .map(|i| if fixed[i] { 0.0 } else { -5e-4 })
+        .collect();
+    (fixed, vec![0.0; n], injection)
+}
+
+fn bench_rowbased(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rowbased");
+    for edge in [64usize, 128] {
+        let (fixed, extra, injection) = tier_fixture(edge);
+        let problem = TierProblem {
+            width: edge,
+            height: edge,
+            g_h: 1.0,
+            g_v: 1.0,
+            fixed: &fixed,
+            extra_diag: &extra,
+            injection: &injection,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("solve-tier-dense-pins", edge * edge),
+            &problem,
+            |b, p| {
+                b.iter(|| {
+                    let mut v = vec![1.8; p.width * p.height];
+                    RowBased::default().solve_tier(p, &mut v).unwrap()
+                })
+            },
+        );
+    }
+
+    // SOR ablation on a sparse-pin tier, where omega matters.
+    let edge = 48;
+    let n = edge * edge;
+    let mut fixed = vec![false; n];
+    fixed[0] = true;
+    fixed[n - 1] = true;
+    let extra = vec![0.0; n];
+    let injection = vec![-1e-5; n];
+    let problem = TierProblem {
+        width: edge,
+        height: edge,
+        g_h: 1.0,
+        g_v: 1.0,
+        fixed: &fixed,
+        extra_diag: &extra,
+        injection: &injection,
+    };
+    for omega in [1.0f64, 1.5, 1.9] {
+        group.bench_with_input(
+            BenchmarkId::new("sor-omega", format!("{omega}")),
+            &problem,
+            |b, p| {
+                b.iter(|| {
+                    let mut v = vec![0.0; n];
+                    v[0] = 1.8;
+                    v[n - 1] = 1.8;
+                    RowBased::with_omega(omega).solve_tier(p, &mut v).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    targets = bench_rowbased
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E3 bench: random-walk cost on planar vs TSV-coupled grids — the walk
+//! lengthening that motivates §II-A.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use voltprop_grid::{NetKind, Stack3d};
+use voltprop_solvers::RandomWalkSolver;
+
+fn bench_rw(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rw_trap");
+    let rw = RandomWalkSolver::new(200, 7);
+
+    let planar = Stack3d::builder(10, 10, 1).uniform_load(5e-4).build().unwrap();
+    group.bench_function(BenchmarkId::new("estimate", "planar"), |b| {
+        b.iter(|| rw.estimate_node(&planar, NetKind::Power, 0, 5, 5).unwrap())
+    });
+    for r_tsv in [0.5f64, 0.05] {
+        let stacked = Stack3d::builder(10, 10, 3)
+            .tsv_resistance(r_tsv)
+            .uniform_load(5e-4)
+            .build()
+            .unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("estimate", format!("3d-rtsv-{r_tsv}")),
+            &stacked,
+            |b, s| b.iter(|| rw.estimate_node(s, NetKind::Power, 0, 5, 5).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    targets = bench_rw
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Substrate kernels: SpMV, Cholesky factorization, IC(0) setup, and the
+//! Thomas row solve the row-based method leans on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use voltprop_grid::{NetKind, SynthConfig};
+use voltprop_sparse::tridiag::TridiagWorkspace;
+use voltprop_sparse::{Cholesky, IncompleteCholesky};
+
+fn bench_kernels(c: &mut Criterion) {
+    let stack = SynthConfig::new(60, 60, 3).seed(1).build().unwrap();
+    let sys = stack.stamp(NetKind::Power).unwrap();
+    let a = sys.matrix();
+    let n = a.nrows();
+    let x = vec![1.0; n];
+    let mut y = vec![0.0; n];
+
+    let mut group = c.benchmark_group("sparse");
+    group.bench_function(BenchmarkId::new("spmv", n), |b| {
+        b.iter(|| a.spmv(&x, &mut y))
+    });
+    group.bench_function(BenchmarkId::new("ic0-setup", n), |b| {
+        b.iter(|| IncompleteCholesky::new(a).unwrap())
+    });
+    let small = SynthConfig::new(24, 24, 3).seed(1).build().unwrap();
+    let small_sys = small.stamp(NetKind::Power).unwrap();
+    group.bench_function(
+        BenchmarkId::new("cholesky-factor", small_sys.dim()),
+        |b| b.iter(|| Cholesky::factor(small_sys.matrix()).unwrap()),
+    );
+
+    // The 5N-4 multiplication row kernel.
+    let width = 1000;
+    let off = vec![-1.0; width - 1];
+    let diag = vec![4.0; width];
+    let rhs = vec![0.5; width];
+    let mut out = vec![0.0; width];
+    let mut ws = TridiagWorkspace::new(width);
+    group.bench_function(BenchmarkId::new("thomas-row", width), |b| {
+        b.iter(|| ws.solve(&off, &diag, &off, &rhs, &mut out).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    targets = bench_kernels
+}
+criterion_main!(benches);

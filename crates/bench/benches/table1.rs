@@ -1,0 +1,43 @@
+//! T1 (Table I) bench: VP vs PCG vs direct on a scaled-down benchmark
+//! (criterion wants many repetitions, so the grid is smaller than C0; the
+//! full-size run lives in `repro table1`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use voltprop_core::VpSolver;
+use voltprop_grid::{NetKind, SynthConfig};
+use voltprop_solvers::{DirectCholesky, Pcg, StackSolver};
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    for edge in [30usize, 60] {
+        let stack = SynthConfig::new(edge, edge, 3).seed(2012).build().unwrap();
+        let nodes = stack.num_nodes();
+        group.bench_with_input(BenchmarkId::new("vp", nodes), &stack, |b, s| {
+            b.iter(|| VpSolver::default().solve_stack(s, NetKind::Power).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("pcg-ic0", nodes), &stack, |b, s| {
+            b.iter(|| Pcg::default().solve_stack(s, NetKind::Power).unwrap())
+        });
+        if edge <= 30 {
+            group.bench_with_input(BenchmarkId::new("direct", nodes), &stack, |b, s| {
+                b.iter(|| {
+                    DirectCholesky::new()
+                        .solve_stack(s, NetKind::Power)
+                        .unwrap()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4))
+        .warm_up_time(Duration::from_millis(500));
+    targets = bench_table1
+}
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! A counting global allocator for peak-memory measurement.
+//!
+//! The paper's Table I reports per-solver memory; wrapping the system
+//! allocator lets the `repro` binary measure the real high-water mark of
+//! each solve instead of trusting the solvers' own estimates.
+//!
+//! Usage (in a binary):
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: voltprop_bench::alloc::CountingAllocator =
+//!     voltprop_bench::alloc::CountingAllocator;
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static CURRENT: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+/// A [`System`]-backed allocator that tracks live and peak bytes.
+pub struct CountingAllocator;
+
+// SAFETY: delegates directly to `System`; the atomic bookkeeping has no
+// effect on allocation behaviour.
+#[allow(unsafe_code)]
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() {
+            let now = CURRENT.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK.fetch_max(now, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) };
+        CURRENT.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = unsafe { System.realloc(ptr, layout, new_size) };
+        if !p.is_null() {
+            if new_size >= layout.size() {
+                let grow = new_size - layout.size();
+                let now = CURRENT.fetch_add(grow, Ordering::Relaxed) + grow;
+                PEAK.fetch_max(now, Ordering::Relaxed);
+            } else {
+                CURRENT.fetch_sub(layout.size() - new_size, Ordering::Relaxed);
+            }
+        }
+        p
+    }
+}
+
+/// Live heap bytes right now.
+pub fn current_bytes() -> usize {
+    CURRENT.load(Ordering::Relaxed)
+}
+
+/// Peak heap bytes since the last [`reset_peak`].
+pub fn peak_bytes() -> usize {
+    PEAK.load(Ordering::Relaxed)
+}
+
+/// Resets the peak marker to the current live size and returns the live
+/// size; call before the region you want to measure.
+pub fn reset_peak() -> usize {
+    let now = CURRENT.load(Ordering::Relaxed);
+    PEAK.store(now, Ordering::Relaxed);
+    now
+}
+
+/// Measures the peak *additional* heap used while running `f`.
+///
+/// Only meaningful in binaries that install [`CountingAllocator`]; in
+/// other processes it returns 0 extra bytes.
+pub fn measure_peak<T>(f: impl FnOnce() -> T) -> (T, usize) {
+    let before = reset_peak();
+    let out = f();
+    let peak = peak_bytes();
+    (out, peak.saturating_sub(before))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Note: the test binary does not install the allocator, so only the
+    // API contracts (not the counters) can be exercised here; the repro
+    // binary has an end-to-end self-check (`repro selfcheck`).
+    #[test]
+    fn measure_peak_returns_closure_output() {
+        let (value, extra) = measure_peak(|| 40 + 2);
+        assert_eq!(value, 42);
+        let _ = extra; // counter value depends on the installed allocator
+    }
+
+    #[test]
+    fn reset_is_idempotent() {
+        let a = reset_peak();
+        let b = reset_peak();
+        // Both snapshots observe the same (untracked) live size.
+        assert_eq!(a, b);
+        assert!(peak_bytes() >= current_bytes().min(peak_bytes()));
+    }
+}

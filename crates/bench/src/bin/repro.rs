@@ -1,0 +1,109 @@
+//! `repro` — regenerates the paper's quantitative artifacts.
+//!
+//! ```sh
+//! cargo run --release -p voltprop-bench --bin repro -- table1 [--full]
+//! cargo run --release -p voltprop-bench --bin repro -- all
+//! ```
+
+use voltprop_bench::alloc::CountingAllocator;
+use voltprop_bench::experiments;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+const HELP: &str = "\
+repro - regenerate the DATE 2012 voltage propagation paper's results
+
+USAGE:
+    repro <experiment> [flags]
+
+EXPERIMENTS:
+    table1 [--full]   T1: Table I (memory/runtime, VP vs PCG vs direct).
+                      Default sizes C0-C2; --full extends to C3-C5.
+    accuracy [edge]   E1: max error vs the direct reference (default edge 40).
+    scaling [--full]  E2: PCG-over-VP speedup trend with circuit size.
+    rw-trap           E3: random-walk TSV trap statistics.
+    rb-vs-vp          E4: naive 3-D row-based degradation vs VP.
+    tsv-patterns      E5: TSV distribution obliviousness.
+    tiers             E6: tier-count scaling.
+    selfcheck         verify the counting allocator measures this binary.
+    all [--full]      run every experiment in order.
+";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    let full = args.iter().any(|a| a == "--full");
+    let code = match run(cmd, &args, full) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("repro {cmd}: {e}");
+            1
+        }
+    };
+    std::process::exit(code);
+}
+
+fn run(cmd: &str, args: &[String], full: bool) -> Result<(), Box<dyn std::error::Error>> {
+    match cmd {
+        "table1" => print(experiments::table1(full)?),
+        "accuracy" => {
+            let edge = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .map(|a| a.parse())
+                .transpose()?
+                .unwrap_or(40);
+            print(experiments::accuracy(edge)?)
+        }
+        "scaling" => {
+            let edges: &[usize] = if full {
+                &[40, 80, 120, 173, 277, 577]
+            } else {
+                &[40, 80, 120, 173]
+            };
+            print(experiments::scaling(edges)?)
+        }
+        "rw-trap" => print(experiments::rw_trap()?),
+        "rb-vs-vp" => print(experiments::rb_vs_vp()?),
+        "tsv-patterns" => print(experiments::tsv_patterns()?),
+        "tiers" => print(experiments::tiers()?),
+        "selfcheck" => selfcheck(),
+        "all" => {
+            print(experiments::table1(full)?);
+            print(experiments::accuracy(40)?);
+            let edges: &[usize] = if full {
+                &[40, 80, 120, 173, 277]
+            } else {
+                &[40, 80, 120, 173]
+            };
+            print(experiments::scaling(edges)?);
+            print(experiments::rw_trap()?);
+            print(experiments::rb_vs_vp()?);
+            print(experiments::tsv_patterns()?);
+            print(experiments::tiers()?);
+        }
+        "help" | "--help" | "-h" => println!("{HELP}"),
+        other => {
+            eprintln!("unknown experiment `{other}`\n\n{HELP}");
+            std::process::exit(2);
+        }
+    }
+    Ok(())
+}
+
+fn print(report: String) {
+    println!("{report}");
+    println!("{}", "=".repeat(78));
+}
+
+/// Confirms the counting allocator actually tracks this process.
+fn selfcheck() {
+    let (v, peak) = voltprop_bench::alloc::measure_peak(|| vec![0u8; 8 * 1024 * 1024]);
+    assert_eq!(v.len(), 8 * 1024 * 1024);
+    assert!(
+        peak >= 8 * 1024 * 1024,
+        "allocator not installed? peak {peak}"
+    );
+    println!("counting allocator OK: measured {peak} bytes for an 8 MiB allocation");
+}

@@ -1,0 +1,92 @@
+//! Timed, memory-metered solver runs.
+
+use crate::alloc;
+use std::time::Instant;
+use voltprop_grid::{NetKind, Stack3d};
+use voltprop_solvers::{residual, SolverError, StackSolver};
+
+/// One measured solver run.
+#[derive(Debug, Clone)]
+pub struct MeasuredRun {
+    /// Solver name.
+    pub name: &'static str,
+    /// Iterations from the solver's report.
+    pub iterations: usize,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Peak additional heap during the solve (bytes; 0 unless the counting
+    /// allocator is installed, e.g. in the `repro` binary).
+    pub peak_bytes: usize,
+    /// The solver's own workspace estimate (bytes).
+    pub workspace_bytes: usize,
+    /// Max |ΔV| vs the reference voltages, if one was supplied.
+    pub max_error: Option<f64>,
+}
+
+impl MeasuredRun {
+    /// The larger of the measured peak and the solver's estimate — the
+    /// number reported in memory columns (the estimate covers processes
+    /// without the counting allocator).
+    pub fn memory_bytes(&self) -> usize {
+        self.peak_bytes.max(self.workspace_bytes)
+    }
+}
+
+/// Runs a solver on a stack, measuring wall time and allocation peak, and
+/// comparing against optional reference voltages.
+///
+/// # Errors
+///
+/// Propagates the solver's error.
+pub fn run_stack_solver(
+    solver: &dyn StackSolver,
+    stack: &Stack3d,
+    net: NetKind,
+    reference: Option<&[f64]>,
+) -> Result<(MeasuredRun, Vec<f64>), SolverError> {
+    let t0 = Instant::now();
+    let (result, peak_bytes) = alloc::measure_peak(|| solver.solve_stack(stack, net));
+    let seconds = t0.elapsed().as_secs_f64();
+    let sol = result?;
+    let max_error = reference.map(|r| residual::max_abs_error(r, &sol.voltages));
+    Ok((
+        MeasuredRun {
+            name: solver.solver_name(),
+            iterations: sol.report.iterations,
+            seconds,
+            peak_bytes,
+            workspace_bytes: sol.report.workspace_bytes,
+            max_error,
+        },
+        sol.voltages,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voltprop_core::VpSolver;
+    use voltprop_grid::SynthConfig;
+    use voltprop_solvers::DirectCholesky;
+
+    #[test]
+    fn measures_a_run_end_to_end() {
+        // Pad pitch 4: the default 10 leaves a 10x10 footprint with one
+        // corner bump, a degenerate delivery topology.
+        let stack = SynthConfig::new(10, 10, 3)
+            .pad_pitch(Some(4))
+            .seed(4)
+            .build()
+            .unwrap();
+        let (reference, ref_v) =
+            run_stack_solver(&DirectCholesky::new(), &stack, NetKind::Power, None).unwrap();
+        assert!(reference.seconds > 0.0);
+        assert!(reference.max_error.is_none());
+
+        let (vp, _) =
+            run_stack_solver(&VpSolver::default(), &stack, NetKind::Power, Some(&ref_v)).unwrap();
+        assert_eq!(vp.name, "voltage-propagation");
+        assert!(vp.max_error.unwrap() < crate::paper::MAX_ERROR_VOLTS);
+        assert!(vp.memory_bytes() >= vp.workspace_bytes);
+    }
+}

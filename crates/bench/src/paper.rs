@@ -1,0 +1,148 @@
+//! The numbers the paper reports, for paper-vs-measured tables.
+//!
+//! Source: Table I of Zhang, Pavlidis, De Micheli, DATE 2012, measured on
+//! a 2.67 GHz / 3 GB Linux workstation. Absolute values are hardware-bound
+//! (and their "SPICE" is a commercial simulator); the reproduction targets
+//! the *shape*: VP beats PCG by 10–20×, uses roughly a third of its
+//! memory, and SPICE exhausts memory past 230 K nodes.
+
+use voltprop_grid::TableCircuit;
+
+/// One row of the paper's Table I.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperRow {
+    /// Which benchmark circuit.
+    pub circuit: TableCircuit,
+    /// Node count as printed in the paper.
+    pub nodes: usize,
+    /// VP memory (MB).
+    pub vp_memory_mb: f64,
+    /// VP runtime (s).
+    pub vp_time_s: f64,
+    /// PCG memory (MB).
+    pub pcg_memory_mb: f64,
+    /// PCG runtime (s).
+    pub pcg_time_s: f64,
+    /// SPICE memory (MB), if SPICE completed.
+    pub spice_memory_mb: Option<f64>,
+    /// SPICE runtime (s), if SPICE completed.
+    pub spice_time_s: Option<f64>,
+}
+
+impl PaperRow {
+    /// The paper's PCG-over-VP speedup for this row.
+    pub fn speedup(&self) -> f64 {
+        self.pcg_time_s / self.vp_time_s
+    }
+
+    /// The paper's PCG-over-VP memory ratio for this row.
+    pub fn memory_ratio(&self) -> f64 {
+        self.pcg_memory_mb / self.vp_memory_mb
+    }
+}
+
+/// Table I exactly as printed.
+pub const TABLE1: [PaperRow; 6] = [
+    PaperRow {
+        circuit: TableCircuit::C0,
+        nodes: 30_000,
+        vp_memory_mb: 1.5,
+        vp_time_s: 0.516,
+        pcg_memory_mb: 3.1,
+        pcg_time_s: 6.063,
+        spice_memory_mb: Some(330.0),
+        spice_time_s: Some(512.7),
+    },
+    PaperRow {
+        circuit: TableCircuit::C1,
+        nodes: 90_000,
+        vp_memory_mb: 3.2,
+        vp_time_s: 1.453,
+        pcg_memory_mb: 7.8,
+        pcg_time_s: 22.47,
+        spice_memory_mb: Some(1100.0),
+        spice_time_s: Some(2905.0),
+    },
+    PaperRow {
+        circuit: TableCircuit::C2,
+        nodes: 230_000,
+        vp_memory_mb: 6.9,
+        vp_time_s: 3.625,
+        pcg_memory_mb: 18.5,
+        pcg_time_s: 50.71,
+        spice_memory_mb: Some(3000.0),
+        spice_time_s: Some(22394.0),
+    },
+    PaperRow {
+        circuit: TableCircuit::C3,
+        nodes: 1_000_000,
+        vp_memory_mb: 27.0,
+        vp_time_s: 15.75,
+        pcg_memory_mb: 77.0,
+        pcg_time_s: 264.8,
+        spice_memory_mb: None,
+        spice_time_s: None,
+    },
+    PaperRow {
+        circuit: TableCircuit::C4,
+        nodes: 3_000_000,
+        vp_memory_mb: 80.0,
+        vp_time_s: 49.29,
+        pcg_memory_mb: 230.0,
+        pcg_time_s: 877.5,
+        spice_memory_mb: None,
+        spice_time_s: None,
+    },
+    PaperRow {
+        circuit: TableCircuit::C5,
+        nodes: 12_000_000,
+        vp_memory_mb: 322.0,
+        vp_time_s: 219.7,
+        pcg_memory_mb: 880.0,
+        pcg_time_s: 4843.0,
+        spice_memory_mb: None,
+        spice_time_s: None,
+    },
+];
+
+/// Looks up the paper row for a circuit.
+pub fn row_for(circuit: TableCircuit) -> &'static PaperRow {
+    TABLE1
+        .iter()
+        .find(|r| r.circuit == circuit)
+        .expect("every circuit is in TABLE1")
+}
+
+/// The paper's accuracy budget (§IV, per ref [12]): 0.5 mV.
+pub const MAX_ERROR_VOLTS: f64 = 5e-4;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedups_match_the_abstract() {
+        // "Speedups between 10x to 20x" — smallest circuit ≈ 12x, largest
+        // ≈ 22x as printed.
+        assert!(row_for(TableCircuit::C0).speedup() > 10.0);
+        assert!(row_for(TableCircuit::C5).speedup() > 20.0);
+        for row in &TABLE1 {
+            assert!(row.speedup() >= 10.0, "{}", row.circuit);
+        }
+    }
+
+    #[test]
+    fn memory_ratio_matches_conclusion() {
+        // "one third of the memory size used by the PCG technique".
+        for row in &TABLE1 {
+            let r = row.memory_ratio();
+            assert!((2.0..4.0).contains(&r), "{}: ratio {r}", row.circuit);
+        }
+    }
+
+    #[test]
+    fn spice_dies_past_c2() {
+        assert!(row_for(TableCircuit::C2).spice_time_s.is_some());
+        assert!(row_for(TableCircuit::C3).spice_time_s.is_none());
+    }
+}

@@ -1,0 +1,134 @@
+//! Minimal fixed-width table rendering for terminal reports.
+
+use std::fmt;
+
+/// A right-aligned fixed-width text table (first column left-aligned).
+///
+/// # Example
+///
+/// ```
+/// use voltprop_bench::table::Table;
+///
+/// let mut t = Table::new(vec!["circuit", "nodes"]);
+/// t.add_row(vec!["C0".into(), "30000".into()]);
+/// let text = t.to_string();
+/// assert!(text.contains("C0"));
+/// assert!(text.contains("nodes"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<&str>) -> Self {
+        Table {
+            headers: headers.into_iter().map(str::to_string).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; missing cells render empty, extra cells are dropped.
+    pub fn add_row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                if let Some(cell) = row.get(c) {
+                    widths[c] = widths[c].max(cell.len());
+                }
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for c in 0..cols {
+                let cell = cells.get(c).map(String::as_str).unwrap_or("");
+                if c == 0 {
+                    write!(f, "{cell:<width$}", width = widths[0])?;
+                } else {
+                    write!(f, "  {cell:>width$}", width = widths[c])?;
+                }
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats bytes as mebibytes with two decimals.
+pub fn mib(bytes: usize) -> String {
+    format!("{:.2}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+/// Formats seconds adaptively (µs/ms/s).
+pub fn secs(s: f64) -> String {
+    if s < 1e-3 {
+        format!("{:.1} us", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.1} ms", s * 1e3)
+    } else {
+        format!("{s:.2} s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.add_row(vec!["short".into(), "1".into()]);
+        t.add_row(vec!["a-much-longer-name".into(), "12345".into()]);
+        let text = t.to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4); // header + rule + 2 rows
+        assert!(lines[0].contains("value"));
+        assert!(lines[1].starts_with('-'));
+        // All lines same width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn tolerates_ragged_rows() {
+        let mut t = Table::new(vec!["a", "b", "c"]);
+        t.add_row(vec!["only-one".into()]);
+        t.add_row(vec!["x".into(), "y".into(), "z".into(), "extra".into()]);
+        let text = t.to_string();
+        assert!(text.contains("only-one"));
+        assert!(!text.contains("extra"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn unit_formatting() {
+        assert_eq!(mib(3 * 1024 * 1024), "3.00");
+        assert_eq!(secs(0.5e-4), "50.0 us");
+        assert_eq!(secs(0.25), "250.0 ms");
+        assert_eq!(secs(2.5), "2.50 s");
+    }
+}

@@ -1,0 +1,211 @@
+//! Anderson acceleration for the VDA outer loop.
+//!
+//! The outer iteration is a fixed point `v0 ← v0 + F(v0)`, where `F` is
+//! the lattice-distributed correction. Plain damped mixing contracts the
+//! smooth error modes but crawls on the modes whose response the coarse
+//! lattice mis-scales (the TSV series resistance amplifies sharp modes).
+//! Anderson mixing with a short history solves a tiny least-squares
+//! problem to combine the last few residuals, effectively learning the
+//! Jacobian's action on the visited subspace — the standard cure for
+//! exactly this kind of fixed-point stall.
+
+use std::collections::VecDeque;
+
+/// Safeguarded Anderson(m) mixer.
+#[derive(Debug, Clone)]
+pub(crate) struct Anderson {
+    depth: usize,
+    dx: VecDeque<Vec<f64>>,
+    df: VecDeque<Vec<f64>>,
+    prev_x: Option<Vec<f64>>,
+    prev_f: Option<Vec<f64>>,
+}
+
+impl Anderson {
+    pub(crate) fn new(depth: usize) -> Self {
+        Anderson {
+            depth,
+            dx: VecDeque::new(),
+            df: VecDeque::new(),
+            prev_x: None,
+            prev_f: None,
+        }
+    }
+
+    /// Forgets the history (used by the caller's safeguard when a step
+    /// increases the residual badly).
+    pub(crate) fn reset(&mut self) {
+        self.dx.clear();
+        self.df.clear();
+        self.prev_x = None;
+        self.prev_f = None;
+    }
+
+    /// One mixing step: given the current iterate `x` and residual `f`
+    /// (the proposed correction), overwrites `x` with the accelerated next
+    /// iterate. `first_scale` damps the plain step taken when no history
+    /// exists yet (right after a reset) — the caller passes its learned
+    /// stability scale so a reset cannot re-trigger the divergence that
+    /// caused it.
+    pub(crate) fn step(&mut self, x: &mut [f64], f: &[f64], first_scale: f64) {
+        let n = x.len();
+        if let (Some(px), Some(pf)) = (&self.prev_x, &self.prev_f) {
+            let dx: Vec<f64> = x.iter().zip(px).map(|(a, b)| a - b).collect();
+            let df: Vec<f64> = f.iter().zip(pf).map(|(a, b)| a - b).collect();
+            self.dx.push_back(dx);
+            self.df.push_back(df);
+            if self.dx.len() > self.depth {
+                self.dx.pop_front();
+                self.df.pop_front();
+            }
+        }
+        self.prev_x = Some(x.to_vec());
+        self.prev_f = Some(f.to_vec());
+
+        let m = self.df.len();
+        if m == 0 {
+            for i in 0..n {
+                x[i] += first_scale * f[i];
+            }
+            return;
+        }
+        // Solve min_γ ‖f − ΔF γ‖₂ via regularized normal equations (m ≤
+        // depth is tiny).
+        let mut gram = vec![vec![0.0f64; m]; m];
+        let mut rhs = vec![0.0f64; m];
+        for a in 0..m {
+            for b in a..m {
+                let g = dot(&self.df[a], &self.df[b]);
+                gram[a][b] = g;
+                gram[b][a] = g;
+            }
+            rhs[a] = dot(&self.df[a], f);
+        }
+        let scale = (0..m).map(|i| gram[i][i]).fold(0.0f64, f64::max);
+        for (i, row) in gram.iter_mut().enumerate() {
+            row[i] += 1e-12 * scale.max(1e-300);
+        }
+        let gamma = match solve_dense(&mut gram, &mut rhs) {
+            // Wild extrapolation coefficients mean the history is nearly
+            // collinear; trusting them explodes the iterate. Fall back to
+            // the plain step (and let fresh history replace the stale
+            // directions).
+            Some(g) if g.iter().all(|v| v.abs() <= 10.0) => g,
+            _ => {
+                for i in 0..n {
+                    x[i] += first_scale * f[i];
+                }
+                return;
+            }
+        };
+        // x ← x + f − Σ γ_a (Δx_a + Δf_a).
+        for i in 0..n {
+            let mut xi = x[i] + f[i];
+            for (a, g) in gamma.iter().enumerate() {
+                xi -= g * (self.dx[a][i] + self.df[a][i]);
+            }
+            x[i] = xi;
+        }
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// In-place Gaussian elimination with partial pivoting on a tiny system;
+/// returns `None` if a pivot collapses.
+fn solve_dense(a: &mut [Vec<f64>], b: &mut [f64]) -> Option<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        let pivot = (col..n).max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))?;
+        if a[pivot][col].abs() < 1e-300 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in col + 1..n {
+            let factor = a[row][col] / a[col][col];
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in row + 1..n {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fixed point of x ← x + (b − A x) with A ≠ I: plain mixing crawls
+    /// (or diverges) when A's eigenvalues stray from 1; Anderson(4) must
+    /// nail the 2×2 affine problem in a few steps.
+    #[test]
+    fn solves_affine_fixed_point_fast() {
+        let a = [[3.0, 0.4], [0.4, 0.5]]; // eigenvalues ~0.44 and ~3.06
+        let b = [1.0, 2.0];
+        let residual = |x: &[f64]| {
+            [
+                b[0] - (a[0][0] * x[0] + a[0][1] * x[1]),
+                b[1] - (a[1][0] * x[0] + a[1][1] * x[1]),
+            ]
+        };
+        let mut x = vec![0.0, 0.0];
+        let mut anderson = Anderson::new(4);
+        for _ in 0..12 {
+            let f = residual(&x);
+            anderson.step(&mut x, &f, 1.0);
+        }
+        let f = residual(&x);
+        assert!(
+            f[0].abs() < 1e-8 && f[1].abs() < 1e-8,
+            "residual {f:?} after Anderson iterations"
+        );
+    }
+
+    #[test]
+    fn first_step_is_plain_mixing() {
+        let mut x = vec![1.0, 2.0];
+        let mut anderson = Anderson::new(3);
+        anderson.step(&mut x, &[0.5, -0.5], 1.0);
+        assert_eq!(x, vec![1.5, 1.5]);
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut anderson = Anderson::new(2);
+        let mut x = vec![0.0];
+        anderson.step(&mut x, &[1.0], 1.0);
+        anderson.step(&mut x, &[0.5], 1.0);
+        anderson.reset();
+        let mut y = vec![10.0];
+        anderson.step(&mut y, &[1.0], 1.0);
+        assert_eq!(y, vec![11.0]); // plain step again
+    }
+
+    #[test]
+    fn dense_solver_handles_pivoting() {
+        let mut a = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let mut b = vec![2.0, 3.0];
+        let x = solve_dense(&mut a, &mut b).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dense_solver_rejects_singular() {
+        let mut a = vec![vec![1.0, 1.0], vec![1.0, 1.0]];
+        let mut b = vec![1.0, 2.0];
+        assert!(solve_dense(&mut a, &mut b).is_none());
+    }
+}

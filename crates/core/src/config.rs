@@ -1,0 +1,129 @@
+/// Tuning parameters of the voltage propagation solver.
+///
+/// The defaults follow the paper: convergence when the worst pad-voltage
+/// mismatch falls below `epsilon` (well inside the 0.5 mV accuracy budget
+/// of [12]), full-strength VDA feedback to start, and row-based inner
+/// solves an order of magnitude tighter than the outer target.
+///
+/// # Example
+///
+/// ```
+/// use voltprop_core::VpConfig;
+///
+/// let config = VpConfig::new()
+///     .epsilon(1e-5)
+///     .sor_omega(1.2)
+///     .max_outer_iterations(50);
+/// assert_eq!(config.epsilon, 1e-5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VpConfig {
+    /// Outer convergence threshold: worst pad-voltage mismatch (V).
+    pub epsilon: f64,
+    /// Initial VDA feedback gain β (adapted at runtime; see
+    /// [`VdaController`](crate::VdaController)).
+    pub damping: f64,
+    /// Outer iteration budget.
+    pub max_outer_iterations: usize,
+    /// SOR factor for the single-tier (planar) row-based solve; the
+    /// multi-tier tier solves use prefactored plain block GS, where the
+    /// densely pinned rows converge in a handful of sweeps regardless.
+    pub sor_omega: f64,
+    /// Inner convergence threshold: worst per-sweep voltage update (V).
+    /// Defaults to `epsilon / 10`.
+    pub inner_tolerance: f64,
+    /// Sweep budget per tier solve.
+    pub max_inner_sweeps: usize,
+}
+
+impl Default for VpConfig {
+    fn default() -> Self {
+        VpConfig {
+            epsilon: 1e-4,
+            damping: 1.0,
+            max_outer_iterations: 200,
+            sor_omega: 1.0,
+            inner_tolerance: 1e-5,
+            max_inner_sweeps: 10_000,
+        }
+    }
+}
+
+impl VpConfig {
+    /// The default configuration (equivalent to `VpConfig::default()`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the outer pad-mismatch threshold (V) and scales the inner
+    /// tolerance to one tenth of it.
+    pub fn epsilon(mut self, eps: f64) -> Self {
+        self.epsilon = eps;
+        self.inner_tolerance = eps / 10.0;
+        self
+    }
+
+    /// Sets the initial VDA gain.
+    pub fn damping(mut self, beta: f64) -> Self {
+        self.damping = beta;
+        self
+    }
+
+    /// Sets the outer iteration budget.
+    pub fn max_outer_iterations(mut self, n: usize) -> Self {
+        self.max_outer_iterations = n;
+        self
+    }
+
+    /// Sets the SOR factor of the inner row-based sweeps.
+    pub fn sor_omega(mut self, omega: f64) -> Self {
+        self.sor_omega = omega;
+        self
+    }
+
+    /// Sets the inner sweep tolerance explicitly (V).
+    pub fn inner_tolerance(mut self, tol: f64) -> Self {
+        self.inner_tolerance = tol;
+        self
+    }
+
+    /// Sets the per-tier sweep budget.
+    pub fn max_inner_sweeps(mut self, n: usize) -> Self {
+        self.max_inner_sweeps = n;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = VpConfig::default();
+        assert!(c.epsilon > 0.0 && c.epsilon < 5e-4, "inside 0.5 mV budget");
+        assert!(c.inner_tolerance < c.epsilon);
+        assert_eq!(c.damping, 1.0);
+    }
+
+    #[test]
+    fn epsilon_scales_inner_tolerance() {
+        let c = VpConfig::new().epsilon(1e-6);
+        assert_eq!(c.inner_tolerance, 1e-7);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let c = VpConfig::new()
+            .damping(0.8)
+            .max_outer_iterations(7)
+            .sor_omega(1.3)
+            .max_inner_sweeps(42)
+            .inner_tolerance(3e-9);
+        assert_eq!(c.damping, 0.8);
+        assert_eq!(c.max_outer_iterations, 7);
+        assert_eq!(c.sor_omega, 1.3);
+        assert_eq!(c.max_inner_sweeps, 42);
+        assert_eq!(c.inner_tolerance, 3e-9);
+    }
+}

@@ -1,0 +1,266 @@
+//! The pillar-lattice view used by the VDA to distribute mismatches.
+//!
+//! After one propagation pass, padded pillars report a *voltage* gap at
+//! the package and pad-less pillars report the *current* they wrongly ask
+//! of it. Both must go to zero. The paper closes the loop by
+//! "distributing the resulting voltage difference" over the layers; this
+//! module implements that distribution as a solve on the coarse lattice
+//! whose nodes are the pillars themselves: pad corrections enter as
+//! Dirichlet values, excess currents as injections, and the resulting
+//! correction field is fed back into the layer-0 guesses.
+//!
+//! For uniform TSV patterns the pillars form a complete coarse grid, and
+//! the distribution is itself a (tiny) row-based solve — the same kernel
+//! the tier solves use. Irregular patterns fall back to a diagonally
+//! scaled correction, which converges more slowly but never fails.
+
+use voltprop_grid::Stack3d;
+use voltprop_solvers::rowbased::{RowBased, TierProblem};
+
+#[derive(Debug)]
+pub(crate) enum PillarLattice {
+    /// Pillars form a complete `cw × ch` grid.
+    Grid {
+        cw: usize,
+        ch: usize,
+        /// Effective pillar-to-pillar conductance along x (all tiers).
+        c_x: f64,
+        /// Effective pillar-to-pillar conductance along y (all tiers).
+        c_y: f64,
+        /// Coarse pad mask.
+        fixed: Vec<bool>,
+        any_interior: bool,
+    },
+    /// Irregular pillar pattern: diagonal scaling only.
+    Diagonal {
+        is_pad: Vec<bool>,
+        /// Local conductance scale per pillar.
+        g_local: f64,
+        /// Pessimistic sheet resistance from any pillar to the pads; a
+        /// 2-D sheet's spreading resistance grows only logarithmically
+        /// with extent, so `~1.5·ln(1+max extent)/Σc` bounds the voltage
+        /// error a residual excess current can hide.
+        r_bound: f64,
+    },
+}
+
+impl PillarLattice {
+    pub(crate) fn build(stack: &Stack3d, sites: &[(u32, u32)], is_pad_site: &[bool]) -> Self {
+        let g_local: f64 = (0..stack.tiers())
+            .map(|t| 2.0 / stack.r_horizontal(t) + 2.0 / stack.r_vertical(t))
+            .sum();
+        // Complete-grid detection: distinct sorted coordinates whose cross
+        // product is exactly the site set (always true for Uniform
+        // patterns).
+        let mut xs: Vec<u32> = sites.iter().map(|&(x, _)| x).collect();
+        let mut ys: Vec<u32> = sites.iter().map(|&(_, y)| y).collect();
+        xs.sort_unstable();
+        xs.dedup();
+        ys.sort_unstable();
+        ys.dedup();
+        if xs.len() * ys.len() == sites.len() {
+            // Sites are stored row-major, so site k maps to coarse cell
+            // (k % cw, k / cw); verify once.
+            let cw = xs.len();
+            let consistent = sites.iter().enumerate().all(|(k, &(x, y))| {
+                xs[k % cw] == x && ys[k / cw] == y
+            });
+            if consistent {
+                let c_x: f64 = (0..stack.tiers()).map(|t| 1.0 / stack.r_horizontal(t)).sum();
+                let c_y: f64 = (0..stack.tiers()).map(|t| 1.0 / stack.r_vertical(t)).sum();
+                let any_interior = is_pad_site.iter().any(|&p| !p);
+                return PillarLattice::Grid {
+                    cw,
+                    ch: ys.len(),
+                    c_x,
+                    c_y,
+                    fixed: is_pad_site.to_vec(),
+                    any_interior,
+                };
+            }
+        }
+        let c_total: f64 = (0..stack.tiers())
+            .map(|t| 1.0 / stack.r_horizontal(t) + 1.0 / stack.r_vertical(t))
+            .sum();
+        let extent = stack.width().max(stack.height()) as f64;
+        PillarLattice::Diagonal {
+            is_pad: is_pad_site.to_vec(),
+            g_local,
+            r_bound: 1.5 * (1.0 + extent).ln() / c_total,
+        }
+    }
+
+    /// Turns the raw mismatch vector (volts at pads, amperes elsewhere)
+    /// into a per-pillar voltage correction, returning the worst
+    /// correction magnitude (the outer convergence measure).
+    ///
+    /// `out` must have the same length as `mismatch`.
+    pub(crate) fn correction(&self, mismatch: &[f64], out: &mut [f64]) -> f64 {
+        match self {
+            PillarLattice::Grid {
+                cw,
+                ch,
+                c_x,
+                c_y,
+                fixed,
+                any_interior,
+            } => {
+                let n = cw * ch;
+                debug_assert_eq!(mismatch.len(), n);
+                // Dirichlet values at pads; interior driven by -excess.
+                let mut injection = vec![0.0; n];
+                for k in 0..n {
+                    if fixed[k] {
+                        out[k] = mismatch[k];
+                        injection[k] = 0.0;
+                    } else {
+                        out[k] = 0.0;
+                        injection[k] = -mismatch[k];
+                    }
+                }
+                if *any_interior {
+                    let problem = TierProblem {
+                        width: *cw,
+                        height: *ch,
+                        g_h: *c_x,
+                        g_v: *c_y,
+                        fixed,
+                        extra_diag: &injection_zeros(n),
+                        injection: &injection,
+                    };
+                    let rb = RowBased {
+                        omega: 1.5,
+                        tolerance: 1e-7,
+                        max_sweeps: 100_000,
+                        alternate: true,
+                    };
+                    // The coarse solve cannot fail structurally; treat a
+                    // non-converged coarse sweep as a best-effort
+                    // correction (the outer loop damps it).
+                    let _ = rb.solve_tier(&problem, out);
+                }
+                out.iter().fold(0.0f64, |m, v| m.max(v.abs()))
+            }
+            PillarLattice::Diagonal {
+                is_pad,
+                g_local,
+                r_bound,
+            } => {
+                let mut worst = 0.0f64;
+                for k in 0..mismatch.len() {
+                    if is_pad[k] {
+                        out[k] = mismatch[k];
+                        worst = worst.max(out[k].abs());
+                    } else {
+                        out[k] = -mismatch[k] / g_local;
+                        // Convergence must be judged by the voltage error
+                        // the excess current could still hide, not by the
+                        // damped step size.
+                        worst = worst.max((mismatch[k] * r_bound).abs());
+                    }
+                }
+                worst
+            }
+        }
+    }
+
+    /// Estimated heap footprint in bytes.
+    pub(crate) fn memory_bytes(&self) -> usize {
+        match self {
+            PillarLattice::Grid { fixed, .. } => fixed.len() * 10, // mask + scratch
+            PillarLattice::Diagonal { is_pad, .. } => is_pad.len(),
+        }
+    }
+}
+
+/// A zero `extra_diag` for the coarse solve (allocated per call; the
+/// coarse lattice is tiny compared to the tiers).
+fn injection_zeros(n: usize) -> Vec<f64> {
+    vec![0.0; n]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voltprop_grid::TsvPattern;
+
+    fn stack(pattern: TsvPattern) -> Stack3d {
+        Stack3d::builder(12, 12, 3)
+            .tsv_pattern(pattern)
+            .pad_lattice(4)
+            .build()
+            .unwrap()
+    }
+
+    fn pads_of(s: &Stack3d) -> Vec<bool> {
+        s.tsv_sites()
+            .iter()
+            .map(|&(x, y)| s.is_pad(x as usize, y as usize))
+            .collect()
+    }
+
+    #[test]
+    fn uniform_pattern_builds_grid_lattice() {
+        let s = stack(TsvPattern::Uniform { pitch: 2 });
+        let pads = pads_of(&s);
+        let lat = PillarLattice::build(&s, s.tsv_sites(), &pads);
+        assert!(matches!(lat, PillarLattice::Grid { cw: 6, ch: 6, .. }));
+    }
+
+    #[test]
+    fn random_pattern_falls_back_to_diagonal() {
+        let s = Stack3d::builder(12, 12, 3)
+            .tsv_pattern(TsvPattern::Random { count: 17, seed: 5 })
+            .pad_sites(vec![])
+            .build();
+        // Random patterns rarely form complete grids; force pads on the
+        // first pillar to keep the model valid.
+        let s = match s {
+            Ok(s) => s,
+            Err(_) => {
+                let base = Stack3d::builder(12, 12, 3)
+                    .tsv_pattern(TsvPattern::Random { count: 17, seed: 5 })
+                    .build()
+                    .unwrap();
+                let first = base.tsv_sites()[0];
+                Stack3d::builder(12, 12, 3)
+                    .tsv_pattern(TsvPattern::Random { count: 17, seed: 5 })
+                    .pad_sites(vec![(first.0 as usize, first.1 as usize)])
+                    .build()
+                    .unwrap()
+            }
+        };
+        let pads = pads_of(&s);
+        let lat = PillarLattice::build(&s, s.tsv_sites(), &pads);
+        assert!(matches!(lat, PillarLattice::Diagonal { .. }));
+    }
+
+    #[test]
+    fn all_pad_mismatches_pass_through() {
+        let s = Stack3d::builder(8, 8, 2).build().unwrap(); // pads everywhere
+        let pads = pads_of(&s);
+        assert!(pads.iter().all(|&p| p));
+        let lat = PillarLattice::build(&s, s.tsv_sites(), &pads);
+        let mismatch = vec![1e-3; pads.len()];
+        let mut out = vec![0.0; pads.len()];
+        let worst = lat.correction(&mismatch, &mut out);
+        assert!((worst - 1e-3).abs() < 1e-15);
+        assert!(out.iter().all(|&o| (o - 1e-3).abs() < 1e-15));
+    }
+
+    #[test]
+    fn interior_excess_produces_negative_correction() {
+        let s = stack(TsvPattern::Uniform { pitch: 2 });
+        let pads = pads_of(&s);
+        let lat = PillarLattice::build(&s, s.tsv_sites(), &pads);
+        let n = pads.len();
+        // One interior pillar asks 1 mA too much of the package.
+        let mut mismatch = vec![0.0; n];
+        let interior = pads.iter().position(|&p| !p).unwrap();
+        mismatch[interior] = 1e-3;
+        let mut out = vec![0.0; n];
+        let worst = lat.correction(&mismatch, &mut out);
+        assert!(out[interior] < 0.0, "guess must come down");
+        assert!(worst > 0.0);
+    }
+}

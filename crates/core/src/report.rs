@@ -1,0 +1,82 @@
+use std::fmt;
+use voltprop_solvers::SolveReport;
+
+/// Detailed convergence record of one voltage propagation solve.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct VpReport {
+    /// Outer (VDA) iterations.
+    pub outer_iterations: usize,
+    /// Total row-based sweeps across all tiers and outer iterations.
+    pub inner_sweeps: usize,
+    /// Final worst pad-voltage mismatch (V).
+    pub pad_mismatch: f64,
+    /// Final VDA gain β.
+    pub final_beta: f64,
+    /// Whether the outer loop met its ε within budget.
+    pub converged: bool,
+    /// Estimated peak solver workspace in bytes (the full voltage vector
+    /// plus per-tier scratch; no global matrix is ever assembled).
+    pub workspace_bytes: usize,
+}
+
+impl VpReport {
+    /// Flattens into the cross-solver [`SolveReport`] (outer iterations,
+    /// pad mismatch as the residual).
+    pub fn to_solve_report(self) -> SolveReport {
+        SolveReport {
+            iterations: self.outer_iterations,
+            residual: self.pad_mismatch,
+            converged: self.converged,
+            workspace_bytes: self.workspace_bytes,
+        }
+    }
+}
+
+impl fmt::Display for VpReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} outer iterations ({} row sweeps), pad mismatch {:.3e} V, \
+             beta {:.3}, {}, {:.2} MiB workspace",
+            self.outer_iterations,
+            self.inner_sweeps,
+            self.pad_mismatch,
+            self.final_beta,
+            if self.converged {
+                "converged"
+            } else {
+                "NOT converged"
+            },
+            self.workspace_bytes as f64 / (1024.0 * 1024.0),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flattening_preserves_fields() {
+        let r = VpReport {
+            outer_iterations: 6,
+            inner_sweeps: 80,
+            pad_mismatch: 2e-5,
+            final_beta: 1.0,
+            converged: true,
+            workspace_bytes: 4096,
+        };
+        let s = r.to_solve_report();
+        assert_eq!(s.iterations, 6);
+        assert_eq!(s.residual, 2e-5);
+        assert!(s.converged);
+        assert_eq!(s.workspace_bytes, 4096);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let text = VpReport::default().to_string();
+        assert!(text.contains("outer iterations"));
+        assert!(text.contains("NOT converged"));
+    }
+}

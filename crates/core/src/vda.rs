@@ -1,0 +1,141 @@
+//! Voltage Difference Adjustment: the outer-loop feedback controller.
+//!
+//! After one propagation pass, every pad reports the mismatch between its
+//! propagated voltage and the rail. VDA feeds a damped copy of that
+//! mismatch back into the layer-0 pillar guesses. The paper's only
+//! requirement is monotone contraction — "the voltage difference of the
+//! new state should be smaller than the previous iteration" — so the
+//! controller adapts its gain β: halve it when the mismatch grows,
+//! recover it gently while the iteration contracts.
+
+/// Adaptive gain controller for the VDA feedback loop.
+///
+/// The gain only ever *decreases*: any observed growth of the worst
+/// mismatch halves β. (An earlier design also let β recover while the
+/// iteration contracted, but on sparse-pad grids the recovery re-excites
+/// the oscillatory mode it just damped and the loop live-locks above ε —
+/// the benchmark `ablations/vda-beta` documents the effect.)
+///
+/// # Example
+///
+/// ```
+/// use voltprop_core::VdaController;
+///
+/// let mut vda = VdaController::new(1.0);
+/// let mut guess = vec![1.8f64; 2];
+/// // Propagation reported the pads 3 mV and 1 mV short of VDD:
+/// vda.apply(&mut guess, &[3e-3, 1e-3]);
+/// assert!((guess[0] - 1.803).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VdaController {
+    beta: f64,
+    previous_mismatch: Option<f64>,
+}
+
+impl VdaController {
+    /// Creates a controller with initial gain `beta`.
+    pub fn new(beta: f64) -> Self {
+        VdaController {
+            beta,
+            previous_mismatch: None,
+        }
+    }
+
+    /// Current gain β.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Applies one damped correction: `guess[j] += β · mismatch[j]`.
+    ///
+    /// Before applying, compares the worst |mismatch| with the previous
+    /// iteration's: growth beyond a 2% noise margin halves β (enforcing
+    /// the paper's contraction principle). Returns the worst absolute
+    /// mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn apply(&mut self, guess: &mut [f64], mismatch: &[f64]) -> f64 {
+        assert_eq!(guess.len(), mismatch.len(), "VDA length mismatch");
+        let worst = mismatch.iter().fold(0.0f64, |m, d| m.max(d.abs()));
+        if let Some(prev) = self.previous_mismatch {
+            if worst > prev * 1.02 {
+                self.beta = (self.beta * 0.5).max(1e-3);
+            }
+        }
+        self.previous_mismatch = Some(worst);
+        for (g, d) in guess.iter_mut().zip(mismatch) {
+            *g += self.beta * d;
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn applies_full_gain_initially() {
+        let mut vda = VdaController::new(1.0);
+        let mut g = vec![0.0, 0.0];
+        let worst = vda.apply(&mut g, &[0.5, -0.25]);
+        assert_eq!(g, vec![0.5, -0.25]);
+        assert_eq!(worst, 0.5);
+        assert_eq!(vda.beta(), 1.0);
+    }
+
+    #[test]
+    fn growth_halves_gain() {
+        let mut vda = VdaController::new(1.0);
+        let mut g = vec![0.0];
+        vda.apply(&mut g, &[0.1]);
+        vda.apply(&mut g, &[0.2]); // mismatch grew
+        assert_eq!(vda.beta(), 0.5);
+        // Third application applies the halved gain.
+        let before = g[0];
+        vda.apply(&mut g, &[0.1]);
+        assert!((g[0] - before - 0.05).abs() < 1e-12); // 0.5 * 0.1
+    }
+
+    #[test]
+    fn contraction_never_raises_gain() {
+        let mut vda = VdaController::new(1.0);
+        let mut g = vec![0.0];
+        vda.apply(&mut g, &[1.0]);
+        vda.apply(&mut g, &[2.0]); // halve → 0.5
+        for k in 0..20 {
+            vda.apply(&mut g, &[1.0 / (k + 2) as f64]); // steady contraction
+        }
+        assert_eq!(vda.beta(), 0.5, "gain is monotone non-increasing");
+    }
+
+    #[test]
+    fn small_noise_does_not_halve() {
+        let mut vda = VdaController::new(1.0);
+        let mut g = vec![0.0];
+        vda.apply(&mut g, &[0.100]);
+        vda.apply(&mut g, &[0.101]); // within the 2% noise margin
+        assert_eq!(vda.beta(), 1.0);
+    }
+
+    #[test]
+    fn gain_never_collapses_to_zero() {
+        let mut vda = VdaController::new(1.0);
+        let mut g = vec![0.0];
+        for k in 0..60 {
+            vda.apply(&mut g, &[(k + 1) as f64]); // perpetually growing
+        }
+        assert!(vda.beta() >= 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let mut vda = VdaController::new(1.0);
+        let mut g = vec![0.0];
+        vda.apply(&mut g, &[1.0, 2.0]);
+    }
+}

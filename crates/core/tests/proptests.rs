@@ -1,0 +1,86 @@
+//! Property-based tests: voltage propagation vs. the direct solver on
+//! randomized stacks.
+
+use proptest::prelude::*;
+use voltprop_core::VpSolver;
+use voltprop_grid::{LoadProfile, NetKind, Stack3d, TsvPattern};
+use voltprop_solvers::{residual, DirectCholesky, StackSolver};
+
+fn arbitrary_stack() -> impl Strategy<Value = Stack3d> {
+    // Pillar pitch 2 is the paper's density (one TSV node per four nodes);
+    // the generator varies footprint, tier count, wire resistance, load
+    // seed, and — importantly — pad sparsity (dense pad-per-pillar vs the
+    // IBM-like coarse bump lattice).
+    (
+        4usize..12,
+        4usize..12,
+        1usize..5,
+        0u64..10_000,
+        prop::sample::select(vec![0.5f64, 1.0, 2.0]),
+        prop::bool::ANY,
+    )
+        .prop_map(|(w, h, tiers, seed, r_wire, sparse_pads)| {
+            let mut b = Stack3d::builder(w, h, tiers)
+                .wire_resistance(r_wire)
+                .tsv_resistance(0.05)
+                .tsv_pattern(TsvPattern::Uniform { pitch: 2 })
+                .load_profile(LoadProfile::UniformRandom { min: 1e-5, max: 2e-3 }, seed);
+            if sparse_pads {
+                b = b.pad_lattice(4);
+            }
+            b.build().expect("valid parameters")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The headline accuracy property: VP lands within the paper's 0.5 mV
+    /// budget of the exact solution on every randomized stack.
+    #[test]
+    fn vp_matches_direct_within_half_millivolt(stack in arbitrary_stack()) {
+        let exact = DirectCholesky::new().solve_stack(&stack, NetKind::Power).unwrap();
+        let vp = VpSolver::default().solve(&stack, NetKind::Power).unwrap();
+        let err = residual::max_abs_error(&exact.voltages, &vp.voltages);
+        prop_assert!(err < 5e-4, "max error {err} V on {}x{}x{}",
+                     stack.width(), stack.height(), stack.tiers());
+    }
+
+    /// Voltages never exceed the rail (power net) beyond the convergence
+    /// epsilon, and the worst drop is physically bounded by total load
+    /// times worst-case path resistance.
+    #[test]
+    fn vp_voltages_physically_sensible(stack in arbitrary_stack()) {
+        let vp = VpSolver::default().solve(&stack, NetKind::Power).unwrap();
+        let eps = 2e-4;
+        for &v in &vp.voltages {
+            prop_assert!(v <= stack.vdd() + eps, "voltage {v} above rail");
+            prop_assert!(v > 0.0, "voltage {v} not positive");
+        }
+    }
+
+    /// Pillar currents balance the total load (current conservation
+    /// through the package).
+    #[test]
+    fn vp_pillar_currents_conserve(stack in arbitrary_stack()) {
+        prop_assume!(stack.tiers() > 1);
+        let vp = VpSolver::default().solve(&stack, NetKind::Power).unwrap();
+        let delivered: f64 = vp.pillar_currents.iter().sum();
+        let total = stack.total_load();
+        prop_assert!((delivered - total).abs() <= 0.02 * total.max(1e-12),
+                     "delivered {delivered} vs load {total}");
+    }
+
+    /// Power and ground nets mirror each other through VP exactly as they
+    /// do through the direct solver.
+    #[test]
+    fn vp_ground_mirrors_power(stack in arbitrary_stack()) {
+        let p = VpSolver::default().solve(&stack, NetKind::Power).unwrap();
+        let g = VpSolver::default().solve(&stack, NetKind::Ground).unwrap();
+        for (vp, vg) in p.voltages.iter().zip(&g.voltages) {
+            let drop_p = stack.vdd() - vp;
+            prop_assert!((drop_p - vg).abs() < 1e-3,
+                         "power drop {drop_p} vs ground bounce {vg}");
+        }
+    }
+}

@@ -1,0 +1,164 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building, parsing, or stamping power grids.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GridError {
+    /// A grid dimension (width, height, or tier count) was zero or otherwise
+    /// unusable.
+    InvalidDimension {
+        /// Name of the offending dimension.
+        what: &'static str,
+        /// The rejected value.
+        value: usize,
+    },
+    /// A resistance value was zero, negative, or non-finite.
+    InvalidResistance {
+        /// Which resistance (wire, TSV, pad …).
+        what: &'static str,
+        /// The rejected value in ohms.
+        ohms: f64,
+    },
+    /// A load current was negative or non-finite.
+    InvalidLoad {
+        /// Flat node index of the offending load.
+        node: usize,
+        /// The rejected value in amperes.
+        amps: f64,
+    },
+    /// The grid has no TSV pillars, so the lower tiers cannot be powered.
+    NoTsvs,
+    /// The grid has no pads, so the network has no voltage reference.
+    NoPads,
+    /// A coordinate lies outside the grid.
+    CoordOutOfBounds {
+        /// The rejected (x, y).
+        coord: (usize, usize),
+        /// Grid extent (width, height).
+        extent: (usize, usize),
+    },
+    /// A netlist line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// The netlist references a voltage source between two non-ground nodes,
+    /// which the MNA stamping here does not support (power grid benchmarks
+    /// only use grounded sources).
+    UngroundedVoltageSource {
+        /// Name of the offending element.
+        name: String,
+    },
+    /// Conflicting voltage sources drive the same node to different values.
+    ConflictingVoltageSource {
+        /// Name of the node.
+        node: String,
+    },
+    /// Some nodes have no resistive path to any pad, leaving the system
+    /// singular.
+    DisconnectedNodes {
+        /// Number of unreachable nodes.
+        count: usize,
+        /// An example unreachable node (flat index or name).
+        example: String,
+    },
+    /// A netlist could not be interpreted as a structured 3-D stack.
+    NotAStack {
+        /// What went wrong.
+        message: String,
+    },
+    /// The circuit is empty (no elements or no nodes).
+    EmptyCircuit,
+}
+
+impl fmt::Display for GridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GridError::InvalidDimension { what, value } => {
+                write!(f, "invalid {what}: {value}")
+            }
+            GridError::InvalidResistance { what, ohms } => {
+                write!(f, "invalid {what} resistance: {ohms} ohm")
+            }
+            GridError::InvalidLoad { node, amps } => {
+                write!(f, "invalid load current {amps} A at node {node}")
+            }
+            GridError::NoTsvs => write!(f, "grid has no TSV pillars"),
+            GridError::NoPads => write!(f, "grid has no power pads"),
+            GridError::CoordOutOfBounds { coord, extent } => write!(
+                f,
+                "coordinate ({}, {}) outside {}x{} grid",
+                coord.0, coord.1, extent.0, extent.1
+            ),
+            GridError::Parse { line, message } => {
+                write!(f, "netlist parse error at line {line}: {message}")
+            }
+            GridError::UngroundedVoltageSource { name } => {
+                write!(f, "voltage source {name} is not connected to ground")
+            }
+            GridError::ConflictingVoltageSource { node } => {
+                write!(f, "node {node} is driven to conflicting voltages")
+            }
+            GridError::DisconnectedNodes { count, example } => write!(
+                f,
+                "{count} node(s) have no path to a pad (e.g. {example})"
+            ),
+            GridError::NotAStack { message } => {
+                write!(f, "netlist is not a structured 3-D stack: {message}")
+            }
+            GridError::EmptyCircuit => write!(f, "circuit has no elements"),
+        }
+    }
+}
+
+impl Error for GridError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(GridError, &str)> = vec![
+            (
+                GridError::InvalidDimension {
+                    what: "width",
+                    value: 0,
+                },
+                "width",
+            ),
+            (
+                GridError::InvalidResistance {
+                    what: "TSV",
+                    ohms: -1.0,
+                },
+                "TSV",
+            ),
+            (GridError::NoTsvs, "TSV"),
+            (GridError::NoPads, "pads"),
+            (
+                GridError::Parse {
+                    line: 3,
+                    message: "bad card".into(),
+                },
+                "line 3",
+            ),
+            (GridError::EmptyCircuit, "no elements"),
+        ];
+        for (e, needle) in cases {
+            assert!(
+                e.to_string().contains(needle),
+                "{e} should mention {needle}"
+            );
+        }
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<GridError>();
+    }
+}

@@ -1,0 +1,42 @@
+//! SPICE-subset netlist support (the IBM power grid benchmark dialect).
+//!
+//! The IBM TAU 2011 power grid benchmarks describe resistive PDNs with three
+//! card types — resistors, DC current sources, DC voltage sources — plus
+//! `.op`/`.end` directives and `*` comments. This module provides:
+//!
+//! * [`Netlist`] — the parsed card list ([`parse`](Netlist::parse) /
+//!   [`to_spice`](Netlist::to_spice)).
+//! * [`NetlistCircuit`] — an elaborated circuit graph with interned node
+//!   names, ready to [`stamp`](NetlistCircuit::stamp) into a
+//!   [`StampedSystem`](crate::StampedSystem).
+//! * Conversions to and from [`Stack3d`](crate::Stack3d) using the
+//!   `n<tier>_<x>_<y>` node naming convention.
+//!
+//! # Example
+//!
+//! ```
+//! use voltprop_grid::{Netlist, NetlistCircuit};
+//!
+//! # fn main() -> Result<(), voltprop_grid::GridError> {
+//! let src = "\
+//! * tiny two-node divider
+//! R1 vdd_rail n1 1.0
+//! R2 n1 0 1.0
+//! V1 vdd_rail 0 1.8
+//! .op
+//! .end
+//! ";
+//! let netlist = Netlist::parse(src)?;
+//! let circuit = NetlistCircuit::elaborate(&netlist)?;
+//! let v = circuit.solve_dense()?; // small helper for examples/tests
+//! assert!((circuit.voltage_of(&v, "n1").unwrap() - 0.9).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+mod model;
+pub mod names;
+mod parser;
+mod writer;
+
+pub use model::{Element, Netlist, NetlistCircuit};

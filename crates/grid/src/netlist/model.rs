@@ -1,0 +1,550 @@
+use crate::{GridError, StampedSystem};
+use std::collections::HashMap;
+
+/// One netlist card.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Element {
+    /// `Rname a b ohms`
+    Resistor {
+        /// Card name (starts with `R`).
+        name: String,
+        /// First terminal node.
+        a: String,
+        /// Second terminal node.
+        b: String,
+        /// Resistance in ohms.
+        ohms: f64,
+    },
+    /// `Iname from to amps` — conventional current flows `from → to`
+    /// through the source (drawn out of `from`, injected into `to`).
+    CurrentSource {
+        /// Card name (starts with `I`).
+        name: String,
+        /// Positive terminal (current is drawn from this node).
+        from: String,
+        /// Negative terminal.
+        to: String,
+        /// Source current in amperes.
+        amps: f64,
+    },
+    /// `Vname pos neg volts` — ideal DC source.
+    VoltageSource {
+        /// Card name (starts with `V`).
+        name: String,
+        /// Positive terminal.
+        pos: String,
+        /// Negative terminal.
+        neg: String,
+        /// Source voltage in volts.
+        volts: f64,
+    },
+}
+
+impl Element {
+    /// The card name.
+    pub fn name(&self) -> &str {
+        match self {
+            Element::Resistor { name, .. }
+            | Element::CurrentSource { name, .. }
+            | Element::VoltageSource { name, .. } => name,
+        }
+    }
+}
+
+/// A parsed netlist: an ordered list of cards plus an optional title
+/// comment.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Netlist {
+    pub(crate) title: Option<String>,
+    pub(crate) elements: Vec<Element>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist with an optional title.
+    pub fn new(title: Option<String>) -> Self {
+        Netlist {
+            title,
+            elements: Vec::new(),
+        }
+    }
+
+    /// The title comment, if any.
+    pub fn title(&self) -> Option<&str> {
+        self.title.as_deref()
+    }
+
+    /// The parsed cards in file order.
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    /// Appends a card.
+    pub fn push(&mut self, e: Element) {
+        self.elements.push(e);
+    }
+
+    /// Number of cards.
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Whether the netlist has no cards.
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+}
+
+/// Whether a node token denotes the ground reference.
+pub(crate) fn is_ground(token: &str) -> bool {
+    token == "0" || token.eq_ignore_ascii_case("gnd")
+}
+
+/// An elaborated circuit: node names interned to indices, elements resolved,
+/// Dirichlet (voltage-source) nodes identified.
+///
+/// The ground reference is *not* an interned node; it appears as a synthetic
+/// extra node only during stamping.
+#[derive(Debug, Clone)]
+pub struct NetlistCircuit {
+    names: Vec<String>,
+    index: HashMap<String, u32>,
+    /// Resistive edges `(a, b, conductance)`; `u32::MAX` encodes ground.
+    edges: Vec<(u32, u32, f64)>,
+    /// Per-node current injection (positive into the node).
+    injections: Vec<f64>,
+    /// Dirichlet nodes from grounded voltage sources: `(node, volts)`.
+    fixed: Vec<(u32, f64)>,
+}
+
+const GROUND: u32 = u32::MAX;
+
+impl NetlistCircuit {
+    /// Resolves node names and element semantics from a parsed netlist.
+    ///
+    /// # Errors
+    ///
+    /// * [`GridError::InvalidResistance`] for non-positive resistor values.
+    /// * [`GridError::UngroundedVoltageSource`] if a `V` card touches no
+    ///   ground terminal (PDN benchmarks only use grounded sources).
+    /// * [`GridError::ConflictingVoltageSource`] if two sources pin one node
+    ///   to different voltages.
+    /// * [`GridError::EmptyCircuit`] if the netlist has no cards.
+    pub fn elaborate(netlist: &Netlist) -> Result<Self, GridError> {
+        if netlist.is_empty() {
+            return Err(GridError::EmptyCircuit);
+        }
+        let mut c = NetlistCircuit {
+            names: Vec::new(),
+            index: HashMap::new(),
+            edges: Vec::new(),
+            injections: Vec::new(),
+            fixed: Vec::new(),
+        };
+        let mut fixed_map: HashMap<u32, f64> = HashMap::new();
+        for e in &netlist.elements {
+            match e {
+                Element::Resistor { name: _, a, b, ohms } => {
+                    if !(ohms.is_finite() && *ohms > 0.0) {
+                        return Err(GridError::InvalidResistance {
+                            what: "resistor",
+                            ohms: *ohms,
+                        });
+                    }
+                    let ia = c.intern(a);
+                    let ib = c.intern(b);
+                    c.edges.push((ia, ib, 1.0 / ohms));
+                }
+                Element::CurrentSource { name: _, from, to, amps } => {
+                    let ifrom = c.intern(from);
+                    let ito = c.intern(to);
+                    if ifrom != GROUND {
+                        c.injections[ifrom as usize] -= amps;
+                    }
+                    if ito != GROUND {
+                        c.injections[ito as usize] += amps;
+                    }
+                }
+                Element::VoltageSource { name, pos, neg, volts } => {
+                    let (node, value) = if is_ground(neg) {
+                        (c.intern(pos), *volts)
+                    } else if is_ground(pos) {
+                        (c.intern(neg), -*volts)
+                    } else {
+                        return Err(GridError::UngroundedVoltageSource {
+                            name: name.clone(),
+                        });
+                    };
+                    if node == GROUND {
+                        // V between ground and ground: only valid if 0 V.
+                        if *volts != 0.0 {
+                            return Err(GridError::ConflictingVoltageSource {
+                                node: "0".into(),
+                            });
+                        }
+                        continue;
+                    }
+                    match fixed_map.get(&node) {
+                        Some(&existing) if existing != value => {
+                            return Err(GridError::ConflictingVoltageSource {
+                                node: c.names[node as usize].clone(),
+                            });
+                        }
+                        Some(_) => {}
+                        None => {
+                            fixed_map.insert(node, value);
+                        }
+                    }
+                }
+            }
+        }
+        let mut fixed: Vec<(u32, f64)> = fixed_map.into_iter().collect();
+        fixed.sort_unstable_by_key(|&(n, _)| n);
+        c.fixed = fixed;
+        Ok(c)
+    }
+
+    fn intern(&mut self, token: &str) -> u32 {
+        if is_ground(token) {
+            return GROUND;
+        }
+        if let Some(&i) = self.index.get(token) {
+            return i;
+        }
+        let i = self.names.len() as u32;
+        self.names.push(token.to_string());
+        self.index.insert(token.to_string(), i);
+        self.injections.push(0.0);
+        i
+    }
+
+    /// Number of named (non-ground) nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.names.len()
+    }
+
+    /// All node names in interning order.
+    pub fn node_names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The index of a named node.
+    pub fn node_index(&self, name: &str) -> Option<usize> {
+        self.index.get(name).map(|&i| i as usize)
+    }
+
+    /// Looks up a node's voltage in a full solution vector (as returned by
+    /// [`NetlistCircuit::solve_dense`] or
+    /// [`StampedSystem::expand`](crate::StampedSystem::expand) on this
+    /// circuit's system).
+    pub fn voltage_of(&self, full: &[f64], name: &str) -> Option<f64> {
+        self.node_index(name).map(|i| full[i])
+    }
+
+    /// Verifies that every node has a resistive path to a voltage reference
+    /// (ground or a voltage-source node).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::DisconnectedNodes`] listing how many nodes are
+    /// floating.
+    pub fn check_connectivity(&self) -> Result<(), GridError> {
+        let n = self.num_nodes();
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut grounded: Vec<u32> = Vec::new();
+        for &(a, b, _) in &self.edges {
+            match (a, b) {
+                (GROUND, GROUND) => {}
+                (GROUND, x) | (x, GROUND) => grounded.push(x),
+                (x, y) => {
+                    adj[x as usize].push(y);
+                    adj[y as usize].push(x);
+                }
+            }
+        }
+        let mut seen = vec![false; n];
+        let mut queue: Vec<u32> = Vec::new();
+        for &(node, _) in &self.fixed {
+            if !seen[node as usize] {
+                seen[node as usize] = true;
+                queue.push(node);
+            }
+        }
+        for &node in &grounded {
+            if !seen[node as usize] {
+                seen[node as usize] = true;
+                queue.push(node);
+            }
+        }
+        while let Some(v) = queue.pop() {
+            for &u in &adj[v as usize] {
+                if !seen[u as usize] {
+                    seen[u as usize] = true;
+                    queue.push(u);
+                }
+            }
+        }
+        let unreachable: Vec<usize> = (0..n).filter(|&i| !seen[i]).collect();
+        if unreachable.is_empty() {
+            Ok(())
+        } else {
+            Err(GridError::DisconnectedNodes {
+                count: unreachable.len(),
+                example: self.names[unreachable[0]].clone(),
+            })
+        }
+    }
+
+    /// Assembles the MNA system for this circuit (ground folded at 0 V,
+    /// voltage-source nodes folded at their source values).
+    ///
+    /// # Errors
+    ///
+    /// * [`GridError::DisconnectedNodes`] if some node floats (the system
+    ///   would be singular).
+    /// * [`GridError::EmptyCircuit`] if folding leaves no unknowns.
+    pub fn stamp(&self) -> Result<StampedSystem, GridError> {
+        self.check_connectivity()?;
+        let n = self.num_nodes();
+        // Synthetic ground node at index n.
+        let ground = n;
+        let edges = self.edges.iter().map(move |&(a, b, g)| {
+            let a = if a == GROUND { ground } else { a as usize };
+            let b = if b == GROUND { ground } else { b as usize };
+            (a, b, g)
+        });
+        let mut injections = self.injections.clone();
+        injections.push(0.0);
+        let mut fixed: Vec<(usize, f64)> =
+            self.fixed.iter().map(|&(i, v)| (i as usize, v)).collect();
+        fixed.push((ground, 0.0));
+        StampedSystem::assemble(n + 1, edges, &injections, &fixed)
+    }
+
+    /// Convenience: stamp, factor with sparse Cholesky, and return the full
+    /// per-node voltage vector (index-aligned with
+    /// [`NetlistCircuit::node_names`]).
+    ///
+    /// Intended for examples and tests on small circuits; large grids should
+    /// go through `voltprop-solvers`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stamping errors; returns
+    /// [`GridError::DisconnectedNodes`] if the factorization reports a
+    /// singular system despite connectivity (pathological values).
+    pub fn solve_dense(&self) -> Result<Vec<f64>, GridError> {
+        let sys = self.stamp()?;
+        let chol = voltprop_sparse::Cholesky::factor(sys.matrix()).map_err(|_| {
+            GridError::DisconnectedNodes {
+                count: 0,
+                example: "(singular system)".into(),
+            }
+        })?;
+        let x = chol.solve(sys.rhs());
+        let full = sys.expand(&x);
+        Ok(full[..self.num_nodes()].to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn divider() -> Netlist {
+        let mut n = Netlist::new(Some("divider".into()));
+        n.push(Element::VoltageSource {
+            name: "V1".into(),
+            pos: "vdd".into(),
+            neg: "0".into(),
+            volts: 2.0,
+        });
+        n.push(Element::Resistor {
+            name: "R1".into(),
+            a: "vdd".into(),
+            b: "mid".into(),
+            ohms: 1.0,
+        });
+        n.push(Element::Resistor {
+            name: "R2".into(),
+            a: "mid".into(),
+            b: "0".into(),
+            ohms: 3.0,
+        });
+        n
+    }
+
+    #[test]
+    fn divider_solves_correctly() {
+        let c = NetlistCircuit::elaborate(&divider()).unwrap();
+        let v = c.solve_dense().unwrap();
+        assert!((c.voltage_of(&v, "mid").unwrap() - 1.5).abs() < 1e-12);
+        assert!((c.voltage_of(&v, "vdd").unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn current_source_superposition() {
+        // 1 Ω to ground, 1 A injected → 1 V.
+        let mut n = Netlist::new(None);
+        n.push(Element::Resistor {
+            name: "R1".into(),
+            a: "a".into(),
+            b: "0".into(),
+            ohms: 1.0,
+        });
+        n.push(Element::CurrentSource {
+            name: "I1".into(),
+            from: "0".into(),
+            to: "a".into(),
+            amps: 1.0,
+        });
+        let c = NetlistCircuit::elaborate(&n).unwrap();
+        let v = c.solve_dense().unwrap();
+        assert!((c.voltage_of(&v, "a").unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn load_draws_voltage_down() {
+        // PDN-style card: current source from node to ground draws current.
+        let mut n = divider();
+        n.push(Element::CurrentSource {
+            name: "I1".into(),
+            from: "mid".into(),
+            to: "0".into(),
+            amps: 0.5,
+        });
+        let c = NetlistCircuit::elaborate(&n).unwrap();
+        let v = c.solve_dense().unwrap();
+        // Superposition: 1.5 V - 0.5 A * (1 || 3 = 0.75 Ω) = 1.125 V.
+        assert!((c.voltage_of(&v, "mid").unwrap() - 1.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reversed_voltage_source_negates() {
+        let mut n = Netlist::new(None);
+        n.push(Element::VoltageSource {
+            name: "V1".into(),
+            pos: "0".into(),
+            neg: "x".into(),
+            volts: 1.8,
+        });
+        n.push(Element::Resistor {
+            name: "R1".into(),
+            a: "x".into(),
+            b: "mid".into(),
+            ohms: 1.0,
+        });
+        n.push(Element::Resistor {
+            name: "R2".into(),
+            a: "mid".into(),
+            b: "0".into(),
+            ohms: 1.0,
+        });
+        let c = NetlistCircuit::elaborate(&n).unwrap();
+        let v = c.solve_dense().unwrap();
+        assert!((c.voltage_of(&v, "x").unwrap() + 1.8).abs() < 1e-12);
+        assert!((c.voltage_of(&v, "mid").unwrap() + 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ungrounded_voltage_source_rejected() {
+        let mut n = Netlist::new(None);
+        n.push(Element::VoltageSource {
+            name: "V9".into(),
+            pos: "a".into(),
+            neg: "b".into(),
+            volts: 1.0,
+        });
+        assert!(matches!(
+            NetlistCircuit::elaborate(&n).unwrap_err(),
+            GridError::UngroundedVoltageSource { .. }
+        ));
+    }
+
+    #[test]
+    fn conflicting_sources_rejected() {
+        let mut n = Netlist::new(None);
+        for (name, volts) in [("V1", 1.0), ("V2", 2.0)] {
+            n.push(Element::VoltageSource {
+                name: name.into(),
+                pos: "x".into(),
+                neg: "0".into(),
+                volts,
+            });
+        }
+        assert!(matches!(
+            NetlistCircuit::elaborate(&n).unwrap_err(),
+            GridError::ConflictingVoltageSource { .. }
+        ));
+    }
+
+    #[test]
+    fn duplicate_identical_sources_allowed() {
+        let mut n = divider();
+        n.push(Element::VoltageSource {
+            name: "V2".into(),
+            pos: "vdd".into(),
+            neg: "0".into(),
+            volts: 2.0,
+        });
+        assert!(NetlistCircuit::elaborate(&n).is_ok());
+    }
+
+    #[test]
+    fn zero_resistance_rejected() {
+        let mut n = Netlist::new(None);
+        n.push(Element::Resistor {
+            name: "R1".into(),
+            a: "a".into(),
+            b: "0".into(),
+            ohms: 0.0,
+        });
+        assert!(matches!(
+            NetlistCircuit::elaborate(&n).unwrap_err(),
+            GridError::InvalidResistance { .. }
+        ));
+    }
+
+    #[test]
+    fn floating_node_detected() {
+        let mut n = divider();
+        // Two nodes connected to each other but to nothing else.
+        n.push(Element::Resistor {
+            name: "R9".into(),
+            a: "island1".into(),
+            b: "island2".into(),
+            ohms: 1.0,
+        });
+        let c = NetlistCircuit::elaborate(&n).unwrap();
+        let err = c.stamp().unwrap_err();
+        assert!(matches!(err, GridError::DisconnectedNodes { count: 2, .. }));
+    }
+
+    #[test]
+    fn empty_netlist_rejected() {
+        assert_eq!(
+            NetlistCircuit::elaborate(&Netlist::new(None)).unwrap_err(),
+            GridError::EmptyCircuit
+        );
+    }
+
+    #[test]
+    fn gnd_alias_is_ground() {
+        let mut n = Netlist::new(None);
+        n.push(Element::Resistor {
+            name: "R1".into(),
+            a: "a".into(),
+            b: "GND".into(),
+            ohms: 2.0,
+        });
+        n.push(Element::CurrentSource {
+            name: "I1".into(),
+            from: "gnd".into(),
+            to: "a".into(),
+            amps: 0.5,
+        });
+        let c = NetlistCircuit::elaborate(&n).unwrap();
+        let v = c.solve_dense().unwrap();
+        assert!((c.voltage_of(&v, "a").unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(c.num_nodes(), 1);
+    }
+}

@@ -1,0 +1,66 @@
+//! The `n<tier>_<x>_<y>` node naming convention used when exporting
+//! structured stacks to netlists (modeled on the IBM power grid benchmark
+//! names).
+
+/// Formats the canonical name for a grid node.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(voltprop_grid::netlist::names::node_name(2, 17, 3), "n2_17_3");
+/// ```
+pub fn node_name(tier: usize, x: usize, y: usize) -> String {
+    format!("n{tier}_{x}_{y}")
+}
+
+/// Parses a canonical node name back into `(tier, x, y)`.
+///
+/// Returns `None` for names that do not follow the convention.
+///
+/// # Example
+///
+/// ```
+/// use voltprop_grid::netlist::names::parse_node_name;
+/// assert_eq!(parse_node_name("n2_17_3"), Some((2, 17, 3)));
+/// assert_eq!(parse_node_name("vdd_rail"), None);
+/// ```
+pub fn parse_node_name(name: &str) -> Option<(usize, usize, usize)> {
+    let rest = name.strip_prefix('n')?;
+    let mut parts = rest.split('_');
+    let tier = parts.next()?.parse().ok()?;
+    let x = parts.next()?.parse().ok()?;
+    let y = parts.next()?.parse().ok()?;
+    if parts.next().is_some() {
+        return None;
+    }
+    Some((tier, x, y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        for (t, x, y) in [(0, 0, 0), (2, 17, 3), (15, 1999, 1999)] {
+            assert_eq!(parse_node_name(&node_name(t, x, y)), Some((t, x, y)));
+        }
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in [
+            "",
+            "n",
+            "n1",
+            "n1_2",
+            "n1_2_3_4",
+            "m1_2_3",
+            "n1_2_x",
+            "n-1_2_3",
+            "n1.5_2_3",
+        ] {
+            assert_eq!(parse_node_name(bad), None, "{bad:?} should not parse");
+        }
+    }
+}

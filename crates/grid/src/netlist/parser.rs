@@ -1,0 +1,229 @@
+use super::model::{Element, Netlist};
+use crate::GridError;
+
+impl Netlist {
+    /// Parses SPICE-subset source text.
+    ///
+    /// Supported syntax:
+    ///
+    /// * `*` comments (a leading comment becomes the [title](Netlist::title));
+    /// * `R<id> a b ohms`, `I<id> from to amps`, `V<id> pos neg volts`
+    ///   (case-insensitive first letter);
+    /// * numeric values with SPICE engineering suffixes
+    ///   (`f p n u m k meg g t`, e.g. `0.05`, `50m`, `1.2K`, `3MEG`);
+    /// * `.op`, `.end`, `.title`, `.option` directives (accepted, ignored).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::Parse`] with the 1-based line number for
+    /// malformed cards, unknown element types, or unparsable values.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use voltprop_grid::Netlist;
+    ///
+    /// # fn main() -> Result<(), voltprop_grid::GridError> {
+    /// let n = Netlist::parse("* t\nR1 a 0 50m\n.end\n")?;
+    /// assert_eq!(n.len(), 1);
+    /// assert_eq!(n.title(), Some("t"));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn parse(source: &str) -> Result<Netlist, GridError> {
+        let mut netlist = Netlist::new(None);
+        for (lineno, raw) in source.lines().enumerate() {
+            let line = raw.trim();
+            let lineno = lineno + 1;
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(comment) = line.strip_prefix('*') {
+                if netlist.title.is_none() && netlist.is_empty() {
+                    let t = comment.trim();
+                    if !t.is_empty() {
+                        netlist.title = Some(t.to_string());
+                    }
+                }
+                continue;
+            }
+            if line.starts_with('.') {
+                let directive = line
+                    .split_whitespace()
+                    .next()
+                    .unwrap_or(".")
+                    .to_ascii_lowercase();
+                match directive.as_str() {
+                    ".op" | ".end" | ".title" | ".option" | ".options" => continue,
+                    other => {
+                        return Err(GridError::Parse {
+                            line: lineno,
+                            message: format!("unsupported directive {other}"),
+                        })
+                    }
+                }
+            }
+            let tokens: Vec<&str> = line.split_whitespace().collect();
+            if tokens.len() != 4 {
+                return Err(GridError::Parse {
+                    line: lineno,
+                    message: format!(
+                        "expected `NAME node node value`, found {} token(s)",
+                        tokens.len()
+                    ),
+                });
+            }
+            let name = tokens[0].to_string();
+            let a = tokens[1].to_string();
+            let b = tokens[2].to_string();
+            let value = parse_value(tokens[3]).ok_or_else(|| GridError::Parse {
+                line: lineno,
+                message: format!("cannot parse value `{}`", tokens[3]),
+            })?;
+            let kind = name.chars().next().unwrap_or(' ').to_ascii_uppercase();
+            let element = match kind {
+                'R' => Element::Resistor {
+                    name,
+                    a,
+                    b,
+                    ohms: value,
+                },
+                'I' => Element::CurrentSource {
+                    name,
+                    from: a,
+                    to: b,
+                    amps: value,
+                },
+                'V' => Element::VoltageSource {
+                    name,
+                    pos: a,
+                    neg: b,
+                    volts: value,
+                },
+                other => {
+                    return Err(GridError::Parse {
+                        line: lineno,
+                        message: format!("unknown element type `{other}`"),
+                    })
+                }
+            };
+            netlist.push(element);
+        }
+        Ok(netlist)
+    }
+}
+
+/// Parses a SPICE number: a float with an optional engineering suffix.
+pub(crate) fn parse_value(token: &str) -> Option<f64> {
+    let lower = token.to_ascii_lowercase();
+    // Longest suffix first so `meg` isn't read as milli + "eg".
+    const SUFFIXES: &[(&str, f64)] = &[
+        ("meg", 1e6),
+        ("f", 1e-15),
+        ("p", 1e-12),
+        ("n", 1e-9),
+        ("u", 1e-6),
+        ("m", 1e-3),
+        ("k", 1e3),
+        ("g", 1e9),
+        ("t", 1e12),
+    ];
+    for (suffix, scale) in SUFFIXES {
+        if let Some(stem) = lower.strip_suffix(suffix) {
+            if let Ok(v) = stem.parse::<f64>() {
+                return Some(v * scale);
+            }
+        }
+    }
+    lower.parse::<f64>().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_card_types() {
+        let src = "\
+* IBM-style fragment
+R1 n0_1_2 n0_1_3 0.05
+i7 n0_1_2 0 3.5m
+Vdd n2_0_0 0 1.8
+.op
+.end
+";
+        let n = Netlist::parse(src).unwrap();
+        assert_eq!(n.len(), 3);
+        assert_eq!(n.title(), Some("IBM-style fragment"));
+        match &n.elements()[0] {
+            Element::Resistor { ohms, .. } => assert_eq!(*ohms, 0.05),
+            other => panic!("expected resistor, got {other:?}"),
+        }
+        match &n.elements()[1] {
+            Element::CurrentSource { amps, .. } => assert!((amps - 3.5e-3).abs() < 1e-15),
+            other => panic!("expected current source, got {other:?}"),
+        }
+        match &n.elements()[2] {
+            Element::VoltageSource { volts, .. } => assert_eq!(*volts, 1.8),
+            other => panic!("expected voltage source, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn engineering_suffixes() {
+        assert_eq!(parse_value("50m"), Some(0.05));
+        assert_eq!(parse_value("1.2K"), Some(1200.0));
+        assert_eq!(parse_value("3MEG"), Some(3e6));
+        assert_eq!(parse_value("2u"), Some(2e-6));
+        assert_eq!(parse_value("4n"), Some(4e-9));
+        assert_eq!(parse_value("7p"), Some(7e-12));
+        assert_eq!(parse_value("1f"), Some(1e-15));
+        assert_eq!(parse_value("2g"), Some(2e9));
+        assert_eq!(parse_value("1t"), Some(1e12));
+        assert_eq!(parse_value("-0.5"), Some(-0.5));
+        assert_eq!(parse_value("1e-3"), Some(1e-3));
+        assert_eq!(parse_value("bogus"), None);
+        assert_eq!(parse_value(""), None);
+    }
+
+    #[test]
+    fn bad_token_count_reports_line() {
+        let err = Netlist::parse("R1 a 0\n").unwrap_err();
+        match err {
+            GridError::Parse { line, .. } => assert_eq!(line, 1),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_element_rejected() {
+        let err = Netlist::parse("C1 a 0 1p\n").unwrap_err();
+        assert!(matches!(err, GridError::Parse { line: 1, .. }));
+        assert!(err.to_string().contains('C'));
+    }
+
+    #[test]
+    fn unknown_directive_rejected() {
+        let err = Netlist::parse(".tran 1n 1u\n").unwrap_err();
+        assert!(matches!(err, GridError::Parse { .. }));
+    }
+
+    #[test]
+    fn bad_value_rejected() {
+        let err = Netlist::parse("R1 a 0 fifty\n").unwrap_err();
+        assert!(err.to_string().contains("fifty"));
+    }
+
+    #[test]
+    fn empty_and_comment_only_source() {
+        let n = Netlist::parse("\n\n* only a comment\n\n").unwrap();
+        assert!(n.is_empty());
+        assert_eq!(n.title(), Some("only a comment"));
+    }
+
+    #[test]
+    fn later_comments_do_not_override_title() {
+        let n = Netlist::parse("* first\nR1 a 0 1\n* second\n").unwrap();
+        assert_eq!(n.title(), Some("first"));
+    }
+}

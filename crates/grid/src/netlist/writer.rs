@@ -1,0 +1,548 @@
+use super::model::{Element, Netlist};
+use super::names::{node_name, parse_node_name};
+use crate::{GridError, NetKind, Stack3d, TsvPattern};
+use std::collections::{HashMap, HashSet};
+use std::fmt::Write as _;
+
+impl Netlist {
+    /// Serializes the netlist back to SPICE text (parsable by
+    /// [`Netlist::parse`]).
+    pub fn to_spice(&self) -> String {
+        let mut out = String::new();
+        if let Some(t) = self.title() {
+            let _ = writeln!(out, "* {t}");
+        }
+        for e in self.elements() {
+            match e {
+                Element::Resistor { name, a, b, ohms } => {
+                    let _ = writeln!(out, "{name} {a} {b} {ohms}");
+                }
+                Element::CurrentSource { name, from, to, amps } => {
+                    let _ = writeln!(out, "{name} {from} {to} {amps}");
+                }
+                Element::VoltageSource { name, pos, neg, volts } => {
+                    let _ = writeln!(out, "{name} {pos} {neg} {volts}");
+                }
+            }
+        }
+        out.push_str(".op\n.end\n");
+        out
+    }
+}
+
+impl Stack3d {
+    /// Exports one supply net of this stack as an IBM-style netlist.
+    ///
+    /// Node names follow the `n<tier>_<x>_<y>` convention; pads become
+    /// grounded voltage sources (via an intermediate rail node when the pad
+    /// resistance is nonzero); each nonzero load becomes a current source to
+    /// ground.
+    pub fn to_netlist(&self, net: NetKind) -> Netlist {
+        let rail = match net {
+            NetKind::Power => self.vdd(),
+            NetKind::Ground => 0.0,
+        };
+        let mut n = Netlist::new(Some(format!(
+            "voltprop 3-D power grid: {}x{}x{} nodes, {} TSVs, {} pads, {:?} net",
+            self.width(),
+            self.height(),
+            self.tiers(),
+            self.tsv_sites().len(),
+            self.num_pads(),
+            net,
+        )));
+        let mut r = 0usize;
+        let mut push_r = |n: &mut Netlist, a: String, b: String, ohms: f64| {
+            n.push(Element::Resistor {
+                name: format!("R{r}"),
+                a,
+                b,
+                ohms,
+            });
+            r += 1;
+        };
+        for tier in 0..self.tiers() {
+            let rh = self.r_horizontal(tier);
+            let rv = self.r_vertical(tier);
+            for y in 0..self.height() {
+                for x in 0..self.width() {
+                    if x + 1 < self.width() {
+                        push_r(&mut n, node_name(tier, x, y), node_name(tier, x + 1, y), rh);
+                    }
+                    if y + 1 < self.height() {
+                        push_r(&mut n, node_name(tier, x, y), node_name(tier, x, y + 1), rv);
+                    }
+                }
+            }
+        }
+        for &(x, y) in self.tsv_sites() {
+            for tier in 0..self.tiers() - 1 {
+                push_r(
+                    &mut n,
+                    node_name(tier, x as usize, y as usize),
+                    node_name(tier + 1, x as usize, y as usize),
+                    self.tsv_resistance(),
+                );
+            }
+        }
+        let top = self.tiers() - 1;
+        for (i, (x, y)) in self.pad_sites().into_iter().enumerate() {
+            let grid_node = node_name(top, x as usize, y as usize);
+            if self.pad_resistance() == 0.0 {
+                n.push(Element::VoltageSource {
+                    name: format!("V{i}"),
+                    pos: grid_node,
+                    neg: "0".into(),
+                    volts: rail,
+                });
+            } else {
+                let rail_node = format!("_X_pad_{i}");
+                n.push(Element::VoltageSource {
+                    name: format!("V{i}"),
+                    pos: rail_node.clone(),
+                    neg: "0".into(),
+                    volts: rail,
+                });
+                push_r(&mut n, grid_node, rail_node, self.pad_resistance());
+            }
+        }
+        let mut i = 0usize;
+        for tier in 0..self.tiers() {
+            for y in 0..self.height() {
+                for x in 0..self.width() {
+                    let amps = self.load(tier, x, y);
+                    if amps != 0.0 {
+                        let (from, to) = match net {
+                            NetKind::Power => (node_name(tier, x, y), "0".to_string()),
+                            NetKind::Ground => ("0".to_string(), node_name(tier, x, y)),
+                        };
+                        n.push(Element::CurrentSource {
+                            name: format!("I{i}"),
+                            from,
+                            to,
+                            amps,
+                        });
+                        i += 1;
+                    }
+                }
+            }
+        }
+        n
+    }
+
+    /// Reconstructs a structured stack from a netlist that follows the
+    /// `n<tier>_<x>_<y>` naming convention (e.g. one written by
+    /// [`Stack3d::to_netlist`], or an IBM-style benchmark renamed to the
+    /// convention).
+    ///
+    /// Requirements checked: full rectangular mesh per tier with uniform
+    /// per-tier wire resistances, full-height TSV pillars with one shared
+    /// resistance, pads only on the topmost tier at a single rail voltage
+    /// and (optional) single pad resistance, loads only as sources to
+    /// ground.
+    ///
+    /// # Errors
+    ///
+    /// [`GridError::NotAStack`] describing the first violated requirement,
+    /// or the usual builder errors for degenerate values.
+    pub fn from_netlist(netlist: &Netlist) -> Result<Stack3d, GridError> {
+        fn not_a_stack(msg: impl Into<String>) -> GridError {
+            GridError::NotAStack {
+                message: msg.into(),
+            }
+        }
+        let rel_eq = |a: f64, b: f64| (a - b).abs() <= 1e-9 * a.abs().max(b.abs());
+
+        // Pass 1: extent.
+        let (mut tiers, mut w, mut h) = (0usize, 0usize, 0usize);
+        let mut saw_grid_node = false;
+        let grid_or_other = |name: &str| -> Option<(usize, usize, usize)> {
+            parse_node_name(name)
+        };
+        for e in netlist.elements() {
+            let nodes: [&str; 2] = match e {
+                Element::Resistor { a, b, .. } => [a, b],
+                Element::CurrentSource { from, to, .. } => [from, to],
+                Element::VoltageSource { pos, neg, .. } => [pos, neg],
+            };
+            for node in nodes {
+                if let Some((t, x, y)) = grid_or_other(node) {
+                    saw_grid_node = true;
+                    tiers = tiers.max(t + 1);
+                    w = w.max(x + 1);
+                    h = h.max(y + 1);
+                }
+            }
+        }
+        if !saw_grid_node {
+            return Err(not_a_stack("no n<tier>_<x>_<y> nodes found"));
+        }
+
+        let mut r_h: Vec<Option<f64>> = vec![None; tiers];
+        let mut r_v: Vec<Option<f64>> = vec![None; tiers];
+        let mut r_tsv: Option<f64> = None;
+        let mut wire_edges: HashSet<(usize, usize)> = HashSet::new();
+        let mut wire_count = vec![0usize; tiers];
+        let mut tsv_per_interface: Vec<HashSet<(usize, usize)>> =
+            vec![HashSet::new(); tiers.saturating_sub(1)];
+        let mut pad_rail_nodes: HashMap<String, f64> = HashMap::new();
+        let mut pad_resistors: Vec<(String, (usize, usize, usize), f64)> = Vec::new();
+        let mut ideal_pads: Vec<((usize, usize, usize), f64)> = Vec::new();
+        let mut loads: HashMap<(usize, usize, usize), f64> = HashMap::new();
+
+        let flat = |t: usize, x: usize, y: usize| (t * h + y) * w + x;
+
+        // Pass 2: classify elements. Voltage sources first so pad rails are
+        // known before their series resistors are seen.
+        for e in netlist.elements() {
+            if let Element::VoltageSource { name, pos, neg, volts } = e {
+                let (node, value) = if super::model::is_ground(neg) {
+                    (pos.as_str(), *volts)
+                } else if super::model::is_ground(pos) {
+                    (neg.as_str(), -*volts)
+                } else {
+                    return Err(GridError::UngroundedVoltageSource {
+                        name: name.clone(),
+                    });
+                };
+                if let Some(coords) = parse_node_name(node) {
+                    ideal_pads.push((coords, value));
+                } else {
+                    pad_rail_nodes.insert(node.to_string(), value);
+                }
+            }
+        }
+        for e in netlist.elements() {
+            match e {
+                Element::Resistor { a, b, ohms, .. } => {
+                    match (parse_node_name(a), parse_node_name(b)) {
+                        (Some(pa), Some(pb)) => {
+                            let ((t1, x1, y1), (t2, x2, y2)) = if pa <= pb { (pa, pb) } else { (pb, pa) };
+                            if t1 == t2 && y1 == y2 && x2 == x1 + 1 {
+                                match r_h[t1] {
+                                    None => r_h[t1] = Some(*ohms),
+                                    Some(r) if rel_eq(r, *ohms) => {}
+                                    Some(r) => {
+                                        return Err(not_a_stack(format!(
+                                            "non-uniform horizontal resistance on tier {t1}: {r} vs {ohms}"
+                                        )))
+                                    }
+                                }
+                                if !wire_edges.insert((flat(t1, x1, y1), flat(t2, x2, y2))) {
+                                    return Err(not_a_stack("duplicate wire segment"));
+                                }
+                                wire_count[t1] += 1;
+                            } else if t1 == t2 && x1 == x2 && y2 == y1 + 1 {
+                                match r_v[t1] {
+                                    None => r_v[t1] = Some(*ohms),
+                                    Some(r) if rel_eq(r, *ohms) => {}
+                                    Some(r) => {
+                                        return Err(not_a_stack(format!(
+                                            "non-uniform vertical resistance on tier {t1}: {r} vs {ohms}"
+                                        )))
+                                    }
+                                }
+                                if !wire_edges.insert((flat(t1, x1, y1), flat(t2, x2, y2))) {
+                                    return Err(not_a_stack("duplicate wire segment"));
+                                }
+                                wire_count[t1] += 1;
+                            } else if x1 == x2 && y1 == y2 && t2 == t1 + 1 {
+                                match r_tsv {
+                                    None => r_tsv = Some(*ohms),
+                                    Some(r) if rel_eq(r, *ohms) => {}
+                                    Some(r) => {
+                                        return Err(not_a_stack(format!(
+                                            "non-uniform TSV resistance: {r} vs {ohms}"
+                                        )))
+                                    }
+                                }
+                                if !tsv_per_interface[t1].insert((x1, y1)) {
+                                    return Err(not_a_stack("duplicate TSV segment"));
+                                }
+                            } else {
+                                return Err(not_a_stack(format!(
+                                    "resistor between non-adjacent nodes {a} and {b}"
+                                )));
+                            }
+                        }
+                        (Some(p), None) | (None, Some(p)) => {
+                            let other = if parse_node_name(a).is_some() { b } else { a };
+                            if super::model::is_ground(other) {
+                                return Err(not_a_stack(format!(
+                                    "unexpected resistor to ground at {}",
+                                    node_name(p.0, p.1, p.2)
+                                )));
+                            }
+                            pad_resistors.push((other.clone(), p, *ohms));
+                        }
+                        (None, None) => {
+                            return Err(not_a_stack(format!(
+                                "resistor {a}-{b} touches no grid node"
+                            )))
+                        }
+                    }
+                }
+                Element::CurrentSource { name, from, to, amps } => {
+                    let (coords, amps) = match (parse_node_name(from), parse_node_name(to)) {
+                        (Some(p), None) if super::model::is_ground(to) => (p, *amps),
+                        (None, Some(p)) if super::model::is_ground(from) => (p, -*amps),
+                        _ => {
+                            return Err(not_a_stack(format!(
+                                "current source {name} must connect a grid node and ground"
+                            )))
+                        }
+                    };
+                    *loads.entry(coords).or_insert(0.0) += amps;
+                }
+                Element::VoltageSource { .. } => {} // handled in the first pass
+            }
+        }
+
+        // Mesh completeness.
+        for t in 0..tiers {
+            let expected = (w - 1) * h + w * (h - 1);
+            if wire_count[t] != expected {
+                return Err(not_a_stack(format!(
+                    "tier {t} mesh incomplete: {} of {expected} wire segments",
+                    wire_count[t]
+                )));
+            }
+        }
+        // TSV pillars must span every interface with the same footprint.
+        let tsv_sites: Vec<(usize, usize)> = if tiers > 1 {
+            let first = &tsv_per_interface[0];
+            for (i, set) in tsv_per_interface.iter().enumerate().skip(1) {
+                if set != first {
+                    return Err(not_a_stack(format!(
+                        "TSV footprint differs between interface 0 and {i}"
+                    )));
+                }
+            }
+            let mut v: Vec<(usize, usize)> = first.iter().copied().collect();
+            v.sort_unstable();
+            v
+        } else {
+            Vec::new()
+        };
+
+        // Pads.
+        let top = tiers - 1;
+        let mut pad_sites: Vec<(usize, usize)> = Vec::new();
+        let mut rail_voltage: Option<f64> = None;
+        let mut r_pad: Option<f64> = None;
+        let note_rail = |rail_voltage: &mut Option<f64>, v: f64| -> Result<(), GridError> {
+            match rail_voltage {
+                None => {
+                    *rail_voltage = Some(v);
+                    Ok(())
+                }
+                Some(existing) if rel_eq(*existing, v) => Ok(()),
+                Some(existing) => Err(not_a_stack(format!(
+                    "pads at different rail voltages: {existing} vs {v}"
+                ))),
+            }
+        };
+        for &((t, x, y), v) in &ideal_pads {
+            if t != top {
+                return Err(not_a_stack(format!(
+                    "pad at tier {t}, expected topmost tier {top}"
+                )));
+            }
+            note_rail(&mut rail_voltage, v)?;
+            pad_sites.push((x, y));
+            match r_pad {
+                None => r_pad = Some(0.0),
+                Some(0.0) => {}
+                Some(_) => return Err(not_a_stack("mix of ideal and resistive pads")),
+            }
+        }
+        for (rail_node, (t, x, y), ohms) in &pad_resistors {
+            let Some(&v) = pad_rail_nodes.get(rail_node) else {
+                return Err(not_a_stack(format!(
+                    "resistor to unknown non-grid node {rail_node}"
+                )));
+            };
+            if *t != top {
+                return Err(not_a_stack(format!(
+                    "pad at tier {t}, expected topmost tier {top}"
+                )));
+            }
+            note_rail(&mut rail_voltage, v)?;
+            pad_sites.push((*x, *y));
+            match r_pad {
+                None => r_pad = Some(*ohms),
+                Some(r) if rel_eq(r, *ohms) => {}
+                Some(0.0) => return Err(not_a_stack("mix of ideal and resistive pads")),
+                Some(r) => {
+                    return Err(not_a_stack(format!(
+                        "non-uniform pad resistance: {r} vs {ohms}"
+                    )))
+                }
+            }
+        }
+        if pad_sites.is_empty() {
+            return Err(GridError::NoPads);
+        }
+
+        // Loads (ground-net exports carry negative injections; normalize).
+        let mut load_vec = vec![0.0; w * h * tiers];
+        let mut negative = 0usize;
+        for (&(t, x, y), &amps) in &loads {
+            let a = if amps < 0.0 {
+                negative += 1;
+                -amps
+            } else {
+                amps
+            };
+            load_vec[flat(t, x, y)] = a;
+        }
+        if negative > 0 && negative != loads.len() {
+            return Err(not_a_stack(
+                "mixed-sign load currents (not a single supply net)",
+            ));
+        }
+
+        let mut builder = Stack3d::builder(w, h, tiers)
+            .tsv_pattern(TsvPattern::Explicit(tsv_sites))
+            .pad_sites(pad_sites)
+            .pad_resistance(r_pad.unwrap_or(0.0))
+            .loads(load_vec)
+            .vdd(rail_voltage.unwrap_or(0.0).max(0.0));
+        for t in 0..tiers {
+            let rh = r_h[t].ok_or_else(|| not_a_stack(format!("tier {t} has no horizontal wires")))?;
+            let rv = r_v[t].ok_or_else(|| not_a_stack(format!("tier {t} has no vertical wires")))?;
+            builder = builder.tier_resistance(t, rh, rv);
+        }
+        if let Some(r) = r_tsv {
+            builder = builder.tsv_resistance(r);
+        }
+        builder.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LoadProfile;
+
+    fn sample_stack() -> Stack3d {
+        Stack3d::builder(4, 3, 3)
+            .wire_resistance(0.02)
+            .tier_resistance(1, 0.03, 0.04)
+            .tsv_resistance(0.05)
+            .load_profile(LoadProfile::UniformRandom { min: 1e-5, max: 1e-3 }, 11)
+            .vdd(1.8)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn netlist_roundtrip_preserves_stack() {
+        let s = sample_stack();
+        let text = s.to_netlist(NetKind::Power).to_spice();
+        let parsed = Netlist::parse(&text).unwrap();
+        let s2 = Stack3d::from_netlist(&parsed).unwrap();
+        assert_eq!(s, s2);
+    }
+
+    #[test]
+    fn ground_net_roundtrip_preserves_topology() {
+        let s = sample_stack();
+        let text = s.to_netlist(NetKind::Ground).to_spice();
+        let s2 = Stack3d::from_netlist(&Netlist::parse(&text).unwrap()).unwrap();
+        assert_eq!(s2.num_nodes(), s.num_nodes());
+        assert_eq!(s2.tsv_sites(), s.tsv_sites());
+        assert_eq!(s2.loads(), s.loads());
+        assert_eq!(s2.vdd(), 0.0); // ground net rail
+    }
+
+    #[test]
+    fn resistive_pads_roundtrip() {
+        let s = Stack3d::builder(4, 4, 2)
+            .pad_resistance(0.25)
+            .uniform_load(1e-4)
+            .build()
+            .unwrap();
+        let text = s.to_netlist(NetKind::Power).to_spice();
+        let s2 = Stack3d::from_netlist(&Netlist::parse(&text).unwrap()).unwrap();
+        assert_eq!(s2.pad_resistance(), 0.25);
+        assert_eq!(s, s2);
+    }
+
+    #[test]
+    fn spice_text_parses_back_identically() {
+        let s = sample_stack();
+        let n1 = s.to_netlist(NetKind::Power);
+        let n2 = Netlist::parse(&n1.to_spice()).unwrap();
+        assert_eq!(n1.elements(), n2.elements());
+    }
+
+    #[test]
+    fn incomplete_mesh_rejected() {
+        let s = Stack3d::builder(3, 3, 2).build().unwrap();
+        let mut n = s.to_netlist(NetKind::Power);
+        // Drop one wire resistor.
+        let pos = n
+            .elements()
+            .iter()
+            .position(|e| matches!(e, Element::Resistor { ohms, .. } if *ohms == 1.0))
+            .unwrap();
+        n.elements.remove(pos);
+        let err = Stack3d::from_netlist(&n).unwrap_err();
+        assert!(matches!(err, GridError::NotAStack { .. }));
+        assert!(err.to_string().contains("mesh incomplete"));
+    }
+
+    #[test]
+    fn non_uniform_wire_rejected() {
+        let s = Stack3d::builder(3, 3, 2).build().unwrap();
+        let mut n = s.to_netlist(NetKind::Power);
+        for e in n.elements.iter_mut() {
+            if let Element::Resistor { ohms, .. } = e {
+                if *ohms == 1.0 {
+                    *ohms = 0.09;
+                    break;
+                }
+            }
+        }
+        let err = Stack3d::from_netlist(&n).unwrap_err();
+        assert!(err.to_string().contains("non-uniform"));
+    }
+
+    #[test]
+    fn pads_below_top_tier_rejected() {
+        let s = Stack3d::builder(3, 3, 2).build().unwrap();
+        let mut n = s.to_netlist(NetKind::Power);
+        n.push(Element::VoltageSource {
+            name: "Vbad".into(),
+            pos: "n0_1_1".into(),
+            neg: "0".into(),
+            volts: 1.8,
+        });
+        let err = Stack3d::from_netlist(&n).unwrap_err();
+        assert!(err.to_string().contains("topmost"));
+    }
+
+    #[test]
+    fn arbitrary_netlist_is_not_a_stack() {
+        let n = Netlist::parse("R1 a b 1.0\nV1 a 0 1.0\n").unwrap();
+        assert!(matches!(
+            Stack3d::from_netlist(&n).unwrap_err(),
+            GridError::NotAStack { .. }
+        ));
+    }
+
+    #[test]
+    fn diagonal_resistor_rejected() {
+        let s = Stack3d::builder(3, 3, 1).build().unwrap();
+        let mut n = s.to_netlist(NetKind::Power);
+        n.push(Element::Resistor {
+            name: "Rdiag".into(),
+            a: "n0_0_0".into(),
+            b: "n0_1_1".into(),
+            ohms: 0.02,
+        });
+        let err = Stack3d::from_netlist(&n).unwrap_err();
+        assert!(err.to_string().contains("non-adjacent"));
+    }
+}

@@ -1,0 +1,103 @@
+//! Summary statistics of a power grid model.
+
+use crate::Stack3d;
+use std::fmt;
+
+/// Structural and electrical summary of a [`Stack3d`], for logs and reports.
+///
+/// # Example
+///
+/// ```
+/// use voltprop_grid::Stack3d;
+/// use voltprop_grid::stats::GridStats;
+///
+/// # fn main() -> Result<(), voltprop_grid::GridError> {
+/// let stack = Stack3d::builder(10, 10, 3).uniform_load(1e-4).build()?;
+/// let stats = GridStats::of(&stack);
+/// assert_eq!(stats.nodes, 300);
+/// assert_eq!(stats.tsv_pillars, 25);
+/// println!("{stats}");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridStats {
+    /// Total node count.
+    pub nodes: usize,
+    /// In-plane wire segment count.
+    pub wire_segments: usize,
+    /// TSV pillar count (each spans `tiers - 1` segments).
+    pub tsv_pillars: usize,
+    /// TSV segment count.
+    pub tsv_segments: usize,
+    /// Pad count on the topmost tier.
+    pub pads: usize,
+    /// Number of nodes with a nonzero load.
+    pub loaded_nodes: usize,
+    /// Total load current (A).
+    pub total_load: f64,
+    /// Supply voltage (V).
+    pub vdd: f64,
+}
+
+impl GridStats {
+    /// Computes statistics for a stack.
+    pub fn of(stack: &Stack3d) -> Self {
+        let (w, h, t) = (stack.width(), stack.height(), stack.tiers());
+        GridStats {
+            nodes: stack.num_nodes(),
+            wire_segments: t * ((w - 1) * h + w * (h - 1)),
+            tsv_pillars: stack.tsv_sites().len(),
+            tsv_segments: stack.tsv_sites().len() * (t - 1),
+            pads: stack.num_pads(),
+            loaded_nodes: stack.loads().iter().filter(|&&a| a > 0.0).count(),
+            total_load: stack.total_load(),
+            vdd: stack.vdd(),
+        }
+    }
+}
+
+impl fmt::Display for GridStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "nodes:         {}", self.nodes)?;
+        writeln!(f, "wire segments: {}", self.wire_segments)?;
+        writeln!(
+            f,
+            "TSV pillars:   {} ({} segments)",
+            self.tsv_pillars, self.tsv_segments
+        )?;
+        writeln!(f, "pads:          {}", self.pads)?;
+        writeln!(f, "loaded nodes:  {}", self.loaded_nodes)?;
+        writeln!(f, "total load:    {:.4} A", self.total_load)?;
+        write!(f, "VDD:           {:.3} V", self.vdd)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_are_consistent() {
+        let s = Stack3d::builder(5, 4, 3).uniform_load(2e-4).build().unwrap();
+        let st = GridStats::of(&s);
+        assert_eq!(st.nodes, 60);
+        // 5x4 tier: 4*4 horizontal + 5*3 vertical = 31 per tier.
+        assert_eq!(st.wire_segments, 3 * 31);
+        // Pitch-2 TSVs on 5x4: x ∈ {0,2,4}, y ∈ {0,2} → 6 pillars.
+        assert_eq!(st.tsv_pillars, 6);
+        assert_eq!(st.tsv_segments, 12);
+        assert_eq!(st.pads, 6);
+        assert_eq!(st.loaded_nodes, 60 - 3 * 6);
+        assert!((st.total_load - (60 - 18) as f64 * 2e-4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_key_fields() {
+        let s = Stack3d::builder(4, 4, 2).build().unwrap();
+        let text = GridStats::of(&s).to_string();
+        for needle in ["nodes", "TSV", "pads", "VDD"] {
+            assert!(text.contains(needle), "missing {needle} in {text}");
+        }
+    }
+}

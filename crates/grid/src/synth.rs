@@ -1,0 +1,287 @@
+//! Synthetic 3-D benchmark generation.
+//!
+//! The paper builds its 3-D circuits by replicating IBM TAU 2011 planar
+//! grids thrice and joining them with uniformly distributed TSVs (one TSV
+//! node per four nodes, R_TSV = 0.05 Ω). The IBM netlists are no longer
+//! distributable, so this module synthesizes grids with the same topology,
+//! electrical regime, and node counts; [`TableCircuit`] enumerates the
+//! paper's C0–C5 sizes.
+
+use crate::{GridError, LoadProfile, Stack3d, TsvPattern};
+
+/// The benchmark circuits of the paper's Table I.
+///
+/// Node counts are total across the default three tiers; per-tier footprints
+/// are the nearest square.
+///
+/// | circuit | paper nodes | footprint | total nodes |
+/// |---------|------------:|-----------|------------:|
+/// | C0      | 30 K        | 100×100   | 30 000      |
+/// | C1      | 90 K        | 173×173   | 89 787      |
+/// | C2      | 230 K       | 277×277   | 230 187     |
+/// | C3      | 1 M         | 577×577   | 998 787     |
+/// | C4      | 3 M         | 1000×1000 | 3 000 000   |
+/// | C5      | 12 M        | 2000×2000 | 12 000 000  |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TableCircuit {
+    /// 30 K nodes.
+    C0,
+    /// 90 K nodes.
+    C1,
+    /// 230 K nodes.
+    C2,
+    /// 1 M nodes.
+    C3,
+    /// 3 M nodes.
+    C4,
+    /// 12 M nodes.
+    C5,
+}
+
+impl TableCircuit {
+    /// All six circuits in size order.
+    pub const ALL: [TableCircuit; 6] = [
+        TableCircuit::C0,
+        TableCircuit::C1,
+        TableCircuit::C2,
+        TableCircuit::C3,
+        TableCircuit::C4,
+        TableCircuit::C5,
+    ];
+
+    /// The per-tier square footprint edge length.
+    pub fn footprint(self) -> usize {
+        match self {
+            TableCircuit::C0 => 100,
+            TableCircuit::C1 => 173,
+            TableCircuit::C2 => 277,
+            TableCircuit::C3 => 577,
+            TableCircuit::C4 => 1000,
+            TableCircuit::C5 => 2000,
+        }
+    }
+
+    /// Total node count over three tiers.
+    pub fn num_nodes(self) -> usize {
+        3 * self.footprint() * self.footprint()
+    }
+
+    /// The paper's label for this circuit.
+    pub fn label(self) -> &'static str {
+        match self {
+            TableCircuit::C0 => "C0",
+            TableCircuit::C1 => "C1",
+            TableCircuit::C2 => "C2",
+            TableCircuit::C3 => "C3",
+            TableCircuit::C4 => "C4",
+            TableCircuit::C5 => "C5",
+        }
+    }
+
+    /// Builds the benchmark with the default [`SynthConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates builder validation errors (none occur for the built-in
+    /// presets).
+    pub fn build(self, seed: u64) -> Result<Stack3d, GridError> {
+        SynthConfig::table_circuit(self).seed(seed).build()
+    }
+}
+
+impl std::fmt::Display for TableCircuit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Configuration for synthesizing a 3-D benchmark grid.
+///
+/// Defaults reproduce the paper's setup: 3 tiers, TSV pitch 2 (one TSV node
+/// per four nodes), R_TSV = 0.05 Ω, wire segments of 1 Ω (IBM-like, and
+/// 20× the TSV resistance — the paper's §III-A regime), VDD = 1.8 V, and
+/// uniformly random per-device currents chosen so the worst-case IR drop
+/// lands in the few-percent-of-VDD regime typical of the IBM benchmarks.
+///
+/// # Example
+///
+/// ```
+/// use voltprop_grid::SynthConfig;
+///
+/// # fn main() -> Result<(), voltprop_grid::GridError> {
+/// let stack = SynthConfig::new(20, 20, 3).seed(7).build()?;
+/// assert_eq!(stack.num_nodes(), 1200);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SynthConfig {
+    width: usize,
+    height: usize,
+    tiers: usize,
+    wire_resistance: f64,
+    tsv_resistance: f64,
+    tsv_pattern: TsvPattern,
+    pad_resistance: f64,
+    pad_pitch: Option<usize>,
+    vdd: f64,
+    load: LoadProfile,
+    seed: u64,
+}
+
+impl SynthConfig {
+    /// Starts from the paper-default parameters with an explicit footprint.
+    pub fn new(width: usize, height: usize, tiers: usize) -> Self {
+        SynthConfig {
+            width,
+            height,
+            tiers,
+            wire_resistance: 1.0,
+            tsv_resistance: 0.05,
+            tsv_pattern: TsvPattern::Uniform { pitch: 2 },
+            pad_resistance: 0.0,
+            // Package bumps on a 10-node lattice: like the IBM grids, only
+            // a fraction of the pillars is fed directly by the package.
+            pad_pitch: Some(10),
+            vdd: 1.8,
+            // ~0.1–2 mA per device keeps worst-case drop at a few percent
+            // of VDD for these wire values, mirroring the IBM benchmarks.
+            load: LoadProfile::UniformRandom {
+                min: 1e-4,
+                max: 2e-3,
+            },
+            seed: 0,
+        }
+    }
+
+    /// The configuration for one of the paper's Table I circuits.
+    pub fn table_circuit(c: TableCircuit) -> Self {
+        let edge = c.footprint();
+        SynthConfig::new(edge, edge, 3)
+    }
+
+    /// Overrides the wire segment resistance (Ω).
+    pub fn wire_resistance(mut self, ohms: f64) -> Self {
+        self.wire_resistance = ohms;
+        self
+    }
+
+    /// Overrides the TSV segment resistance (Ω).
+    pub fn tsv_resistance(mut self, ohms: f64) -> Self {
+        self.tsv_resistance = ohms;
+        self
+    }
+
+    /// Overrides the TSV placement pattern.
+    pub fn tsv_pattern(mut self, pattern: TsvPattern) -> Self {
+        self.tsv_pattern = pattern;
+        self
+    }
+
+    /// Overrides the pad resistance (Ω; 0 = ideal pads).
+    pub fn pad_resistance(mut self, ohms: f64) -> Self {
+        self.pad_resistance = ohms;
+        self
+    }
+
+    /// Sets the pad-bump lattice pitch; `None` puts a pad above every
+    /// pillar (the fully-fed topology).
+    pub fn pad_pitch(mut self, pitch: Option<usize>) -> Self {
+        self.pad_pitch = pitch;
+        self
+    }
+
+    /// Overrides the supply voltage (V).
+    pub fn vdd(mut self, volts: f64) -> Self {
+        self.vdd = volts;
+        self
+    }
+
+    /// Overrides the load profile.
+    pub fn load(mut self, profile: LoadProfile) -> Self {
+        self.load = profile;
+        self
+    }
+
+    /// Sets the RNG seed for load generation (and random TSV patterns).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds the stack.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Stack3d`] builder validation errors.
+    pub fn build(self) -> Result<Stack3d, GridError> {
+        let mut b = Stack3d::builder(self.width, self.height, self.tiers)
+            .wire_resistance(self.wire_resistance)
+            .tsv_resistance(self.tsv_resistance)
+            .tsv_pattern(self.tsv_pattern)
+            .pad_resistance(self.pad_resistance)
+            .vdd(self.vdd)
+            .load_profile(self.load, self.seed);
+        if let Some(pitch) = self.pad_pitch {
+            b = b.pad_lattice(pitch);
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_sizes_match_paper_within_rounding() {
+        let paper_nodes = [30_000, 90_000, 230_000, 1_000_000, 3_000_000, 12_000_000];
+        for (c, paper) in TableCircuit::ALL.into_iter().zip(paper_nodes) {
+            let n = c.num_nodes() as f64;
+            let rel = (n - paper as f64).abs() / paper as f64;
+            assert!(rel < 0.01, "{c}: {n} vs paper {paper}");
+        }
+    }
+
+    #[test]
+    fn c0_builds_with_paper_parameters() {
+        let s = TableCircuit::C0.build(1).unwrap();
+        assert_eq!(s.num_nodes(), 30_000);
+        assert_eq!(s.tiers(), 3);
+        assert_eq!(s.tsv_resistance(), 0.05);
+        // One TSV node per four nodes.
+        let ratio = s.nodes_per_tier() as f64 / s.tsv_sites().len() as f64;
+        assert!((ratio - 4.0).abs() < 0.1, "TSV density ratio {ratio}");
+    }
+
+    #[test]
+    fn synth_is_deterministic_per_seed() {
+        let a = SynthConfig::new(10, 10, 3).seed(3).build().unwrap();
+        let b = SynthConfig::new(10, 10, 3).seed(3).build().unwrap();
+        let c = SynthConfig::new(10, 10, 3).seed(4).build().unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn overrides_apply() {
+        let s = SynthConfig::new(8, 8, 2)
+            .wire_resistance(0.5)
+            .tsv_resistance(0.01)
+            .pad_resistance(0.2)
+            .vdd(1.0)
+            .load(LoadProfile::Constant(1e-5))
+            .build()
+            .unwrap();
+        assert_eq!(s.r_horizontal(0), 0.5);
+        assert_eq!(s.tsv_resistance(), 0.01);
+        assert_eq!(s.pad_resistance(), 0.2);
+        assert_eq!(s.vdd(), 1.0);
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(TableCircuit::C3.to_string(), "C3");
+        assert_eq!(TableCircuit::C3.label(), "C3");
+    }
+}

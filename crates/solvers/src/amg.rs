@@ -1,0 +1,323 @@
+use crate::{Preconditioner, SolverError};
+use voltprop_sparse::{Cholesky, CsrMatrix, TripletMatrix};
+
+/// Pairwise-aggregation algebraic multigrid, used as a V-cycle
+/// preconditioner.
+///
+/// This is the structural stand-in for the multigrid preconditioner of the
+/// paper's PCG comparator (refs [6], [12]): greedy pairwise aggregation by
+/// strongest negative coupling, piecewise-constant prolongation, Galerkin
+/// coarse operators, damped-Jacobi smoothing, and a direct solve on the
+/// coarsest level.
+///
+/// # Example
+///
+/// ```
+/// use voltprop_solvers::{AmgHierarchy, Preconditioner};
+/// use voltprop_sparse::TripletMatrix;
+///
+/// # fn main() -> Result<(), voltprop_solvers::SolverError> {
+/// let mut t = TripletMatrix::new(4, 4);
+/// for i in 0..3 { t.stamp_conductance(i, i + 1, 1.0); }
+/// t.stamp_to_ground(0, 1.0);
+/// let amg = AmgHierarchy::build(&t.to_csr())?;
+/// let mut z = vec![0.0; 4];
+/// amg.apply_into(&[1.0, 0.0, 0.0, 0.0], &mut z);
+/// assert!(z.iter().all(|v| v.is_finite()));
+/// # Ok(())
+/// # }
+/// ```
+pub struct AmgHierarchy {
+    levels: Vec<Level>,
+    coarse: Cholesky,
+    coarse_dim: usize,
+    /// Damped-Jacobi weight.
+    omega: f64,
+    /// Pre/post smoothing sweeps.
+    sweeps: usize,
+}
+
+struct Level {
+    a: CsrMatrix,
+    inv_diag: Vec<f64>,
+    /// Fine node → coarse aggregate.
+    agg: Vec<u32>,
+    n_coarse: usize,
+}
+
+impl std::fmt::Debug for AmgHierarchy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AmgHierarchy")
+            .field("levels", &self.levels.len())
+            .field("coarse_dim", &self.coarse_dim)
+            .finish()
+    }
+}
+
+impl AmgHierarchy {
+    /// Coarsest-level size at which the hierarchy switches to a direct
+    /// solve.
+    const COARSE_LIMIT: usize = 64;
+    /// Maximum number of levels (safety bound).
+    const MAX_LEVELS: usize = 30;
+
+    /// Builds the hierarchy for a symmetric positive definite matrix.
+    ///
+    /// # Errors
+    ///
+    /// [`SolverError::Sparse`] if a diagonal entry is non-positive or the
+    /// coarsest-level factorization fails.
+    pub fn build(a: &CsrMatrix) -> Result<Self, SolverError> {
+        let mut levels = Vec::new();
+        let mut current = a.clone();
+        while current.nrows() > Self::COARSE_LIMIT && levels.len() < Self::MAX_LEVELS {
+            let (agg, n_coarse) = aggregate_pairwise(&current);
+            if n_coarse as f64 > 0.9 * current.nrows() as f64 {
+                break; // aggregation stalled; stop coarsening
+            }
+            let coarse = galerkin(&current, &agg, n_coarse);
+            let inv_diag = inverse_diagonal(&current)?;
+            levels.push(Level {
+                a: current,
+                inv_diag,
+                agg,
+                n_coarse,
+            });
+            current = coarse;
+        }
+        let coarse_dim = current.nrows();
+        let coarse = Cholesky::factor(&current)?;
+        Ok(AmgHierarchy {
+            levels,
+            coarse,
+            coarse_dim,
+            omega: 2.0 / 3.0,
+            sweeps: 1,
+        })
+    }
+
+    /// Number of levels above the coarsest direct solve.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Dimension of the coarsest (directly solved) level.
+    pub fn coarse_dim(&self) -> usize {
+        self.coarse_dim
+    }
+
+    fn vcycle(&self, level: usize, r: &[f64], z: &mut [f64]) {
+        if level == self.levels.len() {
+            let solved = self.coarse.solve(r);
+            z.copy_from_slice(&solved);
+            return;
+        }
+        let lv = &self.levels[level];
+        let n = lv.a.nrows();
+        // Pre-smooth from zero: z = ω D⁻¹ r, then refine.
+        for i in 0..n {
+            z[i] = self.omega * lv.inv_diag[i] * r[i];
+        }
+        let mut res = vec![0.0; n];
+        for _ in 1..self.sweeps {
+            lv.a.spmv(z, &mut res);
+            for i in 0..n {
+                z[i] += self.omega * lv.inv_diag[i] * (r[i] - res[i]);
+            }
+        }
+        // Residual and restriction.
+        lv.a.spmv(z, &mut res);
+        let mut rc = vec![0.0; lv.n_coarse];
+        for i in 0..n {
+            rc[lv.agg[i] as usize] += r[i] - res[i];
+        }
+        // Coarse correction.
+        let mut zc = vec![0.0; lv.n_coarse];
+        self.vcycle(level + 1, &rc, &mut zc);
+        for i in 0..n {
+            z[i] += zc[lv.agg[i] as usize];
+        }
+        // Post-smooth.
+        for _ in 0..self.sweeps {
+            lv.a.spmv(z, &mut res);
+            for i in 0..n {
+                z[i] += self.omega * lv.inv_diag[i] * (r[i] - res[i]);
+            }
+        }
+    }
+}
+
+impl Preconditioner for AmgHierarchy {
+    fn apply_into(&self, r: &[f64], z: &mut [f64]) {
+        self.vcycle(0, r, z);
+    }
+
+    fn memory_bytes(&self) -> usize {
+        let mut total = 0;
+        for lv in &self.levels {
+            total += lv.a.memory_bytes() + lv.inv_diag.len() * 8 + lv.agg.len() * 4;
+        }
+        total + self.coarse.memory_bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        "amg"
+    }
+}
+
+fn inverse_diagonal(a: &CsrMatrix) -> Result<Vec<f64>, SolverError> {
+    a.diag()
+        .into_iter()
+        .enumerate()
+        .map(|(i, d)| {
+            if d > 0.0 {
+                Ok(1.0 / d)
+            } else {
+                Err(SolverError::Sparse(
+                    voltprop_sparse::SparseError::NotPositiveDefinite { column: i },
+                ))
+            }
+        })
+        .collect()
+}
+
+/// Greedy pairwise aggregation: each unaggregated node pairs with its
+/// strongest (most negative coupling) unaggregated neighbor, or forms a
+/// singleton.
+fn aggregate_pairwise(a: &CsrMatrix) -> (Vec<u32>, usize) {
+    let n = a.nrows();
+    const UNSET: u32 = u32::MAX;
+    let mut agg = vec![UNSET; n];
+    let mut next = 0u32;
+    for i in 0..n {
+        if agg[i] != UNSET {
+            continue;
+        }
+        let (cols, vals) = a.row(i);
+        let mut best: Option<(usize, f64)> = None;
+        for (c, v) in cols.iter().zip(vals) {
+            let j = *c as usize;
+            if j == i || agg[j] != UNSET {
+                continue;
+            }
+            // Strong couplings in an M-matrix are large negative entries.
+            if *v < 0.0 {
+                let strength = -v;
+                if best.map_or(true, |(_, s)| strength > s) {
+                    best = Some((j, strength));
+                }
+            }
+        }
+        agg[i] = next;
+        if let Some((j, _)) = best {
+            agg[j] = next;
+        }
+        next += 1;
+    }
+    (agg, next as usize)
+}
+
+/// Galerkin triple product `Aᶜ = Pᵀ A P` for piecewise-constant `P`.
+fn galerkin(a: &CsrMatrix, agg: &[u32], n_coarse: usize) -> CsrMatrix {
+    let mut t = TripletMatrix::with_capacity(n_coarse, n_coarse, a.nnz());
+    for i in 0..a.nrows() {
+        let (cols, vals) = a.row(i);
+        let ci = agg[i] as usize;
+        for (c, v) in cols.iter().zip(vals) {
+            t.push(ci, agg[*c as usize] as usize, *v);
+        }
+    }
+    t.to_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(n_side: usize) -> CsrMatrix {
+        let n = n_side * n_side;
+        let mut t = TripletMatrix::new(n, n);
+        let id = |x: usize, y: usize| y * n_side + x;
+        for y in 0..n_side {
+            for x in 0..n_side {
+                if x + 1 < n_side {
+                    t.stamp_conductance(id(x, y), id(x + 1, y), 1.0);
+                }
+                if y + 1 < n_side {
+                    t.stamp_conductance(id(x, y), id(x, y + 1), 1.0);
+                }
+            }
+        }
+        for k in 0..n_side {
+            t.stamp_to_ground(k, 1.0);
+        }
+        t.to_csr()
+    }
+
+    #[test]
+    fn hierarchy_coarsens() {
+        let a = grid(20); // 400 nodes
+        let amg = AmgHierarchy::build(&a).unwrap();
+        assert!(amg.num_levels() >= 2, "expected real coarsening");
+        assert!(amg.coarse_dim() <= AmgHierarchy::COARSE_LIMIT);
+    }
+
+    #[test]
+    fn small_matrix_is_direct_only() {
+        let a = grid(4); // 16 nodes < COARSE_LIMIT
+        let amg = AmgHierarchy::build(&a).unwrap();
+        assert_eq!(amg.num_levels(), 0);
+        // Then the V-cycle is exactly a direct solve.
+        let b: Vec<f64> = (0..16).map(|i| (i as f64).cos()).collect();
+        let mut z = vec![0.0; 16];
+        amg.apply_into(&b, &mut z);
+        assert!(a.residual(&z, &b) < 1e-9);
+    }
+
+    #[test]
+    fn vcycle_contracts_error() {
+        // One V-cycle applied as an iteration must reduce the error of a
+        // zero initial guess substantially on a mesh Laplacian.
+        let a = grid(16);
+        let n = a.nrows();
+        let x_true: Vec<f64> = (0..n).map(|i| ((i * 31 % 17) as f64) / 17.0).collect();
+        let b = a.mul_vec(&x_true);
+        let amg = AmgHierarchy::build(&a).unwrap();
+        let mut z = vec![0.0; n];
+        amg.apply_into(&b, &mut z);
+        let err0: f64 = x_true.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let err1: f64 = x_true
+            .iter()
+            .zip(&z)
+            .map(|(t, u)| (t - u) * (t - u))
+            .sum::<f64>()
+            .sqrt();
+        assert!(
+            err1 < 0.8 * err0,
+            "V-cycle should shrink the error: {err1} vs {err0}"
+        );
+    }
+
+    #[test]
+    fn aggregation_covers_all_nodes() {
+        let a = grid(10);
+        let (agg, nc) = aggregate_pairwise(&a);
+        assert_eq!(agg.len(), 100);
+        assert!(nc <= 100 && nc >= 50);
+        assert!(agg.iter().all(|&g| (g as usize) < nc));
+        // Roughly pairwise: coarse count near half.
+        assert!(nc <= 60, "pairwise aggregation should halve: {nc}");
+    }
+
+    #[test]
+    fn galerkin_preserves_symmetry_and_rowsum() {
+        let a = grid(8);
+        let (agg, nc) = aggregate_pairwise(&a);
+        let ac = galerkin(&a, &agg, nc);
+        assert!(ac.is_symmetric(1e-12));
+        // Piecewise-constant P preserves total row sums (the grounding).
+        let fine_sum: f64 = a.values().iter().sum();
+        let coarse_sum: f64 = ac.values().iter().sum();
+        assert!((fine_sum - coarse_sum).abs() < 1e-9);
+    }
+}

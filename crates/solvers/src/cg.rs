@@ -1,0 +1,165 @@
+use crate::{LinearSolver, Solution, SolveReport, SolverError};
+use voltprop_sparse::{vec_ops, CsrMatrix};
+
+/// Plain (unpreconditioned) conjugate gradients.
+///
+/// Kept mostly as an ablation baseline for [`Pcg`](crate::Pcg): on power
+/// grid matrices the condition number grows with grid size and plain CG
+/// needs several times the iterations of its preconditioned variants.
+#[derive(Debug, Clone, Copy)]
+pub struct ConjugateGradient {
+    /// Relative residual target ‖b − Ax‖₂ / ‖b‖₂.
+    pub tolerance: f64,
+    /// Iteration budget.
+    pub max_iterations: usize,
+}
+
+impl Default for ConjugateGradient {
+    fn default() -> Self {
+        ConjugateGradient {
+            tolerance: 1e-8,
+            max_iterations: 100_000,
+        }
+    }
+}
+
+impl ConjugateGradient {
+    /// Creates a CG solver with the given relative-residual tolerance.
+    pub fn new(tolerance: f64) -> Self {
+        ConjugateGradient {
+            tolerance,
+            ..Default::default()
+        }
+    }
+}
+
+impl LinearSolver for ConjugateGradient {
+    fn solve(&self, a: &CsrMatrix, b: &[f64]) -> Result<Solution, SolverError> {
+        let n = b.len();
+        let bnorm = vec_ops::norm2(b);
+        if bnorm == 0.0 {
+            return Ok(Solution {
+                x: vec![0.0; n],
+                report: SolveReport {
+                    iterations: 0,
+                    residual: 0.0,
+                    converged: true,
+                    workspace_bytes: 4 * n * 8,
+                },
+            });
+        }
+        let mut x = vec![0.0; n];
+        let mut r = b.to_vec();
+        let mut p = r.clone();
+        let mut ap = vec![0.0; n];
+        let mut rr = vec_ops::dot(&r, &r);
+        let target = self.tolerance * bnorm;
+        let mut iterations = 0;
+        while iterations < self.max_iterations {
+            if rr.sqrt() <= target {
+                break;
+            }
+            a.spmv(&p, &mut ap);
+            let pap = vec_ops::dot(&p, &ap);
+            if pap <= 0.0 {
+                return Err(SolverError::Sparse(
+                    voltprop_sparse::SparseError::NotPositiveDefinite { column: iterations },
+                ));
+            }
+            let alpha = rr / pap;
+            vec_ops::axpy(alpha, &p, &mut x);
+            vec_ops::axpy(-alpha, &ap, &mut r);
+            let rr_new = vec_ops::dot(&r, &r);
+            vec_ops::xpby(&r, rr_new / rr, &mut p);
+            rr = rr_new;
+            iterations += 1;
+        }
+        let residual = rr.sqrt() / bnorm;
+        let converged = residual <= self.tolerance;
+        if !converged {
+            return Err(SolverError::DidNotConverge {
+                iterations,
+                residual,
+                tolerance: self.tolerance,
+            });
+        }
+        Ok(Solution {
+            x,
+            report: SolveReport {
+                iterations,
+                residual,
+                converged,
+                workspace_bytes: 4 * n * 8,
+            },
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "cg"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voltprop_sparse::TripletMatrix;
+
+    fn grid_system(n_side: usize) -> (CsrMatrix, Vec<f64>) {
+        let n = n_side * n_side;
+        let mut t = TripletMatrix::new(n, n);
+        let id = |x: usize, y: usize| y * n_side + x;
+        for y in 0..n_side {
+            for x in 0..n_side {
+                if x + 1 < n_side {
+                    t.stamp_conductance(id(x, y), id(x + 1, y), 1.0);
+                }
+                if y + 1 < n_side {
+                    t.stamp_conductance(id(x, y), id(x, y + 1), 1.0);
+                }
+            }
+        }
+        t.stamp_to_ground(0, 1.0);
+        let b: Vec<f64> = (0..n).map(|i| ((i % 7) as f64) * 0.01).collect();
+        (t.to_csr(), b)
+    }
+
+    #[test]
+    fn converges_on_grid_laplacian() {
+        let (a, b) = grid_system(12);
+        let sol = ConjugateGradient::default().solve(&a, &b).unwrap();
+        assert!(sol.report.converged);
+        assert!(a.residual(&sol.x, &b) / voltprop_sparse::vec_ops::norm2(&b) < 1e-7);
+        assert!(sol.report.iterations > 1);
+    }
+
+    #[test]
+    fn zero_rhs_short_circuits() {
+        let (a, _) = grid_system(4);
+        let sol = ConjugateGradient::default().solve(&a, &vec![0.0; 16]).unwrap();
+        assert_eq!(sol.report.iterations, 0);
+        assert!(sol.x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn budget_exhaustion_is_error() {
+        let (a, b) = grid_system(12);
+        let tight = ConjugateGradient {
+            tolerance: 1e-14,
+            max_iterations: 2,
+        };
+        assert!(matches!(
+            tight.solve(&a, &b),
+            Err(SolverError::DidNotConverge { iterations: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn indefinite_matrix_detected() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(1, 1, -1.0);
+        let a = t.to_csr();
+        let r = ConjugateGradient::default().solve(&a, &[1.0, 1.0]);
+        assert!(matches!(r, Err(SolverError::Sparse(_))));
+    }
+}

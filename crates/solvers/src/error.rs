@@ -1,0 +1,93 @@
+use std::error::Error;
+use std::fmt;
+use voltprop_grid::GridError;
+use voltprop_sparse::SparseError;
+
+/// Errors produced by the solver layer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SolverError {
+    /// A numerical kernel failed (singular pivot, not positive definite …).
+    Sparse(SparseError),
+    /// The grid model could not be stamped or is malformed.
+    Grid(GridError),
+    /// The iteration hit its budget without reaching the tolerance.
+    DidNotConverge {
+        /// Iterations performed.
+        iterations: usize,
+        /// Best achieved convergence measure (method-specific).
+        residual: f64,
+        /// The tolerance that was requested.
+        tolerance: f64,
+    },
+    /// The solver cannot handle this problem shape (e.g. a structured
+    /// solver given pads below the top tier).
+    Unsupported {
+        /// Human-readable description.
+        what: String,
+    },
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverError::Sparse(e) => write!(f, "sparse kernel failure: {e}"),
+            SolverError::Grid(e) => write!(f, "grid model failure: {e}"),
+            SolverError::DidNotConverge {
+                iterations,
+                residual,
+                tolerance,
+            } => write!(
+                f,
+                "did not converge in {iterations} iterations \
+                 (best {residual:.3e}, target {tolerance:.3e})"
+            ),
+            SolverError::Unsupported { what } => write!(f, "unsupported problem: {what}"),
+        }
+    }
+}
+
+impl Error for SolverError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SolverError::Sparse(e) => Some(e),
+            SolverError::Grid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SparseError> for SolverError {
+    fn from(e: SparseError) -> Self {
+        SolverError::Sparse(e)
+    }
+}
+
+impl From<GridError> for SolverError {
+    fn from(e: GridError) -> Self {
+        SolverError::Grid(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = SolverError::from(SparseError::NotSymmetric);
+        assert!(e.to_string().contains("sparse"));
+        assert!(e.source().is_some());
+
+        let e = SolverError::from(GridError::NoPads);
+        assert!(e.source().is_some());
+
+        let e = SolverError::DidNotConverge {
+            iterations: 10,
+            residual: 1e-3,
+            tolerance: 1e-6,
+        };
+        assert!(e.to_string().contains("10"));
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,68 @@
+//! Baseline power grid solvers.
+//!
+//! The voltage propagation paper compares against three families of
+//! methods, all provided here:
+//!
+//! * **Direct** — [`DirectCholesky`], the SPICE stand-in: one sparse
+//!   Cholesky factorization of the MNA system.
+//! * **Krylov** — [`ConjugateGradient`] and [`Pcg`] with pluggable
+//!   preconditioners ([`PrecondKind`]: Jacobi, IC(0), SSOR, aggregation
+//!   AMG), the paper's main comparator (refs [6], [12]).
+//! * **Stationary** — [`relax`] (point Jacobi / Gauss–Seidel / SOR), the
+//!   structured [`RowBased`] method of Zhong & Wong (ref [5]) that the VP
+//!   algorithm builds on, and [`Rb3d`], the naive extension of row-based
+//!   iteration to 3-D whose convergence collapses when TSVs are strong
+//!   (the paper's §III-A motivation).
+//! * **Stochastic** — [`RandomWalkSolver`] (ref [4]), including the walk
+//!   length statistics that expose the "trapped in TSVs" pathology.
+//!
+//! Matrix-based solvers implement [`LinearSolver`]; every `LinearSolver`
+//! automatically solves whole stacks through [`StackSolver`] by stamping
+//! the MNA system first. Structured solvers ([`Rb3d`],
+//! [`RandomWalkSolver`]) implement [`StackSolver`] directly.
+//!
+//! # Example
+//!
+//! ```
+//! use voltprop_grid::{Stack3d, NetKind};
+//! use voltprop_solvers::{DirectCholesky, Pcg, StackSolver};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let stack = Stack3d::builder(8, 8, 3).uniform_load(1e-4).build()?;
+//! let exact = DirectCholesky::new().solve_stack(&stack, NetKind::Power)?;
+//! let pcg = Pcg::default().solve_stack(&stack, NetKind::Power)?;
+//! let err = voltprop_solvers::residual::max_abs_error(
+//!     &exact.voltages, &pcg.voltages);
+//! assert!(err < 5e-4, "PCG within the paper's 0.5 mV budget");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod amg;
+mod cg;
+mod direct;
+mod error;
+mod pcg;
+mod precond;
+pub mod random_walk;
+pub mod rb3d;
+pub mod relax;
+mod report;
+pub mod residual;
+pub mod rowbased;
+mod traits;
+
+pub use amg::AmgHierarchy;
+pub use cg::ConjugateGradient;
+pub use direct::DirectCholesky;
+pub use error::SolverError;
+pub use pcg::Pcg;
+pub use precond::{Preconditioner, PrecondKind};
+pub use random_walk::RandomWalkSolver;
+pub use rb3d::Rb3d;
+pub use report::SolveReport;
+pub use rowbased::{RowBased, TierProblem};
+pub use traits::{LinearSolver, Solution, StackSolution, StackSolver};

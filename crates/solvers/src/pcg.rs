@@ -1,0 +1,221 @@
+use crate::{LinearSolver, PrecondKind, Solution, SolveReport, SolverError};
+use voltprop_sparse::{vec_ops, CsrMatrix};
+
+/// Preconditioned conjugate gradients — the paper's comparator (refs [6],
+/// [12]).
+///
+/// Defaults: IC(0) preconditioner, relative residual `1e-8` (which lands
+/// node voltages well inside the paper's 0.5 mV accuracy budget on the
+/// benchmark grids), iteration budget 50 000.
+///
+/// # Example
+///
+/// ```
+/// use voltprop_grid::{Stack3d, NetKind};
+/// use voltprop_solvers::{Pcg, PrecondKind, StackSolver};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let stack = Stack3d::builder(8, 8, 3).uniform_load(1e-4).build()?;
+/// let sol = Pcg::with_preconditioner(PrecondKind::Amg)
+///     .solve_stack(&stack, NetKind::Power)?;
+/// assert!(sol.report.converged);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Pcg {
+    /// Preconditioner selection.
+    pub preconditioner: PrecondKind,
+    /// Relative residual target ‖b − Ax‖₂ / ‖b‖₂.
+    pub tolerance: f64,
+    /// Iteration budget.
+    pub max_iterations: usize,
+}
+
+impl Default for Pcg {
+    fn default() -> Self {
+        Pcg {
+            preconditioner: PrecondKind::Ic0,
+            tolerance: 1e-8,
+            max_iterations: 50_000,
+        }
+    }
+}
+
+impl Pcg {
+    /// PCG with an explicit preconditioner and default tolerances.
+    pub fn with_preconditioner(kind: PrecondKind) -> Self {
+        Pcg {
+            preconditioner: kind,
+            ..Default::default()
+        }
+    }
+
+    /// Overrides the relative residual tolerance.
+    pub fn tolerance(mut self, tol: f64) -> Self {
+        self.tolerance = tol;
+        self
+    }
+}
+
+impl LinearSolver for Pcg {
+    fn solve(&self, a: &CsrMatrix, b: &[f64]) -> Result<Solution, SolverError> {
+        let n = b.len();
+        let bnorm = vec_ops::norm2(b);
+        let m = self.preconditioner.build(a)?;
+        if bnorm == 0.0 {
+            return Ok(Solution {
+                x: vec![0.0; n],
+                report: SolveReport {
+                    iterations: 0,
+                    residual: 0.0,
+                    converged: true,
+                    workspace_bytes: 5 * n * 8 + m.memory_bytes(),
+                },
+            });
+        }
+        let mut x = vec![0.0; n];
+        let mut r = b.to_vec();
+        let mut z = vec![0.0; n];
+        m.apply_into(&r, &mut z);
+        let mut p = z.clone();
+        let mut ap = vec![0.0; n];
+        let mut rz = vec_ops::dot(&r, &z);
+        let target = self.tolerance * bnorm;
+        let mut iterations = 0;
+        let mut rnorm = bnorm;
+        while iterations < self.max_iterations {
+            if rnorm <= target {
+                break;
+            }
+            a.spmv(&p, &mut ap);
+            let pap = vec_ops::dot(&p, &ap);
+            if pap <= 0.0 {
+                return Err(SolverError::Sparse(
+                    voltprop_sparse::SparseError::NotPositiveDefinite { column: iterations },
+                ));
+            }
+            let alpha = rz / pap;
+            vec_ops::axpy(alpha, &p, &mut x);
+            vec_ops::axpy(-alpha, &ap, &mut r);
+            rnorm = vec_ops::norm2(&r);
+            m.apply_into(&r, &mut z);
+            let rz_new = vec_ops::dot(&r, &z);
+            vec_ops::xpby(&z, rz_new / rz, &mut p);
+            rz = rz_new;
+            iterations += 1;
+        }
+        let residual = rnorm / bnorm;
+        if residual > self.tolerance {
+            return Err(SolverError::DidNotConverge {
+                iterations,
+                residual,
+                tolerance: self.tolerance,
+            });
+        }
+        Ok(Solution {
+            x,
+            report: SolveReport {
+                iterations,
+                residual,
+                converged: true,
+                workspace_bytes: 5 * n * 8 + m.memory_bytes(),
+            },
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        match self.preconditioner {
+            PrecondKind::Jacobi => "pcg-jacobi",
+            PrecondKind::Ic0 => "pcg-ic0",
+            PrecondKind::Ssor(_) => "pcg-ssor",
+            PrecondKind::Amg => "pcg-amg",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DirectCholesky, StackSolver};
+    use voltprop_grid::{NetKind, Stack3d};
+
+    fn bench_stack() -> Stack3d {
+        Stack3d::builder(12, 12, 3)
+            .load_profile(
+                voltprop_grid::LoadProfile::UniformRandom { min: 1e-5, max: 1e-3 },
+                3,
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn all_preconditioners_agree_with_direct() {
+        let stack = bench_stack();
+        let exact = DirectCholesky::new()
+            .solve_stack(&stack, NetKind::Power)
+            .unwrap();
+        for kind in [
+            PrecondKind::Jacobi,
+            PrecondKind::Ic0,
+            PrecondKind::Ssor(1.5),
+            PrecondKind::Amg,
+        ] {
+            let sol = Pcg::with_preconditioner(kind)
+                .solve_stack(&stack, NetKind::Power)
+                .unwrap();
+            let err = crate::residual::max_abs_error(&exact.voltages, &sol.voltages);
+            assert!(err < 5e-4, "{}: max error {err}", kind.name());
+        }
+    }
+
+    #[test]
+    fn ic0_beats_jacobi_iterations() {
+        let stack = bench_stack();
+        let sys = stack.stamp(NetKind::Power).unwrap();
+        let jacobi = Pcg::with_preconditioner(PrecondKind::Jacobi)
+            .solve(sys.matrix(), sys.rhs())
+            .unwrap();
+        let ic0 = Pcg::with_preconditioner(PrecondKind::Ic0)
+            .solve(sys.matrix(), sys.rhs())
+            .unwrap();
+        assert!(
+            ic0.report.iterations < jacobi.report.iterations,
+            "IC(0) {} vs Jacobi {}",
+            ic0.report.iterations,
+            jacobi.report.iterations
+        );
+    }
+
+    #[test]
+    fn zero_rhs_short_circuits() {
+        let stack = Stack3d::builder(4, 4, 2).build().unwrap();
+        let sys = stack.stamp(NetKind::Power).unwrap();
+        // Zero loads → rhs is pad injections only; build a real zero rhs.
+        let zero = vec![0.0; sys.dim()];
+        let sol = Pcg::default().solve(sys.matrix(), &zero).unwrap();
+        assert_eq!(sol.report.iterations, 0);
+    }
+
+    #[test]
+    fn names_reflect_preconditioner() {
+        assert_eq!(Pcg::with_preconditioner(PrecondKind::Amg).name(), "pcg-amg");
+        assert_eq!(Pcg::default().name(), "pcg-ic0");
+    }
+
+    #[test]
+    fn budget_exhaustion_is_error() {
+        let stack = bench_stack();
+        let sys = stack.stamp(NetKind::Power).unwrap();
+        let tight = Pcg {
+            preconditioner: PrecondKind::Jacobi,
+            tolerance: 1e-13,
+            max_iterations: 1,
+        };
+        assert!(matches!(
+            tight.solve(sys.matrix(), sys.rhs()),
+            Err(SolverError::DidNotConverge { .. })
+        ));
+    }
+}

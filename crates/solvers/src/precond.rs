@@ -1,0 +1,306 @@
+use crate::SolverError;
+use voltprop_sparse::{CsrMatrix, IncompleteCholesky};
+
+/// A symmetric positive definite preconditioner: applies `z = M⁻¹ r`.
+pub trait Preconditioner {
+    /// Applies the preconditioner, writing into `z`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `r.len()` or `z.len()` differ from the
+    /// dimension the preconditioner was built for.
+    fn apply_into(&self, r: &[f64], z: &mut [f64]);
+
+    /// Estimated heap footprint in bytes.
+    fn memory_bytes(&self) -> usize;
+
+    /// Short name for tables and logs.
+    fn name(&self) -> &'static str;
+}
+
+/// Preconditioner selection for [`Pcg`](crate::Pcg).
+///
+/// `Ic0` is the default and stands in for the multigrid preconditioner of
+/// the paper's PCG comparator; `Amg` is the closest structural match to it;
+/// `Jacobi` and `Ssor` are cheap ablation baselines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PrecondKind {
+    /// Diagonal (Jacobi) scaling.
+    Jacobi,
+    /// Zero-fill incomplete Cholesky.
+    Ic0,
+    /// Symmetric successive over-relaxation with factor `omega ∈ (0, 2)`.
+    Ssor(f64),
+    /// Pairwise-aggregation algebraic multigrid V-cycle.
+    Amg,
+}
+
+impl PrecondKind {
+    /// Builds the preconditioner for a matrix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates factorization failures ([`SolverError::Sparse`]) and
+    /// rejects SSOR factors outside `(0, 2)` as
+    /// [`SolverError::Unsupported`].
+    pub fn build(&self, a: &CsrMatrix) -> Result<Box<dyn Preconditioner>, SolverError> {
+        match *self {
+            PrecondKind::Jacobi => Ok(Box::new(JacobiPrecond::new(a)?)),
+            PrecondKind::Ic0 => Ok(Box::new(Ic0Precond::new(a)?)),
+            PrecondKind::Ssor(omega) => {
+                if !(0.0 < omega && omega < 2.0) {
+                    return Err(SolverError::Unsupported {
+                        what: format!("SSOR omega {omega} outside (0, 2)"),
+                    });
+                }
+                Ok(Box::new(SsorPrecond::new(a, omega)?))
+            }
+            PrecondKind::Amg => Ok(Box::new(crate::AmgHierarchy::build(a)?)),
+        }
+    }
+
+    /// Short name for tables and logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PrecondKind::Jacobi => "jacobi",
+            PrecondKind::Ic0 => "ic0",
+            PrecondKind::Ssor(_) => "ssor",
+            PrecondKind::Amg => "amg",
+        }
+    }
+}
+
+/// Diagonal scaling.
+#[derive(Debug, Clone)]
+pub(crate) struct JacobiPrecond {
+    inv_diag: Vec<f64>,
+}
+
+impl JacobiPrecond {
+    pub(crate) fn new(a: &CsrMatrix) -> Result<Self, SolverError> {
+        let diag = a.diag();
+        let mut inv_diag = Vec::with_capacity(diag.len());
+        for (i, d) in diag.iter().enumerate() {
+            if *d <= 0.0 {
+                return Err(SolverError::Sparse(
+                    voltprop_sparse::SparseError::NotPositiveDefinite { column: i },
+                ));
+            }
+            inv_diag.push(1.0 / d);
+        }
+        Ok(JacobiPrecond { inv_diag })
+    }
+}
+
+impl Preconditioner for JacobiPrecond {
+    fn apply_into(&self, r: &[f64], z: &mut [f64]) {
+        for i in 0..r.len() {
+            z[i] = r[i] * self.inv_diag[i];
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.inv_diag.len() * 8
+    }
+
+    fn name(&self) -> &'static str {
+        "jacobi"
+    }
+}
+
+/// IC(0) wrapper.
+#[derive(Debug, Clone)]
+pub(crate) struct Ic0Precond {
+    ic: IncompleteCholesky,
+}
+
+impl Ic0Precond {
+    pub(crate) fn new(a: &CsrMatrix) -> Result<Self, SolverError> {
+        Ok(Ic0Precond {
+            ic: IncompleteCholesky::new(a)?,
+        })
+    }
+}
+
+impl Preconditioner for Ic0Precond {
+    fn apply_into(&self, r: &[f64], z: &mut [f64]) {
+        z.copy_from_slice(r);
+        self.ic.solve_in_place(z);
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.ic.memory_bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        "ic0"
+    }
+}
+
+/// SSOR preconditioner `M = (D/ω + L) (D/ω)⁻¹ (D/ω + U)` (up to a constant
+/// factor, which PCG is invariant to).
+#[derive(Debug, Clone)]
+pub(crate) struct SsorPrecond {
+    a: CsrMatrix,
+    diag: Vec<f64>,
+    omega: f64,
+}
+
+impl SsorPrecond {
+    pub(crate) fn new(a: &CsrMatrix, omega: f64) -> Result<Self, SolverError> {
+        let diag = a.diag();
+        for (i, d) in diag.iter().enumerate() {
+            if *d <= 0.0 {
+                return Err(SolverError::Sparse(
+                    voltprop_sparse::SparseError::NotPositiveDefinite { column: i },
+                ));
+            }
+        }
+        Ok(SsorPrecond {
+            a: a.clone(),
+            diag,
+            omega,
+        })
+    }
+}
+
+impl Preconditioner for SsorPrecond {
+    fn apply_into(&self, r: &[f64], z: &mut [f64]) {
+        let n = r.len();
+        let w = self.omega;
+        // Forward: (D/ω + L) y = r.
+        for i in 0..n {
+            let (cols, vals) = self.a.row(i);
+            let mut acc = r[i];
+            for (c, v) in cols.iter().zip(vals) {
+                let j = *c as usize;
+                if j < i {
+                    acc -= v * z[j];
+                }
+            }
+            z[i] = acc * w / self.diag[i];
+        }
+        // Scale by D/ω.
+        for i in 0..n {
+            z[i] *= self.diag[i] / w;
+        }
+        // Backward: (D/ω + U) z = y.
+        for i in (0..n).rev() {
+            let (cols, vals) = self.a.row(i);
+            let mut acc = z[i];
+            for (c, v) in cols.iter().zip(vals) {
+                let j = *c as usize;
+                if j > i {
+                    acc -= v * z[j];
+                }
+            }
+            z[i] = acc * w / self.diag[i];
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.a.memory_bytes() + self.diag.len() * 8
+    }
+
+    fn name(&self) -> &'static str {
+        "ssor"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voltprop_sparse::TripletMatrix;
+
+    fn spd(n_side: usize) -> CsrMatrix {
+        let n = n_side * n_side;
+        let mut t = TripletMatrix::new(n, n);
+        let id = |x: usize, y: usize| y * n_side + x;
+        for y in 0..n_side {
+            for x in 0..n_side {
+                if x + 1 < n_side {
+                    t.stamp_conductance(id(x, y), id(x + 1, y), 1.0);
+                }
+                if y + 1 < n_side {
+                    t.stamp_conductance(id(x, y), id(x, y + 1), 1.0);
+                }
+            }
+        }
+        t.stamp_to_ground(0, 2.0);
+        t.to_csr()
+    }
+
+    /// An SPD preconditioner must yield positive rᵀz and be symmetric:
+    /// u·M⁻¹v == v·M⁻¹u.
+    fn check_spd(p: &dyn Preconditioner, n: usize) {
+        let u: Vec<f64> = (0..n).map(|i| ((i * 13 % 7) as f64) - 3.0).collect();
+        let v: Vec<f64> = (0..n).map(|i| ((i * 5 % 11) as f64) - 5.0).collect();
+        let mut mu = vec![0.0; n];
+        let mut mv = vec![0.0; n];
+        p.apply_into(&u, &mut mu);
+        p.apply_into(&v, &mut mv);
+        let uv: f64 = u.iter().zip(&mv).map(|(a, b)| a * b).sum();
+        let vu: f64 = v.iter().zip(&mu).map(|(a, b)| a * b).sum();
+        assert!(
+            (uv - vu).abs() <= 1e-9 * uv.abs().max(vu.abs()).max(1.0),
+            "{}: asymmetric preconditioner ({uv} vs {vu})",
+            p.name()
+        );
+        let mut mu2 = vec![0.0; n];
+        p.apply_into(&u, &mut mu2);
+        assert_eq!(mu, mu2, "{}: apply must be deterministic", p.name());
+        let quad: f64 = u.iter().zip(&mu).map(|(a, b)| a * b).sum();
+        assert!(quad > 0.0, "{}: not positive definite", p.name());
+    }
+
+    #[test]
+    fn all_kinds_build_and_are_spd() {
+        let a = spd(6);
+        for kind in [
+            PrecondKind::Jacobi,
+            PrecondKind::Ic0,
+            PrecondKind::Ssor(1.2),
+            PrecondKind::Amg,
+        ] {
+            let p = kind.build(&a).unwrap();
+            check_spd(p.as_ref(), a.nrows());
+            assert!(p.memory_bytes() > 0);
+            assert_eq!(p.name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn jacobi_is_exact_on_diagonal_matrix() {
+        let mut t = TripletMatrix::new(3, 3);
+        t.push(0, 0, 2.0);
+        t.push(1, 1, 4.0);
+        t.push(2, 2, 5.0);
+        let p = PrecondKind::Jacobi.build(&t.to_csr()).unwrap();
+        let mut z = vec![0.0; 3];
+        p.apply_into(&[2.0, 4.0, 5.0], &mut z);
+        assert_eq!(z, vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn ssor_rejects_bad_omega() {
+        let a = spd(3);
+        assert!(matches!(
+            PrecondKind::Ssor(2.5).build(&a),
+            Err(SolverError::Unsupported { .. })
+        ));
+        assert!(matches!(
+            PrecondKind::Ssor(0.0).build(&a),
+            Err(SolverError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn nonpositive_diagonal_rejected() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(1, 1, -1.0);
+        let a = t.to_csr();
+        assert!(PrecondKind::Jacobi.build(&a).is_err());
+        assert!(PrecondKind::Ssor(1.0).build(&a).is_err());
+    }
+}

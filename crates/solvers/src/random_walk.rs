@@ -1,0 +1,334 @@
+//! Random-walk power grid analysis (Qian, Nassif, Sapatnekar — paper
+//! ref [4]).
+//!
+//! A node's voltage satisfies `V_u = Σ (g_un / G_u) V_n + I_u / G_u`, the
+//! expectation of a random walk that moves to neighbour `n` with
+//! probability `g_un / G_u`, collects `I_u / G_u` at every visit, and is
+//! absorbed at pads (voltage sources). The method shines for single-node
+//! queries but needs thousands of walks per node for millivolt accuracy —
+//! and on 3-D grids the low-resistance TSV pillars act as near-perfect
+//! conduits that walks shuttle through, inflating walk lengths (the
+//! "trapped in the TSVs" pathology of the paper's §I–II, reproduced by
+//! experiment E3).
+
+use crate::{SolveReport, SolverError, StackSolution, StackSolver};
+use rand::Rng;
+use rand::SeedableRng;
+use voltprop_grid::{NetKind, Stack3d};
+
+/// Outcome of estimating a single node's voltage by random walks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WalkEstimate {
+    /// Estimated node voltage (V).
+    pub volts: f64,
+    /// Standard error of the estimate (V).
+    pub std_error: f64,
+    /// Completed (absorbed) walks.
+    pub walks: usize,
+    /// Mean steps per completed walk.
+    pub mean_steps: f64,
+    /// Walks abandoned at the step cap — the trap indicator.
+    pub trapped: usize,
+}
+
+/// Monte-Carlo random-walk solver.
+///
+/// # Example
+///
+/// ```
+/// use voltprop_grid::{Stack3d, NetKind};
+/// use voltprop_solvers::RandomWalkSolver;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let stack = Stack3d::builder(6, 6, 1).uniform_load(1e-4).build()?;
+/// let rw = RandomWalkSolver::new(2000, 7);
+/// let est = rw.estimate_node(&stack, NetKind::Power, 0, 1, 1)?;
+/// assert!(est.volts <= 1.8 + 5e-3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct RandomWalkSolver {
+    /// Walks launched per node.
+    pub walks_per_node: usize,
+    /// Step cap per walk; a walk hitting the cap counts as *trapped*.
+    pub max_steps: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RandomWalkSolver {
+    /// A solver with the given number of walks per node and seed
+    /// (step cap 1 000 000).
+    pub fn new(walks_per_node: usize, seed: u64) -> Self {
+        RandomWalkSolver {
+            walks_per_node,
+            max_steps: 1_000_000,
+            seed,
+        }
+    }
+
+    /// Estimates the voltage at node `(tier, x, y)`.
+    ///
+    /// # Errors
+    ///
+    /// * [`SolverError::Unsupported`] if the coordinate is out of range or
+    ///   `walks_per_node == 0`.
+    /// * [`SolverError::DidNotConverge`] if *every* walk hit the step cap
+    ///   (hopelessly trapped).
+    pub fn estimate_node(
+        &self,
+        stack: &Stack3d,
+        net: NetKind,
+        tier: usize,
+        x: usize,
+        y: usize,
+    ) -> Result<WalkEstimate, SolverError> {
+        if tier >= stack.tiers() || x >= stack.width() || y >= stack.height() {
+            return Err(SolverError::Unsupported {
+                what: format!("node ({tier}, {x}, {y}) outside the stack"),
+            });
+        }
+        if self.walks_per_node == 0 {
+            return Err(SolverError::Unsupported {
+                what: "walks_per_node must be positive".into(),
+            });
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(
+            self.seed ^ ((tier as u64) << 40 | (x as u64) << 20 | y as u64),
+        );
+        let rail = match net {
+            NetKind::Power => stack.vdd(),
+            NetKind::Ground => 0.0,
+        };
+        let load_sign = match net {
+            NetKind::Power => -1.0,
+            NetKind::Ground => 1.0,
+        };
+        let (w, h, tiers) = (stack.width(), stack.height(), stack.tiers());
+        let top = tiers - 1;
+        let g_tsv = 1.0 / stack.tsv_resistance();
+        let ideal_pads = stack.pad_resistance() == 0.0;
+        let g_pad = if ideal_pads {
+            0.0
+        } else {
+            1.0 / stack.pad_resistance()
+        };
+
+        let mut sum = 0.0f64;
+        let mut sum_sq = 0.0f64;
+        let mut total_steps = 0usize;
+        let mut completed = 0usize;
+        let mut trapped = 0usize;
+
+        // Neighbour scratch: (tier, x, y, conductance); index 6 = rail.
+        let mut neigh: Vec<(usize, usize, usize, f64)> = Vec::with_capacity(7);
+        for _ in 0..self.walks_per_node {
+            let (mut t, mut cx, mut cy) = (tier, x, y);
+            let mut gain = 0.0f64;
+            let mut steps = 0usize;
+            let absorbed = loop {
+                if t == top && ideal_pads && stack.is_pad(cx, cy) {
+                    break Some(rail);
+                }
+                if steps >= self.max_steps {
+                    break None;
+                }
+                let gh = 1.0 / stack.r_horizontal(t);
+                let gv = 1.0 / stack.r_vertical(t);
+                neigh.clear();
+                if cx > 0 {
+                    neigh.push((t, cx - 1, cy, gh));
+                }
+                if cx + 1 < w {
+                    neigh.push((t, cx + 1, cy, gh));
+                }
+                if cy > 0 {
+                    neigh.push((t, cx, cy - 1, gv));
+                }
+                if cy + 1 < h {
+                    neigh.push((t, cx, cy + 1, gv));
+                }
+                if stack.is_tsv(cx, cy) {
+                    if t > 0 {
+                        neigh.push((t - 1, cx, cy, g_tsv));
+                    }
+                    if t < top {
+                        neigh.push((t + 1, cx, cy, g_tsv));
+                    }
+                }
+                let has_rail_exit = t == top && !ideal_pads && stack.is_pad(cx, cy);
+                let g_total: f64 =
+                    neigh.iter().map(|&(_, _, _, g)| g).sum::<f64>() + if has_rail_exit { g_pad } else { 0.0 };
+                gain += load_sign * stack.load(t, cx, cy) / g_total;
+                let mut pick = rng.gen_range(0.0..g_total);
+                let mut moved = false;
+                for &(nt, nx, ny, g) in &neigh {
+                    if pick < g {
+                        t = nt;
+                        cx = nx;
+                        cy = ny;
+                        moved = true;
+                        break;
+                    }
+                    pick -= g;
+                }
+                if !moved {
+                    // Fell through to the rail exit.
+                    break Some(rail);
+                }
+                steps += 1;
+            };
+            match absorbed {
+                Some(v) => {
+                    let est = gain + v;
+                    sum += est;
+                    sum_sq += est * est;
+                    total_steps += steps;
+                    completed += 1;
+                }
+                None => trapped += 1,
+            }
+        }
+        if completed == 0 {
+            return Err(SolverError::DidNotConverge {
+                iterations: self.walks_per_node,
+                residual: f64::INFINITY,
+                tolerance: 0.0,
+            });
+        }
+        let mean = sum / completed as f64;
+        let var = (sum_sq / completed as f64 - mean * mean).max(0.0);
+        Ok(WalkEstimate {
+            volts: mean,
+            std_error: (var / completed as f64).sqrt(),
+            walks: completed,
+            mean_steps: total_steps as f64 / completed as f64,
+            trapped,
+        })
+    }
+}
+
+impl StackSolver for RandomWalkSolver {
+    /// Estimates **every** node by independent walks. Cost is
+    /// `O(nodes × walks × walk length)` — usable for small stacks and the
+    /// trap experiments, not for the Table-I sizes (which is the paper's
+    /// point about this method).
+    fn solve_stack(&self, stack: &Stack3d, net: NetKind) -> Result<StackSolution, SolverError> {
+        let mut v = vec![0.0; stack.num_nodes()];
+        let mut total_walk_steps = 0.0f64;
+        let mut worst_err = 0.0f64;
+        for t in 0..stack.tiers() {
+            for y in 0..stack.height() {
+                for x in 0..stack.width() {
+                    let est = self.estimate_node(stack, net, t, x, y)?;
+                    v[stack.node_index(t, x, y)] = est.volts;
+                    total_walk_steps += est.mean_steps * est.walks as f64;
+                    worst_err = worst_err.max(est.std_error);
+                }
+            }
+        }
+        Ok(StackSolution {
+            voltages: v,
+            report: SolveReport {
+                iterations: total_walk_steps as usize,
+                residual: worst_err,
+                converged: true,
+                workspace_bytes: stack.num_nodes() * 8,
+            },
+        })
+    }
+
+    fn solver_name(&self) -> &'static str {
+        "random-walk"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DirectCholesky, StackSolver};
+
+    #[test]
+    fn pad_node_is_exact() {
+        let s = Stack3d::builder(4, 4, 2).uniform_load(1e-4).build().unwrap();
+        let rw = RandomWalkSolver::new(10, 3);
+        let est = rw.estimate_node(&s, NetKind::Power, 1, 0, 0).unwrap();
+        assert!((est.volts - 1.8).abs() < 1e-12);
+        assert_eq!(est.mean_steps, 0.0);
+    }
+
+    #[test]
+    fn estimate_matches_direct_within_noise() {
+        let s = Stack3d::builder(5, 5, 1).uniform_load(2e-4).build().unwrap();
+        let exact = DirectCholesky::new().solve_stack(&s, NetKind::Power).unwrap();
+        let rw = RandomWalkSolver::new(4000, 42);
+        let est = rw.estimate_node(&s, NetKind::Power, 0, 1, 1).unwrap();
+        let truth = exact.voltages[s.node_index(0, 1, 1)];
+        assert!(
+            (est.volts - truth).abs() < 5e-3_f64.max(4.0 * est.std_error),
+            "estimate {} vs direct {truth} (stderr {})",
+            est.volts,
+            est.std_error
+        );
+    }
+
+    #[test]
+    fn walks_get_longer_with_tiers() {
+        // The §II-A claim: TSVs lengthen walks. Compare the same footprint
+        // with 1 vs 3 tiers, querying the bottom tier.
+        let footprint = 8;
+        let flat = Stack3d::builder(footprint, footprint, 1)
+            .uniform_load(1e-4)
+            .build()
+            .unwrap();
+        let stacked = Stack3d::builder(footprint, footprint, 3)
+            .uniform_load(1e-4)
+            .build()
+            .unwrap();
+        let rw = RandomWalkSolver::new(500, 9);
+        let e_flat = rw.estimate_node(&flat, NetKind::Power, 0, 3, 3).unwrap();
+        let e_stack = rw.estimate_node(&stacked, NetKind::Power, 0, 3, 3).unwrap();
+        assert!(
+            e_stack.mean_steps > 1.5 * e_flat.mean_steps,
+            "3-tier walks ({}) should far exceed planar walks ({})",
+            e_stack.mean_steps,
+            e_flat.mean_steps
+        );
+    }
+
+    #[test]
+    fn step_cap_counts_trapped_walks() {
+        let s = Stack3d::builder(8, 8, 3).uniform_load(1e-4).build().unwrap();
+        let rw = RandomWalkSolver {
+            walks_per_node: 50,
+            max_steps: 2, // absurdly tight: nearly everything traps
+            seed: 5,
+        };
+        match rw.estimate_node(&s, NetKind::Power, 0, 3, 3) {
+            Ok(est) => assert!(est.trapped > 0),
+            Err(SolverError::DidNotConverge { .. }) => {} // all trapped
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_node_rejected() {
+        let s = Stack3d::builder(4, 4, 1).build().unwrap();
+        assert!(matches!(
+            RandomWalkSolver::new(10, 0).estimate_node(&s, NetKind::Power, 3, 0, 0),
+            Err(SolverError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn full_solve_on_tiny_grid() {
+        let s = Stack3d::builder(3, 3, 1).uniform_load(1e-4).build().unwrap();
+        let exact = DirectCholesky::new().solve_stack(&s, NetKind::Power).unwrap();
+        let sol = RandomWalkSolver::new(3000, 11)
+            .solve_stack(&s, NetKind::Power)
+            .unwrap();
+        let err = crate::residual::max_abs_error(&exact.voltages, &sol.voltages);
+        assert!(err < 1e-2, "max error {err}");
+    }
+}

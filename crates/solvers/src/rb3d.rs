@@ -1,0 +1,293 @@
+//! Naive extension of the row-based method to 3-D stacks.
+//!
+//! This is the strawman the paper argues against in §III-A: treat the 3-D
+//! grid as one big block Gauss–Seidel iteration whose blocks are the grid
+//! rows of every tier, with TSV conductances coupling tiers like ordinary
+//! neighbours. Because a TSV's conductance (1/0.05 Ω = 20 S) dwarfs the
+//! wire conductances, the iteration matrix loses diagonal dominance margin
+//! and the sweep count explodes as R_TSV shrinks — exactly the behaviour
+//! benchmarked in experiment E4.
+
+use crate::rowbased::{RbWorkspace, RowBased, TierProblem};
+use crate::{SolveReport, SolverError, StackSolution, StackSolver};
+use voltprop_grid::{NetKind, Stack3d};
+
+/// The naive 3-D row-based solver (paper §III-A baseline).
+///
+/// # Example
+///
+/// ```
+/// use voltprop_grid::{Stack3d, NetKind};
+/// use voltprop_solvers::{Rb3d, StackSolver};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let stack = Stack3d::builder(6, 6, 3).uniform_load(1e-4).build()?;
+/// let sol = Rb3d::default().solve_stack(&stack, NetKind::Power)?;
+/// assert!(sol.report.converged);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Rb3d {
+    /// Over-relaxation factor for the row sweeps.
+    pub omega: f64,
+    /// Convergence threshold on the largest global voltage update (V).
+    pub tolerance: f64,
+    /// Budget of full-stack iterations (each is one sweep of every tier).
+    pub max_iterations: usize,
+}
+
+impl Default for Rb3d {
+    fn default() -> Self {
+        Rb3d {
+            omega: 1.0,
+            tolerance: 1e-7,
+            max_iterations: 200_000,
+        }
+    }
+}
+
+impl Rb3d {
+    /// Naive 3-D RB with an explicit SOR factor.
+    pub fn with_omega(omega: f64) -> Self {
+        Rb3d {
+            omega,
+            ..Default::default()
+        }
+    }
+}
+
+impl StackSolver for Rb3d {
+    fn solve_stack(&self, stack: &Stack3d, net: NetKind) -> Result<StackSolution, SolverError> {
+        stack.validate()?;
+        let (w, h, tiers) = (stack.width(), stack.height(), stack.tiers());
+        let per_tier = w * h;
+        let top = tiers - 1;
+        let rail = match net {
+            NetKind::Power => stack.vdd(),
+            NetKind::Ground => 0.0,
+        };
+        let load_sign = match net {
+            NetKind::Power => -1.0,
+            NetKind::Ground => 1.0,
+        };
+        let g_tsv = 1.0 / stack.tsv_resistance();
+        let ideal_pads = stack.pad_resistance() == 0.0;
+        let g_pad = if ideal_pads {
+            0.0
+        } else {
+            1.0 / stack.pad_resistance()
+        };
+
+        // Initial guess: flat rail voltage (pads already at their value).
+        let mut v = vec![rail; per_tier * tiers];
+
+        // Per-tier static data.
+        let mut fixed = vec![vec![false; per_tier]; tiers];
+        let mut extra = vec![vec![0.0f64; per_tier]; tiers];
+        for y in 0..h {
+            for x in 0..w {
+                let site = y * w + x;
+                if stack.is_tsv(x, y) {
+                    for (t, e) in extra.iter_mut().enumerate() {
+                        let mut g = 0.0;
+                        if t > 0 {
+                            g += g_tsv;
+                        }
+                        if t < top {
+                            g += g_tsv;
+                        }
+                        e[site] += g;
+                    }
+                }
+                if stack.is_pad(x, y) {
+                    if ideal_pads {
+                        fixed[top][site] = true;
+                    } else {
+                        extra[top][site] += g_pad;
+                    }
+                }
+            }
+        }
+
+        let rb = RowBased {
+            omega: self.omega,
+            tolerance: self.tolerance,
+            max_sweeps: 1,
+            alternate: false,
+        };
+        let mut ws = RbWorkspace::new(w);
+        let mut injection = vec![0.0f64; per_tier];
+        let mut iterations = 0;
+        let mut max_delta = f64::INFINITY;
+        while iterations < self.max_iterations {
+            max_delta = 0.0;
+            let downward = iterations % 2 == 0;
+            for t in 0..tiers {
+                // Build the injection vector for tier t from loads, TSV
+                // coupling to the *current* neighbour-tier voltages, and
+                // resistive-pad rail current.
+                for y in 0..h {
+                    for x in 0..w {
+                        let site = y * w + x;
+                        let node = t * per_tier + site;
+                        let mut b = load_sign * stack.loads()[node];
+                        if stack.is_tsv(x, y) {
+                            if t > 0 {
+                                b += g_tsv * v[node - per_tier];
+                            }
+                            if t < top {
+                                b += g_tsv * v[node + per_tier];
+                            }
+                        }
+                        if t == top && !ideal_pads && stack.is_pad(x, y) {
+                            b += g_pad * rail;
+                        }
+                        injection[site] = b;
+                    }
+                }
+                let problem = TierProblem {
+                    width: w,
+                    height: h,
+                    g_h: 1.0 / stack.r_horizontal(t),
+                    g_v: 1.0 / stack.r_vertical(t),
+                    fixed: &fixed[t],
+                    extra_diag: &extra[t],
+                    injection: &injection,
+                };
+                let tier_v = &mut v[t * per_tier..(t + 1) * per_tier];
+                let delta = rb.sweep_once(&problem, tier_v, &mut ws, downward)?;
+                max_delta = max_delta.max(delta);
+            }
+            iterations += 1;
+            if max_delta < self.tolerance {
+                let workspace_bytes = ws.memory_bytes()
+                    + v.len() * 8
+                    + injection.len() * 8
+                    + tiers * per_tier * 9; // fixed masks + extra diag
+                return Ok(StackSolution {
+                    voltages: v,
+                    report: SolveReport {
+                        iterations,
+                        residual: max_delta,
+                        converged: true,
+                        workspace_bytes,
+                    },
+                });
+            }
+        }
+        Err(SolverError::DidNotConverge {
+            iterations,
+            residual: max_delta,
+            tolerance: self.tolerance,
+        })
+    }
+
+    fn solver_name(&self) -> &'static str {
+        "rb3d-naive"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{residual, DirectCholesky};
+
+    fn stack(r_tsv: f64) -> Stack3d {
+        Stack3d::builder(8, 8, 3)
+            .tsv_resistance(r_tsv)
+            .load_profile(
+                voltprop_grid::LoadProfile::UniformRandom { min: 1e-5, max: 5e-4 },
+                17,
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn agrees_with_direct() {
+        let s = stack(0.05);
+        let exact = DirectCholesky::new().solve_stack(&s, NetKind::Power).unwrap();
+        let rb = Rb3d::default().solve_stack(&s, NetKind::Power).unwrap();
+        let err = residual::max_abs_error(&exact.voltages, &rb.voltages);
+        assert!(err < 5e-4, "max error {err}");
+    }
+
+    /// §III-A: once pads are sparse (most pillar tops are free nodes), the
+    /// barely-dominant TSV rows make the naive iteration shuttle error
+    /// between pillar terminals, and sweeps explode as R_TSV shrinks.
+    /// (With a pad above *every* pillar the effect inverts — strong TSVs
+    /// then anchor the lower tiers — which is exactly why VP pins the TSV
+    /// terminals instead of iterating through them.)
+    #[test]
+    fn strong_tsvs_slow_convergence_with_sparse_pads() {
+        let sparse = |r_tsv: f64| {
+            let mut sites = vec![];
+            for y in (0..12).step_by(6) {
+                for x in (0..12).step_by(6) {
+                    sites.push((x, y));
+                }
+            }
+            Stack3d::builder(12, 12, 3)
+                .wire_resistance(1.0)
+                .tsv_resistance(r_tsv)
+                .pad_sites(sites)
+                .load_profile(
+                    voltprop_grid::LoadProfile::UniformRandom { min: 1e-5, max: 5e-4 },
+                    17,
+                )
+                .build()
+                .unwrap()
+        };
+        let weak = Rb3d::default()
+            .solve_stack(&sparse(1.0), NetKind::Power)
+            .unwrap();
+        let strong = Rb3d::default()
+            .solve_stack(&sparse(0.01), NetKind::Power)
+            .unwrap();
+        assert!(
+            strong.report.iterations > 2 * weak.report.iterations,
+            "strong TSVs {} vs weak {}",
+            strong.report.iterations,
+            weak.report.iterations
+        );
+    }
+
+    #[test]
+    fn resistive_pads_supported() {
+        let s = Stack3d::builder(6, 6, 2)
+            .pad_resistance(0.2)
+            .uniform_load(1e-4)
+            .build()
+            .unwrap();
+        let exact = DirectCholesky::new().solve_stack(&s, NetKind::Power).unwrap();
+        let rb = Rb3d::default().solve_stack(&s, NetKind::Power).unwrap();
+        let err = residual::max_abs_error(
+            &exact.voltages[..s.num_nodes()],
+            &rb.voltages[..s.num_nodes()],
+        );
+        assert!(err < 5e-4, "max error {err}");
+    }
+
+    #[test]
+    fn ground_net_supported() {
+        let s = stack(0.05);
+        let exact = DirectCholesky::new().solve_stack(&s, NetKind::Ground).unwrap();
+        let rb = Rb3d::default().solve_stack(&s, NetKind::Ground).unwrap();
+        let err = residual::max_abs_error(&exact.voltages, &rb.voltages);
+        assert!(err < 5e-4, "max error {err}");
+    }
+
+    #[test]
+    fn budget_exhaustion_is_error() {
+        let solver = Rb3d {
+            max_iterations: 1,
+            tolerance: 1e-14,
+            ..Default::default()
+        };
+        assert!(matches!(
+            solver.solve_stack(&stack(0.05), NetKind::Power),
+            Err(SolverError::DidNotConverge { .. })
+        ));
+    }
+}

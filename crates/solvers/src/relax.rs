@@ -1,0 +1,224 @@
+//! Point relaxation methods: Jacobi, Gauss–Seidel, SOR.
+//!
+//! Kept as reference baselines (paper background §II-B and convergence-rate
+//! discussion §III-A). They implement [`LinearSolver`] over assembled
+//! matrices; the structured row-based variants live in
+//! [`rowbased`](crate::rowbased).
+
+use crate::{LinearSolver, Solution, SolveReport, SolverError};
+use voltprop_sparse::CsrMatrix;
+
+/// Which point-relaxation scheme [`Relaxation`] runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RelaxScheme {
+    /// Simultaneous-displacement Jacobi.
+    Jacobi,
+    /// Gauss–Seidel (SOR with ω = 1).
+    GaussSeidel,
+    /// Successive over-relaxation with factor `ω ∈ (0, 2)`.
+    Sor(f64),
+}
+
+/// A point-relaxation solver.
+///
+/// # Example
+///
+/// ```
+/// use voltprop_solvers::relax::{Relaxation, RelaxScheme};
+/// use voltprop_solvers::LinearSolver;
+/// use voltprop_sparse::TripletMatrix;
+///
+/// # fn main() -> Result<(), voltprop_solvers::SolverError> {
+/// let mut t = TripletMatrix::new(2, 2);
+/// t.stamp_conductance(0, 1, 1.0);
+/// t.stamp_to_ground(0, 1.0);
+/// t.stamp_to_ground(1, 1.0);
+/// let sol = Relaxation::new(RelaxScheme::GaussSeidel).solve(&t.to_csr(), &[1.0, 1.0])?;
+/// assert!(sol.report.converged);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Relaxation {
+    /// The scheme to run.
+    pub scheme: RelaxScheme,
+    /// Convergence threshold on the largest per-sweep update.
+    pub tolerance: f64,
+    /// Sweep budget.
+    pub max_sweeps: usize,
+}
+
+impl Relaxation {
+    /// A relaxation solver with default tolerance `1e-9` and a budget of
+    /// 1 000 000 sweeps.
+    pub fn new(scheme: RelaxScheme) -> Self {
+        Relaxation {
+            scheme,
+            tolerance: 1e-9,
+            max_sweeps: 1_000_000,
+        }
+    }
+}
+
+impl LinearSolver for Relaxation {
+    fn solve(&self, a: &CsrMatrix, b: &[f64]) -> Result<Solution, SolverError> {
+        let n = b.len();
+        let diag = a.diag();
+        for (i, d) in diag.iter().enumerate() {
+            if *d <= 0.0 {
+                return Err(SolverError::Sparse(
+                    voltprop_sparse::SparseError::NotPositiveDefinite { column: i },
+                ));
+            }
+        }
+        if let RelaxScheme::Sor(w) = self.scheme {
+            if !(0.0 < w && w < 2.0) {
+                return Err(SolverError::Unsupported {
+                    what: format!("SOR omega {w} outside (0, 2)"),
+                });
+            }
+        }
+        let mut x = vec![0.0; n];
+        let mut x_next = vec![0.0; n];
+        let mut sweeps = 0;
+        let mut max_delta = f64::INFINITY;
+        while sweeps < self.max_sweeps {
+            max_delta = 0.0;
+            match self.scheme {
+                RelaxScheme::Jacobi => {
+                    for i in 0..n {
+                        let (cols, vals) = a.row(i);
+                        let mut acc = b[i];
+                        for (c, v) in cols.iter().zip(vals) {
+                            let j = *c as usize;
+                            if j != i {
+                                acc -= v * x[j];
+                            }
+                        }
+                        x_next[i] = acc / diag[i];
+                        max_delta = max_delta.max((x_next[i] - x[i]).abs());
+                    }
+                    std::mem::swap(&mut x, &mut x_next);
+                }
+                RelaxScheme::GaussSeidel | RelaxScheme::Sor(_) => {
+                    let omega = match self.scheme {
+                        RelaxScheme::Sor(w) => w,
+                        _ => 1.0,
+                    };
+                    for i in 0..n {
+                        let (cols, vals) = a.row(i);
+                        let mut acc = b[i];
+                        for (c, v) in cols.iter().zip(vals) {
+                            let j = *c as usize;
+                            if j != i {
+                                acc -= v * x[j];
+                            }
+                        }
+                        let gs = acc / diag[i];
+                        let new = x[i] + omega * (gs - x[i]);
+                        max_delta = max_delta.max((new - x[i]).abs());
+                        x[i] = new;
+                    }
+                }
+            }
+            sweeps += 1;
+            if max_delta < self.tolerance {
+                return Ok(Solution {
+                    x,
+                    report: SolveReport {
+                        iterations: sweeps,
+                        residual: max_delta,
+                        converged: true,
+                        workspace_bytes: 2 * n * 8,
+                    },
+                });
+            }
+        }
+        Err(SolverError::DidNotConverge {
+            iterations: sweeps,
+            residual: max_delta,
+            tolerance: self.tolerance,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        match self.scheme {
+            RelaxScheme::Jacobi => "jacobi",
+            RelaxScheme::GaussSeidel => "gauss-seidel",
+            RelaxScheme::Sor(_) => "sor",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DirectCholesky, LinearSolver};
+    use voltprop_sparse::TripletMatrix;
+
+    fn system(n_side: usize) -> (CsrMatrix, Vec<f64>) {
+        let n = n_side * n_side;
+        let mut t = TripletMatrix::new(n, n);
+        let id = |x: usize, y: usize| y * n_side + x;
+        for y in 0..n_side {
+            for x in 0..n_side {
+                if x + 1 < n_side {
+                    t.stamp_conductance(id(x, y), id(x + 1, y), 1.0);
+                }
+                if y + 1 < n_side {
+                    t.stamp_conductance(id(x, y), id(x, y + 1), 1.0);
+                }
+            }
+        }
+        for k in (0..n).step_by(3) {
+            t.stamp_to_ground(k, 0.5);
+        }
+        let b: Vec<f64> = (0..n).map(|i| ((i % 5) as f64) * 0.01).collect();
+        (t.to_csr(), b)
+    }
+
+    #[test]
+    fn all_schemes_agree_with_direct() {
+        let (a, b) = system(8);
+        let exact = DirectCholesky::new().solve(&a, &b).unwrap();
+        for scheme in [
+            RelaxScheme::Jacobi,
+            RelaxScheme::GaussSeidel,
+            RelaxScheme::Sor(1.5),
+        ] {
+            let sol = Relaxation::new(scheme).solve(&a, &b).unwrap();
+            let err = crate::residual::max_abs_error(&exact.x, &sol.x);
+            assert!(err < 1e-6, "{scheme:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn gs_beats_jacobi_and_sor_beats_gs() {
+        let (a, b) = system(12);
+        let jac = Relaxation::new(RelaxScheme::Jacobi).solve(&a, &b).unwrap();
+        let gs = Relaxation::new(RelaxScheme::GaussSeidel).solve(&a, &b).unwrap();
+        let sor = Relaxation::new(RelaxScheme::Sor(1.7)).solve(&a, &b).unwrap();
+        assert!(gs.report.iterations < jac.report.iterations);
+        assert!(sor.report.iterations < gs.report.iterations);
+    }
+
+    #[test]
+    fn bad_omega_rejected() {
+        let (a, b) = system(3);
+        assert!(matches!(
+            Relaxation::new(RelaxScheme::Sor(2.0)).solve(&a, &b),
+            Err(SolverError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn nonpositive_diag_rejected() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(1, 1, 0.0);
+        assert!(matches!(
+            Relaxation::new(RelaxScheme::Jacobi).solve(&t.to_csr(), &[1.0, 1.0]),
+            Err(SolverError::Sparse(_))
+        ));
+    }
+}

@@ -1,0 +1,72 @@
+use std::fmt;
+
+/// What a solver did: iteration count, achieved accuracy, and the heap it
+/// needed beyond the input matrix.
+///
+/// `residual` is method-specific: relative 2-norm residual for Krylov
+/// methods, maximum voltage update for stationary sweeps, standard error
+/// for random walks.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SolveReport {
+    /// Iterations (sweeps, Krylov steps, VP outer iterations …).
+    pub iterations: usize,
+    /// Final convergence measure (see type-level docs).
+    pub residual: f64,
+    /// Whether the tolerance was met within the iteration budget.
+    pub converged: bool,
+    /// Estimated peak workspace in bytes: matrices, factors,
+    /// preconditioners, and auxiliary vectors allocated by the solver
+    /// (excluding the problem statement itself).
+    pub workspace_bytes: usize,
+}
+
+impl SolveReport {
+    /// Workspace in mebibytes, for Table-I-style reporting.
+    pub fn workspace_mib(&self) -> f64 {
+        self.workspace_bytes as f64 / (1024.0 * 1024.0)
+    }
+}
+
+impl fmt::Display for SolveReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} iterations, residual {:.3e}, {}, {:.2} MiB workspace",
+            self.iterations,
+            self.residual,
+            if self.converged {
+                "converged"
+            } else {
+                "NOT converged"
+            },
+            self.workspace_mib()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mib_conversion() {
+        let r = SolveReport {
+            workspace_bytes: 3 * 1024 * 1024,
+            ..Default::default()
+        };
+        assert_eq!(r.workspace_mib(), 3.0);
+    }
+
+    #[test]
+    fn display_mentions_convergence() {
+        let mut r = SolveReport {
+            iterations: 5,
+            residual: 1e-7,
+            converged: true,
+            workspace_bytes: 0,
+        };
+        assert!(r.to_string().contains("converged"));
+        r.converged = false;
+        assert!(r.to_string().contains("NOT"));
+    }
+}

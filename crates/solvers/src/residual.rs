@@ -1,0 +1,168 @@
+//! Accuracy metrics: voltage errors, matrix-free KCL residuals, IR-drop
+//! summaries.
+
+use voltprop_grid::{NetKind, Stack3d};
+
+/// Largest absolute difference between two voltage vectors (V).
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+///
+/// # Example
+///
+/// ```
+/// let e = voltprop_solvers::residual::max_abs_error(&[1.8, 1.75], &[1.8, 1.7501]);
+/// assert!((e - 1e-4).abs() < 1e-12);
+/// ```
+pub fn max_abs_error(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "voltage vector length mismatch");
+    a.iter()
+        .zip(b)
+        .fold(0.0f64, |m, (x, y)| m.max((x - y).abs()))
+}
+
+/// Matrix-free KCL residual of a full voltage vector on a stack: the
+/// largest absolute nodal current mismatch (A) over all non-pad nodes.
+///
+/// Verifies solutions from structured solvers (voltage propagation, RB)
+/// without assembling the MNA matrix.
+///
+/// # Panics
+///
+/// Panics if `v.len() != stack.num_nodes()`.
+pub fn kcl_residual_inf(stack: &Stack3d, net: NetKind, v: &[f64]) -> f64 {
+    assert_eq!(v.len(), stack.num_nodes(), "voltage vector length mismatch");
+    let (w, h, tiers) = (stack.width(), stack.height(), stack.tiers());
+    let top = tiers - 1;
+    let rail = match net {
+        NetKind::Power => stack.vdd(),
+        NetKind::Ground => 0.0,
+    };
+    let load_sign = match net {
+        NetKind::Power => -1.0,
+        NetKind::Ground => 1.0,
+    };
+    let g_tsv = 1.0 / stack.tsv_resistance();
+    let ideal_pads = stack.pad_resistance() == 0.0;
+    let mut worst = 0.0f64;
+    for t in 0..tiers {
+        let gh = 1.0 / stack.r_horizontal(t);
+        let gv = 1.0 / stack.r_vertical(t);
+        for y in 0..h {
+            for x in 0..w {
+                if t == top && ideal_pads && stack.is_pad(x, y) {
+                    continue; // pad: current balance closed by the package
+                }
+                let i = stack.node_index(t, x, y);
+                let mut kcl = load_sign * stack.loads()[i];
+                if x > 0 {
+                    kcl -= gh * (v[i] - v[stack.node_index(t, x - 1, y)]);
+                }
+                if x + 1 < w {
+                    kcl -= gh * (v[i] - v[stack.node_index(t, x + 1, y)]);
+                }
+                if y > 0 {
+                    kcl -= gv * (v[i] - v[stack.node_index(t, x, y - 1)]);
+                }
+                if y + 1 < h {
+                    kcl -= gv * (v[i] - v[stack.node_index(t, x, y + 1)]);
+                }
+                if stack.is_tsv(x, y) {
+                    if t > 0 {
+                        kcl -= g_tsv * (v[i] - v[stack.node_index(t - 1, x, y)]);
+                    }
+                    if t < top {
+                        kcl -= g_tsv * (v[i] - v[stack.node_index(t + 1, x, y)]);
+                    }
+                }
+                if t == top && !ideal_pads && stack.is_pad(x, y) {
+                    kcl -= (v[i] - rail) / stack.pad_resistance();
+                }
+                worst = worst.max(kcl.abs());
+            }
+        }
+    }
+    worst
+}
+
+/// Summary of the IR drop across one supply net.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IrDropReport {
+    /// Worst drop |rail − V| over all nodes (V).
+    pub max_drop: f64,
+    /// Average drop (V).
+    pub mean_drop: f64,
+    /// Flat node index where the worst drop occurs.
+    pub worst_node: usize,
+}
+
+/// Computes the IR-drop summary of a full voltage vector against a rail
+/// voltage.
+///
+/// # Panics
+///
+/// Panics if `v` is empty.
+pub fn ir_drop_report(rail: f64, v: &[f64]) -> IrDropReport {
+    assert!(!v.is_empty(), "voltage vector must be non-empty");
+    let mut max_drop = 0.0f64;
+    let mut worst = 0usize;
+    let mut sum = 0.0f64;
+    for (i, &vi) in v.iter().enumerate() {
+        let d = (rail - vi).abs();
+        sum += d;
+        if d > max_drop {
+            max_drop = d;
+            worst = i;
+        }
+    }
+    IrDropReport {
+        max_drop,
+        mean_drop: sum / v.len() as f64,
+        worst_node: worst,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DirectCholesky, StackSolver};
+
+    #[test]
+    fn exact_solution_has_tiny_kcl_residual() {
+        let s = Stack3d::builder(7, 6, 3).uniform_load(1e-4).build().unwrap();
+        let sol = DirectCholesky::new().solve_stack(&s, NetKind::Power).unwrap();
+        let r = kcl_residual_inf(&s, NetKind::Power, &sol.voltages);
+        assert!(r < 1e-9, "KCL residual {r}");
+    }
+
+    #[test]
+    fn corrupted_solution_has_large_residual() {
+        let s = Stack3d::builder(5, 5, 2).uniform_load(1e-4).build().unwrap();
+        let mut sol = DirectCholesky::new()
+            .solve_stack(&s, NetKind::Power)
+            .unwrap();
+        sol.voltages[7] += 0.01;
+        assert!(kcl_residual_inf(&s, NetKind::Power, &sol.voltages) > 1e-3);
+    }
+
+    #[test]
+    fn resistive_pads_residual() {
+        let s = Stack3d::builder(5, 5, 2)
+            .pad_resistance(0.3)
+            .uniform_load(1e-4)
+            .build()
+            .unwrap();
+        let sol = DirectCholesky::new().solve_stack(&s, NetKind::Power).unwrap();
+        let r = kcl_residual_inf(&s, NetKind::Power, &sol.voltages[..s.num_nodes()].to_vec());
+        assert!(r < 1e-9, "KCL residual {r}");
+    }
+
+    #[test]
+    fn ir_report_finds_worst_node() {
+        let rep = ir_drop_report(1.8, &[1.8, 1.75, 1.79]);
+        assert!((rep.max_drop - 0.05).abs() < 1e-15);
+        assert_eq!(rep.worst_node, 1);
+        assert!((rep.mean_drop - 0.02).abs() < 1e-12);
+    }
+}

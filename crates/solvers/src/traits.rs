@@ -1,0 +1,101 @@
+use crate::{SolveReport, SolverError};
+use voltprop_grid::{NetKind, Stack3d};
+use voltprop_sparse::CsrMatrix;
+
+/// A solution of a linear system `A x = b`.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// The solution vector.
+    pub x: Vec<f64>,
+    /// What the solver did to get it.
+    pub report: SolveReport,
+}
+
+/// A full-grid IR-drop solution: one voltage per circuit node.
+#[derive(Debug, Clone)]
+pub struct StackSolution {
+    /// Per-node voltages, flat tier-major (pads included at their rail
+    /// values).
+    pub voltages: Vec<f64>,
+    /// What the solver did to get them.
+    pub report: SolveReport,
+}
+
+impl StackSolution {
+    /// Worst IR drop relative to `rail` (use `stack.vdd()` for the power
+    /// net, `0.0` — i.e. the maximum bounce — for the ground net).
+    pub fn worst_drop(&self, rail: f64) -> f64 {
+        self.voltages
+            .iter()
+            .fold(0.0f64, |m, &v| m.max((rail - v).abs()))
+    }
+}
+
+/// An algebraic solver for sparse SPD systems `A x = b`.
+pub trait LinearSolver {
+    /// Solves the system.
+    ///
+    /// # Errors
+    ///
+    /// [`SolverError::Sparse`] on numerical breakdown,
+    /// [`SolverError::DidNotConverge`] if an iteration budget runs out.
+    fn solve(&self, a: &CsrMatrix, b: &[f64]) -> Result<Solution, SolverError>;
+
+    /// A short human-readable name for tables and logs.
+    fn name(&self) -> &'static str;
+}
+
+/// An IR-drop solver that works on whole 3-D stacks.
+///
+/// Every [`LinearSolver`] is a `StackSolver` through MNA stamping; the
+/// structured methods (row-based 3-D, random walks, voltage propagation)
+/// implement this trait directly and never assemble the global matrix.
+pub trait StackSolver {
+    /// Computes all node voltages of one supply net.
+    ///
+    /// # Errors
+    ///
+    /// See [`LinearSolver::solve`]; additionally
+    /// [`SolverError::Grid`] when the model cannot be stamped and
+    /// [`SolverError::Unsupported`] for structured solvers given shapes
+    /// they cannot handle.
+    fn solve_stack(&self, stack: &Stack3d, net: NetKind) -> Result<StackSolution, SolverError>;
+
+    /// A short human-readable name for tables and logs.
+    fn solver_name(&self) -> &'static str;
+}
+
+impl<T: LinearSolver> StackSolver for T {
+    fn solve_stack(&self, stack: &Stack3d, net: NetKind) -> Result<StackSolution, SolverError> {
+        let sys = stack.stamp(net)?;
+        let sol = self.solve(sys.matrix(), sys.rhs())?;
+        let mut report = sol.report;
+        report.workspace_bytes += sys.memory_bytes();
+        Ok(StackSolution {
+            voltages: {
+                let mut v = sys.expand(&sol.x);
+                v.truncate(stack.num_nodes()); // drop virtual rail node if any
+                v
+            },
+            report,
+        })
+    }
+
+    fn solver_name(&self) -> &'static str {
+        self.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worst_drop_is_max_deviation() {
+        let s = StackSolution {
+            voltages: vec![1.8, 1.75, 1.79],
+            report: SolveReport::default(),
+        };
+        assert!((s.worst_drop(1.8) - 0.05).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,458 @@
+use crate::ordering::{rcm, Permutation};
+use crate::{CsrMatrix, SparseError};
+
+/// Which fill-reducing ordering [`Cholesky::factor_with`] applies before
+/// factorizing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FillOrdering {
+    /// Factor the matrix as given.
+    Natural,
+    /// Reverse Cuthill–McKee (the default; near-optimal for mesh-like power
+    /// grids).
+    #[default]
+    Rcm,
+}
+
+/// A simplicial sparse Cholesky factorization `P A Pᵀ = L Lᵀ`.
+///
+/// This is the workspace's stand-in for SPICE: the DC operating point of a
+/// linear resistive power grid is exactly one sparse symmetric
+/// positive-definite solve. The implementation is the classic up-looking
+/// algorithm driven by the elimination tree (Davis, *Direct Methods for
+/// Sparse Linear Systems*): a symbolic pass computes the column counts of
+/// `L` via `ereach`, then a numeric pass fills each row of `L` in
+/// topological order.
+///
+/// Like SPICE, its memory is proportional to the *fill-in* `nnz(L)`, which
+/// grows super-linearly on 3-D grids — this is the mechanism behind the
+/// paper's "SPICE runs out of memory beyond 230K nodes" row in Table I.
+///
+/// # Example
+///
+/// ```
+/// use voltprop_sparse::{TripletMatrix, Cholesky};
+///
+/// # fn main() -> Result<(), voltprop_sparse::SparseError> {
+/// let mut t = TripletMatrix::new(2, 2);
+/// t.push(0, 0, 4.0);
+/// t.push(1, 1, 3.0);
+/// t.push(0, 1, 1.0);
+/// t.push(1, 0, 1.0);
+/// let a = t.to_csr();
+/// let f = Cholesky::factor(&a)?;
+/// let x = f.solve(&[5.0, 4.0]);
+/// assert!(a.residual(&x, &[5.0, 4.0]) < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    n: usize,
+    /// Column pointers of L (CSC).
+    colptr: Vec<usize>,
+    /// Row indices of L; the first entry of each column is the diagonal.
+    rowind: Vec<u32>,
+    values: Vec<f64>,
+    perm: Permutation,
+}
+
+impl Cholesky {
+    /// Factors a symmetric positive definite matrix using the default RCM
+    /// ordering.
+    ///
+    /// # Errors
+    ///
+    /// * [`SparseError::DimensionMismatch`] if the matrix is not square.
+    /// * [`SparseError::NotSymmetric`] if it is not symmetric.
+    /// * [`SparseError::NotPositiveDefinite`] if a pivot is non-positive.
+    /// * [`SparseError::Empty`] for a 0×0 matrix.
+    pub fn factor(a: &CsrMatrix) -> Result<Self, SparseError> {
+        Self::factor_with(a, FillOrdering::Rcm)
+    }
+
+    /// Factors with an explicit ordering choice.
+    ///
+    /// # Errors
+    ///
+    /// See [`Cholesky::factor`].
+    pub fn factor_with(a: &CsrMatrix, ordering: FillOrdering) -> Result<Self, SparseError> {
+        let n = a.nrows();
+        if n == 0 {
+            return Err(SparseError::Empty);
+        }
+        if a.nrows() != a.ncols() {
+            return Err(SparseError::DimensionMismatch {
+                expected: (n, n),
+                got: a.shape(),
+            });
+        }
+        if !a.is_symmetric(1e-10) {
+            return Err(SparseError::NotSymmetric);
+        }
+        let perm = match ordering {
+            FillOrdering::Natural => Permutation::identity(n),
+            FillOrdering::Rcm => rcm(a),
+        };
+        let b = a.permute_sym(&perm);
+
+        let parent = etree(&b);
+
+        // Symbolic pass: column counts of L via ereach.
+        let mut counts = vec![1usize; n]; // diagonal of each column
+        {
+            let mut w = vec![u32::MAX; n];
+            let mut s = vec![0u32; n];
+            let mut stack = vec![0u32; n];
+            for k in 0..n {
+                let top = ereach(&b, k, &parent, &mut w, &mut s, &mut stack);
+                for &i in &s[top..n] {
+                    counts[i as usize] += 1;
+                }
+            }
+        }
+        let mut colptr = vec![0usize; n + 1];
+        for i in 0..n {
+            colptr[i + 1] = colptr[i] + counts[i];
+        }
+        let nnz = colptr[n];
+        let mut rowind = vec![0u32; nnz];
+        let mut values = vec![0f64; nnz];
+
+        // Numeric pass (up-looking).
+        let mut next = colptr.clone(); // next free slot per column
+        let mut x = vec![0f64; n];
+        let mut w = vec![u32::MAX; n];
+        let mut s = vec![0u32; n];
+        let mut stack = vec![0u32; n];
+        for k in 0..n {
+            let top = ereach(&b, k, &parent, &mut w, &mut s, &mut stack);
+            // Scatter the upper-triangular part of column k of B (== entries
+            // i <= k of row k, by symmetry) into x.
+            let mut d = 0.0;
+            {
+                let (cols, vals) = b.row(k);
+                for (c, v) in cols.iter().zip(vals) {
+                    let i = *c as usize;
+                    if i < k {
+                        x[i] = *v;
+                    } else if i == k {
+                        d = *v;
+                    }
+                }
+            }
+            for &i_u in &s[top..n] {
+                let i = i_u as usize;
+                let lki = x[i] / values[colptr[i]];
+                x[i] = 0.0;
+                for p in colptr[i] + 1..next[i] {
+                    x[rowind[p] as usize] -= values[p] * lki;
+                }
+                d -= lki * lki;
+                let p = next[i];
+                next[i] += 1;
+                rowind[p] = k as u32;
+                values[p] = lki;
+            }
+            if d <= 0.0 || !d.is_finite() {
+                return Err(SparseError::NotPositiveDefinite {
+                    column: perm.old_of(k),
+                });
+            }
+            let p = next[k];
+            next[k] += 1;
+            rowind[p] = k as u32;
+            values[p] = d.sqrt();
+        }
+
+        Ok(Cholesky {
+            n,
+            colptr,
+            rowind,
+            values,
+            perm,
+        })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Number of nonzeros in the factor `L` (the fill).
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The fill-reducing permutation that was applied.
+    pub fn permutation(&self) -> &Permutation {
+        &self.perm
+    }
+
+    /// Estimated heap footprint of the factor in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.colptr.len() * std::mem::size_of::<usize>()
+            + self.rowind.len() * std::mem::size_of::<u32>()
+            + self.values.len() * std::mem::size_of::<f64>()
+    }
+
+    /// Solves `A x = b` using the factorization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` differs from the matrix dimension.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n, "rhs length mismatch");
+        let mut y = self.perm.apply(b);
+        self.solve_permuted_in_place(&mut y);
+        self.perm.apply_inverse(&y)
+    }
+
+    /// Solves in the permuted basis, overwriting `y` (used by the
+    /// preconditioner path where permutation is handled by the caller).
+    fn solve_permuted_in_place(&self, y: &mut [f64]) {
+        let n = self.n;
+        // Forward: L z = y (CSC lower-triangular, diagonal first per column).
+        for j in 0..n {
+            let d = self.values[self.colptr[j]];
+            y[j] /= d;
+            let yj = y[j];
+            for p in self.colptr[j] + 1..self.colptr[j + 1] {
+                y[self.rowind[p] as usize] -= self.values[p] * yj;
+            }
+        }
+        // Backward: Lᵀ x = z.
+        for j in (0..n).rev() {
+            let mut acc = y[j];
+            for p in self.colptr[j] + 1..self.colptr[j + 1] {
+                acc -= self.values[p] * y[self.rowind[p] as usize];
+            }
+            y[j] = acc / self.values[self.colptr[j]];
+        }
+    }
+}
+
+/// Elimination tree of a symmetric matrix given its full (both triangles)
+/// pattern; `parent[k] == u32::MAX` marks a root.
+fn etree(b: &CsrMatrix) -> Vec<u32> {
+    let n = b.nrows();
+    const NONE: u32 = u32::MAX;
+    let mut parent = vec![NONE; n];
+    let mut ancestor = vec![NONE; n];
+    for k in 0..n {
+        let (cols, _) = b.row(k);
+        for &c in cols {
+            let mut i = c;
+            while i != NONE && (i as usize) < k {
+                let inext = ancestor[i as usize];
+                ancestor[i as usize] = k as u32;
+                if inext == NONE {
+                    parent[i as usize] = k as u32;
+                }
+                i = inext;
+            }
+        }
+    }
+    parent
+}
+
+/// Computes the nonzero pattern of row `k` of `L`: returns `top` such that
+/// `s[top..n]` lists the pattern in elimination-tree topological order.
+fn ereach(
+    b: &CsrMatrix,
+    k: usize,
+    parent: &[u32],
+    w: &mut [u32],
+    s: &mut [u32],
+    stack: &mut [u32],
+) -> usize {
+    const NONE: u32 = u32::MAX;
+    let n = b.nrows();
+    let mark = k as u32;
+    let mut top = n;
+    w[k] = mark;
+    let (cols, _) = b.row(k);
+    for &c in cols {
+        if c as usize >= k {
+            continue;
+        }
+        let mut i = c;
+        let mut len = 0usize;
+        while w[i as usize] != mark {
+            stack[len] = i;
+            len += 1;
+            w[i as usize] = mark;
+            let pi = parent[i as usize];
+            if pi == NONE {
+                break;
+            }
+            i = pi;
+        }
+        while len > 0 {
+            len -= 1;
+            top -= 1;
+            s[top] = stack[len];
+        }
+    }
+    top
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TripletMatrix;
+
+    fn grid_spd(w: usize, h: usize) -> CsrMatrix {
+        let mut t = TripletMatrix::new(w * h, w * h);
+        let id = |x: usize, y: usize| y * w + x;
+        for y in 0..h {
+            for x in 0..w {
+                if x + 1 < w {
+                    t.stamp_conductance(id(x, y), id(x + 1, y), 1.0 + (x + y) as f64 * 0.1);
+                }
+                if y + 1 < h {
+                    t.stamp_conductance(id(x, y), id(x, y + 1), 2.0);
+                }
+            }
+        }
+        t.stamp_to_ground(0, 1.0);
+        t.stamp_to_ground(w * h - 1, 0.5);
+        t.to_csr()
+    }
+
+    #[test]
+    fn solves_diagonal_matrix() {
+        let mut t = TripletMatrix::new(3, 3);
+        t.push(0, 0, 2.0);
+        t.push(1, 1, 4.0);
+        t.push(2, 2, 8.0);
+        let a = t.to_csr();
+        let f = Cholesky::factor(&a).unwrap();
+        for v in f.solve(&[2.0, 4.0, 8.0]) {
+            assert!((v - 1.0).abs() < 1e-14);
+        }
+        assert_eq!(f.nnz(), 3);
+    }
+
+    #[test]
+    fn solves_2x2_hand_computed() {
+        // A = [4 2; 2 3], b = [10, 8] → x = [1.75, 1.5].
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 0, 4.0);
+        t.push(0, 1, 2.0);
+        t.push(1, 0, 2.0);
+        t.push(1, 1, 3.0);
+        let a = t.to_csr();
+        let f = Cholesky::factor_with(&a, FillOrdering::Natural).unwrap();
+        let x = f.solve(&[10.0, 8.0]);
+        assert!((x[0] - 1.75).abs() < 1e-14);
+        assert!((x[1] - 1.5).abs() < 1e-14);
+    }
+
+    #[test]
+    fn grid_laplacian_residual_tiny() {
+        let a = grid_spd(7, 5);
+        let n = a.nrows();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        for ord in [FillOrdering::Natural, FillOrdering::Rcm] {
+            let f = Cholesky::factor_with(&a, ord).unwrap();
+            let x = f.solve(&b);
+            assert!(a.residual(&x, &b) < 1e-10, "ordering {ord:?}");
+        }
+    }
+
+    #[test]
+    fn rcm_ordering_reduces_fill_on_shuffled_grid() {
+        let a = grid_spd(12, 12);
+        let n = a.nrows();
+        let shuffle: Vec<u32> = (0..n as u32).map(|i| i * 59 % n as u32).collect();
+        let p = Permutation::from_new_to_old(shuffle).expect("59 coprime to 144");
+        let messy = a.permute_sym(&p);
+        let f_nat = Cholesky::factor_with(&messy, FillOrdering::Natural).unwrap();
+        let f_rcm = Cholesky::factor_with(&messy, FillOrdering::Rcm).unwrap();
+        assert!(f_rcm.nnz() < f_nat.nnz());
+    }
+
+    #[test]
+    fn not_positive_definite_detected() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(0, 1, 2.0);
+        t.push(1, 0, 2.0);
+        t.push(1, 1, 1.0); // eigenvalues 3 and -1
+        let err = Cholesky::factor(&t.to_csr()).unwrap_err();
+        assert!(matches!(err, SparseError::NotPositiveDefinite { .. }));
+    }
+
+    #[test]
+    fn non_symmetric_rejected() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 0, 2.0);
+        t.push(1, 1, 2.0);
+        t.push(0, 1, 1.0);
+        let err = Cholesky::factor(&t.to_csr()).unwrap_err();
+        assert_eq!(err, SparseError::NotSymmetric);
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let m = CsrMatrix::from_triplets(2, 3, &[0], &[0], &[1.0]);
+        let err = Cholesky::factor(&m).unwrap_err();
+        assert!(matches!(err, SparseError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn empty_rejected() {
+        let m = CsrMatrix::from_triplets(0, 0, &[], &[], &[]);
+        assert_eq!(Cholesky::factor(&m).unwrap_err(), SparseError::Empty);
+    }
+
+    #[test]
+    fn singular_laplacian_without_ground_rejected() {
+        // Pure graph Laplacian (no path to ground) is singular PSD.
+        let mut t = TripletMatrix::new(3, 3);
+        t.stamp_conductance(0, 1, 1.0);
+        t.stamp_conductance(1, 2, 1.0);
+        let err = Cholesky::factor(&t.to_csr()).unwrap_err();
+        assert!(matches!(err, SparseError::NotPositiveDefinite { .. }));
+    }
+
+    #[test]
+    fn solve_matches_dense_gauss_on_random_spd() {
+        // SPD via A = M Mᵀ + I on a small dense matrix, converted to CSR.
+        let n = 8;
+        let mut seed = 99u64;
+        let mut rnd = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((seed >> 33) as f64) / (u32::MAX as f64) - 0.5
+        };
+        let m: Vec<Vec<f64>> = (0..n).map(|_| (0..n).map(|_| rnd()).collect()).collect();
+        let mut dense = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += m[i][k] * m[j][k];
+                }
+                dense[i][j] = s + if i == j { 1.0 * n as f64 } else { 0.0 };
+            }
+        }
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                t.push(i, j, dense[i][j]);
+            }
+        }
+        let a = t.to_csr();
+        let b: Vec<f64> = (0..n).map(|i| i as f64 + 1.0).collect();
+        let x = Cholesky::factor(&a).unwrap().solve(&b);
+        assert!(a.residual(&x, &b) < 1e-9);
+    }
+
+    #[test]
+    fn memory_bytes_scales_with_fill() {
+        let a = grid_spd(6, 6);
+        let f = Cholesky::factor(&a).unwrap();
+        assert!(f.memory_bytes() >= f.nnz() * 12);
+        assert_eq!(f.dim(), 36);
+    }
+}

@@ -1,0 +1,195 @@
+use crate::CsrMatrix;
+
+/// A sparse matrix under construction, stored as `(row, col, value)`
+/// triplets.
+///
+/// Duplicate entries are allowed and are *summed* when converting to
+/// [`CsrMatrix`], which is exactly the semantics needed for modified nodal
+/// analysis stamping: each resistor stamps four entries and overlapping
+/// stamps accumulate.
+///
+/// # Example
+///
+/// ```
+/// use voltprop_sparse::TripletMatrix;
+///
+/// let mut t = TripletMatrix::new(2, 2);
+/// t.push(0, 0, 1.0);
+/// t.push(0, 0, 2.0); // duplicate: summed on conversion
+/// t.push(1, 1, 5.0);
+/// let csr = t.to_csr();
+/// assert_eq!(csr.get(0, 0), 3.0);
+/// assert_eq!(csr.get(1, 1), 5.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TripletMatrix {
+    nrows: usize,
+    ncols: usize,
+    rows: Vec<u32>,
+    cols: Vec<u32>,
+    vals: Vec<f64>,
+}
+
+impl TripletMatrix {
+    /// Creates an empty triplet matrix with the given shape.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        TripletMatrix {
+            nrows,
+            ncols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// Creates an empty triplet matrix with storage reserved for `cap`
+    /// entries.
+    pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
+        TripletMatrix {
+            nrows,
+            ncols,
+            rows: Vec::with_capacity(cap),
+            cols: Vec::with_capacity(cap),
+            vals: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored triplets (duplicates counted individually).
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Returns `true` if no triplets have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.vals.is_empty()
+    }
+
+    /// Appends the entry `(row, col, val)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is outside the matrix shape. Stamping an
+    /// out-of-range node is a programming error in the caller, not a
+    /// recoverable condition.
+    pub fn push(&mut self, row: usize, col: usize, val: f64) {
+        assert!(
+            row < self.nrows && col < self.ncols,
+            "triplet ({row}, {col}) out of bounds for {}x{} matrix",
+            self.nrows,
+            self.ncols
+        );
+        self.rows.push(row as u32);
+        self.cols.push(col as u32);
+        self.vals.push(val);
+    }
+
+    /// Appends the four symmetric conductance stamps for a two-terminal
+    /// conductance `g` between nodes `a` and `b`:
+    /// `(a,a)+=g`, `(b,b)+=g`, `(a,b)-=g`, `(b,a)-=g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of bounds (see [`TripletMatrix::push`]).
+    pub fn stamp_conductance(&mut self, a: usize, b: usize, g: f64) {
+        self.push(a, a, g);
+        self.push(b, b, g);
+        self.push(a, b, -g);
+        self.push(b, a, -g);
+    }
+
+    /// Appends a diagonal stamp `(n,n) += g` (conductance to ground or a
+    /// folded Dirichlet node).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of bounds (see [`TripletMatrix::push`]).
+    pub fn stamp_to_ground(&mut self, n: usize, g: f64) {
+        self.push(n, n, g);
+    }
+
+    /// Converts to compressed sparse row format, summing duplicates and
+    /// dropping entries whose accumulated value is exactly zero only if they
+    /// were never stamped (explicit zeros are kept, preserving structure).
+    pub fn to_csr(&self) -> CsrMatrix {
+        CsrMatrix::from_triplets(self.nrows, self.ncols, &self.rows, &self.cols, &self.vals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_empty() {
+        let t = TripletMatrix::new(4, 5);
+        assert_eq!(t.nrows(), 4);
+        assert_eq!(t.ncols(), 5);
+        assert_eq!(t.nnz(), 0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn push_and_convert_sums_duplicates() {
+        let mut t = TripletMatrix::new(3, 3);
+        t.push(1, 2, 1.5);
+        t.push(1, 2, 2.5);
+        t.push(0, 0, 1.0);
+        let m = t.to_csr();
+        assert_eq!(m.get(1, 2), 4.0);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.nnz(), 2);
+    }
+
+    #[test]
+    fn stamp_conductance_is_symmetric() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.stamp_conductance(0, 1, 2.0);
+        let m = t.to_csr();
+        assert_eq!(m.get(0, 0), 2.0);
+        assert_eq!(m.get(1, 1), 2.0);
+        assert_eq!(m.get(0, 1), -2.0);
+        assert_eq!(m.get(1, 0), -2.0);
+        assert!(m.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn stamp_to_ground_hits_diagonal() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.stamp_to_ground(1, 3.0);
+        let m = t.to_csr();
+        assert_eq!(m.get(1, 1), 3.0);
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn push_out_of_bounds_panics() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(2, 0, 1.0);
+    }
+
+    #[test]
+    fn with_capacity_reserves() {
+        let t = TripletMatrix::with_capacity(2, 2, 100);
+        assert!(t.is_empty());
+        assert_eq!(t.nnz(), 0);
+    }
+
+    #[test]
+    fn explicit_zero_is_kept() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 1, 0.0);
+        let m = t.to_csr();
+        assert_eq!(m.nnz(), 1);
+    }
+}

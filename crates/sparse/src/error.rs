@@ -1,0 +1,102 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the sparse linear algebra kernels.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SparseError {
+    /// Matrix dimensions are inconsistent with the requested operation.
+    DimensionMismatch {
+        /// What the operation expected (rows, cols).
+        expected: (usize, usize),
+        /// What it was given.
+        got: (usize, usize),
+    },
+    /// An entry index lies outside the declared matrix shape.
+    IndexOutOfBounds {
+        /// Offending (row, col).
+        index: (usize, usize),
+        /// Declared matrix shape.
+        shape: (usize, usize),
+    },
+    /// The matrix is structurally or numerically not symmetric where a
+    /// symmetric matrix is required.
+    NotSymmetric,
+    /// A Cholesky pivot was non-positive; the matrix is not positive
+    /// definite.
+    NotPositiveDefinite {
+        /// Column at which factorization broke down.
+        column: usize,
+    },
+    /// A zero (or near-zero) pivot was encountered in a triangular or
+    /// tridiagonal solve.
+    SingularPivot {
+        /// Row of the offending pivot.
+        row: usize,
+    },
+    /// The operation requires a non-empty matrix.
+    Empty,
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::DimensionMismatch { expected, got } => write!(
+                f,
+                "dimension mismatch: expected {}x{}, got {}x{}",
+                expected.0, expected.1, got.0, got.1
+            ),
+            SparseError::IndexOutOfBounds { index, shape } => write!(
+                f,
+                "entry ({}, {}) out of bounds for {}x{} matrix",
+                index.0, index.1, shape.0, shape.1
+            ),
+            SparseError::NotSymmetric => write!(f, "matrix is not symmetric"),
+            SparseError::NotPositiveDefinite { column } => write!(
+                f,
+                "matrix is not positive definite (breakdown at column {column})"
+            ),
+            SparseError::SingularPivot { row } => {
+                write!(f, "singular pivot encountered at row {row}")
+            }
+            SparseError::Empty => write!(f, "operation requires a non-empty matrix"),
+        }
+    }
+}
+
+impl Error for SparseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            SparseError::DimensionMismatch {
+                expected: (2, 2),
+                got: (3, 3),
+            },
+            SparseError::IndexOutOfBounds {
+                index: (5, 1),
+                shape: (2, 2),
+            },
+            SparseError::NotSymmetric,
+            SparseError::NotPositiveDefinite { column: 7 },
+            SparseError::SingularPivot { row: 3 },
+            SparseError::Empty,
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_trait_object_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SparseError>();
+    }
+}

@@ -1,0 +1,214 @@
+//! Tridiagonal systems and the Thomas algorithm.
+//!
+//! The row-based power grid method of Zhong & Wong reduces each grid row to a
+//! tridiagonal solve; the paper quotes its cost as `5N-4` multiplications and
+//! `3(N-1)` additions per row, which is exactly the Thomas algorithm
+//! implemented here.
+
+use crate::SparseError;
+
+/// Reusable workspace for repeated tridiagonal solves of bounded size.
+///
+/// The row-based solver calls [`TridiagWorkspace::solve`] once per grid row
+/// per sweep; keeping the scratch vectors alive avoids per-row allocation.
+///
+/// # Example
+///
+/// ```
+/// use voltprop_sparse::tridiag::TridiagWorkspace;
+///
+/// # fn main() -> Result<(), voltprop_sparse::SparseError> {
+/// // Solve [2 -1; -1 2] x = [1; 1]  →  x = [1; 1].
+/// let mut ws = TridiagWorkspace::new(2);
+/// let mut x = [0.0; 2];
+/// ws.solve(&[-1.0], &[2.0, 2.0], &[-1.0], &[1.0, 1.0], &mut x)?;
+/// assert!((x[0] - 1.0).abs() < 1e-15);
+/// assert!((x[1] - 1.0).abs() < 1e-15);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TridiagWorkspace {
+    cp: Vec<f64>,
+    dp: Vec<f64>,
+}
+
+impl TridiagWorkspace {
+    /// Creates a workspace able to solve systems up to `n` unknowns without
+    /// reallocating.
+    pub fn new(n: usize) -> Self {
+        TridiagWorkspace {
+            cp: Vec::with_capacity(n),
+            dp: Vec::with_capacity(n),
+        }
+    }
+
+    /// Solves the tridiagonal system
+    ///
+    /// ```text
+    /// | b0 c0          | |x0|   |d0|
+    /// | a0 b1 c1       | |x1|   |d1|
+    /// |    a1 b2 ..    | |x2| = |..|
+    /// |       .. .. cN-2|
+    /// |         aN-2 bN-1|
+    /// ```
+    ///
+    /// where `lower` has length `n-1` (sub-diagonal), `diag` length `n`,
+    /// `upper` length `n-1` (super-diagonal), writing the solution into `x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::SingularPivot`] if forward elimination hits a
+    /// zero pivot, and [`SparseError::Empty`] for `n == 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths are inconsistent.
+    pub fn solve(
+        &mut self,
+        lower: &[f64],
+        diag: &[f64],
+        upper: &[f64],
+        rhs: &[f64],
+        x: &mut [f64],
+    ) -> Result<(), SparseError> {
+        let n = diag.len();
+        if n == 0 {
+            return Err(SparseError::Empty);
+        }
+        assert_eq!(lower.len(), n - 1, "lower diagonal must have n-1 entries");
+        assert_eq!(upper.len(), n - 1, "upper diagonal must have n-1 entries");
+        assert_eq!(rhs.len(), n, "rhs must have n entries");
+        assert_eq!(x.len(), n, "x must have n entries");
+
+        self.cp.clear();
+        self.dp.clear();
+        self.cp.resize(n, 0.0);
+        self.dp.resize(n, 0.0);
+
+        if diag[0] == 0.0 {
+            return Err(SparseError::SingularPivot { row: 0 });
+        }
+        self.cp[0] = if n > 1 { upper[0] / diag[0] } else { 0.0 };
+        self.dp[0] = rhs[0] / diag[0];
+        for i in 1..n {
+            let m = diag[i] - lower[i - 1] * self.cp[i - 1];
+            if m == 0.0 {
+                return Err(SparseError::SingularPivot { row: i });
+            }
+            self.cp[i] = if i < n - 1 { upper[i] / m } else { 0.0 };
+            self.dp[i] = (rhs[i] - lower[i - 1] * self.dp[i - 1]) / m;
+        }
+        x[n - 1] = self.dp[n - 1];
+        for i in (0..n - 1).rev() {
+            x[i] = self.dp[i] - self.cp[i] * x[i + 1];
+        }
+        Ok(())
+    }
+}
+
+/// One-shot convenience wrapper around [`TridiagWorkspace::solve`].
+///
+/// # Errors
+///
+/// See [`TridiagWorkspace::solve`].
+pub fn solve_tridiag(
+    lower: &[f64],
+    diag: &[f64],
+    upper: &[f64],
+    rhs: &[f64],
+) -> Result<Vec<f64>, SparseError> {
+    let mut x = vec![0.0; diag.len()];
+    TridiagWorkspace::new(diag.len()).solve(lower, diag, upper, rhs, &mut x)?;
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mul_tridiag(lower: &[f64], diag: &[f64], upper: &[f64], x: &[f64]) -> Vec<f64> {
+        let n = diag.len();
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            y[i] = diag[i] * x[i];
+            if i > 0 {
+                y[i] += lower[i - 1] * x[i - 1];
+            }
+            if i + 1 < n {
+                y[i] += upper[i] * x[i + 1];
+            }
+        }
+        y
+    }
+
+    #[test]
+    fn solves_1x1() {
+        let x = solve_tridiag(&[], &[4.0], &[], &[8.0]).unwrap();
+        assert_eq!(x, vec![2.0]);
+    }
+
+    #[test]
+    fn solves_known_3x3() {
+        // [2 -1 0; -1 2 -1; 0 -1 2] x = [1 0 1] → x = [1, 1, 1].
+        let x = solve_tridiag(&[-1.0, -1.0], &[2.0, 2.0, 2.0], &[-1.0, -1.0], &[1.0, 0.0, 1.0])
+            .unwrap();
+        for xi in &x {
+            assert!((xi - 1.0).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn residual_small_for_random_system() {
+        // Deterministic pseudo-random diagonally dominant system.
+        let n = 50;
+        let mut seed = 12345u64;
+        let mut rnd = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64) / (u32::MAX as f64) - 0.5
+        };
+        let lower: Vec<f64> = (0..n - 1).map(|_| rnd()).collect();
+        let upper: Vec<f64> = (0..n - 1).map(|_| rnd()).collect();
+        let diag: Vec<f64> = (0..n).map(|_| 3.0 + rnd()).collect();
+        let rhs: Vec<f64> = (0..n).map(|_| rnd() * 10.0).collect();
+        let x = solve_tridiag(&lower, &diag, &upper, &rhs).unwrap();
+        let y = mul_tridiag(&lower, &diag, &upper, &x);
+        for i in 0..n {
+            assert!((y[i] - rhs[i]).abs() < 1e-10, "row {i}");
+        }
+    }
+
+    #[test]
+    fn empty_system_is_error() {
+        assert_eq!(
+            solve_tridiag(&[], &[], &[], &[]).unwrap_err(),
+            SparseError::Empty
+        );
+    }
+
+    #[test]
+    fn singular_pivot_detected() {
+        let err = solve_tridiag(&[1.0], &[0.0, 1.0], &[1.0], &[1.0, 1.0]).unwrap_err();
+        assert_eq!(err, SparseError::SingularPivot { row: 0 });
+    }
+
+    #[test]
+    fn workspace_is_reusable() {
+        let mut ws = TridiagWorkspace::new(3);
+        let mut x = [0.0; 2];
+        ws.solve(&[-1.0], &[2.0, 2.0], &[-1.0], &[1.0, 1.0], &mut x)
+            .unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-14);
+        // Different size on the same workspace.
+        let mut x3 = [0.0; 3];
+        ws.solve(
+            &[-1.0, -1.0],
+            &[2.0, 2.0, 2.0],
+            &[-1.0, -1.0],
+            &[1.0, 0.0, 1.0],
+            &mut x3,
+        )
+        .unwrap();
+        assert!((x3[1] - 1.0).abs() < 1e-14);
+    }
+}

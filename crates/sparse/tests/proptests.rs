@@ -1,0 +1,176 @@
+//! Property-based tests for the sparse linear algebra kernels.
+
+use proptest::prelude::*;
+use voltprop_sparse::ordering::rcm;
+use voltprop_sparse::tridiag::solve_tridiag;
+use voltprop_sparse::{Cholesky, CsrMatrix, IncompleteCholesky, Permutation, TripletMatrix};
+
+/// Strategy: random triplet list for an n×n matrix.
+fn triplets(n: usize, max_entries: usize) -> impl Strategy<Value = Vec<(usize, usize, f64)>> {
+    prop::collection::vec(
+        (0..n, 0..n, -10.0f64..10.0),
+        0..max_entries,
+    )
+}
+
+/// Strategy: a random connected resistor-network SPD matrix of size 2..=20.
+/// Built as a path (guarantees connectivity) plus random extra conductances
+/// plus at least one grounding stamp.
+fn spd_matrix() -> impl Strategy<Value = CsrMatrix> {
+    (2usize..20).prop_flat_map(|n| {
+        (
+            Just(n),
+            prop::collection::vec((0..n, 0..n, 0.1f64..10.0), 0..3 * n),
+            prop::collection::vec((0..n, 0.1f64..5.0), 1..4),
+        )
+            .prop_map(|(n, extra, grounds)| {
+                let mut t = TripletMatrix::new(n, n);
+                for i in 0..n - 1 {
+                    t.stamp_conductance(i, i + 1, 1.0);
+                }
+                for (a, b, g) in extra {
+                    if a != b {
+                        t.stamp_conductance(a, b, g);
+                    }
+                }
+                for (i, g) in grounds {
+                    t.stamp_to_ground(i, g);
+                }
+                t.to_csr()
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn csr_get_equals_triplet_sum(entries in triplets(8, 40)) {
+        let mut t = TripletMatrix::new(8, 8);
+        let mut dense = vec![vec![0.0f64; 8]; 8];
+        for &(r, c, v) in &entries {
+            t.push(r, c, v);
+            dense[r][c] += v;
+        }
+        let m = t.to_csr();
+        for r in 0..8 {
+            for c in 0..8 {
+                prop_assert!((m.get(r, c) - dense[r][c]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn spmv_matches_dense_reference(entries in triplets(10, 60),
+                                    x in prop::collection::vec(-5.0f64..5.0, 10)) {
+        let mut t = TripletMatrix::new(10, 10);
+        for &(r, c, v) in &entries {
+            t.push(r, c, v);
+        }
+        let m = t.to_csr();
+        let d = m.to_dense();
+        let y = m.mul_vec(&x);
+        for r in 0..10 {
+            let want: f64 = (0..10).map(|c| d[r][c] * x[c]).sum();
+            prop_assert!((y[r] - want).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution(entries in triplets(9, 50)) {
+        let mut t = TripletMatrix::new(9, 9);
+        for &(r, c, v) in &entries {
+            t.push(r, c, v);
+        }
+        let m = t.to_csr();
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn cholesky_residual_is_tiny(a in spd_matrix(),
+                                 seed in 0u64..1000) {
+        let n = a.nrows();
+        let b: Vec<f64> = (0..n).map(|i| ((i as u64 * 31 + seed) % 17) as f64 - 8.0).collect();
+        let f = Cholesky::factor(&a).unwrap();
+        let x = f.solve(&b);
+        let bnorm = b.iter().map(|v| v * v).sum::<f64>().sqrt().max(1.0);
+        prop_assert!(a.residual(&x, &b) / bnorm < 1e-9);
+    }
+
+    #[test]
+    fn ichol_solve_is_finite_and_definite(a in spd_matrix()) {
+        let n = a.nrows();
+        let ic = IncompleteCholesky::new(&a).unwrap();
+        let r: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).cos()).collect();
+        let z = ic.solve(&r);
+        prop_assert!(z.iter().all(|v| v.is_finite()));
+        // M⁻¹ is SPD: rᵀ M⁻¹ r > 0 for r ≠ 0.
+        let quad: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
+        prop_assert!(quad > 0.0);
+    }
+
+    #[test]
+    fn tridiag_matches_cholesky(n in 2usize..30, seed in 0u64..500) {
+        // Diagonally dominant symmetric tridiagonal system: solve with
+        // Thomas and with sparse Cholesky; answers must agree.
+        let mut s = seed.wrapping_add(7);
+        let mut rnd = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f64) / (u32::MAX as f64)
+        };
+        let off: Vec<f64> = (0..n - 1).map(|_| -(0.1 + rnd())).collect();
+        let diag: Vec<f64> = (0..n)
+            .map(|i| {
+                let mut d = 0.5 + rnd();
+                if i > 0 { d += off[i - 1].abs(); }
+                if i < n - 1 { d += off[i].abs(); }
+                d
+            })
+            .collect();
+        let rhs: Vec<f64> = (0..n).map(|_| rnd() * 2.0 - 1.0).collect();
+
+        let x_thomas = solve_tridiag(&off, &diag, &off, &rhs).unwrap();
+
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n {
+            t.push(i, i, diag[i]);
+        }
+        for i in 0..n - 1 {
+            t.push(i, i + 1, off[i]);
+            t.push(i + 1, i, off[i]);
+        }
+        let a = t.to_csr();
+        let x_chol = Cholesky::factor(&a).unwrap().solve(&rhs);
+        for i in 0..n {
+            prop_assert!((x_thomas[i] - x_chol[i]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn permutation_roundtrip(n in 1usize..50, seed in 0u64..1000) {
+        // Fisher–Yates with a tiny LCG.
+        let mut map: Vec<u32> = (0..n as u32).collect();
+        let mut s = seed;
+        for i in (1..n).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (s >> 33) as usize % (i + 1);
+            map.swap(i, j);
+        }
+        let p = Permutation::from_new_to_old(map).unwrap();
+        let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        prop_assert_eq!(p.apply_inverse(&p.apply(&x)), x.clone());
+        prop_assert_eq!(p.apply(&p.apply_inverse(&x)), x);
+    }
+
+    #[test]
+    fn rcm_permuted_solve_matches_natural(a in spd_matrix()) {
+        let n = a.nrows();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let p = rcm(&a);
+        let ap = a.permute_sym(&p);
+        let xp = Cholesky::factor(&ap).unwrap().solve(&p.apply(&b));
+        let x = Cholesky::factor(&a).unwrap().solve(&b);
+        let x_back = p.apply_inverse(&xp);
+        for i in 0..n {
+            prop_assert!((x[i] - x_back[i]).abs() < 1e-7);
+        }
+    }
+}

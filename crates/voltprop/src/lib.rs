@@ -1,0 +1,62 @@
+//! `voltprop` — voltage propagation IR-drop analysis for TSV-based 3-D
+//! power grids.
+//!
+//! This facade crate re-exports the full public API of the workspace that
+//! reproduces *"Voltage Propagation Method for 3-D Power Grid Analysis"*
+//! (Zhang, Pavlidis, De Micheli, DATE 2012):
+//!
+//! * [`core`] — the [`VpSolver`](core::VpSolver) itself;
+//! * [`grid`] — power grid modeling, netlists, benchmark synthesis;
+//! * [`solvers`] — the baseline solvers (direct Cholesky, PCG, row-based,
+//!   random walks) the paper compares against;
+//! * [`sparse`] — the sparse linear algebra substrate.
+//!
+//! The most common items are re-exported at the crate root.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use voltprop::{Stack3d, NetKind, VpSolver, StackSolver};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A 3-tier 16x16 grid with the paper's TSV layout and random loads.
+//! let stack = Stack3d::builder(16, 16, 3)
+//!     .load_profile(voltprop::LoadProfile::UniformRandom {
+//!         min: 1e-4, max: 2e-3,
+//!     }, 42)
+//!     .build()?;
+//!
+//! let solution = VpSolver::default().solve_stack(&stack, NetKind::Power)?;
+//! println!("worst IR drop: {:.2} mV", solution.worst_drop(stack.vdd()) * 1e3);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use voltprop_core as core;
+pub use voltprop_grid as grid;
+pub use voltprop_solvers as solvers;
+pub use voltprop_sparse as sparse;
+
+pub use voltprop_core::{VpConfig, VpReport, VpSolution, VpSolver};
+pub use voltprop_grid::{
+    GridError, LoadProfile, NetKind, Netlist, NetlistCircuit, Stack3d, StampedSystem,
+    SynthConfig, TableCircuit, TsvPattern,
+};
+pub use voltprop_solvers::{
+    ConjugateGradient, DirectCholesky, LinearSolver, Pcg, PrecondKind, RandomWalkSolver, Rb3d,
+    SolveReport, SolverError, StackSolution, StackSolver,
+};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_compile() {
+        // Touch a few re-exports so refactors that drop them fail here.
+        let _ = crate::VpConfig::default();
+        let _ = crate::DirectCholesky::new();
+        let _ = crate::PrecondKind::Ic0;
+    }
+}

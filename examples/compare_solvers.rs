@@ -1,0 +1,82 @@
+//! Runs every solver family on the same benchmark grid and prints a
+//! comparison table: iterations, runtime, workspace, and accuracy against
+//! the direct reference — a miniature of the paper's Table I.
+//!
+//! ```sh
+//! cargo run --release --example compare_solvers [edge]
+//! ```
+//!
+//! `edge` is the per-tier footprint edge length (default 40 → 4 800 nodes).
+
+use std::time::Instant;
+use voltprop::solvers::residual;
+use voltprop::{
+    DirectCholesky, NetKind, Pcg, PrecondKind, Rb3d, StackSolver, SynthConfig, VpSolver,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let edge: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(40);
+    let stack = SynthConfig::new(edge, edge, 3).seed(1).build()?;
+    println!(
+        "benchmark: {}x{}x3 = {} nodes, {} pillars\n",
+        edge,
+        edge,
+        stack.num_nodes(),
+        stack.tsv_sites().len()
+    );
+
+    let t0 = Instant::now();
+    let reference = DirectCholesky::new().solve_stack(&stack, NetKind::Power)?;
+    let t_direct = t0.elapsed();
+
+    println!(
+        "{:<22} {:>10} {:>12} {:>12} {:>12}",
+        "solver", "iters", "time", "workspace", "max err"
+    );
+    let row = |name: &str, iters: usize, secs: f64, bytes: usize, err: f64| {
+        println!(
+            "{:<22} {:>10} {:>9.3} ms {:>9.2} MiB {:>9.4} mV",
+            name,
+            iters,
+            secs * 1e3,
+            bytes as f64 / (1024.0 * 1024.0),
+            err * 1e3
+        );
+    };
+    row(
+        "direct-cholesky",
+        1,
+        t_direct.as_secs_f64(),
+        reference.report.workspace_bytes,
+        0.0,
+    );
+
+    let solvers: Vec<Box<dyn StackSolver>> = vec![
+        Box::new(VpSolver::default()),
+        Box::new(Pcg::with_preconditioner(PrecondKind::Ic0)),
+        Box::new(Pcg::with_preconditioner(PrecondKind::Amg)),
+        Box::new(Pcg::with_preconditioner(PrecondKind::Jacobi)),
+        Box::new(Rb3d::default()),
+    ];
+    for solver in &solvers {
+        let t0 = Instant::now();
+        match solver.solve_stack(&stack, NetKind::Power) {
+            Ok(sol) => {
+                let err = residual::max_abs_error(&reference.voltages, &sol.voltages);
+                row(
+                    solver.solver_name(),
+                    sol.report.iterations,
+                    t0.elapsed().as_secs_f64(),
+                    sol.report.workspace_bytes,
+                    err,
+                );
+            }
+            Err(e) => println!("{:<22} failed: {e}", solver.solver_name()),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,81 @@
+//! TSV placement study: sweep pillar density and placement strategy and
+//! report the worst IR drop — the kind of early-floorplanning exploration
+//! the paper's "oblivious to TSV distribution" property enables.
+//!
+//! ```sh
+//! cargo run --release --example tsv_placement
+//! ```
+
+use voltprop::{LoadProfile, NetKind, Stack3d, TsvPattern, VpSolver};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (w, h) = (32, 32);
+    let loads = LoadProfile::Hotspot {
+        background: 1e-4,
+        peak: 2e-3,
+        centers: vec![(0, 8, 8), (1, 24, 24)],
+        radius: 6.0,
+    };
+
+    println!("pillar density sweep (uniform placement):");
+    println!("{:<28} {:>8} {:>14} {:>8}", "pattern", "pillars", "worst drop", "outers");
+    for pitch in [2usize, 4, 8] {
+        report(
+            &format!("uniform pitch {pitch}"),
+            Stack3d::builder(w, h, 3)
+                .tsv_pattern(TsvPattern::Uniform { pitch })
+                .load_profile(loads.clone(), 3)
+                .build()?,
+        )?;
+    }
+
+    println!();
+    println!("placement strategies at equal pillar count (~64):");
+    println!("{:<28} {:>8} {:>14} {:>8}", "pattern", "pillars", "worst drop", "outers");
+    report(
+        "uniform pitch 4",
+        Stack3d::builder(w, h, 3)
+            .tsv_pattern(TsvPattern::Uniform { pitch: 4 })
+            .load_profile(loads.clone(), 3)
+            .build()?,
+    )?;
+    report(
+        "random (seeded)",
+        Stack3d::builder(w, h, 3)
+            .tsv_pattern(TsvPattern::Random { count: 64, seed: 9 })
+            .load_profile(loads.clone(), 3)
+            .build()?,
+    )?;
+    report(
+        "clustered on hotspots",
+        Stack3d::builder(w, h, 3)
+            .tsv_pattern(TsvPattern::Clustered {
+                centers: vec![(8, 8), (24, 24)],
+                radius: 3,
+            })
+            .load_profile(loads.clone(), 3)
+            .build()?,
+    )?;
+
+    println!();
+    println!("note: clustering pillars on the hotspots shortens the vertical");
+    println!("delivery path exactly where current is drawn, cutting the worst");
+    println!("drop at the same pillar budget.");
+    Ok(())
+}
+
+fn report(label: &str, stack: Stack3d) -> Result<(), Box<dyn std::error::Error>> {
+    let sol = VpSolver::default().solve(&stack, NetKind::Power)?;
+    let worst = sol
+        .voltages
+        .iter()
+        .fold(0.0f64, |m, &v| m.max(stack.vdd() - v));
+    println!(
+        "{:<28} {:>8} {:>11.2} mV {:>8}",
+        label,
+        stack.tsv_sites().len(),
+        worst * 1e3,
+        sol.report.outer_iterations
+    );
+    Ok(())
+}

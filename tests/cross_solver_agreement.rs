@@ -1,0 +1,88 @@
+//! Integration: every solver family must agree with the direct reference
+//! within the paper's 0.5 mV accuracy budget on a shared benchmark.
+
+use voltprop::solvers::residual;
+use voltprop::{
+    DirectCholesky, NetKind, Pcg, PrecondKind, Rb3d, StackSolver, SynthConfig, VpSolver,
+};
+
+const HALF_MV: f64 = 5e-4;
+
+fn benchmark() -> voltprop::Stack3d {
+    SynthConfig::new(20, 20, 3).seed(123).build().unwrap()
+}
+
+#[test]
+fn all_solvers_agree_on_power_net() {
+    let stack = benchmark();
+    let reference = DirectCholesky::new()
+        .solve_stack(&stack, NetKind::Power)
+        .unwrap();
+    let solvers: Vec<Box<dyn StackSolver>> = vec![
+        Box::new(VpSolver::default()),
+        Box::new(Pcg::with_preconditioner(PrecondKind::Ic0)),
+        Box::new(Pcg::with_preconditioner(PrecondKind::Amg)),
+        Box::new(Pcg::with_preconditioner(PrecondKind::Jacobi)),
+        Box::new(Pcg::with_preconditioner(PrecondKind::Ssor(1.3))),
+        Box::new(Rb3d::default()),
+    ];
+    for solver in &solvers {
+        let sol = solver.solve_stack(&stack, NetKind::Power).unwrap();
+        let err = residual::max_abs_error(&reference.voltages, &sol.voltages);
+        assert!(
+            err < HALF_MV,
+            "{} deviates {:.4} mV from the direct reference",
+            solver.solver_name(),
+            err * 1e3
+        );
+        assert!(sol.report.converged, "{}", solver.solver_name());
+    }
+}
+
+#[test]
+fn all_solvers_agree_on_ground_net() {
+    let stack = benchmark();
+    let reference = DirectCholesky::new()
+        .solve_stack(&stack, NetKind::Ground)
+        .unwrap();
+    for solver in [
+        Box::new(VpSolver::default()) as Box<dyn StackSolver>,
+        Box::new(Pcg::default()),
+        Box::new(Rb3d::default()),
+    ] {
+        let sol = solver.solve_stack(&stack, NetKind::Ground).unwrap();
+        let err = residual::max_abs_error(&reference.voltages, &sol.voltages);
+        assert!(
+            err < HALF_MV,
+            "{} ground-net error {:.4} mV",
+            solver.solver_name(),
+            err * 1e3
+        );
+    }
+}
+
+#[test]
+fn vp_solution_satisfies_kcl_matrix_free() {
+    let stack = benchmark();
+    let vp = VpSolver::default().solve(&stack, NetKind::Power).unwrap();
+    let r = residual::kcl_residual_inf(&stack, NetKind::Power, &vp.voltages);
+    // Load currents are milliamps; nodal mismatch must sit well below one
+    // device's draw.
+    assert!(r < 5e-2, "KCL residual {r} A");
+}
+
+#[test]
+fn vp_beats_naive_rb3d_iterations() {
+    // The motivating comparison of §III-A: on the same grid the naive RB
+    // extension needs far more full-stack sweeps than VP needs row sweeps
+    // per tier.
+    let stack = benchmark();
+    let vp = VpSolver::default().solve(&stack, NetKind::Power).unwrap();
+    let rb = Rb3d::default().solve_stack(&stack, NetKind::Power).unwrap();
+    assert!(
+        vp.report.outer_iterations < rb.report.iterations,
+        "VP {} outer iterations vs naive RB {}",
+        vp.report.outer_iterations,
+        rb.report.iterations
+    );
+}

@@ -1,0 +1,62 @@
+//! Integration: ground-net analysis and the combined supply-collapse view.
+
+use voltprop::solvers::residual;
+use voltprop::{DirectCholesky, NetKind, StackSolver, SynthConfig, VpSolver};
+
+#[test]
+fn total_rail_collapse_is_power_drop_plus_ground_bounce() {
+    let stack = SynthConfig::new(14, 14, 3).seed(77).build().unwrap();
+    let power = VpSolver::default().solve(&stack, NetKind::Power).unwrap();
+    let ground = VpSolver::default().solve(&stack, NetKind::Ground).unwrap();
+
+    // For identical P/G topologies, the effective supply each device sees
+    // is VDD - drop_p - bounce_g; both nets mirror each other, so the
+    // collapse is exactly twice the power-net drop.
+    let reference = DirectCholesky::new()
+        .solve_stack(&stack, NetKind::Power)
+        .unwrap();
+    for i in 0..stack.num_nodes() {
+        let drop_p = stack.vdd() - power.voltages[i];
+        let bounce_g = ground.voltages[i];
+        let exact_drop = stack.vdd() - reference.voltages[i];
+        let collapse = drop_p + bounce_g;
+        assert!(
+            (collapse - 2.0 * exact_drop).abs() < 2e-3,
+            "node {i}: collapse {collapse} vs 2x exact drop {}",
+            2.0 * exact_drop
+        );
+    }
+}
+
+#[test]
+fn ground_bounce_is_nonnegative_and_bounded() {
+    let stack = SynthConfig::new(16, 16, 3).seed(5).build().unwrap();
+    let ground = VpSolver::default().solve(&stack, NetKind::Ground).unwrap();
+    let eps = 2e-4;
+    for &v in &ground.voltages {
+        assert!(v >= -eps, "bounce {v} below zero");
+        assert!(v < stack.vdd() / 2.0, "bounce {v} absurdly large");
+    }
+}
+
+#[test]
+fn ground_net_netlist_export_solves() {
+    let stack = SynthConfig::new(8, 8, 2).seed(2).build().unwrap();
+    let spice = stack.to_netlist(NetKind::Ground).to_spice();
+    let parsed = voltprop::Netlist::parse(&spice).unwrap();
+    let circuit = voltprop::NetlistCircuit::elaborate(&parsed).unwrap();
+    let v = circuit.solve_dense().unwrap();
+
+    let direct = DirectCholesky::new()
+        .solve_stack(&stack, NetKind::Ground)
+        .unwrap();
+    let name = voltprop::grid::netlist::names::node_name(0, 3, 3);
+    let from_netlist = circuit.voltage_of(&v, &name).unwrap();
+    let from_model = direct.voltages[stack.node_index(0, 3, 3)];
+    assert!(
+        (from_netlist - from_model).abs() < 1e-9,
+        "{from_netlist} vs {from_model}"
+    );
+    let err = residual::max_abs_error(&direct.voltages, &direct.voltages);
+    assert_eq!(err, 0.0);
+}

@@ -1,0 +1,77 @@
+//! Integration: behaviour across tier counts — the conclusion's claim that
+//! deeper stacks are where VP pays off most.
+
+use voltprop::solvers::residual;
+use voltprop::{DirectCholesky, LoadProfile, NetKind, Stack3d, StackSolver, VpSolver};
+
+fn stack_with_tiers(tiers: usize) -> Stack3d {
+    Stack3d::builder(10, 10, tiers)
+        .load_profile(LoadProfile::UniformRandom { min: 1e-4, max: 1e-3 }, 44)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn vp_accurate_from_one_to_six_tiers() {
+    for tiers in 1..=6 {
+        let stack = stack_with_tiers(tiers);
+        let exact = DirectCholesky::new()
+            .solve_stack(&stack, NetKind::Power)
+            .unwrap();
+        let vp = VpSolver::default().solve(&stack, NetKind::Power).unwrap();
+        let err = residual::max_abs_error(&exact.voltages, &vp.voltages);
+        assert!(err < 5e-4, "{tiers} tiers: error {:.4} mV", err * 1e3);
+    }
+}
+
+#[test]
+fn drop_deepens_with_distance_from_pads() {
+    // Monotone physics: the farther a tier is from the package, the worse
+    // its average IR drop.
+    let stack = stack_with_tiers(4);
+    let vp = VpSolver::default().solve(&stack, NetKind::Power).unwrap();
+    let per = stack.nodes_per_tier();
+    let mut tier_means = Vec::new();
+    for t in 0..4 {
+        let mean: f64 = vp.voltages[t * per..(t + 1) * per]
+            .iter()
+            .map(|v| stack.vdd() - v)
+            .sum::<f64>()
+            / per as f64;
+        tier_means.push(mean);
+    }
+    for t in 0..3 {
+        assert!(
+            tier_means[t] >= tier_means[t + 1] - 1e-6,
+            "tier {t} ({}) should sag at least as much as tier {} ({})",
+            tier_means[t],
+            t + 1,
+            tier_means[t + 1]
+        );
+    }
+}
+
+#[test]
+fn pillar_current_grows_toward_package() {
+    // Each pillar's accumulated current at the top interface must equal
+    // the sum of what the tiers below consume; spot-check monotonicity via
+    // the exposed pillar currents (total into all tiers, positive).
+    let stack = stack_with_tiers(3);
+    let vp = VpSolver::default().solve(&stack, NetKind::Power).unwrap();
+    assert!(vp.pillar_currents.iter().all(|&i| i > 0.0));
+}
+
+#[test]
+fn outer_iterations_stay_bounded_with_depth() {
+    // VP's outer loop should not blow up with tier count (the naive RB
+    // extension does).
+    for tiers in [2, 4, 6] {
+        let stack = stack_with_tiers(tiers);
+        let vp = VpSolver::default().solve(&stack, NetKind::Power).unwrap();
+        assert!(
+            vp.report.outer_iterations <= 40,
+            "{tiers} tiers took {} outer iterations",
+            vp.report.outer_iterations
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Integration: the Table-I benchmark presets are well-formed and the
+//! smallest one solves end to end with every headline solver.
+
+use voltprop::solvers::residual;
+use voltprop::{DirectCholesky, NetKind, Pcg, StackSolver, SynthConfig, TableCircuit, VpSolver};
+
+#[test]
+fn all_presets_have_paper_node_counts() {
+    let expected = [30_000, 90_000, 230_000, 1_000_000, 3_000_000, 12_000_000];
+    for (c, want) in TableCircuit::ALL.into_iter().zip(expected) {
+        let got = c.num_nodes();
+        let rel = (got as f64 - want as f64).abs() / want as f64;
+        assert!(rel < 0.01, "{c}: {got} nodes vs paper {want}");
+    }
+}
+
+#[test]
+fn c0_solves_with_all_headline_solvers() {
+    // C0 is the paper's smallest circuit (30 K nodes) — big enough to be
+    // meaningful, small enough for CI.
+    let stack = TableCircuit::C0.build(1).unwrap();
+    assert_eq!(stack.num_nodes(), 30_000);
+
+    let exact = DirectCholesky::new()
+        .solve_stack(&stack, NetKind::Power)
+        .unwrap();
+    let vp = VpSolver::default().solve_stack(&stack, NetKind::Power).unwrap();
+    let pcg = Pcg::default().solve_stack(&stack, NetKind::Power).unwrap();
+
+    let vp_err = residual::max_abs_error(&exact.voltages, &vp.voltages);
+    let pcg_err = residual::max_abs_error(&exact.voltages, &pcg.voltages);
+    assert!(vp_err < 5e-4, "VP error {:.4} mV", vp_err * 1e3);
+    assert!(pcg_err < 5e-4, "PCG error {:.4} mV", pcg_err * 1e3);
+
+    // The memory pitch of Table I: VP's workspace is well under PCG's.
+    assert!(
+        vp.report.workspace_bytes * 2 < pcg.report.workspace_bytes,
+        "VP {} bytes vs PCG {} bytes",
+        vp.report.workspace_bytes,
+        pcg.report.workspace_bytes
+    );
+}
+
+#[test]
+fn presets_are_deterministic() {
+    let a = SynthConfig::table_circuit(TableCircuit::C0).seed(9).build().unwrap();
+    let b = SynthConfig::table_circuit(TableCircuit::C0).seed(9).build().unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn preset_has_paper_tsv_density_and_resistance() {
+    let stack = TableCircuit::C0.build(0).unwrap();
+    assert_eq!(stack.tsv_resistance(), 0.05, "paper's R_TSV");
+    let density = stack.nodes_per_tier() as f64 / stack.tsv_sites().len() as f64;
+    assert!((density - 4.0).abs() < 0.1, "one TSV per four nodes");
+    assert_eq!(stack.tiers(), 3, "replicated thrice");
+}
