@@ -17,6 +17,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 static CURRENT: AtomicUsize = AtomicUsize::new(0);
 static PEAK: AtomicUsize = AtomicUsize::new(0);
+static CALLS: AtomicUsize = AtomicUsize::new(0);
 
 /// A [`System`]-backed allocator that tracks live and peak bytes.
 pub struct CountingAllocator;
@@ -28,6 +29,7 @@ unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         let p = unsafe { System.alloc(layout) };
         if !p.is_null() {
+            CALLS.fetch_add(1, Ordering::Relaxed);
             let now = CURRENT.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
             PEAK.fetch_max(now, Ordering::Relaxed);
         }
@@ -42,6 +44,7 @@ unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         let p = unsafe { System.realloc(ptr, layout, new_size) };
         if !p.is_null() {
+            CALLS.fetch_add(1, Ordering::Relaxed);
             if new_size >= layout.size() {
                 let grow = new_size - layout.size();
                 let now = CURRENT.fetch_add(grow, Ordering::Relaxed) + grow;
@@ -57,6 +60,13 @@ unsafe impl GlobalAlloc for CountingAllocator {
 /// Live heap bytes right now.
 pub fn current_bytes() -> usize {
     CURRENT.load(Ordering::Relaxed)
+}
+
+/// Total allocator calls (`alloc` + `realloc`) since process start; the
+/// zero-allocation solve path is verified by this counter standing still
+/// across a warm solve.
+pub fn alloc_calls() -> usize {
+    CALLS.load(Ordering::Relaxed)
 }
 
 /// Peak heap bytes since the last [`reset_peak`].

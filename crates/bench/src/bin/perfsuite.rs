@@ -1,0 +1,305 @@
+//! `perfsuite` — the row-sweep / solver performance suite.
+//!
+//! Measures, on synthetic stacks:
+//!
+//! * the row-sweep kernels: the seed's re-eliminating sequential
+//!   [`RowBased`] baseline vs the prefactored [`TierEngine`] under the
+//!   sequential and red-black schedules (1, 2, and 4 threads);
+//! * numerical agreement between the schedules (max |ΔV| of the
+//!   converged solutions, required ≤ 1e-9);
+//! * full [`VpSolver`] solves at `parallelism` 1 and 4;
+//! * the zero-allocation warm path: allocator calls/bytes across a warm
+//!   [`VpSolver::solve_with`] on a reused [`VpScratch`] (expected 0 at
+//!   `parallelism = 1`; the parallel path pays per-solve thread spawns).
+//!
+//! Each invocation appends one JSON entry to `BENCH_rowbased.json` at the
+//! repository root (see [`voltprop_bench::trajectory`]), building the
+//! performance history future PRs extend.
+//!
+//! Usage: `cargo run --release -p voltprop-bench --bin perfsuite`
+//! (`--quick` shrinks the grids for a smoke run; `--out PATH` redirects
+//! the trajectory file).
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use voltprop_bench::alloc::{self, CountingAllocator};
+use voltprop_bench::trajectory::{append_run, json_f64};
+use voltprop_core::{VpConfig, VpScratch, VpSolver};
+use voltprop_grid::{NetKind, Stack3d};
+use voltprop_solvers::rowbased::{RbWorkspace, RowBased, TierProblem};
+use voltprop_solvers::{SweepSchedule, TierEngine};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// A VP-regime tier fixture: every other node pinned (the paper's TSV
+/// density), uniform loads on the free nodes.
+struct TierFixture {
+    edge: usize,
+    fixed: Vec<bool>,
+    injection: Vec<f64>,
+    v0: Vec<f64>,
+}
+
+impl TierFixture {
+    fn new(edge: usize) -> Self {
+        let n = edge * edge;
+        let mut fixed = vec![false; n];
+        for y in (0..edge).step_by(2) {
+            for x in (0..edge).step_by(2) {
+                fixed[y * edge + x] = true;
+            }
+        }
+        let injection = (0..n).map(|i| if fixed[i] { 0.0 } else { -5e-4 }).collect();
+        TierFixture {
+            edge,
+            fixed,
+            injection,
+            v0: vec![1.8; n],
+        }
+    }
+
+    fn problem<'a>(&'a self, zeros: &'a [f64]) -> TierProblem<'a> {
+        TierProblem {
+            width: self.edge,
+            height: self.edge,
+            g_h: 50.0,
+            g_v: 50.0,
+            fixed: &self.fixed,
+            extra_diag: zeros,
+            injection: &self.injection,
+        }
+    }
+
+    fn engine(&self, schedule: SweepSchedule) -> TierEngine {
+        TierEngine::new(
+            self.edge,
+            self.edge,
+            50.0,
+            50.0,
+            Arc::from(&self.fixed[..]),
+            None,
+            schedule,
+        )
+        .expect("fixture tier is well-formed")
+    }
+}
+
+/// Times `sweeps` fixed-budget engine sweeps, returning ns/sweep.
+fn time_engine_sweeps(fixture: &TierFixture, schedule: SweepSchedule, sweeps: usize) -> f64 {
+    let mut engine = fixture.engine(schedule);
+    let mut v = fixture.v0.clone();
+    // Warm-up (first touch, page faults, branch history).
+    let _ = engine.solve(&fixture.injection, &mut v, 0.0, sweeps.min(8));
+    let mut v = fixture.v0.clone();
+    let start = Instant::now();
+    // tolerance 0 never triggers, so exactly `sweeps` sweeps run.
+    let _ = engine.solve(&fixture.injection, &mut v, 0.0, sweeps);
+    start.elapsed().as_nanos() as f64 / sweeps as f64
+}
+
+/// Times the seed's re-eliminating sequential kernel, returning ns/sweep.
+fn time_baseline_sweeps(fixture: &TierFixture, sweeps: usize) -> f64 {
+    let zeros = vec![0.0; fixture.edge * fixture.edge];
+    let problem = fixture.problem(&zeros);
+    let rb = RowBased::default();
+    let mut ws = RbWorkspace::new(fixture.edge);
+    let mut v = fixture.v0.clone();
+    for i in 0..sweeps.min(8) {
+        let _ = rb.sweep_once(&problem, &mut v, &mut ws, i % 2 == 0);
+    }
+    let mut v = fixture.v0.clone();
+    let start = Instant::now();
+    for i in 0..sweeps {
+        let _ = rb.sweep_once(&problem, &mut v, &mut ws, i % 2 == 0);
+    }
+    start.elapsed().as_nanos() as f64 / sweeps as f64
+}
+
+fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0f64, f64::max)
+}
+
+/// One row-sweep comparison block on an `edge × edge` tier.
+fn row_sweep_block(edge: usize, sweeps: usize) -> String {
+    eprintln!("row sweeps {edge}x{edge} ({sweeps} sweeps per kernel)...");
+    let fixture = TierFixture::new(edge);
+    let baseline = time_baseline_sweeps(&fixture, sweeps);
+    let engine_seq = time_engine_sweeps(&fixture, SweepSchedule::Sequential, sweeps);
+    let mut rb_lines = Vec::new();
+    let mut rb4 = f64::NAN;
+    for threads in [1usize, 2, 4] {
+        let ns = time_engine_sweeps(&fixture, SweepSchedule::RedBlack { threads }, sweeps);
+        if threads == 4 {
+            rb4 = ns;
+        }
+        rb_lines.push(format!(
+            "      {{ \"threads\": {threads}, \"ns_per_sweep\": {} }}",
+            json_f64(ns)
+        ));
+    }
+
+    // Converged-solution agreement: sequential vs 4-thread red-black.
+    let mut v_seq = fixture.v0.clone();
+    fixture
+        .engine(SweepSchedule::Sequential)
+        .solve(&fixture.injection, &mut v_seq, 1e-12, 200_000)
+        .expect("sequential converges");
+    let mut v_rb = fixture.v0.clone();
+    fixture
+        .engine(SweepSchedule::RedBlack { threads: 4 })
+        .solve(&fixture.injection, &mut v_rb, 1e-12, 200_000)
+        .expect("red-black converges");
+    let agreement = max_abs_diff(&v_seq, &v_rb);
+    assert!(
+        agreement <= 1e-9,
+        "red-black and sequential disagree by {agreement} V"
+    );
+
+    format!(
+        "{{\n    \"grid\": \"{edge}x{edge}\",\n    \"sweeps_timed\": {sweeps},\n    \
+         \"baseline_rowbased_seq_ns_per_sweep\": {},\n    \
+         \"engine_seq_ns_per_sweep\": {},\n    \
+         \"engine_redblack\": [\n{}\n    ],\n    \
+         \"speedup_redblack4_vs_seed_baseline\": {},\n    \
+         \"speedup_redblack4_vs_engine_seq\": {},\n    \
+         \"max_abs_dv_redblack_vs_seq\": {}\n  }}",
+        json_f64(baseline),
+        json_f64(engine_seq),
+        rb_lines.join(",\n"),
+        json_f64(baseline / rb4),
+        json_f64(engine_seq / rb4),
+        json_f64(agreement),
+    )
+}
+
+/// One full-solver block: VpSolver at a given parallelism on a stack,
+/// timed warm (scratch prebuilt, second solve measured), with allocator
+/// deltas across the measured solve.
+fn vp_block(w: usize, h: usize, tiers: usize, parallelism: usize, dv_vs_seq: f64) -> String {
+    eprintln!("VpSolver {w}x{h}x{tiers} parallelism={parallelism}...");
+    let stack = Stack3d::builder(w, h, tiers)
+        .uniform_load(2e-4)
+        .build()
+        .expect("valid stack");
+    let solver = VpSolver::new(VpConfig::new().parallelism(parallelism));
+    let mut scratch = VpScratch::new(&stack, &solver.config).expect("scratch");
+    // Warm solve: faults pages, fills the scratch.
+    solver
+        .solve_with(&stack, NetKind::Power, &mut scratch)
+        .expect("warm solve converges");
+    let calls_before = alloc::alloc_calls();
+    let bytes_before = alloc::reset_peak();
+    let start = Instant::now();
+    let report = solver
+        .solve_with(&stack, NetKind::Power, &mut scratch)
+        .expect("timed solve converges");
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    let alloc_calls = alloc::alloc_calls() - calls_before;
+    let alloc_peak_bytes = alloc::peak_bytes().saturating_sub(bytes_before);
+    format!(
+        "{{\n    \"grid\": \"{w}x{h}x{tiers}\",\n    \"parallelism\": {parallelism},\n    \
+         \"warm_solve_ms\": {},\n    \"outer_iterations\": {},\n    \
+         \"inner_sweeps\": {},\n    \"pad_mismatch_v\": {},\n    \
+         \"warm_alloc_calls\": {alloc_calls},\n    \"warm_alloc_peak_bytes\": {alloc_peak_bytes},\n    \
+         \"max_abs_dv_vs_parallelism1\": {}\n  }}",
+        json_f64(ms),
+        report.outer_iterations,
+        report.inner_sweeps,
+        json_f64(report.pad_mismatch),
+        json_f64(dv_vs_seq),
+    )
+}
+
+/// Solves a stack at the given parallelism and returns the voltages (for
+/// cross-parallelism agreement).
+fn vp_voltages(w: usize, h: usize, tiers: usize, parallelism: usize) -> Vec<f64> {
+    let stack = Stack3d::builder(w, h, tiers)
+        .uniform_load(2e-4)
+        .build()
+        .expect("valid stack");
+    VpSolver::new(VpConfig::new().parallelism(parallelism))
+        .solve(&stack, NetKind::Power)
+        .expect("solve converges")
+        .voltages
+}
+
+fn repo_root() -> PathBuf {
+    // crates/bench → workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|_| PathBuf::from("."))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = match args.iter().position(|a| a == "--out") {
+        Some(i) => match args.get(i + 1) {
+            Some(path) => PathBuf::from(path),
+            None => {
+                eprintln!("error: --out requires a path argument");
+                std::process::exit(2);
+            }
+        },
+        None => repo_root().join("BENCH_rowbased.json"),
+    };
+
+    // (edge, sweeps) for row-sweep micro-benchmarks.
+    let sweep_cases: Vec<(usize, usize)> = if quick {
+        vec![(64, 40)]
+    } else {
+        vec![(256, 60), (512, 24)]
+    };
+    // (w, h, tiers) for full-solver runs.
+    let vp_cases: Vec<(usize, usize, usize)> = if quick {
+        vec![(64, 64, 3)]
+    } else {
+        vec![(256, 256, 4), (512, 512, 2)]
+    };
+
+    let row_blocks: Vec<String> = sweep_cases
+        .iter()
+        .map(|&(edge, sweeps)| row_sweep_block(edge, sweeps))
+        .collect();
+
+    let mut vp_blocks = Vec::new();
+    for &(w, h, tiers) in &vp_cases {
+        let v_seq = vp_voltages(w, h, tiers, 1);
+        for parallelism in [1usize, 4] {
+            let dv = if parallelism == 1 {
+                0.0
+            } else {
+                max_abs_diff(&v_seq, &vp_voltages(w, h, tiers, parallelism))
+            };
+            vp_blocks.push(vp_block(w, h, tiers, parallelism, dv));
+        }
+    }
+
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let hardware_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let entry = format!(
+        "{{\n  \"unix_time\": {unix_time},\n  \"quick\": {quick},\n  \
+         \"hardware_threads\": {hardware_threads},\n  \
+         \"row_sweeps\": [\n  {}\n  ],\n  \"vp_solver\": [\n  {}\n  ]\n}}",
+        row_blocks.join(",\n  "),
+        vp_blocks.join(",\n  "),
+    );
+    if let Err(e) = append_run(&out, &entry) {
+        eprintln!("error: could not append to {}: {e}", out.display());
+        std::process::exit(1);
+    }
+    println!("appended run to {}", out.display());
+    println!("{entry}");
+}

@@ -7,12 +7,8 @@ use crate::paper;
 use crate::table::{mib, secs, Table};
 use std::error::Error;
 use voltprop_core::VpSolver;
-use voltprop_grid::{
-    LoadProfile, NetKind, Stack3d, SynthConfig, TableCircuit, TsvPattern,
-};
-use voltprop_solvers::{
-    DirectCholesky, Pcg, PrecondKind, RandomWalkSolver, Rb3d, StackSolver,
-};
+use voltprop_grid::{LoadProfile, NetKind, Stack3d, SynthConfig, TableCircuit, TsvPattern};
+use voltprop_solvers::{DirectCholesky, Pcg, PrecondKind, RandomWalkSolver, Rb3d, StackSolver};
 
 /// Benchmark seed shared by all experiments (deterministic workloads).
 pub const SEED: u64 = 2012;
@@ -38,7 +34,14 @@ pub fn table1(full: bool) -> Report {
         &[TableCircuit::C0, TableCircuit::C1, TableCircuit::C2]
     };
     let mut t = Table::new(vec![
-        "circuit", "nodes", "solver", "iters", "time", "mem (MiB)", "err (mV)", "paper time",
+        "circuit",
+        "nodes",
+        "solver",
+        "iters",
+        "time",
+        "mem (MiB)",
+        "err (mV)",
+        "paper time",
         "paper mem",
     ]);
     let mut speedups: Vec<(TableCircuit, f64, f64)> = Vec::new();
@@ -237,7 +240,12 @@ pub fn scaling(edges: &[usize]) -> Report {
 /// Propagates solver failures.
 pub fn rw_trap() -> Report {
     let mut t = Table::new(vec![
-        "grid", "r_tsv", "mean steps", "vs planar", "walks for 5 mV", "walks for 0.5 mV",
+        "grid",
+        "r_tsv",
+        "mean steps",
+        "vs planar",
+        "walks for 5 mV",
+        "walks for 0.5 mV",
     ]);
     let walks = 400;
     let rw = RandomWalkSolver::new(walks, SEED);
@@ -290,7 +298,12 @@ pub fn rb_vs_vp() -> Report {
     let mut out = String::from("E4 / naive 3-D row-based vs voltage propagation\n");
     out.push_str("\n(a) benchmark topology (package bumps on a 10-node lattice)\n\n");
     let mut t = Table::new(vec![
-        "r_tsv", "rb3d sweeps", "rb3d time", "VP outer", "VP row sweeps", "VP time",
+        "r_tsv",
+        "rb3d sweeps",
+        "rb3d time",
+        "VP outer",
+        "VP row sweeps",
+        "VP time",
     ]);
     for r_tsv in [1.0, 0.1, 0.05, 0.01] {
         let stack = SynthConfig::new(24, 24, 3)
@@ -330,7 +343,13 @@ pub fn rb_vs_vp() -> Report {
             .wire_resistance(1.0)
             .tsv_resistance(r_tsv)
             .pad_sites(sites)
-            .load_profile(LoadProfile::UniformRandom { min: 1e-4, max: 2e-3 }, SEED)
+            .load_profile(
+                LoadProfile::UniformRandom {
+                    min: 1e-4,
+                    max: 2e-3,
+                },
+                SEED,
+            )
             .build()?;
         let (rb, _) = run_stack_solver(&Rb3d::default(), &stack, NetKind::Power, None)?;
         t.add_row(vec![
@@ -364,12 +383,23 @@ pub fn tsv_patterns() -> Report {
         ),
     ];
     let mut t = Table::new(vec![
-        "pattern", "pillars", "VP outer", "row sweeps", "max err (mV)", "worst drop (mV)",
+        "pattern",
+        "pillars",
+        "VP outer",
+        "row sweeps",
+        "max err (mV)",
+        "worst drop (mV)",
     ]);
     for (label, pattern) in patterns {
         let stack = Stack3d::builder(w, h, 3)
             .tsv_pattern(pattern.clone())
-            .load_profile(LoadProfile::UniformRandom { min: 1e-4, max: 1e-3 }, SEED)
+            .load_profile(
+                LoadProfile::UniformRandom {
+                    min: 1e-4,
+                    max: 1e-3,
+                },
+                SEED,
+            )
             .build()?;
         let (_, ref_v) = run_stack_solver(&DirectCholesky::new(), &stack, NetKind::Power, None)?;
         // Irregular patterns use the diagonal VDA fallback, which resolves
@@ -440,7 +470,8 @@ pub fn tiers() -> Report {
             vp.report.outer_iterations.to_string(),
         ]);
     }
-    let mut out = String::from("E6 / tier-count scaling (conclusion: deeper stacks benefit more)\n\n");
+    let mut out =
+        String::from("E6 / tier-count scaling (conclusion: deeper stacks benefit more)\n\n");
     out.push_str(&t.to_string());
     Ok(out)
 }

@@ -23,3 +23,4 @@ pub mod experiments;
 pub mod harness;
 pub mod paper;
 pub mod table;
+pub mod trajectory;

@@ -1,0 +1,122 @@
+//! The benchmark trajectory file: an append-only JSON record of perf runs.
+//!
+//! `perfsuite` writes one entry per invocation to `BENCH_rowbased.json` at
+//! the repository root, so the performance history accumulates across PRs
+//! and regressions are visible as a time series. The file is plain JSON:
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "runs": [
+//!     { ...run 1... },
+//!     { ...run 2... }
+//!   ]
+//! }
+//! ```
+//!
+//! The workspace builds without serde, so appending splices text: the file
+//! always ends with the exact marker `\n  ]\n}\n`, and a new run replaces
+//! that suffix with `,\n<entry>\n  ]\n}\n`. Hand-edited files keep working
+//! as long as the marker survives.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// The suffix every trajectory file ends with.
+const TAIL: &str = "\n  ]\n}\n";
+
+/// Appends one run entry (a complete JSON object, no trailing comma) to
+/// the trajectory at `path`, creating the file if needed.
+///
+/// # Errors
+///
+/// I/O errors from reading/writing the file, or
+/// [`io::ErrorKind::InvalidData`] if an existing file does not end with
+/// the expected marker (e.g. a hand edit broke the format).
+pub fn append_run(path: &Path, entry: &str) -> io::Result<()> {
+    let entry = indent(entry.trim(), "    ");
+    let text = match fs::read_to_string(path) {
+        Ok(existing) => {
+            let head = existing.strip_suffix(TAIL).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "{} does not end with the trajectory marker; \
+                         refusing to splice (fix or delete the file)",
+                        path.display()
+                    ),
+                )
+            })?;
+            format!("{head},\n{entry}{TAIL}")
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            format!("{{\n  \"schema\": 1,\n  \"runs\": [\n{entry}{TAIL}")
+        }
+        Err(e) => return Err(e),
+    };
+    fs::write(path, text)
+}
+
+/// Prefixes every line of `text` with `pad`.
+fn indent(text: &str, pad: &str) -> String {
+    text.lines()
+        .map(|l| format!("{pad}{l}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Formats an `f64` for the trajectory (finite → shortest roundtrip
+/// representation, non-finite → `null`; JSON has no NaN/Infinity).
+pub fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpfile(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("voltprop-trajectory-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn creates_then_appends() {
+        let path = tmpfile("create");
+        let _ = fs::remove_file(&path);
+        append_run(&path, "{ \"run\": 1 }").unwrap();
+        append_run(&path, "{ \"run\": 2 }").unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("{\n  \"schema\": 1"));
+        assert!(text.ends_with(TAIL));
+        assert_eq!(text.matches("\"run\"").count(), 2);
+        // Two runs are comma-separated inside the array.
+        assert!(
+            text.contains("{ \"run\": 1 },\n    { \"run\": 2 }"),
+            "{text}"
+        );
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn refuses_corrupt_files() {
+        let path = tmpfile("corrupt");
+        fs::write(&path, "not a trajectory").unwrap();
+        let err = append_run(&path, "{}").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn json_f64_handles_non_finite() {
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+    }
+}

@@ -8,37 +8,67 @@
 //! problem to combine the last few residuals, effectively learning the
 //! Jacobian's action on the visited subspace — the standard cure for
 //! exactly this kind of fixed-point stall.
+//!
+//! All buffers — the difference history, the previous iterate, and the
+//! tiny normal-equation system — are allocated at construction and
+//! recycled, so [`Anderson::step`] is heap-allocation-free: it sits
+//! inside the solver's zero-allocation outer loop.
 
 use std::collections::VecDeque;
 
-/// Safeguarded Anderson(m) mixer.
+/// Safeguarded Anderson(m) mixer over vectors of a fixed length.
 #[derive(Debug, Clone)]
 pub(crate) struct Anderson {
     depth: usize,
+    n: usize,
     dx: VecDeque<Vec<f64>>,
     df: VecDeque<Vec<f64>>,
-    prev_x: Option<Vec<f64>>,
-    prev_f: Option<Vec<f64>>,
+    /// Retired history buffers, recycled into the next push.
+    pool: Vec<Vec<f64>>,
+    prev_x: Vec<f64>,
+    prev_f: Vec<f64>,
+    has_prev: bool,
+    /// Row-major `depth × depth` normal-equation workspace.
+    gram: Vec<f64>,
+    rhs: Vec<f64>,
+    gamma: Vec<f64>,
 }
 
 impl Anderson {
-    pub(crate) fn new(depth: usize) -> Self {
+    /// A mixer keeping `depth` difference pairs of `n`-vectors.
+    pub(crate) fn new(depth: usize, n: usize) -> Self {
         Anderson {
             depth,
-            dx: VecDeque::new(),
-            df: VecDeque::new(),
-            prev_x: None,
-            prev_f: None,
+            n,
+            dx: VecDeque::with_capacity(depth + 1),
+            df: VecDeque::with_capacity(depth + 1),
+            pool: (0..2 * (depth + 1)).map(|_| vec![0.0; n]).collect(),
+            prev_x: vec![0.0; n],
+            prev_f: vec![0.0; n],
+            has_prev: false,
+            gram: vec![0.0; depth * depth],
+            rhs: vec![0.0; depth],
+            gamma: vec![0.0; depth],
         }
     }
 
     /// Forgets the history (used by the caller's safeguard when a step
     /// increases the residual badly).
     pub(crate) fn reset(&mut self) {
-        self.dx.clear();
-        self.df.clear();
-        self.prev_x = None;
-        self.prev_f = None;
+        self.pool.extend(self.dx.drain(..));
+        self.pool.extend(self.df.drain(..));
+        self.has_prev = false;
+    }
+
+    fn history_buf(&mut self) -> Vec<f64> {
+        self.pool.pop().unwrap_or_else(|| vec![0.0; self.n])
+    }
+
+    /// Estimated heap footprint in bytes (history, pool, and the tiny
+    /// normal-equation workspace).
+    pub(crate) fn memory_bytes(&self) -> usize {
+        let vectors = self.dx.len() + self.df.len() + self.pool.len() + 2;
+        vectors * self.n * 8 + (self.gram.len() + self.rhs.len() + self.gamma.len()) * 8
     }
 
     /// One mixing step: given the current iterate `x` and residual `f`
@@ -48,19 +78,30 @@ impl Anderson {
     /// stability scale so a reset cannot re-trigger the divergence that
     /// caused it.
     pub(crate) fn step(&mut self, x: &mut [f64], f: &[f64], first_scale: f64) {
-        let n = x.len();
-        if let (Some(px), Some(pf)) = (&self.prev_x, &self.prev_f) {
-            let dx: Vec<f64> = x.iter().zip(px).map(|(a, b)| a - b).collect();
-            let df: Vec<f64> = f.iter().zip(pf).map(|(a, b)| a - b).collect();
+        let n = self.n;
+        assert_eq!(x.len(), n, "iterate length");
+        assert_eq!(f.len(), n, "residual length");
+        if self.has_prev {
+            let mut dx = self.history_buf();
+            for ((d, a), b) in dx.iter_mut().zip(x.iter()).zip(&self.prev_x) {
+                *d = a - b;
+            }
             self.dx.push_back(dx);
+            let mut df = self.history_buf();
+            for ((d, a), b) in df.iter_mut().zip(f.iter()).zip(&self.prev_f) {
+                *d = a - b;
+            }
             self.df.push_back(df);
             if self.dx.len() > self.depth {
-                self.dx.pop_front();
-                self.df.pop_front();
+                let retired = self.dx.pop_front().expect("non-empty history");
+                self.pool.push(retired);
+                let retired = self.df.pop_front().expect("non-empty history");
+                self.pool.push(retired);
             }
         }
-        self.prev_x = Some(x.to_vec());
-        self.prev_f = Some(f.to_vec());
+        self.prev_x.copy_from_slice(x);
+        self.prev_f.copy_from_slice(f);
+        self.has_prev = true;
 
         let m = self.df.len();
         if m == 0 {
@@ -71,37 +112,38 @@ impl Anderson {
         }
         // Solve min_γ ‖f − ΔF γ‖₂ via regularized normal equations (m ≤
         // depth is tiny).
-        let mut gram = vec![vec![0.0f64; m]; m];
-        let mut rhs = vec![0.0f64; m];
         for a in 0..m {
             for b in a..m {
                 let g = dot(&self.df[a], &self.df[b]);
-                gram[a][b] = g;
-                gram[b][a] = g;
+                self.gram[a * m + b] = g;
+                self.gram[b * m + a] = g;
             }
-            rhs[a] = dot(&self.df[a], f);
+            self.rhs[a] = dot(&self.df[a], f);
         }
-        let scale = (0..m).map(|i| gram[i][i]).fold(0.0f64, f64::max);
-        for (i, row) in gram.iter_mut().enumerate() {
-            row[i] += 1e-12 * scale.max(1e-300);
+        let scale = (0..m).map(|i| self.gram[i * m + i]).fold(0.0f64, f64::max);
+        for i in 0..m {
+            self.gram[i * m + i] += 1e-12 * scale.max(1e-300);
         }
-        let gamma = match solve_dense(&mut gram, &mut rhs) {
-            // Wild extrapolation coefficients mean the history is nearly
-            // collinear; trusting them explodes the iterate. Fall back to
-            // the plain step (and let fresh history replace the stale
-            // directions).
-            Some(g) if g.iter().all(|v| v.abs() <= 10.0) => g,
-            _ => {
-                for i in 0..n {
-                    x[i] += first_scale * f[i];
-                }
-                return;
+        let solved = solve_dense(
+            &mut self.gram[..m * m],
+            &mut self.rhs[..m],
+            &mut self.gamma[..m],
+            m,
+        );
+        // Wild extrapolation coefficients mean the history is nearly
+        // collinear; trusting them explodes the iterate. Fall back to
+        // the plain step (and let fresh history replace the stale
+        // directions).
+        if !solved || self.gamma[..m].iter().any(|v| v.abs() > 10.0) {
+            for i in 0..n {
+                x[i] += first_scale * f[i];
             }
-        };
+            return;
+        }
         // x ← x + f − Σ γ_a (Δx_a + Δf_a).
         for i in 0..n {
             let mut xi = x[i] + f[i];
-            for (a, g) in gamma.iter().enumerate() {
+            for (a, g) in self.gamma[..m].iter().enumerate() {
                 xi -= g * (self.dx[a][i] + self.df[a][i]);
             }
             x[i] = xi;
@@ -113,34 +155,42 @@ fn dot(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
 
-/// In-place Gaussian elimination with partial pivoting on a tiny system;
-/// returns `None` if a pivot collapses.
-fn solve_dense(a: &mut [Vec<f64>], b: &mut [f64]) -> Option<Vec<f64>> {
-    let n = b.len();
-    for col in 0..n {
-        let pivot = (col..n).max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))?;
-        if a[pivot][col].abs() < 1e-300 {
-            return None;
+/// In-place Gaussian elimination with partial pivoting on a tiny row-major
+/// `m × m` system, writing the solution into `x`; returns `false` if a
+/// pivot collapses.
+fn solve_dense(a: &mut [f64], b: &mut [f64], x: &mut [f64], m: usize) -> bool {
+    debug_assert_eq!(a.len(), m * m);
+    for col in 0..m {
+        let pivot =
+            match (col..m).max_by(|&i, &j| a[i * m + col].abs().total_cmp(&a[j * m + col].abs())) {
+                Some(p) => p,
+                None => return false,
+            };
+        if a[pivot * m + col].abs() < 1e-300 {
+            return false;
         }
-        a.swap(col, pivot);
-        b.swap(col, pivot);
-        for row in col + 1..n {
-            let factor = a[row][col] / a[col][col];
-            for k in col..n {
-                a[row][k] -= factor * a[col][k];
+        if pivot != col {
+            for k in 0..m {
+                a.swap(col * m + k, pivot * m + k);
+            }
+            b.swap(col, pivot);
+        }
+        for row in col + 1..m {
+            let factor = a[row * m + col] / a[col * m + col];
+            for k in col..m {
+                a[row * m + k] -= factor * a[col * m + k];
             }
             b[row] -= factor * b[col];
         }
     }
-    let mut x = vec![0.0; n];
-    for row in (0..n).rev() {
+    for row in (0..m).rev() {
         let mut acc = b[row];
-        for k in row + 1..n {
-            acc -= a[row][k] * x[k];
+        for k in row + 1..m {
+            acc -= a[row * m + k] * x[k];
         }
-        x[row] = acc / a[row][row];
+        x[row] = acc / a[row * m + row];
     }
-    Some(x)
+    true
 }
 
 #[cfg(test)]
@@ -161,7 +211,7 @@ mod tests {
             ]
         };
         let mut x = vec![0.0, 0.0];
-        let mut anderson = Anderson::new(4);
+        let mut anderson = Anderson::new(4, 2);
         for _ in 0..12 {
             let f = residual(&x);
             anderson.step(&mut x, &f, 1.0);
@@ -176,14 +226,14 @@ mod tests {
     #[test]
     fn first_step_is_plain_mixing() {
         let mut x = vec![1.0, 2.0];
-        let mut anderson = Anderson::new(3);
+        let mut anderson = Anderson::new(3, 2);
         anderson.step(&mut x, &[0.5, -0.5], 1.0);
         assert_eq!(x, vec![1.5, 1.5]);
     }
 
     #[test]
     fn reset_clears_history() {
-        let mut anderson = Anderson::new(2);
+        let mut anderson = Anderson::new(2, 1);
         let mut x = vec![0.0];
         anderson.step(&mut x, &[1.0], 1.0);
         anderson.step(&mut x, &[0.5], 1.0);
@@ -194,18 +244,34 @@ mod tests {
     }
 
     #[test]
+    fn long_runs_recycle_history_buffers() {
+        // Push far past the depth: the pool must absorb retired buffers
+        // instead of growing the history without bound.
+        let mut anderson = Anderson::new(3, 4);
+        let mut x = vec![0.0; 4];
+        for k in 0..50 {
+            let f = [1.0 / (k + 1) as f64; 4];
+            anderson.step(&mut x, &f, 1.0);
+            assert!(anderson.dx.len() <= 3);
+            assert!(anderson.pool.len() <= 2 * 4);
+        }
+    }
+
+    #[test]
     fn dense_solver_handles_pivoting() {
-        let mut a = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let mut a = vec![0.0, 1.0, 1.0, 0.0];
         let mut b = vec![2.0, 3.0];
-        let x = solve_dense(&mut a, &mut b).unwrap();
+        let mut x = vec![0.0; 2];
+        assert!(solve_dense(&mut a, &mut b, &mut x, 2));
         assert!((x[0] - 3.0).abs() < 1e-12);
         assert!((x[1] - 2.0).abs() < 1e-12);
     }
 
     #[test]
     fn dense_solver_rejects_singular() {
-        let mut a = vec![vec![1.0, 1.0], vec![1.0, 1.0]];
+        let mut a = vec![1.0, 1.0, 1.0, 1.0];
         let mut b = vec![1.0, 2.0];
-        assert!(solve_dense(&mut a, &mut b).is_none());
+        let mut x = vec![0.0; 2];
+        assert!(!solve_dense(&mut a, &mut b, &mut x, 2));
     }
 }

@@ -34,6 +34,13 @@ pub struct VpConfig {
     pub inner_tolerance: f64,
     /// Sweep budget per tier solve.
     pub max_inner_sweeps: usize,
+    /// Worker threads for the inner row sweeps. `1` (the default) keeps
+    /// the paper's sequential alternating-direction schedule; larger
+    /// values switch the multi-tier tier solves to the red-black row
+    /// coloring, whose same-color rows are solved concurrently (see
+    /// [`voltprop_solvers::SweepSchedule`]). Red-black results are
+    /// deterministic in the thread count.
+    pub parallelism: usize,
 }
 
 impl Default for VpConfig {
@@ -45,6 +52,7 @@ impl Default for VpConfig {
             sor_omega: 1.0,
             inner_tolerance: 1e-5,
             max_inner_sweeps: 10_000,
+            parallelism: 1,
         }
     }
 }
@@ -92,6 +100,13 @@ impl VpConfig {
         self.max_inner_sweeps = n;
         self
     }
+
+    /// Sets the inner-sweep worker thread count (`0` and `1` both mean
+    /// the sequential schedule).
+    pub fn parallelism(mut self, threads: usize) -> Self {
+        self.parallelism = threads.max(1);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -119,11 +134,19 @@ mod tests {
             .max_outer_iterations(7)
             .sor_omega(1.3)
             .max_inner_sweeps(42)
-            .inner_tolerance(3e-9);
+            .inner_tolerance(3e-9)
+            .parallelism(4);
         assert_eq!(c.damping, 0.8);
         assert_eq!(c.max_outer_iterations, 7);
         assert_eq!(c.sor_omega, 1.3);
         assert_eq!(c.max_inner_sweeps, 42);
         assert_eq!(c.inner_tolerance, 3e-9);
+        assert_eq!(c.parallelism, 4);
+    }
+
+    #[test]
+    fn parallelism_clamps_to_one() {
+        assert_eq!(VpConfig::new().parallelism(0).parallelism, 1);
+        assert_eq!(VpConfig::default().parallelism, 1);
     }
 }

@@ -15,9 +15,10 @@
 //! scaled correction, which converges more slowly but never fails.
 
 use voltprop_grid::Stack3d;
-use voltprop_solvers::rowbased::{RowBased, TierProblem};
+use voltprop_solvers::rowbased::{RbWorkspace, RowBased, TierProblem};
 
 #[derive(Debug)]
+#[allow(clippy::large_enum_variant)] // one lattice per solve; Grid carries its scratch
 pub(crate) enum PillarLattice {
     /// Pillars form a complete `cw × ch` grid.
     Grid {
@@ -30,6 +31,13 @@ pub(crate) enum PillarLattice {
         /// Coarse pad mask.
         fixed: Vec<bool>,
         any_interior: bool,
+        /// Reusable coarse-solve scratch: injection vector, zero
+        /// extra-diagonal, and row-sweep workspace. Hoisted here so
+        /// [`PillarLattice::correction`] stays allocation-free inside the
+        /// solver's outer loop.
+        injection: Vec<f64>,
+        zeros: Vec<f64>,
+        ws: RbWorkspace,
     },
     /// Irregular pillar pattern: diagonal scaling only.
     Diagonal {
@@ -62,13 +70,17 @@ impl PillarLattice {
             // Sites are stored row-major, so site k maps to coarse cell
             // (k % cw, k / cw); verify once.
             let cw = xs.len();
-            let consistent = sites.iter().enumerate().all(|(k, &(x, y))| {
-                xs[k % cw] == x && ys[k / cw] == y
-            });
+            let consistent = sites
+                .iter()
+                .enumerate()
+                .all(|(k, &(x, y))| xs[k % cw] == x && ys[k / cw] == y);
             if consistent {
-                let c_x: f64 = (0..stack.tiers()).map(|t| 1.0 / stack.r_horizontal(t)).sum();
+                let c_x: f64 = (0..stack.tiers())
+                    .map(|t| 1.0 / stack.r_horizontal(t))
+                    .sum();
                 let c_y: f64 = (0..stack.tiers()).map(|t| 1.0 / stack.r_vertical(t)).sum();
                 let any_interior = is_pad_site.iter().any(|&p| !p);
+                let n = sites.len();
                 return PillarLattice::Grid {
                     cw,
                     ch: ys.len(),
@@ -76,6 +88,9 @@ impl PillarLattice {
                     c_y,
                     fixed: is_pad_site.to_vec(),
                     any_interior,
+                    injection: vec![0.0; n],
+                    zeros: vec![0.0; n],
+                    ws: RbWorkspace::new(cw),
                 };
             }
         }
@@ -92,10 +107,11 @@ impl PillarLattice {
 
     /// Turns the raw mismatch vector (volts at pads, amperes elsewhere)
     /// into a per-pillar voltage correction, returning the worst
-    /// correction magnitude (the outer convergence measure).
+    /// correction magnitude (the outer convergence measure). Performs no
+    /// heap allocation (the coarse-solve scratch lives in the lattice).
     ///
     /// `out` must have the same length as `mismatch`.
-    pub(crate) fn correction(&self, mismatch: &[f64], out: &mut [f64]) -> f64 {
+    pub(crate) fn correction(&mut self, mismatch: &[f64], out: &mut [f64]) -> f64 {
         match self {
             PillarLattice::Grid {
                 cw,
@@ -104,11 +120,13 @@ impl PillarLattice {
                 c_y,
                 fixed,
                 any_interior,
+                injection,
+                zeros,
+                ws,
             } => {
-                let n = cw * ch;
+                let n = *cw * *ch;
                 debug_assert_eq!(mismatch.len(), n);
                 // Dirichlet values at pads; interior driven by -excess.
-                let mut injection = vec![0.0; n];
                 for k in 0..n {
                     if fixed[k] {
                         out[k] = mismatch[k];
@@ -125,8 +143,8 @@ impl PillarLattice {
                         g_h: *c_x,
                         g_v: *c_y,
                         fixed,
-                        extra_diag: &injection_zeros(n),
-                        injection: &injection,
+                        extra_diag: zeros,
+                        injection,
                     };
                     let rb = RowBased {
                         omega: 1.5,
@@ -137,7 +155,7 @@ impl PillarLattice {
                     // The coarse solve cannot fail structurally; treat a
                     // non-converged coarse sweep as a best-effort
                     // correction (the outer loop damps it).
-                    let _ = rb.solve_tier(&problem, out);
+                    let _ = rb.solve_tier_with(&problem, out, ws);
                 }
                 out.iter().fold(0.0f64, |m, v| m.max(v.abs()))
             }
@@ -152,11 +170,11 @@ impl PillarLattice {
                         out[k] = mismatch[k];
                         worst = worst.max(out[k].abs());
                     } else {
-                        out[k] = -mismatch[k] / g_local;
+                        out[k] = -mismatch[k] / *g_local;
                         // Convergence must be judged by the voltage error
                         // the excess current could still hide, not by the
                         // damped step size.
-                        worst = worst.max((mismatch[k] * r_bound).abs());
+                        worst = worst.max((mismatch[k] * *r_bound).abs());
                     }
                 }
                 worst
@@ -167,16 +185,16 @@ impl PillarLattice {
     /// Estimated heap footprint in bytes.
     pub(crate) fn memory_bytes(&self) -> usize {
         match self {
-            PillarLattice::Grid { fixed, .. } => fixed.len() * 10, // mask + scratch
+            PillarLattice::Grid {
+                fixed,
+                injection,
+                zeros,
+                ws,
+                ..
+            } => fixed.len() + (injection.len() + zeros.len()) * 8 + ws.memory_bytes(),
             PillarLattice::Diagonal { is_pad, .. } => is_pad.len(),
         }
     }
-}
-
-/// A zero `extra_diag` for the coarse solve (allocated per call; the
-/// coarse lattice is tiny compared to the tiers).
-fn injection_zeros(n: usize) -> Vec<f64> {
-    vec![0.0; n]
 }
 
 #[cfg(test)]
@@ -240,7 +258,7 @@ mod tests {
         let s = Stack3d::builder(8, 8, 2).build().unwrap(); // pads everywhere
         let pads = pads_of(&s);
         assert!(pads.iter().all(|&p| p));
-        let lat = PillarLattice::build(&s, s.tsv_sites(), &pads);
+        let mut lat = PillarLattice::build(&s, s.tsv_sites(), &pads);
         let mismatch = vec![1e-3; pads.len()];
         let mut out = vec![0.0; pads.len()];
         let worst = lat.correction(&mismatch, &mut out);
@@ -252,7 +270,7 @@ mod tests {
     fn interior_excess_produces_negative_correction() {
         let s = stack(TsvPattern::Uniform { pitch: 2 });
         let pads = pads_of(&s);
-        let lat = PillarLattice::build(&s, s.tsv_sites(), &pads);
+        let mut lat = PillarLattice::build(&s, s.tsv_sites(), &pads);
         let n = pads.len();
         // One interior pillar asks 1 mA too much of the package.
         let mut mismatch = vec![0.0; n];

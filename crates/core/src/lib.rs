@@ -30,6 +30,25 @@
 //! handful of passes. The solver never assembles the global matrix, which
 //! is where the paper's ~3× memory advantage over PCG comes from.
 //!
+//! # Performance: prefactored engines, parallelism, zero-allocation solves
+//!
+//! Each tier's row segments are factored once into a prefactored engine
+//! ([`voltprop_solvers::TierEngine`]) shared across all outer iterations;
+//! sweeps are substitution-only. Two knobs build on that:
+//!
+//! * **[`VpConfig::parallelism`]** — with more than one thread the tier
+//!   sweeps switch to the red-black row coloring
+//!   ([`voltprop_solvers::SweepSchedule::RedBlack`]): same-color rows are
+//!   solved concurrently, deterministically in the thread count, and the
+//!   answer stays within the solver tolerance of the sequential
+//!   schedule. `1` (the default) keeps the paper's sequential order.
+//! * **[`VpScratch`]** — the reusable solve arena. [`VpSolver::solve`]
+//!   builds one internally; callers that solve many load patterns on one
+//!   grid should build a [`VpScratch`] once and call
+//!   [`VpSolver::solve_with`], which runs the entire outer loop without
+//!   heap allocation (measured by `perfsuite`: zero allocator calls on a
+//!   warm solve at `parallelism = 1`).
+//!
 //! # Example
 //!
 //! ```
@@ -59,5 +78,5 @@ mod vda;
 
 pub use config::VpConfig;
 pub use report::VpReport;
-pub use solver::{VpSolution, VpSolver};
+pub use solver::{VpScratch, VpSolution, VpSolver};
 pub use vda::VdaController;

@@ -1,9 +1,10 @@
+use std::sync::Arc;
+
 use crate::anderson::Anderson;
 use crate::lattice::PillarLattice;
 use crate::tier_cache::CachedTier;
 use crate::{VpConfig, VpReport};
 use voltprop_grid::{NetKind, Stack3d};
-use voltprop_solvers::rowbased::{RbWorkspace, RowBased, TierProblem};
 use voltprop_solvers::{SolverError, StackSolution, StackSolver};
 
 /// The 3-D voltage propagation solver (see the [crate docs](crate) for the
@@ -22,6 +23,10 @@ use voltprop_solvers::{SolverError, StackSolution, StackSolver};
 ///   benchmarks);
 /// * single-tier stacks are solved directly with pinned pads (the 2-D
 ///   row-based special case).
+///
+/// With `config.parallelism > 1` the inner tier solves run red-black row
+/// sweeps across that many threads (deterministic in the thread count);
+/// `1` keeps the paper's sequential schedule.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct VpSolver {
     /// Tuning parameters.
@@ -42,36 +47,115 @@ pub struct VpSolution {
     pub report: VpReport,
 }
 
-impl VpSolver {
-    /// A solver with explicit configuration.
-    pub fn new(config: VpConfig) -> Self {
-        VpSolver { config }
-    }
+/// Reusable solve state: prefactored tier engines, the pillar lattice, and
+/// every outer-loop buffer.
+///
+/// Building the scratch is the only allocating step of a solve; once it
+/// exists, [`VpSolver::solve_with`] runs the entire outer loop — tier
+/// sweeps, pillar-current accumulation, VDA distribution, Anderson mixing
+/// — without touching the heap. Callers that solve many load patterns on
+/// one grid (transient analysis, benchmark sweeps, serving) should build
+/// one scratch and reuse it; [`VpSolver::solve`] builds a fresh one per
+/// call.
+///
+/// A scratch is tied to the stack's *geometry* (footprint, tiers,
+/// resistances, TSV and pad sites) and the config's `parallelism`; loads
+/// and tolerances may change freely between solves. `solve_with` detects
+/// a geometry mismatch and transparently rebuilds.
+#[derive(Debug)]
+pub struct VpScratch {
+    width: usize,
+    height: usize,
+    tiers: usize,
+    parallelism: usize,
+    r_tsv: f64,
+    r_pad: f64,
+    /// Per-tier `(g_h, g_v)` used to detect resistance changes.
+    tier_g: Vec<(f64, f64)>,
+    /// Flat (row-major) index of every pillar site. Empty for single-tier.
+    site_flat: Vec<usize>,
+    is_pad_site: Vec<bool>,
+    /// Shared pin mask: pillar terminals (multi-tier) or pads
+    /// (single-tier). One allocation serves every tier engine.
+    fixed: Arc<[bool]>,
+    lattice: Option<PillarLattice>,
+    tier_cache: Vec<CachedTier>,
+    /// Error amplification factor baked from the geometry (see
+    /// [`VpScratch::new`]); scales the inner tolerance.
+    amplification: f64,
+    voltages: Vec<f64>,
+    injection: Vec<f64>,
+    v0: Vec<f64>,
+    pillar_current: Vec<f64>,
+    mismatch: Vec<f64>,
+    correction: Vec<f64>,
+    last_good_v0: Vec<f64>,
+    last_good_correction: Vec<f64>,
+    anderson: Anderson,
+}
 
-    /// Runs the voltage propagation method, returning the full solution
-    /// with pillar currents and a detailed report.
+impl VpScratch {
+    /// Validates the stack for voltage propagation and builds the full
+    /// solve state (prefactored tier engines, lattice, buffers).
     ///
     /// # Errors
     ///
-    /// * [`SolverError::Unsupported`] if pads don't sit on the pillars (see
-    ///   type-level docs) or the grid fails validation.
-    /// * [`SolverError::DidNotConverge`] if the outer loop exhausts its
-    ///   budget.
-    pub fn solve(&self, stack: &Stack3d, net: NetKind) -> Result<VpSolution, SolverError> {
+    /// [`SolverError::Unsupported`] if pads don't sit on the pillars, a
+    /// single-tier stack has resistive pads, or the grid fails validation.
+    pub fn new(stack: &Stack3d, config: &VpConfig) -> Result<Self, SolverError> {
         stack.validate()?;
         let (w, h, tiers) = (stack.width(), stack.height(), stack.tiers());
         let per = w * h;
-        let rail = match net {
-            NetKind::Power => stack.vdd(),
-            NetKind::Ground => 0.0,
-        };
-        let sign = match net {
-            NetKind::Power => 1.0,
-            NetKind::Ground => -1.0,
-        };
+        let parallelism = config.parallelism.max(1);
+        let tier_g: Vec<(f64, f64)> = (0..tiers)
+            .map(|t| (1.0 / stack.r_horizontal(t), 1.0 / stack.r_vertical(t)))
+            .collect();
 
         if tiers == 1 {
-            return self.solve_single_tier(stack, rail, sign);
+            if stack.pad_resistance() != 0.0 {
+                return Err(SolverError::Unsupported {
+                    what: "single-tier voltage propagation requires ideal pads \
+                           (use Rb3d or PCG for resistive pads)"
+                        .into(),
+                });
+            }
+            let mut fixed = vec![false; per];
+            for (x, y) in stack.pad_sites() {
+                fixed[y as usize * w + x as usize] = true;
+            }
+            let fixed: Arc<[bool]> = fixed.into();
+            let tier_cache = vec![CachedTier::new(
+                w,
+                h,
+                tier_g[0].0,
+                tier_g[0].1,
+                fixed.clone(),
+                parallelism,
+            )?];
+            return Ok(VpScratch {
+                width: w,
+                height: h,
+                tiers,
+                parallelism,
+                r_tsv: stack.tsv_resistance(),
+                r_pad: stack.pad_resistance(),
+                tier_g,
+                site_flat: Vec::new(),
+                is_pad_site: Vec::new(),
+                fixed,
+                lattice: None,
+                tier_cache,
+                amplification: 1.0,
+                voltages: vec![0.0; per],
+                injection: vec![0.0; per],
+                v0: Vec::new(),
+                pillar_current: Vec::new(),
+                mismatch: Vec::new(),
+                correction: Vec::new(),
+                last_good_v0: Vec::new(),
+                last_good_correction: Vec::new(),
+                anderson: Anderson::new(4, 0),
+            });
         }
 
         // Package power enters through the pillars: every pad must sit on a
@@ -106,34 +190,233 @@ impl VpSolver {
             .map(|&(x, y)| y as usize * w + x as usize)
             .collect();
         let ns = site_flat.len();
-        let r_tsv = stack.tsv_resistance();
-        let r_pad = stack.pad_resistance();
-        let top = tiers - 1;
 
         // Every tier pins every pillar terminal — this keeps the row-based
         // inner solves in their fast densely-pinned regime. Pad-less
         // pillars are closed by the VDA instead: their accumulated excess
         // current is redistributed over the pillar lattice (see
-        // `PillarLattice`).
+        // `PillarLattice`). The mask is identical on every tier, so all
+        // tier engines share one allocation.
         let mut fixed = vec![false; per];
         for &s in &site_flat {
             fixed[s] = true;
         }
+        let fixed: Arc<[bool]> = fixed.into();
+        let tier_cache: Vec<CachedTier> = tier_g
+            .iter()
+            .map(|&(g_h, g_v)| CachedTier::new(w, h, g_h, g_v, fixed.clone(), parallelism))
+            .collect::<Result<_, _>>()?;
         let lattice = PillarLattice::build(stack, sites, &is_pad_site);
-        let mut injection = vec![0.0; per];
-        let mut v = vec![rail; per * tiers];
-        let mut v0 = vec![rail; ns];
-        let mut pillar_current = vec![0.0f64; ns];
-        let mut mismatch = vec![0.0f64; ns];
-        let mut correction = vec![0.0f64; ns];
+
+        // Tier-solve errors are amplified into the propagated pad voltages
+        // by roughly `1 + R_TSV · G_local · (tiers-1) · C` — each volt of
+        // tier error perturbs a pillar's current by G_local, every TSV
+        // segment adds R·ΔI, and a contiguous cluster of C pinned sites
+        // accumulates its members' current errors. The inner tolerance is
+        // tightened by this factor so the measured mismatch resolves below
+        // ε even on very conductive grids and clustered TSV maps.
+        let g_local_max = tier_g
+            .iter()
+            .map(|&(g_h, g_v)| 2.0 * g_h + 2.0 * g_v)
+            .fold(0.0f64, f64::max);
+        let cluster = largest_pillar_cluster(stack) as f64;
+        let amplification =
+            1.0 + stack.tsv_resistance() * g_local_max * (tiers as f64 - 1.0) * cluster;
+
+        Ok(VpScratch {
+            width: w,
+            height: h,
+            tiers,
+            parallelism,
+            r_tsv: stack.tsv_resistance(),
+            r_pad: stack.pad_resistance(),
+            tier_g,
+            site_flat,
+            is_pad_site,
+            fixed,
+            lattice: Some(lattice),
+            tier_cache,
+            amplification,
+            voltages: vec![0.0; per * tiers],
+            injection: vec![0.0; per],
+            v0: vec![0.0; ns],
+            pillar_current: vec![0.0; ns],
+            mismatch: vec![0.0; ns],
+            correction: vec![0.0; ns],
+            last_good_v0: vec![0.0; ns],
+            last_good_correction: vec![0.0; ns],
+            anderson: Anderson::new(4, ns),
+        })
+    }
+
+    /// The solved per-node voltages of the most recent
+    /// [`VpSolver::solve_with`] call (flat tier-major).
+    pub fn voltages(&self) -> &[f64] {
+        &self.voltages
+    }
+
+    /// The per-pillar package currents of the most recent solve (empty for
+    /// single-tier stacks).
+    pub fn pillar_currents(&self) -> &[f64] {
+        &self.pillar_current
+    }
+
+    /// Whether this scratch can serve the given stack/config without
+    /// rebuilding (geometry, resistances, pillar and pad sites, and
+    /// parallelism all match; loads and tolerances are free to differ).
+    fn matches(&self, stack: &Stack3d, config: &VpConfig) -> bool {
+        if self.width != stack.width()
+            || self.height != stack.height()
+            || self.tiers != stack.tiers()
+            || self.parallelism != config.parallelism.max(1)
+            || self.r_tsv != stack.tsv_resistance()
+            || self.r_pad != stack.pad_resistance()
+        {
+            return false;
+        }
+        let g_match = self.tier_g.iter().enumerate().all(|(t, &(g_h, g_v))| {
+            g_h == 1.0 / stack.r_horizontal(t) && g_v == 1.0 / stack.r_vertical(t)
+        });
+        if !g_match {
+            return false;
+        }
+        let w = self.width;
+        if self.tiers == 1 {
+            // Compare against the pad mask without allocating
+            // (`pad_sites()` builds a Vec; this runs on every warm solve).
+            (0..self.fixed.len()).all(|i| self.fixed[i] == stack.is_pad(i % w, i / w))
+        } else {
+            let sites = stack.tsv_sites();
+            sites.len() == self.site_flat.len()
+                && sites
+                    .iter()
+                    .zip(&self.site_flat)
+                    .all(|(&(x, y), &s)| y as usize * w + x as usize == s)
+                && sites
+                    .iter()
+                    .zip(&self.is_pad_site)
+                    .all(|(&(x, y), &p)| stack.is_pad(x as usize, y as usize) == p)
+        }
+    }
+
+    /// Estimated heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        let ns_vectors = self.v0.len()
+            + self.pillar_current.len()
+            + self.mismatch.len()
+            + self.correction.len()
+            + self.last_good_v0.len()
+            + self.last_good_correction.len();
+        (self.voltages.len() + self.injection.len() + ns_vectors) * 8
+            + self.fixed.len()
+            + self.lattice.as_ref().map_or(0, PillarLattice::memory_bytes)
+            + self
+                .tier_cache
+                .iter()
+                .map(CachedTier::memory_bytes)
+                .sum::<usize>()
+            + self.anderson.memory_bytes()
+    }
+}
+
+impl VpSolver {
+    /// A solver with explicit configuration.
+    pub fn new(config: VpConfig) -> Self {
+        VpSolver { config }
+    }
+
+    /// Runs the voltage propagation method, returning the full solution
+    /// with pillar currents and a detailed report.
+    ///
+    /// This convenience entry builds a fresh [`VpScratch`] per call; use
+    /// [`VpSolver::solve_with`] to amortize that setup across many solves.
+    ///
+    /// # Errors
+    ///
+    /// * [`SolverError::Unsupported`] if pads don't sit on the pillars (see
+    ///   type-level docs) or the grid fails validation.
+    /// * [`SolverError::DidNotConverge`] if the outer loop exhausts its
+    ///   budget.
+    pub fn solve(&self, stack: &Stack3d, net: NetKind) -> Result<VpSolution, SolverError> {
+        let mut scratch = VpScratch::new(stack, &self.config)?;
+        let report = self.solve_with(stack, net, &mut scratch)?;
+        Ok(VpSolution {
+            voltages: std::mem::take(&mut scratch.voltages),
+            pillar_currents: std::mem::take(&mut scratch.pillar_current),
+            report,
+        })
+    }
+
+    /// Runs the voltage propagation method inside caller-provided scratch
+    /// state, leaving the solution in [`VpScratch::voltages`] (and
+    /// [`VpScratch::pillar_currents`]). After the scratch is built this
+    /// path performs **zero heap allocations**; if the scratch does not
+    /// match the stack's geometry it is transparently rebuilt first.
+    ///
+    /// # Errors
+    ///
+    /// See [`VpSolver::solve`].
+    pub fn solve_with(
+        &self,
+        stack: &Stack3d,
+        net: NetKind,
+        scratch: &mut VpScratch,
+    ) -> Result<VpReport, SolverError> {
+        stack.validate()?;
+        if !scratch.matches(stack, &self.config) {
+            *scratch = VpScratch::new(stack, &self.config)?;
+        }
+        let rail = match net {
+            NetKind::Power => stack.vdd(),
+            NetKind::Ground => 0.0,
+        };
+        let sign = match net {
+            NetKind::Power => 1.0,
+            NetKind::Ground => -1.0,
+        };
+        if scratch.tiers == 1 {
+            return self.solve_single_tier(stack, rail, sign, scratch);
+        }
+
+        let (w, h, tiers) = (scratch.width, scratch.height, scratch.tiers);
+        let per = w * h;
+        let ns = scratch.site_flat.len();
+        let r_tsv = scratch.r_tsv;
+        let r_pad = scratch.r_pad;
+        let top = tiers - 1;
+        let tight_tol = self.config.inner_tolerance / scratch.amplification;
+
+        let VpScratch {
+            site_flat,
+            is_pad_site,
+            fixed,
+            lattice,
+            tier_cache,
+            tier_g,
+            voltages: v,
+            injection,
+            v0,
+            pillar_current,
+            mismatch,
+            correction,
+            last_good_v0,
+            last_good_correction,
+            anderson,
+            ..
+        } = scratch;
+        let lattice = lattice.as_mut().expect("multi-tier scratch has a lattice");
+
+        v.fill(rail);
+        v0.fill(rail);
+        last_good_v0.fill(rail);
+        last_good_correction.fill(0.0);
+        anderson.reset();
+
         // Outer fixed-point accelerator (see `anderson`): the VDA step is
         // the residual, Anderson mixing combines the recent history. A
         // safeguard resets the history and falls back to a heavily damped
         // plain step if the mismatch ever inflates.
-        let mut anderson = Anderson::new(4);
         let mut best_worst = f64::INFINITY;
-        let mut last_good_v0 = v0.clone();
-        let mut last_good_correction = vec![0.0f64; ns];
         // Start in the paper's plain damped-mixing mode; escalate to
         // safeguarded Anderson mixing on divergence or plateau.
         let mut plain_mode = true;
@@ -144,36 +427,9 @@ impl VpSolver {
         // also damps Anderson's first step after a reset, so a reset cannot
         // immediately re-trigger the divergence that caused it.
         let mut stable_scale = self.config.damping;
-        // Per-tier row solvers with prefactored tridiagonal segments: the
-        // tier matrices never change across outer iterations, only their
-        // right-hand sides do.
-        let mut tier_cache: Vec<CachedTier> = (0..tiers)
-            .map(|t| {
-                CachedTier::new(
-                    w,
-                    h,
-                    1.0 / stack.r_horizontal(t),
-                    1.0 / stack.r_vertical(t),
-                    fixed.clone(),
-                )
-            })
-            .collect();
         let mut inner_sweeps = 0usize;
         let mut outer = 0usize;
         let mut worst = f64::INFINITY;
-        // Tier-solve errors are amplified into the propagated pad voltages
-        // by roughly `1 + R_TSV · G_local · (tiers-1) · C` — each volt of
-        // tier error perturbs a pillar's current by G_local, every TSV
-        // segment adds R·ΔI, and a contiguous cluster of C pinned sites
-        // accumulates its members' current errors. The tight tolerance
-        // compensates, so the measured mismatch resolves below ε even on
-        // very conductive grids and clustered TSV maps.
-        let g_local_max = (0..tiers)
-            .map(|t| 2.0 / stack.r_horizontal(t) + 2.0 / stack.r_vertical(t))
-            .fold(0.0f64, f64::max);
-        let cluster = largest_pillar_cluster(stack) as f64;
-        let amplification = 1.0 + r_tsv * g_local_max * (tiers as f64 - 1.0) * cluster;
-        let tight_tol = self.config.inner_tolerance / amplification;
         while outer < self.config.max_outer_iterations {
             // Every pass runs at the tight tolerance. (A "progressive"
             // scheme that loosened early passes was tried and reverted: the
@@ -202,7 +458,7 @@ impl VpSolver {
                 }
                 let tier_v = &mut v[t * per..(t + 1) * per];
                 let rep = tier_cache[t].solve(
-                    &injection,
+                    injection,
                     tier_v,
                     tight_tol,
                     self.config.max_inner_sweeps,
@@ -213,8 +469,7 @@ impl VpSolver {
                 // tier; accumulate toward the package. After the top tier
                 // the accumulator holds the current each pillar asks of the
                 // package — which must be zero at pad-less pillars.
-                let gh = 1.0 / stack.r_horizontal(t);
-                let gv = 1.0 / stack.r_vertical(t);
+                let (gh, gv) = tier_g[t];
                 for (k, &s) in site_flat.iter().enumerate() {
                     let (x, y) = (s % w, s / w);
                     let vj = tier_v[s];
@@ -249,33 +504,29 @@ impl VpSolver {
                     pillar_current[k] // amperes of excess, not volts
                 };
             }
-            worst = lattice.correction(&mismatch, &mut correction);
+            worst = lattice.correction(mismatch, correction);
             // Only a pass whose tier solves ran at the tight tolerance may
             // declare convergence; a loose pass that lands under ε simply
             // makes the next (tight) pass cheap.
             if worst < self.config.epsilon {
-                let report = VpReport {
+                return Ok(VpReport {
                     outer_iterations: outer,
                     inner_sweeps,
                     pad_mismatch: worst,
                     final_beta: self.config.damping,
                     converged: true,
-                    workspace_bytes: v.len() * 8
-                        + injection.len() * 8
+                    workspace_bytes: (per * tiers + per + 6 * ns) * 8
                         + fixed.len()
-                        + 4 * ns * 8
                         + lattice.memory_bytes()
-                        + tier_cache.iter().map(CachedTier::memory_bytes).sum::<usize>(),
-                };
-                return Ok(VpSolution {
-                    voltages: v,
-                    pillar_currents: pillar_current,
-                    report,
+                        + tier_cache
+                            .iter()
+                            .map(CachedTier::memory_bytes)
+                            .sum::<usize>(),
                 });
             }
             if worst <= best_worst {
-                last_good_v0.copy_from_slice(&v0);
-                last_good_correction.copy_from_slice(&correction);
+                last_good_v0.copy_from_slice(v0);
+                last_good_correction.copy_from_slice(correction);
                 since_improvement = 0;
             } else {
                 since_improvement += 1;
@@ -289,13 +540,13 @@ impl VpSolver {
                 if worst > 10.0 * best_worst.min(1e3) || since_improvement > 8 {
                     plain_mode = false;
                     since_improvement = 0;
-                    v0.copy_from_slice(&last_good_v0);
+                    v0.copy_from_slice(last_good_v0);
                     stable_scale = 0.25 * self.config.damping;
-                    for (g, c) in v0.iter_mut().zip(&last_good_correction) {
+                    for (g, c) in v0.iter_mut().zip(&*last_good_correction) {
                         *g += stable_scale * c;
                     }
                 } else {
-                    vda.apply(&mut v0, &correction);
+                    vda.apply(v0, correction);
                 }
             } else if worst > 2.0 * best_worst {
                 // Accelerated mode safeguard: roll back to the best
@@ -303,15 +554,15 @@ impl VpSolver {
                 // scale, and retry with the damped plain step.
                 anderson.reset();
                 stable_scale = (stable_scale * 0.5).max(1e-3);
-                v0.copy_from_slice(&last_good_v0);
-                for (g, c) in v0.iter_mut().zip(&last_good_correction) {
+                v0.copy_from_slice(last_good_v0);
+                for (g, c) in v0.iter_mut().zip(&*last_good_correction) {
                     *g += stable_scale * c;
                 }
             } else {
                 if worst <= best_worst {
                     stable_scale = (stable_scale * 1.5).min(self.config.damping);
                 }
-                anderson.step(&mut v0, &correction, stable_scale);
+                anderson.step(v0, correction, stable_scale);
             }
             // The reference decays by 15% per outer so that one lucky
             // transient cannot veto every later state (which deadlocks the
@@ -333,56 +584,33 @@ impl VpSolver {
         stack: &Stack3d,
         rail: f64,
         sign: f64,
-    ) -> Result<VpSolution, SolverError> {
-        let (w, h) = (stack.width(), stack.height());
-        let per = w * h;
-        if stack.pad_resistance() != 0.0 {
-            return Err(SolverError::Unsupported {
-                what: "single-tier voltage propagation requires ideal pads \
-                       (use Rb3d or PCG for resistive pads)"
-                    .into(),
-            });
+        scratch: &mut VpScratch,
+    ) -> Result<VpReport, SolverError> {
+        let per = scratch.width * scratch.height;
+        let VpScratch {
+            tier_cache,
+            voltages,
+            injection,
+            ..
+        } = scratch;
+        voltages.fill(rail);
+        for (inj, load) in injection.iter_mut().zip(&stack.loads()[..per]) {
+            *inj = -sign * load;
         }
-        let mut fixed = vec![false; per];
-        for (x, y) in stack.pad_sites() {
-            fixed[y as usize * w + x as usize] = true;
-        }
-        let mut v = vec![rail; per];
-        let injection: Vec<f64> = stack.loads().iter().map(|l| -sign * l).collect();
-        let zeros = vec![0.0; per];
-        let rb = RowBased {
-            omega: self.config.sor_omega,
-            tolerance: self.config.inner_tolerance,
-            max_sweeps: self.config.max_inner_sweeps,
-            alternate: true,
-        };
-        let problem = TierProblem {
-            width: w,
-            height: h,
-            g_h: 1.0 / stack.r_horizontal(0),
-            g_v: 1.0 / stack.r_vertical(0),
-            fixed: &fixed,
-            extra_diag: &zeros,
-            injection: &injection,
-        };
-        let mut ws = RbWorkspace::new(w);
-        let rep = rb.solve_tier_with(&problem, &mut v, &mut ws)?;
-        let report = VpReport {
+        let rep = tier_cache[0].solve_with_omega(
+            injection,
+            voltages,
+            self.config.inner_tolerance,
+            self.config.max_inner_sweeps,
+            self.config.sor_omega,
+        )?;
+        Ok(VpReport {
             outer_iterations: 1,
             inner_sweeps: rep.iterations,
             pad_mismatch: 0.0,
             final_beta: self.config.damping,
             converged: true,
-            workspace_bytes: v.len() * 8
-                + injection.len() * 8
-                + zeros.len() * 8
-                + fixed.len()
-                + ws.memory_bytes(),
-        };
-        Ok(VpSolution {
-            voltages: v,
-            pillar_currents: Vec::new(),
-            report,
+            workspace_bytes: scratch.memory_bytes(),
         })
     }
 }
@@ -469,7 +697,13 @@ mod tests {
     #[test]
     fn agrees_with_direct_on_paper_default_grid() {
         let stack = Stack3d::builder(12, 12, 3)
-            .load_profile(LoadProfile::UniformRandom { min: 1e-5, max: 1e-3 }, 5)
+            .load_profile(
+                LoadProfile::UniformRandom {
+                    min: 1e-5,
+                    max: 1e-3,
+                },
+                5,
+            )
             .build()
             .unwrap();
         let (vp, _) = assert_matches_direct(&stack, NetKind::Power);
@@ -501,7 +735,13 @@ mod tests {
     fn agrees_on_two_and_four_tiers() {
         for tiers in [2, 4] {
             let stack = Stack3d::builder(10, 10, tiers)
-                .load_profile(LoadProfile::UniformRandom { min: 1e-5, max: 5e-4 }, 7)
+                .load_profile(
+                    LoadProfile::UniformRandom {
+                        min: 1e-5,
+                        max: 5e-4,
+                    },
+                    7,
+                )
                 .build()
                 .unwrap();
             assert_matches_direct(&stack, NetKind::Power);
@@ -523,7 +763,13 @@ mod tests {
     #[test]
     fn agrees_on_ground_net() {
         let stack = Stack3d::builder(10, 10, 3)
-            .load_profile(LoadProfile::UniformRandom { min: 1e-5, max: 1e-3 }, 9)
+            .load_profile(
+                LoadProfile::UniformRandom {
+                    min: 1e-5,
+                    max: 1e-3,
+                },
+                9,
+            )
             .build()
             .unwrap();
         let (vp, _) = assert_matches_direct(&stack, NetKind::Ground);
@@ -585,7 +831,13 @@ mod tests {
     #[test]
     fn single_tier_reduces_to_planar_rb() {
         let stack = Stack3d::builder(12, 12, 1)
-            .load_profile(LoadProfile::UniformRandom { min: 1e-5, max: 1e-3 }, 2)
+            .load_profile(
+                LoadProfile::UniformRandom {
+                    min: 1e-5,
+                    max: 1e-3,
+                },
+                2,
+            )
             .build()
             .unwrap();
         let (vp, _) = assert_matches_direct(&stack, NetKind::Power);
@@ -596,18 +848,31 @@ mod tests {
     #[test]
     fn pillar_currents_sum_to_total_load() {
         let stack = Stack3d::builder(10, 10, 3)
-            .load_profile(LoadProfile::UniformRandom { min: 1e-4, max: 1e-3 }, 4)
+            .load_profile(
+                LoadProfile::UniformRandom {
+                    min: 1e-4,
+                    max: 1e-3,
+                },
+                4,
+            )
             .build()
             .unwrap();
         let vp = VpSolver::default().solve(&stack, NetKind::Power).unwrap();
         let delivered: f64 = vp.pillar_currents.iter().sum();
         let rel = (delivered - stack.total_load()).abs() / stack.total_load();
-        assert!(rel < 1e-2, "pillar current {delivered} vs load {}", stack.total_load());
+        assert!(
+            rel < 1e-2,
+            "pillar current {delivered} vs load {}",
+            stack.total_load()
+        );
     }
 
     #[test]
     fn kcl_residual_is_small() {
-        let stack = Stack3d::builder(10, 10, 3).uniform_load(5e-4).build().unwrap();
+        let stack = Stack3d::builder(10, 10, 3)
+            .uniform_load(5e-4)
+            .build()
+            .unwrap();
         let vp = VpSolver::default().solve(&stack, NetKind::Power).unwrap();
         let r = residual::kcl_residual_inf(&stack, NetKind::Power, &vp.voltages);
         // Free nodes satisfy KCL to the inner tolerance; pinned TSV nodes
@@ -637,7 +902,13 @@ mod tests {
         }
         let stack = Stack3d::builder(16, 16, 3)
             .pad_sites(pads)
-            .load_profile(LoadProfile::UniformRandom { min: 1e-5, max: 5e-4 }, 3)
+            .load_profile(
+                LoadProfile::UniformRandom {
+                    min: 1e-5,
+                    max: 5e-4,
+                },
+                3,
+            )
             .build()
             .unwrap();
         let (vp, _) = assert_matches_direct(&stack, NetKind::Power);
@@ -682,7 +953,10 @@ mod tests {
 
     #[test]
     fn budget_exhaustion_is_error() {
-        let stack = Stack3d::builder(10, 10, 3).uniform_load(1e-3).build().unwrap();
+        let stack = Stack3d::builder(10, 10, 3)
+            .uniform_load(1e-3)
+            .build()
+            .unwrap();
         let solver = VpSolver::new(VpConfig::new().epsilon(1e-13).max_outer_iterations(2));
         assert!(matches!(
             solver.solve(&stack, NetKind::Power),
@@ -692,7 +966,10 @@ mod tests {
 
     #[test]
     fn stack_solver_interface() {
-        let stack = Stack3d::builder(8, 8, 3).uniform_load(1e-4).build().unwrap();
+        let stack = Stack3d::builder(8, 8, 3)
+            .uniform_load(1e-4)
+            .build()
+            .unwrap();
         let sol = VpSolver::default()
             .solve_stack(&stack, NetKind::Power)
             .unwrap();
@@ -704,9 +981,109 @@ mod tests {
     fn workspace_is_linear_in_nodes() {
         // The memory pitch of the paper: VP's workspace is a few vectors,
         // no assembled matrix. ~9 f64-sized arrays per node is the cap.
-        let stack = Stack3d::builder(20, 20, 3).uniform_load(1e-4).build().unwrap();
+        let stack = Stack3d::builder(20, 20, 3)
+            .uniform_load(1e-4)
+            .build()
+            .unwrap();
         let vp = VpSolver::default().solve(&stack, NetKind::Power).unwrap();
         let per_node = vp.report.workspace_bytes as f64 / stack.num_nodes() as f64;
         assert!(per_node < 9.0 * 8.0, "workspace {per_node} bytes/node");
+    }
+
+    #[test]
+    fn parallel_solve_matches_sequential_on_multi_tier_stack() {
+        // The parallelism knob must not change the answer: red-black
+        // parallel tier sweeps and the sequential schedule both converge
+        // to the same solution within solver tolerance.
+        let stack = Stack3d::builder(14, 12, 4)
+            .load_profile(
+                LoadProfile::UniformRandom {
+                    min: 1e-5,
+                    max: 1e-3,
+                },
+                21,
+            )
+            .build()
+            .unwrap();
+        let exact = DirectCholesky::new()
+            .solve_stack(&stack, NetKind::Power)
+            .unwrap();
+        let seq = VpSolver::default().solve(&stack, NetKind::Power).unwrap();
+        for threads in [2usize, 4] {
+            let par = VpSolver::new(VpConfig::new().parallelism(threads))
+                .solve(&stack, NetKind::Power)
+                .unwrap();
+            assert!(par.report.converged);
+            // Accuracy: the parallel schedule meets the same 0.5 mV paper
+            // budget against the exact solution...
+            let err = residual::max_abs_error(&exact.voltages, &par.voltages);
+            assert!(
+                err < HALF_MV,
+                "parallelism {threads}: error {err} V vs direct"
+            );
+            // ...and therefore sits within 2ε-ish of the sequential
+            // iterate (each schedule independently stops within ε).
+            let drift = residual::max_abs_error(&seq.voltages, &par.voltages);
+            assert!(
+                drift < 3.0 * VpConfig::default().epsilon,
+                "parallelism {threads}: drift {drift} V vs sequential"
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_reproduces_fresh_solves() {
+        let stack_a = Stack3d::builder(10, 10, 3)
+            .load_profile(
+                LoadProfile::UniformRandom {
+                    min: 1e-5,
+                    max: 1e-3,
+                },
+                5,
+            )
+            .build()
+            .unwrap();
+        let solver = VpSolver::default();
+        let mut scratch = VpScratch::new(&stack_a, &solver.config).unwrap();
+        let r1 = solver
+            .solve_with(&stack_a, NetKind::Power, &mut scratch)
+            .unwrap();
+        assert!(r1.converged);
+        let fresh = solver.solve(&stack_a, NetKind::Power).unwrap();
+        assert_eq!(scratch.voltages(), &fresh.voltages[..]);
+        assert_eq!(scratch.pillar_currents(), &fresh.pillar_currents[..]);
+
+        // Same geometry, different loads: reuse without rebuilding.
+        let mut stack_b = stack_a.clone();
+        stack_b
+            .set_loads(stack_a.loads().iter().map(|l| l * 1.5).collect())
+            .unwrap();
+        let r2 = solver
+            .solve_with(&stack_b, NetKind::Power, &mut scratch)
+            .unwrap();
+        assert!(r2.converged);
+        let fresh_b = solver.solve(&stack_b, NetKind::Power).unwrap();
+        assert_eq!(scratch.voltages(), &fresh_b.voltages[..]);
+
+        // Different geometry: transparently rebuilt.
+        let stack_c = Stack3d::builder(8, 8, 2)
+            .uniform_load(1e-4)
+            .build()
+            .unwrap();
+        let r3 = solver
+            .solve_with(&stack_c, NetKind::Power, &mut scratch)
+            .unwrap();
+        assert!(r3.converged);
+        assert_eq!(scratch.voltages().len(), stack_c.num_nodes());
+    }
+
+    #[test]
+    fn scratch_memory_is_reported() {
+        let stack = Stack3d::builder(10, 10, 3)
+            .uniform_load(1e-4)
+            .build()
+            .unwrap();
+        let scratch = VpScratch::new(&stack, &VpConfig::default()).unwrap();
+        assert!(scratch.memory_bytes() > 0);
     }
 }

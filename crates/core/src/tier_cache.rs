@@ -2,164 +2,60 @@
 //!
 //! Inside the VP loop every tier is solved dozens of times with the *same*
 //! matrix — only the right-hand side (neighbour rows, VDA-adjusted pinned
-//! values) changes. The generic [`RowBased`](voltprop_solvers::RowBased)
-//! kernel re-eliminates each row every sweep; this solver factors every
-//! row segment once (the Thomas `c'` and `1/m` coefficients are constant)
-//! and then performs only forward/backward substitution per sweep —
-//! roughly `3N` multiplies per row instead of `5N-4`.
+//! values) changes. [`CachedTier`] wraps the prefactored
+//! [`TierEngine`](voltprop_solvers::TierEngine): every row segment is
+//! factored once at construction (the Thomas `c'` and `1/m` coefficients
+//! are constant) and each sweep performs only forward/backward
+//! substitution — roughly `3N` multiplies per row instead of `5N-4` —
+//! with zero heap allocation.
+//!
+//! The engine also carries the solver's `parallelism` knob: with more
+//! than one thread the tier sweeps switch from the sequential
+//! alternating-direction schedule to red-black row coloring, whose
+//! same-color rows are solved concurrently (and deterministically in the
+//! thread count). All tiers share one pin-mask allocation (`Arc<[bool]>`)
+//! — the VP algorithm pins the same pillar sites on every tier.
 
-use voltprop_solvers::{SolveReport, SolverError};
+use std::sync::Arc;
+use voltprop_solvers::{SolveReport, SolverError, SweepSchedule, TierEngine};
 
-/// Per-tier cached structure: row segments between pinned nodes with
-/// prefactored tridiagonal coefficients.
-#[derive(Debug, Clone)]
+/// Per-tier cached structure: prefactored row segments plus the sweep
+/// schedule.
+#[derive(Debug)]
 pub(crate) struct CachedTier {
-    width: usize,
-    height: usize,
-    g_h: f64,
-    g_v: f64,
-    /// Segment table: `(row, start_x, len, coeff_offset)`.
-    segments: Vec<(u32, u32, u32, u32)>,
-    /// Thomas `c'` per in-segment position.
-    cp: Vec<f64>,
-    /// `1/m` per in-segment position.
-    inv_m: Vec<f64>,
-    /// Pin mask (row-major).
-    fixed: Vec<bool>,
-    /// Scratch for the substitution sweep.
-    dp: Vec<f64>,
+    engine: TierEngine,
 }
 
 impl CachedTier {
-    /// Builds the cache for a tier with the given pin mask.
+    /// Builds the cache for a tier with the given (shared) pin mask and
+    /// inner-sweep thread count.
+    ///
+    /// # Errors
+    ///
+    /// See [`TierEngine::new`].
     pub(crate) fn new(
         width: usize,
         height: usize,
         g_h: f64,
         g_v: f64,
-        fixed: Vec<bool>,
-    ) -> Self {
-        assert_eq!(fixed.len(), width * height);
-        let mut segments = Vec::new();
-        let mut cp = Vec::new();
-        let mut inv_m = Vec::new();
-        let mut max_seg = 0usize;
-        for y in 0..height {
-            let row0 = y * width;
-            let mut x = 0usize;
-            while x < width {
-                if fixed[row0 + x] {
-                    x += 1;
-                    continue;
-                }
-                let start = x;
-                while x < width && !fixed[row0 + x] {
-                    x += 1;
-                }
-                let len = x - start;
-                let offset = cp.len() as u32;
-                // Factor the constant tridiagonal: diag d_i, off -g_h.
-                let mut prev_cp = 0.0;
-                for i in 0..len {
-                    let gx = start + i;
-                    let mut d = 0.0;
-                    if gx > 0 {
-                        d += g_h;
-                    }
-                    if gx + 1 < width {
-                        d += g_h;
-                    }
-                    if y > 0 {
-                        d += g_v;
-                    }
-                    if y + 1 < height {
-                        d += g_v;
-                    }
-                    // Off-diagonals are -g_h, so m_i = d_i - (-g_h)·c'_{i-1}.
-                    let m = if i == 0 { d } else { d + g_h * prev_cp };
-                    let c = if i + 1 < len { -g_h / m } else { 0.0 };
-                    cp.push(c);
-                    inv_m.push(1.0 / m);
-                    prev_cp = c;
-                }
-                segments.push((y as u32, start as u32, len as u32, offset));
-                max_seg = max_seg.max(len);
-            }
-        }
-        CachedTier {
-            width,
-            height,
-            g_h,
-            g_v,
-            segments,
-            cp,
-            inv_m,
-            fixed,
-            dp: vec![0.0; max_seg],
-        }
-    }
-
-    /// One Gauss–Seidel block sweep over the rows (ascending when
-    /// `downward`), reading pinned values and the previous iterate from
-    /// `v` and writing updated free values back. `injection` is the
-    /// per-node current into the tier. Returns the largest update.
-    fn sweep(&mut self, injection: &[f64], v: &mut [f64], downward: bool) -> f64 {
-        let (w, h) = (self.width, self.height);
-        let mut max_delta = 0.0f64;
-        let nseg = self.segments.len();
-        for si in 0..nseg {
-            let (y, start, len, offset) = if downward {
-                self.segments[si]
-            } else {
-                self.segments[nseg - 1 - si]
-            };
-            let (y, start, len, offset) =
-                (y as usize, start as usize, len as usize, offset as usize);
-            let row0 = y * w;
-            // Forward substitution with cached coefficients.
-            let mut prev_dp = 0.0;
-            for i in 0..len {
-                let gx = start + i;
-                let node = row0 + gx;
-                let mut b = injection[node];
-                if gx > 0 && self.fixed[node - 1] {
-                    b += self.g_h * v[node - 1];
-                }
-                if gx + 1 < w && self.fixed[node + 1] {
-                    b += self.g_h * v[node + 1];
-                }
-                if y > 0 {
-                    b += self.g_v * v[node - w];
-                }
-                if y + 1 < h {
-                    b += self.g_v * v[node + w];
-                }
-                let dp = if i == 0 {
-                    b * self.inv_m[offset]
-                } else {
-                    (b + self.g_h * prev_dp) * self.inv_m[offset + i]
-                };
-                self.dp[i] = dp;
-                prev_dp = dp;
-            }
-            // Backward substitution, writing straight into `v`.
-            let mut next_x = 0.0;
-            for i in (0..len).rev() {
-                let node = row0 + start + i;
-                let xi = self.dp[i] - self.cp[offset + i] * next_x;
-                let delta = (xi - v[node]).abs();
-                if delta > max_delta {
-                    max_delta = delta;
-                }
-                v[node] = xi;
-                next_x = xi;
-            }
-        }
-        max_delta
+        fixed: Arc<[bool]>,
+        parallelism: usize,
+    ) -> Result<Self, SolverError> {
+        Ok(CachedTier {
+            engine: TierEngine::new(
+                width,
+                height,
+                g_h,
+                g_v,
+                fixed,
+                None,
+                SweepSchedule::from_parallelism(parallelism),
+            )?,
+        })
     }
 
     /// Sweeps until the largest update falls below `tolerance`, starting
-    /// from (and finishing in) `v`.
+    /// from (and finishing in) `v`. Allocation-free.
     ///
     /// # Errors
     ///
@@ -171,32 +67,30 @@ impl CachedTier {
         tolerance: f64,
         max_sweeps: usize,
     ) -> Result<SolveReport, SolverError> {
-        let mut sweeps = 0;
-        let mut max_delta = f64::INFINITY;
-        while sweeps < max_sweeps {
-            max_delta = self.sweep(injection, v, sweeps % 2 == 0);
-            sweeps += 1;
-            if max_delta < tolerance {
-                return Ok(SolveReport {
-                    iterations: sweeps,
-                    residual: max_delta,
-                    converged: true,
-                    workspace_bytes: self.memory_bytes(),
-                });
-            }
-        }
-        Err(SolverError::DidNotConverge {
-            iterations: sweeps,
-            residual: max_delta,
-            tolerance,
-        })
+        self.engine.solve(injection, v, tolerance, max_sweeps)
+    }
+
+    /// Like [`CachedTier::solve`] with an explicit SOR factor (the planar
+    /// single-tier path honours `VpConfig::sor_omega`).
+    ///
+    /// # Errors
+    ///
+    /// See [`TierEngine::solve_with_omega`].
+    pub(crate) fn solve_with_omega(
+        &mut self,
+        injection: &[f64],
+        v: &mut [f64],
+        tolerance: f64,
+        max_sweeps: usize,
+        omega: f64,
+    ) -> Result<SolveReport, SolverError> {
+        self.engine
+            .solve_with_omega(injection, v, tolerance, max_sweeps, omega)
     }
 
     /// Estimated heap footprint in bytes.
     pub(crate) fn memory_bytes(&self) -> usize {
-        self.segments.len() * 16
-            + (self.cp.len() + self.inv_m.len() + self.dp.len()) * 8
-            + self.fixed.len()
+        self.engine.memory_bytes()
     }
 }
 
@@ -209,7 +103,9 @@ mod tests {
         let n = w * h;
         let mut s = seed.wrapping_add(3);
         let mut rnd = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 33) as f64) / (u32::MAX as f64)
         };
         let mut fixed = vec![false; n];
@@ -236,7 +132,7 @@ mod tests {
             let g_v = 0.8;
 
             let mut v_cached = v_init.clone();
-            let mut cached = CachedTier::new(w, h, g_h, g_v, fixed.clone());
+            let mut cached = CachedTier::new(w, h, g_h, g_v, Arc::from(&fixed[..]), 1).unwrap();
             cached
                 .solve(&injection, &mut v_cached, 1e-10, 100_000)
                 .unwrap();
@@ -269,6 +165,33 @@ mod tests {
     }
 
     #[test]
+    fn parallel_schedule_matches_sequential() {
+        for seed in [2u64, 19] {
+            let (w, h) = (16, 11);
+            let (fixed, v_init, injection) = fixture(w, h, seed);
+            let shared: Arc<[bool]> = Arc::from(&fixed[..]);
+            let mut v_seq = v_init.clone();
+            CachedTier::new(w, h, 2.0, 1.5, shared.clone(), 1)
+                .unwrap()
+                .solve(&injection, &mut v_seq, 1e-12, 100_000)
+                .unwrap();
+            let mut v_par = v_init.clone();
+            CachedTier::new(w, h, 2.0, 1.5, shared, 4)
+                .unwrap()
+                .solve(&injection, &mut v_par, 1e-12, 100_000)
+                .unwrap();
+            for i in 0..w * h {
+                assert!(
+                    (v_seq[i] - v_par[i]).abs() < 1e-9,
+                    "seed {seed} node {i}: seq {} vs par {}",
+                    v_seq[i],
+                    v_par[i]
+                );
+            }
+        }
+    }
+
+    #[test]
     fn budget_exhaustion_is_error() {
         let (w, h) = (16, 16);
         let mut fixed = vec![false; w * h];
@@ -276,7 +199,7 @@ mod tests {
         let mut v = vec![0.0; w * h];
         v[0] = 1.8;
         let injection = vec![0.0; w * h];
-        let mut cached = CachedTier::new(w, h, 1.0, 1.0, fixed);
+        let mut cached = CachedTier::new(w, h, 1.0, 1.0, Arc::from(fixed), 1).unwrap();
         assert!(matches!(
             cached.solve(&injection, &mut v, 1e-15, 2),
             Err(SolverError::DidNotConverge { .. })
@@ -284,9 +207,8 @@ mod tests {
     }
 
     #[test]
-    fn fully_free_tier_has_one_segment_per_row() {
-        let cached = CachedTier::new(5, 3, 1.0, 1.0, vec![false; 15]);
-        assert_eq!(cached.segments.len(), 3);
+    fn reports_positive_memory() {
+        let cached = CachedTier::new(5, 3, 1.0, 1.0, Arc::from(vec![false; 15]), 1).unwrap();
         assert!(cached.memory_bytes() > 0);
     }
 }

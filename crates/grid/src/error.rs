@@ -102,10 +102,9 @@ impl fmt::Display for GridError {
             GridError::ConflictingVoltageSource { node } => {
                 write!(f, "node {node} is driven to conflicting voltages")
             }
-            GridError::DisconnectedNodes { count, example } => write!(
-                f,
-                "{count} node(s) have no path to a pad (e.g. {example})"
-            ),
+            GridError::DisconnectedNodes { count, example } => {
+                write!(f, "{count} node(s) have no path to a pad (e.g. {example})")
+            }
             GridError::NotAStack { message } => {
                 write!(f, "netlist is not a structured 3-D stack: {message}")
             }

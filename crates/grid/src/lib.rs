@@ -44,6 +44,7 @@
 mod error;
 pub mod loads;
 pub mod netlist;
+pub mod rng;
 mod stack;
 pub mod stamp;
 pub mod stats;

@@ -5,8 +5,7 @@
 //! zones). These profiles generate such load vectors deterministically from
 //! a seed.
 
-use rand::Rng;
-use rand::SeedableRng;
+use crate::rng::SmallRng;
 
 /// A recipe for per-node load currents.
 ///
@@ -66,7 +65,7 @@ impl LoadProfile {
         seed: u64,
     ) -> Vec<f64> {
         assert_eq!(tsv_mask.len(), width * height, "TSV mask length mismatch");
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = SmallRng::new(seed);
         let mut loads = vec![0.0; width * height * tiers];
         for tier in 0..tiers {
             for y in 0..height {
@@ -79,7 +78,7 @@ impl LoadProfile {
                         LoadProfile::Constant(a) => *a,
                         LoadProfile::UniformRandom { min, max } => {
                             if max > min {
-                                rng.gen_range(*min..=*max)
+                                rng.f64_in(*min, *max)
                             } else {
                                 *min
                             }
@@ -137,9 +136,21 @@ mod tests {
     #[test]
     fn uniform_random_is_seeded() {
         let mask = vec![false; 9];
-        let a = LoadProfile::UniformRandom { min: 1e-6, max: 1e-3 }.generate(3, 3, 1, &mask, 5);
-        let b = LoadProfile::UniformRandom { min: 1e-6, max: 1e-3 }.generate(3, 3, 1, &mask, 5);
-        let c = LoadProfile::UniformRandom { min: 1e-6, max: 1e-3 }.generate(3, 3, 1, &mask, 6);
+        let a = LoadProfile::UniformRandom {
+            min: 1e-6,
+            max: 1e-3,
+        }
+        .generate(3, 3, 1, &mask, 5);
+        let b = LoadProfile::UniformRandom {
+            min: 1e-6,
+            max: 1e-3,
+        }
+        .generate(3, 3, 1, &mask, 5);
+        let c = LoadProfile::UniformRandom {
+            min: 1e-6,
+            max: 1e-3,
+        }
+        .generate(3, 3, 1, &mask, 6);
         assert_eq!(a, b);
         assert_ne!(a, c);
         assert!(a.iter().all(|&v| (1e-6..=1e-3).contains(&v)));
@@ -148,7 +159,11 @@ mod tests {
     #[test]
     fn degenerate_random_range_collapses_to_min() {
         let mask = vec![false; 4];
-        let l = LoadProfile::UniformRandom { min: 5e-4, max: 5e-4 }.generate(2, 2, 1, &mask, 1);
+        let l = LoadProfile::UniformRandom {
+            min: 5e-4,
+            max: 5e-4,
+        }
+        .generate(2, 2, 1, &mask, 1);
         assert!(l.iter().all(|&v| v == 5e-4));
     }
 
@@ -168,6 +183,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::identity_op, clippy::erasing_op)] // spelled-out index arithmetic documents the layout
     fn hotspot_is_per_tier() {
         let mask = vec![false; 9];
         let l = LoadProfile::Hotspot {

@@ -143,7 +143,12 @@ impl NetlistCircuit {
         let mut fixed_map: HashMap<u32, f64> = HashMap::new();
         for e in &netlist.elements {
             match e {
-                Element::Resistor { name: _, a, b, ohms } => {
+                Element::Resistor {
+                    name: _,
+                    a,
+                    b,
+                    ohms,
+                } => {
                     if !(ohms.is_finite() && *ohms > 0.0) {
                         return Err(GridError::InvalidResistance {
                             what: "resistor",
@@ -154,7 +159,12 @@ impl NetlistCircuit {
                     let ib = c.intern(b);
                     c.edges.push((ia, ib, 1.0 / ohms));
                 }
-                Element::CurrentSource { name: _, from, to, amps } => {
+                Element::CurrentSource {
+                    name: _,
+                    from,
+                    to,
+                    amps,
+                } => {
                     let ifrom = c.intern(from);
                     let ito = c.intern(to);
                     if ifrom != GROUND {
@@ -164,22 +174,23 @@ impl NetlistCircuit {
                         c.injections[ito as usize] += amps;
                     }
                 }
-                Element::VoltageSource { name, pos, neg, volts } => {
+                Element::VoltageSource {
+                    name,
+                    pos,
+                    neg,
+                    volts,
+                } => {
                     let (node, value) = if is_ground(neg) {
                         (c.intern(pos), *volts)
                     } else if is_ground(pos) {
                         (c.intern(neg), -*volts)
                     } else {
-                        return Err(GridError::UngroundedVoltageSource {
-                            name: name.clone(),
-                        });
+                        return Err(GridError::UngroundedVoltageSource { name: name.clone() });
                     };
                     if node == GROUND {
                         // V between ground and ground: only valid if 0 V.
                         if *volts != 0.0 {
-                            return Err(GridError::ConflictingVoltageSource {
-                                node: "0".into(),
-                            });
+                            return Err(GridError::ConflictingVoltageSource { node: "0".into() });
                         }
                         continue;
                     }

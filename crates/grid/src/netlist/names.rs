@@ -50,15 +50,7 @@ mod tests {
     #[test]
     fn rejects_malformed() {
         for bad in [
-            "",
-            "n",
-            "n1",
-            "n1_2",
-            "n1_2_3_4",
-            "m1_2_3",
-            "n1_2_x",
-            "n-1_2_3",
-            "n1.5_2_3",
+            "", "n", "n1", "n1_2", "n1_2_3_4", "m1_2_3", "n1_2_x", "n-1_2_3", "n1.5_2_3",
         ] {
             assert_eq!(parse_node_name(bad), None, "{bad:?} should not parse");
         }

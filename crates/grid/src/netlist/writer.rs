@@ -17,10 +17,20 @@ impl Netlist {
                 Element::Resistor { name, a, b, ohms } => {
                     let _ = writeln!(out, "{name} {a} {b} {ohms}");
                 }
-                Element::CurrentSource { name, from, to, amps } => {
+                Element::CurrentSource {
+                    name,
+                    from,
+                    to,
+                    amps,
+                } => {
                     let _ = writeln!(out, "{name} {from} {to} {amps}");
                 }
-                Element::VoltageSource { name, pos, neg, volts } => {
+                Element::VoltageSource {
+                    name,
+                    pos,
+                    neg,
+                    volts,
+                } => {
                     let _ = writeln!(out, "{name} {pos} {neg} {volts}");
                 }
             }
@@ -156,9 +166,7 @@ impl Stack3d {
         // Pass 1: extent.
         let (mut tiers, mut w, mut h) = (0usize, 0usize, 0usize);
         let mut saw_grid_node = false;
-        let grid_or_other = |name: &str| -> Option<(usize, usize, usize)> {
-            parse_node_name(name)
-        };
+        let grid_or_other = |name: &str| -> Option<(usize, usize, usize)> { parse_node_name(name) };
         for e in netlist.elements() {
             let nodes: [&str; 2] = match e {
                 Element::Resistor { a, b, .. } => [a, b],
@@ -195,15 +203,19 @@ impl Stack3d {
         // Pass 2: classify elements. Voltage sources first so pad rails are
         // known before their series resistors are seen.
         for e in netlist.elements() {
-            if let Element::VoltageSource { name, pos, neg, volts } = e {
+            if let Element::VoltageSource {
+                name,
+                pos,
+                neg,
+                volts,
+            } = e
+            {
                 let (node, value) = if super::model::is_ground(neg) {
                     (pos.as_str(), *volts)
                 } else if super::model::is_ground(pos) {
                     (neg.as_str(), -*volts)
                 } else {
-                    return Err(GridError::UngroundedVoltageSource {
-                        name: name.clone(),
-                    });
+                    return Err(GridError::UngroundedVoltageSource { name: name.clone() });
                 };
                 if let Some(coords) = parse_node_name(node) {
                     ideal_pads.push((coords, value));
@@ -217,7 +229,8 @@ impl Stack3d {
                 Element::Resistor { a, b, ohms, .. } => {
                     match (parse_node_name(a), parse_node_name(b)) {
                         (Some(pa), Some(pb)) => {
-                            let ((t1, x1, y1), (t2, x2, y2)) = if pa <= pb { (pa, pb) } else { (pb, pa) };
+                            let ((t1, x1, y1), (t2, x2, y2)) =
+                                if pa <= pb { (pa, pb) } else { (pb, pa) };
                             if t1 == t2 && y1 == y2 && x2 == x1 + 1 {
                                 match r_h[t1] {
                                     None => r_h[t1] = Some(*ohms),
@@ -282,7 +295,12 @@ impl Stack3d {
                         }
                     }
                 }
-                Element::CurrentSource { name, from, to, amps } => {
+                Element::CurrentSource {
+                    name,
+                    from,
+                    to,
+                    amps,
+                } => {
                     let (coords, amps) = match (parse_node_name(from), parse_node_name(to)) {
                         (Some(p), None) if super::model::is_ground(to) => (p, *amps),
                         (None, Some(p)) if super::model::is_ground(from) => (p, -*amps),
@@ -409,8 +427,10 @@ impl Stack3d {
             .loads(load_vec)
             .vdd(rail_voltage.unwrap_or(0.0).max(0.0));
         for t in 0..tiers {
-            let rh = r_h[t].ok_or_else(|| not_a_stack(format!("tier {t} has no horizontal wires")))?;
-            let rv = r_v[t].ok_or_else(|| not_a_stack(format!("tier {t} has no vertical wires")))?;
+            let rh =
+                r_h[t].ok_or_else(|| not_a_stack(format!("tier {t} has no horizontal wires")))?;
+            let rv =
+                r_v[t].ok_or_else(|| not_a_stack(format!("tier {t} has no vertical wires")))?;
             builder = builder.tier_resistance(t, rh, rv);
         }
         if let Some(r) = r_tsv {
@@ -430,7 +450,13 @@ mod tests {
             .wire_resistance(0.02)
             .tier_resistance(1, 0.03, 0.04)
             .tsv_resistance(0.05)
-            .load_profile(LoadProfile::UniformRandom { min: 1e-5, max: 1e-3 }, 11)
+            .load_profile(
+                LoadProfile::UniformRandom {
+                    min: 1e-5,
+                    max: 1e-3,
+                },
+                11,
+            )
             .vdd(1.8)
             .build()
             .unwrap()

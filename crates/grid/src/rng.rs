@@ -1,0 +1,7 @@
+//! Deterministic pseudo-random generation (re-exported).
+//!
+//! The generator itself lives in the base crate so every layer — sparse
+//! test sweeps, load synthesis, solver property tests — shares one
+//! implementation; see [`voltprop_sparse::rng`].
+
+pub use voltprop_sparse::rng::SmallRng;

@@ -461,11 +461,9 @@ impl StackBuilder {
                 }
             }
             TsvPattern::Random { count, seed } => {
-                use rand::seq::SliceRandom;
-                use rand::SeedableRng;
-                let mut rng = rand::rngs::StdRng::seed_from_u64(*seed);
+                let mut rng = crate::rng::SmallRng::new(*seed);
                 let mut all: Vec<usize> = (0..w * h).collect();
-                all.shuffle(&mut rng);
+                rng.shuffle(&mut all);
                 for &site in all.iter().take(*count) {
                     tsv_mask[site] = true;
                 }
@@ -564,9 +562,7 @@ impl StackBuilder {
                 }
                 l
             }
-            (None, Some((profile, seed))) => {
-                profile.generate(w, h, self.tiers, &tsv_mask, seed)
-            }
+            (None, Some((profile, seed))) => profile.generate(w, h, self.tiers, &tsv_mask, seed),
             (None, None) => vec![0.0; n],
         };
         for (node, &a) in loads.iter().enumerate() {
@@ -653,7 +649,10 @@ mod tests {
             Err(GridError::InvalidResistance { .. })
         ));
         // Zero pad resistance is explicitly allowed (ideal pads).
-        assert!(Stack3d::builder(4, 4, 3).pad_resistance(0.0).build().is_ok());
+        assert!(Stack3d::builder(4, 4, 3)
+            .pad_resistance(0.0)
+            .build()
+            .is_ok());
     }
 
     #[test]
@@ -688,17 +687,26 @@ mod tests {
     #[test]
     fn random_pattern_is_seeded_and_counted() {
         let a = Stack3d::builder(10, 10, 2)
-            .tsv_pattern(TsvPattern::Random { count: 13, seed: 42 })
+            .tsv_pattern(TsvPattern::Random {
+                count: 13,
+                seed: 42,
+            })
             .build()
             .unwrap();
         let b = Stack3d::builder(10, 10, 2)
-            .tsv_pattern(TsvPattern::Random { count: 13, seed: 42 })
+            .tsv_pattern(TsvPattern::Random {
+                count: 13,
+                seed: 42,
+            })
             .build()
             .unwrap();
         assert_eq!(a.tsv_sites(), b.tsv_sites());
         assert_eq!(a.tsv_sites().len(), 13);
         let c = Stack3d::builder(10, 10, 2)
-            .tsv_pattern(TsvPattern::Random { count: 13, seed: 43 })
+            .tsv_pattern(TsvPattern::Random {
+                count: 13,
+                seed: 43,
+            })
             .build()
             .unwrap();
         assert_ne!(a.tsv_sites(), c.tsv_sites());
@@ -782,7 +790,10 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, GridError::InvalidLoad { node: 1, .. }));
 
-        let err = Stack3d::builder(2, 2, 1).loads(vec![0.1]).build().unwrap_err();
+        let err = Stack3d::builder(2, 2, 1)
+            .loads(vec![0.1])
+            .build()
+            .unwrap_err();
         assert!(matches!(err, GridError::InvalidDimension { .. }));
     }
 

@@ -302,7 +302,10 @@ mod tests {
 
     #[test]
     fn loads_pull_voltage_below_vdd() {
-        let s = Stack3d::builder(6, 6, 3).uniform_load(1e-3).build().unwrap();
+        let s = Stack3d::builder(6, 6, 3)
+            .uniform_load(1e-3)
+            .build()
+            .unwrap();
         let sys = s.stamp(NetKind::Power).unwrap();
         let v = solve(&sys);
         let top_pad = s.node_index(2, 0, 0);
@@ -315,7 +318,10 @@ mod tests {
 
     #[test]
     fn ground_net_mirrors_power_net() {
-        let s = Stack3d::builder(5, 5, 2).uniform_load(1e-3).build().unwrap();
+        let s = Stack3d::builder(5, 5, 2)
+            .uniform_load(1e-3)
+            .build()
+            .unwrap();
         let vp = solve(&s.stamp(NetKind::Power).unwrap());
         let vg = solve(&s.stamp(NetKind::Ground).unwrap());
         for (p, g) in vp.iter().zip(&vg) {
@@ -329,7 +335,10 @@ mod tests {
         // Sum of pad currents must equal total load current.
         let s = Stack3d::builder(6, 4, 3)
             .load_profile(
-                crate::LoadProfile::UniformRandom { min: 1e-5, max: 1e-3 },
+                crate::LoadProfile::UniformRandom {
+                    min: 1e-5,
+                    max: 1e-3,
+                },
                 9,
             )
             .build()
@@ -396,7 +405,10 @@ mod tests {
 
     #[test]
     fn expand_restrict_roundtrip() {
-        let s = Stack3d::builder(3, 3, 2).uniform_load(1e-4).build().unwrap();
+        let s = Stack3d::builder(3, 3, 2)
+            .uniform_load(1e-4)
+            .build()
+            .unwrap();
         let sys = s.stamp(NetKind::Power).unwrap();
         let x: Vec<f64> = (0..sys.dim()).map(|i| i as f64 * 0.01).collect();
         let v = sys.expand(&x);
@@ -405,7 +417,10 @@ mod tests {
 
     #[test]
     fn matrix_is_spd_shaped() {
-        let s = Stack3d::builder(5, 4, 3).uniform_load(1e-4).build().unwrap();
+        let s = Stack3d::builder(5, 4, 3)
+            .uniform_load(1e-4)
+            .build()
+            .unwrap();
         let sys = s.stamp(NetKind::Power).unwrap();
         let m = sys.matrix();
         assert!(m.is_symmetric(1e-12));

@@ -79,7 +79,10 @@ mod tests {
 
     #[test]
     fn counts_are_consistent() {
-        let s = Stack3d::builder(5, 4, 3).uniform_load(2e-4).build().unwrap();
+        let s = Stack3d::builder(5, 4, 3)
+            .uniform_load(2e-4)
+            .build()
+            .unwrap();
         let st = GridStats::of(&s);
         assert_eq!(st.nodes, 60);
         // 5x4 tier: 4*4 horizontal + 5*3 vertical = 31 per tier.

@@ -51,7 +51,10 @@ mod tests {
 
     #[test]
     fn healthy_grid_validates() {
-        let s = Stack3d::builder(8, 8, 3).uniform_load(1e-4).build().unwrap();
+        let s = Stack3d::builder(8, 8, 3)
+            .uniform_load(1e-4)
+            .build()
+            .unwrap();
         assert!(s.validate().is_ok());
     }
 

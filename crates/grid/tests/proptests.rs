@@ -1,102 +1,141 @@
 //! Property-based tests for the grid substrate.
+//!
+//! Each property runs across a deterministic sweep of generated stacks
+//! (the workspace builds offline without the `proptest` crate).
 
-use proptest::prelude::*;
 use voltprop_grid::netlist::names::{node_name, parse_node_name};
+use voltprop_grid::rng::SmallRng;
 use voltprop_grid::{LoadProfile, NetKind, Netlist, Stack3d, TsvPattern};
 use voltprop_sparse::Cholesky;
 
-fn small_stack() -> impl Strategy<Value = Stack3d> {
-    (2usize..7, 2usize..7, 1usize..4, 0u64..1000, prop::bool::ANY).prop_map(
-        |(w, h, t, seed, resistive_pads)| {
-            Stack3d::builder(w, h, t)
-                .wire_resistance(0.02)
-                .tsv_resistance(0.05)
-                .tsv_pattern(TsvPattern::Uniform { pitch: 2 })
-                .pad_resistance(if resistive_pads { 0.1 } else { 0.0 })
-                .load_profile(LoadProfile::UniformRandom { min: 1e-5, max: 1e-3 }, seed)
-                .build()
-                .expect("valid parameters")
-        },
-    )
+/// A randomized small stack driven by one seed.
+fn small_stack(case: u64) -> Stack3d {
+    let mut g = SmallRng::new(case);
+    let w = 2 + g.usize_below(5);
+    let h = 2 + g.usize_below(5);
+    let t = 1 + g.usize_below(3);
+    let resistive_pads = g.next_u64() % 2 == 0;
+    Stack3d::builder(w, h, t)
+        .wire_resistance(0.02)
+        .tsv_resistance(0.05)
+        .tsv_pattern(TsvPattern::Uniform { pitch: 2 })
+        .pad_resistance(if resistive_pads { 0.1 } else { 0.0 })
+        .load_profile(
+            LoadProfile::UniformRandom {
+                min: 1e-5,
+                max: 1e-3,
+            },
+            g.next_u64() % 1000,
+        )
+        .build()
+        .expect("valid parameters")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn node_name_roundtrip(t in 0usize..100, x in 0usize..5000, y in 0usize..5000) {
-        prop_assert_eq!(parse_node_name(&node_name(t, x, y)), Some((t, x, y)));
+#[test]
+fn node_name_roundtrip() {
+    let mut g = SmallRng::new(11);
+    for _ in 0..64 {
+        let (t, x, y) = (g.usize_below(100), g.usize_below(5000), g.usize_below(5000));
+        assert_eq!(parse_node_name(&node_name(t, x, y)), Some((t, x, y)));
     }
+}
 
-    #[test]
-    fn stamped_matrix_is_spd_and_solvable(stack in small_stack()) {
+#[test]
+fn stamped_matrix_is_spd_and_solvable() {
+    for case in 0..64u64 {
+        let stack = small_stack(case);
         let sys = stack.stamp(NetKind::Power).unwrap();
-        prop_assert!(sys.matrix().is_symmetric(1e-12));
+        assert!(sys.matrix().is_symmetric(1e-12), "case {case}");
         let chol = Cholesky::factor(sys.matrix());
-        prop_assert!(chol.is_ok(), "stamped system must be SPD");
+        assert!(chol.is_ok(), "case {case}: stamped system must be SPD");
         let v = sys.expand(&chol.unwrap().solve(sys.rhs()));
         // All voltages in (0, VDD].
         for &vi in &v[..stack.num_nodes()] {
-            prop_assert!(vi > 0.0 && vi <= stack.vdd() + 1e-9, "voltage {vi}");
+            assert!(
+                vi > 0.0 && vi <= stack.vdd() + 1e-9,
+                "case {case}: voltage {vi}"
+            );
         }
     }
+}
 
-    #[test]
-    fn voltage_monotone_in_load(stack in small_stack()) {
+#[test]
+fn voltage_monotone_in_load() {
+    for case in 0..64u64 {
         // Doubling every load weakly deepens the IR drop at every node.
+        let stack = small_stack(100 + case);
         let sys1 = stack.stamp(NetKind::Power).unwrap();
         let v1 = sys1.expand(&Cholesky::factor(sys1.matrix()).unwrap().solve(sys1.rhs()));
         let mut stack2 = stack.clone();
-        stack2.set_loads(stack.loads().iter().map(|l| l * 2.0).collect()).unwrap();
+        stack2
+            .set_loads(stack.loads().iter().map(|l| l * 2.0).collect())
+            .unwrap();
         let sys2 = stack2.stamp(NetKind::Power).unwrap();
         let v2 = sys2.expand(&Cholesky::factor(sys2.matrix()).unwrap().solve(sys2.rhs()));
         for (a, b) in v1.iter().zip(&v2) {
-            prop_assert!(b <= &(a + 1e-12));
+            assert!(b <= &(a + 1e-12), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn netlist_roundtrip_any_stack(stack in small_stack()) {
+#[test]
+fn netlist_roundtrip_any_stack() {
+    for case in 0..64u64 {
+        let stack = small_stack(200 + case);
         let text = stack.to_netlist(NetKind::Power).to_spice();
         let back = Stack3d::from_netlist(&Netlist::parse(&text).unwrap()).unwrap();
         if stack.tiers() > 1 {
-            prop_assert_eq!(stack, back);
+            assert_eq!(stack, back, "case {case}");
         } else {
             // Single-tier stacks emit no TSV segments, so pillar sites are
             // unobservable from the netlist; compare the electrical content.
-            prop_assert_eq!(stack.loads(), back.loads());
-            prop_assert_eq!(stack.pad_sites(), back.pad_sites());
-            prop_assert_eq!(stack.num_nodes(), back.num_nodes());
-            prop_assert_eq!(stack.vdd(), back.vdd());
+            assert_eq!(stack.loads(), back.loads(), "case {case}");
+            assert_eq!(stack.pad_sites(), back.pad_sites(), "case {case}");
+            assert_eq!(stack.num_nodes(), back.num_nodes(), "case {case}");
+            assert_eq!(stack.vdd(), back.vdd(), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn power_plus_ground_is_total_drop(stack in small_stack()) {
+#[test]
+fn power_plus_ground_is_total_drop() {
+    for case in 0..64u64 {
         // For identical topologies the two nets superpose: the total
         // effective rail collapse seen by a device is (VDD - Vp) + Vg, and
         // Vg mirrors the power-net drop exactly.
+        let stack = small_stack(300 + case);
         let sp = stack.stamp(NetKind::Power).unwrap();
         let vp = sp.expand(&Cholesky::factor(sp.matrix()).unwrap().solve(sp.rhs()));
         let sg = stack.stamp(NetKind::Ground).unwrap();
         let vg = sg.expand(&Cholesky::factor(sg.matrix()).unwrap().solve(sg.rhs()));
         for i in 0..stack.num_nodes() {
             let drop_p = stack.vdd() - vp[i];
-            prop_assert!((drop_p - vg[i]).abs() < 1e-9);
+            assert!((drop_p - vg[i]).abs() < 1e-9, "case {case} node {i}");
         }
     }
+}
 
-    #[test]
-    fn loads_generate_zero_on_tsv(w in 2usize..8, h in 2usize..8, seed in 0u64..100) {
+#[test]
+fn loads_generate_zero_on_tsv() {
+    let mut g = SmallRng::new(17);
+    for case in 0..64u64 {
+        let w = 2 + g.usize_below(6);
+        let h = 2 + g.usize_below(6);
         let stack = Stack3d::builder(w, h, 2)
-            .load_profile(LoadProfile::UniformRandom { min: 1e-6, max: 1e-3 }, seed)
+            .load_profile(
+                LoadProfile::UniformRandom {
+                    min: 1e-6,
+                    max: 1e-3,
+                },
+                g.next_u64() % 100,
+            )
             .build()
             .unwrap();
         for y in 0..h {
             for x in 0..w {
                 if stack.is_tsv(x, y) {
                     for t in 0..2 {
-                        prop_assert_eq!(stack.load(t, x, y), 0.0);
+                        assert_eq!(stack.load(t, x, y), 0.0, "case {case}");
                     }
                 }
             }

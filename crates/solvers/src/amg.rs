@@ -203,7 +203,7 @@ fn aggregate_pairwise(a: &CsrMatrix) -> (Vec<u32>, usize) {
             // Strong couplings in an M-matrix are large negative entries.
             if *v < 0.0 {
                 let strength = -v;
-                if best.map_or(true, |(_, s)| strength > s) {
+                if best.is_none_or(|(_, s)| strength > s) {
                     best = Some((j, strength));
                 }
             }
@@ -303,7 +303,7 @@ mod tests {
         let a = grid(10);
         let (agg, nc) = aggregate_pairwise(&a);
         assert_eq!(agg.len(), 100);
-        assert!(nc <= 100 && nc >= 50);
+        assert!((50..=100).contains(&nc));
         assert!(agg.iter().all(|&g| (g as usize) < nc));
         // Roughly pairwise: coarse count near half.
         assert!(nc <= 60, "pairwise aggregation should halve: {nc}");

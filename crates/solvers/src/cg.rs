@@ -135,7 +135,7 @@ mod tests {
     #[test]
     fn zero_rhs_short_circuits() {
         let (a, _) = grid_system(4);
-        let sol = ConjugateGradient::default().solve(&a, &vec![0.0; 16]).unwrap();
+        let sol = ConjugateGradient::default().solve(&a, &[0.0; 16]).unwrap();
         assert_eq!(sol.report.iterations, 0);
         assert!(sol.x.iter().all(|&v| v == 0.0));
     }

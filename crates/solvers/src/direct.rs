@@ -65,19 +65,28 @@ mod tests {
 
     #[test]
     fn solves_stack_via_blanket_impl() {
-        let stack = Stack3d::builder(6, 5, 3).uniform_load(1e-4).build().unwrap();
+        let stack = Stack3d::builder(6, 5, 3)
+            .uniform_load(1e-4)
+            .build()
+            .unwrap();
         let sol = DirectCholesky::new()
             .solve_stack(&stack, NetKind::Power)
             .unwrap();
         assert_eq!(sol.voltages.len(), stack.num_nodes());
         assert!(sol.worst_drop(1.8) > 0.0);
-        assert!(sol.worst_drop(1.8) < 0.5, "drop should be a fraction of VDD");
+        assert!(
+            sol.worst_drop(1.8) < 0.5,
+            "drop should be a fraction of VDD"
+        );
         assert_eq!(DirectCholesky::new().solver_name(), "direct-cholesky");
     }
 
     #[test]
     fn reports_fill_memory() {
-        let stack = Stack3d::builder(10, 10, 3).uniform_load(1e-4).build().unwrap();
+        let stack = Stack3d::builder(10, 10, 3)
+            .uniform_load(1e-4)
+            .build()
+            .unwrap();
         let sol = DirectCholesky::new()
             .solve_stack(&stack, NetKind::Power)
             .unwrap();

@@ -1,0 +1,1024 @@
+//! The prefactored row-sweep engine with red-black parallel scheduling.
+//!
+//! Row-based iteration treats each grid row as one block of a block
+//! Gauss–Seidel iteration; pinned nodes cut a row into independent
+//! tridiagonal segments. Two facts make the inner kernel fast:
+//!
+//! 1. **The segment matrices never change.** Across sweeps, outer
+//!    iterations, and colors, only the right-hand sides move. The engine
+//!    factors every segment once at construction into a shared
+//!    [`FactoredSegments`] arena, so a sweep is pure forward/backward
+//!    substitution (`3N` multiplies per row instead of the `5N-4` the
+//!    paper quotes for a from-scratch Thomas pass) and never allocates.
+//! 2. **Rows of one parity are independent.** A row couples only to the
+//!    rows directly above and below it, so under a *red-black* coloring
+//!    (even rows red, odd rows black) every red row can be solved
+//!    simultaneously while the black rows are frozen, and vice versa.
+//!    The [`SweepSchedule::RedBlack`] schedule exploits this to run row
+//!    solves across OS threads; voltages live in an atomic buffer during
+//!    the parallel solve, and barriers separate the two color phases.
+//!
+//! The red-black result is **deterministic in the thread count**: each
+//! phase reads only other-color (frozen) and pinned values, so the update
+//! of a row is independent of the order rows of its own color are
+//! processed. `RedBlack { threads: 1 }` and `RedBlack { threads: 8 }`
+//! produce bitwise-identical iterates; both converge to the same fixed
+//! point as [`SweepSchedule::Sequential`] (the classic alternating
+//! row-order sweep), which remains the default and the `parallelism = 1`
+//! special case throughout the workspace.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+
+use crate::rowbased::TierProblem;
+use crate::{SolveReport, SolverError};
+use voltprop_sparse::tridiag::FactoredSegments;
+
+/// How a [`TierEngine`] orders its row solves within one sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepSchedule {
+    /// Row-ordered block Gauss–Seidel, alternating sweep direction — the
+    /// paper's schedule and the strongest smoother per sweep.
+    Sequential,
+    /// Red-black row coloring: even rows update first (reading frozen odd
+    /// rows), then odd rows. Rows within a color are solved concurrently
+    /// on `threads` OS threads; results are identical for every
+    /// `threads >= 1`.
+    RedBlack {
+        /// Worker threads for each color phase (clamped to at least 1).
+        threads: usize,
+    },
+}
+
+impl SweepSchedule {
+    /// The schedule a `parallelism` knob maps to: `<= 1` stays on the
+    /// sequential path, anything larger sweeps red-black on that many
+    /// threads.
+    pub fn from_parallelism(parallelism: usize) -> Self {
+        if parallelism <= 1 {
+            SweepSchedule::Sequential
+        } else {
+            SweepSchedule::RedBlack {
+                threads: parallelism,
+            }
+        }
+    }
+
+    /// Number of worker threads this schedule uses.
+    pub fn threads(&self) -> usize {
+        match self {
+            SweepSchedule::Sequential => 1,
+            SweepSchedule::RedBlack { threads } => (*threads).max(1),
+        }
+    }
+}
+
+/// One tridiagonal row segment between pinned nodes.
+#[derive(Debug, Clone, Copy)]
+struct Segment {
+    row: u32,
+    start: u32,
+    len: u32,
+    /// Offset of this segment's coefficients in the factor arena.
+    offset: u32,
+}
+
+/// Worker status codes for the persistent parallel solve loop.
+const RUN: usize = 0;
+const DONE: usize = 1;
+const BUDGET: usize = 2;
+
+/// A tier's prefactored row-sweep engine.
+///
+/// Built once per tier, reused across every sweep and outer iteration:
+/// after construction the single-threaded schedules perform **no heap
+/// allocation** on any solve or sweep path. The multi-threaded red-black
+/// path additionally pays one scoped thread-pool spawn (a handful of
+/// small allocations plus spawn latency) per [`TierEngine::solve`] call
+/// — and per [`TierEngine::sweep_once`] call, so prefer whole solves
+/// over per-sweep calls when sweeping in parallel.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use voltprop_solvers::{SweepSchedule, TierEngine};
+///
+/// # fn main() -> Result<(), voltprop_solvers::SolverError> {
+/// let (w, h) = (8, 8);
+/// let mut fixed = vec![false; w * h];
+/// fixed[0] = true; // one pinned corner
+/// let mut engine = TierEngine::new(
+///     w, h, 1.0, 1.0, Arc::from(fixed), None,
+///     SweepSchedule::RedBlack { threads: 2 },
+/// )?;
+/// let mut v = vec![0.0; w * h];
+/// v[0] = 1.8;
+/// let injection = vec![0.0; w * h];
+/// let report = engine.solve(&injection, &mut v, 1e-9, 100_000)?;
+/// assert!(report.converged);
+/// assert!(v.iter().all(|&vi| (vi - 1.8).abs() < 1e-6));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct TierEngine {
+    width: usize,
+    height: usize,
+    g_h: f64,
+    g_v: f64,
+    fixed: Arc<[bool]>,
+    schedule: SweepSchedule,
+    /// All segments in natural (row-major) order.
+    segments: Vec<Segment>,
+    /// Indices into `segments` for even (red) and odd (black) rows.
+    red_idx: Vec<u32>,
+    black_idx: Vec<u32>,
+    /// Per-thread index ranges into `red_idx` / `black_idx`, balanced by
+    /// node count.
+    red_chunks: Vec<Range<usize>>,
+    black_chunks: Vec<Range<usize>>,
+    factors: FactoredSegments,
+    /// Per-thread forward-substitution scratch.
+    scratches: Vec<Vec<f64>>,
+    /// Atomic voltage image used by multi-threaded sweeps (empty when the
+    /// schedule runs on one thread).
+    atomic_v: Vec<AtomicU64>,
+    /// Per-thread max-|update| slots for the parallel reduction.
+    deltas: Vec<AtomicU64>,
+}
+
+impl TierEngine {
+    /// Factors a tier's row segments. `fixed` pins nodes (row-major mask),
+    /// `extra_diag` adds optional per-node diagonal conductance (TSV or
+    /// pad coupling to external potentials).
+    ///
+    /// # Errors
+    ///
+    /// [`SolverError::Unsupported`] for inconsistent dimensions or
+    /// non-positive conductances; [`SolverError::Sparse`] if a segment is
+    /// singular (a free node with no neighbours and no extra diagonal).
+    pub fn new(
+        width: usize,
+        height: usize,
+        g_h: f64,
+        g_v: f64,
+        fixed: Arc<[bool]>,
+        extra_diag: Option<&[f64]>,
+        schedule: SweepSchedule,
+    ) -> Result<Self, SolverError> {
+        let n = width * height;
+        if fixed.len() != n {
+            return Err(SolverError::Unsupported {
+                what: format!("pin mask must have {n} entries (got {})", fixed.len()),
+            });
+        }
+        if let Some(e) = extra_diag {
+            if e.len() != n {
+                return Err(SolverError::Unsupported {
+                    what: format!("extra_diag must have {n} entries (got {})", e.len()),
+                });
+            }
+        }
+        if !(g_h > 0.0 && g_v > 0.0) {
+            return Err(SolverError::Unsupported {
+                what: "conductances must be positive".into(),
+            });
+        }
+        let threads = schedule.threads();
+
+        let mut segments = Vec::new();
+        let mut factors = FactoredSegments::new();
+        // Segment-local coefficient buffers (setup only).
+        let mut lower = Vec::new();
+        let mut diag = Vec::new();
+        let mut upper = Vec::new();
+        for y in 0..height {
+            let row0 = y * width;
+            let mut x = 0usize;
+            while x < width {
+                if fixed[row0 + x] {
+                    x += 1;
+                    continue;
+                }
+                let start = x;
+                while x < width && !fixed[row0 + x] {
+                    x += 1;
+                }
+                let len = x - start;
+                lower.clear();
+                diag.clear();
+                upper.clear();
+                for i in 0..len {
+                    let gx = start + i;
+                    let mut d = extra_diag.map_or(0.0, |e| e[row0 + gx]);
+                    if gx > 0 {
+                        d += g_h;
+                    }
+                    if gx + 1 < width {
+                        d += g_h;
+                    }
+                    if y > 0 {
+                        d += g_v;
+                    }
+                    if y + 1 < height {
+                        d += g_v;
+                    }
+                    diag.push(d);
+                    if i + 1 < len {
+                        lower.push(-g_h);
+                        upper.push(-g_h);
+                    }
+                }
+                let offset = factors.push_segment(&lower, &diag, &upper)?;
+                segments.push(Segment {
+                    row: y as u32,
+                    start: start as u32,
+                    len: len as u32,
+                    offset: offset as u32,
+                });
+            }
+        }
+
+        let red_idx: Vec<u32> = (0..segments.len() as u32)
+            .filter(|&i| segments[i as usize].row % 2 == 0)
+            .collect();
+        let black_idx: Vec<u32> = (0..segments.len() as u32)
+            .filter(|&i| segments[i as usize].row % 2 == 1)
+            .collect();
+        let red_chunks = balance_chunks(&segments, &red_idx, threads);
+        let black_chunks = balance_chunks(&segments, &black_idx, threads);
+
+        let scratch_len = factors.max_segment_len();
+        let scratches = (0..threads).map(|_| vec![0.0; scratch_len]).collect();
+        let atomic_v = if threads > 1 {
+            (0..n).map(|_| AtomicU64::new(0)).collect()
+        } else {
+            Vec::new()
+        };
+        let deltas = (0..threads).map(|_| AtomicU64::new(0)).collect();
+
+        Ok(TierEngine {
+            width,
+            height,
+            g_h,
+            g_v,
+            fixed,
+            schedule,
+            segments,
+            red_idx,
+            black_idx,
+            red_chunks,
+            black_chunks,
+            factors,
+            scratches,
+            atomic_v,
+            deltas,
+        })
+    }
+
+    /// Builds an engine from a [`TierProblem`] (cloning its pin mask and
+    /// extra diagonal).
+    ///
+    /// # Errors
+    ///
+    /// See [`TierEngine::new`].
+    pub fn from_problem(
+        problem: &TierProblem<'_>,
+        schedule: SweepSchedule,
+    ) -> Result<Self, SolverError> {
+        TierEngine::new(
+            problem.width,
+            problem.height,
+            problem.g_h,
+            problem.g_v,
+            Arc::from(problem.fixed),
+            Some(problem.extra_diag),
+            schedule,
+        )
+    }
+
+    /// The schedule this engine sweeps with.
+    pub fn schedule(&self) -> SweepSchedule {
+        self.schedule
+    }
+
+    /// Sweeps until the largest per-sweep voltage update falls below
+    /// `tolerance`, reading the initial guess (and pinned values) from `v`
+    /// and leaving the solution there. Plain block Gauss–Seidel (ω = 1).
+    ///
+    /// # Errors
+    ///
+    /// [`SolverError::DidNotConverge`] if `max_sweeps` runs out.
+    pub fn solve(
+        &mut self,
+        injection: &[f64],
+        v: &mut [f64],
+        tolerance: f64,
+        max_sweeps: usize,
+    ) -> Result<SolveReport, SolverError> {
+        self.solve_with_omega(injection, v, tolerance, max_sweeps, 1.0)
+    }
+
+    /// Like [`TierEngine::solve`] with an explicit SOR factor `ω ∈ (0, 2)`.
+    ///
+    /// # Errors
+    ///
+    /// [`SolverError::Unsupported`] for an out-of-range `ω`;
+    /// [`SolverError::DidNotConverge`] if `max_sweeps` runs out.
+    pub fn solve_with_omega(
+        &mut self,
+        injection: &[f64],
+        v: &mut [f64],
+        tolerance: f64,
+        max_sweeps: usize,
+        omega: f64,
+    ) -> Result<SolveReport, SolverError> {
+        self.check_call(injection, v, omega)?;
+        if self.schedule.threads() > 1 {
+            return self.solve_parallel(injection, v, tolerance, max_sweeps, omega);
+        }
+        let mut max_delta = f64::INFINITY;
+        let mut sweeps = 0;
+        while sweeps < max_sweeps {
+            max_delta = match self.schedule {
+                SweepSchedule::Sequential => {
+                    self.sweep_sequential_slice(injection, v, sweeps % 2 == 0, omega)
+                }
+                SweepSchedule::RedBlack { .. } => self.sweep_redblack_slice(injection, v, omega),
+            };
+            sweeps += 1;
+            if max_delta < tolerance {
+                return Ok(SolveReport {
+                    iterations: sweeps,
+                    residual: max_delta,
+                    converged: true,
+                    workspace_bytes: self.memory_bytes(),
+                });
+            }
+        }
+        Err(SolverError::DidNotConverge {
+            iterations: sweeps,
+            residual: max_delta,
+            tolerance,
+        })
+    }
+
+    /// One sweep under the engine's schedule (both colors for red-black),
+    /// returning the largest voltage update. `downward` picks the row
+    /// direction for the sequential schedule and is ignored by red-black.
+    ///
+    /// # Errors
+    ///
+    /// [`SolverError::Unsupported`] for inconsistent array lengths or an
+    /// out-of-range `ω`.
+    pub fn sweep_once(
+        &mut self,
+        injection: &[f64],
+        v: &mut [f64],
+        downward: bool,
+        omega: f64,
+    ) -> Result<f64, SolverError> {
+        self.check_call(injection, v, omega)?;
+        Ok(match self.schedule {
+            SweepSchedule::Sequential => self.sweep_sequential_slice(injection, v, downward, omega),
+            SweepSchedule::RedBlack { threads } if threads > 1 => {
+                self.load_atomic(v);
+                let delta = self
+                    .parallel_sweeps(injection, f64::NEG_INFINITY, 1, omega)
+                    .1;
+                self.store_atomic(v);
+                delta
+            }
+            SweepSchedule::RedBlack { .. } => self.sweep_redblack_slice(injection, v, omega),
+        })
+    }
+
+    /// Estimated heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.segments.len() * size_of::<Segment>()
+            + (self.red_idx.len() + self.black_idx.len()) * size_of::<u32>()
+            + self.factors.memory_bytes()
+            + self
+                .scratches
+                .iter()
+                .map(|s| s.capacity() * size_of::<f64>())
+                .sum::<usize>()
+            + (self.atomic_v.len() + self.deltas.len()) * size_of::<AtomicU64>()
+            + self.fixed.len()
+    }
+
+    fn check_call(&self, injection: &[f64], v: &[f64], omega: f64) -> Result<(), SolverError> {
+        let n = self.width * self.height;
+        if injection.len() != n || v.len() != n {
+            return Err(SolverError::Unsupported {
+                what: format!(
+                    "tier arrays must have {n} entries (injection {}, v {})",
+                    injection.len(),
+                    v.len()
+                ),
+            });
+        }
+        if !(omega > 0.0 && omega < 2.0) {
+            return Err(SolverError::Unsupported {
+                what: format!("SOR omega {omega} outside (0, 2)"),
+            });
+        }
+        Ok(())
+    }
+
+    /// Row-ordered Gauss–Seidel over all segments (ascending rows when
+    /// `downward`).
+    fn sweep_sequential_slice(
+        &mut self,
+        injection: &[f64],
+        v: &mut [f64],
+        downward: bool,
+        omega: f64,
+    ) -> f64 {
+        let scratch = &mut self.scratches[0];
+        let nseg = self.segments.len();
+        let mut max_delta = 0.0f64;
+        let mut view = SliceView(v);
+        for si in 0..nseg {
+            let seg = if downward {
+                self.segments[si]
+            } else {
+                self.segments[nseg - 1 - si]
+            };
+            let delta = solve_segment(
+                seg,
+                &self.factors,
+                self.width,
+                self.height,
+                self.g_h,
+                self.g_v,
+                &self.fixed,
+                injection,
+                omega,
+                scratch,
+                &mut view,
+            );
+            max_delta = max_delta.max(delta);
+        }
+        max_delta
+    }
+
+    /// Red-black sweep on one thread (same iterates as the parallel path).
+    fn sweep_redblack_slice(&mut self, injection: &[f64], v: &mut [f64], omega: f64) -> f64 {
+        let scratch = &mut self.scratches[0];
+        let mut max_delta = 0.0f64;
+        let mut view = SliceView(v);
+        for idx in [&self.red_idx, &self.black_idx] {
+            for &si in idx.iter() {
+                let delta = solve_segment(
+                    self.segments[si as usize],
+                    &self.factors,
+                    self.width,
+                    self.height,
+                    self.g_h,
+                    self.g_v,
+                    &self.fixed,
+                    injection,
+                    omega,
+                    scratch,
+                    &mut view,
+                );
+                max_delta = max_delta.max(delta);
+            }
+        }
+        max_delta
+    }
+
+    fn load_atomic(&self, v: &[f64]) {
+        for (slot, &x) in self.atomic_v.iter().zip(v.iter()) {
+            slot.store(x.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    fn store_atomic(&self, v: &mut [f64]) {
+        for (slot, x) in self.atomic_v.iter().zip(v.iter_mut()) {
+            *x = f64::from_bits(slot.load(Ordering::Relaxed));
+        }
+    }
+
+    /// Full multi-threaded solve: workers persist across sweeps (the
+    /// thread spawns are paid once per solve, not once per sweep) and
+    /// synchronize at phase barriers.
+    fn solve_parallel(
+        &mut self,
+        injection: &[f64],
+        v: &mut [f64],
+        tolerance: f64,
+        max_sweeps: usize,
+        omega: f64,
+    ) -> Result<SolveReport, SolverError> {
+        if max_sweeps == 0 {
+            return Err(SolverError::DidNotConverge {
+                iterations: 0,
+                residual: f64::INFINITY,
+                tolerance,
+            });
+        }
+        self.load_atomic(v);
+        let (sweeps, residual) = self.parallel_sweeps(injection, tolerance, max_sweeps, omega);
+        self.store_atomic(v);
+        if residual < tolerance {
+            Ok(SolveReport {
+                iterations: sweeps,
+                residual,
+                converged: true,
+                workspace_bytes: self.memory_bytes(),
+            })
+        } else {
+            Err(SolverError::DidNotConverge {
+                iterations: sweeps,
+                residual,
+                tolerance,
+            })
+        }
+    }
+
+    /// Runs up to `max_sweeps` red-black sweeps on the atomic voltage
+    /// image, stopping early once the sweep delta drops below
+    /// `tolerance`. Returns `(sweeps run, last delta)`.
+    fn parallel_sweeps(
+        &mut self,
+        injection: &[f64],
+        tolerance: f64,
+        max_sweeps: usize,
+        omega: f64,
+    ) -> (usize, f64) {
+        let threads = self.schedule.threads();
+        let barrier = Barrier::new(threads);
+        let status = AtomicUsize::new(RUN);
+        let sweeps_done = AtomicUsize::new(0);
+        let final_delta = AtomicU64::new(f64::INFINITY.to_bits());
+        let ctx = ParCtx {
+            w: self.width,
+            h: self.height,
+            g_h: self.g_h,
+            g_v: self.g_v,
+            omega,
+            tolerance,
+            max_sweeps,
+            threads,
+            fixed: &self.fixed,
+            injection,
+            segments: &self.segments,
+            red_idx: &self.red_idx,
+            black_idx: &self.black_idx,
+            red_chunks: &self.red_chunks,
+            black_chunks: &self.black_chunks,
+            factors: &self.factors,
+            atomic_v: &self.atomic_v,
+            deltas: &self.deltas,
+            barrier: &barrier,
+            status: &status,
+            sweeps_done: &sweeps_done,
+            final_delta: &final_delta,
+        };
+        std::thread::scope(|scope| {
+            let mut scratch_iter = self.scratches.iter_mut();
+            let main_scratch = scratch_iter.next().expect("thread-0 scratch");
+            for (i, scratch) in scratch_iter.enumerate() {
+                let ctx = &ctx;
+                scope.spawn(move || solve_worker(ctx, i + 1, scratch));
+            }
+            solve_worker(&ctx, 0, main_scratch);
+        });
+        (
+            sweeps_done.load(Ordering::Relaxed),
+            f64::from_bits(final_delta.load(Ordering::Relaxed)),
+        )
+    }
+}
+
+/// Shared context of one parallel solve.
+struct ParCtx<'a> {
+    w: usize,
+    h: usize,
+    g_h: f64,
+    g_v: f64,
+    omega: f64,
+    tolerance: f64,
+    max_sweeps: usize,
+    threads: usize,
+    fixed: &'a [bool],
+    injection: &'a [f64],
+    segments: &'a [Segment],
+    red_idx: &'a [u32],
+    black_idx: &'a [u32],
+    red_chunks: &'a [Range<usize>],
+    black_chunks: &'a [Range<usize>],
+    factors: &'a FactoredSegments,
+    atomic_v: &'a [AtomicU64],
+    deltas: &'a [AtomicU64],
+    barrier: &'a Barrier,
+    status: &'a AtomicUsize,
+    sweeps_done: &'a AtomicUsize,
+    final_delta: &'a AtomicU64,
+}
+
+/// The per-thread loop of a parallel solve. Thread 0 doubles as the
+/// reducer that decides convergence between sweeps. Every sweep costs
+/// three barrier waits: red→black, black→reduce, reduce→next sweep.
+fn solve_worker(ctx: &ParCtx<'_>, tid: usize, scratch: &mut [f64]) {
+    loop {
+        let mut local = 0.0f64;
+        for phase in 0..2 {
+            let (idx, chunk) = if phase == 0 {
+                (ctx.red_idx, &ctx.red_chunks[tid])
+            } else {
+                (ctx.black_idx, &ctx.black_chunks[tid])
+            };
+            let mut view = AtomicView(ctx.atomic_v);
+            for &si in &idx[chunk.clone()] {
+                local = local.max(solve_segment(
+                    ctx.segments[si as usize],
+                    ctx.factors,
+                    ctx.w,
+                    ctx.h,
+                    ctx.g_h,
+                    ctx.g_v,
+                    ctx.fixed,
+                    ctx.injection,
+                    ctx.omega,
+                    scratch,
+                    &mut view,
+                ));
+            }
+            // All writes of this color must land before any thread reads
+            // them in the next phase.
+            ctx.barrier.wait();
+        }
+        ctx.deltas[tid].store(local.to_bits(), Ordering::Relaxed);
+        ctx.barrier.wait();
+        if tid == 0 {
+            let delta = ctx
+                .deltas
+                .iter()
+                .take(ctx.threads)
+                .map(|d| f64::from_bits(d.load(Ordering::Relaxed)))
+                .fold(0.0f64, f64::max);
+            ctx.final_delta.store(delta.to_bits(), Ordering::Relaxed);
+            let done = ctx.sweeps_done.fetch_add(1, Ordering::Relaxed) + 1;
+            if delta < ctx.tolerance {
+                ctx.status.store(DONE, Ordering::Relaxed);
+            } else if done >= ctx.max_sweeps {
+                ctx.status.store(BUDGET, Ordering::Relaxed);
+            }
+        }
+        ctx.barrier.wait();
+        if ctx.status.load(Ordering::Relaxed) != RUN {
+            return;
+        }
+    }
+}
+
+/// Read/write access to the voltage image, monomorphized so the slice
+/// (single-thread) and atomic (multi-thread) paths share one kernel.
+trait VoltView {
+    fn get(&self, i: usize) -> f64;
+    fn set(&mut self, i: usize, value: f64);
+}
+
+struct SliceView<'a>(&'a mut [f64]);
+
+impl VoltView for SliceView<'_> {
+    #[inline(always)]
+    fn get(&self, i: usize) -> f64 {
+        self.0[i]
+    }
+
+    #[inline(always)]
+    fn set(&mut self, i: usize, value: f64) {
+        self.0[i] = value;
+    }
+}
+
+/// Atomic image view. Relaxed ordering suffices: phase barriers establish
+/// the happens-before edges between writers of one color and readers of
+/// the next phase, and within a phase no two threads touch the same node.
+struct AtomicView<'a>(&'a [AtomicU64]);
+
+impl VoltView for AtomicView<'_> {
+    #[inline(always)]
+    fn get(&self, i: usize) -> f64 {
+        f64::from_bits(self.0[i].load(Ordering::Relaxed))
+    }
+
+    #[inline(always)]
+    fn set(&mut self, i: usize, value: f64) {
+        self.0[i].store(value.to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// Solves one prefactored row segment exactly (given the current
+/// neighbouring rows) and applies the (over-)relaxed update; returns the
+/// largest update in the segment.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn solve_segment<V: VoltView>(
+    seg: Segment,
+    factors: &FactoredSegments,
+    w: usize,
+    h: usize,
+    g_h: f64,
+    g_v: f64,
+    fixed: &[bool],
+    injection: &[f64],
+    omega: f64,
+    scratch: &mut [f64],
+    view: &mut V,
+) -> f64 {
+    let y = seg.row as usize;
+    let start = seg.start as usize;
+    let len = seg.len as usize;
+    let row0 = y * w;
+    let offset = seg.offset as usize;
+    let mut max_delta = 0.0f64;
+    // Forward pass: build each right-hand side entry from the frozen
+    // neighbours and eliminate on the fly (no staging buffer).
+    let mut prev = 0.0;
+    for i in 0..len {
+        let gx = start + i;
+        let node = row0 + gx;
+        let mut b = injection[node];
+        if gx > 0 && fixed[node - 1] {
+            b += g_h * view.get(node - 1);
+        }
+        if gx + 1 < w && fixed[node + 1] {
+            b += g_h * view.get(node + 1);
+        }
+        if y > 0 {
+            b += g_v * view.get(node - w);
+        }
+        if y + 1 < h {
+            b += g_v * view.get(node + w);
+        }
+        let dp = factors.forward_step(offset + i, b, prev);
+        scratch[i] = dp;
+        prev = dp;
+    }
+    // Backward pass: substitute and apply the relaxed update in place.
+    let mut next = 0.0;
+    for i in (0..len).rev() {
+        let xi = factors.backward_step(offset + i, scratch[i], next);
+        let node = row0 + start + i;
+        let old = view.get(node);
+        let new = old + omega * (xi - old);
+        let delta = (new - old).abs();
+        if delta > max_delta {
+            max_delta = delta;
+        }
+        view.set(node, new);
+        next = xi;
+    }
+    max_delta
+}
+
+/// Splits `idx` into `threads` contiguous chunks with approximately equal
+/// total node counts (rows can have very different free-node counts when
+/// pins cluster).
+fn balance_chunks(segments: &[Segment], idx: &[u32], threads: usize) -> Vec<Range<usize>> {
+    let total: usize = idx.iter().map(|&i| segments[i as usize].len as usize).sum();
+    let mut chunks = Vec::with_capacity(threads);
+    let mut pos = 0usize;
+    let mut acc = 0usize;
+    for t in 0..threads {
+        let begin = pos;
+        if t + 1 == threads {
+            pos = idx.len();
+        } else {
+            let target = total * (t + 1) / threads;
+            while pos < idx.len() && acc < target {
+                acc += segments[idx[pos] as usize].len as usize;
+                pos += 1;
+            }
+        }
+        chunks.push(begin..pos);
+    }
+    chunks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rowbased::RowBased;
+
+    fn random_problem(seed: u64, w: usize, h: usize) -> (Vec<bool>, Vec<f64>, Vec<f64>) {
+        let n = w * h;
+        let mut s = seed.wrapping_add(11);
+        let mut rnd = move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 33) as f64) / (u32::MAX as f64)
+        };
+        let mut fixed = vec![false; n];
+        let mut v = vec![1.8; n];
+        for i in 0..n {
+            if rnd() < 0.25 {
+                fixed[i] = true;
+                v[i] = 1.7 + 0.2 * rnd();
+            }
+        }
+        fixed[0] = true;
+        let injection: Vec<f64> = (0..n)
+            .map(|i| if fixed[i] { 0.0 } else { -1e-4 * rnd() })
+            .collect();
+        (fixed, v, injection)
+    }
+
+    fn engine(w: usize, h: usize, fixed: &[bool], schedule: SweepSchedule) -> TierEngine {
+        TierEngine::new(w, h, 1.25, 0.8, Arc::from(fixed), None, schedule).unwrap()
+    }
+
+    #[test]
+    fn sequential_engine_matches_generic_rowbased() {
+        for seed in [1u64, 5, 23] {
+            let (w, h) = (13, 9);
+            let (fixed, v0, injection) = random_problem(seed, w, h);
+            let mut v_engine = v0.clone();
+            engine(w, h, &fixed, SweepSchedule::Sequential)
+                .solve(&injection, &mut v_engine, 1e-11, 100_000)
+                .unwrap();
+
+            let mut v_ref = v0.clone();
+            let problem = TierProblem {
+                width: w,
+                height: h,
+                g_h: 1.25,
+                g_v: 0.8,
+                fixed: &fixed,
+                extra_diag: &vec![0.0; w * h],
+                injection: &injection,
+            };
+            RowBased {
+                tolerance: 1e-11,
+                ..Default::default()
+            }
+            .solve_tier(&problem, &mut v_ref)
+            .unwrap();
+            for i in 0..w * h {
+                assert!(
+                    (v_engine[i] - v_ref[i]).abs() < 1e-8,
+                    "seed {seed} node {i}: engine {} vs rowbased {}",
+                    v_engine[i],
+                    v_ref[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn redblack_is_thread_count_invariant() {
+        for seed in [2u64, 7] {
+            let (w, h) = (17, 12);
+            let (fixed, v0, injection) = random_problem(seed, w, h);
+            let mut v1 = v0.clone();
+            engine(w, h, &fixed, SweepSchedule::RedBlack { threads: 1 })
+                .solve(&injection, &mut v1, 1e-10, 100_000)
+                .unwrap();
+            for threads in [2usize, 4] {
+                let mut vt = v0.clone();
+                engine(w, h, &fixed, SweepSchedule::RedBlack { threads })
+                    .solve(&injection, &mut vt, 1e-10, 100_000)
+                    .unwrap();
+                assert_eq!(
+                    v1, vt,
+                    "seed {seed}, {threads} threads must be bitwise equal"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn redblack_agrees_with_sequential_solution() {
+        let (w, h) = (20, 15);
+        let (fixed, v0, injection) = random_problem(3, w, h);
+        let mut v_seq = v0.clone();
+        engine(w, h, &fixed, SweepSchedule::Sequential)
+            .solve(&injection, &mut v_seq, 1e-12, 200_000)
+            .unwrap();
+        let mut v_rb = v0.clone();
+        engine(w, h, &fixed, SweepSchedule::RedBlack { threads: 3 })
+            .solve(&injection, &mut v_rb, 1e-12, 200_000)
+            .unwrap();
+        let worst = v_seq
+            .iter()
+            .zip(&v_rb)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(worst <= 1e-9, "schedules disagree by {worst} V");
+    }
+
+    #[test]
+    fn sweep_once_parallel_matches_single_thread() {
+        let (w, h) = (11, 8);
+        let (fixed, v0, injection) = random_problem(9, w, h);
+        let mut v1 = v0.clone();
+        let mut e1 = engine(w, h, &fixed, SweepSchedule::RedBlack { threads: 1 });
+        let d1 = e1.sweep_once(&injection, &mut v1, true, 1.0).unwrap();
+        let mut v4 = v0.clone();
+        let mut e4 = engine(w, h, &fixed, SweepSchedule::RedBlack { threads: 4 });
+        let d4 = e4.sweep_once(&injection, &mut v4, true, 1.0).unwrap();
+        assert_eq!(v1, v4);
+        assert_eq!(d1, d4);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_error_on_both_paths() {
+        let (w, h) = (16, 16);
+        let mut fixed = vec![false; w * h];
+        fixed[0] = true;
+        let injection = vec![0.0; w * h];
+        for schedule in [
+            SweepSchedule::Sequential,
+            SweepSchedule::RedBlack { threads: 2 },
+        ] {
+            let mut v = vec![0.0; w * h];
+            v[0] = 1.8;
+            let err = TierEngine::new(w, h, 1.0, 1.0, Arc::from(&fixed[..]), None, schedule)
+                .unwrap()
+                .solve(&injection, &mut v, 1e-15, 2)
+                .unwrap_err();
+            assert!(
+                matches!(err, SolverError::DidNotConverge { iterations: 2, .. }),
+                "{schedule:?}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let fixed: Arc<[bool]> = Arc::from(vec![false; 4]);
+        assert!(TierEngine::new(
+            3,
+            2,
+            1.0,
+            1.0,
+            fixed.clone(),
+            None,
+            SweepSchedule::Sequential
+        )
+        .is_err());
+        let fixed6: Arc<[bool]> = Arc::from(vec![false; 6]);
+        assert!(TierEngine::new(
+            3,
+            2,
+            -1.0,
+            1.0,
+            fixed6.clone(),
+            None,
+            SweepSchedule::Sequential
+        )
+        .is_err());
+        let mut ok =
+            TierEngine::new(3, 2, 1.0, 1.0, fixed6, None, SweepSchedule::Sequential).unwrap();
+        let mut v = vec![0.0; 6];
+        assert!(ok.solve(&[0.0; 5], &mut v, 1e-6, 10).is_err());
+        assert!(ok
+            .solve_with_omega(&[0.0; 6], &mut v, 1e-6, 10, 2.5)
+            .is_err());
+    }
+
+    #[test]
+    fn parallelism_maps_to_schedule() {
+        assert_eq!(
+            SweepSchedule::from_parallelism(0),
+            SweepSchedule::Sequential
+        );
+        assert_eq!(
+            SweepSchedule::from_parallelism(1),
+            SweepSchedule::Sequential
+        );
+        assert_eq!(
+            SweepSchedule::from_parallelism(4),
+            SweepSchedule::RedBlack { threads: 4 }
+        );
+        assert_eq!(SweepSchedule::RedBlack { threads: 0 }.threads(), 1);
+    }
+
+    #[test]
+    fn chunks_cover_all_segments_without_overlap() {
+        let (w, h) = (31, 23);
+        let (fixed, _, _) = random_problem(4, w, h);
+        let e = engine(w, h, &fixed, SweepSchedule::RedBlack { threads: 5 });
+        for (idx, chunks) in [(&e.red_idx, &e.red_chunks), (&e.black_idx, &e.black_chunks)] {
+            assert_eq!(chunks.len(), 5);
+            let mut covered = 0usize;
+            let mut expect_begin = 0usize;
+            for c in chunks.iter() {
+                assert_eq!(c.start, expect_begin, "chunks must be contiguous");
+                expect_begin = c.end;
+                covered += c.len();
+            }
+            assert_eq!(covered, idx.len());
+            assert_eq!(expect_begin, idx.len());
+        }
+    }
+}

@@ -21,6 +21,27 @@
 //! the MNA system first. Structured solvers ([`Rb3d`],
 //! [`RandomWalkSolver`]) implement [`StackSolver`] directly.
 //!
+//! # The prefactored engine and red-black parallelism
+//!
+//! The production row-sweep kernel is [`TierEngine`]: it cuts every grid
+//! row into tridiagonal segments at the pinned nodes, factors each
+//! segment **once** (the matrices never change between sweeps — only the
+//! right-hand sides do), and then sweeps by substitution alone with zero
+//! heap allocation. Its [`SweepSchedule`] picks the iteration order:
+//!
+//! * [`SweepSchedule::Sequential`] — the paper's alternating-direction
+//!   row order; the default and the `parallelism = 1` special case.
+//! * [`SweepSchedule::RedBlack`] — rows only couple to their vertical
+//!   neighbours, so under an even/odd (red/black) row coloring every row
+//!   of one color can be solved simultaneously while the other color is
+//!   frozen. The engine runs each color phase across OS threads, and the
+//!   result is **deterministic in the thread count** (bitwise identical
+//!   for 1, 2, … threads); the converged solution agrees with the
+//!   sequential schedule to the solve tolerance.
+//!
+//! [`Rb3d::parallelism`] and `voltprop_core`'s `VpConfig::parallelism`
+//! expose the knob one level up.
+//!
 //! # Example
 //!
 //! ```
@@ -44,6 +65,7 @@
 mod amg;
 mod cg;
 mod direct;
+pub mod engine;
 mod error;
 mod pcg;
 mod precond;
@@ -58,9 +80,10 @@ mod traits;
 pub use amg::AmgHierarchy;
 pub use cg::ConjugateGradient;
 pub use direct::DirectCholesky;
+pub use engine::{SweepSchedule, TierEngine};
 pub use error::SolverError;
 pub use pcg::Pcg;
-pub use precond::{Preconditioner, PrecondKind};
+pub use precond::{PrecondKind, Preconditioner};
 pub use random_walk::RandomWalkSolver;
 pub use rb3d::Rb3d;
 pub use report::SolveReport;

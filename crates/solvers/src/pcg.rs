@@ -143,7 +143,10 @@ mod tests {
     fn bench_stack() -> Stack3d {
         Stack3d::builder(12, 12, 3)
             .load_profile(
-                voltprop_grid::LoadProfile::UniformRandom { min: 1e-5, max: 1e-3 },
+                voltprop_grid::LoadProfile::UniformRandom {
+                    min: 1e-5,
+                    max: 1e-3,
+                },
                 3,
             )
             .build()

@@ -12,8 +12,7 @@
 //! experiment E3).
 
 use crate::{SolveReport, SolverError, StackSolution, StackSolver};
-use rand::Rng;
-use rand::SeedableRng;
+use voltprop_grid::rng::SmallRng;
 use voltprop_grid::{NetKind, Stack3d};
 
 /// Outcome of estimating a single node's voltage by random walks.
@@ -94,9 +93,8 @@ impl RandomWalkSolver {
                 what: "walks_per_node must be positive".into(),
             });
         }
-        let mut rng = rand::rngs::StdRng::seed_from_u64(
-            self.seed ^ ((tier as u64) << 40 | (x as u64) << 20 | y as u64),
-        );
+        let mut rng =
+            SmallRng::new(self.seed ^ ((tier as u64) << 40 | (x as u64) << 20 | y as u64));
         let rail = match net {
             NetKind::Power => stack.vdd(),
             NetKind::Ground => 0.0,
@@ -158,10 +156,10 @@ impl RandomWalkSolver {
                     }
                 }
                 let has_rail_exit = t == top && !ideal_pads && stack.is_pad(cx, cy);
-                let g_total: f64 =
-                    neigh.iter().map(|&(_, _, _, g)| g).sum::<f64>() + if has_rail_exit { g_pad } else { 0.0 };
+                let g_total: f64 = neigh.iter().map(|&(_, _, _, g)| g).sum::<f64>()
+                    + if has_rail_exit { g_pad } else { 0.0 };
                 gain += load_sign * stack.load(t, cx, cy) / g_total;
-                let mut pick = rng.gen_range(0.0..g_total);
+                let mut pick = rng.f64_in(0.0, g_total);
                 let mut moved = false;
                 for &(nt, nx, ny, g) in &neigh {
                     if pick < g {
@@ -251,7 +249,10 @@ mod tests {
 
     #[test]
     fn pad_node_is_exact() {
-        let s = Stack3d::builder(4, 4, 2).uniform_load(1e-4).build().unwrap();
+        let s = Stack3d::builder(4, 4, 2)
+            .uniform_load(1e-4)
+            .build()
+            .unwrap();
         let rw = RandomWalkSolver::new(10, 3);
         let est = rw.estimate_node(&s, NetKind::Power, 1, 0, 0).unwrap();
         assert!((est.volts - 1.8).abs() < 1e-12);
@@ -260,8 +261,13 @@ mod tests {
 
     #[test]
     fn estimate_matches_direct_within_noise() {
-        let s = Stack3d::builder(5, 5, 1).uniform_load(2e-4).build().unwrap();
-        let exact = DirectCholesky::new().solve_stack(&s, NetKind::Power).unwrap();
+        let s = Stack3d::builder(5, 5, 1)
+            .uniform_load(2e-4)
+            .build()
+            .unwrap();
+        let exact = DirectCholesky::new()
+            .solve_stack(&s, NetKind::Power)
+            .unwrap();
         let rw = RandomWalkSolver::new(4000, 42);
         let est = rw.estimate_node(&s, NetKind::Power, 0, 1, 1).unwrap();
         let truth = exact.voltages[s.node_index(0, 1, 1)];
@@ -299,7 +305,10 @@ mod tests {
 
     #[test]
     fn step_cap_counts_trapped_walks() {
-        let s = Stack3d::builder(8, 8, 3).uniform_load(1e-4).build().unwrap();
+        let s = Stack3d::builder(8, 8, 3)
+            .uniform_load(1e-4)
+            .build()
+            .unwrap();
         let rw = RandomWalkSolver {
             walks_per_node: 50,
             max_steps: 2, // absurdly tight: nearly everything traps
@@ -323,8 +332,13 @@ mod tests {
 
     #[test]
     fn full_solve_on_tiny_grid() {
-        let s = Stack3d::builder(3, 3, 1).uniform_load(1e-4).build().unwrap();
-        let exact = DirectCholesky::new().solve_stack(&s, NetKind::Power).unwrap();
+        let s = Stack3d::builder(3, 3, 1)
+            .uniform_load(1e-4)
+            .build()
+            .unwrap();
+        let exact = DirectCholesky::new()
+            .solve_stack(&s, NetKind::Power)
+            .unwrap();
         let sol = RandomWalkSolver::new(3000, 11)
             .solve_stack(&s, NetKind::Power)
             .unwrap();

@@ -7,8 +7,15 @@
 //! wire conductances, the iteration matrix loses diagonal dominance margin
 //! and the sweep count explodes as R_TSV shrinks — exactly the behaviour
 //! benchmarked in experiment E4.
+//!
+//! The tier sweeps run on the prefactored [`TierEngine`]: each tier's row
+//! segments are factored once up front and every sweep is substitution
+//! only. Setting [`Rb3d::parallelism`] above 1 switches the sweeps to the
+//! red-black row coloring, solving same-color rows concurrently.
 
-use crate::rowbased::{RbWorkspace, RowBased, TierProblem};
+use std::sync::Arc;
+
+use crate::engine::{SweepSchedule, TierEngine};
 use crate::{SolveReport, SolverError, StackSolution, StackSolver};
 use voltprop_grid::{NetKind, Stack3d};
 
@@ -35,6 +42,15 @@ pub struct Rb3d {
     pub tolerance: f64,
     /// Budget of full-stack iterations (each is one sweep of every tier).
     pub max_iterations: usize,
+    /// Worker threads for the row sweeps: `1` keeps the sequential
+    /// alternating-direction schedule, larger values sweep red-black.
+    ///
+    /// Rb3d rebuilds each tier's injection between sweeps, so the
+    /// parallel path pays a thread-pool spawn plus two full-tier copies
+    /// **per tier per iteration**; it only pays off on tiers large
+    /// enough to amortize that (hundreds of thousands of nodes per
+    /// tier). For small grids keep `1`.
+    pub parallelism: usize,
 }
 
 impl Default for Rb3d {
@@ -43,6 +59,7 @@ impl Default for Rb3d {
             omega: 1.0,
             tolerance: 1e-7,
             max_iterations: 200_000,
+            parallelism: 1,
         }
     }
 }
@@ -52,6 +69,14 @@ impl Rb3d {
     pub fn with_omega(omega: f64) -> Self {
         Rb3d {
             omega,
+            ..Default::default()
+        }
+    }
+
+    /// Naive 3-D RB sweeping on `threads` worker threads.
+    pub fn with_parallelism(threads: usize) -> Self {
+        Rb3d {
+            parallelism: threads.max(1),
             ..Default::default()
         }
     }
@@ -110,13 +135,29 @@ impl StackSolver for Rb3d {
             }
         }
 
-        let rb = RowBased {
-            omega: self.omega,
-            tolerance: self.tolerance,
-            max_sweeps: 1,
-            alternate: false,
-        };
-        let mut ws = RbWorkspace::new(w);
+        // Prefactor every tier's row segments once; all sweeps are pure
+        // substitution. Tiers below the top share one (all-free) pin-mask
+        // allocation.
+        let schedule = SweepSchedule::from_parallelism(self.parallelism);
+        let free_mask: Arc<[bool]> = Arc::from(vec![false; per_tier]);
+        let mut engines: Vec<TierEngine> = Vec::with_capacity(tiers);
+        for t in 0..tiers {
+            let mask = if fixed[t].iter().any(|&f| f) {
+                Arc::from(&fixed[t][..])
+            } else {
+                free_mask.clone()
+            };
+            engines.push(TierEngine::new(
+                w,
+                h,
+                1.0 / stack.r_horizontal(t),
+                1.0 / stack.r_vertical(t),
+                mask,
+                Some(&extra[t]),
+                schedule,
+            )?);
+        }
+
         let mut injection = vec![0.0f64; per_tier];
         let mut iterations = 0;
         let mut max_delta = f64::INFINITY;
@@ -146,25 +187,16 @@ impl StackSolver for Rb3d {
                         injection[site] = b;
                     }
                 }
-                let problem = TierProblem {
-                    width: w,
-                    height: h,
-                    g_h: 1.0 / stack.r_horizontal(t),
-                    g_v: 1.0 / stack.r_vertical(t),
-                    fixed: &fixed[t],
-                    extra_diag: &extra[t],
-                    injection: &injection,
-                };
                 let tier_v = &mut v[t * per_tier..(t + 1) * per_tier];
-                let delta = rb.sweep_once(&problem, tier_v, &mut ws, downward)?;
+                let delta = engines[t].sweep_once(&injection, tier_v, downward, self.omega)?;
                 max_delta = max_delta.max(delta);
             }
             iterations += 1;
             if max_delta < self.tolerance {
-                let workspace_bytes = ws.memory_bytes()
+                let workspace_bytes = engines.iter().map(TierEngine::memory_bytes).sum::<usize>()
                     + v.len() * 8
                     + injection.len() * 8
-                    + tiers * per_tier * 9; // fixed masks + extra diag
+                    + tiers * per_tier * 8; // extra diag
                 return Ok(StackSolution {
                     voltages: v,
                     report: SolveReport {
@@ -197,7 +229,10 @@ mod tests {
         Stack3d::builder(8, 8, 3)
             .tsv_resistance(r_tsv)
             .load_profile(
-                voltprop_grid::LoadProfile::UniformRandom { min: 1e-5, max: 5e-4 },
+                voltprop_grid::LoadProfile::UniformRandom {
+                    min: 1e-5,
+                    max: 5e-4,
+                },
                 17,
             )
             .build()
@@ -207,8 +242,23 @@ mod tests {
     #[test]
     fn agrees_with_direct() {
         let s = stack(0.05);
-        let exact = DirectCholesky::new().solve_stack(&s, NetKind::Power).unwrap();
+        let exact = DirectCholesky::new()
+            .solve_stack(&s, NetKind::Power)
+            .unwrap();
         let rb = Rb3d::default().solve_stack(&s, NetKind::Power).unwrap();
+        let err = residual::max_abs_error(&exact.voltages, &rb.voltages);
+        assert!(err < 5e-4, "max error {err}");
+    }
+
+    #[test]
+    fn parallel_sweeps_agree_with_direct() {
+        let s = stack(0.05);
+        let exact = DirectCholesky::new()
+            .solve_stack(&s, NetKind::Power)
+            .unwrap();
+        let rb = Rb3d::with_parallelism(3)
+            .solve_stack(&s, NetKind::Power)
+            .unwrap();
         let err = residual::max_abs_error(&exact.voltages, &rb.voltages);
         assert!(err < 5e-4, "max error {err}");
     }
@@ -233,7 +283,10 @@ mod tests {
                 .tsv_resistance(r_tsv)
                 .pad_sites(sites)
                 .load_profile(
-                    voltprop_grid::LoadProfile::UniformRandom { min: 1e-5, max: 5e-4 },
+                    voltprop_grid::LoadProfile::UniformRandom {
+                        min: 1e-5,
+                        max: 5e-4,
+                    },
                     17,
                 )
                 .build()
@@ -260,7 +313,9 @@ mod tests {
             .uniform_load(1e-4)
             .build()
             .unwrap();
-        let exact = DirectCholesky::new().solve_stack(&s, NetKind::Power).unwrap();
+        let exact = DirectCholesky::new()
+            .solve_stack(&s, NetKind::Power)
+            .unwrap();
         let rb = Rb3d::default().solve_stack(&s, NetKind::Power).unwrap();
         let err = residual::max_abs_error(
             &exact.voltages[..s.num_nodes()],
@@ -272,7 +327,9 @@ mod tests {
     #[test]
     fn ground_net_supported() {
         let s = stack(0.05);
-        let exact = DirectCholesky::new().solve_stack(&s, NetKind::Ground).unwrap();
+        let exact = DirectCholesky::new()
+            .solve_stack(&s, NetKind::Ground)
+            .unwrap();
         let rb = Rb3d::default().solve_stack(&s, NetKind::Ground).unwrap();
         let err = residual::max_abs_error(&exact.voltages, &rb.voltages);
         assert!(err < 5e-4, "max error {err}");

@@ -196,8 +196,12 @@ mod tests {
     fn gs_beats_jacobi_and_sor_beats_gs() {
         let (a, b) = system(12);
         let jac = Relaxation::new(RelaxScheme::Jacobi).solve(&a, &b).unwrap();
-        let gs = Relaxation::new(RelaxScheme::GaussSeidel).solve(&a, &b).unwrap();
-        let sor = Relaxation::new(RelaxScheme::Sor(1.7)).solve(&a, &b).unwrap();
+        let gs = Relaxation::new(RelaxScheme::GaussSeidel)
+            .solve(&a, &b)
+            .unwrap();
+        let sor = Relaxation::new(RelaxScheme::Sor(1.7))
+            .solve(&a, &b)
+            .unwrap();
         assert!(gs.report.iterations < jac.report.iterations);
         assert!(sor.report.iterations < gs.report.iterations);
     }

@@ -130,15 +130,23 @@ mod tests {
 
     #[test]
     fn exact_solution_has_tiny_kcl_residual() {
-        let s = Stack3d::builder(7, 6, 3).uniform_load(1e-4).build().unwrap();
-        let sol = DirectCholesky::new().solve_stack(&s, NetKind::Power).unwrap();
+        let s = Stack3d::builder(7, 6, 3)
+            .uniform_load(1e-4)
+            .build()
+            .unwrap();
+        let sol = DirectCholesky::new()
+            .solve_stack(&s, NetKind::Power)
+            .unwrap();
         let r = kcl_residual_inf(&s, NetKind::Power, &sol.voltages);
         assert!(r < 1e-9, "KCL residual {r}");
     }
 
     #[test]
     fn corrupted_solution_has_large_residual() {
-        let s = Stack3d::builder(5, 5, 2).uniform_load(1e-4).build().unwrap();
+        let s = Stack3d::builder(5, 5, 2)
+            .uniform_load(1e-4)
+            .build()
+            .unwrap();
         let mut sol = DirectCholesky::new()
             .solve_stack(&s, NetKind::Power)
             .unwrap();
@@ -153,8 +161,10 @@ mod tests {
             .uniform_load(1e-4)
             .build()
             .unwrap();
-        let sol = DirectCholesky::new().solve_stack(&s, NetKind::Power).unwrap();
-        let r = kcl_residual_inf(&s, NetKind::Power, &sol.voltages[..s.num_nodes()].to_vec());
+        let sol = DirectCholesky::new()
+            .solve_stack(&s, NetKind::Power)
+            .unwrap();
+        let r = kcl_residual_inf(&s, NetKind::Power, &sol.voltages[..s.num_nodes()]);
         assert!(r < 1e-9, "KCL residual {r}");
     }
 

@@ -10,7 +10,14 @@
 //! during the voltage propagation phases. Pinned nodes split a row into
 //! independent tridiagonal segments and contribute their voltage to the
 //! neighbouring segments' right-hand sides.
+//!
+//! [`RowBased`] is the reference kernel: it re-eliminates every row each
+//! sweep and runs strictly sequentially. The production path is the
+//! prefactored [`TierEngine`](crate::TierEngine) (see
+//! [`RowBased::solve_tier_scheduled`]), which factors each segment once
+//! and can sweep the red-black row coloring across threads.
 
+use crate::engine::{SweepSchedule, TierEngine};
 use crate::{SolveReport, SolverError};
 use voltprop_sparse::tridiag::TridiagWorkspace;
 
@@ -86,8 +93,8 @@ impl RbWorkspace {
     /// Estimated heap footprint in bytes.
     pub fn memory_bytes(&self) -> usize {
         (self.diag.capacity() + self.off.capacity() + self.rhs.capacity() + self.x.capacity())
-            * 8
-            + 2 * self.diag.capacity() * 8 // tridiag scratch
+            * std::mem::size_of::<f64>()
+            + self.tri.memory_bytes()
     }
 }
 
@@ -211,6 +218,32 @@ impl RowBased {
         })
     }
 
+    /// Solves the tier through a freshly built prefactored
+    /// [`TierEngine`] under the given schedule —
+    /// [`SweepSchedule::RedBlack`] runs the row solves of each color
+    /// concurrently. One-shot convenience; callers solving the same tier
+    /// repeatedly should keep the engine (see [`TierEngine::from_problem`])
+    /// to reuse its factorizations across solves.
+    ///
+    /// # Errors
+    ///
+    /// See [`RowBased::solve_tier`] and [`TierEngine::new`].
+    pub fn solve_tier_scheduled(
+        &self,
+        problem: &TierProblem<'_>,
+        v: &mut [f64],
+        schedule: SweepSchedule,
+    ) -> Result<SolveReport, SolverError> {
+        let mut engine = TierEngine::from_problem(problem, schedule)?;
+        engine.solve_with_omega(
+            problem.injection,
+            v,
+            self.tolerance,
+            self.max_sweeps,
+            self.omega,
+        )
+    }
+
     /// One sweep over all rows; returns the largest voltage update.
     ///
     /// # Errors
@@ -323,7 +356,10 @@ mod tests {
 
     /// Builds the same tier problem as an assembled matrix for
     /// cross-checking.
-    fn assemble(p: &TierProblem<'_>, v_fixed: &[f64]) -> (Vec<usize>, voltprop_sparse::CsrMatrix, Vec<f64>) {
+    fn assemble(
+        p: &TierProblem<'_>,
+        v_fixed: &[f64],
+    ) -> (Vec<usize>, voltprop_sparse::CsrMatrix, Vec<f64>) {
         let (w, h) = (p.width, p.height);
         let mut map = vec![usize::MAX; w * h];
         let mut free = Vec::new();
@@ -368,7 +404,9 @@ mod tests {
         let n = w * h;
         let mut s = seed.wrapping_add(1);
         let mut rnd = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 33) as f64) / (u32::MAX as f64)
         };
         let mut fixed = vec![false; n];

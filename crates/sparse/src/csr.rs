@@ -128,7 +128,10 @@ impl CsrMatrix {
             assert!(indptr[r] <= indptr[r + 1], "indptr must be nondecreasing");
             let row = &indices[indptr[r]..indptr[r + 1]];
             for w in row.windows(2) {
-                assert!(w[0] < w[1], "columns must be strictly increasing in row {r}");
+                assert!(
+                    w[0] < w[1],
+                    "columns must be strictly increasing in row {r}"
+                );
             }
             if let Some(&last) = row.last() {
                 assert!((last as usize) < ncols, "column index out of bounds");
@@ -341,7 +344,11 @@ impl CsrMatrix {
                     off += v.abs();
                 }
             }
-            let ratio = if off == 0.0 { f64::INFINITY } else { diag / off };
+            let ratio = if off == 0.0 {
+                f64::INFINITY
+            } else {
+                diag / off
+            };
             min_ratio = min_ratio.min(ratio);
         }
         min_ratio
@@ -379,7 +386,10 @@ impl CsrMatrix {
     /// Panics if the matrix is not square or the permutation length differs
     /// from the matrix dimension.
     pub fn permute_sym(&self, p: &Permutation) -> CsrMatrix {
-        assert_eq!(self.nrows, self.ncols, "permute_sym requires a square matrix");
+        assert_eq!(
+            self.nrows, self.ncols,
+            "permute_sym requires a square matrix"
+        );
         assert_eq!(p.len(), self.nrows, "permutation length mismatch");
         let mut rows = Vec::with_capacity(self.nnz());
         let mut cols = Vec::with_capacity(self.nnz());

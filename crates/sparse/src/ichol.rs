@@ -271,7 +271,10 @@ mod tests {
             .sum::<f64>()
             .sqrt();
         let xnorm: f64 = x.iter().map(|u| u * u).sum::<f64>().sqrt();
-        assert!(err / xnorm < 0.9, "IC(0) should be a nontrivial approximation");
+        assert!(
+            err / xnorm < 0.9,
+            "IC(0) should be a nontrivial approximation"
+        );
     }
 
     #[test]
@@ -296,10 +299,7 @@ mod tests {
     #[test]
     fn empty_rejected() {
         let m = CsrMatrix::from_triplets(0, 0, &[], &[], &[]);
-        assert_eq!(
-            IncompleteCholesky::new(&m).unwrap_err(),
-            SparseError::Empty
-        );
+        assert_eq!(IncompleteCholesky::new(&m).unwrap_err(), SparseError::Empty);
     }
 
     #[test]

@@ -51,6 +51,7 @@ mod csr;
 mod error;
 mod ichol;
 pub mod ordering;
+pub mod rng;
 pub mod tridiag;
 pub mod vec_ops;
 

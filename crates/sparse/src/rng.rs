@@ -1,0 +1,135 @@
+//! A small deterministic pseudo-random number generator.
+//!
+//! The workspace builds without external dependencies, so the seeded load
+//! generators, TSV-pattern synthesis, and randomized test sweeps across
+//! every crate use this splitmix64-based generator instead of the `rand`
+//! crate (it lives in the base crate so all layers share one
+//! implementation). It is deterministic per seed across platforms, which
+//! is all benchmark synthesis needs — it makes no cryptographic claims.
+
+/// A seeded splitmix64 generator.
+///
+/// # Example
+///
+/// ```
+/// use voltprop_sparse::rng::SmallRng;
+///
+/// let mut a = SmallRng::new(7);
+/// let mut b = SmallRng::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// let x = a.f64_in(1.0, 2.0);
+/// assert!((1.0..=2.0).contains(&x));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SmallRng {
+    /// Creates a generator from a seed; equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        SmallRng {
+            // Pre-mix so small consecutive seeds decorrelate immediately.
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        // 53 mantissa bits of the stream.
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform draw in `[min, max]`; returns `min` when the range is
+    /// degenerate (`max <= min`).
+    pub fn f64_in(&mut self, min: f64, max: f64) -> f64 {
+        if max > min {
+            min + (max - min) * self.f64()
+        } else {
+            min
+        }
+    }
+
+    /// Uniform draw in `0..bound` (`0` when `bound == 0`).
+    pub fn usize_below(&mut self, bound: usize) -> usize {
+        if bound == 0 {
+            0
+        } else {
+            (self.next_u64() % bound as u64) as usize
+        }
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.usize_below(i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let mut a = SmallRng::new(42);
+        let mut b = SmallRng::new(42);
+        let mut c = SmallRng::new(43);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval() {
+        let mut r = SmallRng::new(1);
+        for _ in 0..1000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_in_respects_bounds_and_degenerate_range() {
+        let mut r = SmallRng::new(2);
+        for _ in 0..100 {
+            let x = r.f64_in(-3.0, 5.0);
+            assert!((-3.0..=5.0).contains(&x));
+        }
+        assert_eq!(r.f64_in(4.0, 4.0), 4.0);
+        assert_eq!(r.f64_in(4.0, 1.0), 4.0);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = SmallRng::new(3);
+        let mut v: Vec<usize> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "seed 3 should permute");
+    }
+
+    #[test]
+    fn usize_below_handles_zero() {
+        let mut r = SmallRng::new(4);
+        assert_eq!(r.usize_below(0), 0);
+        for _ in 0..50 {
+            assert!(r.usize_below(7) < 7);
+        }
+    }
+}

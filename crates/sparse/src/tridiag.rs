@@ -107,6 +107,199 @@ impl TridiagWorkspace {
     }
 }
 
+impl TridiagWorkspace {
+    /// Estimated heap footprint in bytes (the two scratch vectors).
+    pub fn memory_bytes(&self) -> usize {
+        (self.cp.capacity() + self.dp.capacity()) * std::mem::size_of::<f64>()
+    }
+}
+
+/// An arena of prefactored tridiagonal segments.
+///
+/// The row-based power grid solvers cut every grid row into segments
+/// between pinned nodes and solve each segment thousands of times with the
+/// *same* matrix — only the right-hand side changes between sweeps. This
+/// arena runs the Thomas forward elimination **once per segment** at setup
+/// and stores the normalized super-diagonal `c'` and reciprocal pivots
+/// `1/m`, so every later solve is pure forward/backward substitution
+/// (`3N` multiplies instead of `5N-4`) with zero allocation.
+///
+/// Because a solve only *reads* the factors, one arena can be shared by
+/// any number of threads sweeping disjoint segments concurrently — the
+/// red-black parallel schedule relies on this.
+///
+/// # Example
+///
+/// ```
+/// use voltprop_sparse::tridiag::FactoredSegments;
+///
+/// # fn main() -> Result<(), voltprop_sparse::SparseError> {
+/// let mut arena = FactoredSegments::new();
+/// // Factor [2 -1; -1 2] once...
+/// let seg = arena.push_segment(&[-1.0], &[2.0, 2.0], &[-1.0])?;
+/// // ...then substitute repeatedly with streaming right-hand sides.
+/// let mut scratch = [0.0; 2];
+/// let mut x = [0.0; 2];
+/// arena.solve_streamed(seg, 2, &mut scratch, |_| 1.0, |i, xi| x[i] = xi);
+/// assert!((x[0] - 1.0).abs() < 1e-15 && (x[1] - 1.0).abs() < 1e-15);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FactoredSegments {
+    /// Sub-diagonal coefficient entering each in-segment row (0 at starts).
+    lower: Vec<f64>,
+    /// Thomas normalized super-diagonal `c'` per in-segment position.
+    cp: Vec<f64>,
+    /// Reciprocal pivot `1/m` per in-segment position.
+    inv_m: Vec<f64>,
+    /// Longest factored segment, for sizing substitution scratch.
+    max_len: usize,
+}
+
+impl FactoredSegments {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total factored coefficient slots across all segments.
+    pub fn len(&self) -> usize {
+        self.inv_m.len()
+    }
+
+    /// Whether no segment has been factored yet.
+    pub fn is_empty(&self) -> bool {
+        self.inv_m.is_empty()
+    }
+
+    /// Length of the longest factored segment (the minimum scratch size
+    /// [`FactoredSegments::solve_streamed`] needs).
+    pub fn max_segment_len(&self) -> usize {
+        self.max_len
+    }
+
+    /// Drops all factored segments, keeping the allocations.
+    pub fn clear(&mut self) {
+        self.lower.clear();
+        self.cp.clear();
+        self.inv_m.clear();
+        self.max_len = 0;
+    }
+
+    /// Factors one tridiagonal segment (`lower` sub-diagonal of length
+    /// `n-1`, `diag` of length `n`, `upper` super-diagonal of length
+    /// `n-1`), appending its coefficients to the arena. Returns the
+    /// segment's offset for later [`FactoredSegments::solve_streamed`]
+    /// calls.
+    ///
+    /// # Errors
+    ///
+    /// [`SparseError::Empty`] for `n == 0` and
+    /// [`SparseError::SingularPivot`] if elimination hits a zero pivot (the
+    /// arena is left unchanged in both cases).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths are inconsistent.
+    pub fn push_segment(
+        &mut self,
+        lower: &[f64],
+        diag: &[f64],
+        upper: &[f64],
+    ) -> Result<usize, SparseError> {
+        let n = diag.len();
+        if n == 0 {
+            return Err(SparseError::Empty);
+        }
+        assert_eq!(lower.len(), n - 1, "lower diagonal must have n-1 entries");
+        assert_eq!(upper.len(), n - 1, "upper diagonal must have n-1 entries");
+        let offset = self.inv_m.len();
+        let mut prev_cp = 0.0;
+        for i in 0..n {
+            let m = if i == 0 {
+                diag[0]
+            } else {
+                diag[i] - lower[i - 1] * prev_cp
+            };
+            if m == 0.0 {
+                self.lower.truncate(offset);
+                self.cp.truncate(offset);
+                self.inv_m.truncate(offset);
+                return Err(SparseError::SingularPivot { row: i });
+            }
+            let c = if i + 1 < n { upper[i] / m } else { 0.0 };
+            self.lower.push(if i == 0 { 0.0 } else { lower[i - 1] });
+            self.cp.push(c);
+            self.inv_m.push(1.0 / m);
+            prev_cp = c;
+        }
+        self.max_len = self.max_len.max(n);
+        Ok(offset)
+    }
+
+    /// Substitutes through the factors at `offset..offset + len` without
+    /// touching the heap: `rhs(i)` produces the i-th right-hand side entry
+    /// during the forward pass and `emit(i, x_i)` receives the i-th
+    /// solution entry during the backward pass (so `emit` is called in
+    /// reverse order). `scratch` holds the forward intermediates and must
+    /// be at least `len` long.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scratch` is shorter than `len` or the range exceeds the
+    /// arena.
+    #[inline]
+    pub fn solve_streamed(
+        &self,
+        offset: usize,
+        len: usize,
+        scratch: &mut [f64],
+        mut rhs: impl FnMut(usize) -> f64,
+        mut emit: impl FnMut(usize, f64),
+    ) {
+        assert!(scratch.len() >= len, "scratch shorter than segment");
+        assert!(offset + len <= self.inv_m.len(), "segment outside arena");
+        let mut prev = 0.0;
+        for i in 0..len {
+            let dp = self.forward_step(offset + i, rhs(i), prev);
+            scratch[i] = dp;
+            prev = dp;
+        }
+        let mut next = 0.0;
+        for i in (0..len).rev() {
+            let xi = self.backward_step(offset + i, scratch[i], next);
+            emit(i, xi);
+            next = xi;
+        }
+    }
+
+    /// One forward-elimination step at arena slot `k`: turns the
+    /// right-hand side entry `b` and the previous intermediate `prev_dp`
+    /// into this row's intermediate. Exposed so callers whose right-hand
+    /// sides are produced *while reading* other state (the row sweeps read
+    /// neighbouring rows) can fuse generation and substitution without a
+    /// staging buffer.
+    #[inline(always)]
+    pub fn forward_step(&self, k: usize, b: f64, prev_dp: f64) -> f64 {
+        (b - self.lower[k] * prev_dp) * self.inv_m[k]
+    }
+
+    /// One backward-substitution step at arena slot `k`: turns the stored
+    /// intermediate `dp` and the next solution entry `next_x` into this
+    /// row's solution entry. See [`FactoredSegments::forward_step`].
+    #[inline(always)]
+    pub fn backward_step(&self, k: usize, dp: f64, next_x: f64) -> f64 {
+        dp - self.cp[k] * next_x
+    }
+
+    /// Estimated heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        (self.lower.capacity() + self.cp.capacity() + self.inv_m.capacity())
+            * std::mem::size_of::<f64>()
+    }
+}
+
 /// One-shot convenience wrapper around [`TridiagWorkspace::solve`].
 ///
 /// # Errors
@@ -151,8 +344,13 @@ mod tests {
     #[test]
     fn solves_known_3x3() {
         // [2 -1 0; -1 2 -1; 0 -1 2] x = [1 0 1] → x = [1, 1, 1].
-        let x = solve_tridiag(&[-1.0, -1.0], &[2.0, 2.0, 2.0], &[-1.0, -1.0], &[1.0, 0.0, 1.0])
-            .unwrap();
+        let x = solve_tridiag(
+            &[-1.0, -1.0],
+            &[2.0, 2.0, 2.0],
+            &[-1.0, -1.0],
+            &[1.0, 0.0, 1.0],
+        )
+        .unwrap();
         for xi in &x {
             assert!((xi - 1.0).abs() < 1e-14);
         }
@@ -164,7 +362,9 @@ mod tests {
         let n = 50;
         let mut seed = 12345u64;
         let mut rnd = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64) / (u32::MAX as f64) - 0.5
         };
         let lower: Vec<f64> = (0..n - 1).map(|_| rnd()).collect();
@@ -190,6 +390,68 @@ mod tests {
     fn singular_pivot_detected() {
         let err = solve_tridiag(&[1.0], &[0.0, 1.0], &[1.0], &[1.0, 1.0]).unwrap_err();
         assert_eq!(err, SparseError::SingularPivot { row: 0 });
+    }
+
+    #[test]
+    fn workspace_reports_memory() {
+        let mut ws = TridiagWorkspace::new(8);
+        assert_eq!(ws.memory_bytes(), 2 * 8 * 8);
+        let mut x = [0.0; 2];
+        ws.solve(&[-1.0], &[2.0, 2.0], &[-1.0], &[1.0, 1.0], &mut x)
+            .unwrap();
+        assert!(ws.memory_bytes() >= 2 * 2 * 8);
+    }
+
+    #[test]
+    fn factored_segments_match_one_shot_thomas() {
+        let mut seed = 99u64;
+        let mut rnd = || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64) / (u32::MAX as f64) - 0.5
+        };
+        let mut arena = FactoredSegments::new();
+        let mut cases = Vec::new();
+        for n in [1usize, 2, 3, 17, 40] {
+            let lower: Vec<f64> = (0..n - 1).map(|_| rnd()).collect();
+            let upper: Vec<f64> = (0..n - 1).map(|_| rnd()).collect();
+            let diag: Vec<f64> = (0..n).map(|_| 3.0 + rnd()).collect();
+            let rhs: Vec<f64> = (0..n).map(|_| rnd() * 10.0).collect();
+            let offset = arena.push_segment(&lower, &diag, &upper).unwrap();
+            cases.push((n, lower, diag, upper, rhs, offset));
+        }
+        assert_eq!(arena.max_segment_len(), 40);
+        let mut scratch = vec![0.0; arena.max_segment_len()];
+        // Solve in arbitrary order; factors are position-independent.
+        for (n, lower, diag, upper, rhs, offset) in cases.iter().rev() {
+            let want = solve_tridiag(lower, diag, upper, rhs).unwrap();
+            let mut got = vec![0.0; *n];
+            arena.solve_streamed(*offset, *n, &mut scratch, |i| rhs[i], |i, x| got[i] = x);
+            for i in 0..*n {
+                assert!((got[i] - want[i]).abs() < 1e-12, "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn factored_segments_reject_bad_input() {
+        let mut arena = FactoredSegments::new();
+        assert_eq!(
+            arena.push_segment(&[], &[], &[]).unwrap_err(),
+            SparseError::Empty
+        );
+        arena.push_segment(&[], &[2.0], &[]).unwrap();
+        let before = arena.len();
+        assert_eq!(
+            arena.push_segment(&[1.0], &[0.0, 1.0], &[1.0]).unwrap_err(),
+            SparseError::SingularPivot { row: 0 }
+        );
+        // A failed push must not leave partial coefficients behind.
+        assert_eq!(arena.len(), before);
+        assert!(arena.memory_bytes() > 0);
+        arena.clear();
+        assert!(arena.is_empty());
     }
 
     #[test]

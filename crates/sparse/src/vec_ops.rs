@@ -67,9 +67,7 @@ pub fn norm_inf(x: &[f64]) -> f64 {
 /// Panics if the slices have different lengths.
 pub fn max_abs_diff(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "max_abs_diff: length mismatch");
-    x.iter()
-        .zip(y)
-        .fold(0.0, |m, (a, b)| m.max((a - b).abs()))
+    x.iter().zip(y).fold(0.0, |m, (a, b)| m.max((a - b).abs()))
 }
 
 /// `z = x - y`, writing into `z`.

@@ -1,49 +1,48 @@
 //! Property-based tests for the sparse linear algebra kernels.
+//!
+//! The properties are exercised over deterministic seeded case sweeps (the
+//! workspace builds offline without the `proptest` crate); each test runs
+//! the same assertion across dozens of generated instances.
 
-use proptest::prelude::*;
 use voltprop_sparse::ordering::rcm;
+use voltprop_sparse::rng::SmallRng;
 use voltprop_sparse::tridiag::solve_tridiag;
 use voltprop_sparse::{Cholesky, CsrMatrix, IncompleteCholesky, Permutation, TripletMatrix};
 
-/// Strategy: random triplet list for an n×n matrix.
-fn triplets(n: usize, max_entries: usize) -> impl Strategy<Value = Vec<(usize, usize, f64)>> {
-    prop::collection::vec(
-        (0..n, 0..n, -10.0f64..10.0),
-        0..max_entries,
-    )
+/// Random triplet list for an n×n matrix.
+fn triplets(g: &mut SmallRng, n: usize, max_entries: usize) -> Vec<(usize, usize, f64)> {
+    let count = g.usize_below(max_entries + 1);
+    (0..count)
+        .map(|_| (g.usize_below(n), g.usize_below(n), g.f64_in(-10.0, 10.0)))
+        .collect()
 }
 
-/// Strategy: a random connected resistor-network SPD matrix of size 2..=20.
-/// Built as a path (guarantees connectivity) plus random extra conductances
-/// plus at least one grounding stamp.
-fn spd_matrix() -> impl Strategy<Value = CsrMatrix> {
-    (2usize..20).prop_flat_map(|n| {
-        (
-            Just(n),
-            prop::collection::vec((0..n, 0..n, 0.1f64..10.0), 0..3 * n),
-            prop::collection::vec((0..n, 0.1f64..5.0), 1..4),
-        )
-            .prop_map(|(n, extra, grounds)| {
-                let mut t = TripletMatrix::new(n, n);
-                for i in 0..n - 1 {
-                    t.stamp_conductance(i, i + 1, 1.0);
-                }
-                for (a, b, g) in extra {
-                    if a != b {
-                        t.stamp_conductance(a, b, g);
-                    }
-                }
-                for (i, g) in grounds {
-                    t.stamp_to_ground(i, g);
-                }
-                t.to_csr()
-            })
-    })
+/// A random connected resistor-network SPD matrix of size 2..=20: a path
+/// (guarantees connectivity) plus random extra conductances plus at least
+/// one grounding stamp.
+fn spd_matrix(g: &mut SmallRng) -> CsrMatrix {
+    let n = 2 + g.usize_below(18);
+    let mut t = TripletMatrix::new(n, n);
+    for i in 0..n - 1 {
+        t.stamp_conductance(i, i + 1, 1.0);
+    }
+    for _ in 0..g.usize_below(3 * n + 1) {
+        let (a, b) = (g.usize_below(n), g.usize_below(n));
+        if a != b {
+            t.stamp_conductance(a, b, g.f64_in(0.1, 10.0));
+        }
+    }
+    for _ in 0..1 + g.usize_below(3) {
+        t.stamp_to_ground(g.usize_below(n), g.f64_in(0.1, 5.0));
+    }
+    t.to_csr()
 }
 
-proptest! {
-    #[test]
-    fn csr_get_equals_triplet_sum(entries in triplets(8, 40)) {
+#[test]
+fn csr_get_equals_triplet_sum() {
+    for case in 0..40u64 {
+        let mut g = SmallRng::new(case);
+        let entries = triplets(&mut g, 8, 40);
         let mut t = TripletMatrix::new(8, 8);
         let mut dense = vec![vec![0.0f64; 8]; 8];
         for &(r, c, v) in &entries {
@@ -53,14 +52,18 @@ proptest! {
         let m = t.to_csr();
         for r in 0..8 {
             for c in 0..8 {
-                prop_assert!((m.get(r, c) - dense[r][c]).abs() < 1e-12);
+                assert!((m.get(r, c) - dense[r][c]).abs() < 1e-12, "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn spmv_matches_dense_reference(entries in triplets(10, 60),
-                                    x in prop::collection::vec(-5.0f64..5.0, 10)) {
+#[test]
+fn spmv_matches_dense_reference() {
+    for case in 0..40u64 {
+        let mut g = SmallRng::new(1000 + case);
+        let entries = triplets(&mut g, 10, 60);
+        let x: Vec<f64> = (0..10).map(|_| g.f64_in(-5.0, 5.0)).collect();
         let mut t = TripletMatrix::new(10, 10);
         for &(r, c, v) in &entries {
             t.push(r, c, v);
@@ -70,62 +73,79 @@ proptest! {
         let y = m.mul_vec(&x);
         for r in 0..10 {
             let want: f64 = (0..10).map(|c| d[r][c] * x[c]).sum();
-            prop_assert!((y[r] - want).abs() < 1e-9);
+            assert!((y[r] - want).abs() < 1e-9, "case {case} row {r}");
         }
     }
+}
 
-    #[test]
-    fn transpose_is_involution(entries in triplets(9, 50)) {
+#[test]
+fn transpose_is_involution() {
+    for case in 0..40u64 {
+        let mut g = SmallRng::new(2000 + case);
+        let entries = triplets(&mut g, 9, 50);
         let mut t = TripletMatrix::new(9, 9);
         for &(r, c, v) in &entries {
             t.push(r, c, v);
         }
         let m = t.to_csr();
-        prop_assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose().transpose(), m, "case {case}");
     }
+}
 
-    #[test]
-    fn cholesky_residual_is_tiny(a in spd_matrix(),
-                                 seed in 0u64..1000) {
+#[test]
+fn cholesky_residual_is_tiny() {
+    for case in 0..40u64 {
+        let mut g = SmallRng::new(3000 + case);
+        let a = spd_matrix(&mut g);
         let n = a.nrows();
-        let b: Vec<f64> = (0..n).map(|i| ((i as u64 * 31 + seed) % 17) as f64 - 8.0).collect();
+        let seed = g.next_u64() % 1000;
+        let b: Vec<f64> = (0..n)
+            .map(|i| ((i as u64 * 31 + seed) % 17) as f64 - 8.0)
+            .collect();
         let f = Cholesky::factor(&a).unwrap();
         let x = f.solve(&b);
         let bnorm = b.iter().map(|v| v * v).sum::<f64>().sqrt().max(1.0);
-        prop_assert!(a.residual(&x, &b) / bnorm < 1e-9);
+        assert!(a.residual(&x, &b) / bnorm < 1e-9, "case {case}");
     }
+}
 
-    #[test]
-    fn ichol_solve_is_finite_and_definite(a in spd_matrix()) {
+#[test]
+fn ichol_solve_is_finite_and_definite() {
+    for case in 0..40u64 {
+        let mut g = SmallRng::new(4000 + case);
+        let a = spd_matrix(&mut g);
         let n = a.nrows();
         let ic = IncompleteCholesky::new(&a).unwrap();
         let r: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).cos()).collect();
         let z = ic.solve(&r);
-        prop_assert!(z.iter().all(|v| v.is_finite()));
+        assert!(z.iter().all(|v| v.is_finite()), "case {case}");
         // M⁻¹ is SPD: rᵀ M⁻¹ r > 0 for r ≠ 0.
         let quad: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
-        prop_assert!(quad > 0.0);
+        assert!(quad > 0.0, "case {case}");
     }
+}
 
-    #[test]
-    fn tridiag_matches_cholesky(n in 2usize..30, seed in 0u64..500) {
+#[test]
+fn tridiag_matches_cholesky() {
+    for case in 0..40u64 {
+        let mut g = SmallRng::new(5000 + case);
         // Diagonally dominant symmetric tridiagonal system: solve with
         // Thomas and with sparse Cholesky; answers must agree.
-        let mut s = seed.wrapping_add(7);
-        let mut rnd = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            ((s >> 33) as f64) / (u32::MAX as f64)
-        };
-        let off: Vec<f64> = (0..n - 1).map(|_| -(0.1 + rnd())).collect();
+        let n = 2 + g.usize_below(28);
+        let off: Vec<f64> = (0..n - 1).map(|_| -(0.1 + g.f64())).collect();
         let diag: Vec<f64> = (0..n)
             .map(|i| {
-                let mut d = 0.5 + rnd();
-                if i > 0 { d += off[i - 1].abs(); }
-                if i < n - 1 { d += off[i].abs(); }
+                let mut d = 0.5 + g.f64();
+                if i > 0 {
+                    d += off[i - 1].abs();
+                }
+                if i < n - 1 {
+                    d += off[i].abs();
+                }
                 d
             })
             .collect();
-        let rhs: Vec<f64> = (0..n).map(|_| rnd() * 2.0 - 1.0).collect();
+        let rhs: Vec<f64> = (0..n).map(|_| g.f64_in(-1.0, 1.0)).collect();
 
         let x_thomas = solve_tridiag(&off, &diag, &off, &rhs).unwrap();
 
@@ -140,28 +160,37 @@ proptest! {
         let a = t.to_csr();
         let x_chol = Cholesky::factor(&a).unwrap().solve(&rhs);
         for i in 0..n {
-            prop_assert!((x_thomas[i] - x_chol[i]).abs() < 1e-8);
+            assert!(
+                (x_thomas[i] - x_chol[i]).abs() < 1e-8,
+                "case {case} row {i}"
+            );
         }
     }
+}
 
-    #[test]
-    fn permutation_roundtrip(n in 1usize..50, seed in 0u64..1000) {
-        // Fisher–Yates with a tiny LCG.
+#[test]
+fn permutation_roundtrip() {
+    for case in 0..40u64 {
+        let mut g = SmallRng::new(6000 + case);
+        let n = 1 + g.usize_below(49);
+        // Fisher–Yates.
         let mut map: Vec<u32> = (0..n as u32).collect();
-        let mut s = seed;
         for i in (1..n).rev() {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
-            let j = (s >> 33) as usize % (i + 1);
+            let j = g.usize_below(i + 1);
             map.swap(i, j);
         }
         let p = Permutation::from_new_to_old(map).unwrap();
         let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
-        prop_assert_eq!(p.apply_inverse(&p.apply(&x)), x.clone());
-        prop_assert_eq!(p.apply(&p.apply_inverse(&x)), x);
+        assert_eq!(p.apply_inverse(&p.apply(&x)), x.clone(), "case {case}");
+        assert_eq!(p.apply(&p.apply_inverse(&x)), x, "case {case}");
     }
+}
 
-    #[test]
-    fn rcm_permuted_solve_matches_natural(a in spd_matrix()) {
+#[test]
+fn rcm_permuted_solve_matches_natural() {
+    for case in 0..40u64 {
+        let mut g = SmallRng::new(7000 + case);
+        let a = spd_matrix(&mut g);
         let n = a.nrows();
         let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
         let p = rcm(&a);
@@ -170,7 +199,7 @@ proptest! {
         let x = Cholesky::factor(&a).unwrap().solve(&b);
         let x_back = p.apply_inverse(&xp);
         for i in 0..n {
-            prop_assert!((x[i] - x_back[i]).abs() < 1e-7);
+            assert!((x[i] - x_back[i]).abs() < 1e-7, "case {case} row {i}");
         }
     }
 }

@@ -42,8 +42,8 @@ pub use voltprop_sparse as sparse;
 
 pub use voltprop_core::{VpConfig, VpReport, VpSolution, VpSolver};
 pub use voltprop_grid::{
-    GridError, LoadProfile, NetKind, Netlist, NetlistCircuit, Stack3d, StampedSystem,
-    SynthConfig, TableCircuit, TsvPattern,
+    GridError, LoadProfile, NetKind, Netlist, NetlistCircuit, Stack3d, StampedSystem, SynthConfig,
+    TableCircuit, TsvPattern,
 };
 pub use voltprop_solvers::{
     ConjugateGradient, DirectCholesky, LinearSolver, Pcg, PrecondKind, RandomWalkSolver, Rb3d,

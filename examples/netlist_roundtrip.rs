@@ -8,8 +8,7 @@
 
 use voltprop::solvers::residual;
 use voltprop::{
-    DirectCholesky, NetKind, Netlist, NetlistCircuit, Stack3d, StackSolver, SynthConfig,
-    VpSolver,
+    DirectCholesky, NetKind, Netlist, NetlistCircuit, Stack3d, StackSolver, SynthConfig, VpSolver,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -13,7 +13,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // node in four (R_TSV = 0.05 ohm), pads above every pillar on the top
     // tier, and random 0.1-2 mA device loads everywhere else.
     let stack = Stack3d::builder(40, 40, 3)
-        .load_profile(LoadProfile::UniformRandom { min: 1e-4, max: 2e-3 }, 42)
+        .load_profile(
+            LoadProfile::UniformRandom {
+                min: 1e-4,
+                max: 2e-3,
+            },
+            42,
+        )
         .build()?;
 
     println!("grid statistics:");

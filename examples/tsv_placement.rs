@@ -18,7 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     println!("pillar density sweep (uniform placement):");
-    println!("{:<28} {:>8} {:>14} {:>8}", "pattern", "pillars", "worst drop", "outers");
+    println!(
+        "{:<28} {:>8} {:>14} {:>8}",
+        "pattern", "pillars", "worst drop", "outers"
+    );
     for pitch in [2usize, 4, 8] {
         report(
             &format!("uniform pitch {pitch}"),
@@ -31,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!();
     println!("placement strategies at equal pillar count (~64):");
-    println!("{:<28} {:>8} {:>14} {:>8}", "pattern", "pillars", "worst drop", "outers");
+    println!(
+        "{:<28} {:>8} {:>14} {:>8}",
+        "pattern", "pillars", "worst drop", "outers"
+    );
     report(
         "uniform pitch 4",
         Stack3d::builder(w, h, 3)

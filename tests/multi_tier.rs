@@ -6,7 +6,13 @@ use voltprop::{DirectCholesky, LoadProfile, NetKind, Stack3d, StackSolver, VpSol
 
 fn stack_with_tiers(tiers: usize) -> Stack3d {
     Stack3d::builder(10, 10, tiers)
-        .load_profile(LoadProfile::UniformRandom { min: 1e-4, max: 1e-3 }, 44)
+        .load_profile(
+            LoadProfile::UniformRandom {
+                min: 1e-4,
+                max: 1e-3,
+            },
+            44,
+        )
         .build()
         .unwrap()
 }

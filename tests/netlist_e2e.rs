@@ -3,8 +3,7 @@
 
 use voltprop::grid::netlist::names::node_name;
 use voltprop::{
-    DirectCholesky, NetKind, Netlist, NetlistCircuit, Stack3d, StackSolver, SynthConfig,
-    VpSolver,
+    DirectCholesky, NetKind, Netlist, NetlistCircuit, Stack3d, StackSolver, SynthConfig, VpSolver,
 };
 
 #[test]
@@ -47,7 +46,9 @@ fn reconstructed_stack_solves_identically_with_vp() {
     let rebuilt = Stack3d::from_netlist(&Netlist::parse(&spice).unwrap()).unwrap();
     assert_eq!(stack, rebuilt);
 
-    let a = VpSolver::default().solve_stack(&stack, NetKind::Power).unwrap();
+    let a = VpSolver::default()
+        .solve_stack(&stack, NetKind::Power)
+        .unwrap();
     let b = VpSolver::default()
         .solve_stack(&rebuilt, NetKind::Power)
         .unwrap();

@@ -24,7 +24,9 @@ fn c0_solves_with_all_headline_solvers() {
     let exact = DirectCholesky::new()
         .solve_stack(&stack, NetKind::Power)
         .unwrap();
-    let vp = VpSolver::default().solve_stack(&stack, NetKind::Power).unwrap();
+    let vp = VpSolver::default()
+        .solve_stack(&stack, NetKind::Power)
+        .unwrap();
     let pcg = Pcg::default().solve_stack(&stack, NetKind::Power).unwrap();
 
     let vp_err = residual::max_abs_error(&exact.voltages, &vp.voltages);
@@ -43,8 +45,14 @@ fn c0_solves_with_all_headline_solvers() {
 
 #[test]
 fn presets_are_deterministic() {
-    let a = SynthConfig::table_circuit(TableCircuit::C0).seed(9).build().unwrap();
-    let b = SynthConfig::table_circuit(TableCircuit::C0).seed(9).build().unwrap();
+    let a = SynthConfig::table_circuit(TableCircuit::C0)
+        .seed(9)
+        .build()
+        .unwrap();
+    let b = SynthConfig::table_circuit(TableCircuit::C0)
+        .seed(9)
+        .build()
+        .unwrap();
     assert_eq!(a, b);
 }
 
