@@ -10,7 +10,11 @@
 //! * full [`VpSolver`] solves at `parallelism` 1 and 4;
 //! * the zero-allocation warm path: allocator calls/bytes across a warm
 //!   [`VpSolver::solve_with`] on a reused [`VpScratch`] (expected 0 at
-//!   `parallelism = 1`; the parallel path pays per-solve thread spawns).
+//!   `parallelism = 1`; the parallel path pays per-solve thread spawns);
+//! * the batched multi-load path: warm [`VpSolver::solve_batch`] per-RHS
+//!   time at several batch sizes against warm sequential `solve_with`
+//!   calls, with the required max |ΔV| ≤ 1e-12 agreement (the batch is
+//!   bitwise-identical by construction).
 //!
 //! Each invocation appends one JSON entry to `BENCH_rowbased.json` at the
 //! repository root (see [`voltprop_bench::trajectory`]), building the
@@ -18,14 +22,15 @@
 //!
 //! Usage: `cargo run --release -p voltprop-bench --bin perfsuite`
 //! (`--quick` shrinks the grids for a smoke run; `--out PATH` redirects
-//! the trajectory file).
+//! the trajectory file; `--batch N[,N...]` overrides the batch sizes of
+//! the batched experiment).
 
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
 use voltprop_bench::alloc::{self, CountingAllocator};
-use voltprop_bench::trajectory::{append_run, json_f64};
+use voltprop_bench::trajectory::{append_run, hardware_context_json, hardware_threads, json_f64};
 use voltprop_core::{VpConfig, VpScratch, VpSolver};
 use voltprop_grid::{NetKind, Stack3d};
 use voltprop_solvers::rowbased::{RbWorkspace, RowBased, TierProblem};
@@ -216,6 +221,140 @@ fn vp_block(w: usize, h: usize, tiers: usize, parallelism: usize, dv_vs_seq: f64
     )
 }
 
+/// `k` load vectors for the what-if sweep: the stack's loads scaled per
+/// lane into the 0.75×–1.25× band (so the lanes follow distinct but
+/// comparable convergence trajectories, like a real corner sweep).
+fn sweep_loads(stack: &Stack3d, k: usize) -> Vec<f64> {
+    let mut loads = Vec::with_capacity(k * stack.num_nodes());
+    for j in 0..k {
+        let scale = 0.75 + 0.5 * j as f64 / k.max(2) as f64;
+        loads.extend(stack.loads().iter().map(|l| scale * l));
+    }
+    loads
+}
+
+/// The batched-solve experiment: warm per-RHS [`VpSolver::solve_batch`]
+/// time at each batch size on one stack, plus the warm sequential
+/// [`VpSolver::solve_with`] per-RHS reference and the batch-vs-sequential
+/// max |ΔV| (required ≤ 1e-12; bitwise 0 by construction).
+fn batch_block(w: usize, h: usize, tiers: usize, batch_sizes: &[usize]) -> String {
+    eprintln!("VpSolver batch {w}x{h}x{tiers} sizes {batch_sizes:?}...");
+    let stack = Stack3d::builder(w, h, tiers)
+        .uniform_load(2e-4)
+        .build()
+        .expect("valid stack");
+    let solver = VpSolver::default();
+    let nn = stack.num_nodes();
+    let kmax = *batch_sizes.iter().max().expect("non-empty batch sizes");
+    let loads = sweep_loads(&stack, kmax);
+
+    // Warm sequential reference over the largest batch's lanes: per-RHS
+    // time and the solution each batch lane must reproduce exactly. The
+    // lane stacks are prebuilt and the agreement snapshots taken in a
+    // separate untimed pass, so the timed window holds nothing but warm
+    // `solve_with` calls (clone/copy overhead must not pad the reference
+    // the batch speedup is judged against).
+    let lane_stacks: Vec<Stack3d> = (0..kmax)
+        .map(|j| {
+            let mut s = stack.clone();
+            s.set_loads(loads[j * nn..(j + 1) * nn].to_vec())
+                .expect("lane loads");
+            s
+        })
+        .collect();
+    let mut seq_scratch = VpScratch::new(&stack, &solver.config).expect("scratch");
+    let mut seq_voltages: Vec<Vec<f64>> = Vec::with_capacity(kmax);
+    for lane_stack in &lane_stacks {
+        solver
+            .solve_with(lane_stack, NetKind::Power, &mut seq_scratch)
+            .expect("sequential solve converges");
+        seq_voltages.push(seq_scratch.voltages().to_vec());
+    }
+    let start = Instant::now();
+    for lane_stack in &lane_stacks {
+        solver
+            .solve_with(lane_stack, NetKind::Power, &mut seq_scratch)
+            .expect("sequential solve converges");
+    }
+    let seq_ms_per_rhs = start.elapsed().as_secs_f64() * 1e3 / kmax as f64;
+
+    let mut batch_lines = Vec::new();
+    let mut per_rhs_by_size = Vec::new();
+    let mut worst_dv = 0.0f64;
+    let mut scratch = VpScratch::new(&stack, &solver.config).expect("scratch");
+    let mut reports = Vec::new();
+    for &k in batch_sizes {
+        let batch_loads = &loads[..k * nn];
+        // Warm call sizes the arena; the second call is measured.
+        solver
+            .solve_batch(
+                &stack,
+                NetKind::Power,
+                batch_loads,
+                &mut scratch,
+                &mut reports,
+            )
+            .expect("warm batch solve");
+        let calls_before = alloc::alloc_calls();
+        let bytes_before = alloc::reset_peak();
+        let start = Instant::now();
+        solver
+            .solve_batch(
+                &stack,
+                NetKind::Power,
+                batch_loads,
+                &mut scratch,
+                &mut reports,
+            )
+            .expect("timed batch solve");
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        let alloc_calls = alloc::alloc_calls() - calls_before;
+        let alloc_peak_bytes = alloc::peak_bytes().saturating_sub(bytes_before);
+        assert!(
+            reports.iter().all(|r| r.converged),
+            "batch {k}: all lanes must converge"
+        );
+        for (j, seq_v) in seq_voltages.iter().take(k).enumerate() {
+            let dv = max_abs_diff(scratch.batch_voltages(j), seq_v);
+            worst_dv = worst_dv.max(dv);
+            assert!(
+                dv <= 1e-12,
+                "batch {k} lane {j} deviates {dv} V from the sequential solve"
+            );
+        }
+        let ms_per_rhs = ms / k as f64;
+        per_rhs_by_size.push((k, ms_per_rhs));
+        batch_lines.push(format!(
+            "      {{ \"batch\": {k}, \"warm_solve_ms\": {}, \"ms_per_rhs\": {}, \
+             \"warm_alloc_calls\": {alloc_calls}, \"warm_alloc_peak_bytes\": {alloc_peak_bytes} }}",
+            json_f64(ms),
+            json_f64(ms_per_rhs),
+        ));
+    }
+    let per_rhs_at = |k: usize| {
+        per_rhs_by_size
+            .iter()
+            .find(|&&(b, _)| b == k)
+            .map(|&(_, t)| t)
+    };
+    let speedup_largest_vs_1 = match (per_rhs_at(1), per_rhs_at(kmax)) {
+        (Some(t1), Some(tk)) if kmax > 1 => t1 / tk,
+        _ => f64::NAN,
+    };
+    format!(
+        "{{\n    \"grid\": \"{w}x{h}x{tiers}\",\n    {},\n    \
+         \"sequential_warm_ms_per_rhs\": {},\n    \
+         \"batches\": [\n{}\n    ],\n    \
+         \"per_rhs_speedup_batch{kmax}_vs_batch1\": {},\n    \
+         \"max_abs_dv_vs_sequential\": {}\n  }}",
+        hardware_context_json(1),
+        json_f64(seq_ms_per_rhs),
+        batch_lines.join(",\n"),
+        json_f64(speedup_largest_vs_1),
+        json_f64(worst_dv),
+    )
+}
+
 /// Solves a stack at the given parallelism and returns the voltages (for
 /// cross-parallelism agreement).
 fn vp_voltages(w: usize, h: usize, tiers: usize, parallelism: usize) -> Vec<f64> {
@@ -250,6 +389,21 @@ fn main() {
         },
         None => repo_root().join("BENCH_rowbased.json"),
     };
+    let batch_sizes: Vec<usize> = match args.iter().position(|a| a == "--batch") {
+        Some(i) => match args.get(i + 1).map(|s| {
+            s.split(',')
+                .map(str::parse)
+                .collect::<Result<Vec<usize>, _>>()
+        }) {
+            Some(Ok(sizes)) if !sizes.is_empty() && sizes.iter().all(|&k| k > 0) => sizes,
+            _ => {
+                eprintln!("error: --batch requires a comma-separated list of positive sizes");
+                std::process::exit(2);
+            }
+        },
+        None if quick => vec![1, 8],
+        None => vec![1, 8, 64],
+    };
 
     // (edge, sweeps) for row-sweep micro-benchmarks.
     let sweep_cases: Vec<(usize, usize)> = if quick {
@@ -282,19 +436,30 @@ fn main() {
         }
     }
 
+    // Batched multi-load experiment (the quick grid keeps CI smoke fast).
+    let batch_cases: Vec<(usize, usize, usize)> = if quick {
+        vec![(64, 64, 3)]
+    } else {
+        vec![(256, 256, 4)]
+    };
+    let batch_blocks: Vec<String> = batch_cases
+        .iter()
+        .map(|&(w, h, tiers)| batch_block(w, h, tiers, &batch_sizes))
+        .collect();
+
     let unix_time = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
         .unwrap_or(0);
-    let hardware_threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let hardware_threads = hardware_threads();
     let entry = format!(
         "{{\n  \"unix_time\": {unix_time},\n  \"quick\": {quick},\n  \
          \"hardware_threads\": {hardware_threads},\n  \
-         \"row_sweeps\": [\n  {}\n  ],\n  \"vp_solver\": [\n  {}\n  ]\n}}",
+         \"row_sweeps\": [\n  {}\n  ],\n  \"vp_solver\": [\n  {}\n  ],\n  \
+         \"vp_batch\": [\n  {}\n  ]\n}}",
         row_blocks.join(",\n  "),
         vp_blocks.join(",\n  "),
+        batch_blocks.join(",\n  "),
     );
     if let Err(e) = append_run(&out, &entry) {
         eprintln!("error: could not append to {}: {e}", out.display());

@@ -76,6 +76,25 @@ pub fn json_f64(x: f64) -> String {
     }
 }
 
+/// Hardware threads visible to this process (1 when unknown).
+pub fn hardware_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// JSON fragment recording the hardware context of a measurement: the
+/// machine's `hardware_threads` next to the solver `parallelism` knob the
+/// numbers were taken with. Embed this in every timing block — PR 1's
+/// parallel speedups were uninterpretable without it (that container had
+/// a single hardware thread).
+pub fn hardware_context_json(parallelism: usize) -> String {
+    format!(
+        "\"hardware_threads\": {}, \"parallelism\": {parallelism}",
+        hardware_threads()
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,5 +137,13 @@ mod tests {
         assert_eq!(json_f64(1.5), "1.5");
         assert_eq!(json_f64(f64::NAN), "null");
         assert_eq!(json_f64(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn hardware_context_names_both_knobs() {
+        assert!(hardware_threads() >= 1);
+        let ctx = hardware_context_json(4);
+        assert!(ctx.contains("\"hardware_threads\": "), "{ctx}");
+        assert!(ctx.contains("\"parallelism\": 4"), "{ctx}");
     }
 }

@@ -5,7 +5,7 @@ use crate::lattice::PillarLattice;
 use crate::tier_cache::CachedTier;
 use crate::{VpConfig, VpReport};
 use voltprop_grid::{NetKind, Stack3d};
-use voltprop_solvers::{SolverError, StackSolution, StackSolver};
+use voltprop_solvers::{LaneReport, SolveReport, SolverError, StackSolution, StackSolver};
 
 /// The 3-D voltage propagation solver (see the [crate docs](crate) for the
 /// algorithm).
@@ -92,6 +92,139 @@ pub struct VpScratch {
     last_good_v0: Vec<f64>,
     last_good_correction: Vec<f64>,
     anderson: Anderson,
+    /// Lazily sized multi-load (batched) solve state; `None` until the
+    /// first [`VpSolver::solve_batch`] call.
+    batch: Option<BatchArena>,
+}
+
+/// The batch arena: every buffer a lockstep multi-load solve needs, sized
+/// for a fixed lane count `k`. Built on the first
+/// [`VpSolver::solve_batch`] call with that `k` and reused afterwards, so
+/// warm batched solves perform no heap allocation (at `parallelism = 1`).
+///
+/// The sweep-facing buffers (`v`, `injection`) are node-major/lane-minor
+/// (lane `j` of flat node `i` at `i * k + j`) — the layout the batched
+/// engines consume; the per-pillar outer-loop state is lane-major (lane
+/// `j`'s `ns` pillar values contiguous at `j * ns`), matching the
+/// per-lane VDA and Anderson operations.
+#[derive(Debug)]
+struct BatchArena {
+    /// Lane count every buffer below is sized for.
+    k: usize,
+    /// Node-major voltage image, `per · tiers · k`.
+    v: Vec<f64>,
+    /// Node-major per-tier injection staging, `per · k`.
+    injection: Vec<f64>,
+    /// Lane-major solved voltages, `per · tiers · k` (the public view).
+    voltages: Vec<f64>,
+    /// Per-lane tier-solve reports (scratch for the inner batch calls).
+    lanes: Vec<LaneReport>,
+    /// Outer-level lane mask: `true` while a lane still iterates.
+    mask: Vec<bool>,
+    /// Lane-major pillar guesses and feedback state, `ns · k` each.
+    v0: Vec<f64>,
+    pillar_current: Vec<f64>,
+    mismatch: Vec<f64>,
+    correction: Vec<f64>,
+    last_good_v0: Vec<f64>,
+    last_good_correction: Vec<f64>,
+    /// One Anderson mixing history per lane.
+    anderson: Vec<Anderson>,
+    /// Per-lane outer-loop scalar state.
+    state: Vec<LaneOuterState>,
+}
+
+/// The scalar outer-loop state of one batch lane — exactly the locals of
+/// the single-load [`VpSolver::solve_with`] loop, so the lockstep batch
+/// iteration reproduces it bit for bit.
+#[derive(Debug, Clone)]
+struct LaneOuterState {
+    vda: crate::VdaController,
+    plain_mode: bool,
+    stable_scale: f64,
+    best_worst: f64,
+    since_improvement: usize,
+    worst: f64,
+    inner_sweeps: usize,
+    /// `Some((outer_iterations, converged))` once the lane finished.
+    outcome: Option<(usize, bool)>,
+}
+
+impl BatchArena {
+    fn new(k: usize, per: usize, tiers: usize, ns: usize, damping: f64) -> Self {
+        BatchArena {
+            k,
+            v: vec![0.0; per * tiers * k],
+            injection: vec![0.0; per * k],
+            voltages: vec![0.0; per * tiers * k],
+            lanes: vec![LaneReport::default(); k],
+            mask: vec![true; k],
+            v0: vec![0.0; ns * k],
+            pillar_current: vec![0.0; ns * k],
+            mismatch: vec![0.0; ns * k],
+            correction: vec![0.0; ns * k],
+            last_good_v0: vec![0.0; ns * k],
+            last_good_correction: vec![0.0; ns * k],
+            anderson: (0..k).map(|_| Anderson::new(4, ns)).collect(),
+            state: vec![
+                LaneOuterState {
+                    vda: crate::VdaController::new(damping),
+                    plain_mode: true,
+                    stable_scale: damping,
+                    best_worst: f64::INFINITY,
+                    since_improvement: 0,
+                    worst: f64::INFINITY,
+                    inner_sweeps: 0,
+                    outcome: None,
+                };
+                k
+            ],
+        }
+    }
+
+    /// Rewinds every per-lane record to the start-of-solve state (no
+    /// allocation; called at the top of each batched solve).
+    fn reset(&mut self, damping: f64) {
+        self.lanes.fill(LaneReport::default());
+        self.mask.fill(true);
+        for a in &mut self.anderson {
+            a.reset();
+        }
+        for s in &mut self.state {
+            *s = LaneOuterState {
+                vda: crate::VdaController::new(damping),
+                plain_mode: true,
+                stable_scale: damping,
+                best_worst: f64::INFINITY,
+                since_improvement: 0,
+                worst: f64::INFINITY,
+                inner_sweeps: 0,
+                outcome: None,
+            };
+        }
+    }
+
+    /// Estimated heap footprint in bytes.
+    fn memory_bytes(&self) -> usize {
+        (self.v.len()
+            + self.injection.len()
+            + self.voltages.len()
+            + self.v0.len()
+            + self.pillar_current.len()
+            + self.mismatch.len()
+            + self.correction.len()
+            + self.last_good_v0.len()
+            + self.last_good_correction.len())
+            * 8
+            + self.mask.len()
+            + self.lanes.len() * std::mem::size_of::<LaneReport>()
+            + self.state.len() * std::mem::size_of::<LaneOuterState>()
+            + self
+                .anderson
+                .iter()
+                .map(Anderson::memory_bytes)
+                .sum::<usize>()
+    }
 }
 
 impl VpScratch {
@@ -155,6 +288,7 @@ impl VpScratch {
                 last_good_v0: Vec::new(),
                 last_good_correction: Vec::new(),
                 anderson: Anderson::new(4, 0),
+                batch: None,
             });
         }
 
@@ -246,6 +380,7 @@ impl VpScratch {
             last_good_v0: vec![0.0; ns],
             last_good_correction: vec![0.0; ns],
             anderson: Anderson::new(4, ns),
+            batch: None,
         })
     }
 
@@ -316,6 +451,43 @@ impl VpScratch {
                 .map(CachedTier::memory_bytes)
                 .sum::<usize>()
             + self.anderson.memory_bytes()
+            + self.batch.as_ref().map_or(0, BatchArena::memory_bytes)
+    }
+
+    /// Lane count of the most recent [`VpSolver::solve_batch`] call (0 if
+    /// no batched solve ran on this scratch yet).
+    pub fn batch_lanes(&self) -> usize {
+        self.batch.as_ref().map_or(0, |b| b.k)
+    }
+
+    /// The solved per-node voltages of lane `lane` from the most recent
+    /// [`VpSolver::solve_batch`] call (flat tier-major, like
+    /// [`VpScratch::voltages`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no batched solve ran on this scratch or `lane` is out of
+    /// range.
+    pub fn batch_voltages(&self, lane: usize) -> &[f64] {
+        let b = self.batch.as_ref().expect("no batched solve ran");
+        assert!(lane < b.k, "lane {lane} out of range ({} lanes)", b.k);
+        let nn = self.width * self.height * self.tiers;
+        &b.voltages[lane * nn..(lane + 1) * nn]
+    }
+
+    /// The per-pillar package currents of lane `lane` from the most
+    /// recent [`VpSolver::solve_batch`] call (aligned with
+    /// [`Stack3d::tsv_sites`]; empty for single-tier stacks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no batched solve ran on this scratch or `lane` is out of
+    /// range.
+    pub fn batch_pillar_currents(&self, lane: usize) -> &[f64] {
+        let b = self.batch.as_ref().expect("no batched solve ran");
+        assert!(lane < b.k, "lane {lane} out of range ({} lanes)", b.k);
+        let ns = self.site_flat.len();
+        &b.pillar_current[lane * ns..(lane + 1) * ns]
     }
 }
 
@@ -335,8 +507,11 @@ impl VpSolver {
     ///
     /// * [`SolverError::Unsupported`] if pads don't sit on the pillars (see
     ///   type-level docs) or the grid fails validation.
-    /// * [`SolverError::DidNotConverge`] if the outer loop exhausts its
-    ///   budget.
+    /// * [`SolverError::DidNotConverge`] if the multi-tier outer loop
+    ///   exhausts its budget. Single-tier stacks have no outer loop and
+    ///   report a starved inner solve through the [`VpReport`] instead
+    ///   (`converged = false` with the true residual) — check
+    ///   `report.converged` before trusting the voltages.
     pub fn solve(&self, stack: &Stack3d, net: NetKind) -> Result<VpSolution, SolverError> {
         let mut scratch = VpScratch::new(stack, &self.config)?;
         let report = self.solve_with(stack, net, &mut scratch)?;
@@ -380,7 +555,6 @@ impl VpSolver {
 
         let (w, h, tiers) = (scratch.width, scratch.height, scratch.tiers);
         let per = w * h;
-        let ns = scratch.site_flat.len();
         let r_tsv = scratch.r_tsv;
         let r_pad = scratch.r_pad;
         let top = tiers - 1;
@@ -389,7 +563,6 @@ impl VpSolver {
         let VpScratch {
             site_flat,
             is_pad_site,
-            fixed,
             lattice,
             tier_cache,
             tier_g,
@@ -430,6 +603,7 @@ impl VpSolver {
         let mut inner_sweeps = 0usize;
         let mut outer = 0usize;
         let mut worst = f64::INFINITY;
+        let mut converged = false;
         while outer < self.config.max_outer_iterations {
             // Every pass runs at the tight tolerance. (A "progressive"
             // scheme that loosened early passes was tried and reverted: the
@@ -509,20 +683,8 @@ impl VpSolver {
             // declare convergence; a loose pass that lands under ε simply
             // makes the next (tight) pass cheap.
             if worst < self.config.epsilon {
-                return Ok(VpReport {
-                    outer_iterations: outer,
-                    inner_sweeps,
-                    pad_mismatch: worst,
-                    final_beta: self.config.damping,
-                    converged: true,
-                    workspace_bytes: (per * tiers + per + 6 * ns) * 8
-                        + fixed.len()
-                        + lattice.memory_bytes()
-                        + tier_cache
-                            .iter()
-                            .map(CachedTier::memory_bytes)
-                            .sum::<usize>(),
-                });
+                converged = true;
+                break;
             }
             if worst <= best_worst {
                 last_good_v0.copy_from_slice(v0);
@@ -570,6 +732,18 @@ impl VpSolver {
             // still caught.
             best_worst = best_worst.min(worst) * if plain_mode { 1.0 } else { 1.15 };
         }
+        if converged {
+            return Ok(VpReport {
+                outer_iterations: outer,
+                inner_sweeps,
+                pad_mismatch: worst,
+                final_beta: self.config.damping,
+                converged: true,
+                // Reported uniformly on every return path (the scratch
+                // *is* the solver workspace).
+                workspace_bytes: scratch.memory_bytes(),
+            });
+        }
         Err(SolverError::DidNotConverge {
             iterations: outer,
             residual: worst,
@@ -577,8 +751,399 @@ impl VpSolver {
         })
     }
 
+    /// Solves a whole batch of load vectors against one prefactored
+    /// stack, sweeping every right-hand side together through the shared
+    /// tier factors.
+    ///
+    /// `loads` holds `k` complete load vectors back to back (lane-major:
+    /// lane `j`'s `stack.num_nodes()` currents at `j * num_nodes`); the
+    /// stack's own loads are ignored. One [`VpReport`] per lane lands in
+    /// `reports` (cleared first), and the solved voltages and pillar
+    /// currents stay in the scratch behind [`VpScratch::batch_voltages`]
+    /// and [`VpScratch::batch_pillar_currents`].
+    ///
+    /// # Why batch?
+    ///
+    /// The tier matrices are fixed — across lanes as well as sweeps — so
+    /// a batched sweep loads every factor coefficient once per row and
+    /// substitutes `k` right-hand sides with a unit-stride inner loop
+    /// (see [`voltprop_sparse::tridiag::FactoredSegments::solve_batch`]
+    /// for the layout). That amortizes the memory traffic and breaks the
+    /// Thomas recurrence's serial latency chain across independent lanes,
+    /// which is what transient stepping and what-if load sweeps need.
+    ///
+    /// # Semantics
+    ///
+    /// Each lane runs the *exact* outer loop of
+    /// [`VpSolver::solve_with`] in lockstep with the others, freezing as
+    /// soon as it converges: a converged lane's voltages are **bitwise
+    /// identical** to the sequential `solve_with` call on that load
+    /// vector, on every schedule and thread count. A lane that exhausts a
+    /// budget reports `converged = false` with its true residual instead
+    /// of failing the whole batch.
+    ///
+    /// After the first call with a given lane count the scratch's batch
+    /// arena is warm and (at `parallelism = 1`) later calls perform no
+    /// heap allocation; reuse `reports` (its capacity is retained by
+    /// `clear`) to keep the full call allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// [`SolverError::Unsupported`] if the stack is unsupported (see
+    /// [`VpSolver::solve`]), `loads` is empty or not a whole number of
+    /// load vectors, or any load is negative or non-finite.
+    pub fn solve_batch(
+        &self,
+        stack: &Stack3d,
+        net: NetKind,
+        loads: &[f64],
+        scratch: &mut VpScratch,
+        reports: &mut Vec<VpReport>,
+    ) -> Result<(), SolverError> {
+        stack.validate()?;
+        if !scratch.matches(stack, &self.config) {
+            *scratch = VpScratch::new(stack, &self.config)?;
+        }
+        let nn = stack.num_nodes();
+        if loads.is_empty() || loads.len() % nn != 0 {
+            return Err(SolverError::Unsupported {
+                what: format!(
+                    "batch loads must be a non-empty whole number of {nn}-node \
+                     load vectors (got {} entries)",
+                    loads.len()
+                ),
+            });
+        }
+        for (i, &a) in loads.iter().enumerate() {
+            if !a.is_finite() || a < 0.0 {
+                return Err(SolverError::Unsupported {
+                    what: format!(
+                        "load {a} at batch index {i} is not a finite, non-negative current"
+                    ),
+                });
+            }
+        }
+        let k = loads.len() / nn;
+        let per = scratch.width * scratch.height;
+        let ns = scratch.site_flat.len();
+        if scratch.batch.as_ref().is_none_or(|b| b.k != k) {
+            scratch.batch = Some(BatchArena::new(
+                k,
+                per,
+                scratch.tiers,
+                ns,
+                self.config.damping,
+            ));
+        }
+        let rail = match net {
+            NetKind::Power => stack.vdd(),
+            NetKind::Ground => 0.0,
+        };
+        let sign = match net {
+            NetKind::Power => 1.0,
+            NetKind::Ground => -1.0,
+        };
+        if scratch.tiers == 1 {
+            self.solve_batch_single_tier(rail, sign, loads, k, scratch, reports)
+        } else {
+            self.solve_batch_multi(rail, sign, loads, k, scratch, reports)
+        }
+    }
+
+    /// Single-tier batched path: one batched row-based solve with the
+    /// pads pinned at the rail (per-lane reports mirror
+    /// [`VpSolver::solve_single_tier`]).
+    fn solve_batch_single_tier(
+        &self,
+        rail: f64,
+        sign: f64,
+        loads: &[f64],
+        k: usize,
+        scratch: &mut VpScratch,
+        reports: &mut Vec<VpReport>,
+    ) -> Result<(), SolverError> {
+        let per = scratch.width * scratch.height;
+        {
+            let VpScratch {
+                tier_cache, batch, ..
+            } = scratch;
+            let arena = batch.as_mut().expect("batch arena sized");
+            arena.reset(self.config.damping);
+            arena.v.fill(rail);
+            for j in 0..k {
+                let lane_loads = &loads[j * per..(j + 1) * per];
+                for i in 0..per {
+                    arena.injection[i * k + j] = -sign * lane_loads[i];
+                }
+            }
+            tier_cache[0].solve_batch_masked(
+                &arena.injection,
+                &mut arena.v,
+                self.config.inner_tolerance,
+                self.config.max_inner_sweeps,
+                self.config.sor_omega,
+                None,
+                &mut arena.lanes,
+            )?;
+            deinterleave(&arena.v, &mut arena.voltages, k);
+        }
+        let ws = scratch.memory_bytes();
+        let arena = scratch.batch.as_ref().expect("batch arena sized");
+        reports.clear();
+        reports.extend(arena.lanes.iter().map(|l| VpReport {
+            outer_iterations: 1,
+            inner_sweeps: l.iterations,
+            pad_mismatch: l.residual,
+            final_beta: self.config.damping,
+            converged: l.converged,
+            workspace_bytes: ws,
+        }));
+        Ok(())
+    }
+
+    /// Multi-tier batched path: every lane runs the propagation/VDA outer
+    /// loop of [`VpSolver::solve_with`] in lockstep, sharing each tier's
+    /// batched inner solve. Per-lane scalar state lives in the arena's
+    /// [`LaneOuterState`]; a lane that converges (or fails a budget) is
+    /// masked out of all later tier solves, so its iterate — bitwise
+    /// identical to the sequential solve — is never touched again.
+    fn solve_batch_multi(
+        &self,
+        rail: f64,
+        sign: f64,
+        loads: &[f64],
+        k: usize,
+        scratch: &mut VpScratch,
+        reports: &mut Vec<VpReport>,
+    ) -> Result<(), SolverError> {
+        let (w, h, tiers) = (scratch.width, scratch.height, scratch.tiers);
+        let per = w * h;
+        let nn = per * tiers;
+        let ns = scratch.site_flat.len();
+        let r_tsv = scratch.r_tsv;
+        let r_pad = scratch.r_pad;
+        let top = tiers - 1;
+        let tight_tol = self.config.inner_tolerance / scratch.amplification;
+        let eps = self.config.epsilon;
+        let damping = self.config.damping;
+        {
+            let VpScratch {
+                site_flat,
+                is_pad_site,
+                lattice,
+                tier_cache,
+                tier_g,
+                batch,
+                ..
+            } = scratch;
+            let lattice = lattice.as_mut().expect("multi-tier scratch has a lattice");
+            let arena = batch.as_mut().expect("batch arena sized");
+            arena.reset(damping);
+            arena.v.fill(rail);
+            arena.v0.fill(rail);
+            arena.last_good_v0.fill(rail);
+            arena.last_good_correction.fill(0.0);
+
+            let mut n_running = k;
+            let mut outer = 0usize;
+            while outer < self.config.max_outer_iterations && n_running > 0 {
+                for j in 0..k {
+                    if arena.mask[j] {
+                        arena.pillar_current[j * ns..(j + 1) * ns].fill(0.0);
+                    }
+                }
+                for t in 0..tiers {
+                    // Phase 3 (voltage propagation): pin this tier's pillar
+                    // terminals per running lane.
+                    if t == 0 {
+                        for j in 0..k {
+                            if !arena.mask[j] {
+                                continue;
+                            }
+                            let v0_j = &arena.v0[j * ns..(j + 1) * ns];
+                            for (kk, &s) in site_flat.iter().enumerate() {
+                                arena.v[s * k + j] = v0_j[kk];
+                            }
+                        }
+                    } else {
+                        for j in 0..k {
+                            if !arena.mask[j] {
+                                continue;
+                            }
+                            let pc_j = &arena.pillar_current[j * ns..(j + 1) * ns];
+                            for (kk, &s) in site_flat.iter().enumerate() {
+                                arena.v[(t * per + s) * k + j] =
+                                    arena.v[((t - 1) * per + s) * k + j] + pc_j[kk] * r_tsv;
+                            }
+                        }
+                    }
+                    // Phase 1 (intra-plane): batched row-based solve of
+                    // this tier for every running lane.
+                    for j in 0..k {
+                        if !arena.mask[j] {
+                            continue;
+                        }
+                        let lane_loads = &loads[j * nn + t * per..j * nn + (t + 1) * per];
+                        for i in 0..per {
+                            arena.injection[i * k + j] = -sign * lane_loads[i];
+                        }
+                    }
+                    let tier_v = &mut arena.v[t * per * k..(t + 1) * per * k];
+                    tier_cache[t].solve_batch_masked(
+                        &arena.injection,
+                        tier_v,
+                        tight_tol,
+                        self.config.max_inner_sweeps,
+                        1.0,
+                        Some(&arena.mask),
+                        &mut arena.lanes,
+                    )?;
+                    for j in 0..k {
+                        if !arena.mask[j] {
+                            continue;
+                        }
+                        arena.state[j].inner_sweeps += arena.lanes[j].iterations;
+                        if !arena.lanes[j].converged {
+                            // The sequential path would abort this load
+                            // with `DidNotConverge`; the batch freezes the
+                            // lane and reports its true inner residual.
+                            // `outer + 1` counts the pass it died in, like
+                            // the other outcomes recorded post-increment.
+                            arena.state[j].worst = arena.lanes[j].residual;
+                            arena.state[j].outcome = Some((outer + 1, false));
+                            arena.mask[j] = false;
+                            n_running -= 1;
+                        }
+                    }
+                    // Phase 2 (TSV current computation) per running lane.
+                    let (gh, gv) = tier_g[t];
+                    for j in 0..k {
+                        if !arena.mask[j] {
+                            continue;
+                        }
+                        let tier_v = &arena.v[t * per * k..(t + 1) * per * k];
+                        let pc_j = &mut arena.pillar_current[j * ns..(j + 1) * ns];
+                        let lane_loads = &loads[j * nn + t * per..j * nn + (t + 1) * per];
+                        for (kk, &s) in site_flat.iter().enumerate() {
+                            let (x, y) = (s % w, s / w);
+                            let vj = tier_v[s * k + j];
+                            let mut out = sign * lane_loads[s];
+                            if x > 0 {
+                                out += gh * (vj - tier_v[(s - 1) * k + j]);
+                            }
+                            if x + 1 < w {
+                                out += gh * (vj - tier_v[(s + 1) * k + j]);
+                            }
+                            if y > 0 {
+                                out += gv * (vj - tier_v[(s - w) * k + j]);
+                            }
+                            if y + 1 < h {
+                                out += gv * (vj - tier_v[(s + w) * k + j]);
+                            }
+                            pc_j[kk] += out;
+                        }
+                    }
+                }
+                outer += 1;
+                // Phase 4 (VDA + mixing) per running lane — the scalar
+                // logic of `solve_with`, verbatim, on the lane's slices.
+                for j in 0..k {
+                    if !arena.mask[j] {
+                        continue;
+                    }
+                    let mm = &mut arena.mismatch[j * ns..(j + 1) * ns];
+                    let pc = &arena.pillar_current[j * ns..(j + 1) * ns];
+                    for (kk, &s) in site_flat.iter().enumerate() {
+                        mm[kk] = if is_pad_site[kk] {
+                            let target = rail - pc[kk] * r_pad;
+                            target - arena.v[(top * per + s) * k + j]
+                        } else {
+                            pc[kk] // amperes of excess, not volts
+                        };
+                    }
+                    let corr = &mut arena.correction[j * ns..(j + 1) * ns];
+                    let worst = lattice.correction(mm, corr);
+                    let st = &mut arena.state[j];
+                    st.worst = worst;
+                    if worst < eps {
+                        st.outcome = Some((outer, true));
+                        arena.mask[j] = false;
+                        n_running -= 1;
+                        continue;
+                    }
+                    let v0_j = &mut arena.v0[j * ns..(j + 1) * ns];
+                    let lg_v0 = &mut arena.last_good_v0[j * ns..(j + 1) * ns];
+                    let lg_c = &mut arena.last_good_correction[j * ns..(j + 1) * ns];
+                    if worst <= st.best_worst {
+                        lg_v0.copy_from_slice(v0_j);
+                        lg_c.copy_from_slice(corr);
+                        st.since_improvement = 0;
+                    } else {
+                        st.since_improvement += 1;
+                    }
+                    if st.plain_mode {
+                        if worst > 10.0 * st.best_worst.min(1e3) || st.since_improvement > 8 {
+                            st.plain_mode = false;
+                            st.since_improvement = 0;
+                            v0_j.copy_from_slice(lg_v0);
+                            st.stable_scale = 0.25 * damping;
+                            for (g, c) in v0_j.iter_mut().zip(&*lg_c) {
+                                *g += st.stable_scale * c;
+                            }
+                        } else {
+                            st.vda.apply(v0_j, corr);
+                        }
+                    } else if worst > 2.0 * st.best_worst {
+                        st.stable_scale = (st.stable_scale * 0.5).max(1e-3);
+                        v0_j.copy_from_slice(lg_v0);
+                        for (g, c) in v0_j.iter_mut().zip(&*lg_c) {
+                            *g += st.stable_scale * c;
+                        }
+                        arena.anderson[j].reset();
+                    } else {
+                        if worst <= st.best_worst {
+                            st.stable_scale = (st.stable_scale * 1.5).min(damping);
+                        }
+                        arena.anderson[j].step(v0_j, corr, st.stable_scale);
+                    }
+                    st.best_worst =
+                        st.best_worst.min(worst) * if st.plain_mode { 1.0 } else { 1.15 };
+                }
+            }
+            // Lanes still running exhausted the outer budget.
+            for j in 0..k {
+                if arena.mask[j] {
+                    arena.state[j].outcome = Some((outer, false));
+                    arena.mask[j] = false;
+                }
+            }
+            deinterleave(&arena.v, &mut arena.voltages, k);
+        }
+        let ws = scratch.memory_bytes();
+        let arena = scratch.batch.as_ref().expect("batch arena sized");
+        reports.clear();
+        reports.extend(arena.state.iter().map(|st| {
+            let (outer_iterations, converged) = st.outcome.expect("every lane resolved");
+            VpReport {
+                outer_iterations,
+                inner_sweeps: st.inner_sweeps,
+                pad_mismatch: st.worst,
+                final_beta: damping,
+                converged,
+                workspace_bytes: ws,
+            }
+        }));
+        Ok(())
+    }
+
     /// Single-tier special case: pads pinned at the rail, one row-based
     /// solve (the planar method the paper builds on).
+    ///
+    /// There is no propagation loop here, so `pad_mismatch` reports the
+    /// inner solve's final residual (its largest per-sweep voltage
+    /// update) and `converged` its actual status — a sweep budget that
+    /// runs out comes back as `converged = false` with the true residual,
+    /// not as an error.
     fn solve_single_tier(
         &self,
         stack: &Stack3d,
@@ -597,21 +1162,48 @@ impl VpSolver {
         for (inj, load) in injection.iter_mut().zip(&stack.loads()[..per]) {
             *inj = -sign * load;
         }
-        let rep = tier_cache[0].solve_with_omega(
+        let rep = match tier_cache[0].solve_with_omega(
             injection,
             voltages,
             self.config.inner_tolerance,
             self.config.max_inner_sweeps,
             self.config.sor_omega,
-        )?;
+        ) {
+            Ok(rep) => rep,
+            Err(SolverError::DidNotConverge {
+                iterations,
+                residual,
+                ..
+            }) => SolveReport {
+                iterations,
+                residual,
+                converged: false,
+                workspace_bytes: 0,
+            },
+            Err(e) => return Err(e),
+        };
         Ok(VpReport {
             outer_iterations: 1,
             inner_sweeps: rep.iterations,
-            pad_mismatch: 0.0,
+            pad_mismatch: rep.residual,
             final_beta: self.config.damping,
-            converged: true,
+            converged: rep.converged,
             workspace_bytes: scratch.memory_bytes(),
         })
+    }
+}
+
+/// Copies the node-major/lane-minor batch image (`v[i * k + j]`) into
+/// lane-major per-lane vectors (`out[j * n + i]`), so callers get each
+/// lane's solution as one contiguous slice.
+fn deinterleave(v: &[f64], out: &mut [f64], k: usize) {
+    debug_assert_eq!(v.len(), out.len());
+    let n = v.len() / k;
+    for j in 0..k {
+        let lane = &mut out[j * n..(j + 1) * n];
+        for (i, x) in lane.iter_mut().enumerate() {
+            *x = v[i * k + j];
+        }
     }
 }
 
@@ -1075,6 +1667,215 @@ mod tests {
             .unwrap();
         assert!(r3.converged);
         assert_eq!(scratch.voltages().len(), stack_c.num_nodes());
+    }
+
+    /// `k` load vectors derived from the stack's own loads with different
+    /// magnitudes (so lanes converge along different trajectories).
+    fn load_sweep(stack: &Stack3d, k: usize) -> Vec<f64> {
+        let mut loads = Vec::with_capacity(k * stack.num_nodes());
+        for j in 0..k {
+            let scale = 0.5 + 0.4 * j as f64;
+            loads.extend(stack.loads().iter().map(|l| scale * l));
+        }
+        loads
+    }
+
+    fn assert_batch_matches_sequential(stack: &Stack3d, config: VpConfig, k: usize) {
+        let solver = VpSolver::new(config);
+        let loads = load_sweep(stack, k);
+        let mut scratch = VpScratch::new(stack, &solver.config).unwrap();
+        let mut reports = Vec::new();
+        solver
+            .solve_batch(stack, NetKind::Power, &loads, &mut scratch, &mut reports)
+            .unwrap();
+        assert_eq!(reports.len(), k);
+        let nn = stack.num_nodes();
+        let mut solo_scratch = VpScratch::new(stack, &solver.config).unwrap();
+        for j in 0..k {
+            let mut lane_stack = stack.clone();
+            lane_stack
+                .set_loads(loads[j * nn..(j + 1) * nn].to_vec())
+                .unwrap();
+            let solo = solver
+                .solve_with(&lane_stack, NetKind::Power, &mut solo_scratch)
+                .unwrap();
+            assert_eq!(
+                scratch.batch_voltages(j),
+                solo_scratch.voltages(),
+                "lane {j} voltages must be bitwise identical to the sequential solve"
+            );
+            assert_eq!(
+                scratch.batch_pillar_currents(j),
+                solo_scratch.pillar_currents(),
+                "lane {j} pillar currents"
+            );
+            assert!(reports[j].converged);
+            assert_eq!(
+                reports[j].outer_iterations, solo.outer_iterations,
+                "lane {j}"
+            );
+            assert_eq!(reports[j].inner_sweeps, solo.inner_sweeps, "lane {j}");
+            assert_eq!(
+                reports[j].pad_mismatch.to_bits(),
+                solo.pad_mismatch.to_bits(),
+                "lane {j}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_matches_sequential_solves_bitwise_multi_tier() {
+        let stack = Stack3d::builder(10, 10, 3)
+            .load_profile(
+                LoadProfile::UniformRandom {
+                    min: 1e-5,
+                    max: 1e-3,
+                },
+                5,
+            )
+            .build()
+            .unwrap();
+        // Sequential and red-black (parallel) inner schedules.
+        assert_batch_matches_sequential(&stack, VpConfig::new(), 3);
+        assert_batch_matches_sequential(&stack, VpConfig::new().parallelism(2), 3);
+    }
+
+    #[test]
+    fn batch_matches_sequential_solves_bitwise_single_tier() {
+        let stack = Stack3d::builder(12, 12, 1)
+            .load_profile(
+                LoadProfile::UniformRandom {
+                    min: 1e-5,
+                    max: 1e-3,
+                },
+                2,
+            )
+            .build()
+            .unwrap();
+        assert_batch_matches_sequential(&stack, VpConfig::new(), 4);
+        assert_batch_matches_sequential(&stack, VpConfig::new().parallelism(4), 4);
+    }
+
+    #[test]
+    fn batch_scratch_is_warm_on_second_call() {
+        let stack = Stack3d::builder(8, 8, 2)
+            .uniform_load(1e-4)
+            .build()
+            .unwrap();
+        let solver = VpSolver::default();
+        let loads = load_sweep(&stack, 3);
+        let mut scratch = VpScratch::new(&stack, &solver.config).unwrap();
+        let mut reports = Vec::new();
+        solver
+            .solve_batch(&stack, NetKind::Power, &loads, &mut scratch, &mut reports)
+            .unwrap();
+        assert_eq!(scratch.batch_lanes(), 3);
+        let first: Vec<Vec<f64>> = (0..3).map(|j| scratch.batch_voltages(j).to_vec()).collect();
+        // Second call reuses the arena and reproduces the solution.
+        solver
+            .solve_batch(&stack, NetKind::Power, &loads, &mut scratch, &mut reports)
+            .unwrap();
+        for j in 0..3 {
+            assert_eq!(scratch.batch_voltages(j), &first[j][..]);
+        }
+        let mem = scratch.memory_bytes();
+        assert_eq!(reports[0].workspace_bytes, mem);
+    }
+
+    #[test]
+    fn batch_rejects_malformed_loads() {
+        let stack = Stack3d::builder(8, 8, 2)
+            .uniform_load(1e-4)
+            .build()
+            .unwrap();
+        let solver = VpSolver::default();
+        let mut scratch = VpScratch::new(&stack, &solver.config).unwrap();
+        let mut reports = Vec::new();
+        let nn = stack.num_nodes();
+        for bad in [
+            vec![],
+            vec![1e-4; nn + 1],
+            vec![-1e-4; nn],
+            vec![f64::NAN; nn],
+        ] {
+            assert!(
+                matches!(
+                    solver.solve_batch(&stack, NetKind::Power, &bad, &mut scratch, &mut reports),
+                    Err(SolverError::Unsupported { .. })
+                ),
+                "loads of len {} accepted",
+                bad.len()
+            );
+        }
+    }
+
+    #[test]
+    fn forced_did_not_converge_surfaces_true_report_fields() {
+        // Single-tier with a starved sweep budget: the report must carry
+        // the inner solve's real residual and status, not the previously
+        // hardcoded `pad_mismatch: 0.0` / `converged: true`.
+        let stack = Stack3d::builder(16, 16, 1)
+            .uniform_load(1e-3)
+            .build()
+            .unwrap();
+        let solver = VpSolver::new(VpConfig::new().inner_tolerance(1e-14).max_inner_sweeps(2));
+        let sol = solver.solve(&stack, NetKind::Power).unwrap();
+        assert!(!sol.report.converged, "2 sweeps cannot reach 1e-14");
+        assert_eq!(sol.report.inner_sweeps, 2);
+        assert!(
+            sol.report.pad_mismatch.is_finite() && sol.report.pad_mismatch > 1e-14,
+            "true residual must be reported, got {}",
+            sol.report.pad_mismatch
+        );
+        // The batched path reports the same per-lane truth.
+        let mut scratch = VpScratch::new(&stack, &solver.config).unwrap();
+        let mut reports = Vec::new();
+        solver
+            .solve_batch(
+                &stack,
+                NetKind::Power,
+                &load_sweep(&stack, 2),
+                &mut scratch,
+                &mut reports,
+            )
+            .unwrap();
+        for (j, rep) in reports.iter().enumerate() {
+            assert!(!rep.converged, "lane {j}");
+            assert!(rep.pad_mismatch > 1e-14, "lane {j}: {}", rep.pad_mismatch);
+        }
+        // A converged single-tier solve reports its actual residual too.
+        let ok = VpSolver::default().solve(&stack, NetKind::Power).unwrap();
+        assert!(ok.report.converged);
+        assert!(
+            ok.report.pad_mismatch > 0.0
+                && ok.report.pad_mismatch < VpConfig::default().inner_tolerance,
+            "converged residual should be the real (non-hardcoded) value, got {}",
+            ok.report.pad_mismatch
+        );
+    }
+
+    #[test]
+    fn workspace_bytes_reported_uniformly() {
+        // Every return path must report the scratch's real footprint.
+        let stack = Stack3d::builder(10, 10, 3)
+            .uniform_load(1e-4)
+            .build()
+            .unwrap();
+        let solver = VpSolver::default();
+        let mut scratch = VpScratch::new(&stack, &solver.config).unwrap();
+        let rep = solver
+            .solve_with(&stack, NetKind::Power, &mut scratch)
+            .unwrap();
+        assert_eq!(rep.workspace_bytes, scratch.memory_bytes());
+        let single = Stack3d::builder(10, 10, 1)
+            .uniform_load(1e-4)
+            .build()
+            .unwrap();
+        let mut scratch1 = VpScratch::new(&single, &solver.config).unwrap();
+        let rep1 = solver
+            .solve_with(&single, NetKind::Power, &mut scratch1)
+            .unwrap();
+        assert_eq!(rep1.workspace_bytes, scratch1.memory_bytes());
     }
 
     #[test]

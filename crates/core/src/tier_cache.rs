@@ -17,7 +17,7 @@
 //! — the VP algorithm pins the same pillar sites on every tier.
 
 use std::sync::Arc;
-use voltprop_solvers::{SolveReport, SolverError, SweepSchedule, TierEngine};
+use voltprop_solvers::{LaneReport, SolveReport, SolverError, SweepSchedule, TierEngine};
 
 /// Per-tier cached structure: prefactored row segments plus the sweep
 /// schedule.
@@ -86,6 +86,32 @@ impl CachedTier {
     ) -> Result<SolveReport, SolverError> {
         self.engine
             .solve_with_omega(injection, v, tolerance, max_sweeps, omega)
+    }
+
+    /// Batched multi-right-hand-side solve: `lanes.len()` load vectors
+    /// sweep together against the shared factors, node-major/lane-minor
+    /// layout, each lane freezing independently at `tolerance`. `mask`
+    /// marks lanes to leave untouched (the VP outer loop freezes whole
+    /// lanes once they converge). See
+    /// [`TierEngine::solve_batch_masked`].
+    ///
+    /// # Errors
+    ///
+    /// [`SolverError::Unsupported`] for malformed batch arrays; per-lane
+    /// non-convergence is reported in `lanes`, not as an error.
+    #[allow(clippy::too_many_arguments)] // mirrors the engine entry point
+    pub(crate) fn solve_batch_masked(
+        &mut self,
+        injection: &[f64],
+        v: &mut [f64],
+        tolerance: f64,
+        max_sweeps: usize,
+        omega: f64,
+        mask: Option<&[bool]>,
+        lanes: &mut [LaneReport],
+    ) -> Result<SolveReport, SolverError> {
+        self.engine
+            .solve_batch_masked(injection, v, tolerance, max_sweeps, omega, mask, lanes)
     }
 
     /// Estimated heap footprint in bytes.

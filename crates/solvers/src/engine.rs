@@ -28,11 +28,11 @@
 //! special case throughout the workspace.
 
 use std::ops::Range;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier};
 
 use crate::rowbased::TierProblem;
-use crate::{SolveReport, SolverError};
+use crate::{LaneReport, SolveReport, SolverError};
 use voltprop_sparse::tridiag::FactoredSegments;
 
 /// How a [`TierEngine`] orders its row solves within one sweep.
@@ -88,6 +88,45 @@ struct Segment {
 const RUN: usize = 0;
 const DONE: usize = 1;
 const BUDGET: usize = 2;
+
+/// Lazily sized state for batched (multi right-hand-side) solves.
+///
+/// Sized on the first [`TierEngine::solve_batch`] call for a given lane
+/// count; later calls with the same count reuse every buffer, so warm
+/// batched solves stay allocation-free on the single-threaded schedules.
+#[derive(Debug, Default)]
+struct BatchState {
+    /// Lane count the buffers below are sized for (0 = never sized).
+    lanes: usize,
+    /// Per-thread substitution scratch, `max_segment_len * lanes` each.
+    scratches: Vec<Vec<f64>>,
+    /// Per-thread copy of the lane-active flags (refreshed every sweep).
+    thread_active: Vec<Vec<bool>>,
+    /// Per-thread per-lane max-|update| accumulators.
+    thread_delta: Vec<Vec<f64>>,
+    /// Atomic voltage image (`n * lanes`) for the parallel path.
+    atomic_v: Vec<AtomicU64>,
+    /// `threads × lanes` delta slots for the parallel reduction.
+    deltas: Vec<AtomicU64>,
+    /// Shared lane-active flags for the parallel path.
+    active: Vec<AtomicBool>,
+}
+
+impl BatchState {
+    fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let vecs = |vs: &[Vec<f64>]| {
+            vs.iter()
+                .map(|v| v.capacity() * size_of::<f64>())
+                .sum::<usize>()
+        };
+        vecs(&self.scratches)
+            + vecs(&self.thread_delta)
+            + self.thread_active.iter().map(Vec::capacity).sum::<usize>()
+            + (self.atomic_v.len() + self.deltas.len()) * size_of::<AtomicU64>()
+            + self.active.len() * size_of::<AtomicBool>()
+    }
+}
 
 /// A tier's prefactored row-sweep engine.
 ///
@@ -147,6 +186,8 @@ pub struct TierEngine {
     atomic_v: Vec<AtomicU64>,
     /// Per-thread max-|update| slots for the parallel reduction.
     deltas: Vec<AtomicU64>,
+    /// Lazily sized multi-right-hand-side solve state.
+    batch: BatchState,
 }
 
 impl TierEngine {
@@ -275,6 +316,7 @@ impl TierEngine {
             scratches,
             atomic_v,
             deltas,
+            batch: BatchState::default(),
         })
     }
 
@@ -395,6 +437,323 @@ impl TierEngine {
         })
     }
 
+    /// Solves `lanes.len()` right-hand sides together through the shared
+    /// prefactored segments (plain block Gauss–Seidel, ω = 1). See
+    /// [`TierEngine::solve_batch_masked`] for the memory layout and
+    /// semantics.
+    ///
+    /// # Errors
+    ///
+    /// [`SolverError::Unsupported`] for inconsistent array lengths or an
+    /// empty batch. Non-convergence is **not** an error on the batched
+    /// path: each lane's [`LaneReport`] carries its own outcome.
+    pub fn solve_batch(
+        &mut self,
+        injection: &[f64],
+        v: &mut [f64],
+        tolerance: f64,
+        max_sweeps: usize,
+        lanes: &mut [LaneReport],
+    ) -> Result<SolveReport, SolverError> {
+        self.solve_batch_masked(injection, v, tolerance, max_sweeps, 1.0, None, lanes)
+    }
+
+    /// Like [`TierEngine::solve_batch`] with an explicit SOR factor
+    /// `ω ∈ (0, 2)`.
+    ///
+    /// # Errors
+    ///
+    /// See [`TierEngine::solve_batch_masked`].
+    pub fn solve_batch_with_omega(
+        &mut self,
+        injection: &[f64],
+        v: &mut [f64],
+        tolerance: f64,
+        max_sweeps: usize,
+        omega: f64,
+        lanes: &mut [LaneReport],
+    ) -> Result<SolveReport, SolverError> {
+        self.solve_batch_masked(injection, v, tolerance, max_sweeps, omega, None, lanes)
+    }
+
+    /// The general batched solve: `k = lanes.len()` right-hand sides sweep
+    /// together against the shared factors, each lane converging (and
+    /// freezing) independently.
+    ///
+    /// # Memory layout
+    ///
+    /// `injection` and `v` hold all lanes **node-major, lane-minor**: the
+    /// value of lane `j` at flat node `i` lives at index `i * k + j`. All
+    /// lanes of one node are contiguous, so the inner substitution loops
+    /// run unit-stride over the lanes while every factor coefficient,
+    /// neighbour offset, and pin-mask bit is loaded once per row instead
+    /// of once per lane — this is where the batched throughput comes from.
+    ///
+    /// # Per-lane convergence
+    ///
+    /// After every sweep each lane's own largest update is compared with
+    /// `tolerance`; a lane that passes is *frozen* (its voltages stop
+    /// changing, its sweep count and residual are recorded) while the
+    /// rest keep sweeping. A frozen lane's iterate is therefore **bitwise
+    /// identical** to what a standalone [`TierEngine::solve`] on that
+    /// right-hand side would produce, on every schedule and thread count.
+    /// `mask` (when present) marks lanes to leave untouched from the
+    /// start: their voltages are never read or written and their reports
+    /// come back as converged in 0 sweeps.
+    ///
+    /// Lanes that exhaust `max_sweeps` report `converged = false` with
+    /// their true residual; the call still returns `Ok` (the aggregate
+    /// report's `converged` is the AND over the active lanes).
+    ///
+    /// # Errors
+    ///
+    /// [`SolverError::Unsupported`] for an empty batch, inconsistent
+    /// array lengths, a bad mask length, or an out-of-range `ω`.
+    #[allow(clippy::too_many_arguments)] // the full batched-solve surface
+    pub fn solve_batch_masked(
+        &mut self,
+        injection: &[f64],
+        v: &mut [f64],
+        tolerance: f64,
+        max_sweeps: usize,
+        omega: f64,
+        mask: Option<&[bool]>,
+        lanes: &mut [LaneReport],
+    ) -> Result<SolveReport, SolverError> {
+        let k = lanes.len();
+        let n = self.width * self.height;
+        if k == 0 {
+            return Err(SolverError::Unsupported {
+                what: "batched solve needs at least one lane".into(),
+            });
+        }
+        if injection.len() != n * k || v.len() != n * k {
+            return Err(SolverError::Unsupported {
+                what: format!(
+                    "batch arrays must have {n} × {k} entries (injection {}, v {})",
+                    injection.len(),
+                    v.len()
+                ),
+            });
+        }
+        if let Some(m) = mask {
+            if m.len() != k {
+                return Err(SolverError::Unsupported {
+                    what: format!("lane mask must have {k} entries (got {})", m.len()),
+                });
+            }
+        }
+        if !(omega > 0.0 && omega < 2.0) {
+            return Err(SolverError::Unsupported {
+                what: format!("SOR omega {omega} outside (0, 2)"),
+            });
+        }
+        self.ensure_batch(k);
+        for (j, lane) in lanes.iter_mut().enumerate() {
+            let on = mask.is_none_or(|m| m[j]);
+            *lane = LaneReport {
+                iterations: 0,
+                residual: if on { f64::INFINITY } else { 0.0 },
+                converged: !on,
+            };
+        }
+        let threads = self.schedule.threads();
+        if threads > 1 {
+            return Ok(self.solve_batch_parallel(injection, v, tolerance, max_sweeps, omega, lanes));
+        }
+
+        // Single-threaded schedules: sweep in place on `v`.
+        let active = &mut self.batch.thread_active[0];
+        for (a, lane) in active.iter_mut().zip(lanes.iter()) {
+            *a = !lane.converged;
+        }
+        let mut n_active = active.iter().filter(|&&a| a).count();
+        let scratch = &mut self.batch.scratches[0];
+        let delta = &mut self.batch.thread_delta[0];
+        let mut view = SliceView(v);
+        let mut sweeps = 0;
+        while sweeps < max_sweeps && n_active > 0 {
+            delta.fill(0.0);
+            match self.schedule {
+                SweepSchedule::Sequential => {
+                    let nseg = self.segments.len();
+                    let downward = sweeps % 2 == 0;
+                    for s in 0..nseg {
+                        let si = if downward { s } else { nseg - 1 - s };
+                        solve_segment_batch(
+                            self.segments[si],
+                            &self.factors,
+                            self.width,
+                            self.height,
+                            self.g_h,
+                            self.g_v,
+                            &self.fixed,
+                            injection,
+                            omega,
+                            k,
+                            active,
+                            scratch,
+                            &mut view,
+                            delta,
+                        );
+                    }
+                }
+                SweepSchedule::RedBlack { .. } => {
+                    for idx in [&self.red_idx, &self.black_idx] {
+                        for &si in idx.iter() {
+                            solve_segment_batch(
+                                self.segments[si as usize],
+                                &self.factors,
+                                self.width,
+                                self.height,
+                                self.g_h,
+                                self.g_v,
+                                &self.fixed,
+                                injection,
+                                omega,
+                                k,
+                                active,
+                                scratch,
+                                &mut view,
+                                delta,
+                            );
+                        }
+                    }
+                }
+            }
+            sweeps += 1;
+            for j in 0..k {
+                if !active[j] {
+                    continue;
+                }
+                lanes[j].iterations = sweeps;
+                lanes[j].residual = delta[j];
+                if delta[j] < tolerance {
+                    lanes[j].converged = true;
+                    active[j] = false;
+                    n_active -= 1;
+                }
+            }
+        }
+        Ok(aggregate_report(lanes, sweeps, self.memory_bytes()))
+    }
+
+    /// Sizes the batch buffers for `k` lanes (no-op when already sized).
+    fn ensure_batch(&mut self, k: usize) {
+        if self.batch.lanes == k {
+            return;
+        }
+        let threads = self.schedule.threads();
+        let n = self.width * self.height;
+        let seg_len = self.factors.max_segment_len();
+        let b = &mut self.batch;
+        b.lanes = k;
+        b.scratches = (0..threads).map(|_| vec![0.0; seg_len * k]).collect();
+        b.thread_active = (0..threads).map(|_| vec![true; k]).collect();
+        b.thread_delta = (0..threads).map(|_| vec![0.0; k]).collect();
+        if threads > 1 {
+            b.atomic_v = (0..n * k).map(|_| AtomicU64::new(0)).collect();
+            b.deltas = (0..threads * k).map(|_| AtomicU64::new(0)).collect();
+            b.active = (0..k).map(|_| AtomicBool::new(true)).collect();
+        }
+    }
+
+    /// Multi-threaded batched red-black solve: the worker structure of
+    /// [`TierEngine::solve_parallel`] with per-lane deltas and centrally
+    /// decided per-lane freezing (thread 0 is the reducer, so freezing —
+    /// and therefore every iterate — is deterministic in the thread
+    /// count).
+    fn solve_batch_parallel(
+        &mut self,
+        injection: &[f64],
+        v: &mut [f64],
+        tolerance: f64,
+        max_sweeps: usize,
+        omega: f64,
+        lanes: &mut [LaneReport],
+    ) -> SolveReport {
+        let k = lanes.len();
+        let threads = self.schedule.threads();
+        let BatchState {
+            scratches,
+            thread_active,
+            thread_delta,
+            atomic_v,
+            deltas,
+            active,
+            ..
+        } = &mut self.batch;
+        for (slot, &x) in atomic_v.iter().zip(v.iter()) {
+            slot.store(x.to_bits(), Ordering::Relaxed);
+        }
+        for (slot, lane) in active.iter().zip(lanes.iter()) {
+            slot.store(!lane.converged, Ordering::Relaxed);
+        }
+        let mut sweeps = 0usize;
+        let any_active = lanes.iter().any(|l| !l.converged);
+        if any_active && max_sweeps > 0 {
+            let barrier = Barrier::new(threads);
+            let status = AtomicUsize::new(RUN);
+            let ctx = BatchCtx {
+                w: self.width,
+                h: self.height,
+                g_h: self.g_h,
+                g_v: self.g_v,
+                omega,
+                tolerance,
+                max_sweeps,
+                threads,
+                lanes: k,
+                fixed: &self.fixed,
+                injection,
+                segments: &self.segments,
+                red_idx: &self.red_idx,
+                black_idx: &self.black_idx,
+                red_chunks: &self.red_chunks,
+                black_chunks: &self.black_chunks,
+                factors: &self.factors,
+                atomic_v,
+                deltas,
+                active,
+                barrier: &barrier,
+                status: &status,
+            };
+            // Scoped workers: thread 0 (the caller) doubles as the reducer
+            // and is the only one that touches `lanes`.
+            std::thread::scope(|scope| {
+                let mut scratch_iter = scratches.iter_mut();
+                let mut active_iter = thread_active.iter_mut();
+                let mut delta_iter = thread_delta.iter_mut();
+                let main_scratch = scratch_iter.next().expect("thread-0 scratch");
+                let main_active = active_iter.next().expect("thread-0 active");
+                let main_delta = delta_iter.next().expect("thread-0 delta");
+                for (i, ((scratch, local_active), local_delta)) in
+                    scratch_iter.zip(active_iter).zip(delta_iter).enumerate()
+                {
+                    let ctx = &ctx;
+                    scope.spawn(move || {
+                        batch_worker(ctx, i + 1, scratch, local_active, local_delta, None)
+                    });
+                }
+                batch_worker(
+                    &ctx,
+                    0,
+                    main_scratch,
+                    main_active,
+                    main_delta,
+                    Some(BatchLead {
+                        lanes,
+                        sweeps: &mut sweeps,
+                    }),
+                );
+            });
+        }
+        for (slot, x) in atomic_v.iter().zip(v.iter_mut()) {
+            *x = f64::from_bits(slot.load(Ordering::Relaxed));
+        }
+        aggregate_report(lanes, sweeps, self.memory_bytes())
+    }
+
     /// Estimated heap footprint in bytes.
     pub fn memory_bytes(&self) -> usize {
         use std::mem::size_of;
@@ -408,6 +767,7 @@ impl TierEngine {
                 .sum::<usize>()
             + (self.atomic_v.len() + self.deltas.len()) * size_of::<AtomicU64>()
             + self.fixed.len()
+            + self.batch.memory_bytes()
     }
 
     fn check_call(&self, injection: &[f64], v: &[f64], omega: f64) -> Result<(), SolverError> {
@@ -678,6 +1038,138 @@ fn solve_worker(ctx: &ParCtx<'_>, tid: usize, scratch: &mut [f64]) {
     }
 }
 
+/// Shared context of one parallel batched solve.
+struct BatchCtx<'a> {
+    w: usize,
+    h: usize,
+    g_h: f64,
+    g_v: f64,
+    omega: f64,
+    tolerance: f64,
+    max_sweeps: usize,
+    threads: usize,
+    lanes: usize,
+    fixed: &'a [bool],
+    injection: &'a [f64],
+    segments: &'a [Segment],
+    red_idx: &'a [u32],
+    black_idx: &'a [u32],
+    red_chunks: &'a [Range<usize>],
+    black_chunks: &'a [Range<usize>],
+    factors: &'a FactoredSegments,
+    atomic_v: &'a [AtomicU64],
+    /// `threads × lanes` per-sweep delta slots.
+    deltas: &'a [AtomicU64],
+    /// Shared per-lane active flags (thread 0 is the only writer).
+    active: &'a [AtomicBool],
+    barrier: &'a Barrier,
+    status: &'a AtomicUsize,
+}
+
+/// Reducer-only state of a parallel batched solve, owned by thread 0.
+struct BatchLead<'a> {
+    lanes: &'a mut [LaneReport],
+    sweeps: &'a mut usize,
+}
+
+/// The per-thread loop of a parallel batched solve. Mirrors
+/// [`solve_worker`]'s barrier structure; thread 0 (`lead` present)
+/// reduces the per-lane deltas between sweeps and decides which lanes
+/// freeze, so freezing — and therefore every lane's iterate — is
+/// deterministic in the thread count.
+fn batch_worker(
+    ctx: &BatchCtx<'_>,
+    tid: usize,
+    scratch: &mut [f64],
+    active: &mut [bool],
+    delta: &mut [f64],
+    mut lead: Option<BatchLead<'_>>,
+) {
+    let k = ctx.lanes;
+    loop {
+        // The lane-active flags only change while every worker is parked
+        // at the post-reduce barrier, so a relaxed refresh here is safe.
+        for (a, slot) in active.iter_mut().zip(ctx.active) {
+            *a = slot.load(Ordering::Relaxed);
+        }
+        delta.fill(0.0);
+        for phase in 0..2 {
+            let (idx, chunk) = if phase == 0 {
+                (ctx.red_idx, &ctx.red_chunks[tid])
+            } else {
+                (ctx.black_idx, &ctx.black_chunks[tid])
+            };
+            let mut view = AtomicView(ctx.atomic_v);
+            for &si in &idx[chunk.clone()] {
+                solve_segment_batch(
+                    ctx.segments[si as usize],
+                    ctx.factors,
+                    ctx.w,
+                    ctx.h,
+                    ctx.g_h,
+                    ctx.g_v,
+                    ctx.fixed,
+                    ctx.injection,
+                    ctx.omega,
+                    k,
+                    active,
+                    scratch,
+                    &mut view,
+                    delta,
+                );
+            }
+            // All writes of this color must land before any thread reads
+            // them in the next phase.
+            ctx.barrier.wait();
+        }
+        for (j, &d) in delta.iter().enumerate() {
+            ctx.deltas[tid * k + j].store(d.to_bits(), Ordering::Relaxed);
+        }
+        ctx.barrier.wait();
+        if let Some(lead) = lead.as_mut() {
+            *lead.sweeps += 1;
+            let sweep = *lead.sweeps;
+            let mut n_active = 0usize;
+            for (j, lane) in lead.lanes.iter_mut().enumerate() {
+                if lane.converged {
+                    continue;
+                }
+                let d = (0..ctx.threads)
+                    .map(|t| f64::from_bits(ctx.deltas[t * k + j].load(Ordering::Relaxed)))
+                    .fold(0.0f64, f64::max);
+                lane.iterations = sweep;
+                lane.residual = d;
+                if d < ctx.tolerance {
+                    lane.converged = true;
+                    ctx.active[j].store(false, Ordering::Relaxed);
+                } else {
+                    n_active += 1;
+                }
+            }
+            if n_active == 0 {
+                ctx.status.store(DONE, Ordering::Relaxed);
+            } else if sweep >= ctx.max_sweeps {
+                ctx.status.store(BUDGET, Ordering::Relaxed);
+            }
+        }
+        ctx.barrier.wait();
+        if ctx.status.load(Ordering::Relaxed) != RUN {
+            return;
+        }
+    }
+}
+
+/// Collapses per-lane outcomes into the aggregate [`SolveReport`] of a
+/// batched solve.
+fn aggregate_report(lanes: &[LaneReport], sweeps: usize, workspace_bytes: usize) -> SolveReport {
+    SolveReport {
+        iterations: sweeps,
+        residual: lanes.iter().fold(0.0f64, |m, l| m.max(l.residual)),
+        converged: lanes.iter().all(|l| l.converged),
+        workspace_bytes,
+    }
+}
+
 /// Read/write access to the voltage image, monomorphized so the slice
 /// (single-thread) and atomic (multi-thread) paths share one kernel.
 trait VoltView {
@@ -778,6 +1270,100 @@ fn solve_segment<V: VoltView>(
         next = xi;
     }
     max_delta
+}
+
+/// Batched [`solve_segment`]: solves one prefactored row segment for all
+/// `k` lanes at once. `injection` and the view are node-major/lane-minor
+/// (lane `j` of node `i` at `i * k + j`), so every inner loop over the
+/// lanes is unit-stride while the factors, pin mask, and neighbour
+/// offsets are loaded once per row. Lanes with `active[j] == false` are
+/// computed but not applied (their voltages — and deltas — stay exactly
+/// as they are), which keeps every active lane's arithmetic bitwise
+/// identical to the scalar kernel. Per-lane maxima of the applied updates
+/// accumulate into `delta`.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn solve_segment_batch<V: VoltView>(
+    seg: Segment,
+    factors: &FactoredSegments,
+    w: usize,
+    h: usize,
+    g_h: f64,
+    g_v: f64,
+    fixed: &[bool],
+    injection: &[f64],
+    omega: f64,
+    k: usize,
+    active: &[bool],
+    scratch: &mut [f64],
+    view: &mut V,
+    delta: &mut [f64],
+) {
+    let y = seg.row as usize;
+    let start = seg.start as usize;
+    let len = seg.len as usize;
+    let row0 = y * w;
+    let offset = seg.offset as usize;
+    // Forward pass: build each row of right-hand sides from the frozen
+    // neighbours (same term order as the scalar kernel) and eliminate.
+    for i in 0..len {
+        let gx = start + i;
+        let node = row0 + gx;
+        let base = node * k;
+        let (done, rest) = scratch.split_at_mut(i * k);
+        let row = &mut rest[..k];
+        row.copy_from_slice(&injection[base..base + k]);
+        if gx > 0 && fixed[node - 1] {
+            let nb = (node - 1) * k;
+            for (j, b) in row.iter_mut().enumerate() {
+                *b += g_h * view.get(nb + j);
+            }
+        }
+        if gx + 1 < w && fixed[node + 1] {
+            let nb = (node + 1) * k;
+            for (j, b) in row.iter_mut().enumerate() {
+                *b += g_h * view.get(nb + j);
+            }
+        }
+        if y > 0 {
+            let nb = (node - w) * k;
+            for (j, b) in row.iter_mut().enumerate() {
+                *b += g_v * view.get(nb + j);
+            }
+        }
+        if y + 1 < h {
+            let nb = (node + w) * k;
+            for (j, b) in row.iter_mut().enumerate() {
+                *b += g_v * view.get(nb + j);
+            }
+        }
+        let prev = if i == 0 {
+            None
+        } else {
+            Some(&done[(i - 1) * k..])
+        };
+        factors.forward_row(offset + i, row, prev);
+    }
+    // Backward pass: substitute row by row (in place in the scratch) and
+    // apply the relaxed update for the active lanes.
+    for i in (0..len).rev() {
+        let (head, tail) = scratch.split_at_mut((i + 1) * k);
+        let row = &mut head[i * k..];
+        let next = if i + 1 == len { None } else { Some(&tail[..k]) };
+        factors.backward_row(offset + i, row, next);
+        let node = row0 + start + i;
+        let base = node * k;
+        for (j, &xi) in row.iter().enumerate() {
+            let old = view.get(base + j);
+            let relaxed = old + omega * (xi - old);
+            let new = if active[j] { relaxed } else { old };
+            let d = (new - old).abs();
+            if d > delta[j] {
+                delta[j] = d;
+            }
+            view.set(base + j, new);
+        }
+    }
 }
 
 /// Splits `idx` into `threads` contiguous chunks with approximately equal
@@ -1001,6 +1587,195 @@ mod tests {
             SweepSchedule::RedBlack { threads: 4 }
         );
         assert_eq!(SweepSchedule::RedBlack { threads: 0 }.threads(), 1);
+    }
+
+    /// Interleaves lane-major vectors into the node-major batch layout.
+    fn interleave(lanes: &[Vec<f64>]) -> Vec<f64> {
+        let k = lanes.len();
+        let n = lanes[0].len();
+        let mut out = vec![0.0; n * k];
+        for (j, lane) in lanes.iter().enumerate() {
+            for i in 0..n {
+                out[i * k + j] = lane[i];
+            }
+        }
+        out
+    }
+
+    fn lane_of(batch: &[f64], j: usize, k: usize) -> Vec<f64> {
+        batch.iter().skip(j).step_by(k).copied().collect()
+    }
+
+    /// Per-lane injections with different magnitudes so the lanes converge
+    /// after different sweep counts (exercising the freeze logic).
+    fn batch_fixture(
+        seed: u64,
+        w: usize,
+        h: usize,
+        k: usize,
+    ) -> (Vec<bool>, Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let (fixed, v0, injection) = random_problem(seed, w, h);
+        let v0s = vec![v0; k];
+        let injections: Vec<Vec<f64>> = (0..k)
+            .map(|j| {
+                let scale = 0.25 + 0.75 * j as f64;
+                injection.iter().map(|&b| scale * b).collect()
+            })
+            .collect();
+        (fixed, v0s, injections)
+    }
+
+    #[test]
+    fn batch_lanes_are_bitwise_identical_to_solo_solves() {
+        let (w, h, k) = (13, 9, 4);
+        for schedule in [
+            SweepSchedule::Sequential,
+            SweepSchedule::RedBlack { threads: 1 },
+            SweepSchedule::RedBlack { threads: 3 },
+        ] {
+            let (fixed, v0s, injections) = batch_fixture(6, w, h, k);
+            let mut v = interleave(&v0s);
+            let injection = interleave(&injections);
+            let mut lanes = vec![LaneReport::default(); k];
+            let agg = engine(w, h, &fixed, schedule)
+                .solve_batch(&injection, &mut v, 1e-10, 100_000, &mut lanes)
+                .unwrap();
+            assert!(agg.converged, "{schedule:?}");
+            for j in 0..k {
+                let mut v_solo = v0s[j].clone();
+                let rep = engine(w, h, &fixed, schedule)
+                    .solve(&injections[j], &mut v_solo, 1e-10, 100_000)
+                    .unwrap();
+                assert_eq!(
+                    lane_of(&v, j, k),
+                    v_solo,
+                    "{schedule:?} lane {j} must be bitwise identical"
+                );
+                assert_eq!(lanes[j].iterations, rep.iterations, "{schedule:?} lane {j}");
+                assert_eq!(
+                    lanes[j].residual.to_bits(),
+                    rep.residual.to_bits(),
+                    "{schedule:?} lane {j}"
+                );
+                assert!(lanes[j].converged);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_redblack_is_thread_count_invariant() {
+        let (w, h, k) = (17, 12, 3);
+        let (fixed, v0s, injections) = batch_fixture(8, w, h, k);
+        let injection = interleave(&injections);
+        let mut v1 = interleave(&v0s);
+        let mut lanes1 = vec![LaneReport::default(); k];
+        engine(w, h, &fixed, SweepSchedule::RedBlack { threads: 1 })
+            .solve_batch(&injection, &mut v1, 1e-10, 100_000, &mut lanes1)
+            .unwrap();
+        for threads in [2usize, 4] {
+            let mut vt = interleave(&v0s);
+            let mut lanes = vec![LaneReport::default(); k];
+            engine(w, h, &fixed, SweepSchedule::RedBlack { threads })
+                .solve_batch(&injection, &mut vt, 1e-10, 100_000, &mut lanes)
+                .unwrap();
+            assert_eq!(v1, vt, "{threads} threads must be bitwise equal");
+            assert_eq!(lanes, lanes1);
+        }
+    }
+
+    #[test]
+    fn masked_lanes_stay_untouched() {
+        let (w, h, k) = (11, 8, 3);
+        let (fixed, v0s, injections) = batch_fixture(4, w, h, k);
+        let injection = interleave(&injections);
+        for schedule in [
+            SweepSchedule::Sequential,
+            SweepSchedule::RedBlack { threads: 2 },
+        ] {
+            let mut v = interleave(&v0s);
+            let before = lane_of(&v, 1, k);
+            let mask = [true, false, true];
+            let mut lanes = vec![LaneReport::default(); k];
+            engine(w, h, &fixed, schedule)
+                .solve_batch_masked(
+                    &injection,
+                    &mut v,
+                    1e-10,
+                    100_000,
+                    1.0,
+                    Some(&mask),
+                    &mut lanes,
+                )
+                .unwrap();
+            assert_eq!(lane_of(&v, 1, k), before, "{schedule:?}");
+            assert_eq!(lanes[1].iterations, 0);
+            assert!(lanes[1].converged);
+            // The active lanes still match their solo solves.
+            let mut v_solo = v0s[0].clone();
+            engine(w, h, &fixed, schedule)
+                .solve(&injections[0], &mut v_solo, 1e-10, 100_000)
+                .unwrap();
+            assert_eq!(lane_of(&v, 0, k), v_solo, "{schedule:?}");
+        }
+    }
+
+    #[test]
+    fn batch_budget_exhaustion_reports_per_lane() {
+        let (w, h) = (16, 16);
+        let mut fixed = vec![false; w * h];
+        fixed[0] = true;
+        let k = 2;
+        // Lane 0 trivially converged (zero injection, uniform start);
+        // lane 1 needs real work but only gets 2 sweeps.
+        let v0s = vec![vec![1.8; w * h], {
+            let mut v = vec![0.0; w * h];
+            v[0] = 1.8;
+            v
+        }];
+        let injections = vec![vec![0.0; w * h]; k];
+        for schedule in [
+            SweepSchedule::Sequential,
+            SweepSchedule::RedBlack { threads: 2 },
+        ] {
+            let mut v = interleave(&v0s);
+            let injection = interleave(&injections);
+            let mut lanes = vec![LaneReport::default(); k];
+            let agg = engine(w, h, &fixed, schedule)
+                .solve_batch(&injection, &mut v, 1e-12, 2, &mut lanes)
+                .unwrap();
+            assert!(!agg.converged, "{schedule:?}");
+            assert!(lanes[0].converged, "{schedule:?}");
+            assert!(!lanes[1].converged, "{schedule:?}");
+            assert_eq!(lanes[1].iterations, 2);
+            assert!(
+                lanes[1].residual.is_finite() && lanes[1].residual > 1e-12,
+                "{schedule:?}: lane 1 residual {}",
+                lanes[1].residual
+            );
+            assert_eq!(agg.residual.to_bits(), lanes[1].residual.to_bits());
+        }
+    }
+
+    #[test]
+    fn batch_rejects_invalid_inputs() {
+        let mut e = engine(6, 4, &[false; 24], SweepSchedule::Sequential);
+        let mut lanes = vec![LaneReport::default(); 2];
+        let mut v = vec![0.0; 48];
+        let inj = vec![0.0; 48];
+        // Wrong array length.
+        assert!(e
+            .solve_batch(&inj[..47], &mut v, 1e-6, 10, &mut lanes)
+            .is_err());
+        // Empty batch.
+        assert!(e.solve_batch(&[], &mut [], 1e-6, 10, &mut []).is_err());
+        // Bad mask length.
+        assert!(e
+            .solve_batch_masked(&inj, &mut v, 1e-6, 10, 1.0, Some(&[true]), &mut lanes)
+            .is_err());
+        // Bad omega.
+        assert!(e
+            .solve_batch_with_omega(&inj, &mut v, 1e-6, 10, 2.5, &mut lanes)
+            .is_err());
     }
 
     #[test]

@@ -42,6 +42,14 @@
 //! [`Rb3d::parallelism`] and `voltprop_core`'s `VpConfig::parallelism`
 //! expose the knob one level up.
 //!
+//! Both schedules also run **batched**: [`TierEngine::solve_batch`]
+//! sweeps `k` right-hand sides together (node-major/lane-minor layout,
+//! `i * k + j`), freezing each lane independently the moment its own
+//! update drops below tolerance — so every lane is bitwise identical to
+//! its standalone solve while the factor loads and thread handoffs are
+//! amortized over the whole batch. Per-lane outcomes come back as
+//! [`LaneReport`]s.
+//!
 //! # Example
 //!
 //! ```
@@ -86,6 +94,6 @@ pub use pcg::Pcg;
 pub use precond::{PrecondKind, Preconditioner};
 pub use random_walk::RandomWalkSolver;
 pub use rb3d::Rb3d;
-pub use report::SolveReport;
+pub use report::{LaneReport, SolveReport};
 pub use rowbased::{RowBased, TierProblem};
 pub use traits::{LinearSolver, Solution, StackSolution, StackSolver};

@@ -27,6 +27,30 @@ impl SolveReport {
     }
 }
 
+/// Per-lane outcome of a batched multi-right-hand-side solve.
+///
+/// Batched entry points ([`TierEngine::solve_batch`] and friends) sweep
+/// every lane together but track convergence per lane: a lane freezes as
+/// soon as its own update drops below tolerance (so its iterate matches a
+/// standalone solve bit for bit), while the remaining lanes keep
+/// sweeping. One `LaneReport` per lane records where each one ended up.
+///
+/// Unlike the single-vector paths, a batched solve does **not** turn a
+/// non-converged lane into an error — it reports `converged = false` with
+/// the lane's true final residual, so one stubborn right-hand side cannot
+/// discard the rest of the batch.
+///
+/// [`TierEngine::solve_batch`]: crate::TierEngine::solve_batch
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LaneReport {
+    /// Sweeps this lane ran before freezing (or the full budget).
+    pub iterations: usize,
+    /// The lane's final per-sweep maximum voltage update (V).
+    pub residual: f64,
+    /// Whether the lane's update dropped below tolerance within budget.
+    pub converged: bool,
+}
+
 impl fmt::Display for SolveReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(

@@ -11,7 +11,14 @@
 //!   read as compressed sparse *column* storage, which the factorizations
 //!   exploit.
 //! * [`tridiag`] — the Thomas algorithm used by the row-based power grid
-//!   solver (the `5N-4` multiplication kernel cited in the paper).
+//!   solver (the `5N-4` multiplication kernel cited in the paper), plus
+//!   the prefactored [`tridiag::FactoredSegments`] arena whose
+//!   substitution runs one right-hand side
+//!   ([`tridiag::FactoredSegments::solve_streamed`]) or a whole batch
+//!   ([`tridiag::FactoredSegments::solve_batch`], position-major /
+//!   lane-minor layout: entry `(i, j)` at `buf[i * lanes + j]`, so the
+//!   inner loop over the lanes is unit-stride and every factor
+//!   coefficient is loaded once per row).
 //! * [`ordering`] — reverse Cuthill–McKee fill-reducing ordering and
 //!   permutation utilities.
 //! * [`Cholesky`] — a simplicial sparse Cholesky factorization

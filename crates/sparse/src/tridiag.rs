@@ -293,6 +293,124 @@ impl FactoredSegments {
         dp - self.cp[k] * next_x
     }
 
+    /// Batched [`FactoredSegments::forward_step`] over one *row* of
+    /// right-hand sides: `row[j]` holds the right-hand side entry of lane
+    /// `j` at arena slot `k` and is overwritten with that lane's forward
+    /// intermediate; `prev` is the previous row's intermediates (`None`
+    /// for the first row of a segment). The factor coefficients are loaded
+    /// once and broadcast over the lanes, so the inner loop is unit-stride
+    /// and lane-independent — each lane computes exactly the scalar
+    /// [`FactoredSegments::forward_step`] sequence, bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prev` is present with a length different from `row`.
+    #[inline]
+    pub fn forward_row(&self, k: usize, row: &mut [f64], prev: Option<&[f64]>) {
+        let inv_m = self.inv_m[k];
+        match prev {
+            Some(prev) => {
+                assert_eq!(prev.len(), row.len(), "lane count mismatch");
+                let lower = self.lower[k];
+                for (b, &p) in row.iter_mut().zip(prev) {
+                    *b = (*b - lower * p) * inv_m;
+                }
+            }
+            // First row: the stored `lower` is 0 and the previous
+            // intermediate is 0, and `b - 0.0` is exact, so this is the
+            // same arithmetic as the scalar path.
+            None => {
+                for b in row.iter_mut() {
+                    *b = (*b - 0.0) * inv_m;
+                }
+            }
+        }
+    }
+
+    /// Batched [`FactoredSegments::backward_step`] over one row: `row[j]`
+    /// holds lane `j`'s forward intermediate at arena slot `k` and is
+    /// overwritten with that lane's solution entry; `next` is the next
+    /// (already substituted) row, `None` for the last row of a segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `next` is present with a length different from `row`.
+    #[inline]
+    pub fn backward_row(&self, k: usize, row: &mut [f64], next: Option<&[f64]>) {
+        if let Some(next) = next {
+            assert_eq!(next.len(), row.len(), "lane count mismatch");
+            let cp = self.cp[k];
+            for (dp, &nx) in row.iter_mut().zip(next) {
+                *dp -= cp * nx;
+            }
+        }
+        // Last row: the stored `cp` is 0, so `dp - 0.0 * 0.0 = dp`
+        // exactly — nothing to do.
+    }
+
+    /// Substitutes `lanes` right-hand sides through the factors at
+    /// `offset..offset + len` in place: on entry `buf` holds the
+    /// right-hand sides, on exit the solutions.
+    ///
+    /// # Right-hand-side memory layout
+    ///
+    /// `buf` is **position-major, lane-minor**: entry `(i, j)` — in-segment
+    /// position `i` of lane `j` — lives at `buf[i * lanes + j]`, so all
+    /// lanes of one row are contiguous. Both substitution passes walk one
+    /// row at a time with a unit-stride inner loop over the lanes, loading
+    /// each factor coefficient once per row instead of once per lane; lane
+    /// `j`'s result is bitwise identical to a scalar
+    /// [`FactoredSegments::solve_streamed`] call on its right-hand side.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use voltprop_sparse::tridiag::FactoredSegments;
+    ///
+    /// # fn main() -> Result<(), voltprop_sparse::SparseError> {
+    /// let mut arena = FactoredSegments::new();
+    /// let seg = arena.push_segment(&[-1.0], &[2.0, 2.0], &[-1.0])?;
+    /// // Two lanes: rhs [1, 1] → x = [1, 1] and rhs [3, 3] → x = [3, 3].
+    /// let mut buf = [1.0, 3.0, 1.0, 3.0]; // row 0 lanes, then row 1 lanes
+    /// arena.solve_batch(seg, 2, 2, &mut buf);
+    /// assert!((buf[0] - 1.0).abs() < 1e-15 && (buf[1] - 3.0).abs() < 1e-15);
+    /// assert!((buf[2] - 1.0).abs() < 1e-15 && (buf[3] - 3.0).abs() < 1e-15);
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes == 0`, `buf.len() != len * lanes`, or the range
+    /// exceeds the arena.
+    pub fn solve_batch(&self, offset: usize, len: usize, lanes: usize, buf: &mut [f64]) {
+        assert!(lanes > 0, "lane count must be positive");
+        assert_eq!(
+            buf.len(),
+            len * lanes,
+            "buffer must hold len * lanes entries"
+        );
+        assert!(offset + len <= self.inv_m.len(), "segment outside arena");
+        for i in 0..len {
+            let (done, rest) = buf.split_at_mut(i * lanes);
+            let prev = if i == 0 {
+                None
+            } else {
+                Some(&done[(i - 1) * lanes..])
+            };
+            self.forward_row(offset + i, &mut rest[..lanes], prev);
+        }
+        for i in (0..len).rev() {
+            let (head, tail) = buf.split_at_mut((i + 1) * lanes);
+            let next = if i + 1 == len {
+                None
+            } else {
+                Some(&tail[..lanes])
+            };
+            self.backward_row(offset + i, &mut head[i * lanes..], next);
+        }
+    }
+
     /// Estimated heap footprint in bytes.
     pub fn memory_bytes(&self) -> usize {
         (self.lower.capacity() + self.cp.capacity() + self.inv_m.capacity())
@@ -432,6 +550,59 @@ mod tests {
                 assert!((got[i] - want[i]).abs() < 1e-12, "n={n} i={i}");
             }
         }
+    }
+
+    #[test]
+    fn solve_batch_is_bitwise_identical_to_streamed_lanes() {
+        let mut seed = 7u64;
+        let mut rnd = || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64) / (u32::MAX as f64) - 0.5
+        };
+        let mut arena = FactoredSegments::new();
+        for n in [1usize, 2, 5, 33] {
+            let lower: Vec<f64> = (0..n - 1).map(|_| rnd()).collect();
+            let upper: Vec<f64> = (0..n - 1).map(|_| rnd()).collect();
+            let diag: Vec<f64> = (0..n).map(|_| 3.0 + rnd()).collect();
+            let offset = arena.push_segment(&lower, &diag, &upper).unwrap();
+            for lanes in [1usize, 3, 8] {
+                // Lane-major RHS for the scalar reference, interleaved for
+                // the batch call.
+                let rhs: Vec<Vec<f64>> = (0..lanes)
+                    .map(|_| (0..n).map(|_| rnd() * 10.0).collect())
+                    .collect();
+                let mut buf = vec![0.0; n * lanes];
+                for i in 0..n {
+                    for (j, r) in rhs.iter().enumerate() {
+                        buf[i * lanes + j] = r[i];
+                    }
+                }
+                arena.solve_batch(offset, n, lanes, &mut buf);
+                let mut scratch = vec![0.0; n];
+                for (j, r) in rhs.iter().enumerate() {
+                    let mut want = vec![0.0; n];
+                    arena.solve_streamed(offset, n, &mut scratch, |i| r[i], |i, x| want[i] = x);
+                    for i in 0..n {
+                        assert_eq!(
+                            buf[i * lanes + j].to_bits(),
+                            want[i].to_bits(),
+                            "n={n} lanes={lanes} lane={j} row={i}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "len * lanes")]
+    fn solve_batch_rejects_short_buffer() {
+        let mut arena = FactoredSegments::new();
+        let seg = arena.push_segment(&[-1.0], &[2.0, 2.0], &[-1.0]).unwrap();
+        let mut buf = [0.0; 3];
+        arena.solve_batch(seg, 2, 2, &mut buf);
     }
 
     #[test]

@@ -40,14 +40,14 @@ pub use voltprop_grid as grid;
 pub use voltprop_solvers as solvers;
 pub use voltprop_sparse as sparse;
 
-pub use voltprop_core::{VpConfig, VpReport, VpSolution, VpSolver};
+pub use voltprop_core::{VpConfig, VpReport, VpScratch, VpSolution, VpSolver};
 pub use voltprop_grid::{
     GridError, LoadProfile, NetKind, Netlist, NetlistCircuit, Stack3d, StampedSystem, SynthConfig,
     TableCircuit, TsvPattern,
 };
 pub use voltprop_solvers::{
-    ConjugateGradient, DirectCholesky, LinearSolver, Pcg, PrecondKind, RandomWalkSolver, Rb3d,
-    SolveReport, SolverError, StackSolution, StackSolver,
+    ConjugateGradient, DirectCholesky, LaneReport, LinearSolver, Pcg, PrecondKind,
+    RandomWalkSolver, Rb3d, SolveReport, SolverError, StackSolution, StackSolver,
 };
 
 #[cfg(test)]
