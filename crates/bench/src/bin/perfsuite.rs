@@ -10,11 +10,19 @@
 //! * full [`VpSolver`] solves at `parallelism` 1 and 4;
 //! * the zero-allocation warm path: allocator calls/bytes across a warm
 //!   [`VpSolver::solve_with`] on a reused [`VpScratch`] (expected 0 at
-//!   `parallelism = 1`; the parallel path pays per-solve thread spawns);
+//!   every `parallelism` — parallel solves dispatch to the persistent
+//!   worker pool once it is warm);
 //! * the batched multi-load path: warm [`VpSolver::solve_batch`] per-RHS
 //!   time at several batch sizes against warm sequential `solve_with`
 //!   calls, with the required max |ΔV| ≤ 1e-12 agreement (the batch is
-//!   bitwise-identical by construction).
+//!   bitwise-identical by construction);
+//! * the persistent worker pool: small-grid per-solve latency of the
+//!   pool dispatch vs the legacy per-solve scoped spawn at parallelism
+//!   2 (and 4 in full runs), **asserting zero allocator calls** across
+//!   the warm pool solves;
+//! * active-lane compaction: fixed-budget batch-64 masked sweeps at 1/8/
+//!   32 active lanes, compacted vs uncompacted (asserted bitwise
+//!   identical) against a scalar single-RHS reference.
 //!
 //! Each invocation appends one JSON entry to `BENCH_rowbased.json` at the
 //! repository root (see [`voltprop_bench::trajectory`]), building the
@@ -30,11 +38,13 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use voltprop_bench::alloc::{self, CountingAllocator};
-use voltprop_bench::trajectory::{append_run, hardware_context_json, hardware_threads, json_f64};
+use voltprop_bench::trajectory::{
+    append_run, hardware_context_json, hardware_threads, json_bool, json_f64,
+};
 use voltprop_core::{VpConfig, VpScratch, VpSolver};
 use voltprop_grid::{NetKind, Stack3d};
 use voltprop_solvers::rowbased::{RbWorkspace, RowBased, TierProblem};
-use voltprop_solvers::{SweepSchedule, TierEngine};
+use voltprop_solvers::{LaneReport, ParDispatch, SweepSchedule, TierEngine};
 
 #[global_allocator]
 static ALLOC: CountingAllocator = CountingAllocator;
@@ -355,6 +365,177 @@ fn batch_block(w: usize, h: usize, tiers: usize, batch_sizes: &[usize]) -> Strin
     )
 }
 
+/// Times `solves` fixed-budget parallel engine solves under the given
+/// dispatch, returning `(ns_per_solve, alloc_calls_during_timed_loop)`.
+/// `tolerance = 0` never triggers, so every solve runs exactly `sweeps`
+/// sweeps and the returned error is ignored — the loop measures dispatch
+/// plus sweep cost, nothing else.
+fn time_dispatch_solves(
+    fixture: &TierFixture,
+    threads: usize,
+    dispatch: ParDispatch,
+    solves: usize,
+    sweeps: usize,
+) -> (f64, usize) {
+    let mut engine = fixture.engine(SweepSchedule::RedBlack { threads });
+    engine.set_dispatch(dispatch);
+    let mut v = fixture.v0.clone();
+    // Warm-up: spawns pool workers, sizes pinned scratch, faults pages.
+    for _ in 0..4 {
+        let _ = engine.solve(&fixture.injection, &mut v, 0.0, sweeps);
+    }
+    let calls_before = alloc::alloc_calls();
+    let start = Instant::now();
+    for _ in 0..solves {
+        let _ = engine.solve(&fixture.injection, &mut v, 0.0, sweeps);
+    }
+    let ns = start.elapsed().as_nanos() as f64 / solves as f64;
+    (ns, alloc::alloc_calls() - calls_before)
+}
+
+/// The pool-latency experiment: per-solve latency of small-grid parallel
+/// solves, persistent pool vs the legacy per-solve scoped spawn, at each
+/// thread count. Warm pool solves must not touch the allocator (asserted
+/// — this is the CI smoke contract).
+fn pool_block(edge: usize, threads_list: &[usize], solves: usize, sweeps: usize) -> String {
+    eprintln!("worker pool {edge}x{edge} ({solves} solves x {sweeps} sweeps)...");
+    let fixture = TierFixture::new(edge);
+    let mut lines = Vec::new();
+    for &threads in threads_list {
+        // Two interleaved passes per dispatch, keeping the faster one:
+        // on oversubscribed machines the scheduler drifts between runs
+        // and the minimum is the stable dispatch-cost estimate.
+        let mut pool_ns = f64::INFINITY;
+        let mut scoped_ns = f64::INFINITY;
+        let mut pool_allocs = 0usize;
+        for _ in 0..2 {
+            let (ns, allocs) =
+                time_dispatch_solves(&fixture, threads, ParDispatch::Pool, solves, sweeps);
+            pool_ns = pool_ns.min(ns);
+            pool_allocs += allocs;
+            let (ns, _) =
+                time_dispatch_solves(&fixture, threads, ParDispatch::ScopedSpawn, solves, sweeps);
+            scoped_ns = scoped_ns.min(ns);
+        }
+        assert_eq!(
+            pool_allocs, 0,
+            "parallelism {threads}: warm pool solves must make zero allocator calls"
+        );
+        lines.push(format!(
+            "      {{ \"parallelism\": {threads}, \"pool_ns_per_solve\": {}, \
+             \"scoped_spawn_ns_per_solve\": {}, \"pool_warm_alloc_calls\": {pool_allocs}, \
+             \"scoped_over_pool\": {} }}",
+            json_f64(pool_ns),
+            json_f64(scoped_ns),
+            json_f64(scoped_ns / pool_ns),
+        ));
+    }
+    format!(
+        "{{\n    \"grid\": \"{edge}x{edge}\",\n    \"hardware_threads\": {},\n    \
+         \"solves_timed\": {solves},\n    \"sweeps_per_solve\": {sweeps},\n    \
+         \"dispatch\": [\n{}\n    ]\n  }}",
+        hardware_threads(),
+        lines.join(",\n"),
+    )
+}
+
+/// The active-lane compaction experiment: a batch of `k` lanes with only
+/// `m` active (masked), swept for a fixed budget, compacted vs
+/// uncompacted (asserted bitwise identical) and against a scalar
+/// single-RHS solve of the same budget — the cost a straggler *should*
+/// have.
+fn compaction_block(edge: usize, k: usize, actives: &[usize], sweeps: usize) -> String {
+    eprintln!("lane compaction {edge}x{edge} batch {k}, active {actives:?}...");
+    let fixture = TierFixture::new(edge);
+    let n = edge * edge;
+
+    // Scalar single-RHS reference: the same fixed sweep budget on one
+    // right-hand side (tolerance 0 → exactly `sweeps` sweeps, Err ignored).
+    let mut scalar_engine = fixture.engine(SweepSchedule::Sequential);
+    let mut v1 = fixture.v0.clone();
+    let _ = scalar_engine.solve(&fixture.injection, &mut v1, 0.0, sweeps.min(8));
+    let start = Instant::now();
+    let _ = scalar_engine.solve(&fixture.injection, &mut v1, 0.0, sweeps);
+    let scalar_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    // Batch arrays: every lane carries a scaled copy of the fixture load.
+    let mut injection = vec![0.0; n * k];
+    let mut v0 = vec![0.0; n * k];
+    for i in 0..n {
+        for j in 0..k {
+            injection[i * k + j] = (0.75 + 0.5 * j as f64 / k as f64) * fixture.injection[i];
+            v0[i * k + j] = fixture.v0[i];
+        }
+    }
+
+    let mut lines = Vec::new();
+    for &m in actives {
+        let mask: Vec<bool> = (0..k).map(|j| j < m).collect();
+        let run = |compacted: bool| -> (f64, usize, Vec<f64>) {
+            let mut engine = fixture.engine(SweepSchedule::Sequential);
+            engine.set_lane_compaction(compacted);
+            let mut lanes = vec![LaneReport::default(); k];
+            let mut v = v0.clone();
+            // Warm call sizes the batch arena; the second is measured.
+            engine
+                .solve_batch_masked(
+                    &injection,
+                    &mut v,
+                    0.0,
+                    sweeps,
+                    1.0,
+                    Some(&mask),
+                    &mut lanes,
+                )
+                .expect("warm masked batch");
+            let mut v = v0.clone();
+            let calls_before = alloc::alloc_calls();
+            let start = Instant::now();
+            engine
+                .solve_batch_masked(
+                    &injection,
+                    &mut v,
+                    0.0,
+                    sweeps,
+                    1.0,
+                    Some(&mask),
+                    &mut lanes,
+                )
+                .expect("timed masked batch");
+            let ms = start.elapsed().as_secs_f64() * 1e3;
+            (ms, alloc::alloc_calls() - calls_before, v)
+        };
+        let (compacted_ms, compacted_allocs, v_on) = run(true);
+        assert_eq!(
+            compacted_allocs, 0,
+            "active {m}: warm compacted batch must make zero allocator calls"
+        );
+        let (uncompacted_ms, _, v_off) = run(false);
+        assert!(
+            v_on.iter()
+                .zip(&v_off)
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "active {m}: compacted and uncompacted sweeps must be bitwise identical"
+        );
+        lines.push(format!(
+            "      {{ \"active\": {m}, \"compacted_ms\": {}, \"uncompacted_ms\": {}, \
+             \"uncompacted_over_compacted\": {}, \"ms_vs_scalar\": {} }}",
+            json_f64(compacted_ms),
+            json_f64(uncompacted_ms),
+            json_f64(uncompacted_ms / compacted_ms),
+            json_f64(compacted_ms / scalar_ms),
+        ));
+    }
+    format!(
+        "{{\n    \"grid\": \"{edge}x{edge}\",\n    \"batch\": {k},\n    \
+         \"sweeps_timed\": {sweeps},\n    \"scalar_single_rhs_ms\": {},\n    \
+         \"bitwise_identical\": {},\n    \"active_lanes\": [\n{}\n    ]\n  }}",
+        json_f64(scalar_ms),
+        json_bool(true),
+        lines.join(",\n"),
+    )
+}
+
 /// Solves a stack at the given parallelism and returns the voltages (for
 /// cross-parallelism agreement).
 fn vp_voltages(w: usize, h: usize, tiers: usize, parallelism: usize) -> Vec<f64> {
@@ -447,6 +628,22 @@ fn main() {
         .map(|&(w, h, tiers)| batch_block(w, h, tiers, &batch_sizes))
         .collect();
 
+    // Worker-pool dispatch latency (small grids: the hand-off overhead
+    // the pool removes dominates there) and active-lane compaction.
+    let pool_threads: Vec<usize> = if quick { vec![2] } else { vec![2, 4] };
+    let (pool_solves, pool_sweeps) = if quick { (60, 8) } else { (200, 8) };
+    let pool_blocks = [pool_block(64, &pool_threads, pool_solves, pool_sweeps)];
+    // Two grids in full runs: 64×64 stays cache-resident, 128×128 shows
+    // the memory-bound regime (the strided straggler reads spill L2).
+    let compaction_blocks = if quick {
+        vec![compaction_block(64, 64, &[1, 8, 32], 40)]
+    } else {
+        vec![
+            compaction_block(64, 64, &[1, 8, 32], 60),
+            compaction_block(128, 64, &[1, 8, 32], 60),
+        ]
+    };
+
     let unix_time = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
@@ -456,10 +653,13 @@ fn main() {
         "{{\n  \"unix_time\": {unix_time},\n  \"quick\": {quick},\n  \
          \"hardware_threads\": {hardware_threads},\n  \
          \"row_sweeps\": [\n  {}\n  ],\n  \"vp_solver\": [\n  {}\n  ],\n  \
-         \"vp_batch\": [\n  {}\n  ]\n}}",
+         \"vp_batch\": [\n  {}\n  ],\n  \"pool_latency\": [\n  {}\n  ],\n  \
+         \"batch_compaction\": [\n  {}\n  ]\n}}",
         row_blocks.join(",\n  "),
         vp_blocks.join(",\n  "),
         batch_blocks.join(",\n  "),
+        pool_blocks.join(",\n  "),
+        compaction_blocks.join(",\n  "),
     );
     if let Err(e) = append_run(&out, &entry) {
         eprintln!("error: could not append to {}: {e}", out.display());

@@ -18,6 +18,25 @@
 //! always ends with the exact marker `\n  ]\n}\n`, and a new run replaces
 //! that suffix with `,\n<entry>\n  ]\n}\n`. Hand-edited files keep working
 //! as long as the marker survives.
+//!
+//! # Run-entry sections
+//!
+//! Each run entry is one JSON object. The sections grow with the PRs:
+//!
+//! * `row_sweeps` (PR 1) — baseline vs prefactored-engine ns/sweep and
+//!   cross-schedule agreement per grid;
+//! * `vp_solver` (PR 1) — warm full-solver latency and allocator calls
+//!   per `parallelism`;
+//! * `vp_batch` (PR 2) — warm per-RHS batched-solve time per batch size
+//!   (`hardware_threads`/`parallelism` context embedded);
+//! * `pool_latency` (PR 3) — small-grid per-solve latency of the
+//!   persistent worker pool vs the legacy scoped-spawn dispatch at each
+//!   thread count, with `pool_warm_alloc_calls` (asserted 0: warm pool
+//!   solves never touch the allocator);
+//! * `batch_compaction` (PR 3) — fixed-budget masked batch sweeps at
+//!   several active-lane counts, compacted vs uncompacted, against a
+//!   scalar single-RHS reference (`compacted` entries carry
+//!   `ms_vs_scalar`, the straggler-cost ratio the compaction caps).
 
 use std::fs;
 use std::io;
@@ -73,6 +92,15 @@ pub fn json_f64(x: f64) -> String {
         format!("{x}")
     } else {
         "null".to_string()
+    }
+}
+
+/// Formats a `bool` for the trajectory.
+pub fn json_bool(b: bool) -> &'static str {
+    if b {
+        "true"
+    } else {
+        "false"
     }
 }
 
@@ -137,6 +165,12 @@ mod tests {
         assert_eq!(json_f64(1.5), "1.5");
         assert_eq!(json_f64(f64::NAN), "null");
         assert_eq!(json_f64(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn json_bool_spells_json_literals() {
+        assert_eq!(json_bool(true), "true");
+        assert_eq!(json_bool(false), "false");
     }
 
     #[test]

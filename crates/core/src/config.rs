@@ -38,7 +38,10 @@ pub struct VpConfig {
     /// the paper's sequential alternating-direction schedule; larger
     /// values switch the multi-tier tier solves to the red-black row
     /// coloring, whose same-color rows are solved concurrently (see
-    /// [`voltprop_solvers::SweepSchedule`]). Red-black results are
+    /// [`voltprop_solvers::SweepSchedule`]) on the persistent
+    /// process-wide [`voltprop_solvers::WorkerPool`] — threads spawn on
+    /// the first parallel solve and park between solves, so warm
+    /// parallel solves stay allocation-free. Red-black results are
     /// deterministic in the thread count.
     pub parallelism: usize,
 }

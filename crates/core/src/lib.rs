@@ -42,12 +42,16 @@
 //!   solved concurrently, deterministically in the thread count, and the
 //!   answer stays within the solver tolerance of the sequential
 //!   schedule. `1` (the default) keeps the paper's sequential order.
+//!   Parallel sweeps run on the process-wide persistent
+//!   [`voltprop_solvers::WorkerPool`]: threads spawn once and park
+//!   between solves, so warm parallel solves are allocation-free too.
 //! * **[`VpScratch`]** — the reusable solve arena. [`VpSolver::solve`]
 //!   builds one internally; callers that solve many load patterns on one
 //!   grid should build a [`VpScratch`] once and call
 //!   [`VpSolver::solve_with`], which runs the entire outer loop without
 //!   heap allocation (measured by `perfsuite`: zero allocator calls on a
-//!   warm solve at `parallelism = 1`).
+//!   warm solve — at `parallelism = 1` and, once the pool is warm, at
+//!   any thread count).
 //!
 //! # Batched load sweeps
 //!

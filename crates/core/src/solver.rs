@@ -100,7 +100,8 @@ pub struct VpScratch {
 /// The batch arena: every buffer a lockstep multi-load solve needs, sized
 /// for a fixed lane count `k`. Built on the first
 /// [`VpSolver::solve_batch`] call with that `k` and reused afterwards, so
-/// warm batched solves perform no heap allocation (at `parallelism = 1`).
+/// warm batched solves perform no heap allocation (on every
+/// `parallelism` once the persistent worker pool is warm).
 ///
 /// The sweep-facing buffers (`v`, `injection`) are node-major/lane-minor
 /// (lane `j` of flat node `i` at `i * k + j`) — the layout the batched
@@ -772,6 +773,14 @@ impl VpSolver {
     /// Thomas recurrence's serial latency chain across independent lanes,
     /// which is what transient stepping and what-if load sweeps need.
     ///
+    /// Lanes that finish early stop costing anything: a converged lane is
+    /// masked out of all later tier solves, and the batched kernels
+    /// **compact to the active lanes** (gather → sweep → scatter, with a
+    /// scalar per-lane fallback at very low active counts — see
+    /// [`voltprop_solvers::TierEngine::solve_batch_masked`]), so a lone
+    /// straggler pays roughly a single solve's arithmetic instead of
+    /// dragging every frozen lane through the full batch substitution.
+    ///
     /// # Semantics
     ///
     /// Each lane runs the *exact* outer loop of
@@ -783,9 +792,11 @@ impl VpSolver {
     /// of failing the whole batch.
     ///
     /// After the first call with a given lane count the scratch's batch
-    /// arena is warm and (at `parallelism = 1`) later calls perform no
-    /// heap allocation; reuse `reports` (its capacity is retained by
-    /// `clear`) to keep the full call allocation-free.
+    /// arena is warm and later calls perform no heap allocation — at
+    /// `parallelism = 1` and, once the persistent worker pool has seen
+    /// the batch width, at any thread count; reuse `reports` (its
+    /// capacity is retained by `clear`) to keep the full call
+    /// allocation-free.
     ///
     /// # Errors
     ///

@@ -13,8 +13,14 @@
 //! than one thread the tier sweeps switch from the sequential
 //! alternating-direction schedule to red-black row coloring, whose
 //! same-color rows are solved concurrently (and deterministically in the
-//! thread count). All tiers share one pin-mask allocation (`Arc<[bool]>`)
-//! — the VP algorithm pins the same pillar sites on every tier.
+//! thread count) on the persistent process-wide
+//! [`voltprop_solvers::WorkerPool`] — every tier's engine dispatches to
+//! the same parked workers, so a multi-tier solve pays no per-solve
+//! thread spawns. Batched tier solves compact to the unfrozen lanes (see
+//! [`TierEngine::solve_batch_masked`]), so lanes the VP outer loop has
+//! masked out cost nothing in later inner solves. All tiers share one
+//! pin-mask allocation (`Arc<[bool]>`) — the VP algorithm pins the same
+//! pillar sites on every tier.
 
 use std::sync::Arc;
 use voltprop_solvers::{LaneReport, SolveReport, SolverError, SweepSchedule, TierEngine};

@@ -18,19 +18,61 @@
 //!    solves across OS threads; voltages live in an atomic buffer during
 //!    the parallel solve, and barriers separate the two color phases.
 //!
+//! # Pool lifecycle
+//!
+//! Multi-threaded solves run on the persistent
+//! [`WorkerPool`](crate::pool::WorkerPool): worker threads are spawned
+//! once (lazily, on the first parallel solve) and park between solves,
+//! so a **warm parallel solve performs no heap allocation** — dispatching
+//! a solve is an `Arc` refcount bump and two mutex hand-offs. Engines
+//! share the process-global pool by default ([`TierEngine::set_pool`]
+//! overrides it for isolation); per-worker substitution scratch is pinned
+//! inside the pool and grows to the largest tier a worker has served, so
+//! cycling engines of different sizes does not leak or thrash scratch.
+//! The legacy per-solve scoped-spawn dispatch is kept behind
+//! [`ParDispatch::ScopedSpawn`] purely as a benchmark baseline.
+//!
+//! # Determinism contract
+//!
 //! The red-black result is **deterministic in the thread count**: each
 //! phase reads only other-color (frozen) and pinned values, so the update
 //! of a row is independent of the order rows of its own color are
 //! processed. `RedBlack { threads: 1 }` and `RedBlack { threads: 8 }`
-//! produce bitwise-identical iterates; both converge to the same fixed
-//! point as [`SweepSchedule::Sequential`] (the classic alternating
-//! row-order sweep), which remains the default and the `parallelism = 1`
-//! special case throughout the workspace.
+//! produce bitwise-identical iterates — on the pool and the scoped
+//! dispatch alike — and both converge to the same fixed point as
+//! [`SweepSchedule::Sequential`] (the classic alternating row-order
+//! sweep), which remains the default and the `parallelism = 1` special
+//! case throughout the workspace. Batched solves extend the contract per
+//! lane: a lane's iterate is bitwise identical to its standalone solve on
+//! every schedule, thread count, and compaction setting.
+//!
+//! # Active-lane compaction
+//!
+//! Batched sweeps only pay for **live** lanes. Once lanes freeze
+//! (converged, or masked out by the caller), each sweep picks a kernel
+//! from the active count `m` out of `k` lanes:
+//!
+//! * `4m > 3k` — the **full** unit-stride kernel; the arithmetic waste on
+//!   frozen lanes is cheaper than gather/scatter.
+//! * `m ≤ 2` — the **scalar** per-lane kernel through a strided lane
+//!   view; at one or two stragglers the batch costs what the equivalent
+//!   standalone solves cost.
+//! * otherwise — the **compacted** kernel: gather the active lanes'
+//!   right-hand sides into an `m`-wide row, substitute, scatter the
+//!   updates back.
+//!
+//! All three kernels run the same per-lane arithmetic, so results are
+//! bitwise identical to the uncompacted path (regression-tested), frozen
+//! lanes are never touched, and the kernel choice — a pure function of
+//! `(m, k)` — cannot perturb thread-count determinism.
+//! [`TierEngine::set_lane_compaction`] disables the heuristic (the
+//! always-full PR 2 behaviour) for benchmarking.
 
 use std::ops::Range;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Barrier};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier, RwLock};
 
+use crate::pool::{PoolJob, WorkerPool, WorkerScratch};
 use crate::rowbased::TierProblem;
 use crate::{LaneReport, SolveReport, SolverError};
 use voltprop_sparse::tridiag::FactoredSegments;
@@ -74,6 +116,22 @@ impl SweepSchedule {
     }
 }
 
+/// How a [`TierEngine`] hands a parallel solve to its worker threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ParDispatch {
+    /// The persistent [`WorkerPool`](crate::pool::WorkerPool): parked
+    /// threads, pinned scratch, allocation-free warm dispatch. The
+    /// default.
+    #[default]
+    Pool,
+    /// One `std::thread::scope` spawn per solve (the pre-pool behaviour,
+    /// with engine-owned reusable scratch like the old per-engine
+    /// scratch vectors). Kept as a benchmark baseline — results are
+    /// bitwise identical to [`ParDispatch::Pool`], only dispatch cost
+    /// differs.
+    ScopedSpawn,
+}
+
 /// One tridiagonal row segment between pinned nodes.
 #[derive(Debug, Clone, Copy)]
 struct Segment {
@@ -89,7 +147,373 @@ const RUN: usize = 0;
 const DONE: usize = 1;
 const BUDGET: usize = 2;
 
-/// Lazily sized state for batched (multi right-hand-side) solves.
+/// At or below this many active lanes a batched sweep falls back to the
+/// scalar per-lane kernel (see the module docs for the full crossover).
+const SCALAR_LANE_CROSSOVER: usize = 2;
+
+/// The batched sweep kernel selected for one sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BatchKernel {
+    /// Unit-stride sweep over all `k` lanes, frozen lanes gated at
+    /// write-back.
+    Full,
+    /// Gather → sweep → scatter over the active lanes only.
+    Compact,
+    /// Per-lane scalar kernel through a strided lane view.
+    Scalar,
+}
+
+/// The compaction crossover: a pure function of the active count, so
+/// every worker thread (and every thread count) picks the same kernel.
+fn choose_batch_kernel(active: usize, lanes: usize, compaction: bool) -> BatchKernel {
+    if !compaction || 4 * active > 3 * lanes {
+        BatchKernel::Full
+    } else if active <= SCALAR_LANE_CROSSOVER {
+        BatchKernel::Scalar
+    } else {
+        BatchKernel::Compact
+    }
+}
+
+/// The immutable per-tier structure shared between the engine and its
+/// pool jobs: geometry, factors, and the per-thread work partition.
+#[derive(Debug)]
+struct Topo {
+    width: usize,
+    height: usize,
+    g_h: f64,
+    g_v: f64,
+    threads: usize,
+    fixed: Arc<[bool]>,
+    /// All segments in natural (row-major) order.
+    segments: Vec<Segment>,
+    /// Indices into `segments` for even (red) and odd (black) rows.
+    red_idx: Vec<u32>,
+    black_idx: Vec<u32>,
+    /// Per-thread index ranges into `red_idx` / `black_idx`, balanced by
+    /// node count.
+    red_chunks: Vec<Range<usize>>,
+    black_chunks: Vec<Range<usize>>,
+    factors: FactoredSegments,
+}
+
+impl Topo {
+    fn n(&self) -> usize {
+        self.width * self.height
+    }
+
+    fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.segments.len() * size_of::<Segment>()
+            + (self.red_idx.len() + self.black_idx.len()) * size_of::<u32>()
+            + (self.red_chunks.len() + self.black_chunks.len()) * size_of::<Range<usize>>()
+            + self.factors.memory_bytes()
+            + self.fixed.len()
+    }
+}
+
+/// Per-solve inputs of a parallel scalar solve, written by the
+/// dispatching engine before the job starts and read once per worker.
+#[derive(Debug)]
+struct ParInput {
+    injection: Vec<f64>,
+    omega: f64,
+    tolerance: f64,
+    max_sweeps: usize,
+}
+
+/// The pool job of a scalar (single right-hand-side) parallel solve.
+/// Built once per engine and reused by every solve, so dispatching is
+/// allocation-free.
+#[derive(Debug)]
+struct ParShared {
+    topo: Arc<Topo>,
+    input: RwLock<ParInput>,
+    /// Atomic voltage image (`n` slots).
+    atomic_v: Vec<AtomicU64>,
+    /// Per-thread max-|update| slots for the reduction.
+    deltas: Vec<AtomicU64>,
+    status: AtomicUsize,
+    sweeps_done: AtomicUsize,
+    final_delta: AtomicU64,
+    barrier: Barrier,
+}
+
+impl ParShared {
+    fn new(topo: Arc<Topo>) -> Self {
+        let n = topo.n();
+        let threads = topo.threads;
+        ParShared {
+            topo,
+            input: RwLock::new(ParInput {
+                injection: vec![0.0; n],
+                omega: 1.0,
+                tolerance: 0.0,
+                max_sweeps: 0,
+            }),
+            atomic_v: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            deltas: (0..threads).map(|_| AtomicU64::new(0)).collect(),
+            status: AtomicUsize::new(RUN),
+            sweeps_done: AtomicUsize::new(0),
+            final_delta: AtomicU64::new(0),
+            barrier: Barrier::new(threads),
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let input = self.input.read().expect("par input lock");
+        (self.atomic_v.len() + self.deltas.len()) * size_of::<AtomicU64>()
+            + input.injection.capacity() * size_of::<f64>()
+    }
+}
+
+/// The per-thread loop of a scalar parallel solve. Thread 0 doubles as
+/// the reducer that decides convergence between sweeps. Every sweep
+/// costs four barrier waits: red→black, black→delta-publish,
+/// publish→reduce, reduce→next sweep.
+impl PoolJob for ParShared {
+    fn run(&self, tid: usize, ws: &mut WorkerScratch) {
+        let topo = &*self.topo;
+        let input = self.input.read().expect("par input lock");
+        let injection: &[f64] = &input.injection;
+        ws.ensure(topo.factors.max_segment_len(), 0);
+        let scratch = &mut ws.f[..];
+        loop {
+            let mut local = 0.0f64;
+            for phase in 0..2 {
+                let (idx, chunk) = if phase == 0 {
+                    (&topo.red_idx, &topo.red_chunks[tid])
+                } else {
+                    (&topo.black_idx, &topo.black_chunks[tid])
+                };
+                let mut view = AtomicView(&self.atomic_v);
+                for &si in &idx[chunk.clone()] {
+                    local = local.max(solve_segment(
+                        topo,
+                        topo.segments[si as usize],
+                        injection,
+                        input.omega,
+                        scratch,
+                        &mut view,
+                    ));
+                }
+                // All writes of this color must land before any thread
+                // reads them in the next phase.
+                self.barrier.wait();
+            }
+            self.deltas[tid].store(local.to_bits(), Ordering::Relaxed);
+            self.barrier.wait();
+            if tid == 0 {
+                let delta = self
+                    .deltas
+                    .iter()
+                    .take(topo.threads)
+                    .map(|d| f64::from_bits(d.load(Ordering::Relaxed)))
+                    .fold(0.0f64, f64::max);
+                self.final_delta.store(delta.to_bits(), Ordering::Relaxed);
+                let done = self.sweeps_done.fetch_add(1, Ordering::Relaxed) + 1;
+                if delta < input.tolerance {
+                    self.status.store(DONE, Ordering::Relaxed);
+                } else if done >= input.max_sweeps {
+                    self.status.store(BUDGET, Ordering::Relaxed);
+                }
+            }
+            self.barrier.wait();
+            if self.status.load(Ordering::Relaxed) != RUN {
+                return;
+            }
+        }
+    }
+}
+
+/// Per-solve inputs of a parallel batched solve.
+#[derive(Debug)]
+struct BatchInput {
+    /// Node-major/lane-minor right-hand sides, `n * k`.
+    injection: Vec<f64>,
+    omega: f64,
+    tolerance: f64,
+    max_sweeps: usize,
+}
+
+/// The pool job of a parallel batched solve, sized for a fixed lane
+/// count `k`; rebuilt only when `k` changes.
+#[derive(Debug)]
+struct BatchShared {
+    topo: Arc<Topo>,
+    k: usize,
+    input: RwLock<BatchInput>,
+    /// Atomic voltage image (`n * k` slots, node-major/lane-minor).
+    atomic_v: Vec<AtomicU64>,
+    /// `threads × k` per-sweep delta slots for the reduction.
+    deltas: Vec<AtomicU64>,
+    /// Per-lane active flags (thread 0 is the only writer).
+    active: Vec<AtomicBool>,
+    /// Compact list of active lane indices (first `n_active` valid).
+    active_ids: Vec<AtomicU32>,
+    n_active: AtomicUsize,
+    /// Per-lane outcome slots, copied into the caller's [`LaneReport`]s
+    /// after the job drains.
+    lane_iters: Vec<AtomicUsize>,
+    lane_residual: Vec<AtomicU64>,
+    lane_converged: Vec<AtomicBool>,
+    sweeps_done: AtomicUsize,
+    status: AtomicUsize,
+    compaction: AtomicBool,
+    barrier: Barrier,
+}
+
+impl BatchShared {
+    fn new(topo: Arc<Topo>, k: usize) -> Self {
+        let n = topo.n();
+        let threads = topo.threads;
+        BatchShared {
+            topo,
+            k,
+            input: RwLock::new(BatchInput {
+                injection: vec![0.0; n * k],
+                omega: 1.0,
+                tolerance: 0.0,
+                max_sweeps: 0,
+            }),
+            atomic_v: (0..n * k).map(|_| AtomicU64::new(0)).collect(),
+            deltas: (0..threads * k).map(|_| AtomicU64::new(0)).collect(),
+            active: (0..k).map(|_| AtomicBool::new(true)).collect(),
+            active_ids: (0..k).map(|_| AtomicU32::new(0)).collect(),
+            n_active: AtomicUsize::new(0),
+            lane_iters: (0..k).map(|_| AtomicUsize::new(0)).collect(),
+            lane_residual: (0..k).map(|_| AtomicU64::new(0)).collect(),
+            lane_converged: (0..k).map(|_| AtomicBool::new(false)).collect(),
+            sweeps_done: AtomicUsize::new(0),
+            status: AtomicUsize::new(RUN),
+            compaction: AtomicBool::new(true),
+            barrier: Barrier::new(threads),
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let input = self.input.read().expect("batch input lock");
+        (self.atomic_v.len() + self.deltas.len() + self.lane_residual.len())
+            * size_of::<AtomicU64>()
+            + input.injection.capacity() * size_of::<f64>()
+            + self.active_ids.len() * size_of::<AtomicU32>()
+            + self.lane_iters.len() * size_of::<AtomicUsize>()
+            + self.active.len()
+            + self.lane_converged.len()
+    }
+}
+
+/// The per-thread loop of a parallel batched solve. Mirrors the scalar
+/// job's barrier structure; thread 0 reduces the per-lane deltas between
+/// sweeps, decides which lanes freeze, and republishes the compact
+/// active-lane list, so freezing — and therefore every lane's iterate —
+/// is deterministic in the thread count.
+impl PoolJob for BatchShared {
+    fn run(&self, tid: usize, ws: &mut WorkerScratch) {
+        let topo = &*self.topo;
+        let k = self.k;
+        let input = self.input.read().expect("batch input lock");
+        let injection: &[f64] = &input.injection;
+        ws.ensure(topo.factors.max_segment_len() * k, k);
+        let WorkerScratch {
+            f,
+            active,
+            delta,
+            ids,
+            ..
+        } = ws;
+        let scratch = &mut f[..];
+        let active = &mut active[..k];
+        let delta = &mut delta[..k];
+        let ids = &mut ids[..k];
+        let compaction = self.compaction.load(Ordering::Relaxed);
+        loop {
+            // The lane-active state only changes while every worker is
+            // parked at the post-reduce barrier, so relaxed refreshes
+            // here are safe — and every thread sees the same snapshot.
+            let m = self.n_active.load(Ordering::Relaxed);
+            for (id, slot) in ids[..m].iter_mut().zip(&self.active_ids) {
+                *id = slot.load(Ordering::Relaxed);
+            }
+            for (a, slot) in active.iter_mut().zip(&self.active) {
+                *a = slot.load(Ordering::Relaxed);
+            }
+            delta.fill(0.0);
+            let kernel = choose_batch_kernel(m, k, compaction);
+            for phase in 0..2 {
+                let (idx, chunk) = if phase == 0 {
+                    (&topo.red_idx, &topo.red_chunks[tid])
+                } else {
+                    (&topo.black_idx, &topo.black_chunks[tid])
+                };
+                let mut view = AtomicView(&self.atomic_v);
+                for &si in &idx[chunk.clone()] {
+                    batch_segment_dispatch(
+                        kernel,
+                        topo,
+                        topo.segments[si as usize],
+                        injection,
+                        input.omega,
+                        k,
+                        active,
+                        &ids[..m],
+                        scratch,
+                        &mut view,
+                        delta,
+                    );
+                }
+                // All writes of this color must land before any thread
+                // reads them in the next phase.
+                self.barrier.wait();
+            }
+            for (j, &d) in delta.iter().enumerate() {
+                self.deltas[tid * k + j].store(d.to_bits(), Ordering::Relaxed);
+            }
+            self.barrier.wait();
+            if tid == 0 {
+                let sweep = self.sweeps_done.fetch_add(1, Ordering::Relaxed) + 1;
+                let mut live = 0usize;
+                for j in 0..k {
+                    if self.lane_converged[j].load(Ordering::Relaxed) {
+                        continue;
+                    }
+                    let d = (0..topo.threads)
+                        .map(|t| f64::from_bits(self.deltas[t * k + j].load(Ordering::Relaxed)))
+                        .fold(0.0f64, f64::max);
+                    self.lane_iters[j].store(sweep, Ordering::Relaxed);
+                    self.lane_residual[j].store(d.to_bits(), Ordering::Relaxed);
+                    if d < input.tolerance {
+                        self.lane_converged[j].store(true, Ordering::Relaxed);
+                        self.active[j].store(false, Ordering::Relaxed);
+                    } else {
+                        live += 1;
+                    }
+                }
+                let mut next_m = 0usize;
+                for j in 0..k {
+                    if self.active[j].load(Ordering::Relaxed) {
+                        self.active_ids[next_m].store(j as u32, Ordering::Relaxed);
+                        next_m += 1;
+                    }
+                }
+                self.n_active.store(next_m, Ordering::Relaxed);
+                if live == 0 {
+                    self.status.store(DONE, Ordering::Relaxed);
+                } else if sweep >= input.max_sweeps {
+                    self.status.store(BUDGET, Ordering::Relaxed);
+                }
+            }
+            self.barrier.wait();
+            if self.status.load(Ordering::Relaxed) != RUN {
+                return;
+            }
+        }
+    }
+}
+
+/// Single-threaded state for batched (multi right-hand-side) solves.
 ///
 /// Sized on the first [`TierEngine::solve_batch`] call for a given lane
 /// count; later calls with the same count reuse every buffer, so warm
@@ -98,33 +522,22 @@ const BUDGET: usize = 2;
 struct BatchState {
     /// Lane count the buffers below are sized for (0 = never sized).
     lanes: usize,
-    /// Per-thread substitution scratch, `max_segment_len * lanes` each.
-    scratches: Vec<Vec<f64>>,
-    /// Per-thread copy of the lane-active flags (refreshed every sweep).
-    thread_active: Vec<Vec<bool>>,
-    /// Per-thread per-lane max-|update| accumulators.
-    thread_delta: Vec<Vec<f64>>,
-    /// Atomic voltage image (`n * lanes`) for the parallel path.
-    atomic_v: Vec<AtomicU64>,
-    /// `threads × lanes` delta slots for the parallel reduction.
-    deltas: Vec<AtomicU64>,
-    /// Shared lane-active flags for the parallel path.
-    active: Vec<AtomicBool>,
+    /// Substitution scratch, `max_segment_len * lanes`.
+    scratch: Vec<f64>,
+    /// Per-lane active flags.
+    active: Vec<bool>,
+    /// Per-lane max-|update| accumulators.
+    delta: Vec<f64>,
+    /// Compact active-lane index list (first `n_active` valid).
+    ids: Vec<u32>,
 }
 
 impl BatchState {
     fn memory_bytes(&self) -> usize {
         use std::mem::size_of;
-        let vecs = |vs: &[Vec<f64>]| {
-            vs.iter()
-                .map(|v| v.capacity() * size_of::<f64>())
-                .sum::<usize>()
-        };
-        vecs(&self.scratches)
-            + vecs(&self.thread_delta)
-            + self.thread_active.iter().map(Vec::capacity).sum::<usize>()
-            + (self.atomic_v.len() + self.deltas.len()) * size_of::<AtomicU64>()
-            + self.active.len() * size_of::<AtomicBool>()
+        (self.scratch.capacity() + self.delta.capacity()) * size_of::<f64>()
+            + self.active.capacity()
+            + self.ids.capacity() * size_of::<u32>()
     }
 }
 
@@ -133,10 +546,12 @@ impl BatchState {
 /// Built once per tier, reused across every sweep and outer iteration:
 /// after construction the single-threaded schedules perform **no heap
 /// allocation** on any solve or sweep path. The multi-threaded red-black
-/// path additionally pays one scoped thread-pool spawn (a handful of
-/// small allocations plus spawn latency) per [`TierEngine::solve`] call
-/// — and per [`TierEngine::sweep_once`] call, so prefer whole solves
-/// over per-sweep calls when sweeping in parallel.
+/// path runs on the persistent [`WorkerPool`](crate::pool::WorkerPool),
+/// so after the pool's one-time warm-up a parallel
+/// [`TierEngine::solve`] (or [`TierEngine::solve_batch`]) is
+/// allocation-free too — dispatching a solve to the parked workers costs
+/// two mutex hand-offs instead of the former per-solve scoped thread
+/// spawn.
 ///
 /// # Example
 ///
@@ -163,31 +578,28 @@ impl BatchState {
 /// ```
 #[derive(Debug)]
 pub struct TierEngine {
-    width: usize,
-    height: usize,
-    g_h: f64,
-    g_v: f64,
-    fixed: Arc<[bool]>,
+    topo: Arc<Topo>,
     schedule: SweepSchedule,
-    /// All segments in natural (row-major) order.
-    segments: Vec<Segment>,
-    /// Indices into `segments` for even (red) and odd (black) rows.
-    red_idx: Vec<u32>,
-    black_idx: Vec<u32>,
-    /// Per-thread index ranges into `red_idx` / `black_idx`, balanced by
-    /// node count.
-    red_chunks: Vec<Range<usize>>,
-    black_chunks: Vec<Range<usize>>,
-    factors: FactoredSegments,
-    /// Per-thread forward-substitution scratch.
-    scratches: Vec<Vec<f64>>,
-    /// Atomic voltage image used by multi-threaded sweeps (empty when the
-    /// schedule runs on one thread).
-    atomic_v: Vec<AtomicU64>,
-    /// Per-thread max-|update| slots for the parallel reduction.
-    deltas: Vec<AtomicU64>,
-    /// Lazily sized multi-right-hand-side solve state.
+    dispatch: ParDispatch,
+    /// Active-lane compaction for batched sweeps (default on; see the
+    /// module docs for the crossover).
+    compaction: bool,
+    /// Optional pool override (`None` = the process-global pool).
+    pool: Option<Arc<WorkerPool>>,
+    /// Per-thread scratch for the [`ParDispatch::ScopedSpawn`] baseline,
+    /// kept per engine so the baseline reproduces the pre-pool cost
+    /// model exactly (per-solve thread spawns, but engine-owned reusable
+    /// scratch) and the measured pool-vs-scoped delta is pure dispatch.
+    scoped_scratch: Vec<WorkerScratch>,
+    /// Single-threaded forward-substitution scratch.
+    scratch: Vec<f64>,
+    /// Scalar parallel job (present when the schedule is multi-threaded).
+    par: Option<Arc<ParShared>>,
+    /// Lazily sized single-threaded batch state.
     batch: BatchState,
+    /// Lazily sized parallel batch job (rebuilt when the lane count
+    /// changes).
+    batch_par: Option<Arc<BatchShared>>,
 }
 
 impl TierEngine {
@@ -291,32 +703,34 @@ impl TierEngine {
         let red_chunks = balance_chunks(&segments, &red_idx, threads);
         let black_chunks = balance_chunks(&segments, &black_idx, threads);
 
-        let scratch_len = factors.max_segment_len();
-        let scratches = (0..threads).map(|_| vec![0.0; scratch_len]).collect();
-        let atomic_v = if threads > 1 {
-            (0..n).map(|_| AtomicU64::new(0)).collect()
-        } else {
-            Vec::new()
-        };
-        let deltas = (0..threads).map(|_| AtomicU64::new(0)).collect();
-
-        Ok(TierEngine {
+        let scratch = vec![0.0; factors.max_segment_len()];
+        let topo = Arc::new(Topo {
             width,
             height,
             g_h,
             g_v,
+            threads,
             fixed,
-            schedule,
             segments,
             red_idx,
             black_idx,
             red_chunks,
             black_chunks,
             factors,
-            scratches,
-            atomic_v,
-            deltas,
+        });
+        let par = (threads > 1).then(|| Arc::new(ParShared::new(Arc::clone(&topo))));
+
+        Ok(TierEngine {
+            topo,
+            schedule,
+            dispatch: ParDispatch::Pool,
+            compaction: true,
+            pool: None,
+            scoped_scratch: Vec::new(),
+            scratch,
+            par,
             batch: BatchState::default(),
+            batch_par: None,
         })
     }
 
@@ -344,6 +758,38 @@ impl TierEngine {
     /// The schedule this engine sweeps with.
     pub fn schedule(&self) -> SweepSchedule {
         self.schedule
+    }
+
+    /// How parallel solves are handed to worker threads (default:
+    /// [`ParDispatch::Pool`]).
+    pub fn dispatch(&self) -> ParDispatch {
+        self.dispatch
+    }
+
+    /// Selects the parallel dispatch backend. Results are bitwise
+    /// identical on both; only latency and allocation behaviour differ.
+    pub fn set_dispatch(&mut self, dispatch: ParDispatch) {
+        self.dispatch = dispatch;
+    }
+
+    /// Whether batched sweeps compact to the active lanes (default
+    /// `true`; see the module docs for the crossover).
+    pub fn lane_compaction(&self) -> bool {
+        self.compaction
+    }
+
+    /// Enables or disables active-lane compaction for batched sweeps.
+    /// `false` restores the always-full-width kernel; results are bitwise
+    /// identical either way.
+    pub fn set_lane_compaction(&mut self, enabled: bool) {
+        self.compaction = enabled;
+    }
+
+    /// Overrides the worker pool parallel solves run on (default: the
+    /// process-global [`WorkerPool::global`]). Mainly for tests and
+    /// benchmarks that need an isolated pool.
+    pub fn set_pool(&mut self, pool: Arc<WorkerPool>) {
+        self.pool = Some(pool);
     }
 
     /// Sweeps until the largest per-sweep voltage update falls below
@@ -378,7 +824,7 @@ impl TierEngine {
         omega: f64,
     ) -> Result<SolveReport, SolverError> {
         self.check_call(injection, v, omega)?;
-        if self.schedule.threads() > 1 {
+        if self.topo.threads > 1 {
             return self.solve_parallel(injection, v, tolerance, max_sweeps, omega);
         }
         let mut max_delta = f64::INFINITY;
@@ -426,12 +872,8 @@ impl TierEngine {
         Ok(match self.schedule {
             SweepSchedule::Sequential => self.sweep_sequential_slice(injection, v, downward, omega),
             SweepSchedule::RedBlack { threads } if threads > 1 => {
-                self.load_atomic(v);
-                let delta = self
-                    .parallel_sweeps(injection, f64::NEG_INFINITY, 1, omega)
-                    .1;
-                self.store_atomic(v);
-                delta
+                self.parallel_sweeps(injection, v, f64::NEG_INFINITY, 1, omega)
+                    .1
             }
             SweepSchedule::RedBlack { .. } => self.sweep_redblack_slice(injection, v, omega),
         })
@@ -489,7 +931,7 @@ impl TierEngine {
     /// neighbour offset, and pin-mask bit is loaded once per row instead
     /// of once per lane — this is where the batched throughput comes from.
     ///
-    /// # Per-lane convergence
+    /// # Per-lane convergence and compaction
     ///
     /// After every sweep each lane's own largest update is compared with
     /// `tolerance`; a lane that passes is *frozen* (its voltages stop
@@ -500,6 +942,13 @@ impl TierEngine {
     /// `mask` (when present) marks lanes to leave untouched from the
     /// start: their voltages are never read or written and their reports
     /// come back as converged in 0 sweeps.
+    ///
+    /// Frozen lanes cost (almost) nothing: each sweep compacts to the
+    /// active lanes — or falls back to the scalar per-lane kernel at very
+    /// low active counts — so a single straggler in a wide batch pays a
+    /// single solve's arithmetic, not the whole batch's (see the
+    /// [module docs](self) for the crossover and
+    /// [`TierEngine::set_lane_compaction`] to disable it).
     ///
     /// Lanes that exhaust `max_sweeps` report `converged = false` with
     /// their true residual; the call still returns `Ok` (the aggregate
@@ -521,7 +970,7 @@ impl TierEngine {
         lanes: &mut [LaneReport],
     ) -> Result<SolveReport, SolverError> {
         let k = lanes.len();
-        let n = self.width * self.height;
+        let n = self.topo.n();
         if k == 0 {
             return Err(SolverError::Unsupported {
                 what: "batched solve needs at least one lane".into(),
@@ -557,112 +1006,133 @@ impl TierEngine {
                 converged: !on,
             };
         }
-        let threads = self.schedule.threads();
-        if threads > 1 {
+        if self.topo.threads > 1 {
             return Ok(self.solve_batch_parallel(injection, v, tolerance, max_sweeps, omega, lanes));
         }
 
         // Single-threaded schedules: sweep in place on `v`.
-        let active = &mut self.batch.thread_active[0];
-        for (a, lane) in active.iter_mut().zip(lanes.iter()) {
-            *a = !lane.converged;
-        }
-        let mut n_active = active.iter().filter(|&&a| a).count();
-        let scratch = &mut self.batch.scratches[0];
-        let delta = &mut self.batch.thread_delta[0];
-        let mut view = SliceView(v);
-        let mut sweeps = 0;
-        while sweeps < max_sweeps && n_active > 0 {
-            delta.fill(0.0);
-            match self.schedule {
-                SweepSchedule::Sequential => {
-                    let nseg = self.segments.len();
-                    let downward = sweeps % 2 == 0;
-                    for s in 0..nseg {
-                        let si = if downward { s } else { nseg - 1 - s };
-                        solve_segment_batch(
-                            self.segments[si],
-                            &self.factors,
-                            self.width,
-                            self.height,
-                            self.g_h,
-                            self.g_v,
-                            &self.fixed,
-                            injection,
-                            omega,
-                            k,
-                            active,
-                            scratch,
-                            &mut view,
-                            delta,
-                        );
-                    }
+        let topo = Arc::clone(&self.topo);
+        let schedule = self.schedule;
+        let compaction = self.compaction;
+        let sweeps = {
+            let BatchState {
+                scratch,
+                active,
+                delta,
+                ids,
+                ..
+            } = &mut self.batch;
+            let mut n_active = 0usize;
+            for (j, lane) in lanes.iter().enumerate() {
+                active[j] = !lane.converged;
+                if active[j] {
+                    ids[n_active] = j as u32;
+                    n_active += 1;
                 }
-                SweepSchedule::RedBlack { .. } => {
-                    for idx in [&self.red_idx, &self.black_idx] {
-                        for &si in idx.iter() {
-                            solve_segment_batch(
-                                self.segments[si as usize],
-                                &self.factors,
-                                self.width,
-                                self.height,
-                                self.g_h,
-                                self.g_v,
-                                &self.fixed,
+            }
+            let mut view = SliceView(v);
+            let mut sweeps = 0usize;
+            while sweeps < max_sweeps && n_active > 0 {
+                delta.fill(0.0);
+                let kernel = choose_batch_kernel(n_active, k, compaction);
+                match schedule {
+                    SweepSchedule::Sequential => {
+                        let nseg = topo.segments.len();
+                        let downward = sweeps % 2 == 0;
+                        for s in 0..nseg {
+                            let si = if downward { s } else { nseg - 1 - s };
+                            batch_segment_dispatch(
+                                kernel,
+                                &topo,
+                                topo.segments[si],
                                 injection,
                                 omega,
                                 k,
                                 active,
+                                &ids[..n_active],
                                 scratch,
                                 &mut view,
                                 delta,
                             );
                         }
                     }
+                    SweepSchedule::RedBlack { .. } => {
+                        for idx in [&topo.red_idx, &topo.black_idx] {
+                            for &si in idx.iter() {
+                                batch_segment_dispatch(
+                                    kernel,
+                                    &topo,
+                                    topo.segments[si as usize],
+                                    injection,
+                                    omega,
+                                    k,
+                                    active,
+                                    &ids[..n_active],
+                                    scratch,
+                                    &mut view,
+                                    delta,
+                                );
+                            }
+                        }
+                    }
+                }
+                sweeps += 1;
+                let mut live = 0usize;
+                for j in 0..k {
+                    if !active[j] {
+                        continue;
+                    }
+                    lanes[j].iterations = sweeps;
+                    lanes[j].residual = delta[j];
+                    if delta[j] < tolerance {
+                        lanes[j].converged = true;
+                        active[j] = false;
+                    } else {
+                        live += 1;
+                    }
+                }
+                if live != n_active {
+                    n_active = 0;
+                    for j in 0..k {
+                        if active[j] {
+                            ids[n_active] = j as u32;
+                            n_active += 1;
+                        }
+                    }
                 }
             }
-            sweeps += 1;
-            for j in 0..k {
-                if !active[j] {
-                    continue;
-                }
-                lanes[j].iterations = sweeps;
-                lanes[j].residual = delta[j];
-                if delta[j] < tolerance {
-                    lanes[j].converged = true;
-                    active[j] = false;
-                    n_active -= 1;
-                }
-            }
-        }
+            sweeps
+        };
         Ok(aggregate_report(lanes, sweeps, self.memory_bytes()))
     }
 
-    /// Sizes the batch buffers for `k` lanes (no-op when already sized).
+    /// Sizes the batch state for `k` lanes (no-op when already sized):
+    /// the in-place sweep buffers on single-threaded schedules, the
+    /// shared pool job on multi-threaded ones (whose workers bring their
+    /// own pinned scratch).
     fn ensure_batch(&mut self, k: usize) {
         if self.batch.lanes == k {
             return;
         }
-        let threads = self.schedule.threads();
-        let n = self.width * self.height;
-        let seg_len = self.factors.max_segment_len();
-        let b = &mut self.batch;
-        b.lanes = k;
-        b.scratches = (0..threads).map(|_| vec![0.0; seg_len * k]).collect();
-        b.thread_active = (0..threads).map(|_| vec![true; k]).collect();
-        b.thread_delta = (0..threads).map(|_| vec![0.0; k]).collect();
-        if threads > 1 {
-            b.atomic_v = (0..n * k).map(|_| AtomicU64::new(0)).collect();
-            b.deltas = (0..threads * k).map(|_| AtomicU64::new(0)).collect();
-            b.active = (0..k).map(|_| AtomicBool::new(true)).collect();
+        self.batch.lanes = k;
+        if self.topo.threads > 1 {
+            self.batch_par = Some(Arc::new(BatchShared::new(Arc::clone(&self.topo), k)));
+        } else {
+            let seg_len = self.topo.factors.max_segment_len();
+            let b = &mut self.batch;
+            b.scratch = vec![0.0; seg_len * k];
+            b.active = vec![true; k];
+            b.delta = vec![0.0; k];
+            b.ids = vec![0; k];
         }
     }
 
-    /// Multi-threaded batched red-black solve: the worker structure of
-    /// [`TierEngine::solve_parallel`] with per-lane deltas and centrally
-    /// decided per-lane freezing (thread 0 is the reducer, so freezing —
-    /// and therefore every iterate — is deterministic in the thread
-    /// count).
+    /// Multi-threaded batched red-black solve on the worker pool: lane
+    /// state is published into the prebuilt [`BatchShared`] job, the pool
+    /// (or the scoped baseline) runs it, and the per-lane outcomes are
+    /// copied back. Thread 0 reduces and freezes lanes centrally, so
+    /// freezing — and therefore every iterate — is deterministic in the
+    /// thread count.
     fn solve_batch_parallel(
         &mut self,
         injection: &[f64],
@@ -672,106 +1142,66 @@ impl TierEngine {
         omega: f64,
         lanes: &mut [LaneReport],
     ) -> SolveReport {
-        let k = lanes.len();
-        let threads = self.schedule.threads();
-        let BatchState {
-            scratches,
-            thread_active,
-            thread_delta,
-            atomic_v,
-            deltas,
-            active,
-            ..
-        } = &mut self.batch;
-        for (slot, &x) in atomic_v.iter().zip(v.iter()) {
+        let shared = Arc::clone(self.batch_par.as_ref().expect("batch parallel state"));
+        {
+            let mut input = shared.input.write().expect("batch input lock");
+            input.injection.copy_from_slice(injection);
+            input.omega = omega;
+            input.tolerance = tolerance;
+            input.max_sweeps = max_sweeps;
+        }
+        for (slot, &x) in shared.atomic_v.iter().zip(v.iter()) {
             slot.store(x.to_bits(), Ordering::Relaxed);
         }
-        for (slot, lane) in active.iter().zip(lanes.iter()) {
-            slot.store(!lane.converged, Ordering::Relaxed);
+        let mut m = 0usize;
+        for (j, lane) in lanes.iter().enumerate() {
+            shared.lane_iters[j].store(lane.iterations, Ordering::Relaxed);
+            shared.lane_residual[j].store(lane.residual.to_bits(), Ordering::Relaxed);
+            shared.lane_converged[j].store(lane.converged, Ordering::Relaxed);
+            shared.active[j].store(!lane.converged, Ordering::Relaxed);
+            if !lane.converged {
+                shared.active_ids[m].store(j as u32, Ordering::Relaxed);
+                m += 1;
+            }
         }
-        let mut sweeps = 0usize;
-        let any_active = lanes.iter().any(|l| !l.converged);
-        if any_active && max_sweeps > 0 {
-            let barrier = Barrier::new(threads);
-            let status = AtomicUsize::new(RUN);
-            let ctx = BatchCtx {
-                w: self.width,
-                h: self.height,
-                g_h: self.g_h,
-                g_v: self.g_v,
-                omega,
-                tolerance,
-                max_sweeps,
-                threads,
-                lanes: k,
-                fixed: &self.fixed,
-                injection,
-                segments: &self.segments,
-                red_idx: &self.red_idx,
-                black_idx: &self.black_idx,
-                red_chunks: &self.red_chunks,
-                black_chunks: &self.black_chunks,
-                factors: &self.factors,
-                atomic_v,
-                deltas,
-                active,
-                barrier: &barrier,
-                status: &status,
-            };
-            // Scoped workers: thread 0 (the caller) doubles as the reducer
-            // and is the only one that touches `lanes`.
-            std::thread::scope(|scope| {
-                let mut scratch_iter = scratches.iter_mut();
-                let mut active_iter = thread_active.iter_mut();
-                let mut delta_iter = thread_delta.iter_mut();
-                let main_scratch = scratch_iter.next().expect("thread-0 scratch");
-                let main_active = active_iter.next().expect("thread-0 active");
-                let main_delta = delta_iter.next().expect("thread-0 delta");
-                for (i, ((scratch, local_active), local_delta)) in
-                    scratch_iter.zip(active_iter).zip(delta_iter).enumerate()
-                {
-                    let ctx = &ctx;
-                    scope.spawn(move || {
-                        batch_worker(ctx, i + 1, scratch, local_active, local_delta, None)
-                    });
-                }
-                batch_worker(
-                    &ctx,
-                    0,
-                    main_scratch,
-                    main_active,
-                    main_delta,
-                    Some(BatchLead {
-                        lanes,
-                        sweeps: &mut sweeps,
-                    }),
-                );
-            });
+        shared.n_active.store(m, Ordering::Relaxed);
+        shared.sweeps_done.store(0, Ordering::Relaxed);
+        shared.status.store(RUN, Ordering::Relaxed);
+        shared.compaction.store(self.compaction, Ordering::Relaxed);
+        if m > 0 && max_sweeps > 0 {
+            self.dispatch_job(shared.clone());
         }
-        for (slot, x) in atomic_v.iter().zip(v.iter_mut()) {
+        for (slot, x) in shared.atomic_v.iter().zip(v.iter_mut()) {
             *x = f64::from_bits(slot.load(Ordering::Relaxed));
         }
+        for (j, lane) in lanes.iter_mut().enumerate() {
+            *lane = LaneReport {
+                iterations: shared.lane_iters[j].load(Ordering::Relaxed),
+                residual: f64::from_bits(shared.lane_residual[j].load(Ordering::Relaxed)),
+                converged: shared.lane_converged[j].load(Ordering::Relaxed),
+            };
+        }
+        let sweeps = shared.sweeps_done.load(Ordering::Relaxed);
         aggregate_report(lanes, sweeps, self.memory_bytes())
     }
 
     /// Estimated heap footprint in bytes.
     pub fn memory_bytes(&self) -> usize {
         use std::mem::size_of;
-        self.segments.len() * size_of::<Segment>()
-            + (self.red_idx.len() + self.black_idx.len()) * size_of::<u32>()
-            + self.factors.memory_bytes()
+        self.topo.memory_bytes()
+            + self.scratch.capacity() * size_of::<f64>()
             + self
-                .scratches
+                .scoped_scratch
                 .iter()
-                .map(|s| s.capacity() * size_of::<f64>())
+                .map(WorkerScratch::memory_bytes)
                 .sum::<usize>()
-            + (self.atomic_v.len() + self.deltas.len()) * size_of::<AtomicU64>()
-            + self.fixed.len()
             + self.batch.memory_bytes()
+            + self.par.as_ref().map_or(0, |p| p.memory_bytes())
+            + self.batch_par.as_ref().map_or(0, |b| b.memory_bytes())
     }
 
     fn check_call(&self, injection: &[f64], v: &[f64], omega: f64) -> Result<(), SolverError> {
-        let n = self.width * self.height;
+        let n = self.topo.n();
         if injection.len() != n || v.len() != n {
             return Err(SolverError::Unsupported {
                 what: format!(
@@ -798,29 +1228,18 @@ impl TierEngine {
         downward: bool,
         omega: f64,
     ) -> f64 {
-        let scratch = &mut self.scratches[0];
-        let nseg = self.segments.len();
+        let topo = &self.topo;
+        let scratch = &mut self.scratch;
+        let nseg = topo.segments.len();
         let mut max_delta = 0.0f64;
         let mut view = SliceView(v);
         for si in 0..nseg {
             let seg = if downward {
-                self.segments[si]
+                topo.segments[si]
             } else {
-                self.segments[nseg - 1 - si]
+                topo.segments[nseg - 1 - si]
             };
-            let delta = solve_segment(
-                seg,
-                &self.factors,
-                self.width,
-                self.height,
-                self.g_h,
-                self.g_v,
-                &self.fixed,
-                injection,
-                omega,
-                scratch,
-                &mut view,
-            );
+            let delta = solve_segment(topo, seg, injection, omega, scratch, &mut view);
             max_delta = max_delta.max(delta);
         }
         max_delta
@@ -828,19 +1247,15 @@ impl TierEngine {
 
     /// Red-black sweep on one thread (same iterates as the parallel path).
     fn sweep_redblack_slice(&mut self, injection: &[f64], v: &mut [f64], omega: f64) -> f64 {
-        let scratch = &mut self.scratches[0];
+        let topo = &self.topo;
+        let scratch = &mut self.scratch;
         let mut max_delta = 0.0f64;
         let mut view = SliceView(v);
-        for idx in [&self.red_idx, &self.black_idx] {
+        for idx in [&topo.red_idx, &topo.black_idx] {
             for &si in idx.iter() {
                 let delta = solve_segment(
-                    self.segments[si as usize],
-                    &self.factors,
-                    self.width,
-                    self.height,
-                    self.g_h,
-                    self.g_v,
-                    &self.fixed,
+                    topo,
+                    topo.segments[si as usize],
                     injection,
                     omega,
                     scratch,
@@ -852,21 +1267,7 @@ impl TierEngine {
         max_delta
     }
 
-    fn load_atomic(&self, v: &[f64]) {
-        for (slot, &x) in self.atomic_v.iter().zip(v.iter()) {
-            slot.store(x.to_bits(), Ordering::Relaxed);
-        }
-    }
-
-    fn store_atomic(&self, v: &mut [f64]) {
-        for (slot, x) in self.atomic_v.iter().zip(v.iter_mut()) {
-            *x = f64::from_bits(slot.load(Ordering::Relaxed));
-        }
-    }
-
-    /// Full multi-threaded solve: workers persist across sweeps (the
-    /// thread spawns are paid once per solve, not once per sweep) and
-    /// synchronize at phase barriers.
+    /// Full multi-threaded solve through the persistent worker pool.
     fn solve_parallel(
         &mut self,
         injection: &[f64],
@@ -882,9 +1283,7 @@ impl TierEngine {
                 tolerance,
             });
         }
-        self.load_atomic(v);
-        let (sweeps, residual) = self.parallel_sweeps(injection, tolerance, max_sweeps, omega);
-        self.store_atomic(v);
+        let (sweeps, residual) = self.parallel_sweeps(injection, v, tolerance, max_sweeps, omega);
         if residual < tolerance {
             Ok(SolveReport {
                 iterations: sweeps,
@@ -901,260 +1300,74 @@ impl TierEngine {
         }
     }
 
-    /// Runs up to `max_sweeps` red-black sweeps on the atomic voltage
-    /// image, stopping early once the sweep delta drops below
-    /// `tolerance`. Returns `(sweeps run, last delta)`.
+    /// Runs up to `max_sweeps` red-black sweeps on the prebuilt parallel
+    /// job (loading `v` into the atomic image first and storing it back
+    /// after), stopping early once the sweep delta drops below
+    /// `tolerance`. Returns `(sweeps run, last delta)`. Warm calls are
+    /// allocation-free on the pool dispatch.
     fn parallel_sweeps(
         &mut self,
         injection: &[f64],
+        v: &mut [f64],
         tolerance: f64,
         max_sweeps: usize,
         omega: f64,
     ) -> (usize, f64) {
-        let threads = self.schedule.threads();
-        let barrier = Barrier::new(threads);
-        let status = AtomicUsize::new(RUN);
-        let sweeps_done = AtomicUsize::new(0);
-        let final_delta = AtomicU64::new(f64::INFINITY.to_bits());
-        let ctx = ParCtx {
-            w: self.width,
-            h: self.height,
-            g_h: self.g_h,
-            g_v: self.g_v,
-            omega,
-            tolerance,
-            max_sweeps,
-            threads,
-            fixed: &self.fixed,
-            injection,
-            segments: &self.segments,
-            red_idx: &self.red_idx,
-            black_idx: &self.black_idx,
-            red_chunks: &self.red_chunks,
-            black_chunks: &self.black_chunks,
-            factors: &self.factors,
-            atomic_v: &self.atomic_v,
-            deltas: &self.deltas,
-            barrier: &barrier,
-            status: &status,
-            sweeps_done: &sweeps_done,
-            final_delta: &final_delta,
-        };
-        std::thread::scope(|scope| {
-            let mut scratch_iter = self.scratches.iter_mut();
-            let main_scratch = scratch_iter.next().expect("thread-0 scratch");
-            for (i, scratch) in scratch_iter.enumerate() {
-                let ctx = &ctx;
-                scope.spawn(move || solve_worker(ctx, i + 1, scratch));
-            }
-            solve_worker(&ctx, 0, main_scratch);
-        });
+        let shared = Arc::clone(self.par.as_ref().expect("parallel shared state"));
+        {
+            let mut input = shared.input.write().expect("par input lock");
+            input.injection.copy_from_slice(injection);
+            input.omega = omega;
+            input.tolerance = tolerance;
+            input.max_sweeps = max_sweeps;
+        }
+        for (slot, &x) in shared.atomic_v.iter().zip(v.iter()) {
+            slot.store(x.to_bits(), Ordering::Relaxed);
+        }
+        shared.status.store(RUN, Ordering::Relaxed);
+        shared.sweeps_done.store(0, Ordering::Relaxed);
+        shared
+            .final_delta
+            .store(f64::INFINITY.to_bits(), Ordering::Relaxed);
+        self.dispatch_job(shared.clone());
+        for (slot, x) in shared.atomic_v.iter().zip(v.iter_mut()) {
+            *x = f64::from_bits(slot.load(Ordering::Relaxed));
+        }
         (
-            sweeps_done.load(Ordering::Relaxed),
-            f64::from_bits(final_delta.load(Ordering::Relaxed)),
+            shared.sweeps_done.load(Ordering::Relaxed),
+            f64::from_bits(shared.final_delta.load(Ordering::Relaxed)),
         )
     }
-}
 
-/// Shared context of one parallel solve.
-struct ParCtx<'a> {
-    w: usize,
-    h: usize,
-    g_h: f64,
-    g_v: f64,
-    omega: f64,
-    tolerance: f64,
-    max_sweeps: usize,
-    threads: usize,
-    fixed: &'a [bool],
-    injection: &'a [f64],
-    segments: &'a [Segment],
-    red_idx: &'a [u32],
-    black_idx: &'a [u32],
-    red_chunks: &'a [Range<usize>],
-    black_chunks: &'a [Range<usize>],
-    factors: &'a FactoredSegments,
-    atomic_v: &'a [AtomicU64],
-    deltas: &'a [AtomicU64],
-    barrier: &'a Barrier,
-    status: &'a AtomicUsize,
-    sweeps_done: &'a AtomicUsize,
-    final_delta: &'a AtomicU64,
-}
-
-/// The per-thread loop of a parallel solve. Thread 0 doubles as the
-/// reducer that decides convergence between sweeps. Every sweep costs
-/// three barrier waits: red→black, black→reduce, reduce→next sweep.
-fn solve_worker(ctx: &ParCtx<'_>, tid: usize, scratch: &mut [f64]) {
-    loop {
-        let mut local = 0.0f64;
-        for phase in 0..2 {
-            let (idx, chunk) = if phase == 0 {
-                (ctx.red_idx, &ctx.red_chunks[tid])
-            } else {
-                (ctx.black_idx, &ctx.black_chunks[tid])
-            };
-            let mut view = AtomicView(ctx.atomic_v);
-            for &si in &idx[chunk.clone()] {
-                local = local.max(solve_segment(
-                    ctx.segments[si as usize],
-                    ctx.factors,
-                    ctx.w,
-                    ctx.h,
-                    ctx.g_h,
-                    ctx.g_v,
-                    ctx.fixed,
-                    ctx.injection,
-                    ctx.omega,
-                    scratch,
-                    &mut view,
-                ));
-            }
-            // All writes of this color must land before any thread reads
-            // them in the next phase.
-            ctx.barrier.wait();
-        }
-        ctx.deltas[tid].store(local.to_bits(), Ordering::Relaxed);
-        ctx.barrier.wait();
-        if tid == 0 {
-            let delta = ctx
-                .deltas
-                .iter()
-                .take(ctx.threads)
-                .map(|d| f64::from_bits(d.load(Ordering::Relaxed)))
-                .fold(0.0f64, f64::max);
-            ctx.final_delta.store(delta.to_bits(), Ordering::Relaxed);
-            let done = ctx.sweeps_done.fetch_add(1, Ordering::Relaxed) + 1;
-            if delta < ctx.tolerance {
-                ctx.status.store(DONE, Ordering::Relaxed);
-            } else if done >= ctx.max_sweeps {
-                ctx.status.store(BUDGET, Ordering::Relaxed);
-            }
-        }
-        ctx.barrier.wait();
-        if ctx.status.load(Ordering::Relaxed) != RUN {
-            return;
-        }
-    }
-}
-
-/// Shared context of one parallel batched solve.
-struct BatchCtx<'a> {
-    w: usize,
-    h: usize,
-    g_h: f64,
-    g_v: f64,
-    omega: f64,
-    tolerance: f64,
-    max_sweeps: usize,
-    threads: usize,
-    lanes: usize,
-    fixed: &'a [bool],
-    injection: &'a [f64],
-    segments: &'a [Segment],
-    red_idx: &'a [u32],
-    black_idx: &'a [u32],
-    red_chunks: &'a [Range<usize>],
-    black_chunks: &'a [Range<usize>],
-    factors: &'a FactoredSegments,
-    atomic_v: &'a [AtomicU64],
-    /// `threads × lanes` per-sweep delta slots.
-    deltas: &'a [AtomicU64],
-    /// Shared per-lane active flags (thread 0 is the only writer).
-    active: &'a [AtomicBool],
-    barrier: &'a Barrier,
-    status: &'a AtomicUsize,
-}
-
-/// Reducer-only state of a parallel batched solve, owned by thread 0.
-struct BatchLead<'a> {
-    lanes: &'a mut [LaneReport],
-    sweeps: &'a mut usize,
-}
-
-/// The per-thread loop of a parallel batched solve. Mirrors
-/// [`solve_worker`]'s barrier structure; thread 0 (`lead` present)
-/// reduces the per-lane deltas between sweeps and decides which lanes
-/// freeze, so freezing — and therefore every lane's iterate — is
-/// deterministic in the thread count.
-fn batch_worker(
-    ctx: &BatchCtx<'_>,
-    tid: usize,
-    scratch: &mut [f64],
-    active: &mut [bool],
-    delta: &mut [f64],
-    mut lead: Option<BatchLead<'_>>,
-) {
-    let k = ctx.lanes;
-    loop {
-        // The lane-active flags only change while every worker is parked
-        // at the post-reduce barrier, so a relaxed refresh here is safe.
-        for (a, slot) in active.iter_mut().zip(ctx.active) {
-            *a = slot.load(Ordering::Relaxed);
-        }
-        delta.fill(0.0);
-        for phase in 0..2 {
-            let (idx, chunk) = if phase == 0 {
-                (ctx.red_idx, &ctx.red_chunks[tid])
-            } else {
-                (ctx.black_idx, &ctx.black_chunks[tid])
-            };
-            let mut view = AtomicView(ctx.atomic_v);
-            for &si in &idx[chunk.clone()] {
-                solve_segment_batch(
-                    ctx.segments[si as usize],
-                    ctx.factors,
-                    ctx.w,
-                    ctx.h,
-                    ctx.g_h,
-                    ctx.g_v,
-                    ctx.fixed,
-                    ctx.injection,
-                    ctx.omega,
-                    k,
-                    active,
-                    scratch,
-                    &mut view,
-                    delta,
-                );
-            }
-            // All writes of this color must land before any thread reads
-            // them in the next phase.
-            ctx.barrier.wait();
-        }
-        for (j, &d) in delta.iter().enumerate() {
-            ctx.deltas[tid * k + j].store(d.to_bits(), Ordering::Relaxed);
-        }
-        ctx.barrier.wait();
-        if let Some(lead) = lead.as_mut() {
-            *lead.sweeps += 1;
-            let sweep = *lead.sweeps;
-            let mut n_active = 0usize;
-            for (j, lane) in lead.lanes.iter_mut().enumerate() {
-                if lane.converged {
-                    continue;
+    /// Hands a prepared job to the configured dispatch backend and blocks
+    /// until it drains.
+    fn dispatch_job(&mut self, job: Arc<dyn PoolJob>) {
+        let threads = self.topo.threads;
+        match self.dispatch {
+            ParDispatch::Pool => match &self.pool {
+                Some(pool) => pool.run(threads, job),
+                None => WorkerPool::global().run(threads, job),
+            },
+            ParDispatch::ScopedSpawn => {
+                // The pre-pool behaviour, kept as a benchmark baseline:
+                // fresh threads every solve, engine-owned reusable
+                // scratch (like the old per-engine scratch vectors), so
+                // the pool-vs-scoped delta measures dispatch cost alone.
+                if self.scoped_scratch.len() < threads {
+                    self.scoped_scratch
+                        .resize_with(threads, WorkerScratch::default);
                 }
-                let d = (0..ctx.threads)
-                    .map(|t| f64::from_bits(ctx.deltas[t * k + j].load(Ordering::Relaxed)))
-                    .fold(0.0f64, f64::max);
-                lane.iterations = sweep;
-                lane.residual = d;
-                if d < ctx.tolerance {
-                    lane.converged = true;
-                    ctx.active[j].store(false, Ordering::Relaxed);
-                } else {
-                    n_active += 1;
-                }
+                let scratches = &mut self.scoped_scratch;
+                std::thread::scope(|scope| {
+                    let mut iter = scratches.iter_mut();
+                    let lead = iter.next().expect("thread-0 scratch");
+                    for (i, ws) in iter.enumerate() {
+                        let job = &*job;
+                        scope.spawn(move || job.run(i + 1, ws));
+                    }
+                    job.run(0, lead);
+                });
             }
-            if n_active == 0 {
-                ctx.status.store(DONE, Ordering::Relaxed);
-            } else if sweep >= ctx.max_sweeps {
-                ctx.status.store(BUDGET, Ordering::Relaxed);
-            }
-        }
-        ctx.barrier.wait();
-        if ctx.status.load(Ordering::Relaxed) != RUN {
-            return;
         }
     }
 }
@@ -1208,24 +1421,70 @@ impl VoltView for AtomicView<'_> {
     }
 }
 
+/// One lane of a node-major/lane-minor batch image, seen as a plain
+/// `n`-node view (node `i` maps to slot `i * k + j`). Lets the scalar
+/// kernel run unchanged on a single batch lane.
+struct LaneView<'a, V> {
+    v: &'a mut V,
+    k: usize,
+    j: usize,
+}
+
+impl<V: VoltView> VoltView for LaneView<'_, V> {
+    #[inline(always)]
+    fn get(&self, i: usize) -> f64 {
+        self.v.get(i * self.k + self.j)
+    }
+
+    #[inline(always)]
+    fn set(&mut self, i: usize, value: f64) {
+        self.v.set(i * self.k + self.j, value);
+    }
+}
+
+/// Read access to a right-hand-side vector, monomorphized so the scalar
+/// kernel serves both plain slices and single lanes of a batch image.
+trait InjSrc {
+    fn at(&self, node: usize) -> f64;
+}
+
+impl InjSrc for [f64] {
+    #[inline(always)]
+    fn at(&self, node: usize) -> f64 {
+        self[node]
+    }
+}
+
+/// One lane of a node-major/lane-minor batch right-hand side.
+struct LaneInj<'a> {
+    inj: &'a [f64],
+    k: usize,
+    j: usize,
+}
+
+impl InjSrc for LaneInj<'_> {
+    #[inline(always)]
+    fn at(&self, node: usize) -> f64 {
+        self.inj[node * self.k + self.j]
+    }
+}
+
 /// Solves one prefactored row segment exactly (given the current
 /// neighbouring rows) and applies the (over-)relaxed update; returns the
 /// largest update in the segment.
-#[allow(clippy::too_many_arguments)]
 #[inline]
-fn solve_segment<V: VoltView>(
+fn solve_segment<V: VoltView, I: InjSrc + ?Sized>(
+    topo: &Topo,
     seg: Segment,
-    factors: &FactoredSegments,
-    w: usize,
-    h: usize,
-    g_h: f64,
-    g_v: f64,
-    fixed: &[bool],
-    injection: &[f64],
+    injection: &I,
     omega: f64,
     scratch: &mut [f64],
     view: &mut V,
 ) -> f64 {
+    let (w, h) = (topo.width, topo.height);
+    let (g_h, g_v) = (topo.g_h, topo.g_v);
+    let fixed = &topo.fixed;
+    let factors = &topo.factors;
     let y = seg.row as usize;
     let start = seg.start as usize;
     let len = seg.len as usize;
@@ -1238,7 +1497,7 @@ fn solve_segment<V: VoltView>(
     for i in 0..len {
         let gx = start + i;
         let node = row0 + gx;
-        let mut b = injection[node];
+        let mut b = injection.at(node);
         if gx > 0 && fixed[node - 1] {
             b += g_h * view.get(node - 1);
         }
@@ -1272,6 +1531,54 @@ fn solve_segment<V: VoltView>(
     max_delta
 }
 
+/// Runs the selected batched kernel on one segment. All three kernels
+/// perform the same per-lane arithmetic, so the choice cannot change any
+/// lane's iterate (see the module docs).
+#[allow(clippy::too_many_arguments)] // the shared batched-kernel surface
+#[inline]
+fn batch_segment_dispatch<V: VoltView>(
+    kernel: BatchKernel,
+    topo: &Topo,
+    seg: Segment,
+    injection: &[f64],
+    omega: f64,
+    k: usize,
+    active: &[bool],
+    ids: &[u32],
+    scratch: &mut [f64],
+    view: &mut V,
+    delta: &mut [f64],
+) {
+    match kernel {
+        BatchKernel::Full => {
+            solve_segment_batch(topo, seg, injection, omega, k, active, scratch, view, delta);
+        }
+        BatchKernel::Compact => {
+            solve_segment_batch_ids(topo, seg, injection, omega, k, ids, scratch, view, delta);
+        }
+        BatchKernel::Scalar => {
+            for &j in ids {
+                let j = j as usize;
+                let d = solve_segment(
+                    topo,
+                    seg,
+                    &LaneInj {
+                        inj: injection,
+                        k,
+                        j,
+                    },
+                    omega,
+                    scratch,
+                    &mut LaneView { v: view, k, j },
+                );
+                if d > delta[j] {
+                    delta[j] = d;
+                }
+            }
+        }
+    }
+}
+
 /// Batched [`solve_segment`]: solves one prefactored row segment for all
 /// `k` lanes at once. `injection` and the view are node-major/lane-minor
 /// (lane `j` of node `i` at `i * k + j`), so every inner loop over the
@@ -1284,13 +1591,8 @@ fn solve_segment<V: VoltView>(
 #[allow(clippy::too_many_arguments)]
 #[inline]
 fn solve_segment_batch<V: VoltView>(
+    topo: &Topo,
     seg: Segment,
-    factors: &FactoredSegments,
-    w: usize,
-    h: usize,
-    g_h: f64,
-    g_v: f64,
-    fixed: &[bool],
     injection: &[f64],
     omega: f64,
     k: usize,
@@ -1299,6 +1601,10 @@ fn solve_segment_batch<V: VoltView>(
     view: &mut V,
     delta: &mut [f64],
 ) {
+    let (w, h) = (topo.width, topo.height);
+    let (g_h, g_v) = (topo.g_h, topo.g_v);
+    let fixed = &topo.fixed;
+    let factors = &topo.factors;
     let y = seg.row as usize;
     let start = seg.start as usize;
     let len = seg.len as usize;
@@ -1357,6 +1663,94 @@ fn solve_segment_batch<V: VoltView>(
             let old = view.get(base + j);
             let relaxed = old + omega * (xi - old);
             let new = if active[j] { relaxed } else { old };
+            let d = (new - old).abs();
+            if d > delta[j] {
+                delta[j] = d;
+            }
+            view.set(base + j, new);
+        }
+    }
+}
+
+/// Compacted [`solve_segment_batch`]: sweeps only the lanes listed in
+/// `ids` — gather their right-hand sides into `ids.len()`-wide rows,
+/// substitute, scatter the relaxed updates back. Frozen lanes are never
+/// read or written, and each listed lane runs exactly the arithmetic of
+/// the full kernel, bit for bit.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn solve_segment_batch_ids<V: VoltView>(
+    topo: &Topo,
+    seg: Segment,
+    injection: &[f64],
+    omega: f64,
+    k: usize,
+    ids: &[u32],
+    scratch: &mut [f64],
+    view: &mut V,
+    delta: &mut [f64],
+) {
+    let m = ids.len();
+    let (w, h) = (topo.width, topo.height);
+    let (g_h, g_v) = (topo.g_h, topo.g_v);
+    let fixed = &topo.fixed;
+    let factors = &topo.factors;
+    let y = seg.row as usize;
+    let start = seg.start as usize;
+    let len = seg.len as usize;
+    let row0 = y * w;
+    let offset = seg.offset as usize;
+    for i in 0..len {
+        let gx = start + i;
+        let node = row0 + gx;
+        let base = node * k;
+        let (done, rest) = scratch.split_at_mut(i * m);
+        let row = &mut rest[..m];
+        for (b, &j) in row.iter_mut().zip(ids) {
+            *b = injection[base + j as usize];
+        }
+        if gx > 0 && fixed[node - 1] {
+            let nb = (node - 1) * k;
+            for (b, &j) in row.iter_mut().zip(ids) {
+                *b += g_h * view.get(nb + j as usize);
+            }
+        }
+        if gx + 1 < w && fixed[node + 1] {
+            let nb = (node + 1) * k;
+            for (b, &j) in row.iter_mut().zip(ids) {
+                *b += g_h * view.get(nb + j as usize);
+            }
+        }
+        if y > 0 {
+            let nb = (node - w) * k;
+            for (b, &j) in row.iter_mut().zip(ids) {
+                *b += g_v * view.get(nb + j as usize);
+            }
+        }
+        if y + 1 < h {
+            let nb = (node + w) * k;
+            for (b, &j) in row.iter_mut().zip(ids) {
+                *b += g_v * view.get(nb + j as usize);
+            }
+        }
+        let prev = if i == 0 {
+            None
+        } else {
+            Some(&done[(i - 1) * m..])
+        };
+        factors.forward_row(offset + i, row, prev);
+    }
+    for i in (0..len).rev() {
+        let (head, tail) = scratch.split_at_mut((i + 1) * m);
+        let row = &mut head[i * m..];
+        let next = if i + 1 == len { None } else { Some(&tail[..m]) };
+        factors.backward_row(offset + i, row, next);
+        let node = row0 + start + i;
+        let base = node * k;
+        for (&xi, &j) in row.iter().zip(ids) {
+            let j = j as usize;
+            let old = view.get(base + j);
+            let new = old + omega * (xi - old);
             let d = (new - old).abs();
             if d > delta[j] {
                 delta[j] = d;
@@ -1483,6 +1877,24 @@ mod tests {
     }
 
     #[test]
+    fn pool_and_scoped_dispatch_are_bitwise_identical() {
+        let (w, h) = (19, 14);
+        let (fixed, v0, injection) = random_problem(6, w, h);
+        let mut v_pool = v0.clone();
+        let rep_pool = engine(w, h, &fixed, SweepSchedule::RedBlack { threads: 3 })
+            .solve(&injection, &mut v_pool, 1e-10, 100_000)
+            .unwrap();
+        let mut v_scoped = v0.clone();
+        let mut e = engine(w, h, &fixed, SweepSchedule::RedBlack { threads: 3 });
+        e.set_dispatch(ParDispatch::ScopedSpawn);
+        assert_eq!(e.dispatch(), ParDispatch::ScopedSpawn);
+        let rep_scoped = e.solve(&injection, &mut v_scoped, 1e-10, 100_000).unwrap();
+        assert_eq!(v_pool, v_scoped);
+        assert_eq!(rep_pool.iterations, rep_scoped.iterations);
+        assert_eq!(rep_pool.residual.to_bits(), rep_scoped.residual.to_bits());
+    }
+
+    #[test]
     fn redblack_agrees_with_sequential_solution() {
         let (w, h) = (20, 15);
         let (fixed, v0, injection) = random_problem(3, w, h);
@@ -1589,6 +2001,20 @@ mod tests {
         assert_eq!(SweepSchedule::RedBlack { threads: 0 }.threads(), 1);
     }
 
+    #[test]
+    fn compaction_crossover_covers_all_kernels() {
+        assert_eq!(choose_batch_kernel(8, 8, true), BatchKernel::Full);
+        assert_eq!(choose_batch_kernel(7, 8, true), BatchKernel::Full);
+        assert_eq!(choose_batch_kernel(4, 8, true), BatchKernel::Compact);
+        assert_eq!(choose_batch_kernel(2, 8, true), BatchKernel::Scalar);
+        assert_eq!(choose_batch_kernel(1, 64, true), BatchKernel::Scalar);
+        assert_eq!(choose_batch_kernel(16, 64, true), BatchKernel::Compact);
+        // Compaction disabled: always the full kernel (the PR 2 path).
+        for m in 0..=8 {
+            assert_eq!(choose_batch_kernel(m, 8, false), BatchKernel::Full);
+        }
+    }
+
     /// Interleaves lane-major vectors into the node-major batch layout.
     fn interleave(lanes: &[Vec<f64>]) -> Vec<f64> {
         let k = lanes.len();
@@ -1677,6 +2103,113 @@ mod tests {
             let mut lanes = vec![LaneReport::default(); k];
             engine(w, h, &fixed, SweepSchedule::RedBlack { threads })
                 .solve_batch(&injection, &mut vt, 1e-10, 100_000, &mut lanes)
+                .unwrap();
+            assert_eq!(v1, vt, "{threads} threads must be bitwise equal");
+            assert_eq!(lanes, lanes1);
+        }
+    }
+
+    #[test]
+    fn compacted_batch_is_bitwise_identical_to_uncompacted() {
+        // The compaction heuristic must not change any lane's iterate or
+        // report, on any schedule, with or without an initial mask. The
+        // staggered per-lane injections freeze lanes at different sweeps,
+        // so a solve crosses full → compact → scalar kernels as it runs.
+        let (w, h, k) = (15, 11, 8);
+        let masks: [Option<Vec<bool>>; 2] = [
+            None,
+            Some((0..k).map(|j| j % 3 != 1).collect()), // some lanes frozen from the start
+        ];
+        for schedule in [
+            SweepSchedule::Sequential,
+            SweepSchedule::RedBlack { threads: 1 },
+            SweepSchedule::RedBlack { threads: 3 },
+        ] {
+            for mask in &masks {
+                let (fixed, v0s, injections) = batch_fixture(12, w, h, k);
+                let injection = interleave(&injections);
+                let mut v_on = interleave(&v0s);
+                let mut lanes_on = vec![LaneReport::default(); k];
+                let mut e_on = engine(w, h, &fixed, schedule);
+                assert!(e_on.lane_compaction());
+                e_on.solve_batch_masked(
+                    &injection,
+                    &mut v_on,
+                    1e-10,
+                    100_000,
+                    1.0,
+                    mask.as_deref(),
+                    &mut lanes_on,
+                )
+                .unwrap();
+                let mut v_off = interleave(&v0s);
+                let mut lanes_off = vec![LaneReport::default(); k];
+                let mut e_off = engine(w, h, &fixed, schedule);
+                e_off.set_lane_compaction(false);
+                e_off
+                    .solve_batch_masked(
+                        &injection,
+                        &mut v_off,
+                        1e-10,
+                        100_000,
+                        1.0,
+                        mask.as_deref(),
+                        &mut lanes_off,
+                    )
+                    .unwrap();
+                let eq = v_on
+                    .iter()
+                    .zip(&v_off)
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+                assert!(
+                    eq,
+                    "{schedule:?} mask {:?}: voltages differ",
+                    mask.is_some()
+                );
+                assert_eq!(
+                    lanes_on,
+                    lanes_off,
+                    "{schedule:?} mask {:?}",
+                    mask.is_some()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compacted_batch_thread_count_invariant_under_mask() {
+        // Compaction kicks in from sweep 0 with a sparse mask; iterates
+        // must still be bitwise invariant in the thread count.
+        let (w, h, k) = (17, 12, 8);
+        let (fixed, v0s, injections) = batch_fixture(9, w, h, k);
+        let injection = interleave(&injections);
+        let mask: Vec<bool> = (0..k).map(|j| j == 2 || j == 5).collect();
+        let mut v1 = interleave(&v0s);
+        let mut lanes1 = vec![LaneReport::default(); k];
+        engine(w, h, &fixed, SweepSchedule::RedBlack { threads: 1 })
+            .solve_batch_masked(
+                &injection,
+                &mut v1,
+                1e-10,
+                100_000,
+                1.0,
+                Some(&mask),
+                &mut lanes1,
+            )
+            .unwrap();
+        for threads in [2usize, 4] {
+            let mut vt = interleave(&v0s);
+            let mut lanes = vec![LaneReport::default(); k];
+            engine(w, h, &fixed, SweepSchedule::RedBlack { threads })
+                .solve_batch_masked(
+                    &injection,
+                    &mut vt,
+                    1e-10,
+                    100_000,
+                    1.0,
+                    Some(&mask),
+                    &mut lanes,
+                )
                 .unwrap();
             assert_eq!(v1, vt, "{threads} threads must be bitwise equal");
             assert_eq!(lanes, lanes1);
@@ -1779,11 +2312,67 @@ mod tests {
     }
 
     #[test]
+    fn pool_reuse_across_engine_sizes_is_correct_and_bounded() {
+        // One isolated pool serves engines of very different sizes in
+        // alternation: results must match fresh solves and the pinned
+        // worker scratch must stop growing after the largest engine has
+        // been seen once.
+        let pool = Arc::new(WorkerPool::new());
+        let sizes = [(26usize, 19usize, 3u64), (8, 6, 4), (26, 19, 3), (8, 6, 4)];
+        let mut reference: Vec<Vec<f64>> = Vec::new();
+        // Pass 1 (cold): collect reference solutions from fresh engines.
+        for &(w, h, seed) in &sizes {
+            let (fixed, v0, injection) = random_problem(seed, w, h);
+            let mut v = v0.clone();
+            engine(w, h, &fixed, SweepSchedule::RedBlack { threads: 3 })
+                .solve(&injection, &mut v, 1e-10, 100_000)
+                .unwrap();
+            reference.push(v);
+        }
+        let run_cycle = |pool: &Arc<WorkerPool>| {
+            for (i, &(w, h, seed)) in sizes.iter().enumerate() {
+                let (fixed, v0, injection) = random_problem(seed, w, h);
+                let mut e = engine(w, h, &fixed, SweepSchedule::RedBlack { threads: 3 });
+                e.set_pool(Arc::clone(pool));
+                let mut v = v0.clone();
+                e.solve(&injection, &mut v, 1e-10, 100_000).unwrap();
+                assert_eq!(v, reference[i], "size case {i}");
+                // A batched solve on the same pool exercises the batch
+                // scratch sizing too.
+                let k = 3;
+                let inj_b = interleave(&vec![injection.clone(); k]);
+                let mut v_b = interleave(&vec![v0.clone(); k]);
+                let mut lanes = vec![LaneReport::default(); k];
+                e.solve_batch(&inj_b, &mut v_b, 1e-10, 100_000, &mut lanes)
+                    .unwrap();
+                for j in 0..k {
+                    assert_eq!(lane_of(&v_b, j, k), reference[i], "size case {i} lane {j}");
+                }
+            }
+        };
+        run_cycle(&pool);
+        let after_first = pool.scratch_bytes();
+        assert!(after_first > 0);
+        run_cycle(&pool);
+        run_cycle(&pool);
+        assert_eq!(
+            pool.scratch_bytes(),
+            after_first,
+            "pool scratch must not grow when engine sizes alternate"
+        );
+        assert_eq!(pool.workers_spawned(), 2);
+    }
+
+    #[test]
     fn chunks_cover_all_segments_without_overlap() {
         let (w, h) = (31, 23);
         let (fixed, _, _) = random_problem(4, w, h);
         let e = engine(w, h, &fixed, SweepSchedule::RedBlack { threads: 5 });
-        for (idx, chunks) in [(&e.red_idx, &e.red_chunks), (&e.black_idx, &e.black_chunks)] {
+        let topo = &e.topo;
+        for (idx, chunks) in [
+            (&topo.red_idx, &topo.red_chunks),
+            (&topo.black_idx, &topo.black_chunks),
+        ] {
             assert_eq!(chunks.len(), 5);
             let mut covered = 0usize;
             let mut expect_begin = 0usize;

@@ -39,15 +39,25 @@
 //!   for 1, 2, … threads); the converged solution agrees with the
 //!   sequential schedule to the solve tolerance.
 //!
+//! Multi-threaded solves run on the persistent [`WorkerPool`]: threads
+//! are spawned once per process, park between solves, and keep their
+//! substitution scratch pinned, so **warm parallel solves are
+//! allocation-free** end to end — the former per-solve scoped thread
+//! spawn (~60 allocator calls) survives only as the
+//! [`engine::ParDispatch::ScopedSpawn`] benchmark baseline.
 //! [`Rb3d::parallelism`] and `voltprop_core`'s `VpConfig::parallelism`
-//! expose the knob one level up.
+//! expose the thread knob one level up.
 //!
 //! Both schedules also run **batched**: [`TierEngine::solve_batch`]
 //! sweeps `k` right-hand sides together (node-major/lane-minor layout,
 //! `i * k + j`), freezing each lane independently the moment its own
 //! update drops below tolerance — so every lane is bitwise identical to
 //! its standalone solve while the factor loads and thread handoffs are
-//! amortized over the whole batch. Per-lane outcomes come back as
+//! amortized over the whole batch. Frozen lanes cost (almost) nothing:
+//! each sweep **compacts to the active lanes** (gather → sweep →
+//! scatter, falling back to a scalar per-lane kernel at very low active
+//! counts), so one straggler in a wide batch pays a single solve's
+//! arithmetic rather than the batch's. Per-lane outcomes come back as
 //! [`LaneReport`]s.
 //!
 //! # Example
@@ -76,6 +86,7 @@ mod direct;
 pub mod engine;
 mod error;
 mod pcg;
+pub mod pool;
 mod precond;
 pub mod random_walk;
 pub mod rb3d;
@@ -88,9 +99,10 @@ mod traits;
 pub use amg::AmgHierarchy;
 pub use cg::ConjugateGradient;
 pub use direct::DirectCholesky;
-pub use engine::{SweepSchedule, TierEngine};
+pub use engine::{ParDispatch, SweepSchedule, TierEngine};
 pub use error::SolverError;
 pub use pcg::Pcg;
+pub use pool::{PoolJob, WorkerPool, WorkerScratch};
 pub use precond::{PrecondKind, Preconditioner};
 pub use random_walk::RandomWalkSolver;
 pub use rb3d::Rb3d;

@@ -46,10 +46,11 @@ pub struct Rb3d {
     /// alternating-direction schedule, larger values sweep red-black.
     ///
     /// Rb3d rebuilds each tier's injection between sweeps, so the
-    /// parallel path pays a thread-pool spawn plus two full-tier copies
-    /// **per tier per iteration**; it only pays off on tiers large
-    /// enough to amortize that (hundreds of thousands of nodes per
-    /// tier). For small grids keep `1`.
+    /// parallel path pays a worker-pool hand-off plus two full-tier
+    /// copies **per tier per iteration** (the hand-off is allocation-free
+    /// once the persistent pool is warm, but the copies are not free);
+    /// it only pays off on tiers large enough to amortize that. For
+    /// small grids keep `1`.
     pub parallelism: usize,
 }
 
