@@ -22,7 +22,12 @@
 //!   the warm pool solves;
 //! * active-lane compaction: fixed-budget batch-64 masked sweeps at 1/8/
 //!   32 active lanes, compacted vs uncompacted (asserted bitwise
-//!   identical) against a scalar single-RHS reference.
+//!   identical) against a scalar single-RHS reference;
+//! * the `Session` lifecycle: warm single, batch-64, and 24-step
+//!   transient requests on one prefactored session, **asserting zero
+//!   allocator calls** per warm request and bitwise identity to the
+//!   deprecated `VpSolver` entry points (whose warm latencies are
+//!   recorded alongside).
 //!
 //! Each invocation appends one JSON entry to `BENCH_rowbased.json` at the
 //! repository root (see [`voltprop_bench::trajectory`]), building the
@@ -41,7 +46,7 @@ use voltprop_bench::alloc::{self, CountingAllocator};
 use voltprop_bench::trajectory::{
     append_run, hardware_context_json, hardware_threads, json_bool, json_f64,
 };
-use voltprop_core::{VpConfig, VpScratch, VpSolver};
+use voltprop_core::{LoadCase, LoadSet, Session, VpConfig, VpScratch, VpSolver};
 use voltprop_grid::{NetKind, Stack3d};
 use voltprop_solvers::rowbased::{RbWorkspace, RowBased, TierProblem};
 use voltprop_solvers::{LaneReport, ParDispatch, SweepSchedule, TierEngine};
@@ -193,27 +198,27 @@ fn row_sweep_block(edge: usize, sweeps: usize) -> String {
     )
 }
 
-/// One full-solver block: VpSolver at a given parallelism on a stack,
-/// timed warm (scratch prebuilt, second solve measured), with allocator
-/// deltas across the measured solve.
+/// One full-solver block: a prefactored `Session` at a given parallelism
+/// on a stack, timed warm (built up front, second solve measured), with
+/// allocator deltas across the measured solve.
 fn vp_block(w: usize, h: usize, tiers: usize, parallelism: usize, dv_vs_seq: f64) -> String {
-    eprintln!("VpSolver {w}x{h}x{tiers} parallelism={parallelism}...");
+    eprintln!("Session {w}x{h}x{tiers} parallelism={parallelism}...");
     let stack = Stack3d::builder(w, h, tiers)
         .uniform_load(2e-4)
         .build()
         .expect("valid stack");
-    let solver = VpSolver::new(VpConfig::new().parallelism(parallelism));
-    let mut scratch = VpScratch::new(&stack, &solver.config).expect("scratch");
-    // Warm solve: faults pages, fills the scratch.
-    solver
-        .solve_with(&stack, NetKind::Power, &mut scratch)
-        .expect("warm solve converges");
+    let mut session =
+        Session::build(&stack, VpConfig::new().parallelism(parallelism)).expect("session builds");
+    let case = LoadCase::new(&stack);
+    // Warm solve: faults pages, fills the arenas.
+    session.solve(&case).expect("warm solve converges");
     let calls_before = alloc::alloc_calls();
     let bytes_before = alloc::reset_peak();
     let start = Instant::now();
-    let report = solver
-        .solve_with(&stack, NetKind::Power, &mut scratch)
-        .expect("timed solve converges");
+    let report = *session
+        .solve(&case)
+        .expect("timed solve converges")
+        .report();
     let ms = start.elapsed().as_secs_f64() * 1e3;
     let alloc_calls = alloc::alloc_calls() - calls_before;
     let alloc_peak_bytes = alloc::peak_bytes().saturating_sub(bytes_before);
@@ -253,7 +258,6 @@ fn batch_block(w: usize, h: usize, tiers: usize, batch_sizes: &[usize]) -> Strin
         .uniform_load(2e-4)
         .build()
         .expect("valid stack");
-    let solver = VpSolver::default();
     let nn = stack.num_nodes();
     let kmax = *batch_sizes.iter().max().expect("non-empty batch sizes");
     let loads = sweep_loads(&stack, kmax);
@@ -262,8 +266,9 @@ fn batch_block(w: usize, h: usize, tiers: usize, batch_sizes: &[usize]) -> Strin
     // time and the solution each batch lane must reproduce exactly. The
     // lane stacks are prebuilt and the agreement snapshots taken in a
     // separate untimed pass, so the timed window holds nothing but warm
-    // `solve_with` calls (clone/copy overhead must not pad the reference
-    // the batch speedup is judged against).
+    // single-case solves (clone/copy overhead must not pad the reference
+    // the batch speedup is judged against). One session serves both the
+    // sequential reference and every batch size.
     let lane_stacks: Vec<Stack3d> = (0..kmax)
         .map(|j| {
             let mut s = stack.clone();
@@ -272,18 +277,18 @@ fn batch_block(w: usize, h: usize, tiers: usize, batch_sizes: &[usize]) -> Strin
             s
         })
         .collect();
-    let mut seq_scratch = VpScratch::new(&stack, &solver.config).expect("scratch");
+    let mut session = Session::build(&stack, VpConfig::default()).expect("session builds");
     let mut seq_voltages: Vec<Vec<f64>> = Vec::with_capacity(kmax);
     for lane_stack in &lane_stacks {
-        solver
-            .solve_with(lane_stack, NetKind::Power, &mut seq_scratch)
+        let view = session
+            .solve(&LoadCase::new(lane_stack))
             .expect("sequential solve converges");
-        seq_voltages.push(seq_scratch.voltages().to_vec());
+        seq_voltages.push(view.voltages().to_vec());
     }
     let start = Instant::now();
     for lane_stack in &lane_stacks {
-        solver
-            .solve_with(lane_stack, NetKind::Power, &mut seq_scratch)
+        session
+            .solve(&LoadCase::new(lane_stack))
             .expect("sequential solve converges");
     }
     let seq_ms_per_rhs = start.elapsed().as_secs_f64() * 1e3 / kmax as f64;
@@ -291,41 +296,20 @@ fn batch_block(w: usize, h: usize, tiers: usize, batch_sizes: &[usize]) -> Strin
     let mut batch_lines = Vec::new();
     let mut per_rhs_by_size = Vec::new();
     let mut worst_dv = 0.0f64;
-    let mut scratch = VpScratch::new(&stack, &solver.config).expect("scratch");
-    let mut reports = Vec::new();
     for &k in batch_sizes {
-        let batch_loads = &loads[..k * nn];
+        let set = LoadSet::new(&stack, &loads[..k * nn]);
         // Warm call sizes the arena; the second call is measured.
-        solver
-            .solve_batch(
-                &stack,
-                NetKind::Power,
-                batch_loads,
-                &mut scratch,
-                &mut reports,
-            )
-            .expect("warm batch solve");
+        session.solve_batch(&set).expect("warm batch solve");
         let calls_before = alloc::alloc_calls();
         let bytes_before = alloc::reset_peak();
         let start = Instant::now();
-        solver
-            .solve_batch(
-                &stack,
-                NetKind::Power,
-                batch_loads,
-                &mut scratch,
-                &mut reports,
-            )
-            .expect("timed batch solve");
+        let view = session.solve_batch(&set).expect("timed batch solve");
         let ms = start.elapsed().as_secs_f64() * 1e3;
         let alloc_calls = alloc::alloc_calls() - calls_before;
         let alloc_peak_bytes = alloc::peak_bytes().saturating_sub(bytes_before);
-        assert!(
-            reports.iter().all(|r| r.converged),
-            "batch {k}: all lanes must converge"
-        );
+        assert!(view.converged(), "batch {k}: all lanes must converge");
         for (j, seq_v) in seq_voltages.iter().take(k).enumerate() {
-            let dv = max_abs_diff(scratch.batch_voltages(j), seq_v);
+            let dv = max_abs_diff(view.lane_voltages(j).expect("lane in range"), seq_v);
             worst_dv = worst_dv.max(dv);
             assert!(
                 dv <= 1e-12,
@@ -543,10 +527,143 @@ fn vp_voltages(w: usize, h: usize, tiers: usize, parallelism: usize) -> Vec<f64>
         .uniform_load(2e-4)
         .build()
         .expect("valid stack");
-    VpSolver::new(VpConfig::new().parallelism(parallelism))
-        .solve(&stack, NetKind::Power)
-        .expect("solve converges")
-        .voltages
+    let mut session =
+        Session::build(&stack, VpConfig::new().parallelism(parallelism)).expect("session builds");
+    let view = session
+        .solve(&LoadCase::new(&stack))
+        .expect("solve converges");
+    view.voltages().to_vec()
+}
+
+/// The session-API experiment: one prefactored [`Session`] serving a warm
+/// single solve, a warm batch of `k` lanes, and a warm `steps`-step
+/// transient — asserting **zero allocator calls** on each warm request
+/// and **bitwise identity** against the deprecated
+/// `VpSolver::solve_with`/`solve_batch` paths, whose warm latencies are
+/// recorded alongside so the redesign's overhead (expected: none — the
+/// session runs the same engine) shows up in the trajectory.
+#[allow(deprecated)]
+fn session_block(w: usize, h: usize, tiers: usize, k: usize, steps: usize) -> String {
+    eprintln!("session lifecycle {w}x{h}x{tiers} (batch {k}, transient {steps})...");
+    let stack = Stack3d::builder(w, h, tiers)
+        .uniform_load(2e-4)
+        .build()
+        .expect("valid stack");
+    let nn = stack.num_nodes();
+    let config = VpConfig::default();
+    let loads = sweep_loads(&stack, k);
+    let wave = sweep_loads(&stack, steps);
+
+    // Legacy reference: scratch + deprecated entry points.
+    let solver = VpSolver::new(config);
+    let mut scratch = VpScratch::new(&stack, &config).expect("scratch");
+    let mut reports = Vec::new();
+    solver
+        .solve_with(&stack, NetKind::Power, &mut scratch)
+        .expect("legacy warm solve");
+    let start = Instant::now();
+    solver
+        .solve_with(&stack, NetKind::Power, &mut scratch)
+        .expect("legacy timed solve");
+    let legacy_single_ms = start.elapsed().as_secs_f64() * 1e3;
+    let legacy_voltages = scratch.voltages().to_vec();
+    solver
+        .solve_batch(&stack, NetKind::Power, &loads, &mut scratch, &mut reports)
+        .expect("legacy warm batch");
+    let start = Instant::now();
+    solver
+        .solve_batch(&stack, NetKind::Power, &loads, &mut scratch, &mut reports)
+        .expect("legacy timed batch");
+    let legacy_batch_ms = start.elapsed().as_secs_f64() * 1e3;
+    let legacy_batch_voltages: Vec<Vec<f64>> =
+        (0..k).map(|j| scratch.batch_voltages(j).to_vec()).collect();
+    solver
+        .solve_batch(&stack, NetKind::Power, &wave, &mut scratch, &mut reports)
+        .expect("legacy wave batch");
+    let legacy_wave_voltages: Vec<Vec<f64>> = (0..steps)
+        .map(|j| scratch.batch_voltages(j).to_vec())
+        .collect();
+
+    // The session path: build once, serve all three request shapes warm.
+    let mut session = Session::build(&stack, config).expect("session builds");
+    let case = LoadCase::new(&stack);
+    let timed =
+        |label: &str, session: &mut Session, run: &mut dyn FnMut(&mut Session)| -> (f64, usize) {
+            run(session); // warm
+            let calls_before = alloc::alloc_calls();
+            let start = Instant::now();
+            run(session);
+            let ms = start.elapsed().as_secs_f64() * 1e3;
+            let allocs = alloc::alloc_calls() - calls_before;
+            assert_eq!(allocs, 0, "{label}: warm session request must not allocate");
+            (ms, allocs)
+        };
+
+    let (single_ms, single_allocs) = timed("single", &mut session, &mut |s| {
+        s.solve(&case).expect("session solve");
+    });
+    let view = session.solve(&case).expect("session solve");
+    assert!(
+        view.voltages()
+            .iter()
+            .zip(&legacy_voltages)
+            .all(|(a, b)| a.to_bits() == b.to_bits()),
+        "session single solve must be bitwise identical to solve_with"
+    );
+
+    let set = LoadSet::new(&stack, &loads);
+    let (batch_ms, batch_allocs) = timed("batch", &mut session, &mut |s| {
+        s.solve_batch(&set).expect("session batch");
+    });
+    let view = session.solve_batch(&set).expect("session batch");
+    for (j, legacy) in legacy_batch_voltages.iter().enumerate() {
+        let lane = view.lane_voltages(j).expect("lane in range");
+        assert!(
+            lane.iter()
+                .zip(legacy)
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "session batch lane {j} must be bitwise identical to solve_batch"
+        );
+    }
+
+    let (transient_ms, transient_allocs) = timed("transient", &mut session, &mut |s| {
+        s.transient(&case, steps, |j, lane| {
+            lane.copy_from_slice(&wave[j * nn..(j + 1) * nn]);
+        })
+        .expect("session transient");
+    });
+    let view = session
+        .transient(&case, steps, |j, lane| {
+            lane.copy_from_slice(&wave[j * nn..(j + 1) * nn]);
+        })
+        .expect("session transient");
+    for (j, legacy) in legacy_wave_voltages.iter().enumerate() {
+        let lane = view.lane_voltages(j).expect("lane in range");
+        assert!(
+            lane.iter()
+                .zip(legacy)
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "session transient step {j} must be bitwise identical to the legacy batch"
+        );
+    }
+
+    format!(
+        "{{\n    \"grid\": \"{w}x{h}x{tiers}\",\n    \"batch\": {k},\n    \
+         \"transient_steps\": {steps},\n    \
+         \"legacy_single_warm_ms\": {},\n    \"session_single_warm_ms\": {},\n    \
+         \"legacy_batch_warm_ms\": {},\n    \"session_batch_warm_ms\": {},\n    \
+         \"session_transient_warm_ms\": {},\n    \
+         \"session_single_warm_alloc_calls\": {single_allocs},\n    \
+         \"session_batch_warm_alloc_calls\": {batch_allocs},\n    \
+         \"session_transient_warm_alloc_calls\": {transient_allocs},\n    \
+         \"bitwise_identical_to_legacy\": {}\n  }}",
+        json_f64(legacy_single_ms),
+        json_f64(single_ms),
+        json_f64(legacy_batch_ms),
+        json_f64(batch_ms),
+        json_f64(transient_ms),
+        json_bool(true),
+    )
 }
 
 fn repo_root() -> PathBuf {
@@ -644,6 +761,16 @@ fn main() {
         ]
     };
 
+    // The session lifecycle experiment: batch-64 and a 24-step transient
+    // on one prefactored session, zero warm allocations, bitwise equal to
+    // the deprecated entry points (the acceptance contract of the
+    // `Session` API redesign).
+    let session_blocks = if quick {
+        vec![session_block(64, 64, 3, 64, 24)]
+    } else {
+        vec![session_block(128, 128, 3, 64, 24)]
+    };
+
     let unix_time = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
@@ -654,12 +781,13 @@ fn main() {
          \"hardware_threads\": {hardware_threads},\n  \
          \"row_sweeps\": [\n  {}\n  ],\n  \"vp_solver\": [\n  {}\n  ],\n  \
          \"vp_batch\": [\n  {}\n  ],\n  \"pool_latency\": [\n  {}\n  ],\n  \
-         \"batch_compaction\": [\n  {}\n  ]\n}}",
+         \"batch_compaction\": [\n  {}\n  ],\n  \"session\": [\n  {}\n  ]\n}}",
         row_blocks.join(",\n  "),
         vp_blocks.join(",\n  "),
         batch_blocks.join(",\n  "),
         pool_blocks.join(",\n  "),
         compaction_blocks.join(",\n  "),
+        session_blocks.join(",\n  "),
     );
     if let Err(e) = append_run(&out, &entry) {
         eprintln!("error: could not append to {}: {e}", out.display());

@@ -6,7 +6,7 @@ use crate::harness::{run_stack_solver, MeasuredRun};
 use crate::paper;
 use crate::table::{mib, secs, Table};
 use std::error::Error;
-use voltprop_core::VpSolver;
+use voltprop_core::{LoadCase, Session, VpConfig, VpSolver};
 use voltprop_grid::{LoadProfile, NetKind, Stack3d, SynthConfig, TableCircuit, TsvPattern};
 use voltprop_solvers::{DirectCholesky, Pcg, PrecondKind, RandomWalkSolver, Rb3d, StackSolver};
 
@@ -312,14 +312,15 @@ pub fn rb_vs_vp() -> Report {
             .build()?;
         let (rb, _) = run_stack_solver(&Rb3d::default(), &stack, NetKind::Power, None)?;
         let t0 = std::time::Instant::now();
-        let vp = VpSolver::default().solve(&stack, NetKind::Power)?;
+        let mut session = Session::build(&stack, VpConfig::default())?;
+        let vp = session.solve(&LoadCase::new(&stack))?;
         let vp_secs = t0.elapsed().as_secs_f64();
         t.add_row(vec![
             format!("{r_tsv}"),
             rb.iterations.to_string(),
             secs(rb.seconds),
-            vp.report.outer_iterations.to_string(),
-            vp.report.inner_sweeps.to_string(),
+            vp.report().outer_iterations.to_string(),
+            vp.report().inner_sweeps.to_string(),
             secs(vp_secs),
         ]);
     }
@@ -407,32 +408,31 @@ pub fn tsv_patterns() -> Report {
         // escalate ε within the budget and let the error column keep the
         // result honest.
         let mut vp = None;
+        let mut session = Session::build(&stack, VpConfig::default())?;
         for eps in [1e-4, 3e-4, 4.5e-4] {
-            match VpSolver::new(voltprop_core::VpConfig::new().epsilon(eps))
-                .solve(&stack, NetKind::Power)
-            {
-                Ok(sol) => {
-                    vp = Some(sol);
+            let case = LoadCase::new(&stack).params(voltprop_core::SolveParams::new().epsilon(eps));
+            match session.solve(&case) {
+                Ok(view) => {
+                    vp = Some((view.voltages().to_vec(), *view.report()));
                     break;
                 }
-                Err(voltprop_solvers::SolverError::DidNotConverge { .. }) => continue,
+                Err(voltprop_core::SessionError::Solver(
+                    voltprop_solvers::SolverError::DidNotConverge { .. },
+                )) => continue,
                 Err(e) => return Err(e.into()),
             }
         }
-        let Some(vp) = vp else {
+        let Some((voltages, report)) = vp else {
             t.add_row(vec![label.into(), "did not converge within 0.45 mV".into()]);
             continue;
         };
-        let err = voltprop_solvers::residual::max_abs_error(&ref_v, &vp.voltages);
-        let worst = vp
-            .voltages
-            .iter()
-            .fold(0.0f64, |m, &v| m.max(stack.vdd() - v));
+        let err = voltprop_solvers::residual::max_abs_error(&ref_v, &voltages);
+        let worst = voltages.iter().fold(0.0f64, |m, &v| m.max(stack.vdd() - v));
         t.add_row(vec![
             label.into(),
             stack.tsv_sites().len().to_string(),
-            vp.report.outer_iterations.to_string(),
-            vp.report.inner_sweeps.to_string(),
+            report.outer_iterations.to_string(),
+            report.inner_sweeps.to_string(),
             format!("{:.4}", err * 1e3),
             format!("{:.2}", worst * 1e3),
         ]);
@@ -458,7 +458,8 @@ pub fn tiers() -> Report {
     for tiers in [2usize, 3, 4, 6] {
         let stack = SynthConfig::new(40, 40, tiers).seed(SEED).build()?;
         let t0 = std::time::Instant::now();
-        let vp = VpSolver::default().solve(&stack, NetKind::Power)?;
+        let mut session = Session::build(&stack, VpConfig::default())?;
+        let vp = session.solve(&LoadCase::new(&stack))?;
         let vp_secs = t0.elapsed().as_secs_f64();
         let (pcg, _) = run_stack_solver(&Pcg::default(), &stack, NetKind::Power, None)?;
         t.add_row(vec![
@@ -467,7 +468,7 @@ pub fn tiers() -> Report {
             secs(vp_secs),
             secs(pcg.seconds),
             format!("{:.1}x", pcg.seconds / vp_secs),
-            vp.report.outer_iterations.to_string(),
+            vp.report().outer_iterations.to_string(),
         ]);
     }
     let mut out =

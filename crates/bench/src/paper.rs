@@ -113,7 +113,7 @@ pub fn row_for(circuit: TableCircuit) -> &'static PaperRow {
         .expect("every circuit is in TABLE1")
 }
 
-/// The paper's accuracy budget (§IV, per ref [12]): 0.5 mV.
+/// The paper's accuracy budget (§IV, per ref \[12\]): 0.5 mV.
 pub const MAX_ERROR_VOLTS: f64 = 5e-4;
 
 #[cfg(test)]

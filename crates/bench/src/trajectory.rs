@@ -36,7 +36,12 @@
 //! * `batch_compaction` (PR 3) — fixed-budget masked batch sweeps at
 //!   several active-lane counts, compacted vs uncompacted, against a
 //!   scalar single-RHS reference (`compacted` entries carry
-//!   `ms_vs_scalar`, the straggler-cost ratio the compaction caps).
+//!   `ms_vs_scalar`, the straggler-cost ratio the compaction caps);
+//! * `session` (PR 4) — the `Session` lifecycle on one prefactored
+//!   handle: warm single/batch/transient latencies vs the deprecated
+//!   `VpSolver` entry points, with per-request
+//!   `session_*_warm_alloc_calls` (asserted 0) and
+//!   `bitwise_identical_to_legacy` (asserted).
 
 use std::fs;
 use std::io;

@@ -30,11 +30,26 @@
 //! handful of passes. The solver never assembles the global matrix, which
 //! is where the paper's ~3× memory advantage over PCG comes from.
 //!
+//! # The `Session` handle — the primary entry point
+//!
+//! The method's asset is *reuse*: tier factorizations and the pillar
+//! lattice are built once and amortized across every load pattern. The
+//! API mirrors that through [`Session`]: [`Session::build`] performs all
+//! allocation and factorization up front, and every request — a single
+//! [`LoadCase`], a batched [`LoadSet`], or a [`Session::transient`]
+//! waveform — flows through the same prefactored state and returns a
+//! borrowed [`SolutionView`]. Geometry is a build-time contract
+//! (mismatches surface as [`SessionError::GeometryChanged`], never a
+//! silent rebuild), while loads, nets, tolerances ([`SolveParams`]) and
+//! the [`Backend`] routing may change per request. The deprecated
+//! `VpSolver::solve{,_with,_batch}` shims remain for one release; see
+//! `MIGRATION.md` at the repository root.
+//!
 //! # Performance: prefactored engines, parallelism, zero-allocation solves
 //!
 //! Each tier's row segments are factored once into a prefactored engine
 //! ([`voltprop_solvers::TierEngine`]) shared across all outer iterations;
-//! sweeps are substitution-only. Two knobs build on that:
+//! sweeps are substitution-only. Two properties build on that:
 //!
 //! * **[`VpConfig::parallelism`]** — with more than one thread the tier
 //!   sweeps switch to the red-black row coloring
@@ -45,19 +60,20 @@
 //!   Parallel sweeps run on the process-wide persistent
 //!   [`voltprop_solvers::WorkerPool`]: threads spawn once and park
 //!   between solves, so warm parallel solves are allocation-free too.
-//! * **[`VpScratch`]** — the reusable solve arena. [`VpSolver::solve`]
-//!   builds one internally; callers that solve many load patterns on one
-//!   grid should build a [`VpScratch`] once and call
-//!   [`VpSolver::solve_with`], which runs the entire outer loop without
-//!   heap allocation (measured by `perfsuite`: zero allocator calls on a
-//!   warm solve — at `parallelism = 1` and, once the pool is warm, at
-//!   any thread count).
+//! * **Zero-allocation warm solves** — a [`Session`] owns every solve
+//!   buffer (the [`VpScratch`] arena absorbed at build), so warm
+//!   requests run the entire outer loop — tier sweeps, pillar-current
+//!   accumulation, VDA distribution, Anderson mixing — without touching
+//!   the heap (measured by `perfsuite`: zero allocator calls across
+//!   warm single, batch-64, and 24-step transient requests, at
+//!   `parallelism = 1` and, once the pool is warm, at any thread
+//!   count).
 //!
-//! # Batched load sweeps
+//! # Batched load sweeps and transients
 //!
 //! The tier matrices never change between load patterns, so what-if load
 //! sweeps and transient stepping should not solve one right-hand side at
-//! a time: [`VpSolver::solve_batch`] takes `k` complete load vectors
+//! a time: [`Session::solve_batch`] takes `k` complete load vectors
 //! (lane-major: lane `j`'s `num_nodes` currents contiguous at
 //! `j * num_nodes`) and sweeps all of them together through the shared
 //! prefactored segments. Internally the voltages and injections are held
@@ -69,28 +85,30 @@
 //! 256×256×4 stack at batch 64 around 3.4× the batch-1 per-RHS
 //! throughput, with zero warm allocator calls).
 //!
-//! Each lane runs the exact outer loop of [`VpSolver::solve_with`] in
+//! Each lane runs the exact outer loop of the single-case solve in
 //! lockstep and freezes the moment it converges, so every converged
-//! lane's voltages ([`VpScratch::batch_voltages`]) are **bitwise
-//! identical** to the corresponding sequential solve; a lane that
+//! lane's voltages ([`SolutionView::lane_voltages`]) are **bitwise
+//! identical** to the corresponding [`Session::solve`]; a lane that
 //! exhausts a budget reports `converged = false` with its true residual
 //! instead of discarding the batch. For a *single* load vector
-//! [`VpSolver::solve_with`] remains the faster entry point (the batch
+//! [`Session::solve`] remains the faster entry point (the batch
 //! kernel's per-lane bookkeeping only pays for itself from a few lanes
-//! up); see `examples/load_sweep.rs` for a complete what-if sweep.
+//! up); see `examples/load_sweep.rs` for a complete what-if sweep and
+//! `examples/transient.rs` for time-steps-as-lanes stepping through
+//! [`Session::transient`].
 //!
 //! # Example
 //!
 //! ```
-//! use voltprop_core::VpSolver;
+//! use voltprop_core::{LoadCase, Session, VpConfig};
 //! use voltprop_grid::{Stack3d, NetKind};
-//! use voltprop_solvers::StackSolver;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let stack = Stack3d::builder(16, 16, 3).uniform_load(3e-4).build()?;
-//! let solution = VpSolver::default().solve_stack(&stack, NetKind::Power)?;
-//! println!("worst IR drop: {:.2} mV", solution.worst_drop(1.8) * 1e3);
-//! assert!(solution.report.converged);
+//! let mut session = Session::build(&stack, VpConfig::default())?;
+//! let view = session.solve(&LoadCase::new(&stack).net(NetKind::Power))?;
+//! println!("worst IR drop: {:.2} mV", view.worst_drop(stack.vdd()) * 1e3);
+//! assert!(view.converged());
 //! # Ok(())
 //! # }
 //! ```
@@ -102,11 +120,13 @@ mod anderson;
 mod config;
 mod lattice;
 mod report;
+mod session;
 mod solver;
 mod tier_cache;
 mod vda;
 
-pub use config::VpConfig;
+pub use config::{BuildParams, SolveParams, VpConfig};
 pub use report::VpReport;
+pub use session::{Backend, BuildError, LoadCase, LoadSet, Session, SessionError, SolutionView};
 pub use solver::{VpScratch, VpSolution, VpSolver};
 pub use vda::VdaController;

@@ -1,0 +1,881 @@
+//! The serving-grade entry point: one prefactored [`Session`] handle for
+//! single, batched, and transient solves, across solver backends.
+//!
+//! The paper's central asset is *reuse*: the tier factorizations and the
+//! pillar lattice are built once and amortized across every load pattern
+//! that follows. A [`Session`] makes that the shape of the API —
+//! [`Session::build`] does all allocation and factorization up front,
+//! and every request flows through one request/response surface:
+//!
+//! * [`Session::solve`] — one load pattern ([`LoadCase`]);
+//! * [`Session::solve_batch`] — `k` load patterns swept together
+//!   ([`LoadSet`], lanes share the tier factors);
+//! * [`Session::transient`] — a time-stepped waveform solved with the
+//!   steps as batch lanes (the quasi-static transient pattern).
+//!
+//! Results come back as borrowed [`SolutionView`]s whose lane accessors
+//! return `Result` instead of panicking, per-solve knobs (tolerances,
+//! net, SOR factor) ride on the request via [`SolveParams`], and a
+//! [`Backend`] selector routes the same session through the voltage
+//! propagation engine or the naive 3-D row-based baseline for
+//! apples-to-apples comparisons on shared prefactored state.
+//!
+//! Geometry is a build-time contract: a session never silently rebuilds.
+//! Presenting a stack whose geometry differs from the one the session
+//! was built for surfaces [`SessionError::GeometryChanged`]; loads (and
+//! per-solve parameters) are free to vary.
+
+use std::error::Error;
+use std::fmt;
+
+use voltprop_grid::{GridError, NetKind, Stack3d};
+use voltprop_solvers::{Rb3dEngine, SolverError};
+use voltprop_sparse::SparseError;
+
+use crate::solver::{run_batch, run_single, validate_loads};
+use crate::{BuildParams, SolveParams, VpConfig, VpReport, VpScratch};
+
+/// The solver engine a request is routed through.
+///
+/// All backends share one [`Session`]'s prefactored state, so switching
+/// backends between requests costs nothing — the tier factors for both
+/// routes are built by [`Session::build`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum Backend {
+    /// The paper's voltage propagation method (the default): tier-by-tier
+    /// propagation with VDA feedback, prefactored row solves, batching
+    /// with per-lane convergence freezing.
+    #[default]
+    VoltProp,
+    /// The naive 3-D row-based baseline (paper §III-A): one block
+    /// Gauss–Seidel iteration over all tiers with TSVs as ordinary
+    /// couplings. Useful for the cross-solver comparisons the paper
+    /// makes; expect many more sweeps when TSVs are strong. Parameter
+    /// mapping: [`SolveParams::sor_omega`] is the sweep over-relaxation
+    /// factor, [`SolveParams::inner_tolerance`] the full-stack
+    /// convergence threshold, [`SolveParams::max_inner_sweeps`] the
+    /// iteration budget.
+    Rb3d,
+    /// Preconditioned conjugate gradients on the assembled system.
+    /// **Planned** — requests routed here currently return
+    /// [`SessionError::BackendUnavailable`].
+    Pcg,
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Backend::VoltProp => write!(f, "voltage-propagation"),
+            Backend::Rb3d => write!(f, "rb3d-naive"),
+            Backend::Pcg => write!(f, "pcg"),
+        }
+    }
+}
+
+/// Errors from [`Session::build`]: the stack cannot be served at all
+/// (solve-time errors are [`SessionError`]).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BuildError {
+    /// The stack's shape is outside what the session's engines support
+    /// (e.g. pads away from the pillars — see [`crate::VpSolver`]).
+    Unsupported {
+        /// Human-readable description.
+        what: String,
+    },
+    /// The grid model failed validation.
+    Grid(GridError),
+    /// A tier factorization failed numerically.
+    Sparse(SparseError),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Unsupported { what } => write!(f, "cannot build session: {what}"),
+            BuildError::Grid(e) => write!(f, "cannot build session: {e}"),
+            BuildError::Sparse(e) => write!(f, "cannot build session: {e}"),
+        }
+    }
+}
+
+impl Error for BuildError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BuildError::Grid(e) => Some(e),
+            BuildError::Sparse(e) => Some(e),
+            BuildError::Unsupported { .. } => None,
+        }
+    }
+}
+
+impl From<SolverError> for BuildError {
+    fn from(e: SolverError) -> Self {
+        match e {
+            SolverError::Grid(g) => BuildError::Grid(g),
+            SolverError::Sparse(s) => BuildError::Sparse(s),
+            SolverError::Unsupported { what } => BuildError::Unsupported { what },
+            // Build never iterates (`DidNotConverge` cannot occur), and
+            // `SolverError` is non-exhaustive; folding the rest into
+            // `Unsupported` keeps `From` total.
+            other => BuildError::Unsupported {
+                what: other.to_string(),
+            },
+        }
+    }
+}
+
+/// Errors from serving a request on a built [`Session`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SessionError {
+    /// The presented stack's geometry (footprint, tiers, resistances,
+    /// TSV or pad sites) differs from the one the session was built for.
+    /// Sessions never rebuild silently — build a new session for the new
+    /// geometry. Loads and per-solve parameters are free to change.
+    GeometryChanged {
+        /// What the session was built for vs what it was given.
+        what: String,
+    },
+    /// The requested [`Backend`] is declared but not implemented yet.
+    BackendUnavailable {
+        /// The backend that was requested.
+        backend: Backend,
+    },
+    /// A lane index beyond the solved lane count was requested from a
+    /// [`SolutionView`].
+    LaneOutOfRange {
+        /// The requested lane.
+        lane: usize,
+        /// How many lanes the view holds.
+        lanes: usize,
+    },
+    /// The underlying engine failed (convergence budget, malformed
+    /// loads, …).
+    Solver(SolverError),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::GeometryChanged { what } => {
+                write!(f, "stack geometry changed: {what}")
+            }
+            SessionError::BackendUnavailable { backend } => {
+                write!(f, "backend {backend} is not available yet")
+            }
+            SessionError::LaneOutOfRange { lane, lanes } => {
+                write!(f, "lane {lane} out of range ({lanes} lanes)")
+            }
+            SessionError::Solver(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for SessionError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SessionError::Solver(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SolverError> for SessionError {
+    fn from(e: SolverError) -> Self {
+        SessionError::Solver(e)
+    }
+}
+
+/// One solve request: the stack carrying the loads, plus the per-solve
+/// knobs that may differ between requests on one session — net, backend,
+/// and optional [`SolveParams`] overriding the session defaults.
+///
+/// ```
+/// use voltprop_core::{Backend, LoadCase, SolveParams};
+/// use voltprop_grid::{NetKind, Stack3d};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let stack = Stack3d::builder(8, 8, 2).uniform_load(1e-4).build()?;
+/// let case = LoadCase::new(&stack)
+///     .net(NetKind::Ground)
+///     .backend(Backend::VoltProp)
+///     .params(SolveParams::new().epsilon(1e-5));
+/// # let _ = case;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct LoadCase<'a> {
+    stack: &'a Stack3d,
+    net: NetKind,
+    backend: Backend,
+    params: Option<SolveParams>,
+}
+
+impl<'a> LoadCase<'a> {
+    /// A power-net request on the stack's own loads, using the session's
+    /// default backend ([`Backend::VoltProp`]) and parameters.
+    pub fn new(stack: &'a Stack3d) -> Self {
+        LoadCase {
+            stack,
+            net: NetKind::Power,
+            backend: Backend::VoltProp,
+            params: None,
+        }
+    }
+
+    /// Selects the net to analyse.
+    pub fn net(mut self, net: NetKind) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// Routes this request through a specific [`Backend`].
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Overrides the session's default per-solve parameters for this
+    /// request only.
+    pub fn params(mut self, params: SolveParams) -> Self {
+        self.params = Some(params);
+        self
+    }
+
+    /// The stack this request reads geometry and loads from.
+    pub fn stack(&self) -> &'a Stack3d {
+        self.stack
+    }
+}
+
+/// A batched solve request: `k` complete load vectors served against one
+/// stack's geometry, swept together through the shared tier factors.
+///
+/// `loads` is lane-major — lane `j`'s `stack.num_nodes()` currents are
+/// contiguous at `j * num_nodes` — and replaces the stack's own loads.
+/// Net, backend, and parameter overrides apply to every lane.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadSet<'a> {
+    stack: &'a Stack3d,
+    loads: &'a [f64],
+    net: NetKind,
+    backend: Backend,
+    params: Option<SolveParams>,
+}
+
+impl<'a> LoadSet<'a> {
+    /// A power-net batch over `loads` (lane-major, a whole number of
+    /// `stack.num_nodes()`-sized vectors).
+    pub fn new(stack: &'a Stack3d, loads: &'a [f64]) -> Self {
+        LoadSet {
+            stack,
+            loads,
+            net: NetKind::Power,
+            backend: Backend::VoltProp,
+            params: None,
+        }
+    }
+
+    /// Selects the net to analyse.
+    pub fn net(mut self, net: NetKind) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// Routes this batch through a specific [`Backend`].
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Overrides the session's default per-solve parameters for this
+    /// batch only.
+    pub fn params(mut self, params: SolveParams) -> Self {
+        self.params = Some(params);
+        self
+    }
+
+    /// The stack this batch reads geometry from.
+    pub fn stack(&self) -> &'a Stack3d {
+        self.stack
+    }
+
+    /// The lane-major load buffer.
+    pub fn loads(&self) -> &'a [f64] {
+        self.loads
+    }
+}
+
+/// A borrowed view of the most recent solve's results: per-lane voltages,
+/// pillar currents, and convergence reports, living in the session's
+/// arenas (nothing is copied out).
+///
+/// Lane accessors return [`SessionError::LaneOutOfRange`] instead of
+/// panicking — these replace the deprecated panicking
+/// `VpScratch::batch_voltages` / `batch_pillar_currents`. A single
+/// [`Session::solve`] produces a one-lane view, so the lane-0
+/// conveniences ([`SolutionView::voltages`], [`SolutionView::report`])
+/// are always valid.
+#[derive(Debug, Clone, Copy)]
+pub struct SolutionView<'a> {
+    /// Lane-major voltages, `lanes * nodes`.
+    voltages: &'a [f64],
+    /// Lane-major pillar currents, `lanes * sites` (empty for
+    /// single-tier stacks and for backends that don't compute them).
+    pillar_currents: &'a [f64],
+    reports: &'a [VpReport],
+    lanes: usize,
+    nodes: usize,
+    sites: usize,
+}
+
+impl<'a> SolutionView<'a> {
+    /// Number of solved lanes (1 for [`Session::solve`], `k` for a
+    /// batch, the step count for a transient).
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Nodes per lane (the stack's `num_nodes`).
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Whether **every** lane converged.
+    pub fn converged(&self) -> bool {
+        self.reports.iter().all(|r| r.converged)
+    }
+
+    /// Lane 0's per-node voltages (flat tier-major) — the whole solution
+    /// of a single solve.
+    pub fn voltages(&self) -> &'a [f64] {
+        &self.voltages[..self.nodes]
+    }
+
+    /// Lane 0's per-pillar package currents (aligned with
+    /// [`Stack3d::tsv_sites`]; empty for single-tier stacks and for the
+    /// [`Backend::Rb3d`] route, which doesn't compute them).
+    pub fn pillar_currents(&self) -> &'a [f64] {
+        &self.pillar_currents[..self.sites.min(self.pillar_currents.len())]
+    }
+
+    /// Lane 0's convergence report.
+    pub fn report(&self) -> &'a VpReport {
+        &self.reports[0]
+    }
+
+    /// All per-lane convergence reports, in lane order.
+    pub fn reports(&self) -> &'a [VpReport] {
+        self.reports
+    }
+
+    fn check_lane(&self, lane: usize) -> Result<(), SessionError> {
+        if lane < self.lanes {
+            Ok(())
+        } else {
+            Err(SessionError::LaneOutOfRange {
+                lane,
+                lanes: self.lanes,
+            })
+        }
+    }
+
+    /// Lane `lane`'s per-node voltages (flat tier-major).
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::LaneOutOfRange`] if `lane >= self.lanes()`.
+    pub fn lane_voltages(&self, lane: usize) -> Result<&'a [f64], SessionError> {
+        self.check_lane(lane)?;
+        Ok(&self.voltages[lane * self.nodes..(lane + 1) * self.nodes])
+    }
+
+    /// Lane `lane`'s per-pillar package currents (empty for single-tier
+    /// stacks and the [`Backend::Rb3d`] route).
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::LaneOutOfRange`] if `lane >= self.lanes()`.
+    pub fn lane_pillar_currents(&self, lane: usize) -> Result<&'a [f64], SessionError> {
+        self.check_lane(lane)?;
+        if self.pillar_currents.is_empty() {
+            return Ok(&[]);
+        }
+        Ok(&self.pillar_currents[lane * self.sites..(lane + 1) * self.sites])
+    }
+
+    /// Lane `lane`'s convergence report.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::LaneOutOfRange`] if `lane >= self.lanes()`.
+    pub fn lane_report(&self, lane: usize) -> Result<&'a VpReport, SessionError> {
+        self.check_lane(lane)?;
+        Ok(&self.reports[lane])
+    }
+
+    /// Lane 0's worst IR drop below `rail` (V).
+    pub fn worst_drop(&self, rail: f64) -> f64 {
+        self.voltages().iter().fold(0.0f64, |m, &v| m.max(rail - v))
+    }
+
+    /// Lane `lane`'s worst IR drop below `rail` (V).
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::LaneOutOfRange`] if `lane >= self.lanes()`.
+    pub fn lane_worst_drop(&self, lane: usize, rail: f64) -> Result<f64, SessionError> {
+        Ok(self
+            .lane_voltages(lane)?
+            .iter()
+            .fold(0.0f64, |m, &v| m.max(rail - v)))
+    }
+}
+
+/// The prefactored solve handle: tier factorizations, the pillar
+/// lattice, and every solve buffer, built once by [`Session::build`] and
+/// amortized across all following requests.
+///
+/// A session is tied to one grid *geometry* (footprint, tiers,
+/// resistances, TSV and pad sites) and one build-time configuration
+/// (sweep parallelism). Within that contract everything may vary per
+/// request: loads, net, tolerances, and the [`Backend`] the request is
+/// routed through. Warm requests perform **zero heap allocations** on
+/// the [`Backend::VoltProp`] route (single, batched, and transient —
+/// measured by `perfsuite`), and batched lanes are bitwise identical to
+/// the corresponding single solves.
+///
+/// # Example
+///
+/// ```
+/// use voltprop_core::{LoadCase, LoadSet, Session, VpConfig};
+/// use voltprop_grid::{NetKind, Stack3d};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let stack = Stack3d::builder(12, 12, 3).uniform_load(2e-4).build()?;
+/// let mut session = Session::build(&stack, VpConfig::default())?;
+///
+/// // Single solve on the stack's own loads.
+/// let view = session.solve(&LoadCase::new(&stack))?;
+/// assert!(view.converged());
+/// let worst = view.worst_drop(stack.vdd());
+///
+/// // A two-scenario what-if sweep on the same prefactored state.
+/// let mut loads = stack.loads().to_vec();
+/// loads.extend(stack.loads().iter().map(|l| 1.5 * l));
+/// let sweep = session.solve_batch(&LoadSet::new(&stack, &loads))?;
+/// assert_eq!(sweep.lanes(), 2);
+/// assert!(sweep.lane_worst_drop(1, stack.vdd())? >= worst);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Session {
+    build: BuildParams,
+    defaults: SolveParams,
+    width: usize,
+    height: usize,
+    tiers: usize,
+    nn: usize,
+    scratch: VpScratch,
+    rb: Rb3dEngine,
+    /// Lane-major Rb3d voltages (grown to the largest lane count seen).
+    rb_voltages: Vec<f64>,
+    /// Staging buffer for [`Session::transient`] waveforms.
+    transient_loads: Vec<f64>,
+    /// Per-lane reports of the most recent request.
+    reports: Vec<VpReport>,
+}
+
+impl Session {
+    /// Validates the stack and builds all prefactored solve state: the
+    /// voltage propagation scratch (tier factors, pillar lattice, outer
+    /// buffers) **and** the [`Backend::Rb3d`] engine, so any backend can
+    /// serve without further factorization. The config's build-time half
+    /// is fixed for the session's lifetime; its per-solve half becomes
+    /// the session defaults that a [`LoadCase`]/[`LoadSet`] may override.
+    ///
+    /// Batch arenas are sized on the first batched request with a given
+    /// lane count (a cold call); all later requests with that lane count
+    /// are allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError`] if the grid fails validation, voltage propagation
+    /// cannot serve the topology (pads away from pillars, resistive pads
+    /// on a single tier), or a factorization fails.
+    pub fn build(stack: &Stack3d, config: VpConfig) -> Result<Session, BuildError> {
+        let scratch = VpScratch::new(stack, &config)?;
+        let rb = Rb3dEngine::build(stack, config.parallelism)?;
+        let nn = stack.num_nodes();
+        Ok(Session {
+            build: config.build_params(),
+            defaults: config.solve_params(),
+            width: stack.width(),
+            height: stack.height(),
+            tiers: stack.tiers(),
+            nn,
+            scratch,
+            rb,
+            rb_voltages: vec![0.0; nn],
+            transient_loads: Vec::new(),
+            reports: Vec::new(),
+        })
+    }
+
+    /// The session's build-time parameters.
+    pub fn build_params(&self) -> BuildParams {
+        self.build
+    }
+
+    /// The session's default per-solve parameters (from the config given
+    /// to [`Session::build`]).
+    pub fn defaults(&self) -> SolveParams {
+        self.defaults
+    }
+
+    /// Estimated heap footprint of all prefactored state and arenas.
+    pub fn memory_bytes(&self) -> usize {
+        self.scratch.memory_bytes()
+            + self.rb.memory_bytes()
+            + (self.rb_voltages.len() + self.transient_loads.len()) * 8
+            + self.reports.capacity() * std::mem::size_of::<VpReport>()
+    }
+
+    /// Whether the stack's geometry matches what this session was built
+    /// for (loads are ignored).
+    pub fn serves(&self, stack: &Stack3d) -> bool {
+        self.scratch.geometry_matches(stack)
+    }
+
+    fn check_geometry(&self, stack: &Stack3d) -> Result<(), SessionError> {
+        if self.serves(stack) {
+            return Ok(());
+        }
+        Err(SessionError::GeometryChanged {
+            what: format!(
+                "session was built for a {}x{}x{} stack (same footprint, \
+                 resistances, TSV and pad sites); got {}x{}x{} — build a \
+                 new session for the new geometry (only loads and \
+                 per-solve parameters may change)",
+                self.width,
+                self.height,
+                self.tiers,
+                stack.width(),
+                stack.height(),
+                stack.tiers(),
+            ),
+        })
+    }
+
+    /// Serves one load pattern (the stack's own loads), routed through
+    /// the case's [`Backend`]. Warm calls are allocation-free on the
+    /// [`Backend::VoltProp`] route.
+    ///
+    /// # Errors
+    ///
+    /// * [`SessionError::GeometryChanged`] if the case's stack differs
+    ///   geometrically from the build-time stack.
+    /// * [`SessionError::BackendUnavailable`] for [`Backend::Pcg`].
+    /// * [`SessionError::Solver`] for engine failures (convergence
+    ///   budget exhausted, invalid loads).
+    pub fn solve(&mut self, case: &LoadCase<'_>) -> Result<SolutionView<'_>, SessionError> {
+        self.check_geometry(case.stack)?;
+        case.stack.validate().map_err(SolverError::from)?;
+        let params = case.params.unwrap_or(self.defaults);
+        match case.backend {
+            Backend::VoltProp => {
+                let report = run_single(&params, case.stack, case.net, &mut self.scratch)?;
+                self.reports.clear();
+                self.reports.push(report);
+                Ok(SolutionView {
+                    voltages: self.scratch.voltages(),
+                    pillar_currents: self.scratch.pillar_currents(),
+                    reports: &self.reports,
+                    lanes: 1,
+                    nodes: self.nn,
+                    sites: self.scratch.num_sites(),
+                })
+            }
+            Backend::Rb3d => {
+                let rep = self.rb.solve(
+                    case.stack.loads(),
+                    case.net,
+                    params.sor_omega,
+                    params.inner_tolerance,
+                    params.max_inner_sweeps,
+                    &mut self.rb_voltages[..self.nn],
+                )?;
+                self.reports.clear();
+                self.reports.push(rb_report(&rep, self.tiers));
+                Ok(SolutionView {
+                    voltages: &self.rb_voltages[..self.nn],
+                    pillar_currents: &[],
+                    reports: &self.reports,
+                    lanes: 1,
+                    nodes: self.nn,
+                    sites: 0,
+                })
+            }
+            backend @ Backend::Pcg => Err(SessionError::BackendUnavailable { backend }),
+        }
+    }
+
+    /// Serves `k` load patterns as one batched request. On the
+    /// [`Backend::VoltProp`] route all lanes sweep together through the
+    /// shared tier factors in lockstep — each converged lane is bitwise
+    /// identical to the corresponding [`Session::solve`] — and a lane
+    /// that exhausts a budget reports `converged = false` in its
+    /// [`SolutionView::lane_report`] instead of failing the batch. The
+    /// [`Backend::Rb3d`] route serves the lanes sequentially on its
+    /// prefactored engine (the factorization is still amortized).
+    ///
+    /// # Errors
+    ///
+    /// See [`Session::solve`]; additionally
+    /// [`SessionError::Solver`]`(`[`SolverError::Unsupported`]`)` if the
+    /// load buffer is empty, not a whole number of load vectors, or
+    /// contains negative/non-finite currents.
+    pub fn solve_batch(&mut self, set: &LoadSet<'_>) -> Result<SolutionView<'_>, SessionError> {
+        self.batch_on(set.stack, set.net, set.backend, set.params, set.loads)?;
+        Ok(self.batch_view(set.backend))
+    }
+
+    /// Serves a time-stepped waveform: `steps` load vectors produced by
+    /// `fill(step, lane_loads)` become the lanes of one batched solve —
+    /// the quasi-static transient pattern (grid fixed, currents moving).
+    /// The waveform is staged in a session-owned buffer, so warm calls
+    /// with an unchanged `steps` allocate nothing.
+    ///
+    /// `fill` is called once per step, in step order, with a zeroed (or
+    /// previously used) slice of `stack.num_nodes()` entries to
+    /// overwrite.
+    ///
+    /// # Errors
+    ///
+    /// See [`Session::solve_batch`].
+    pub fn transient<F>(
+        &mut self,
+        case: &LoadCase<'_>,
+        steps: usize,
+        mut fill: F,
+    ) -> Result<SolutionView<'_>, SessionError>
+    where
+        F: FnMut(usize, &mut [f64]),
+    {
+        let nn = self.nn;
+        // Stage the waveform in the session buffer without holding a
+        // borrow across the solve (take + restore is allocation-free).
+        let mut loads = std::mem::take(&mut self.transient_loads);
+        loads.resize(steps * nn, 0.0);
+        for s in 0..steps {
+            fill(s, &mut loads[s * nn..(s + 1) * nn]);
+        }
+        let outcome = self.batch_on(case.stack, case.net, case.backend, case.params, &loads);
+        self.transient_loads = loads;
+        outcome?;
+        Ok(self.batch_view(case.backend))
+    }
+
+    /// Runs a batched request into the backend's arena (no view yet —
+    /// keeps the borrow of `loads` separable from the returned view).
+    fn batch_on(
+        &mut self,
+        stack: &Stack3d,
+        net: NetKind,
+        backend: Backend,
+        params: Option<SolveParams>,
+        loads: &[f64],
+    ) -> Result<(), SessionError> {
+        self.check_geometry(stack)?;
+        stack.validate().map_err(SolverError::from)?;
+        let params = params.unwrap_or(self.defaults);
+        match backend {
+            Backend::VoltProp => {
+                run_batch(
+                    &params,
+                    stack,
+                    net,
+                    loads,
+                    &mut self.scratch,
+                    &mut self.reports,
+                )?;
+                Ok(())
+            }
+            Backend::Rb3d => {
+                let k = validate_loads(self.nn, loads)?;
+                if self.rb_voltages.len() < k * self.nn {
+                    self.rb_voltages.resize(k * self.nn, 0.0);
+                }
+                self.reports.clear();
+                for j in 0..k {
+                    let lane_loads = &loads[j * self.nn..(j + 1) * self.nn];
+                    let v = &mut self.rb_voltages[j * self.nn..(j + 1) * self.nn];
+                    let report = match self.rb.solve(
+                        lane_loads,
+                        net,
+                        params.sor_omega,
+                        params.inner_tolerance,
+                        params.max_inner_sweeps,
+                        v,
+                    ) {
+                        Ok(rep) => rb_report(&rep, self.tiers),
+                        // Mirror the VoltProp batch semantics: a lane
+                        // that runs out of budget reports its true
+                        // residual instead of discarding the batch.
+                        Err(SolverError::DidNotConverge {
+                            iterations,
+                            residual,
+                            ..
+                        }) => VpReport {
+                            outer_iterations: iterations,
+                            inner_sweeps: iterations * self.tiers,
+                            pad_mismatch: residual,
+                            final_beta: 0.0,
+                            converged: false,
+                            workspace_bytes: self.rb.memory_bytes(),
+                        },
+                        Err(e) => return Err(e.into()),
+                    };
+                    self.reports.push(report);
+                }
+                Ok(())
+            }
+            backend @ Backend::Pcg => Err(SessionError::BackendUnavailable { backend }),
+        }
+    }
+
+    /// The view over the arena the given backend's batched results live
+    /// in (call only after a successful [`Session::batch_on`]).
+    fn batch_view(&self, backend: Backend) -> SolutionView<'_> {
+        match backend {
+            Backend::VoltProp => {
+                let (voltages, pillar_currents, k) = self
+                    .scratch
+                    .batch_view()
+                    .expect("batched VoltProp solve just ran");
+                SolutionView {
+                    voltages,
+                    pillar_currents,
+                    reports: &self.reports,
+                    lanes: k,
+                    nodes: self.nn,
+                    sites: self.scratch.num_sites(),
+                }
+            }
+            Backend::Rb3d => {
+                let k = self.reports.len();
+                SolutionView {
+                    voltages: &self.rb_voltages[..k * self.nn],
+                    pillar_currents: &[],
+                    reports: &self.reports,
+                    lanes: k,
+                    nodes: self.nn,
+                    sites: 0,
+                }
+            }
+            Backend::Pcg => unreachable!("Pcg requests error before solving"),
+        }
+    }
+}
+
+/// Maps an Rb3d [`voltprop_solvers::SolveReport`] into the session's
+/// uniform per-lane [`VpReport`]: full-stack iterations count as outer
+/// iterations, each of which sweeps every tier once; there is no VDA, so
+/// `final_beta` is 0 and `pad_mismatch` carries the largest per-sweep
+/// voltage update the iteration stopped at.
+fn rb_report(rep: &voltprop_solvers::SolveReport, tiers: usize) -> VpReport {
+    VpReport {
+        outer_iterations: rep.iterations,
+        inner_sweeps: rep.iterations * tiers,
+        pad_mismatch: rep.residual,
+        final_beta: 0.0,
+        converged: rep.converged,
+        workspace_bytes: rep.workspace_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voltprop_grid::LoadProfile;
+
+    fn stack() -> Stack3d {
+        Stack3d::builder(10, 10, 3)
+            .load_profile(
+                LoadProfile::UniformRandom {
+                    min: 1e-5,
+                    max: 1e-3,
+                },
+                11,
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn build_solve_roundtrip() {
+        let s = stack();
+        let mut session = Session::build(&s, VpConfig::default()).unwrap();
+        let view = session.solve(&LoadCase::new(&s)).unwrap();
+        assert!(view.converged());
+        assert_eq!(view.lanes(), 1);
+        assert_eq!(view.voltages().len(), s.num_nodes());
+        assert_eq!(view.lane_voltages(0).unwrap(), view.voltages());
+        assert!(matches!(
+            view.lane_voltages(1),
+            Err(SessionError::LaneOutOfRange { lane: 1, lanes: 1 })
+        ));
+        assert!(view.worst_drop(s.vdd()) > 0.0);
+    }
+
+    #[test]
+    fn geometry_change_is_an_error_not_a_rebuild() {
+        let s = stack();
+        let mut session = Session::build(&s, VpConfig::default()).unwrap();
+        let other = Stack3d::builder(8, 8, 2)
+            .uniform_load(1e-4)
+            .build()
+            .unwrap();
+        assert!(!session.serves(&other));
+        let err = session.solve(&LoadCase::new(&other)).unwrap_err();
+        assert!(matches!(err, SessionError::GeometryChanged { .. }));
+        // Loads-only changes are served (no rebuild, no error).
+        let mut relo = s.clone();
+        relo.set_loads(s.loads().iter().map(|l| 2.0 * l).collect())
+            .unwrap();
+        assert!(session.serves(&relo));
+        assert!(session.solve(&LoadCase::new(&relo)).is_ok());
+    }
+
+    #[test]
+    fn pcg_backend_is_declared_but_unavailable() {
+        let s = stack();
+        let mut session = Session::build(&s, VpConfig::default()).unwrap();
+        let err = session
+            .solve(&LoadCase::new(&s).backend(Backend::Pcg))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SessionError::BackendUnavailable {
+                backend: Backend::Pcg
+            }
+        ));
+    }
+
+    #[test]
+    fn errors_display_and_source() {
+        let e = SessionError::GeometryChanged {
+            what: "10x10x3 vs 8x8x2".into(),
+        };
+        assert!(e.to_string().contains("geometry"));
+        assert!(e.source().is_none());
+        let e = SessionError::from(SolverError::Unsupported { what: "x".into() });
+        assert!(e.source().is_some());
+        let b = BuildError::from(SolverError::Unsupported { what: "y".into() });
+        assert!(b.to_string().contains("cannot build"));
+    }
+}

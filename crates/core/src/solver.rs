@@ -68,6 +68,7 @@ pub struct VpScratch {
     height: usize,
     tiers: usize,
     parallelism: usize,
+    vdd: f64,
     r_tsv: f64,
     r_pad: f64,
     /// Per-tier `(g_h, g_v)` used to detect resistance changes.
@@ -271,6 +272,7 @@ impl VpScratch {
                 height: h,
                 tiers,
                 parallelism,
+                vdd: stack.vdd(),
                 r_tsv: stack.tsv_resistance(),
                 r_pad: stack.pad_resistance(),
                 tier_g,
@@ -363,6 +365,7 @@ impl VpScratch {
             height: h,
             tiers,
             parallelism,
+            vdd: stack.vdd(),
             r_tsv: stack.tsv_resistance(),
             r_pad: stack.pad_resistance(),
             tier_g,
@@ -401,10 +404,18 @@ impl VpScratch {
     /// rebuilding (geometry, resistances, pillar and pad sites, and
     /// parallelism all match; loads and tolerances are free to differ).
     fn matches(&self, stack: &Stack3d, config: &VpConfig) -> bool {
+        self.parallelism == config.parallelism.max(1) && self.geometry_matches(stack)
+    }
+
+    /// Whether this scratch's prefactored state fits the stack's
+    /// *geometry* (footprint, tiers, resistances, pillar and pad sites).
+    /// Loads and per-solve parameters are free to differ; the sweep
+    /// parallelism is a build-time property the caller owns.
+    pub(crate) fn geometry_matches(&self, stack: &Stack3d) -> bool {
         if self.width != stack.width()
             || self.height != stack.height()
             || self.tiers != stack.tiers()
-            || self.parallelism != config.parallelism.max(1)
+            || self.vdd != stack.vdd()
             || self.r_tsv != stack.tsv_resistance()
             || self.r_pad != stack.pad_resistance()
         {
@@ -423,7 +434,13 @@ impl VpScratch {
             (0..self.fixed.len()).all(|i| self.fixed[i] == stack.is_pad(i % w, i / w))
         } else {
             let sites = stack.tsv_sites();
+            // Matching per-site pad flags *plus* an equal total pad count
+            // proves every one of the stack's pads sits on a pillar with
+            // the flag this scratch was built for — a pad added away
+            // from the pillars changes num_pads and is caught here.
+            let num_pad_sites = self.is_pad_site.iter().filter(|&&p| p).count();
             sites.len() == self.site_flat.len()
+                && stack.num_pads() == num_pad_sites
                 && sites
                     .iter()
                     .zip(&self.site_flat)
@@ -461,6 +478,25 @@ impl VpScratch {
         self.batch.as_ref().map_or(0, |b| b.k)
     }
 
+    /// The lane-major batch result buffers of the most recent batched
+    /// solve: `(voltages, pillar_currents, lanes)`. `None` until a
+    /// batched solve ran on this scratch.
+    pub(crate) fn batch_view(&self) -> Option<(&[f64], &[f64], usize)> {
+        self.batch
+            .as_ref()
+            .map(|b| (&b.voltages[..], &b.pillar_current[..], b.k))
+    }
+
+    /// Number of pillar sites this scratch serves (0 for single-tier).
+    pub(crate) fn num_sites(&self) -> usize {
+        self.site_flat.len()
+    }
+
+    /// Number of grid nodes this scratch serves.
+    pub(crate) fn num_nodes(&self) -> usize {
+        self.width * self.height * self.tiers
+    }
+
     /// The solved per-node voltages of lane `lane` from the most recent
     /// [`VpSolver::solve_batch`] call (flat tier-major, like
     /// [`VpScratch::voltages`]).
@@ -469,11 +505,16 @@ impl VpScratch {
     ///
     /// Panics if no batched solve ran on this scratch or `lane` is out of
     /// range.
+    #[deprecated(
+        since = "0.2.0",
+        note = "solve through `Session` and use the non-panicking \
+                `SolutionView::lane_voltages` instead"
+    )]
     pub fn batch_voltages(&self, lane: usize) -> &[f64] {
-        let b = self.batch.as_ref().expect("no batched solve ran");
-        assert!(lane < b.k, "lane {lane} out of range ({} lanes)", b.k);
-        let nn = self.width * self.height * self.tiers;
-        &b.voltages[lane * nn..(lane + 1) * nn]
+        let (voltages, _, k) = self.batch_view().expect("no batched solve ran");
+        assert!(lane < k, "lane {lane} out of range ({k} lanes)");
+        let nn = self.num_nodes();
+        &voltages[lane * nn..(lane + 1) * nn]
     }
 
     /// The per-pillar package currents of lane `lane` from the most
@@ -484,11 +525,16 @@ impl VpScratch {
     ///
     /// Panics if no batched solve ran on this scratch or `lane` is out of
     /// range.
+    #[deprecated(
+        since = "0.2.0",
+        note = "solve through `Session` and use the non-panicking \
+                `SolutionView::lane_pillar_currents` instead"
+    )]
     pub fn batch_pillar_currents(&self, lane: usize) -> &[f64] {
-        let b = self.batch.as_ref().expect("no batched solve ran");
-        assert!(lane < b.k, "lane {lane} out of range ({} lanes)", b.k);
-        let ns = self.site_flat.len();
-        &b.pillar_current[lane * ns..(lane + 1) * ns]
+        let (_, currents, k) = self.batch_view().expect("no batched solve ran");
+        assert!(lane < k, "lane {lane} out of range ({k} lanes)");
+        let ns = self.num_sites();
+        &currents[lane * ns..(lane + 1) * ns]
     }
 }
 
@@ -502,7 +548,7 @@ impl VpSolver {
     /// with pillar currents and a detailed report.
     ///
     /// This convenience entry builds a fresh [`VpScratch`] per call; use
-    /// [`VpSolver::solve_with`] to amortize that setup across many solves.
+    /// [`crate::Session`] to amortize that setup across many solves.
     ///
     /// # Errors
     ///
@@ -513,12 +559,20 @@ impl VpSolver {
     ///   report a starved inner solve through the [`VpReport`] instead
     ///   (`converged = false` with the true residual) — check
     ///   `report.converged` before trusting the voltages.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a `Session` and call `Session::solve` instead"
+    )]
     pub fn solve(&self, stack: &Stack3d, net: NetKind) -> Result<VpSolution, SolverError> {
         let mut scratch = VpScratch::new(stack, &self.config)?;
-        let report = self.solve_with(stack, net, &mut scratch)?;
+        let report = run_single(&self.config.solve_params(), stack, net, &mut scratch)?;
+        // Clone rather than `std::mem::take` so the scratch stays valid:
+        // callers migrating piecemeal may hand this scratch to
+        // `solve_with` afterwards, and a drained `voltages` buffer would
+        // silently desize it.
         Ok(VpSolution {
-            voltages: std::mem::take(&mut scratch.voltages),
-            pillar_currents: std::mem::take(&mut scratch.pillar_current),
+            voltages: scratch.voltages.clone(),
+            pillar_currents: scratch.pillar_current.clone(),
             report,
         })
     }
@@ -532,6 +586,12 @@ impl VpSolver {
     /// # Errors
     ///
     /// See [`VpSolver::solve`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a `Session` and call `Session::solve` instead (a \
+                session never rebuilds silently — geometry drift surfaces \
+                as `SessionError::GeometryChanged`)"
+    )]
     pub fn solve_with(
         &self,
         stack: &Stack3d,
@@ -542,216 +602,227 @@ impl VpSolver {
         if !scratch.matches(stack, &self.config) {
             *scratch = VpScratch::new(stack, &self.config)?;
         }
-        let rail = match net {
-            NetKind::Power => stack.vdd(),
-            NetKind::Ground => 0.0,
-        };
-        let sign = match net {
-            NetKind::Power => 1.0,
-            NetKind::Ground => -1.0,
-        };
-        if scratch.tiers == 1 {
-            return self.solve_single_tier(stack, rail, sign, scratch);
-        }
+        run_single(&self.config.solve_params(), stack, net, scratch)
+    }
+}
 
-        let (w, h, tiers) = (scratch.width, scratch.height, scratch.tiers);
-        let per = w * h;
-        let r_tsv = scratch.r_tsv;
-        let r_pad = scratch.r_pad;
-        let top = tiers - 1;
-        let tight_tol = self.config.inner_tolerance / scratch.amplification;
+/// The single-load outer loop: runs the full voltage propagation method
+/// inside a scratch that **must already match the stack's geometry**
+/// (callers check; [`Session`](crate::Session) surfaces a mismatch as
+/// `GeometryChanged`, the deprecated `VpSolver::solve_with` rebuilds).
+/// Zero heap allocations once the scratch is warm.
+pub(crate) fn run_single(
+    params: &crate::SolveParams,
+    stack: &Stack3d,
+    net: NetKind,
+    scratch: &mut VpScratch,
+) -> Result<VpReport, SolverError> {
+    let rail = match net {
+        NetKind::Power => stack.vdd(),
+        NetKind::Ground => 0.0,
+    };
+    let sign = match net {
+        NetKind::Power => 1.0,
+        NetKind::Ground => -1.0,
+    };
+    if scratch.tiers == 1 {
+        return run_single_tier(params, stack, rail, sign, scratch);
+    }
 
-        let VpScratch {
-            site_flat,
-            is_pad_site,
-            lattice,
-            tier_cache,
-            tier_g,
-            voltages: v,
-            injection,
-            v0,
-            pillar_current,
-            mismatch,
-            correction,
-            last_good_v0,
-            last_good_correction,
-            anderson,
-            ..
-        } = scratch;
-        let lattice = lattice.as_mut().expect("multi-tier scratch has a lattice");
+    let (w, h, tiers) = (scratch.width, scratch.height, scratch.tiers);
+    let per = w * h;
+    let r_tsv = scratch.r_tsv;
+    let r_pad = scratch.r_pad;
+    let top = tiers - 1;
+    let tight_tol = params.inner_tolerance / scratch.amplification;
 
-        v.fill(rail);
-        v0.fill(rail);
-        last_good_v0.fill(rail);
-        last_good_correction.fill(0.0);
-        anderson.reset();
+    let VpScratch {
+        site_flat,
+        is_pad_site,
+        lattice,
+        tier_cache,
+        tier_g,
+        voltages: v,
+        injection,
+        v0,
+        pillar_current,
+        mismatch,
+        correction,
+        last_good_v0,
+        last_good_correction,
+        anderson,
+        ..
+    } = scratch;
+    let lattice = lattice.as_mut().expect("multi-tier scratch has a lattice");
 
-        // Outer fixed-point accelerator (see `anderson`): the VDA step is
-        // the residual, Anderson mixing combines the recent history. A
-        // safeguard resets the history and falls back to a heavily damped
-        // plain step if the mismatch ever inflates.
-        let mut best_worst = f64::INFINITY;
-        // Start in the paper's plain damped-mixing mode; escalate to
-        // safeguarded Anderson mixing on divergence or plateau.
-        let mut plain_mode = true;
-        let mut vda = crate::VdaController::new(self.config.damping);
-        let mut since_improvement = 0usize;
-        // Learned stability scale for plain (history-less) steps: halved on
-        // every rollback, recovering by 20% per accepted improvement. It
-        // also damps Anderson's first step after a reset, so a reset cannot
-        // immediately re-trigger the divergence that caused it.
-        let mut stable_scale = self.config.damping;
-        let mut inner_sweeps = 0usize;
-        let mut outer = 0usize;
-        let mut worst = f64::INFINITY;
-        let mut converged = false;
-        while outer < self.config.max_outer_iterations {
-            // Every pass runs at the tight tolerance. (A "progressive"
-            // scheme that loosened early passes was tried and reverted: the
-            // noisy mismatch measurements it produced destabilized the VDA
-            // far beyond what the cheaper sweeps saved — warm starts
-            // already make post-first-pass solves nearly free.)
-            pillar_current.fill(0.0);
-            for t in 0..tiers {
-                // Phase 3 (voltage propagation): pin this tier's pillar
-                // terminals — layer 0 from the VDA guesses, upper layers
-                // from the accumulated pillar current through R_TSV.
-                if t == 0 {
-                    for (k, &s) in site_flat.iter().enumerate() {
-                        v[s] = v0[k];
-                    }
-                } else {
-                    for (k, &s) in site_flat.iter().enumerate() {
-                        v[t * per + s] = v[(t - 1) * per + s] + pillar_current[k] * r_tsv;
-                    }
-                }
-                // Phase 1 (intra-plane voltage calculation). The TSV
-                // resistance is deliberately absent: pinned terminals carry
-                // it in the propagation phase instead.
-                for i in 0..per {
-                    injection[i] = -sign * stack.loads()[t * per + i];
-                }
-                let tier_v = &mut v[t * per..(t + 1) * per];
-                let rep = tier_cache[t].solve(
-                    injection,
-                    tier_v,
-                    tight_tol,
-                    self.config.max_inner_sweeps,
-                )?;
-                inner_sweeps += rep.iterations;
-                // Phase 2 (TSV current computation): KCL at each pinned
-                // terminal gives the current its pillar injects into this
-                // tier; accumulate toward the package. After the top tier
-                // the accumulator holds the current each pillar asks of the
-                // package — which must be zero at pad-less pillars.
-                let (gh, gv) = tier_g[t];
+    v.fill(rail);
+    v0.fill(rail);
+    last_good_v0.fill(rail);
+    last_good_correction.fill(0.0);
+    anderson.reset();
+
+    // Outer fixed-point accelerator (see `anderson`): the VDA step is
+    // the residual, Anderson mixing combines the recent history. A
+    // safeguard resets the history and falls back to a heavily damped
+    // plain step if the mismatch ever inflates.
+    let mut best_worst = f64::INFINITY;
+    // Start in the paper's plain damped-mixing mode; escalate to
+    // safeguarded Anderson mixing on divergence or plateau.
+    let mut plain_mode = true;
+    let mut vda = crate::VdaController::new(params.damping);
+    let mut since_improvement = 0usize;
+    // Learned stability scale for plain (history-less) steps: halved on
+    // every rollback, recovering by 20% per accepted improvement. It
+    // also damps Anderson's first step after a reset, so a reset cannot
+    // immediately re-trigger the divergence that caused it.
+    let mut stable_scale = params.damping;
+    let mut inner_sweeps = 0usize;
+    let mut outer = 0usize;
+    let mut worst = f64::INFINITY;
+    let mut converged = false;
+    while outer < params.max_outer_iterations {
+        // Every pass runs at the tight tolerance. (A "progressive"
+        // scheme that loosened early passes was tried and reverted: the
+        // noisy mismatch measurements it produced destabilized the VDA
+        // far beyond what the cheaper sweeps saved — warm starts
+        // already make post-first-pass solves nearly free.)
+        pillar_current.fill(0.0);
+        for t in 0..tiers {
+            // Phase 3 (voltage propagation): pin this tier's pillar
+            // terminals — layer 0 from the VDA guesses, upper layers
+            // from the accumulated pillar current through R_TSV.
+            if t == 0 {
                 for (k, &s) in site_flat.iter().enumerate() {
-                    let (x, y) = (s % w, s / w);
-                    let vj = tier_v[s];
-                    let mut out = sign * stack.loads()[t * per + s];
-                    if x > 0 {
-                        out += gh * (vj - tier_v[s - 1]);
-                    }
-                    if x + 1 < w {
-                        out += gh * (vj - tier_v[s + 1]);
-                    }
-                    if y > 0 {
-                        out += gv * (vj - tier_v[s - w]);
-                    }
-                    if y + 1 < h {
-                        out += gv * (vj - tier_v[s + w]);
-                    }
-                    pillar_current[k] += out;
+                    v[s] = v0[k];
                 }
-            }
-            outer += 1;
-            // Phase 4 (VDA): padded pillars report the voltage gap between
-            // their propagated top voltage and the rail (shifted by the pad
-            // drop when pads are resistive); pad-less pillars report the
-            // current they wrongly ask of the package. The lattice
-            // redistributes both — the paper's "distributing the resulting
-            // voltage difference" — into per-pillar voltage corrections.
-            for (k, &s) in site_flat.iter().enumerate() {
-                mismatch[k] = if is_pad_site[k] {
-                    let target = rail - pillar_current[k] * r_pad;
-                    target - v[top * per + s]
-                } else {
-                    pillar_current[k] // amperes of excess, not volts
-                };
-            }
-            worst = lattice.correction(mismatch, correction);
-            // Only a pass whose tier solves ran at the tight tolerance may
-            // declare convergence; a loose pass that lands under ε simply
-            // makes the next (tight) pass cheap.
-            if worst < self.config.epsilon {
-                converged = true;
-                break;
-            }
-            if worst <= best_worst {
-                last_good_v0.copy_from_slice(v0);
-                last_good_correction.copy_from_slice(correction);
-                since_improvement = 0;
             } else {
-                since_improvement += 1;
-            }
-            if plain_mode {
-                // The paper's VDA: plain damped mixing, halving the gain
-                // when the mismatch grows (the contraction principle). This
-                // converges in a handful of outers on benchmark topologies;
-                // if it diverges or plateaus, hand the loop to the
-                // accelerated mode below.
-                if worst > 10.0 * best_worst.min(1e3) || since_improvement > 8 {
-                    plain_mode = false;
-                    since_improvement = 0;
-                    v0.copy_from_slice(last_good_v0);
-                    stable_scale = 0.25 * self.config.damping;
-                    for (g, c) in v0.iter_mut().zip(&*last_good_correction) {
-                        *g += stable_scale * c;
-                    }
-                } else {
-                    vda.apply(v0, correction);
+                for (k, &s) in site_flat.iter().enumerate() {
+                    v[t * per + s] = v[(t - 1) * per + s] + pillar_current[k] * r_tsv;
                 }
-            } else if worst > 2.0 * best_worst {
-                // Accelerated mode safeguard: roll back to the best
-                // iterate, forget the mixing history, halve the stability
-                // scale, and retry with the damped plain step.
-                anderson.reset();
-                stable_scale = (stable_scale * 0.5).max(1e-3);
+            }
+            // Phase 1 (intra-plane voltage calculation). The TSV
+            // resistance is deliberately absent: pinned terminals carry
+            // it in the propagation phase instead.
+            for i in 0..per {
+                injection[i] = -sign * stack.loads()[t * per + i];
+            }
+            let tier_v = &mut v[t * per..(t + 1) * per];
+            let rep = tier_cache[t].solve(injection, tier_v, tight_tol, params.max_inner_sweeps)?;
+            inner_sweeps += rep.iterations;
+            // Phase 2 (TSV current computation): KCL at each pinned
+            // terminal gives the current its pillar injects into this
+            // tier; accumulate toward the package. After the top tier
+            // the accumulator holds the current each pillar asks of the
+            // package — which must be zero at pad-less pillars.
+            let (gh, gv) = tier_g[t];
+            for (k, &s) in site_flat.iter().enumerate() {
+                let (x, y) = (s % w, s / w);
+                let vj = tier_v[s];
+                let mut out = sign * stack.loads()[t * per + s];
+                if x > 0 {
+                    out += gh * (vj - tier_v[s - 1]);
+                }
+                if x + 1 < w {
+                    out += gh * (vj - tier_v[s + 1]);
+                }
+                if y > 0 {
+                    out += gv * (vj - tier_v[s - w]);
+                }
+                if y + 1 < h {
+                    out += gv * (vj - tier_v[s + w]);
+                }
+                pillar_current[k] += out;
+            }
+        }
+        outer += 1;
+        // Phase 4 (VDA): padded pillars report the voltage gap between
+        // their propagated top voltage and the rail (shifted by the pad
+        // drop when pads are resistive); pad-less pillars report the
+        // current they wrongly ask of the package. The lattice
+        // redistributes both — the paper's "distributing the resulting
+        // voltage difference" — into per-pillar voltage corrections.
+        for (k, &s) in site_flat.iter().enumerate() {
+            mismatch[k] = if is_pad_site[k] {
+                let target = rail - pillar_current[k] * r_pad;
+                target - v[top * per + s]
+            } else {
+                pillar_current[k] // amperes of excess, not volts
+            };
+        }
+        worst = lattice.correction(mismatch, correction);
+        // Only a pass whose tier solves ran at the tight tolerance may
+        // declare convergence; a loose pass that lands under ε simply
+        // makes the next (tight) pass cheap.
+        if worst < params.epsilon {
+            converged = true;
+            break;
+        }
+        if worst <= best_worst {
+            last_good_v0.copy_from_slice(v0);
+            last_good_correction.copy_from_slice(correction);
+            since_improvement = 0;
+        } else {
+            since_improvement += 1;
+        }
+        if plain_mode {
+            // The paper's VDA: plain damped mixing, halving the gain
+            // when the mismatch grows (the contraction principle). This
+            // converges in a handful of outers on benchmark topologies;
+            // if it diverges or plateaus, hand the loop to the
+            // accelerated mode below.
+            if worst > 10.0 * best_worst.min(1e3) || since_improvement > 8 {
+                plain_mode = false;
+                since_improvement = 0;
                 v0.copy_from_slice(last_good_v0);
+                stable_scale = 0.25 * params.damping;
                 for (g, c) in v0.iter_mut().zip(&*last_good_correction) {
                     *g += stable_scale * c;
                 }
             } else {
-                if worst <= best_worst {
-                    stable_scale = (stable_scale * 1.5).min(self.config.damping);
-                }
-                anderson.step(v0, correction, stable_scale);
+                vda.apply(v0, correction);
             }
-            // The reference decays by 15% per outer so that one lucky
-            // transient cannot veto every later state (which deadlocks the
-            // safeguard in a rollback limit cycle); sustained growth is
-            // still caught.
-            best_worst = best_worst.min(worst) * if plain_mode { 1.0 } else { 1.15 };
+        } else if worst > 2.0 * best_worst {
+            // Accelerated mode safeguard: roll back to the best
+            // iterate, forget the mixing history, halve the stability
+            // scale, and retry with the damped plain step.
+            anderson.reset();
+            stable_scale = (stable_scale * 0.5).max(1e-3);
+            v0.copy_from_slice(last_good_v0);
+            for (g, c) in v0.iter_mut().zip(&*last_good_correction) {
+                *g += stable_scale * c;
+            }
+        } else {
+            if worst <= best_worst {
+                stable_scale = (stable_scale * 1.5).min(params.damping);
+            }
+            anderson.step(v0, correction, stable_scale);
         }
-        if converged {
-            return Ok(VpReport {
-                outer_iterations: outer,
-                inner_sweeps,
-                pad_mismatch: worst,
-                final_beta: self.config.damping,
-                converged: true,
-                // Reported uniformly on every return path (the scratch
-                // *is* the solver workspace).
-                workspace_bytes: scratch.memory_bytes(),
-            });
-        }
-        Err(SolverError::DidNotConverge {
-            iterations: outer,
-            residual: worst,
-            tolerance: self.config.epsilon,
-        })
+        // The reference decays by 15% per outer so that one lucky
+        // transient cannot veto every later state (which deadlocks the
+        // safeguard in a rollback limit cycle); sustained growth is
+        // still caught.
+        best_worst = best_worst.min(worst) * if plain_mode { 1.0 } else { 1.15 };
     }
+    if converged {
+        return Ok(VpReport {
+            outer_iterations: outer,
+            inner_sweeps,
+            pad_mismatch: worst,
+            final_beta: params.damping,
+            converged: true,
+            // Reported uniformly on every return path (the scratch
+            // *is* the solver workspace).
+            workspace_bytes: scratch.memory_bytes(),
+        });
+    }
+    Err(SolverError::DidNotConverge {
+        iterations: outer,
+        residual: worst,
+        tolerance: params.epsilon,
+    })
+}
 
+impl VpSolver {
     /// Solves a whole batch of load vectors against one prefactored
     /// stack, sweeping every right-hand side together through the shared
     /// tier factors.
@@ -803,6 +874,10 @@ impl VpSolver {
     /// [`SolverError::Unsupported`] if the stack is unsupported (see
     /// [`VpSolver::solve`]), `loads` is empty or not a whole number of
     /// load vectors, or any load is negative or non-finite.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a `Session` and call `Session::solve_batch` instead"
+    )]
     pub fn solve_batch(
         &self,
         stack: &Stack3d,
@@ -815,393 +890,412 @@ impl VpSolver {
         if !scratch.matches(stack, &self.config) {
             *scratch = VpScratch::new(stack, &self.config)?;
         }
-        let nn = stack.num_nodes();
-        if loads.is_empty() || loads.len() % nn != 0 {
+        run_batch(
+            &self.config.solve_params(),
+            stack,
+            net,
+            loads,
+            scratch,
+            reports,
+        )
+    }
+}
+
+/// Validates a lane-major batch load buffer against the node count,
+/// returning the lane count `k`.
+pub(crate) fn validate_loads(nn: usize, loads: &[f64]) -> Result<usize, SolverError> {
+    if loads.is_empty() || loads.len() % nn != 0 {
+        return Err(SolverError::Unsupported {
+            what: format!(
+                "batch loads must be a non-empty whole number of {nn}-node \
+                 load vectors (got {} entries)",
+                loads.len()
+            ),
+        });
+    }
+    for (i, &a) in loads.iter().enumerate() {
+        if !a.is_finite() || a < 0.0 {
             return Err(SolverError::Unsupported {
-                what: format!(
-                    "batch loads must be a non-empty whole number of {nn}-node \
-                     load vectors (got {} entries)",
-                    loads.len()
-                ),
+                what: format!("load {a} at batch index {i} is not a finite, non-negative current"),
             });
         }
-        for (i, &a) in loads.iter().enumerate() {
-            if !a.is_finite() || a < 0.0 {
-                return Err(SolverError::Unsupported {
-                    what: format!(
-                        "load {a} at batch index {i} is not a finite, non-negative current"
-                    ),
-                });
+    }
+    Ok(loads.len() / nn)
+}
+
+/// The batched outer loop: validates the load set, (re)sizes the batch
+/// arena for the lane count, and runs every lane in lockstep through the
+/// shared tier factors. The scratch **must already match the stack's
+/// geometry** (callers check). Warm calls with an unchanged lane count
+/// perform no heap allocation.
+pub(crate) fn run_batch(
+    params: &crate::SolveParams,
+    stack: &Stack3d,
+    net: NetKind,
+    loads: &[f64],
+    scratch: &mut VpScratch,
+    reports: &mut Vec<VpReport>,
+) -> Result<(), SolverError> {
+    let k = validate_loads(stack.num_nodes(), loads)?;
+    let per = scratch.width * scratch.height;
+    let ns = scratch.site_flat.len();
+    if scratch.batch.as_ref().is_none_or(|b| b.k != k) {
+        scratch.batch = Some(BatchArena::new(k, per, scratch.tiers, ns, params.damping));
+    }
+    let rail = match net {
+        NetKind::Power => stack.vdd(),
+        NetKind::Ground => 0.0,
+    };
+    let sign = match net {
+        NetKind::Power => 1.0,
+        NetKind::Ground => -1.0,
+    };
+    if scratch.tiers == 1 {
+        run_batch_single_tier(params, rail, sign, loads, k, scratch, reports)
+    } else {
+        run_batch_multi(params, rail, sign, loads, k, scratch, reports)
+    }
+}
+
+/// Single-tier batched path: one batched row-based solve with the
+/// pads pinned at the rail (per-lane reports mirror
+/// [`run_single_tier`]).
+fn run_batch_single_tier(
+    params: &crate::SolveParams,
+    rail: f64,
+    sign: f64,
+    loads: &[f64],
+    k: usize,
+    scratch: &mut VpScratch,
+    reports: &mut Vec<VpReport>,
+) -> Result<(), SolverError> {
+    let per = scratch.width * scratch.height;
+    {
+        let VpScratch {
+            tier_cache, batch, ..
+        } = scratch;
+        let arena = batch.as_mut().expect("batch arena sized");
+        arena.reset(params.damping);
+        arena.v.fill(rail);
+        for j in 0..k {
+            let lane_loads = &loads[j * per..(j + 1) * per];
+            for i in 0..per {
+                arena.injection[i * k + j] = -sign * lane_loads[i];
             }
         }
-        let k = loads.len() / nn;
-        let per = scratch.width * scratch.height;
-        let ns = scratch.site_flat.len();
-        if scratch.batch.as_ref().is_none_or(|b| b.k != k) {
-            scratch.batch = Some(BatchArena::new(
-                k,
-                per,
-                scratch.tiers,
-                ns,
-                self.config.damping,
-            ));
-        }
-        let rail = match net {
-            NetKind::Power => stack.vdd(),
-            NetKind::Ground => 0.0,
-        };
-        let sign = match net {
-            NetKind::Power => 1.0,
-            NetKind::Ground => -1.0,
-        };
-        if scratch.tiers == 1 {
-            self.solve_batch_single_tier(rail, sign, loads, k, scratch, reports)
-        } else {
-            self.solve_batch_multi(rail, sign, loads, k, scratch, reports)
-        }
+        tier_cache[0].solve_batch_masked(
+            &arena.injection,
+            &mut arena.v,
+            params.inner_tolerance,
+            params.max_inner_sweeps,
+            params.sor_omega,
+            None,
+            &mut arena.lanes,
+        )?;
+        deinterleave(&arena.v, &mut arena.voltages, k);
     }
+    let ws = scratch.memory_bytes();
+    let arena = scratch.batch.as_ref().expect("batch arena sized");
+    reports.clear();
+    reports.extend(arena.lanes.iter().map(|l| VpReport {
+        outer_iterations: 1,
+        inner_sweeps: l.iterations,
+        pad_mismatch: l.residual,
+        final_beta: params.damping,
+        converged: l.converged,
+        workspace_bytes: ws,
+    }));
+    Ok(())
+}
 
-    /// Single-tier batched path: one batched row-based solve with the
-    /// pads pinned at the rail (per-lane reports mirror
-    /// [`VpSolver::solve_single_tier`]).
-    fn solve_batch_single_tier(
-        &self,
-        rail: f64,
-        sign: f64,
-        loads: &[f64],
-        k: usize,
-        scratch: &mut VpScratch,
-        reports: &mut Vec<VpReport>,
-    ) -> Result<(), SolverError> {
-        let per = scratch.width * scratch.height;
-        {
-            let VpScratch {
-                tier_cache, batch, ..
-            } = scratch;
-            let arena = batch.as_mut().expect("batch arena sized");
-            arena.reset(self.config.damping);
-            arena.v.fill(rail);
+/// Multi-tier batched path: every lane runs the propagation/VDA outer
+/// loop of [`VpSolver::solve_with`] in lockstep, sharing each tier's
+/// batched inner solve. Per-lane scalar state lives in the arena's
+/// [`LaneOuterState`]; a lane that converges (or fails a budget) is
+/// masked out of all later tier solves, so its iterate — bitwise
+/// identical to the sequential solve — is never touched again.
+fn run_batch_multi(
+    params: &crate::SolveParams,
+    rail: f64,
+    sign: f64,
+    loads: &[f64],
+    k: usize,
+    scratch: &mut VpScratch,
+    reports: &mut Vec<VpReport>,
+) -> Result<(), SolverError> {
+    let (w, h, tiers) = (scratch.width, scratch.height, scratch.tiers);
+    let per = w * h;
+    let nn = per * tiers;
+    let ns = scratch.site_flat.len();
+    let r_tsv = scratch.r_tsv;
+    let r_pad = scratch.r_pad;
+    let top = tiers - 1;
+    let tight_tol = params.inner_tolerance / scratch.amplification;
+    let eps = params.epsilon;
+    let damping = params.damping;
+    {
+        let VpScratch {
+            site_flat,
+            is_pad_site,
+            lattice,
+            tier_cache,
+            tier_g,
+            batch,
+            ..
+        } = scratch;
+        let lattice = lattice.as_mut().expect("multi-tier scratch has a lattice");
+        let arena = batch.as_mut().expect("batch arena sized");
+        arena.reset(damping);
+        arena.v.fill(rail);
+        arena.v0.fill(rail);
+        arena.last_good_v0.fill(rail);
+        arena.last_good_correction.fill(0.0);
+
+        let mut n_running = k;
+        let mut outer = 0usize;
+        while outer < params.max_outer_iterations && n_running > 0 {
             for j in 0..k {
-                let lane_loads = &loads[j * per..(j + 1) * per];
-                for i in 0..per {
-                    arena.injection[i * k + j] = -sign * lane_loads[i];
+                if arena.mask[j] {
+                    arena.pillar_current[j * ns..(j + 1) * ns].fill(0.0);
                 }
             }
-            tier_cache[0].solve_batch_masked(
-                &arena.injection,
-                &mut arena.v,
-                self.config.inner_tolerance,
-                self.config.max_inner_sweeps,
-                self.config.sor_omega,
-                None,
-                &mut arena.lanes,
-            )?;
-            deinterleave(&arena.v, &mut arena.voltages, k);
-        }
-        let ws = scratch.memory_bytes();
-        let arena = scratch.batch.as_ref().expect("batch arena sized");
-        reports.clear();
-        reports.extend(arena.lanes.iter().map(|l| VpReport {
-            outer_iterations: 1,
-            inner_sweeps: l.iterations,
-            pad_mismatch: l.residual,
-            final_beta: self.config.damping,
-            converged: l.converged,
-            workspace_bytes: ws,
-        }));
-        Ok(())
-    }
-
-    /// Multi-tier batched path: every lane runs the propagation/VDA outer
-    /// loop of [`VpSolver::solve_with`] in lockstep, sharing each tier's
-    /// batched inner solve. Per-lane scalar state lives in the arena's
-    /// [`LaneOuterState`]; a lane that converges (or fails a budget) is
-    /// masked out of all later tier solves, so its iterate — bitwise
-    /// identical to the sequential solve — is never touched again.
-    fn solve_batch_multi(
-        &self,
-        rail: f64,
-        sign: f64,
-        loads: &[f64],
-        k: usize,
-        scratch: &mut VpScratch,
-        reports: &mut Vec<VpReport>,
-    ) -> Result<(), SolverError> {
-        let (w, h, tiers) = (scratch.width, scratch.height, scratch.tiers);
-        let per = w * h;
-        let nn = per * tiers;
-        let ns = scratch.site_flat.len();
-        let r_tsv = scratch.r_tsv;
-        let r_pad = scratch.r_pad;
-        let top = tiers - 1;
-        let tight_tol = self.config.inner_tolerance / scratch.amplification;
-        let eps = self.config.epsilon;
-        let damping = self.config.damping;
-        {
-            let VpScratch {
-                site_flat,
-                is_pad_site,
-                lattice,
-                tier_cache,
-                tier_g,
-                batch,
-                ..
-            } = scratch;
-            let lattice = lattice.as_mut().expect("multi-tier scratch has a lattice");
-            let arena = batch.as_mut().expect("batch arena sized");
-            arena.reset(damping);
-            arena.v.fill(rail);
-            arena.v0.fill(rail);
-            arena.last_good_v0.fill(rail);
-            arena.last_good_correction.fill(0.0);
-
-            let mut n_running = k;
-            let mut outer = 0usize;
-            while outer < self.config.max_outer_iterations && n_running > 0 {
-                for j in 0..k {
-                    if arena.mask[j] {
-                        arena.pillar_current[j * ns..(j + 1) * ns].fill(0.0);
-                    }
-                }
-                for t in 0..tiers {
-                    // Phase 3 (voltage propagation): pin this tier's pillar
-                    // terminals per running lane.
-                    if t == 0 {
-                        for j in 0..k {
-                            if !arena.mask[j] {
-                                continue;
-                            }
-                            let v0_j = &arena.v0[j * ns..(j + 1) * ns];
-                            for (kk, &s) in site_flat.iter().enumerate() {
-                                arena.v[s * k + j] = v0_j[kk];
-                            }
-                        }
-                    } else {
-                        for j in 0..k {
-                            if !arena.mask[j] {
-                                continue;
-                            }
-                            let pc_j = &arena.pillar_current[j * ns..(j + 1) * ns];
-                            for (kk, &s) in site_flat.iter().enumerate() {
-                                arena.v[(t * per + s) * k + j] =
-                                    arena.v[((t - 1) * per + s) * k + j] + pc_j[kk] * r_tsv;
-                            }
-                        }
-                    }
-                    // Phase 1 (intra-plane): batched row-based solve of
-                    // this tier for every running lane.
+            for t in 0..tiers {
+                // Phase 3 (voltage propagation): pin this tier's pillar
+                // terminals per running lane.
+                if t == 0 {
                     for j in 0..k {
                         if !arena.mask[j] {
                             continue;
                         }
-                        let lane_loads = &loads[j * nn + t * per..j * nn + (t + 1) * per];
-                        for i in 0..per {
-                            arena.injection[i * k + j] = -sign * lane_loads[i];
-                        }
-                    }
-                    let tier_v = &mut arena.v[t * per * k..(t + 1) * per * k];
-                    tier_cache[t].solve_batch_masked(
-                        &arena.injection,
-                        tier_v,
-                        tight_tol,
-                        self.config.max_inner_sweeps,
-                        1.0,
-                        Some(&arena.mask),
-                        &mut arena.lanes,
-                    )?;
-                    for j in 0..k {
-                        if !arena.mask[j] {
-                            continue;
-                        }
-                        arena.state[j].inner_sweeps += arena.lanes[j].iterations;
-                        if !arena.lanes[j].converged {
-                            // The sequential path would abort this load
-                            // with `DidNotConverge`; the batch freezes the
-                            // lane and reports its true inner residual.
-                            // `outer + 1` counts the pass it died in, like
-                            // the other outcomes recorded post-increment.
-                            arena.state[j].worst = arena.lanes[j].residual;
-                            arena.state[j].outcome = Some((outer + 1, false));
-                            arena.mask[j] = false;
-                            n_running -= 1;
-                        }
-                    }
-                    // Phase 2 (TSV current computation) per running lane.
-                    let (gh, gv) = tier_g[t];
-                    for j in 0..k {
-                        if !arena.mask[j] {
-                            continue;
-                        }
-                        let tier_v = &arena.v[t * per * k..(t + 1) * per * k];
-                        let pc_j = &mut arena.pillar_current[j * ns..(j + 1) * ns];
-                        let lane_loads = &loads[j * nn + t * per..j * nn + (t + 1) * per];
+                        let v0_j = &arena.v0[j * ns..(j + 1) * ns];
                         for (kk, &s) in site_flat.iter().enumerate() {
-                            let (x, y) = (s % w, s / w);
-                            let vj = tier_v[s * k + j];
-                            let mut out = sign * lane_loads[s];
-                            if x > 0 {
-                                out += gh * (vj - tier_v[(s - 1) * k + j]);
-                            }
-                            if x + 1 < w {
-                                out += gh * (vj - tier_v[(s + 1) * k + j]);
-                            }
-                            if y > 0 {
-                                out += gv * (vj - tier_v[(s - w) * k + j]);
-                            }
-                            if y + 1 < h {
-                                out += gv * (vj - tier_v[(s + w) * k + j]);
-                            }
-                            pc_j[kk] += out;
+                            arena.v[s * k + j] = v0_j[kk];
+                        }
+                    }
+                } else {
+                    for j in 0..k {
+                        if !arena.mask[j] {
+                            continue;
+                        }
+                        let pc_j = &arena.pillar_current[j * ns..(j + 1) * ns];
+                        for (kk, &s) in site_flat.iter().enumerate() {
+                            arena.v[(t * per + s) * k + j] =
+                                arena.v[((t - 1) * per + s) * k + j] + pc_j[kk] * r_tsv;
                         }
                     }
                 }
-                outer += 1;
-                // Phase 4 (VDA + mixing) per running lane — the scalar
-                // logic of `solve_with`, verbatim, on the lane's slices.
+                // Phase 1 (intra-plane): batched row-based solve of
+                // this tier for every running lane.
                 for j in 0..k {
                     if !arena.mask[j] {
                         continue;
                     }
-                    let mm = &mut arena.mismatch[j * ns..(j + 1) * ns];
-                    let pc = &arena.pillar_current[j * ns..(j + 1) * ns];
-                    for (kk, &s) in site_flat.iter().enumerate() {
-                        mm[kk] = if is_pad_site[kk] {
-                            let target = rail - pc[kk] * r_pad;
-                            target - arena.v[(top * per + s) * k + j]
-                        } else {
-                            pc[kk] // amperes of excess, not volts
-                        };
+                    let lane_loads = &loads[j * nn + t * per..j * nn + (t + 1) * per];
+                    for i in 0..per {
+                        arena.injection[i * k + j] = -sign * lane_loads[i];
                     }
-                    let corr = &mut arena.correction[j * ns..(j + 1) * ns];
-                    let worst = lattice.correction(mm, corr);
-                    let st = &mut arena.state[j];
-                    st.worst = worst;
-                    if worst < eps {
-                        st.outcome = Some((outer, true));
-                        arena.mask[j] = false;
-                        n_running -= 1;
+                }
+                let tier_v = &mut arena.v[t * per * k..(t + 1) * per * k];
+                tier_cache[t].solve_batch_masked(
+                    &arena.injection,
+                    tier_v,
+                    tight_tol,
+                    params.max_inner_sweeps,
+                    1.0,
+                    Some(&arena.mask),
+                    &mut arena.lanes,
+                )?;
+                for j in 0..k {
+                    if !arena.mask[j] {
                         continue;
                     }
-                    let v0_j = &mut arena.v0[j * ns..(j + 1) * ns];
-                    let lg_v0 = &mut arena.last_good_v0[j * ns..(j + 1) * ns];
-                    let lg_c = &mut arena.last_good_correction[j * ns..(j + 1) * ns];
-                    if worst <= st.best_worst {
-                        lg_v0.copy_from_slice(v0_j);
-                        lg_c.copy_from_slice(corr);
-                        st.since_improvement = 0;
-                    } else {
-                        st.since_improvement += 1;
+                    arena.state[j].inner_sweeps += arena.lanes[j].iterations;
+                    if !arena.lanes[j].converged {
+                        // The sequential path would abort this load
+                        // with `DidNotConverge`; the batch freezes the
+                        // lane and reports its true inner residual.
+                        // `outer + 1` counts the pass it died in, like
+                        // the other outcomes recorded post-increment.
+                        arena.state[j].worst = arena.lanes[j].residual;
+                        arena.state[j].outcome = Some((outer + 1, false));
+                        arena.mask[j] = false;
+                        n_running -= 1;
                     }
-                    if st.plain_mode {
-                        if worst > 10.0 * st.best_worst.min(1e3) || st.since_improvement > 8 {
-                            st.plain_mode = false;
-                            st.since_improvement = 0;
-                            v0_j.copy_from_slice(lg_v0);
-                            st.stable_scale = 0.25 * damping;
-                            for (g, c) in v0_j.iter_mut().zip(&*lg_c) {
-                                *g += st.stable_scale * c;
-                            }
-                        } else {
-                            st.vda.apply(v0_j, corr);
+                }
+                // Phase 2 (TSV current computation) per running lane.
+                let (gh, gv) = tier_g[t];
+                for j in 0..k {
+                    if !arena.mask[j] {
+                        continue;
+                    }
+                    let tier_v = &arena.v[t * per * k..(t + 1) * per * k];
+                    let pc_j = &mut arena.pillar_current[j * ns..(j + 1) * ns];
+                    let lane_loads = &loads[j * nn + t * per..j * nn + (t + 1) * per];
+                    for (kk, &s) in site_flat.iter().enumerate() {
+                        let (x, y) = (s % w, s / w);
+                        let vj = tier_v[s * k + j];
+                        let mut out = sign * lane_loads[s];
+                        if x > 0 {
+                            out += gh * (vj - tier_v[(s - 1) * k + j]);
                         }
-                    } else if worst > 2.0 * st.best_worst {
-                        st.stable_scale = (st.stable_scale * 0.5).max(1e-3);
+                        if x + 1 < w {
+                            out += gh * (vj - tier_v[(s + 1) * k + j]);
+                        }
+                        if y > 0 {
+                            out += gv * (vj - tier_v[(s - w) * k + j]);
+                        }
+                        if y + 1 < h {
+                            out += gv * (vj - tier_v[(s + w) * k + j]);
+                        }
+                        pc_j[kk] += out;
+                    }
+                }
+            }
+            outer += 1;
+            // Phase 4 (VDA + mixing) per running lane — the scalar
+            // logic of `solve_with`, verbatim, on the lane's slices.
+            for j in 0..k {
+                if !arena.mask[j] {
+                    continue;
+                }
+                let mm = &mut arena.mismatch[j * ns..(j + 1) * ns];
+                let pc = &arena.pillar_current[j * ns..(j + 1) * ns];
+                for (kk, &s) in site_flat.iter().enumerate() {
+                    mm[kk] = if is_pad_site[kk] {
+                        let target = rail - pc[kk] * r_pad;
+                        target - arena.v[(top * per + s) * k + j]
+                    } else {
+                        pc[kk] // amperes of excess, not volts
+                    };
+                }
+                let corr = &mut arena.correction[j * ns..(j + 1) * ns];
+                let worst = lattice.correction(mm, corr);
+                let st = &mut arena.state[j];
+                st.worst = worst;
+                if worst < eps {
+                    st.outcome = Some((outer, true));
+                    arena.mask[j] = false;
+                    n_running -= 1;
+                    continue;
+                }
+                let v0_j = &mut arena.v0[j * ns..(j + 1) * ns];
+                let lg_v0 = &mut arena.last_good_v0[j * ns..(j + 1) * ns];
+                let lg_c = &mut arena.last_good_correction[j * ns..(j + 1) * ns];
+                if worst <= st.best_worst {
+                    lg_v0.copy_from_slice(v0_j);
+                    lg_c.copy_from_slice(corr);
+                    st.since_improvement = 0;
+                } else {
+                    st.since_improvement += 1;
+                }
+                if st.plain_mode {
+                    if worst > 10.0 * st.best_worst.min(1e3) || st.since_improvement > 8 {
+                        st.plain_mode = false;
+                        st.since_improvement = 0;
                         v0_j.copy_from_slice(lg_v0);
+                        st.stable_scale = 0.25 * damping;
                         for (g, c) in v0_j.iter_mut().zip(&*lg_c) {
                             *g += st.stable_scale * c;
                         }
-                        arena.anderson[j].reset();
                     } else {
-                        if worst <= st.best_worst {
-                            st.stable_scale = (st.stable_scale * 1.5).min(damping);
-                        }
-                        arena.anderson[j].step(v0_j, corr, st.stable_scale);
+                        st.vda.apply(v0_j, corr);
                     }
-                    st.best_worst =
-                        st.best_worst.min(worst) * if st.plain_mode { 1.0 } else { 1.15 };
+                } else if worst > 2.0 * st.best_worst {
+                    st.stable_scale = (st.stable_scale * 0.5).max(1e-3);
+                    v0_j.copy_from_slice(lg_v0);
+                    for (g, c) in v0_j.iter_mut().zip(&*lg_c) {
+                        *g += st.stable_scale * c;
+                    }
+                    arena.anderson[j].reset();
+                } else {
+                    if worst <= st.best_worst {
+                        st.stable_scale = (st.stable_scale * 1.5).min(damping);
+                    }
+                    arena.anderson[j].step(v0_j, corr, st.stable_scale);
                 }
+                st.best_worst = st.best_worst.min(worst) * if st.plain_mode { 1.0 } else { 1.15 };
             }
-            // Lanes still running exhausted the outer budget.
-            for j in 0..k {
-                if arena.mask[j] {
-                    arena.state[j].outcome = Some((outer, false));
-                    arena.mask[j] = false;
-                }
-            }
-            deinterleave(&arena.v, &mut arena.voltages, k);
         }
-        let ws = scratch.memory_bytes();
-        let arena = scratch.batch.as_ref().expect("batch arena sized");
-        reports.clear();
-        reports.extend(arena.state.iter().map(|st| {
-            let (outer_iterations, converged) = st.outcome.expect("every lane resolved");
-            VpReport {
-                outer_iterations,
-                inner_sweeps: st.inner_sweeps,
-                pad_mismatch: st.worst,
-                final_beta: damping,
-                converged,
-                workspace_bytes: ws,
+        // Lanes still running exhausted the outer budget.
+        for j in 0..k {
+            if arena.mask[j] {
+                arena.state[j].outcome = Some((outer, false));
+                arena.mask[j] = false;
             }
-        }));
-        Ok(())
+        }
+        deinterleave(&arena.v, &mut arena.voltages, k);
     }
+    let ws = scratch.memory_bytes();
+    let arena = scratch.batch.as_ref().expect("batch arena sized");
+    reports.clear();
+    reports.extend(arena.state.iter().map(|st| {
+        let (outer_iterations, converged) = st.outcome.expect("every lane resolved");
+        VpReport {
+            outer_iterations,
+            inner_sweeps: st.inner_sweeps,
+            pad_mismatch: st.worst,
+            final_beta: damping,
+            converged,
+            workspace_bytes: ws,
+        }
+    }));
+    Ok(())
+}
 
-    /// Single-tier special case: pads pinned at the rail, one row-based
-    /// solve (the planar method the paper builds on).
-    ///
-    /// There is no propagation loop here, so `pad_mismatch` reports the
-    /// inner solve's final residual (its largest per-sweep voltage
-    /// update) and `converged` its actual status — a sweep budget that
-    /// runs out comes back as `converged = false` with the true residual,
-    /// not as an error.
-    fn solve_single_tier(
-        &self,
-        stack: &Stack3d,
-        rail: f64,
-        sign: f64,
-        scratch: &mut VpScratch,
-    ) -> Result<VpReport, SolverError> {
-        let per = scratch.width * scratch.height;
-        let VpScratch {
-            tier_cache,
-            voltages,
-            injection,
-            ..
-        } = scratch;
-        voltages.fill(rail);
-        for (inj, load) in injection.iter_mut().zip(&stack.loads()[..per]) {
-            *inj = -sign * load;
-        }
-        let rep = match tier_cache[0].solve_with_omega(
-            injection,
-            voltages,
-            self.config.inner_tolerance,
-            self.config.max_inner_sweeps,
-            self.config.sor_omega,
-        ) {
-            Ok(rep) => rep,
-            Err(SolverError::DidNotConverge {
-                iterations,
-                residual,
-                ..
-            }) => SolveReport {
-                iterations,
-                residual,
-                converged: false,
-                workspace_bytes: 0,
-            },
-            Err(e) => return Err(e),
-        };
-        Ok(VpReport {
-            outer_iterations: 1,
-            inner_sweeps: rep.iterations,
-            pad_mismatch: rep.residual,
-            final_beta: self.config.damping,
-            converged: rep.converged,
-            workspace_bytes: scratch.memory_bytes(),
-        })
+/// Single-tier special case: pads pinned at the rail, one row-based
+/// solve (the planar method the paper builds on).
+///
+/// There is no propagation loop here, so `pad_mismatch` reports the
+/// inner solve's final residual (its largest per-sweep voltage
+/// update) and `converged` its actual status — a sweep budget that
+/// runs out comes back as `converged = false` with the true residual,
+/// not as an error.
+fn run_single_tier(
+    params: &crate::SolveParams,
+    stack: &Stack3d,
+    rail: f64,
+    sign: f64,
+    scratch: &mut VpScratch,
+) -> Result<VpReport, SolverError> {
+    let per = scratch.width * scratch.height;
+    let VpScratch {
+        tier_cache,
+        voltages,
+        injection,
+        ..
+    } = scratch;
+    voltages.fill(rail);
+    for (inj, load) in injection.iter_mut().zip(&stack.loads()[..per]) {
+        *inj = -sign * load;
     }
+    let rep = match tier_cache[0].solve_with_omega(
+        injection,
+        voltages,
+        params.inner_tolerance,
+        params.max_inner_sweeps,
+        params.sor_omega,
+    ) {
+        Ok(rep) => rep,
+        Err(SolverError::DidNotConverge {
+            iterations,
+            residual,
+            ..
+        }) => SolveReport {
+            iterations,
+            residual,
+            converged: false,
+            workspace_bytes: 0,
+        },
+        Err(e) => return Err(e),
+    };
+    Ok(VpReport {
+        outer_iterations: 1,
+        inner_sweeps: rep.iterations,
+        pad_mismatch: rep.residual,
+        final_beta: params.damping,
+        converged: rep.converged,
+        workspace_bytes: scratch.memory_bytes(),
+    })
 }
 
 /// Copies the node-major/lane-minor batch image (`v[i * k + j]`) into
@@ -1262,10 +1356,11 @@ fn largest_pillar_cluster(stack: &Stack3d) -> usize {
 
 impl StackSolver for VpSolver {
     fn solve_stack(&self, stack: &Stack3d, net: NetKind) -> Result<StackSolution, SolverError> {
-        let sol = self.solve(stack, net)?;
+        let mut scratch = VpScratch::new(stack, &self.config)?;
+        let report = run_single(&self.config.solve_params(), stack, net, &mut scratch)?;
         Ok(StackSolution {
-            voltages: sol.voltages,
-            report: sol.report.to_solve_report(),
+            voltages: std::mem::take(&mut scratch.voltages),
+            report: report.to_solve_report(),
         })
     }
 
@@ -1276,6 +1371,11 @@ impl StackSolver for VpSolver {
 
 #[cfg(test)]
 mod tests {
+    // These unit tests deliberately exercise the deprecated `VpSolver`
+    // entry points: the shims must keep working for one release, and the
+    // session regression tests (tests/session.rs) compare against them.
+    #![allow(deprecated)]
+
     use super::*;
     use voltprop_grid::{LoadProfile, TsvPattern};
     use voltprop_solvers::{residual, DirectCholesky};

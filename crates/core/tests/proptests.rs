@@ -4,7 +4,7 @@
 //! Each property runs across a deterministic sweep of generated stacks
 //! (the workspace builds offline without the `proptest` crate).
 
-use voltprop_core::VpSolver;
+use voltprop_core::{LoadCase, Session, VpConfig};
 use voltprop_grid::rng::SmallRng;
 use voltprop_grid::{LoadProfile, NetKind, Stack3d, TsvPattern};
 use voltprop_solvers::{residual, DirectCholesky, StackSolver};
@@ -48,8 +48,9 @@ fn vp_matches_direct_within_half_millivolt() {
         let exact = DirectCholesky::new()
             .solve_stack(&stack, NetKind::Power)
             .unwrap();
-        let vp = VpSolver::default().solve(&stack, NetKind::Power).unwrap();
-        let err = residual::max_abs_error(&exact.voltages, &vp.voltages);
+        let mut session = Session::build(&stack, VpConfig::default()).unwrap();
+        let vp = session.solve(&LoadCase::new(&stack)).unwrap();
+        let err = residual::max_abs_error(&exact.voltages, vp.voltages());
         assert!(
             err < 5e-4,
             "case {case}: max error {err} V on {}x{}x{}",
@@ -66,9 +67,10 @@ fn vp_matches_direct_within_half_millivolt() {
 fn vp_voltages_physically_sensible() {
     for case in 0..48u64 {
         let stack = arbitrary_stack(100 + case);
-        let vp = VpSolver::default().solve(&stack, NetKind::Power).unwrap();
+        let mut session = Session::build(&stack, VpConfig::default()).unwrap();
+        let vp = session.solve(&LoadCase::new(&stack)).unwrap();
         let eps = 2e-4;
-        for &v in &vp.voltages {
+        for &v in vp.voltages() {
             assert!(
                 v <= stack.vdd() + eps,
                 "case {case}: voltage {v} above rail"
@@ -87,8 +89,9 @@ fn vp_pillar_currents_conserve() {
         if stack.tiers() <= 1 {
             continue;
         }
-        let vp = VpSolver::default().solve(&stack, NetKind::Power).unwrap();
-        let delivered: f64 = vp.pillar_currents.iter().sum();
+        let mut session = Session::build(&stack, VpConfig::default()).unwrap();
+        let vp = session.solve(&LoadCase::new(&stack)).unwrap();
+        let delivered: f64 = vp.pillar_currents().iter().sum();
         let total = stack.total_load();
         assert!(
             (delivered - total).abs() <= 0.02 * total.max(1e-12),
@@ -103,9 +106,18 @@ fn vp_pillar_currents_conserve() {
 fn vp_ground_mirrors_power() {
     for case in 0..48u64 {
         let stack = arbitrary_stack(300 + case);
-        let p = VpSolver::default().solve(&stack, NetKind::Power).unwrap();
-        let g = VpSolver::default().solve(&stack, NetKind::Ground).unwrap();
-        for (vp, vg) in p.voltages.iter().zip(&g.voltages) {
+        // One session serves both nets (the mirror property is also a
+        // mixed-net session exercise).
+        let mut session = Session::build(&stack, VpConfig::default()).unwrap();
+        let p = session
+            .solve(&LoadCase::new(&stack))
+            .unwrap()
+            .voltages()
+            .to_vec();
+        let g = session
+            .solve(&LoadCase::new(&stack).net(NetKind::Ground))
+            .unwrap();
+        for (vp, vg) in p.iter().zip(g.voltages()) {
             let drop_p = stack.vdd() - vp;
             assert!(
                 (drop_p - vg).abs() < 1e-3,

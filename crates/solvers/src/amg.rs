@@ -5,7 +5,7 @@ use voltprop_sparse::{Cholesky, CsrMatrix, TripletMatrix};
 /// preconditioner.
 ///
 /// This is the structural stand-in for the multigrid preconditioner of the
-/// paper's PCG comparator (refs [6], [12]): greedy pairwise aggregation by
+/// paper's PCG comparator (refs \[6\], \[12\]): greedy pairwise aggregation by
 /// strongest negative coupling, piecewise-constant prolongation, Galerkin
 /// coarse operators, damped-Jacobi smoothing, and a direct solve on the
 /// coarsest level.

@@ -21,7 +21,7 @@
 //! # Pool lifecycle
 //!
 //! Multi-threaded solves run on the persistent
-//! [`WorkerPool`](crate::pool::WorkerPool): worker threads are spawned
+//! [`WorkerPool`]: worker threads are spawned
 //! once (lazily, on the first parallel solve) and park between solves,
 //! so a **warm parallel solve performs no heap allocation** — dispatching
 //! a solve is an `Arc` refcount bump and two mutex hand-offs. Engines
@@ -119,7 +119,7 @@ impl SweepSchedule {
 /// How a [`TierEngine`] hands a parallel solve to its worker threads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ParDispatch {
-    /// The persistent [`WorkerPool`](crate::pool::WorkerPool): parked
+    /// The persistent [`WorkerPool`]: parked
     /// threads, pinned scratch, allocation-free warm dispatch. The
     /// default.
     #[default]
@@ -546,7 +546,7 @@ impl BatchState {
 /// Built once per tier, reused across every sweep and outer iteration:
 /// after construction the single-threaded schedules perform **no heap
 /// allocation** on any solve or sweep path. The multi-threaded red-black
-/// path runs on the persistent [`WorkerPool`](crate::pool::WorkerPool),
+/// path runs on the persistent [`WorkerPool`],
 /// so after the pool's one-time warm-up a parallel
 /// [`TierEngine::solve`] (or [`TierEngine::solve_batch`]) is
 /// allocation-free too — dispatching a solve to the parked workers costs

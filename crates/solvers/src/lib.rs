@@ -7,13 +7,13 @@
 //!   Cholesky factorization of the MNA system.
 //! * **Krylov** — [`ConjugateGradient`] and [`Pcg`] with pluggable
 //!   preconditioners ([`PrecondKind`]: Jacobi, IC(0), SSOR, aggregation
-//!   AMG), the paper's main comparator (refs [6], [12]).
+//!   AMG), the paper's main comparator (refs \[6\], \[12\]).
 //! * **Stationary** — [`relax`] (point Jacobi / Gauss–Seidel / SOR), the
-//!   structured [`RowBased`] method of Zhong & Wong (ref [5]) that the VP
+//!   structured [`RowBased`] method of Zhong & Wong (ref \[5\]) that the VP
 //!   algorithm builds on, and [`Rb3d`], the naive extension of row-based
 //!   iteration to 3-D whose convergence collapses when TSVs are strong
 //!   (the paper's §III-A motivation).
-//! * **Stochastic** — [`RandomWalkSolver`] (ref [4]), including the walk
+//! * **Stochastic** — [`RandomWalkSolver`] (ref \[4\]), including the walk
 //!   length statistics that expose the "trapped in TSVs" pathology.
 //!
 //! Matrix-based solvers implement [`LinearSolver`]; every `LinearSolver`
@@ -105,7 +105,7 @@ pub use pcg::Pcg;
 pub use pool::{PoolJob, WorkerPool, WorkerScratch};
 pub use precond::{PrecondKind, Preconditioner};
 pub use random_walk::RandomWalkSolver;
-pub use rb3d::Rb3d;
+pub use rb3d::{Rb3d, Rb3dEngine};
 pub use report::{LaneReport, SolveReport};
 pub use rowbased::{RowBased, TierProblem};
 pub use traits::{LinearSolver, Solution, StackSolution, StackSolver};

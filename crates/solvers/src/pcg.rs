@@ -1,8 +1,8 @@
 use crate::{LinearSolver, PrecondKind, Solution, SolveReport, SolverError};
 use voltprop_sparse::{vec_ops, CsrMatrix};
 
-/// Preconditioned conjugate gradients — the paper's comparator (refs [6],
-/// [12]).
+/// Preconditioned conjugate gradients — the paper's comparator (refs \[6\],
+/// \[12\]).
 ///
 /// Defaults: IC(0) preconditioner, relative residual `1e-8` (which lands
 /// node voltages well inside the paper's 0.5 mV accuracy budget on the

@@ -1,5 +1,5 @@
 //! Random-walk power grid analysis (Qian, Nassif, Sapatnekar — paper
-//! ref [4]).
+//! ref \[4\]).
 //!
 //! A node's voltage satisfies `V_u = Σ (g_un / G_u) V_n + I_u / G_u`, the
 //! expectation of a random walk that moves to neighbour `n` with

@@ -83,20 +83,52 @@ impl Rb3d {
     }
 }
 
-impl StackSolver for Rb3d {
-    fn solve_stack(&self, stack: &Stack3d, net: NetKind) -> Result<StackSolution, SolverError> {
+/// The prefactored, reusable state of the naive 3-D row-based iteration:
+/// every tier's row segments factored once, the TSV/pad structure baked
+/// into per-tier masks, and the injection staging buffer preallocated.
+///
+/// [`Rb3d::solve_stack`] builds one per call; callers that solve many
+/// load patterns on one grid (e.g. a `Session` in `voltprop-core`
+/// routing `Backend::Rb3d`) build it once and call
+/// [`Rb3dEngine::solve`] repeatedly — warm solves touch the heap only
+/// through the worker-pool hand-off, which is itself allocation-free
+/// once the pool is warm.
+///
+/// The iteration is **identical** to the one-shot [`Rb3d`] path: solving
+/// through a prebuilt engine produces bitwise-equal voltages.
+#[derive(Debug)]
+pub struct Rb3dEngine {
+    width: usize,
+    height: usize,
+    tiers: usize,
+    vdd: f64,
+    g_tsv: f64,
+    ideal_pads: bool,
+    g_pad: f64,
+    /// Per-site TSV flag, one tier's footprint (shared by every tier).
+    tsv_mask: Vec<bool>,
+    /// Per-site pad flag (top tier only carries pads).
+    pad_mask: Vec<bool>,
+    /// Per-tier `(g_h, g_v)` baked into the engines (kept for
+    /// [`Rb3dEngine::geometry_matches`]).
+    tier_g: Vec<(f64, f64)>,
+    engines: Vec<TierEngine>,
+    injection: Vec<f64>,
+}
+
+impl Rb3dEngine {
+    /// Validates the stack and prefactors every tier's row segments for
+    /// the naive 3-D iteration.
+    ///
+    /// # Errors
+    ///
+    /// [`SolverError::Grid`] if the stack fails validation;
+    /// [`SolverError::Sparse`] if a tier factorization fails.
+    pub fn build(stack: &Stack3d, parallelism: usize) -> Result<Self, SolverError> {
         stack.validate()?;
         let (w, h, tiers) = (stack.width(), stack.height(), stack.tiers());
         let per_tier = w * h;
         let top = tiers - 1;
-        let rail = match net {
-            NetKind::Power => stack.vdd(),
-            NetKind::Ground => 0.0,
-        };
-        let load_sign = match net {
-            NetKind::Power => -1.0,
-            NetKind::Ground => 1.0,
-        };
         let g_tsv = 1.0 / stack.tsv_resistance();
         let ideal_pads = stack.pad_resistance() == 0.0;
         let g_pad = if ideal_pads {
@@ -105,16 +137,17 @@ impl StackSolver for Rb3d {
             1.0 / stack.pad_resistance()
         };
 
-        // Initial guess: flat rail voltage (pads already at their value).
-        let mut v = vec![rail; per_tier * tiers];
-
-        // Per-tier static data.
+        // Per-tier static data: extra diagonal conductance from TSV
+        // coupling (and resistive pads on top), pin mask for ideal pads.
+        let mut tsv_mask = vec![false; per_tier];
+        let mut pad_mask = vec![false; per_tier];
         let mut fixed = vec![vec![false; per_tier]; tiers];
         let mut extra = vec![vec![0.0f64; per_tier]; tiers];
         for y in 0..h {
             for x in 0..w {
                 let site = y * w + x;
                 if stack.is_tsv(x, y) {
+                    tsv_mask[site] = true;
                     for (t, e) in extra.iter_mut().enumerate() {
                         let mut g = 0.0;
                         if t > 0 {
@@ -127,6 +160,7 @@ impl StackSolver for Rb3d {
                     }
                 }
                 if stack.is_pad(x, y) {
+                    pad_mask[site] = true;
                     if ideal_pads {
                         fixed[top][site] = true;
                     } else {
@@ -139,8 +173,11 @@ impl StackSolver for Rb3d {
         // Prefactor every tier's row segments once; all sweeps are pure
         // substitution. Tiers below the top share one (all-free) pin-mask
         // allocation.
-        let schedule = SweepSchedule::from_parallelism(self.parallelism);
+        let schedule = SweepSchedule::from_parallelism(parallelism.max(1));
         let free_mask: Arc<[bool]> = Arc::from(vec![false; per_tier]);
+        let tier_g: Vec<(f64, f64)> = (0..tiers)
+            .map(|t| (1.0 / stack.r_horizontal(t), 1.0 / stack.r_vertical(t)))
+            .collect();
         let mut engines: Vec<TierEngine> = Vec::with_capacity(tiers);
         for t in 0..tiers {
             let mask = if fixed[t].iter().any(|&f| f) {
@@ -151,68 +188,181 @@ impl StackSolver for Rb3d {
             engines.push(TierEngine::new(
                 w,
                 h,
-                1.0 / stack.r_horizontal(t),
-                1.0 / stack.r_vertical(t),
+                tier_g[t].0,
+                tier_g[t].1,
                 mask,
                 Some(&extra[t]),
                 schedule,
             )?);
         }
 
-        let mut injection = vec![0.0f64; per_tier];
+        Ok(Rb3dEngine {
+            width: w,
+            height: h,
+            tiers,
+            vdd: stack.vdd(),
+            g_tsv,
+            ideal_pads,
+            g_pad,
+            tsv_mask,
+            pad_mask,
+            tier_g,
+            engines,
+            injection: vec![0.0f64; per_tier],
+        })
+    }
+
+    /// Number of grid nodes this engine serves.
+    pub fn num_nodes(&self) -> usize {
+        self.width * self.height * self.tiers
+    }
+
+    /// Whether this engine's prefactored state fits the stack's geometry
+    /// (footprint, tiers, rail, TSV/pad/sheet resistances, and TSV and
+    /// pad sites). Loads are free to differ.
+    pub fn geometry_matches(&self, stack: &Stack3d) -> bool {
+        let (w, h) = (self.width, self.height);
+        let pads_match = if self.ideal_pads {
+            stack.pad_resistance() == 0.0
+        } else {
+            stack.pad_resistance() != 0.0 && self.g_pad == 1.0 / stack.pad_resistance()
+        };
+        w == stack.width()
+            && h == stack.height()
+            && self.tiers == stack.tiers()
+            && self.vdd == stack.vdd()
+            && self.g_tsv == 1.0 / stack.tsv_resistance()
+            && pads_match
+            && self.tier_g.iter().enumerate().all(|(t, &(g_h, g_v))| {
+                g_h == 1.0 / stack.r_horizontal(t) && g_v == 1.0 / stack.r_vertical(t)
+            })
+            && (0..h * w).all(|site| {
+                let (x, y) = (site % w, site / w);
+                self.tsv_mask[site] == stack.is_tsv(x, y)
+                    && self.pad_mask[site] == stack.is_pad(x, y)
+            })
+    }
+
+    /// Runs the naive 3-D block Gauss–Seidel iteration on one load
+    /// vector (`loads[node]`, flat tier-major, `num_nodes` entries),
+    /// writing the solution into `v` (same layout). `v`'s contents are
+    /// overwritten with the flat-rail initial guess first, so every call
+    /// is deterministic regardless of what `v` held.
+    ///
+    /// # Errors
+    ///
+    /// [`SolverError::Unsupported`] on a malformed `loads`/`v` length;
+    /// [`SolverError::DidNotConverge`] if `max_iterations` full-stack
+    /// sweeps cannot reach `tolerance` (in which case `v` holds the last
+    /// iterate).
+    pub fn solve(
+        &mut self,
+        loads: &[f64],
+        net: NetKind,
+        omega: f64,
+        tolerance: f64,
+        max_iterations: usize,
+        v: &mut [f64],
+    ) -> Result<SolveReport, SolverError> {
+        let nn = self.num_nodes();
+        if loads.len() != nn || v.len() != nn {
+            return Err(SolverError::Unsupported {
+                what: format!(
+                    "rb3d engine serves {nn} nodes (got {} loads, {} voltages)",
+                    loads.len(),
+                    v.len()
+                ),
+            });
+        }
+        let (w, h, tiers) = (self.width, self.height, self.tiers);
+        let per_tier = w * h;
+        let top = tiers - 1;
+        let rail = match net {
+            NetKind::Power => self.vdd,
+            NetKind::Ground => 0.0,
+        };
+        let load_sign = match net {
+            NetKind::Power => -1.0,
+            NetKind::Ground => 1.0,
+        };
+
+        // Initial guess: flat rail voltage (pads already at their value).
+        v.fill(rail);
+
         let mut iterations = 0;
         let mut max_delta = f64::INFINITY;
-        while iterations < self.max_iterations {
+        while iterations < max_iterations {
             max_delta = 0.0;
             let downward = iterations % 2 == 0;
             for t in 0..tiers {
                 // Build the injection vector for tier t from loads, TSV
                 // coupling to the *current* neighbour-tier voltages, and
                 // resistive-pad rail current.
-                for y in 0..h {
-                    for x in 0..w {
-                        let site = y * w + x;
-                        let node = t * per_tier + site;
-                        let mut b = load_sign * stack.loads()[node];
-                        if stack.is_tsv(x, y) {
-                            if t > 0 {
-                                b += g_tsv * v[node - per_tier];
-                            }
-                            if t < top {
-                                b += g_tsv * v[node + per_tier];
-                            }
+                for site in 0..per_tier {
+                    let node = t * per_tier + site;
+                    let mut b = load_sign * loads[node];
+                    if self.tsv_mask[site] {
+                        if t > 0 {
+                            b += self.g_tsv * v[node - per_tier];
                         }
-                        if t == top && !ideal_pads && stack.is_pad(x, y) {
-                            b += g_pad * rail;
+                        if t < top {
+                            b += self.g_tsv * v[node + per_tier];
                         }
-                        injection[site] = b;
                     }
+                    if t == top && !self.ideal_pads && self.pad_mask[site] {
+                        b += self.g_pad * rail;
+                    }
+                    self.injection[site] = b;
                 }
                 let tier_v = &mut v[t * per_tier..(t + 1) * per_tier];
-                let delta = engines[t].sweep_once(&injection, tier_v, downward, self.omega)?;
+                let delta = self.engines[t].sweep_once(&self.injection, tier_v, downward, omega)?;
                 max_delta = max_delta.max(delta);
             }
             iterations += 1;
-            if max_delta < self.tolerance {
-                let workspace_bytes = engines.iter().map(TierEngine::memory_bytes).sum::<usize>()
-                    + v.len() * 8
-                    + injection.len() * 8
-                    + tiers * per_tier * 8; // extra diag
-                return Ok(StackSolution {
-                    voltages: v,
-                    report: SolveReport {
-                        iterations,
-                        residual: max_delta,
-                        converged: true,
-                        workspace_bytes,
-                    },
+            if max_delta < tolerance {
+                return Ok(SolveReport {
+                    iterations,
+                    residual: max_delta,
+                    converged: true,
+                    workspace_bytes: self.memory_bytes() + v.len() * 8,
                 });
             }
         }
         Err(SolverError::DidNotConverge {
             iterations,
             residual: max_delta,
-            tolerance: self.tolerance,
+            tolerance,
+        })
+    }
+
+    /// Estimated heap footprint in bytes (prefactored engines, masks,
+    /// and the injection staging buffer; the caller owns `v`).
+    pub fn memory_bytes(&self) -> usize {
+        self.engines
+            .iter()
+            .map(TierEngine::memory_bytes)
+            .sum::<usize>()
+            + self.injection.len() * 8
+            + self.tsv_mask.len()
+            + self.pad_mask.len()
+    }
+}
+
+impl StackSolver for Rb3d {
+    fn solve_stack(&self, stack: &Stack3d, net: NetKind) -> Result<StackSolution, SolverError> {
+        let mut engine = Rb3dEngine::build(stack, self.parallelism)?;
+        let mut v = vec![0.0; engine.num_nodes()];
+        let report = engine.solve(
+            stack.loads(),
+            net,
+            self.omega,
+            self.tolerance,
+            self.max_iterations,
+            &mut v,
+        )?;
+        Ok(StackSolution {
+            voltages: v,
+            report,
         })
     }
 
@@ -347,5 +497,61 @@ mod tests {
             solver.solve_stack(&stack(0.05), NetKind::Power),
             Err(SolverError::DidNotConverge { .. })
         ));
+    }
+
+    #[test]
+    fn prebuilt_engine_reuse_is_bitwise_identical() {
+        // One engine serving many load patterns must reproduce the
+        // one-shot path exactly (factors and sweep order are shared).
+        let s = stack(0.05);
+        let mut engine = Rb3dEngine::build(&s, 1).unwrap();
+        assert!(engine.geometry_matches(&s));
+        let mut v = vec![0.0; engine.num_nodes()];
+        for scale in [1.0, 0.5, 1.5] {
+            let loads: Vec<f64> = s.loads().iter().map(|l| scale * l).collect();
+            let mut scaled = s.clone();
+            scaled.set_loads(loads.clone()).unwrap();
+            let one_shot = Rb3d::default()
+                .solve_stack(&scaled, NetKind::Power)
+                .unwrap();
+            let rep = engine
+                .solve(&loads, NetKind::Power, 1.0, 1e-7, 200_000, &mut v)
+                .unwrap();
+            assert_eq!(one_shot.voltages, v, "scale {scale}");
+            assert_eq!(one_shot.report.iterations, rep.iterations);
+        }
+        // Geometry drift is detectable by the caller.
+        let other = Stack3d::builder(6, 6, 2)
+            .uniform_load(1e-4)
+            .build()
+            .unwrap();
+        assert!(!engine.geometry_matches(&other));
+    }
+
+    #[test]
+    fn geometry_matches_covers_rail_and_resistances() {
+        let base = |b: voltprop_grid::StackBuilder| b.uniform_load(1e-4).build().unwrap();
+        let s = base(Stack3d::builder(8, 8, 3).pad_resistance(0.1));
+        let engine = Rb3dEngine::build(&s, 1).unwrap();
+        assert!(engine.geometry_matches(&s));
+        // Every knob baked into the prefactored state must be compared:
+        // rail, pad conductance, sheet resistances, TSV strength.
+        for drifted in [
+            base(Stack3d::builder(8, 8, 3).pad_resistance(0.1).vdd(1.0)),
+            base(Stack3d::builder(8, 8, 3).pad_resistance(0.2)),
+            base(Stack3d::builder(8, 8, 3)), // ideal pads
+            base(
+                Stack3d::builder(8, 8, 3)
+                    .pad_resistance(0.1)
+                    .tier_resistance(1, 0.04, 0.02),
+            ),
+            base(
+                Stack3d::builder(8, 8, 3)
+                    .pad_resistance(0.1)
+                    .tsv_resistance(0.2),
+            ),
+        ] {
+            assert!(!engine.geometry_matches(&drifted));
+        }
     }
 }

@@ -1,4 +1,4 @@
-//! The row-based (RB) iterative method of Zhong & Wong (paper ref [5]).
+//! The row-based (RB) iterative method of Zhong & Wong (paper ref \[5\]).
 //!
 //! A power grid tier is a `width`×`height` mesh; RB treats each grid row as
 //! one block of a block Gauss–Seidel iteration. Given the (current)
@@ -13,7 +13,7 @@
 //!
 //! [`RowBased`] is the reference kernel: it re-eliminates every row each
 //! sweep and runs strictly sequentially. The production path is the
-//! prefactored [`TierEngine`](crate::TierEngine) (see
+//! prefactored [`TierEngine`] (see
 //! [`RowBased::solve_tier_scheduled`]), which factors each segment once
 //! and can sweep the red-black row coloring across threads.
 

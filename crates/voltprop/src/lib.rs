@@ -5,18 +5,22 @@
 //! reproduces *"Voltage Propagation Method for 3-D Power Grid Analysis"*
 //! (Zhang, Pavlidis, De Micheli, DATE 2012):
 //!
-//! * [`core`] — the [`VpSolver`](core::VpSolver) itself;
+//! * [`core`] — the [`Session`] handle and the voltage propagation
+//!   solver itself;
 //! * [`grid`] — power grid modeling, netlists, benchmark synthesis;
 //! * [`solvers`] — the baseline solvers (direct Cholesky, PCG, row-based,
 //!   random walks) the paper compares against;
 //! * [`sparse`] — the sparse linear algebra substrate.
 //!
-//! The most common items are re-exported at the crate root.
+//! The most common items are re-exported at the crate root. The primary
+//! entry point is [`Session`]: build the prefactored solve state once,
+//! then serve single solves, batched what-if sweeps, and transient
+//! waveforms from it — across backends — with zero warm allocations.
 //!
 //! # Quickstart
 //!
 //! ```
-//! use voltprop::{Stack3d, NetKind, VpSolver, StackSolver};
+//! use voltprop::{LoadCase, Session, Stack3d, VpConfig};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! // A 3-tier 16x16 grid with the paper's TSV layout and random loads.
@@ -26,11 +30,24 @@
 //!     }, 42)
 //!     .build()?;
 //!
-//! let solution = VpSolver::default().solve_stack(&stack, NetKind::Power)?;
-//! println!("worst IR drop: {:.2} mV", solution.worst_drop(stack.vdd()) * 1e3);
+//! // Factor once; every request after this reuses the tier factors.
+//! let mut session = Session::build(&stack, VpConfig::default())?;
+//! let view = session.solve(&LoadCase::new(&stack))?;
+//! assert!(view.converged());
+//! println!("worst IR drop: {:.2} mV", view.worst_drop(stack.vdd()) * 1e3);
+//!
+//! // Batched what-if sweep on the same prefactored state: two DVFS
+//! // corners as lanes of one solve.
+//! let mut loads = stack.loads().to_vec();
+//! loads.extend(stack.loads().iter().map(|l| 1.25 * l));
+//! let sweep = session.solve_batch(&voltprop::LoadSet::new(&stack, &loads))?;
+//! assert_eq!(sweep.lanes(), 2);
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Migrating from the deprecated `VpSolver::solve{,_with,_batch}` entry
+//! points? See `MIGRATION.md` at the repository root for a one-page map.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,14 +57,17 @@ pub use voltprop_grid as grid;
 pub use voltprop_solvers as solvers;
 pub use voltprop_sparse as sparse;
 
-pub use voltprop_core::{VpConfig, VpReport, VpScratch, VpSolution, VpSolver};
+pub use voltprop_core::{
+    Backend, BuildError, BuildParams, LoadCase, LoadSet, Session, SessionError, SolutionView,
+    SolveParams, VpConfig, VpReport, VpScratch, VpSolution, VpSolver,
+};
 pub use voltprop_grid::{
     GridError, LoadProfile, NetKind, Netlist, NetlistCircuit, Stack3d, StampedSystem, SynthConfig,
     TableCircuit, TsvPattern,
 };
 pub use voltprop_solvers::{
     ConjugateGradient, DirectCholesky, LaneReport, LinearSolver, Pcg, PrecondKind,
-    RandomWalkSolver, Rb3d, SolveReport, SolverError, StackSolution, StackSolver,
+    RandomWalkSolver, Rb3d, Rb3dEngine, SolveReport, SolverError, StackSolution, StackSolver,
 };
 
 #[cfg(test)]
@@ -58,5 +78,7 @@ mod tests {
         let _ = crate::VpConfig::default();
         let _ = crate::DirectCholesky::new();
         let _ = crate::PrecondKind::Ic0;
+        let _ = crate::Backend::VoltProp;
+        let _ = crate::SolveParams::new();
     }
 }

@@ -5,7 +5,7 @@
 //! cargo run --release --example ir_drop_map
 //! ```
 
-use voltprop::{LoadProfile, NetKind, Stack3d, VpSolver};
+use voltprop::{LoadCase, LoadProfile, Session, Stack3d, VpConfig};
 
 const SHADES: &[u8] = b" .:-=+*#%@";
 
@@ -25,11 +25,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )
         .build()?;
 
-    let solution = VpSolver::default().solve(&stack, NetKind::Power)?;
-    let worst = solution
-        .voltages
-        .iter()
-        .fold(0.0f64, |m, &v| m.max(stack.vdd() - v));
+    let mut session = Session::build(&stack, VpConfig::default())?;
+    let solution = session.solve(&LoadCase::new(&stack))?;
+    let worst = solution.worst_drop(stack.vdd());
     println!(
         "IR-drop map ({}x{}x{} nodes, worst drop {:.2} mV, '@' = worst)",
         w,
@@ -47,7 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for y in 0..h {
             let mut line = String::with_capacity(w);
             for x in 0..w {
-                let v = solution.voltages[stack.node_index(tier, x, y)];
+                let v = solution.voltages()[stack.node_index(tier, x, y)];
                 let drop = (stack.vdd() - v).max(0.0);
                 let shade = ((drop / worst) * (SHADES.len() - 1) as f64).round() as usize;
                 line.push(SHADES[shade.min(SHADES.len() - 1)] as char);
@@ -59,7 +57,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
     println!(
         "solved by voltage propagation in {} outer iterations ({} row sweeps)",
-        solution.report.outer_iterations, solution.report.inner_sweeps
+        solution.report().outer_iterations,
+        solution.report().inner_sweeps
     );
     Ok(())
 }

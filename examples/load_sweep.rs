@@ -1,13 +1,14 @@
-//! A what-if load sweep through the batched solve path: one prefactored
-//! stack, many load scenarios, every scenario's worst IR drop in one
-//! batched call.
+//! A what-if load sweep through the session's batched path: one
+//! prefactored `Session`, many load scenarios, every scenario's worst IR
+//! drop in one batched call.
 //!
 //! Power-integrity sign-off rarely asks one question. It asks a family:
 //! "what if the GPU cluster runs 20% hotter? what if we derate the cache?
 //! what if everything scales with a DVFS step?" Each variant is the same
 //! grid with different currents — exactly the shape
-//! [`VpSolver::solve_batch`] serves: the tier matrices are factored once,
-//! and all scenarios sweep together with a unit-stride inner loop.
+//! [`Session::solve_batch`] serves: the tier matrices are factored once
+//! at `Session::build`, and all scenarios sweep together with a
+//! unit-stride inner loop.
 //!
 //! ```sh
 //! cargo run --release --example load_sweep
@@ -15,7 +16,7 @@
 
 use std::time::Instant;
 
-use voltprop::{LoadProfile, NetKind, Stack3d, VpScratch, VpSolver};
+use voltprop::{LoadProfile, LoadSet, Session, Stack3d, VpConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (w, h, tiers) = (48, 48, 3);
@@ -40,11 +41,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         loads.extend(stack.loads().iter().map(|l| scale * l));
     }
 
-    let solver = VpSolver::default();
-    let mut scratch = VpScratch::new(&stack, &solver.config)?;
-    let mut reports = Vec::new();
+    let mut session = Session::build(&stack, VpConfig::default())?;
     let start = Instant::now();
-    solver.solve_batch(&stack, NetKind::Power, &loads, &mut scratch, &mut reports)?;
+    let view = session.solve_batch(&LoadSet::new(&stack, &loads))?;
     let elapsed = start.elapsed();
 
     println!(
@@ -59,11 +58,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n scale   worst IR drop   outer  sweeps  status");
     let mut last_ok = None;
     for (j, &scale) in scales.iter().enumerate() {
-        let worst_drop = scratch
-            .batch_voltages(j)
-            .iter()
-            .fold(0.0f64, |m, &v| m.max(stack.vdd() - v));
-        let rep = &reports[j];
+        let worst_drop = view.lane_worst_drop(j, stack.vdd())?;
+        let rep = view.lane_report(j)?;
         println!(
             " {:>4.0}%   {:>9.2} mV   {:>5}  {:>6}  {}",
             scale * 100.0,

@@ -1,12 +1,12 @@
-//! Quickstart: build a 3-tier power grid, run the voltage propagation
-//! solver, and print an IR-drop summary.
+//! Quickstart: build a 3-tier power grid, open a prefactored `Session`,
+//! and print an IR-drop summary.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
 use voltprop::solvers::residual;
-use voltprop::{LoadProfile, NetKind, Stack3d, VpSolver};
+use voltprop::{LoadCase, LoadProfile, Session, Stack3d, VpConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 3-tier 40x40 grid with the paper's parameters: TSV pillars at one
@@ -26,11 +26,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", voltprop::grid::stats::GridStats::of(&stack));
     println!();
 
-    let solver = VpSolver::default();
-    let solution = solver.solve(&stack, NetKind::Power)?;
-    println!("voltage propagation: {}", solution.report);
+    // All factorization happens here, once; every solve after this —
+    // single, batched, transient, on either backend — reuses it.
+    let mut session = Session::build(&stack, VpConfig::default())?;
+    let view = session.solve(&LoadCase::new(&stack))?;
+    println!("voltage propagation: {}", view.report());
 
-    let drops = residual::ir_drop_report(stack.vdd(), &solution.voltages);
+    let drops = residual::ir_drop_report(stack.vdd(), view.voltages());
     let (tier, x, y) = stack.node_coords(drops.worst_node);
     println!();
     println!(
@@ -41,8 +43,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The solver exposes the current each pillar delivers (phase 2 of the
     // algorithm computes them anyway).
-    let busiest = solution
-        .pillar_currents
+    let busiest = view
+        .pillar_currents()
         .iter()
         .enumerate()
         .max_by(|a, b| a.1.total_cmp(b.1))
@@ -51,6 +53,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "busiest pillar: ({px}, {py}) delivering {:.3} mA",
         busiest.1 * 1e3
+    );
+
+    // New loads on the same geometry reuse every factorization: solve a
+    // 30% hotter corner without rebuilding anything.
+    let mut hot = stack.clone();
+    hot.set_loads(stack.loads().iter().map(|l| 1.3 * l).collect())?;
+    let hot_view = session.solve(&LoadCase::new(&hot))?;
+    println!(
+        "at 130% load the worst IR drop grows to {:.3} mV",
+        hot_view.worst_drop(stack.vdd()) * 1e3
     );
     Ok(())
 }

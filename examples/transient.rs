@@ -1,11 +1,13 @@
-//! RC transient stepping through the batched solve path: a whole
-//! activity waveform solved as one lane stream.
+//! RC transient stepping through `Session::transient`: a whole activity
+//! waveform solved as one lane stream on prefactored state.
 //!
 //! Quasi-static transient analysis asks for the grid's voltage map at
 //! every time step of a load waveform. The grid itself never changes —
 //! only the block currents do — so the time steps are exactly the shape
-//! [`VpSolver::solve_batch`] serves: factor the tiers once, make each
-//! time step a batch lane, and sweep the whole waveform together.
+//! the session's batched path serves: factor the tiers once
+//! (`Session::build`), hand `Session::transient` a closure that writes
+//! each step's loads, and the stepper sweeps the whole waveform together
+//! with the steps as batch lanes.
 //!
 //! The workload models two RC-shaped activity transients on top of a
 //! background load: a power-gated block charging up with time constant
@@ -22,7 +24,7 @@
 
 use std::time::Instant;
 
-use voltprop::{NetKind, Stack3d, VpScratch, VpSolver};
+use voltprop::{LoadCase, Session, Stack3d, VpConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (w, h, tiers) = (40, 40, 3);
@@ -40,13 +42,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let in_block = |x: usize, y: usize, cx: usize, cy: usize| -> bool {
         x.abs_diff(cx) <= 6 && y.abs_diff(cy) <= 6
     };
-    let mut loads = Vec::with_capacity(steps * nn);
-    for s in 0..steps {
+    // Writes time step `s`'s load vector (the session stages the steps
+    // into its own lane buffer, so warm calls allocate nothing).
+    let waveform = |s: usize, loads: &mut [f64]| {
         let t = s as f64 * dt;
         let ramp_on = 1.0 - (-t / tau_on).exp(); // block A powering on
         let decay = (-t / tau_off).exp(); // block B burst dying out
         let dvfs = if s >= steps / 2 { 1.25 } else { 1.0 }; // global step
-        for node in 0..nn {
+        for (node, load) in loads.iter_mut().enumerate() {
             let tier = node / per;
             let (x, y) = ((node % per) % w, (node % per) / w);
             let mut i = stack.loads()[node];
@@ -56,33 +59,41 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             if tier == 2 && in_block(x, y, 30, 28) {
                 i += 1.0e-3 * decay;
             }
-            loads.push(dvfs * i);
+            *load = dvfs * i;
         }
-    }
+    };
 
-    // One batched call: every time step is a lane; lanes freeze as their
-    // step converges, and the compacted kernels carry the stragglers.
-    let solver = VpSolver::default();
-    let mut scratch = VpScratch::new(&stack, &solver.config)?;
-    let mut reports = Vec::new();
-    solver.solve_batch(&stack, NetKind::Power, &loads, &mut scratch, &mut reports)?; // warm
+    // One prefactored session serves the whole study: the transient
+    // stream and the step-by-step reference below share its factors.
+    let mut session = Session::build(&stack, VpConfig::default())?;
+    let case = LoadCase::new(&stack);
+    session.transient(&case, steps, waveform)?; // warm
     let start = Instant::now();
-    solver.solve_batch(&stack, NetKind::Power, &loads, &mut scratch, &mut reports)?;
+    let view = session.transient(&case, steps, waveform)?;
     let batched = start.elapsed();
+    assert!(view.converged(), "all steps converge");
 
-    // Sequential reference: one warm solve_with per time step.
-    let mut seq_scratch = VpScratch::new(&stack, &solver.config)?;
+    // Collect per-step results before reusing the session (the view
+    // borrows its arenas).
+    let step_drops: Vec<f64> = (0..steps)
+        .map(|s| view.lane_worst_drop(s, stack.vdd()))
+        .collect::<Result<_, _>>()?;
+    let step_reports: Vec<_> = view.reports().to_vec();
+
+    // Sequential reference: one warm single-case solve per time step.
     let mut step_stack = stack.clone();
-    let mut solve_all_steps = |scratch: &mut VpScratch| -> Result<(), Box<dyn std::error::Error>> {
+    let mut step_loads = vec![0.0; nn];
+    let mut solve_all_steps = |session: &mut Session| -> Result<(), Box<dyn std::error::Error>> {
         for s in 0..steps {
-            step_stack.set_loads(loads[s * nn..(s + 1) * nn].to_vec())?;
-            solver.solve_with(&step_stack, NetKind::Power, scratch)?;
+            waveform(s, &mut step_loads);
+            step_stack.set_loads(step_loads.clone())?;
+            session.solve(&LoadCase::new(&step_stack))?;
         }
         Ok(())
     };
-    solve_all_steps(&mut seq_scratch)?; // warm
+    solve_all_steps(&mut session)?; // warm
     let start = Instant::now();
-    solve_all_steps(&mut seq_scratch)?;
+    solve_all_steps(&mut session)?;
     let sequential = start.elapsed();
 
     println!(
@@ -98,13 +109,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("  step   time    worst IR drop   outer  sweeps  status");
     let mut worst_step = (0usize, 0.0f64);
-    for (s, rep) in reports.iter().enumerate() {
-        let drop = scratch
-            .batch_voltages(s)
-            .iter()
-            .fold(0.0f64, |m, &v| m.max(stack.vdd() - v));
-        if drop > worst_step.1 {
-            worst_step = (s, drop);
+    for (s, (drop, rep)) in step_drops.iter().zip(&step_reports).enumerate() {
+        if *drop > worst_step.1 {
+            worst_step = (s, *drop);
         }
         println!(
             "  {:>4}  {:>5.2}   {:>9.2} mV   {:>5}  {:>6}  {}",
@@ -116,7 +123,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             if rep.converged { "ok" } else { "NOT CONVERGED" },
         );
     }
-    assert!(reports.iter().all(|r| r.converged), "all steps converge");
     println!(
         "\nworst transient IR drop: {:.2} mV at step {} (t = {:.2})",
         worst_step.1 * 1e3,

@@ -6,7 +6,7 @@
 //! cargo run --release --example tsv_placement
 //! ```
 
-use voltprop::{LoadProfile, NetKind, Stack3d, TsvPattern, VpSolver};
+use voltprop::{LoadCase, LoadProfile, Session, Stack3d, TsvPattern, VpConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (w, h) = (32, 32);
@@ -71,17 +71,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn report(label: &str, stack: Stack3d) -> Result<(), Box<dyn std::error::Error>> {
-    let sol = VpSolver::default().solve(&stack, NetKind::Power)?;
-    let worst = sol
-        .voltages
-        .iter()
-        .fold(0.0f64, |m, &v| m.max(stack.vdd() - v));
+    // Geometry differs per pattern, so each study point gets its own
+    // prefactored session.
+    let mut session = Session::build(&stack, VpConfig::default())?;
+    let sol = session.solve(&LoadCase::new(&stack))?;
+    let worst = sol.worst_drop(stack.vdd());
     println!(
         "{:<28} {:>8} {:>11.2} mV {:>8}",
         label,
         stack.tsv_sites().len(),
         worst * 1e3,
-        sol.report.outer_iterations
+        sol.report().outer_iterations
     );
     Ok(())
 }

@@ -3,7 +3,8 @@
 
 use voltprop::solvers::residual;
 use voltprop::{
-    DirectCholesky, NetKind, Pcg, PrecondKind, Rb3d, StackSolver, SynthConfig, VpSolver,
+    Backend, DirectCholesky, LoadCase, NetKind, Pcg, PrecondKind, Rb3d, Session, SolveParams,
+    StackSolver, SynthConfig, VpConfig, VpSolver,
 };
 
 const HALF_MV: f64 = 5e-4;
@@ -64,8 +65,9 @@ fn all_solvers_agree_on_ground_net() {
 #[test]
 fn vp_solution_satisfies_kcl_matrix_free() {
     let stack = benchmark();
-    let vp = VpSolver::default().solve(&stack, NetKind::Power).unwrap();
-    let r = residual::kcl_residual_inf(&stack, NetKind::Power, &vp.voltages);
+    let mut session = Session::build(&stack, VpConfig::default()).unwrap();
+    let vp = session.solve(&LoadCase::new(&stack)).unwrap();
+    let r = residual::kcl_residual_inf(&stack, NetKind::Power, vp.voltages());
     // Load currents are milliamps; nodal mismatch must sit well below one
     // device's draw.
     assert!(r < 5e-2, "KCL residual {r} A");
@@ -76,13 +78,29 @@ fn vp_beats_naive_rb3d_iterations() {
     // The motivating comparison of §III-A: on the same grid the naive RB
     // extension needs far more full-stack sweeps than VP needs row sweeps
     // per tier.
+    // Both methods run on one session's prefactored state: the same
+    // comparison the paper makes, now apples to apples by construction.
     let stack = benchmark();
-    let vp = VpSolver::default().solve(&stack, NetKind::Power).unwrap();
-    let rb = Rb3d::default().solve_stack(&stack, NetKind::Power).unwrap();
+    let mut session = Session::build(&stack, VpConfig::default()).unwrap();
+    let vp_outer = session
+        .solve(&LoadCase::new(&stack))
+        .unwrap()
+        .report()
+        .outer_iterations;
+    let rb_params = SolveParams::new()
+        .inner_tolerance(1e-7)
+        .max_inner_sweeps(200_000);
+    let rb_outer = session
+        .solve(
+            &LoadCase::new(&stack)
+                .backend(Backend::Rb3d)
+                .params(rb_params),
+        )
+        .unwrap()
+        .report()
+        .outer_iterations;
     assert!(
-        vp.report.outer_iterations < rb.report.iterations,
-        "VP {} outer iterations vs naive RB {}",
-        vp.report.outer_iterations,
-        rb.report.iterations
+        vp_outer < rb_outer,
+        "VP {vp_outer} outer iterations vs naive RB {rb_outer}"
     );
 }

@@ -1,13 +1,23 @@
 //! Integration: ground-net analysis and the combined supply-collapse view.
 
 use voltprop::solvers::residual;
-use voltprop::{DirectCholesky, NetKind, StackSolver, SynthConfig, VpSolver};
+use voltprop::{DirectCholesky, LoadCase, NetKind, Session, StackSolver, SynthConfig, VpConfig};
 
 #[test]
 fn total_rail_collapse_is_power_drop_plus_ground_bounce() {
     let stack = SynthConfig::new(14, 14, 3).seed(77).build().unwrap();
-    let power = VpSolver::default().solve(&stack, NetKind::Power).unwrap();
-    let ground = VpSolver::default().solve(&stack, NetKind::Ground).unwrap();
+    // Both nets are served by one prefactored session.
+    let mut session = Session::build(&stack, VpConfig::default()).unwrap();
+    let power = session
+        .solve(&LoadCase::new(&stack))
+        .unwrap()
+        .voltages()
+        .to_vec();
+    let ground = session
+        .solve(&LoadCase::new(&stack).net(NetKind::Ground))
+        .unwrap()
+        .voltages()
+        .to_vec();
 
     // For identical P/G topologies, the effective supply each device sees
     // is VDD - drop_p - bounce_g; both nets mirror each other, so the
@@ -16,8 +26,8 @@ fn total_rail_collapse_is_power_drop_plus_ground_bounce() {
         .solve_stack(&stack, NetKind::Power)
         .unwrap();
     for i in 0..stack.num_nodes() {
-        let drop_p = stack.vdd() - power.voltages[i];
-        let bounce_g = ground.voltages[i];
+        let drop_p = stack.vdd() - power[i];
+        let bounce_g = ground[i];
         let exact_drop = stack.vdd() - reference.voltages[i];
         let collapse = drop_p + bounce_g;
         assert!(
@@ -31,9 +41,12 @@ fn total_rail_collapse_is_power_drop_plus_ground_bounce() {
 #[test]
 fn ground_bounce_is_nonnegative_and_bounded() {
     let stack = SynthConfig::new(16, 16, 3).seed(5).build().unwrap();
-    let ground = VpSolver::default().solve(&stack, NetKind::Ground).unwrap();
+    let mut session = Session::build(&stack, VpConfig::default()).unwrap();
+    let ground = session
+        .solve(&LoadCase::new(&stack).net(NetKind::Ground))
+        .unwrap();
     let eps = 2e-4;
-    for &v in &ground.voltages {
+    for &v in ground.voltages() {
         assert!(v >= -eps, "bounce {v} below zero");
         assert!(v < stack.vdd() / 2.0, "bounce {v} absurdly large");
     }

@@ -2,7 +2,21 @@
 //! deeper stacks are where VP pays off most.
 
 use voltprop::solvers::residual;
-use voltprop::{DirectCholesky, LoadProfile, NetKind, Stack3d, StackSolver, VpSolver};
+use voltprop::{
+    DirectCholesky, LoadCase, LoadProfile, NetKind, Session, Stack3d, StackSolver, VpConfig,
+    VpReport,
+};
+
+/// Solves the stack's power net on a fresh one-shot session.
+fn vp_solve(stack: &Stack3d) -> (Vec<f64>, Vec<f64>, VpReport) {
+    let mut session = Session::build(stack, VpConfig::default()).unwrap();
+    let view = session.solve(&LoadCase::new(stack)).unwrap();
+    (
+        view.voltages().to_vec(),
+        view.pillar_currents().to_vec(),
+        *view.report(),
+    )
+}
 
 fn stack_with_tiers(tiers: usize) -> Stack3d {
     Stack3d::builder(10, 10, tiers)
@@ -24,8 +38,8 @@ fn vp_accurate_from_one_to_six_tiers() {
         let exact = DirectCholesky::new()
             .solve_stack(&stack, NetKind::Power)
             .unwrap();
-        let vp = VpSolver::default().solve(&stack, NetKind::Power).unwrap();
-        let err = residual::max_abs_error(&exact.voltages, &vp.voltages);
+        let (voltages, _, _) = vp_solve(&stack);
+        let err = residual::max_abs_error(&exact.voltages, &voltages);
         assert!(err < 5e-4, "{tiers} tiers: error {:.4} mV", err * 1e3);
     }
 }
@@ -35,11 +49,11 @@ fn drop_deepens_with_distance_from_pads() {
     // Monotone physics: the farther a tier is from the package, the worse
     // its average IR drop.
     let stack = stack_with_tiers(4);
-    let vp = VpSolver::default().solve(&stack, NetKind::Power).unwrap();
+    let (voltages, _, _) = vp_solve(&stack);
     let per = stack.nodes_per_tier();
     let mut tier_means = Vec::new();
     for t in 0..4 {
-        let mean: f64 = vp.voltages[t * per..(t + 1) * per]
+        let mean: f64 = voltages[t * per..(t + 1) * per]
             .iter()
             .map(|v| stack.vdd() - v)
             .sum::<f64>()
@@ -63,8 +77,8 @@ fn pillar_current_grows_toward_package() {
     // the sum of what the tiers below consume; spot-check monotonicity via
     // the exposed pillar currents (total into all tiers, positive).
     let stack = stack_with_tiers(3);
-    let vp = VpSolver::default().solve(&stack, NetKind::Power).unwrap();
-    assert!(vp.pillar_currents.iter().all(|&i| i > 0.0));
+    let (_, pillar_currents, _) = vp_solve(&stack);
+    assert!(pillar_currents.iter().all(|&i| i > 0.0));
 }
 
 #[test]
@@ -73,11 +87,11 @@ fn outer_iterations_stay_bounded_with_depth() {
     // extension does).
     for tiers in [2, 4, 6] {
         let stack = stack_with_tiers(tiers);
-        let vp = VpSolver::default().solve(&stack, NetKind::Power).unwrap();
+        let (_, _, report) = vp_solve(&stack);
         assert!(
-            vp.report.outer_iterations <= 40,
+            report.outer_iterations <= 40,
             "{tiers} tiers took {} outer iterations",
-            vp.report.outer_iterations
+            report.outer_iterations
         );
     }
 }

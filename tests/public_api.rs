@@ -1,0 +1,157 @@
+//! Public-API snapshot: name-checks the exported surface of the
+//! `voltprop` facade so an accidental removal or signature change in a
+//! future PR fails here first, with an explicit diff to acknowledge.
+//!
+//! Two layers of protection:
+//!
+//! * the `use` block below fails to compile if any listed item
+//!   disappears from the facade root;
+//! * the function-pointer bindings fail to compile if a checked
+//!   signature drifts.
+//!
+//! When an intentional API change lands, update this file in the same
+//! PR — that is the acknowledgement.
+
+#![allow(unused_imports, clippy::no_effect_underscore_binding)]
+
+// --- The facade root surface -------------------------------------------
+use voltprop::{
+    // Session API (the primary entry point).
+    Backend,
+    BuildError,
+    BuildParams,
+    // Cross-solver layer.
+    ConjugateGradient,
+    DirectCholesky,
+    // Grid modeling.
+    GridError,
+    LaneReport,
+    LinearSolver,
+    LoadCase,
+    LoadProfile,
+    LoadSet,
+    NetKind,
+    Netlist,
+    NetlistCircuit,
+    Pcg,
+    PrecondKind,
+    RandomWalkSolver,
+    Rb3d,
+    Rb3dEngine,
+    Session,
+    SessionError,
+    SolutionView,
+    SolveParams,
+    SolveReport,
+    SolverError,
+    Stack3d,
+    StackSolution,
+    StackSolver,
+    StampedSystem,
+    SynthConfig,
+    TableCircuit,
+    TsvPattern,
+    // Core solver types (legacy shims remain exported while deprecated).
+    VpConfig,
+    VpReport,
+    VpScratch,
+    VpSolution,
+    VpSolver,
+};
+
+// Sub-crate facades.
+use voltprop::{core, grid, solvers, sparse};
+
+#[test]
+fn session_api_signatures_hold() {
+    // The tentpole contract, checked by *using* every entry point with
+    // the exact shapes the docs promise — a signature change breaks the
+    // build of this test.
+    let stack: Stack3d = Stack3d::builder(8, 8, 2)
+        .uniform_load(1e-4)
+        .build()
+        .unwrap();
+    let built: Result<Session, BuildError> = Session::build(&stack, VpConfig::default());
+    let mut session: Session = built.unwrap();
+    let serves: bool = session.serves(&stack);
+    assert!(serves);
+    let _mem: usize = session.memory_bytes();
+    let _defaults: SolveParams = session.defaults();
+    let _bp: BuildParams = session.build_params();
+
+    // Request builders.
+    let case: LoadCase<'_> = LoadCase::new(&stack)
+        .net(NetKind::Power)
+        .backend(Backend::VoltProp)
+        .params(SolveParams::new().epsilon(1e-4));
+    let loads: Vec<f64> = stack.loads().to_vec();
+    let set: LoadSet<'_> = LoadSet::new(&stack, &loads)
+        .net(NetKind::Power)
+        .backend(Backend::VoltProp)
+        .params(SolveParams::new());
+
+    // One request/response surface: single, batch, transient.
+    {
+        let single: Result<SolutionView<'_>, SessionError> = session.solve(&case);
+        let view: SolutionView<'_> = single.unwrap();
+        let _lanes: usize = view.lanes();
+        let _ok: bool = view.converged();
+        let _v: &[f64] = view.voltages();
+        let _r: &VpReport = view.report();
+        let _wd: f64 = view.worst_drop(stack.vdd());
+        // Non-panicking lane accessors (replacing the deprecated
+        // panicking scratch accessors).
+        let _lv: Result<&[f64], SessionError> = view.lane_voltages(0);
+        let _lp: Result<&[f64], SessionError> = view.lane_pillar_currents(0);
+        let _lr: Result<&VpReport, SessionError> = view.lane_report(0);
+        let _lw: Result<f64, SessionError> = view.lane_worst_drop(0, stack.vdd());
+    }
+    {
+        let batch: Result<SolutionView<'_>, SessionError> = session.solve_batch(&set);
+        assert_eq!(batch.unwrap().lanes(), 1);
+    }
+    {
+        let tr: Result<SolutionView<'_>, SessionError> =
+            session.transient(&case, 2, |_s: usize, lane: &mut [f64]| {
+                lane.copy_from_slice(&loads);
+            });
+        assert_eq!(tr.unwrap().lanes(), 2);
+    }
+
+    // Config split.
+    let bp: BuildParams = VpConfig::default().build_params();
+    let sp: SolveParams = VpConfig::default().solve_params();
+    let _join: VpConfig = VpConfig::from_parts(bp, sp);
+
+    // Backend routing covers at least these variants.
+    let _backends = [Backend::VoltProp, Backend::Rb3d, Backend::Pcg];
+
+    // Prefactored Rb3d engine (the cross-backend substrate).
+    let rb: Result<Rb3dEngine, SolverError> = Rb3dEngine::build(&stack, 1);
+    let mut rb: Rb3dEngine = rb.unwrap();
+    let mut v = vec![0.0; rb.num_nodes()];
+    let _rb_rep: Result<SolveReport, SolverError> =
+        rb.solve(stack.loads(), NetKind::Power, 1.0, 1e-7, 200_000, &mut v);
+}
+
+#[test]
+fn error_types_are_std_errors() {
+    fn assert_error<E: std::error::Error>() {}
+    assert_error::<BuildError>();
+    assert_error::<SessionError>();
+    assert_error::<SolverError>();
+    assert_error::<GridError>();
+}
+
+#[test]
+fn stack_solver_objects_still_box() {
+    // The trait-object layer the comparisons are built on must stay
+    // object-safe.
+    let solvers: Vec<Box<dyn StackSolver>> = vec![
+        Box::new(VpSolver::default()),
+        Box::new(Rb3d::default()),
+        Box::new(Pcg::default()),
+        Box::new(DirectCholesky::new()),
+    ];
+    assert_eq!(solvers.len(), 4);
+}

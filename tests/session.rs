@@ -1,0 +1,349 @@
+//! Integration: the `Session` lifecycle — build → solve → batch →
+//! transient on one handle — must reproduce the legacy entry points
+//! bitwise, refuse geometry drift instead of silently rebuilding, and
+//! route multiple backends through the same prefactored state.
+
+// The comparisons deliberately call the deprecated `VpSolver` shims:
+// they are the legacy reference the session must match exactly.
+#![allow(deprecated)]
+
+use voltprop::solvers::residual;
+use voltprop::{
+    Backend, DirectCholesky, LoadCase, LoadProfile, LoadSet, NetKind, Rb3d, Session, SessionError,
+    SolveParams, Stack3d, StackSolver, VpConfig, VpScratch, VpSolver,
+};
+
+fn stack() -> Stack3d {
+    Stack3d::builder(12, 12, 3)
+        .load_profile(
+            LoadProfile::UniformRandom {
+                min: 1e-5,
+                max: 1e-3,
+            },
+            23,
+        )
+        .build()
+        .unwrap()
+}
+
+/// `k` load vectors derived from the stack's own loads with different
+/// magnitudes (so lanes converge along different trajectories).
+fn load_sweep(stack: &Stack3d, k: usize) -> Vec<f64> {
+    let mut loads = Vec::with_capacity(k * stack.num_nodes());
+    for j in 0..k {
+        let scale = 0.5 + 0.4 * j as f64;
+        loads.extend(stack.loads().iter().map(|l| scale * l));
+    }
+    loads
+}
+
+#[test]
+fn full_lifecycle_on_one_session_matches_legacy_paths_bitwise() {
+    let stack = stack();
+    let nn = stack.num_nodes();
+    let config = VpConfig::default();
+    let solver = VpSolver::new(config);
+    let mut session = Session::build(&stack, config).unwrap();
+
+    // 1. Single solve == legacy solve_with, bitwise.
+    let mut scratch = VpScratch::new(&stack, &config).unwrap();
+    let legacy_report = solver
+        .solve_with(&stack, NetKind::Power, &mut scratch)
+        .unwrap();
+    let view = session.solve(&LoadCase::new(&stack)).unwrap();
+    assert_eq!(view.voltages(), scratch.voltages());
+    assert_eq!(view.pillar_currents(), scratch.pillar_currents());
+    assert_eq!(*view.report(), legacy_report);
+
+    // 2. Batch == legacy solve_batch, bitwise, on the same session.
+    let k = 4;
+    let loads = load_sweep(&stack, k);
+    let mut reports = Vec::new();
+    solver
+        .solve_batch(&stack, NetKind::Power, &loads, &mut scratch, &mut reports)
+        .unwrap();
+    let batch = session.solve_batch(&LoadSet::new(&stack, &loads)).unwrap();
+    assert_eq!(batch.lanes(), k);
+    for j in 0..k {
+        assert_eq!(batch.lane_voltages(j).unwrap(), scratch.batch_voltages(j));
+        assert_eq!(
+            batch.lane_pillar_currents(j).unwrap(),
+            scratch.batch_pillar_currents(j)
+        );
+        assert_eq!(*batch.lane_report(j).unwrap(), reports[j]);
+    }
+
+    // 3. Transient (steps as lanes) == legacy per-step batch, bitwise,
+    // still on the same session.
+    let steps = 3;
+    let wave = load_sweep(&stack, steps);
+    solver
+        .solve_batch(&stack, NetKind::Power, &wave, &mut scratch, &mut reports)
+        .unwrap();
+    let transient = session
+        .transient(&LoadCase::new(&stack), steps, |s, lane| {
+            lane.copy_from_slice(&wave[s * nn..(s + 1) * nn]);
+        })
+        .unwrap();
+    assert!(transient.converged());
+    for s in 0..steps {
+        assert_eq!(
+            transient.lane_voltages(s).unwrap(),
+            scratch.batch_voltages(s),
+            "step {s}"
+        );
+    }
+
+    // 4. And a single solve again after all of that — arenas are shared,
+    // results must not bleed between request shapes.
+    let view = session.solve(&LoadCase::new(&stack)).unwrap();
+    assert_eq!(view.voltages(), scratch.voltages());
+}
+
+#[test]
+fn geometry_drift_errors_instead_of_rebuilding() {
+    let stack = stack();
+    let mut session = Session::build(&stack, VpConfig::default()).unwrap();
+    let mem = session.memory_bytes();
+
+    // A different footprint, a different tier count, and a different TSV
+    // resistance are all geometry changes.
+    let other_footprint = Stack3d::builder(10, 10, 3)
+        .uniform_load(1e-4)
+        .build()
+        .unwrap();
+    let other_tiers = Stack3d::builder(12, 12, 2)
+        .uniform_load(1e-4)
+        .build()
+        .unwrap();
+    let other_r = Stack3d::builder(12, 12, 3)
+        .tsv_resistance(0.1)
+        .uniform_load(1e-4)
+        .build()
+        .unwrap();
+    // A different rail voltage is geometry too: the Rb3d route bakes it
+    // into the prefactored engine at build.
+    let other_vdd = Stack3d::builder(12, 12, 3)
+        .vdd(1.0)
+        .uniform_load(1e-4)
+        .build()
+        .unwrap();
+    // A pad away from the pillars must be caught even though every
+    // pillar-site pad flag still matches.
+    let mut off_pillar_pads: Vec<(usize, usize)> = stack
+        .tsv_sites()
+        .iter()
+        .map(|&(x, y)| (x as usize, y as usize))
+        .collect();
+    off_pillar_pads.push((1, 1)); // pitch-2 lattice → odd coords are free
+    let other_pads = Stack3d::builder(12, 12, 3)
+        .pad_sites(off_pillar_pads)
+        .uniform_load(1e-4)
+        .build()
+        .unwrap();
+    for bad in [
+        &other_footprint,
+        &other_tiers,
+        &other_r,
+        &other_vdd,
+        &other_pads,
+    ] {
+        assert!(matches!(
+            session.solve(&LoadCase::new(bad)),
+            Err(SessionError::GeometryChanged { .. })
+        ));
+        assert!(matches!(
+            session.solve_batch(&LoadSet::new(bad, &load_sweep(bad, 2))),
+            Err(SessionError::GeometryChanged { .. })
+        ));
+    }
+    // The session is untouched: same memory, still serves its stack.
+    assert_eq!(session.memory_bytes(), mem);
+    assert!(session.solve(&LoadCase::new(&stack)).is_ok());
+
+    // Loads-only changes are not geometry changes.
+    let mut hot = stack.clone();
+    hot.set_loads(stack.loads().iter().map(|l| 1.5 * l).collect())
+        .unwrap();
+    assert!(session.solve(&LoadCase::new(&hot)).is_ok());
+}
+
+#[test]
+fn mixed_nets_and_tolerances_on_one_session() {
+    let stack = stack();
+    let mut session = Session::build(&stack, VpConfig::default()).unwrap();
+
+    let power = session.solve(&LoadCase::new(&stack)).unwrap();
+    assert!(power.worst_drop(stack.vdd()) > 0.0);
+    let power_mismatch = power.report().pad_mismatch;
+
+    let ground = session
+        .solve(&LoadCase::new(&stack).net(NetKind::Ground))
+        .unwrap();
+    assert!(ground.converged());
+    // Ground bounce is positive: voltages near 0, not near VDD.
+    assert!(ground.voltages().iter().all(|&v| v < 0.5 * stack.vdd()));
+
+    // A tighter epsilon on the same session must resolve further.
+    let tight = session
+        .solve(&LoadCase::new(&stack).params(SolveParams::new().epsilon(1e-6)))
+        .unwrap();
+    assert!(tight.converged());
+    assert!(
+        tight.report().pad_mismatch < power_mismatch,
+        "tight {} vs default {}",
+        tight.report().pad_mismatch,
+        power_mismatch
+    );
+}
+
+#[test]
+fn rb3d_backend_routes_through_the_same_session() {
+    let stack = stack();
+    let mut session = Session::build(&stack, VpConfig::default()).unwrap();
+    let rb_params = SolveParams::new()
+        .inner_tolerance(1e-7)
+        .max_inner_sweeps(200_000);
+
+    // Single solve: bitwise identical to the standalone Rb3d solver.
+    let standalone = Rb3d::default().solve_stack(&stack, NetKind::Power).unwrap();
+    let routed = session
+        .solve(
+            &LoadCase::new(&stack)
+                .backend(Backend::Rb3d)
+                .params(rb_params),
+        )
+        .unwrap();
+    assert_eq!(routed.voltages(), &standalone.voltages[..]);
+    assert_eq!(
+        routed.report().outer_iterations,
+        standalone.report.iterations
+    );
+    assert!(routed.pillar_currents().is_empty(), "rb3d computes none");
+
+    // Both backends on one session agree with the direct reference.
+    let exact = DirectCholesky::new()
+        .solve_stack(&stack, NetKind::Power)
+        .unwrap();
+    let vp = session.solve(&LoadCase::new(&stack)).unwrap();
+    let vp_err = residual::max_abs_error(&exact.voltages, vp.voltages());
+    assert!(vp_err < 5e-4, "vp {vp_err}");
+    let rb = session
+        .solve(
+            &LoadCase::new(&stack)
+                .backend(Backend::Rb3d)
+                .params(rb_params),
+        )
+        .unwrap();
+    let rb_err = residual::max_abs_error(&exact.voltages, rb.voltages());
+    assert!(rb_err < 5e-4, "rb3d {rb_err}");
+
+    // Batched Rb3d: every lane matches a standalone solve on its loads.
+    let loads = load_sweep(&stack, 3);
+    let batch = session
+        .solve_batch(
+            &LoadSet::new(&stack, &loads)
+                .backend(Backend::Rb3d)
+                .params(rb_params),
+        )
+        .unwrap();
+    assert_eq!(batch.lanes(), 3);
+    let nn = stack.num_nodes();
+    for j in 0..3 {
+        let mut lane_stack = stack.clone();
+        lane_stack
+            .set_loads(loads[j * nn..(j + 1) * nn].to_vec())
+            .unwrap();
+        let solo = Rb3d::default()
+            .solve_stack(&lane_stack, NetKind::Power)
+            .unwrap();
+        assert_eq!(
+            batch.lane_voltages(j).unwrap(),
+            &solo.voltages[..],
+            "lane {j}"
+        );
+    }
+}
+
+#[test]
+fn pcg_backend_is_declared_but_pending() {
+    let stack = stack();
+    let mut session = Session::build(&stack, VpConfig::default()).unwrap();
+    assert!(matches!(
+        session.solve(&LoadCase::new(&stack).backend(Backend::Pcg)),
+        Err(SessionError::BackendUnavailable {
+            backend: Backend::Pcg
+        })
+    ));
+}
+
+#[test]
+fn lane_accessors_are_nonpanicking() {
+    let stack = stack();
+    let mut session = Session::build(&stack, VpConfig::default()).unwrap();
+    let loads = load_sweep(&stack, 2);
+    let view = session.solve_batch(&LoadSet::new(&stack, &loads)).unwrap();
+    assert!(view.lane_voltages(0).is_ok());
+    assert!(view.lane_voltages(1).is_ok());
+    for lane in [2usize, 100] {
+        assert!(matches!(
+            view.lane_voltages(lane),
+            Err(SessionError::LaneOutOfRange { lanes: 2, .. })
+        ));
+        assert!(view.lane_pillar_currents(lane).is_err());
+        assert!(view.lane_report(lane).is_err());
+        assert!(view.lane_worst_drop(lane, stack.vdd()).is_err());
+    }
+}
+
+#[test]
+fn deprecated_solve_keeps_the_legacy_scratch_usable() {
+    // Regression: `VpSolver::solve` used to `mem::take` the voltages out
+    // of its scratch; the shim must leave any scratch it touches valid.
+    let stack = stack();
+    let solver = VpSolver::default();
+    let sol = solver.solve(&stack, NetKind::Power).unwrap();
+    assert_eq!(sol.voltages.len(), stack.num_nodes());
+    // And a scratch reused across solve_with calls after a geometry
+    // rebuild stays consistent (the historical failure shape).
+    let mut scratch = VpScratch::new(&stack, &solver.config).unwrap();
+    solver
+        .solve_with(&stack, NetKind::Power, &mut scratch)
+        .unwrap();
+    assert_eq!(scratch.voltages().len(), stack.num_nodes());
+    assert_eq!(scratch.voltages(), &sol.voltages[..]);
+}
+
+#[test]
+fn transient_rejects_zero_steps_loads() {
+    let stack = stack();
+    let mut session = Session::build(&stack, VpConfig::default()).unwrap();
+    assert!(matches!(
+        session.transient(&LoadCase::new(&stack), 0, |_, _| {}),
+        Err(SessionError::Solver(_))
+    ));
+}
+
+#[test]
+fn malformed_load_sets_are_rejected() {
+    let stack = stack();
+    let nn = stack.num_nodes();
+    let mut session = Session::build(&stack, VpConfig::default()).unwrap();
+    for bad in [
+        vec![],
+        vec![1e-4; nn + 1],
+        vec![-1e-4; nn],
+        vec![f64::NAN; nn],
+    ] {
+        for backend in [Backend::VoltProp, Backend::Rb3d] {
+            assert!(
+                matches!(
+                    session.solve_batch(&LoadSet::new(&stack, &bad).backend(backend)),
+                    Err(SessionError::Solver(_))
+                ),
+                "loads of len {} accepted on {backend:?}",
+                bad.len()
+            );
+        }
+    }
+}
