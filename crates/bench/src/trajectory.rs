@@ -38,10 +38,16 @@
 //!   scalar single-RHS reference (`compacted` entries carry
 //!   `ms_vs_scalar`, the straggler-cost ratio the compaction caps);
 //! * `session` (PR 4) — the `Session` lifecycle on one prefactored
-//!   handle: warm single/batch/transient latencies vs the deprecated
-//!   `VpSolver` entry points, with per-request
-//!   `session_*_warm_alloc_calls` (asserted 0) and
-//!   `bitwise_identical_to_legacy` (asserted).
+//!   handle: warm single/batch/transient latencies with per-request
+//!   `session_*_warm_alloc_calls` (asserted 0); since PR 5 the bitwise
+//!   behavior is pinned by the `tests/session.rs` fixture instead of
+//!   the (removed) deprecated `VpSolver` entry points;
+//! * `pcg` (PR 5) — the `Backend::Pcg` reference route on the session's
+//!   prefactored engine: warm single and batch-8 latencies vs the
+//!   VoltProp route (`voltprop_speedup_over_pcg_*` — the method's
+//!   committed speedup over the general sparse reference),
+//!   `pcg_iterations`, `max_abs_dv_pcg_vs_voltprop` (asserted
+//!   < 0.5 mV), and `pcg_*_warm_alloc_calls` (asserted 0).
 
 use std::fs;
 use std::io;

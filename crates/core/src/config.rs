@@ -216,11 +216,14 @@ pub struct SolveParams {
     pub sor_omega: f64,
     /// Inner convergence threshold: worst per-sweep voltage update (V).
     /// For the [`Backend::Rb3d`](crate::Backend::Rb3d) route this is the
-    /// full-stack convergence threshold.
+    /// full-stack convergence threshold; for
+    /// [`Backend::Pcg`](crate::Backend::Pcg) it is the relative residual
+    /// target `‖b − Ax‖₂ / ‖b‖₂`.
     pub inner_tolerance: f64,
     /// Sweep budget per tier solve; for the
-    /// [`Backend::Rb3d`](crate::Backend::Rb3d) route, the full-stack
-    /// iteration budget.
+    /// [`Backend::Rb3d`](crate::Backend::Rb3d) route the full-stack
+    /// iteration budget, for [`Backend::Pcg`](crate::Backend::Pcg) the
+    /// CG iteration budget.
     pub max_inner_sweeps: usize,
 }
 

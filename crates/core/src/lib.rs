@@ -41,9 +41,11 @@
 //! borrowed [`SolutionView`]. Geometry is a build-time contract
 //! (mismatches surface as [`SessionError::GeometryChanged`], never a
 //! silent rebuild), while loads, nets, tolerances ([`SolveParams`]) and
-//! the [`Backend`] routing may change per request. The deprecated
-//! `VpSolver::solve{,_with,_batch}` shims remain for one release; see
-//! `MIGRATION.md` at the repository root.
+//! the [`Backend`] routing may change per request — [`Backend::Rb3d`]
+//! and [`Backend::Pcg`] run the paper's baselines on the same
+//! prefactored state. (The deprecated `VpSolver::solve{,_with,_batch}`
+//! shims and panicking scratch accessors were removed in this release;
+//! see `MIGRATION.md` at the repository root.)
 //!
 //! # Performance: prefactored engines, parallelism, zero-allocation solves
 //!
@@ -61,7 +63,7 @@
 //!   [`voltprop_solvers::WorkerPool`]: threads spawn once and park
 //!   between solves, so warm parallel solves are allocation-free too.
 //! * **Zero-allocation warm solves** — a [`Session`] owns every solve
-//!   buffer (the [`VpScratch`] arena absorbed at build), so warm
+//!   buffer (the internal scratch arena absorbed at build), so warm
 //!   requests run the entire outer loop — tier sweeps, pillar-current
 //!   accumulation, VDA distribution, Anderson mixing — without touching
 //!   the heap (measured by `perfsuite`: zero allocator calls across
@@ -128,5 +130,5 @@ mod vda;
 pub use config::{BuildParams, SolveParams, VpConfig};
 pub use report::VpReport;
 pub use session::{Backend, BuildError, LoadCase, LoadSet, Session, SessionError, SolutionView};
-pub use solver::{VpScratch, VpSolution, VpSolver};
+pub use solver::VpSolver;
 pub use vda::VdaController;

@@ -17,8 +17,9 @@
 //! return `Result` instead of panicking, per-solve knobs (tolerances,
 //! net, SOR factor) ride on the request via [`SolveParams`], and a
 //! [`Backend`] selector routes the same session through the voltage
-//! propagation engine or the naive 3-D row-based baseline for
-//! apples-to-apples comparisons on shared prefactored state.
+//! propagation engine, the naive 3-D row-based baseline, or the
+//! preconditioned-CG reference solver for apples-to-apples comparisons
+//! on shared prefactored state.
 //!
 //! Geometry is a build-time contract: a session never silently rebuilds.
 //! Presenting a stack whose geometry differs from the one the session
@@ -29,11 +30,11 @@ use std::error::Error;
 use std::fmt;
 
 use voltprop_grid::{GridError, NetKind, Stack3d};
-use voltprop_solvers::{Rb3dEngine, SolverError};
+use voltprop_solvers::{PcgEngine, Rb3dEngine, SolverError};
 use voltprop_sparse::SparseError;
 
-use crate::solver::{run_batch, run_single, validate_loads};
-use crate::{BuildParams, SolveParams, VpConfig, VpReport, VpScratch};
+use crate::solver::{run_batch, run_single, validate_loads, VpScratch};
+use crate::{BuildParams, SolveParams, VpConfig, VpReport};
 
 /// The solver engine a request is routed through.
 ///
@@ -57,9 +58,17 @@ pub enum Backend {
     /// convergence threshold, [`SolveParams::max_inner_sweeps`] the
     /// iteration budget.
     Rb3d,
-    /// Preconditioned conjugate gradients on the assembled system.
-    /// **Planned** — requests routed here currently return
-    /// [`SessionError::BackendUnavailable`].
+    /// Preconditioned conjugate gradients on the assembled 3-D system —
+    /// the paper's general-purpose comparator (refs \[6\], \[12\]),
+    /// served from the session's prefactored
+    /// [`voltprop_solvers::PcgEngine`]: the full MNA system is stamped
+    /// and the IC(0) preconditioner factored once at [`Session::build`]
+    /// (falling back to Jacobi scaling on a non-positive pivot), so warm
+    /// requests are allocation-free. Parameter mapping:
+    /// [`SolveParams::inner_tolerance`] is the relative residual target
+    /// `‖b − Ax‖₂ / ‖b‖₂`, [`SolveParams::max_inner_sweeps`] the CG
+    /// iteration budget. If the build-time prefactor failed, requests
+    /// return [`SessionError::BackendUnavailable`] carrying the reason.
     Pcg,
 }
 
@@ -138,10 +147,15 @@ pub enum SessionError {
         /// What the session was built for vs what it was given.
         what: String,
     },
-    /// The requested [`Backend`] is declared but not implemented yet.
+    /// The requested [`Backend`] exists but this session cannot serve it
+    /// — its build-time prefactor failed (e.g. the PCG preconditioner
+    /// could not be factored for this grid). The other backends remain
+    /// usable; `reason` records what went wrong at build.
     BackendUnavailable {
         /// The backend that was requested.
         backend: Backend,
+        /// Why the backend's prefactored state could not be built.
+        reason: String,
     },
     /// A lane index beyond the solved lane count was requested from a
     /// [`SolutionView`].
@@ -162,8 +176,8 @@ impl fmt::Display for SessionError {
             SessionError::GeometryChanged { what } => {
                 write!(f, "stack geometry changed: {what}")
             }
-            SessionError::BackendUnavailable { backend } => {
-                write!(f, "backend {backend} is not available yet")
+            SessionError::BackendUnavailable { backend, reason } => {
+                write!(f, "backend {backend} is unavailable: {reason}")
             }
             SessionError::LaneOutOfRange { lane, lanes } => {
                 write!(f, "lane {lane} out of range ({lanes} lanes)")
@@ -357,7 +371,8 @@ impl<'a> SolutionView<'a> {
 
     /// Lane 0's per-pillar package currents (aligned with
     /// [`Stack3d::tsv_sites`]; empty for single-tier stacks and for the
-    /// [`Backend::Rb3d`] route, which doesn't compute them).
+    /// [`Backend::Rb3d`] and [`Backend::Pcg`] routes, which don't
+    /// compute them).
     pub fn pillar_currents(&self) -> &'a [f64] {
         &self.pillar_currents[..self.sites.min(self.pillar_currents.len())]
     }
@@ -394,7 +409,7 @@ impl<'a> SolutionView<'a> {
     }
 
     /// Lane `lane`'s per-pillar package currents (empty for single-tier
-    /// stacks and the [`Backend::Rb3d`] route).
+    /// stacks and the [`Backend::Rb3d`]/[`Backend::Pcg`] routes).
     ///
     /// # Errors
     ///
@@ -443,10 +458,12 @@ impl<'a> SolutionView<'a> {
 /// resistances, TSV and pad sites) and one build-time configuration
 /// (sweep parallelism). Within that contract everything may vary per
 /// request: loads, net, tolerances, and the [`Backend`] the request is
-/// routed through. Warm requests perform **zero heap allocations** on
-/// the [`Backend::VoltProp`] route (single, batched, and transient —
-/// measured by `perfsuite`), and batched lanes are bitwise identical to
-/// the corresponding single solves.
+/// routed through — voltage propagation, the naive row-based baseline,
+/// and the prefactored PCG reference all serve from this one handle.
+/// Warm requests perform **zero heap allocations** on the
+/// [`Backend::VoltProp`] and [`Backend::Pcg`] routes (single, batched,
+/// and transient — measured by `perfsuite`), and batched VoltProp lanes
+/// are bitwise identical to the corresponding single solves.
 ///
 /// # Example
 ///
@@ -482,8 +499,14 @@ pub struct Session {
     nn: usize,
     scratch: VpScratch,
     rb: Rb3dEngine,
+    /// The prefactored PCG reference backend, or the reason its
+    /// build-time prefactor failed (served as
+    /// [`SessionError::BackendUnavailable`]).
+    pcg: Result<PcgEngine, String>,
     /// Lane-major Rb3d voltages (grown to the largest lane count seen).
     rb_voltages: Vec<f64>,
+    /// Lane-major Pcg voltages (grown to the largest lane count seen).
+    pcg_voltages: Vec<f64>,
     /// Staging buffer for [`Session::transient`] waveforms.
     transient_loads: Vec<f64>,
     /// Per-lane reports of the most recent request.
@@ -493,10 +516,17 @@ pub struct Session {
 impl Session {
     /// Validates the stack and builds all prefactored solve state: the
     /// voltage propagation scratch (tier factors, pillar lattice, outer
-    /// buffers) **and** the [`Backend::Rb3d`] engine, so any backend can
-    /// serve without further factorization. The config's build-time half
-    /// is fixed for the session's lifetime; its per-solve half becomes
-    /// the session defaults that a [`LoadCase`]/[`LoadSet`] may override.
+    /// buffers), the [`Backend::Rb3d`] engine, **and** the
+    /// [`Backend::Pcg`] engine (the full 3-D system stamped and its
+    /// IC(0) preconditioner factored, with Jacobi fallback), so any
+    /// backend can serve without further factorization. The config's
+    /// build-time half is fixed for the session's lifetime; its
+    /// per-solve half becomes the session defaults that a
+    /// [`LoadCase`]/[`LoadSet`] may override.
+    ///
+    /// A failed PCG prefactor does **not** fail the build — the other
+    /// backends stay usable, and Pcg requests surface the recorded
+    /// reason as [`SessionError::BackendUnavailable`].
     ///
     /// Batch arenas are sized on the first batched request with a given
     /// lane count (a cold call); all later requests with that lane count
@@ -510,6 +540,8 @@ impl Session {
     pub fn build(stack: &Stack3d, config: VpConfig) -> Result<Session, BuildError> {
         let scratch = VpScratch::new(stack, &config)?;
         let rb = Rb3dEngine::build(stack, config.parallelism)?;
+        let pcg =
+            PcgEngine::build(stack).map_err(|e| format!("build-time PCG prefactor failed: {e}"));
         let nn = stack.num_nodes();
         Ok(Session {
             build: config.build_params(),
@@ -520,7 +552,9 @@ impl Session {
             nn,
             scratch,
             rb,
+            pcg,
             rb_voltages: vec![0.0; nn],
+            pcg_voltages: vec![0.0; nn],
             transient_loads: Vec::new(),
             reports: Vec::new(),
         })
@@ -541,7 +575,8 @@ impl Session {
     pub fn memory_bytes(&self) -> usize {
         self.scratch.memory_bytes()
             + self.rb.memory_bytes()
-            + (self.rb_voltages.len() + self.transient_loads.len()) * 8
+            + self.pcg.as_ref().map_or(0, PcgEngine::memory_bytes)
+            + (self.rb_voltages.len() + self.pcg_voltages.len() + self.transient_loads.len()) * 8
             + self.reports.capacity() * std::mem::size_of::<VpReport>()
     }
 
@@ -572,16 +607,17 @@ impl Session {
     }
 
     /// Serves one load pattern (the stack's own loads), routed through
-    /// the case's [`Backend`]. Warm calls are allocation-free on the
-    /// [`Backend::VoltProp`] route.
+    /// the case's [`Backend`]. Warm calls are allocation-free on every
+    /// route.
     ///
     /// # Errors
     ///
     /// * [`SessionError::GeometryChanged`] if the case's stack differs
     ///   geometrically from the build-time stack.
-    /// * [`SessionError::BackendUnavailable`] for [`Backend::Pcg`].
+    /// * [`SessionError::BackendUnavailable`] for a backend whose
+    ///   build-time prefactor failed (carrying the reason).
     /// * [`SessionError::Solver`] for engine failures (convergence
-    ///   budget exhausted, invalid loads).
+    ///   budget exhausted, numerical breakdown, invalid loads).
     pub fn solve(&mut self, case: &LoadCase<'_>) -> Result<SolutionView<'_>, SessionError> {
         self.check_geometry(case.stack)?;
         case.stack.validate().map_err(SolverError::from)?;
@@ -620,7 +656,26 @@ impl Session {
                     sites: 0,
                 })
             }
-            backend @ Backend::Pcg => Err(SessionError::BackendUnavailable { backend }),
+            Backend::Pcg => {
+                let engine = pcg_engine(&mut self.pcg)?;
+                let rep = engine.solve(
+                    case.stack.loads(),
+                    case.net,
+                    params.inner_tolerance,
+                    params.max_inner_sweeps,
+                    &mut self.pcg_voltages[..self.nn],
+                )?;
+                self.reports.clear();
+                self.reports.push(pcg_report(&rep));
+                Ok(SolutionView {
+                    voltages: &self.pcg_voltages[..self.nn],
+                    pillar_currents: &[],
+                    reports: &self.reports,
+                    lanes: 1,
+                    nodes: self.nn,
+                    sites: 0,
+                })
+            }
         }
     }
 
@@ -630,8 +685,11 @@ impl Session {
     /// identical to the corresponding [`Session::solve`] — and a lane
     /// that exhausts a budget reports `converged = false` in its
     /// [`SolutionView::lane_report`] instead of failing the batch. The
-    /// [`Backend::Rb3d`] route serves the lanes sequentially on its
-    /// prefactored engine (the factorization is still amortized).
+    /// [`Backend::Rb3d`] and [`Backend::Pcg`] routes serve the lanes as
+    /// per-lane solves on their prefactored engines (factorizations
+    /// still amortized; a lane that finishes is final and never touched
+    /// by later lanes, and a lane that exhausts its budget likewise
+    /// reports `converged = false` instead of failing the batch).
     ///
     /// # Errors
     ///
@@ -705,16 +763,22 @@ impl Session {
                 )?;
                 Ok(())
             }
+            // Both engine routes share the per-lane loop; only the lane
+            // solve and its budget-exhaustion report mapping differ. A
+            // lane whose budget runs out reports its true residual with
+            // `converged = false` instead of discarding the batch
+            // (mirroring VoltProp); any other engine error — e.g. a PCG
+            // numerical breakdown, which more lanes cannot fix — still
+            // fails the whole request.
             Backend::Rb3d => {
-                let k = validate_loads(self.nn, loads)?;
-                if self.rb_voltages.len() < k * self.nn {
-                    self.rb_voltages.resize(k * self.nn, 0.0);
-                }
-                self.reports.clear();
-                for j in 0..k {
-                    let lane_loads = &loads[j * self.nn..(j + 1) * self.nn];
-                    let v = &mut self.rb_voltages[j * self.nn..(j + 1) * self.nn];
-                    let report = match self.rb.solve(
+                let rb = &mut self.rb;
+                let tiers = self.tiers;
+                run_engine_batch(
+                    self.nn,
+                    loads,
+                    &mut self.rb_voltages,
+                    &mut self.reports,
+                    |lane_loads, v| match rb.solve(
                         lane_loads,
                         net,
                         params.sor_omega,
@@ -722,29 +786,54 @@ impl Session {
                         params.max_inner_sweeps,
                         v,
                     ) {
-                        Ok(rep) => rb_report(&rep, self.tiers),
-                        // Mirror the VoltProp batch semantics: a lane
-                        // that runs out of budget reports its true
-                        // residual instead of discarding the batch.
+                        Ok(rep) => Ok(rb_report(&rep, tiers)),
                         Err(SolverError::DidNotConverge {
                             iterations,
                             residual,
                             ..
-                        }) => VpReport {
+                        }) => Ok(VpReport {
                             outer_iterations: iterations,
-                            inner_sweeps: iterations * self.tiers,
+                            inner_sweeps: iterations * tiers,
                             pad_mismatch: residual,
                             final_beta: 0.0,
                             converged: false,
-                            workspace_bytes: self.rb.memory_bytes(),
-                        },
-                        Err(e) => return Err(e.into()),
-                    };
-                    self.reports.push(report);
-                }
-                Ok(())
+                            workspace_bytes: rb.memory_bytes(),
+                        }),
+                        Err(e) => Err(e),
+                    },
+                )
             }
-            backend @ Backend::Pcg => Err(SessionError::BackendUnavailable { backend }),
+            Backend::Pcg => {
+                let engine = pcg_engine(&mut self.pcg)?;
+                run_engine_batch(
+                    self.nn,
+                    loads,
+                    &mut self.pcg_voltages,
+                    &mut self.reports,
+                    |lane_loads, v| match engine.solve(
+                        lane_loads,
+                        net,
+                        params.inner_tolerance,
+                        params.max_inner_sweeps,
+                        v,
+                    ) {
+                        Ok(rep) => Ok(pcg_report(&rep)),
+                        Err(SolverError::DidNotConverge {
+                            iterations,
+                            residual,
+                            ..
+                        }) => Ok(VpReport {
+                            outer_iterations: iterations,
+                            inner_sweeps: iterations,
+                            pad_mismatch: residual,
+                            final_beta: 0.0,
+                            converged: false,
+                            workspace_bytes: engine.memory_bytes(),
+                        }),
+                        Err(e) => Err(e),
+                    },
+                )
+            }
         }
     }
 
@@ -777,9 +866,61 @@ impl Session {
                     sites: 0,
                 }
             }
-            Backend::Pcg => unreachable!("Pcg requests error before solving"),
+            Backend::Pcg => {
+                let k = self.reports.len();
+                SolutionView {
+                    voltages: &self.pcg_voltages[..k * self.nn],
+                    pillar_currents: &[],
+                    reports: &self.reports,
+                    lanes: k,
+                    nodes: self.nn,
+                    sites: 0,
+                }
+            }
         }
     }
+}
+
+/// The session's prefactored PCG engine, or the recorded build-time
+/// failure as [`SessionError::BackendUnavailable`]. A free function over
+/// the field (not a method) so callers can keep borrowing the session's
+/// other arenas while they hold the engine.
+fn pcg_engine(pcg: &mut Result<PcgEngine, String>) -> Result<&mut PcgEngine, SessionError> {
+    match pcg {
+        Ok(engine) => Ok(engine),
+        Err(reason) => Err(SessionError::BackendUnavailable {
+            backend: Backend::Pcg,
+            reason: reason.clone(),
+        }),
+    }
+}
+
+/// The shared per-lane batch loop of the engine-backed routes
+/// ([`Backend::Rb3d`], [`Backend::Pcg`]): validates the lane-major load
+/// buffer, grows the lane-major voltage arena if this lane count is new
+/// (warm calls with a seen count allocate nothing), and runs
+/// `solve_lane` on each lane's slices in order — a finished lane is
+/// final and never touched by later lanes. `solve_lane` returns the
+/// lane's [`VpReport`] (budget exhaustion mapped to `converged = false`
+/// by the caller) or a hard error that fails the whole request.
+fn run_engine_batch(
+    nn: usize,
+    loads: &[f64],
+    voltages: &mut Vec<f64>,
+    reports: &mut Vec<VpReport>,
+    mut solve_lane: impl FnMut(&[f64], &mut [f64]) -> Result<VpReport, SolverError>,
+) -> Result<(), SessionError> {
+    let k = validate_loads(nn, loads)?;
+    if voltages.len() < k * nn {
+        voltages.resize(k * nn, 0.0);
+    }
+    reports.clear();
+    for j in 0..k {
+        let lane_loads = &loads[j * nn..(j + 1) * nn];
+        let v = &mut voltages[j * nn..(j + 1) * nn];
+        reports.push(solve_lane(lane_loads, v)?);
+    }
+    Ok(())
 }
 
 /// Maps an Rb3d [`voltprop_solvers::SolveReport`] into the session's
@@ -791,6 +932,22 @@ fn rb_report(rep: &voltprop_solvers::SolveReport, tiers: usize) -> VpReport {
     VpReport {
         outer_iterations: rep.iterations,
         inner_sweeps: rep.iterations * tiers,
+        pad_mismatch: rep.residual,
+        final_beta: 0.0,
+        converged: rep.converged,
+        workspace_bytes: rep.workspace_bytes,
+    }
+}
+
+/// Maps a Pcg [`voltprop_solvers::SolveReport`] into the session's
+/// uniform per-lane [`VpReport`]: CG iterations count as both outer
+/// iterations and inner sweeps (there is no inner/outer split), there is
+/// no VDA (`final_beta` 0), and `pad_mismatch` carries the relative
+/// residual the iteration stopped at.
+fn pcg_report(rep: &voltprop_solvers::SolveReport) -> VpReport {
+    VpReport {
+        outer_iterations: rep.iterations,
+        inner_sweeps: rep.iterations,
         pad_mismatch: rep.residual,
         final_beta: 0.0,
         converged: rep.converged,
@@ -852,18 +1009,28 @@ mod tests {
     }
 
     #[test]
-    fn pcg_backend_is_declared_but_unavailable() {
+    fn pcg_backend_solves_through_the_session() {
         let s = stack();
         let mut session = Session::build(&s, VpConfig::default()).unwrap();
-        let err = session
-            .solve(&LoadCase::new(&s).backend(Backend::Pcg))
-            .unwrap_err();
-        assert!(matches!(
-            err,
-            SessionError::BackendUnavailable {
-                backend: Backend::Pcg
-            }
-        ));
+        let pcg_params = crate::SolveParams::new()
+            .inner_tolerance(1e-8)
+            .max_inner_sweeps(50_000);
+        let vp = session
+            .solve(&LoadCase::new(&s))
+            .unwrap()
+            .voltages()
+            .to_vec();
+        let view = session
+            .solve(&LoadCase::new(&s).backend(Backend::Pcg).params(pcg_params))
+            .unwrap();
+        assert!(view.converged());
+        assert!(view.pillar_currents().is_empty(), "pcg computes none");
+        let err = vp
+            .iter()
+            .zip(view.voltages())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(err < 5e-4, "pcg vs voltprop drift {err} V");
     }
 
     #[test]
@@ -872,6 +1039,13 @@ mod tests {
             what: "10x10x3 vs 8x8x2".into(),
         };
         assert!(e.to_string().contains("geometry"));
+        assert!(e.source().is_none());
+        let e = SessionError::BackendUnavailable {
+            backend: Backend::Pcg,
+            reason: "prefactor failed: not positive definite".into(),
+        };
+        assert!(e.to_string().contains("unavailable"));
+        assert!(e.to_string().contains("prefactor failed"));
         assert!(e.source().is_none());
         let e = SessionError::from(SolverError::Unsupported { what: "x".into() });
         assert!(e.source().is_some());

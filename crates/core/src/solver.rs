@@ -33,41 +33,26 @@ pub struct VpSolver {
     pub config: VpConfig,
 }
 
-/// A voltage propagation solution with the intermediate results the
-/// algorithm computes anyway (pillar currents), exposed per C-INTERMEDIATE.
-#[derive(Debug, Clone)]
-pub struct VpSolution {
-    /// Per-node voltages, flat tier-major.
-    pub voltages: Vec<f64>,
-    /// Package current delivered through each pillar (A), aligned with
-    /// [`Stack3d::tsv_sites`]; positive flows from the package into the
-    /// grid. Empty for single-tier stacks.
-    pub pillar_currents: Vec<f64>,
-    /// Detailed convergence record.
-    pub report: VpReport,
-}
-
 /// Reusable solve state: prefactored tier engines, the pillar lattice, and
 /// every outer-loop buffer.
 ///
 /// Building the scratch is the only allocating step of a solve; once it
-/// exists, [`VpSolver::solve_with`] runs the entire outer loop — tier
-/// sweeps, pillar-current accumulation, VDA distribution, Anderson mixing
-/// — without touching the heap. Callers that solve many load patterns on
-/// one grid (transient analysis, benchmark sweeps, serving) should build
-/// one scratch and reuse it; [`VpSolver::solve`] builds a fresh one per
-/// call.
+/// exists, the engine loops ([`run_single`], [`run_batch`]) run the
+/// entire outer iteration — tier sweeps, pillar-current accumulation,
+/// VDA distribution, Anderson mixing — without touching the heap. This
+/// is internal state: [`Session`](crate::Session) absorbs one at build
+/// and serves every request from it (the former public
+/// `VpSolver::solve{_with,_batch}` shims around it were removed — see
+/// `MIGRATION.md`).
 ///
 /// A scratch is tied to the stack's *geometry* (footprint, tiers,
 /// resistances, TSV and pad sites) and the config's `parallelism`; loads
-/// and tolerances may change freely between solves. `solve_with` detects
-/// a geometry mismatch and transparently rebuilds.
+/// and tolerances may change freely between solves.
 #[derive(Debug)]
-pub struct VpScratch {
+pub(crate) struct VpScratch {
     width: usize,
     height: usize,
     tiers: usize,
-    parallelism: usize,
     vdd: f64,
     r_tsv: f64,
     r_pad: f64,
@@ -94,13 +79,13 @@ pub struct VpScratch {
     last_good_correction: Vec<f64>,
     anderson: Anderson,
     /// Lazily sized multi-load (batched) solve state; `None` until the
-    /// first [`VpSolver::solve_batch`] call.
+    /// first [`run_batch`] call.
     batch: Option<BatchArena>,
 }
 
 /// The batch arena: every buffer a lockstep multi-load solve needs, sized
 /// for a fixed lane count `k`. Built on the first
-/// [`VpSolver::solve_batch`] call with that `k` and reused afterwards, so
+/// [`run_batch`] call with that `k` and reused afterwards, so
 /// warm batched solves perform no heap allocation (on every
 /// `parallelism` once the persistent worker pool is warm).
 ///
@@ -137,8 +122,8 @@ struct BatchArena {
 }
 
 /// The scalar outer-loop state of one batch lane — exactly the locals of
-/// the single-load [`VpSolver::solve_with`] loop, so the lockstep batch
-/// iteration reproduces it bit for bit.
+/// the single-load [`run_single`] loop, so the lockstep batch iteration
+/// reproduces it bit for bit.
 #[derive(Debug, Clone)]
 struct LaneOuterState {
     vda: crate::VdaController,
@@ -271,7 +256,6 @@ impl VpScratch {
                 width: w,
                 height: h,
                 tiers,
-                parallelism,
                 vdd: stack.vdd(),
                 r_tsv: stack.tsv_resistance(),
                 r_pad: stack.pad_resistance(),
@@ -364,7 +348,6 @@ impl VpScratch {
             width: w,
             height: h,
             tiers,
-            parallelism,
             vdd: stack.vdd(),
             r_tsv: stack.tsv_resistance(),
             r_pad: stack.pad_resistance(),
@@ -388,8 +371,8 @@ impl VpScratch {
         })
     }
 
-    /// The solved per-node voltages of the most recent
-    /// [`VpSolver::solve_with`] call (flat tier-major).
+    /// The solved per-node voltages of the most recent [`run_single`]
+    /// call (flat tier-major).
     pub fn voltages(&self) -> &[f64] {
         &self.voltages
     }
@@ -398,13 +381,6 @@ impl VpScratch {
     /// single-tier stacks).
     pub fn pillar_currents(&self) -> &[f64] {
         &self.pillar_current
-    }
-
-    /// Whether this scratch can serve the given stack/config without
-    /// rebuilding (geometry, resistances, pillar and pad sites, and
-    /// parallelism all match; loads and tolerances are free to differ).
-    fn matches(&self, stack: &Stack3d, config: &VpConfig) -> bool {
-        self.parallelism == config.parallelism.max(1) && self.geometry_matches(stack)
     }
 
     /// Whether this scratch's prefactored state fits the stack's
@@ -472,8 +448,9 @@ impl VpScratch {
             + self.batch.as_ref().map_or(0, BatchArena::memory_bytes)
     }
 
-    /// Lane count of the most recent [`VpSolver::solve_batch`] call (0 if
-    /// no batched solve ran on this scratch yet).
+    /// Lane count of the most recent [`run_batch`] call (0 if no batched
+    /// solve ran on this scratch yet).
+    #[cfg(test)]
     pub fn batch_lanes(&self) -> usize {
         self.batch.as_ref().map_or(0, |b| b.k)
     }
@@ -493,48 +470,9 @@ impl VpScratch {
     }
 
     /// Number of grid nodes this scratch serves.
+    #[cfg(test)]
     pub(crate) fn num_nodes(&self) -> usize {
         self.width * self.height * self.tiers
-    }
-
-    /// The solved per-node voltages of lane `lane` from the most recent
-    /// [`VpSolver::solve_batch`] call (flat tier-major, like
-    /// [`VpScratch::voltages`]).
-    ///
-    /// # Panics
-    ///
-    /// Panics if no batched solve ran on this scratch or `lane` is out of
-    /// range.
-    #[deprecated(
-        since = "0.2.0",
-        note = "solve through `Session` and use the non-panicking \
-                `SolutionView::lane_voltages` instead"
-    )]
-    pub fn batch_voltages(&self, lane: usize) -> &[f64] {
-        let (voltages, _, k) = self.batch_view().expect("no batched solve ran");
-        assert!(lane < k, "lane {lane} out of range ({k} lanes)");
-        let nn = self.num_nodes();
-        &voltages[lane * nn..(lane + 1) * nn]
-    }
-
-    /// The per-pillar package currents of lane `lane` from the most
-    /// recent [`VpSolver::solve_batch`] call (aligned with
-    /// [`Stack3d::tsv_sites`]; empty for single-tier stacks).
-    ///
-    /// # Panics
-    ///
-    /// Panics if no batched solve ran on this scratch or `lane` is out of
-    /// range.
-    #[deprecated(
-        since = "0.2.0",
-        note = "solve through `Session` and use the non-panicking \
-                `SolutionView::lane_pillar_currents` instead"
-    )]
-    pub fn batch_pillar_currents(&self, lane: usize) -> &[f64] {
-        let (_, currents, k) = self.batch_view().expect("no batched solve ran");
-        assert!(lane < k, "lane {lane} out of range ({k} lanes)");
-        let ns = self.num_sites();
-        &currents[lane * ns..(lane + 1) * ns]
     }
 }
 
@@ -543,73 +481,12 @@ impl VpSolver {
     pub fn new(config: VpConfig) -> Self {
         VpSolver { config }
     }
-
-    /// Runs the voltage propagation method, returning the full solution
-    /// with pillar currents and a detailed report.
-    ///
-    /// This convenience entry builds a fresh [`VpScratch`] per call; use
-    /// [`crate::Session`] to amortize that setup across many solves.
-    ///
-    /// # Errors
-    ///
-    /// * [`SolverError::Unsupported`] if pads don't sit on the pillars (see
-    ///   type-level docs) or the grid fails validation.
-    /// * [`SolverError::DidNotConverge`] if the multi-tier outer loop
-    ///   exhausts its budget. Single-tier stacks have no outer loop and
-    ///   report a starved inner solve through the [`VpReport`] instead
-    ///   (`converged = false` with the true residual) — check
-    ///   `report.converged` before trusting the voltages.
-    #[deprecated(
-        since = "0.2.0",
-        note = "build a `Session` and call `Session::solve` instead"
-    )]
-    pub fn solve(&self, stack: &Stack3d, net: NetKind) -> Result<VpSolution, SolverError> {
-        let mut scratch = VpScratch::new(stack, &self.config)?;
-        let report = run_single(&self.config.solve_params(), stack, net, &mut scratch)?;
-        // Clone rather than `std::mem::take` so the scratch stays valid:
-        // callers migrating piecemeal may hand this scratch to
-        // `solve_with` afterwards, and a drained `voltages` buffer would
-        // silently desize it.
-        Ok(VpSolution {
-            voltages: scratch.voltages.clone(),
-            pillar_currents: scratch.pillar_current.clone(),
-            report,
-        })
-    }
-
-    /// Runs the voltage propagation method inside caller-provided scratch
-    /// state, leaving the solution in [`VpScratch::voltages`] (and
-    /// [`VpScratch::pillar_currents`]). After the scratch is built this
-    /// path performs **zero heap allocations**; if the scratch does not
-    /// match the stack's geometry it is transparently rebuilt first.
-    ///
-    /// # Errors
-    ///
-    /// See [`VpSolver::solve`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "build a `Session` and call `Session::solve` instead (a \
-                session never rebuilds silently — geometry drift surfaces \
-                as `SessionError::GeometryChanged`)"
-    )]
-    pub fn solve_with(
-        &self,
-        stack: &Stack3d,
-        net: NetKind,
-        scratch: &mut VpScratch,
-    ) -> Result<VpReport, SolverError> {
-        stack.validate()?;
-        if !scratch.matches(stack, &self.config) {
-            *scratch = VpScratch::new(stack, &self.config)?;
-        }
-        run_single(&self.config.solve_params(), stack, net, scratch)
-    }
 }
 
 /// The single-load outer loop: runs the full voltage propagation method
 /// inside a scratch that **must already match the stack's geometry**
 /// (callers check; [`Session`](crate::Session) surfaces a mismatch as
-/// `GeometryChanged`, the deprecated `VpSolver::solve_with` rebuilds).
+/// `GeometryChanged`).
 /// Zero heap allocations once the scratch is warm.
 pub(crate) fn run_single(
     params: &crate::SolveParams,
@@ -822,85 +699,6 @@ pub(crate) fn run_single(
     })
 }
 
-impl VpSolver {
-    /// Solves a whole batch of load vectors against one prefactored
-    /// stack, sweeping every right-hand side together through the shared
-    /// tier factors.
-    ///
-    /// `loads` holds `k` complete load vectors back to back (lane-major:
-    /// lane `j`'s `stack.num_nodes()` currents at `j * num_nodes`); the
-    /// stack's own loads are ignored. One [`VpReport`] per lane lands in
-    /// `reports` (cleared first), and the solved voltages and pillar
-    /// currents stay in the scratch behind [`VpScratch::batch_voltages`]
-    /// and [`VpScratch::batch_pillar_currents`].
-    ///
-    /// # Why batch?
-    ///
-    /// The tier matrices are fixed — across lanes as well as sweeps — so
-    /// a batched sweep loads every factor coefficient once per row and
-    /// substitutes `k` right-hand sides with a unit-stride inner loop
-    /// (see [`voltprop_sparse::tridiag::FactoredSegments::solve_batch`]
-    /// for the layout). That amortizes the memory traffic and breaks the
-    /// Thomas recurrence's serial latency chain across independent lanes,
-    /// which is what transient stepping and what-if load sweeps need.
-    ///
-    /// Lanes that finish early stop costing anything: a converged lane is
-    /// masked out of all later tier solves, and the batched kernels
-    /// **compact to the active lanes** (gather → sweep → scatter, with a
-    /// scalar per-lane fallback at very low active counts — see
-    /// [`voltprop_solvers::TierEngine::solve_batch_masked`]), so a lone
-    /// straggler pays roughly a single solve's arithmetic instead of
-    /// dragging every frozen lane through the full batch substitution.
-    ///
-    /// # Semantics
-    ///
-    /// Each lane runs the *exact* outer loop of
-    /// [`VpSolver::solve_with`] in lockstep with the others, freezing as
-    /// soon as it converges: a converged lane's voltages are **bitwise
-    /// identical** to the sequential `solve_with` call on that load
-    /// vector, on every schedule and thread count. A lane that exhausts a
-    /// budget reports `converged = false` with its true residual instead
-    /// of failing the whole batch.
-    ///
-    /// After the first call with a given lane count the scratch's batch
-    /// arena is warm and later calls perform no heap allocation — at
-    /// `parallelism = 1` and, once the persistent worker pool has seen
-    /// the batch width, at any thread count; reuse `reports` (its
-    /// capacity is retained by `clear`) to keep the full call
-    /// allocation-free.
-    ///
-    /// # Errors
-    ///
-    /// [`SolverError::Unsupported`] if the stack is unsupported (see
-    /// [`VpSolver::solve`]), `loads` is empty or not a whole number of
-    /// load vectors, or any load is negative or non-finite.
-    #[deprecated(
-        since = "0.2.0",
-        note = "build a `Session` and call `Session::solve_batch` instead"
-    )]
-    pub fn solve_batch(
-        &self,
-        stack: &Stack3d,
-        net: NetKind,
-        loads: &[f64],
-        scratch: &mut VpScratch,
-        reports: &mut Vec<VpReport>,
-    ) -> Result<(), SolverError> {
-        stack.validate()?;
-        if !scratch.matches(stack, &self.config) {
-            *scratch = VpScratch::new(stack, &self.config)?;
-        }
-        run_batch(
-            &self.config.solve_params(),
-            stack,
-            net,
-            loads,
-            scratch,
-            reports,
-        )
-    }
-}
-
 /// Validates a lane-major batch load buffer against the node count,
 /// returning the lane count `k`.
 pub(crate) fn validate_loads(nn: usize, loads: &[f64]) -> Result<usize, SolverError> {
@@ -1009,7 +807,7 @@ fn run_batch_single_tier(
 }
 
 /// Multi-tier batched path: every lane runs the propagation/VDA outer
-/// loop of [`VpSolver::solve_with`] in lockstep, sharing each tier's
+/// loop of [`run_single`] in lockstep, sharing each tier's
 /// batched inner solve. Per-lane scalar state lives in the arena's
 /// [`LaneOuterState`]; a lane that converges (or fails a budget) is
 /// masked out of all later tier solves, so its iterate — bitwise
@@ -1153,7 +951,7 @@ fn run_batch_multi(
             }
             outer += 1;
             // Phase 4 (VDA + mixing) per running lane — the scalar
-            // logic of `solve_with`, verbatim, on the lane's slices.
+            // logic of `run_single`, verbatim, on the lane's slices.
             for j in 0..k {
                 if !arena.mask[j] {
                     continue;
@@ -1368,33 +1166,59 @@ impl StackSolver for VpSolver {
         "voltage-propagation"
     }
 }
-
 #[cfg(test)]
 mod tests {
-    // These unit tests deliberately exercise the deprecated `VpSolver`
-    // entry points: the shims must keep working for one release, and the
-    // session regression tests (tests/session.rs) compare against them.
-    #![allow(deprecated)]
-
+    // These unit tests exercise the engine loops (`run_single`,
+    // `run_batch`) directly on a `VpScratch` — the layer below
+    // `Session`, whose routing is covered by `session.rs` and the root
+    // integration tests. The former deprecated `VpSolver` shims were
+    // removed; see MIGRATION.md.
     use super::*;
     use voltprop_grid::{LoadProfile, TsvPattern};
     use voltprop_solvers::{residual, DirectCholesky};
 
     const HALF_MV: f64 = 5e-4; // the paper's accuracy budget
 
-    fn assert_matches_direct(stack: &Stack3d, net: NetKind) -> (VpSolution, Vec<f64>) {
+    /// Builds a scratch and runs the single-load engine loop on it.
+    fn solve_fresh(
+        config: &VpConfig,
+        stack: &Stack3d,
+        net: NetKind,
+    ) -> Result<(VpScratch, VpReport), SolverError> {
+        let mut scratch = VpScratch::new(stack, config)?;
+        let report = run_single(&config.solve_params(), stack, net, &mut scratch)?;
+        Ok((scratch, report))
+    }
+
+    /// Lane `lane`'s voltages from the most recent batched solve.
+    fn lane_voltages(scratch: &VpScratch, lane: usize) -> &[f64] {
+        let (v, _, k) = scratch.batch_view().expect("batched solve ran");
+        assert!(lane < k);
+        let nn = scratch.num_nodes();
+        &v[lane * nn..(lane + 1) * nn]
+    }
+
+    /// Lane `lane`'s pillar currents from the most recent batched solve.
+    fn lane_pillar_currents(scratch: &VpScratch, lane: usize) -> &[f64] {
+        let (_, c, k) = scratch.batch_view().expect("batched solve ran");
+        assert!(lane < k);
+        let ns = scratch.num_sites();
+        &c[lane * ns..(lane + 1) * ns]
+    }
+
+    fn assert_matches_direct(stack: &Stack3d, net: NetKind) -> (VpScratch, VpReport, Vec<f64>) {
         let exact = DirectCholesky::new().solve_stack(stack, net).unwrap();
-        let vp = VpSolver::default().solve(stack, net).unwrap();
+        let (scratch, report) = solve_fresh(&VpConfig::default(), stack, net).unwrap();
         let err = residual::max_abs_error(
             &exact.voltages[..stack.num_nodes()],
-            &vp.voltages[..stack.num_nodes()],
+            &scratch.voltages()[..stack.num_nodes()],
         );
         assert!(
             err < HALF_MV,
             "VP deviates {err} V from direct (> 0.5 mV budget)"
         );
-        assert!(vp.report.converged);
-        (vp, exact.voltages)
+        assert!(report.converged);
+        (scratch, report, exact.voltages)
     }
 
     #[test]
@@ -1409,11 +1233,11 @@ mod tests {
             )
             .build()
             .unwrap();
-        let (vp, _) = assert_matches_direct(&stack, NetKind::Power);
+        let (_, report, _) = assert_matches_direct(&stack, NetKind::Power);
         assert!(
-            vp.report.outer_iterations <= 20,
+            report.outer_iterations <= 20,
             "VP should converge in few outer iterations, took {}",
-            vp.report.outer_iterations
+            report.outer_iterations
         );
     }
 
@@ -1475,10 +1299,10 @@ mod tests {
             )
             .build()
             .unwrap();
-        let (vp, _) = assert_matches_direct(&stack, NetKind::Ground);
+        let (scratch, _, _) = assert_matches_direct(&stack, NetKind::Ground);
         // Ground bounce is positive (pads converge to 0 within epsilon).
         let eps = VpConfig::default().epsilon;
-        assert!(vp.voltages.iter().all(|&v| v >= -2.0 * eps));
+        assert!(scratch.voltages().iter().all(|&v| v >= -2.0 * eps));
     }
 
     #[test]
@@ -1519,14 +1343,14 @@ mod tests {
             let exact = DirectCholesky::new()
                 .solve_stack(&stack, NetKind::Power)
                 .unwrap();
-            let solver = VpSolver::new(VpConfig::new().epsilon(eps));
-            let vp = solver.solve(&stack, NetKind::Power).unwrap();
-            let err = residual::max_abs_error(&exact.voltages, &vp.voltages);
+            let config = VpConfig::new().epsilon(eps);
+            let (scratch, report) = solve_fresh(&config, &stack, NetKind::Power).unwrap();
+            let err = residual::max_abs_error(&exact.voltages, scratch.voltages());
             assert!(err < HALF_MV, "{pattern:?}: error {err}");
             assert!(
-                vp.report.outer_iterations <= 60,
+                report.outer_iterations <= 60,
                 "{pattern:?}: {} outer iterations",
-                vp.report.outer_iterations
+                report.outer_iterations
             );
         }
     }
@@ -1543,9 +1367,9 @@ mod tests {
             )
             .build()
             .unwrap();
-        let (vp, _) = assert_matches_direct(&stack, NetKind::Power);
-        assert_eq!(vp.report.outer_iterations, 1);
-        assert!(vp.pillar_currents.is_empty());
+        let (scratch, report, _) = assert_matches_direct(&stack, NetKind::Power);
+        assert_eq!(report.outer_iterations, 1);
+        assert!(scratch.pillar_currents().is_empty());
     }
 
     #[test]
@@ -1560,8 +1384,8 @@ mod tests {
             )
             .build()
             .unwrap();
-        let vp = VpSolver::default().solve(&stack, NetKind::Power).unwrap();
-        let delivered: f64 = vp.pillar_currents.iter().sum();
+        let (scratch, _) = solve_fresh(&VpConfig::default(), &stack, NetKind::Power).unwrap();
+        let delivered: f64 = scratch.pillar_currents().iter().sum();
         let rel = (delivered - stack.total_load()).abs() / stack.total_load();
         assert!(
             rel < 1e-2,
@@ -1576,8 +1400,8 @@ mod tests {
             .uniform_load(5e-4)
             .build()
             .unwrap();
-        let vp = VpSolver::default().solve(&stack, NetKind::Power).unwrap();
-        let r = residual::kcl_residual_inf(&stack, NetKind::Power, &vp.voltages);
+        let (scratch, _) = solve_fresh(&VpConfig::default(), &stack, NetKind::Power).unwrap();
+        let r = residual::kcl_residual_inf(&stack, NetKind::Power, scratch.voltages());
         // Free nodes satisfy KCL to the inner tolerance; pinned TSV nodes
         // close their balance through the pillar current by construction.
         assert!(r < 5e-2, "KCL residual {r} A");
@@ -1586,11 +1410,11 @@ mod tests {
     #[test]
     fn zero_load_grid_is_exact_immediately() {
         let stack = Stack3d::builder(8, 8, 3).build().unwrap();
-        let vp = VpSolver::default().solve(&stack, NetKind::Power).unwrap();
-        for &v in &vp.voltages {
+        let (scratch, report) = solve_fresh(&VpConfig::default(), &stack, NetKind::Power).unwrap();
+        for &v in scratch.voltages() {
             assert!((v - 1.8).abs() < 1e-9);
         }
-        assert!(vp.report.outer_iterations <= 2);
+        assert!(report.outer_iterations <= 2);
     }
 
     #[test]
@@ -1614,11 +1438,11 @@ mod tests {
             )
             .build()
             .unwrap();
-        let (vp, _) = assert_matches_direct(&stack, NetKind::Power);
+        let (_, report, _) = assert_matches_direct(&stack, NetKind::Power);
         assert!(
-            vp.report.outer_iterations <= 60,
+            report.outer_iterations <= 60,
             "sparse pads took {} outer iterations",
-            vp.report.outer_iterations
+            report.outer_iterations
         );
     }
 
@@ -1649,7 +1473,7 @@ mod tests {
             .build()
             .unwrap();
         assert!(matches!(
-            VpSolver::default().solve(&stack, NetKind::Power),
+            VpScratch::new(&stack, &VpConfig::default()),
             Err(SolverError::Unsupported { .. })
         ));
     }
@@ -1660,9 +1484,9 @@ mod tests {
             .uniform_load(1e-3)
             .build()
             .unwrap();
-        let solver = VpSolver::new(VpConfig::new().epsilon(1e-13).max_outer_iterations(2));
+        let config = VpConfig::new().epsilon(1e-13).max_outer_iterations(2);
         assert!(matches!(
-            solver.solve(&stack, NetKind::Power),
+            solve_fresh(&config, &stack, NetKind::Power),
             Err(SolverError::DidNotConverge { .. })
         ));
     }
@@ -1688,8 +1512,8 @@ mod tests {
             .uniform_load(1e-4)
             .build()
             .unwrap();
-        let vp = VpSolver::default().solve(&stack, NetKind::Power).unwrap();
-        let per_node = vp.report.workspace_bytes as f64 / stack.num_nodes() as f64;
+        let (_, report) = solve_fresh(&VpConfig::default(), &stack, NetKind::Power).unwrap();
+        let per_node = report.workspace_bytes as f64 / stack.num_nodes() as f64;
         assert!(per_node < 9.0 * 8.0, "workspace {per_node} bytes/node");
     }
 
@@ -1711,22 +1535,21 @@ mod tests {
         let exact = DirectCholesky::new()
             .solve_stack(&stack, NetKind::Power)
             .unwrap();
-        let seq = VpSolver::default().solve(&stack, NetKind::Power).unwrap();
+        let (seq, _) = solve_fresh(&VpConfig::default(), &stack, NetKind::Power).unwrap();
         for threads in [2usize, 4] {
-            let par = VpSolver::new(VpConfig::new().parallelism(threads))
-                .solve(&stack, NetKind::Power)
-                .unwrap();
-            assert!(par.report.converged);
+            let config = VpConfig::new().parallelism(threads);
+            let (par, report) = solve_fresh(&config, &stack, NetKind::Power).unwrap();
+            assert!(report.converged);
             // Accuracy: the parallel schedule meets the same 0.5 mV paper
             // budget against the exact solution...
-            let err = residual::max_abs_error(&exact.voltages, &par.voltages);
+            let err = residual::max_abs_error(&exact.voltages, par.voltages());
             assert!(
                 err < HALF_MV,
                 "parallelism {threads}: error {err} V vs direct"
             );
             // ...and therefore sits within 2ε-ish of the sequential
             // iterate (each schedule independently stops within ε).
-            let drift = residual::max_abs_error(&seq.voltages, &par.voltages);
+            let drift = residual::max_abs_error(seq.voltages(), par.voltages());
             assert!(
                 drift < 3.0 * VpConfig::default().epsilon,
                 "parallelism {threads}: drift {drift} V vs sequential"
@@ -1746,38 +1569,33 @@ mod tests {
             )
             .build()
             .unwrap();
-        let solver = VpSolver::default();
-        let mut scratch = VpScratch::new(&stack_a, &solver.config).unwrap();
-        let r1 = solver
-            .solve_with(&stack_a, NetKind::Power, &mut scratch)
-            .unwrap();
+        let config = VpConfig::default();
+        let params = config.solve_params();
+        let mut scratch = VpScratch::new(&stack_a, &config).unwrap();
+        let r1 = run_single(&params, &stack_a, NetKind::Power, &mut scratch).unwrap();
         assert!(r1.converged);
-        let fresh = solver.solve(&stack_a, NetKind::Power).unwrap();
-        assert_eq!(scratch.voltages(), &fresh.voltages[..]);
-        assert_eq!(scratch.pillar_currents(), &fresh.pillar_currents[..]);
+        let (fresh, _) = solve_fresh(&config, &stack_a, NetKind::Power).unwrap();
+        assert_eq!(scratch.voltages(), fresh.voltages());
+        assert_eq!(scratch.pillar_currents(), fresh.pillar_currents());
 
         // Same geometry, different loads: reuse without rebuilding.
         let mut stack_b = stack_a.clone();
         stack_b
             .set_loads(stack_a.loads().iter().map(|l| l * 1.5).collect())
             .unwrap();
-        let r2 = solver
-            .solve_with(&stack_b, NetKind::Power, &mut scratch)
-            .unwrap();
+        assert!(scratch.geometry_matches(&stack_b));
+        let r2 = run_single(&params, &stack_b, NetKind::Power, &mut scratch).unwrap();
         assert!(r2.converged);
-        let fresh_b = solver.solve(&stack_b, NetKind::Power).unwrap();
-        assert_eq!(scratch.voltages(), &fresh_b.voltages[..]);
+        let (fresh_b, _) = solve_fresh(&config, &stack_b, NetKind::Power).unwrap();
+        assert_eq!(scratch.voltages(), fresh_b.voltages());
 
-        // Different geometry: transparently rebuilt.
+        // Different geometry: the scratch reports the mismatch (callers
+        // build a new one — nothing rebuilds silently anymore).
         let stack_c = Stack3d::builder(8, 8, 2)
             .uniform_load(1e-4)
             .build()
             .unwrap();
-        let r3 = solver
-            .solve_with(&stack_c, NetKind::Power, &mut scratch)
-            .unwrap();
-        assert!(r3.converged);
-        assert_eq!(scratch.voltages().len(), stack_c.num_nodes());
+        assert!(!scratch.geometry_matches(&stack_c));
     }
 
     /// `k` load vectors derived from the stack's own loads with different
@@ -1792,31 +1610,35 @@ mod tests {
     }
 
     fn assert_batch_matches_sequential(stack: &Stack3d, config: VpConfig, k: usize) {
-        let solver = VpSolver::new(config);
+        let params = config.solve_params();
         let loads = load_sweep(stack, k);
-        let mut scratch = VpScratch::new(stack, &solver.config).unwrap();
+        let mut scratch = VpScratch::new(stack, &config).unwrap();
         let mut reports = Vec::new();
-        solver
-            .solve_batch(stack, NetKind::Power, &loads, &mut scratch, &mut reports)
-            .unwrap();
+        run_batch(
+            &params,
+            stack,
+            NetKind::Power,
+            &loads,
+            &mut scratch,
+            &mut reports,
+        )
+        .unwrap();
         assert_eq!(reports.len(), k);
         let nn = stack.num_nodes();
-        let mut solo_scratch = VpScratch::new(stack, &solver.config).unwrap();
+        let mut solo_scratch = VpScratch::new(stack, &config).unwrap();
         for j in 0..k {
             let mut lane_stack = stack.clone();
             lane_stack
                 .set_loads(loads[j * nn..(j + 1) * nn].to_vec())
                 .unwrap();
-            let solo = solver
-                .solve_with(&lane_stack, NetKind::Power, &mut solo_scratch)
-                .unwrap();
+            let solo = run_single(&params, &lane_stack, NetKind::Power, &mut solo_scratch).unwrap();
             assert_eq!(
-                scratch.batch_voltages(j),
+                lane_voltages(&scratch, j),
                 solo_scratch.voltages(),
                 "lane {j} voltages must be bitwise identical to the sequential solve"
             );
             assert_eq!(
-                scratch.batch_pillar_currents(j),
+                lane_pillar_currents(&scratch, j),
                 solo_scratch.pillar_currents(),
                 "lane {j} pillar currents"
             );
@@ -1873,21 +1695,36 @@ mod tests {
             .uniform_load(1e-4)
             .build()
             .unwrap();
-        let solver = VpSolver::default();
+        let config = VpConfig::default();
+        let params = config.solve_params();
         let loads = load_sweep(&stack, 3);
-        let mut scratch = VpScratch::new(&stack, &solver.config).unwrap();
+        let mut scratch = VpScratch::new(&stack, &config).unwrap();
         let mut reports = Vec::new();
-        solver
-            .solve_batch(&stack, NetKind::Power, &loads, &mut scratch, &mut reports)
-            .unwrap();
+        run_batch(
+            &params,
+            &stack,
+            NetKind::Power,
+            &loads,
+            &mut scratch,
+            &mut reports,
+        )
+        .unwrap();
         assert_eq!(scratch.batch_lanes(), 3);
-        let first: Vec<Vec<f64>> = (0..3).map(|j| scratch.batch_voltages(j).to_vec()).collect();
+        let first: Vec<Vec<f64>> = (0..3)
+            .map(|j| lane_voltages(&scratch, j).to_vec())
+            .collect();
         // Second call reuses the arena and reproduces the solution.
-        solver
-            .solve_batch(&stack, NetKind::Power, &loads, &mut scratch, &mut reports)
-            .unwrap();
+        run_batch(
+            &params,
+            &stack,
+            NetKind::Power,
+            &loads,
+            &mut scratch,
+            &mut reports,
+        )
+        .unwrap();
         for j in 0..3 {
-            assert_eq!(scratch.batch_voltages(j), &first[j][..]);
+            assert_eq!(lane_voltages(&scratch, j), &first[j][..]);
         }
         let mem = scratch.memory_bytes();
         assert_eq!(reports[0].workspace_bytes, mem);
@@ -1899,8 +1736,9 @@ mod tests {
             .uniform_load(1e-4)
             .build()
             .unwrap();
-        let solver = VpSolver::default();
-        let mut scratch = VpScratch::new(&stack, &solver.config).unwrap();
+        let config = VpConfig::default();
+        let params = config.solve_params();
+        let mut scratch = VpScratch::new(&stack, &config).unwrap();
         let mut reports = Vec::new();
         let nn = stack.num_nodes();
         for bad in [
@@ -1911,7 +1749,14 @@ mod tests {
         ] {
             assert!(
                 matches!(
-                    solver.solve_batch(&stack, NetKind::Power, &bad, &mut scratch, &mut reports),
+                    run_batch(
+                        &params,
+                        &stack,
+                        NetKind::Power,
+                        &bad,
+                        &mut scratch,
+                        &mut reports
+                    ),
                     Err(SolverError::Unsupported { .. })
                 ),
                 "loads of len {} accepted",
@@ -1929,39 +1774,38 @@ mod tests {
             .uniform_load(1e-3)
             .build()
             .unwrap();
-        let solver = VpSolver::new(VpConfig::new().inner_tolerance(1e-14).max_inner_sweeps(2));
-        let sol = solver.solve(&stack, NetKind::Power).unwrap();
-        assert!(!sol.report.converged, "2 sweeps cannot reach 1e-14");
-        assert_eq!(sol.report.inner_sweeps, 2);
+        let config = VpConfig::new().inner_tolerance(1e-14).max_inner_sweeps(2);
+        let (_, report) = solve_fresh(&config, &stack, NetKind::Power).unwrap();
+        assert!(!report.converged, "2 sweeps cannot reach 1e-14");
+        assert_eq!(report.inner_sweeps, 2);
         assert!(
-            sol.report.pad_mismatch.is_finite() && sol.report.pad_mismatch > 1e-14,
+            report.pad_mismatch.is_finite() && report.pad_mismatch > 1e-14,
             "true residual must be reported, got {}",
-            sol.report.pad_mismatch
+            report.pad_mismatch
         );
         // The batched path reports the same per-lane truth.
-        let mut scratch = VpScratch::new(&stack, &solver.config).unwrap();
+        let mut scratch = VpScratch::new(&stack, &config).unwrap();
         let mut reports = Vec::new();
-        solver
-            .solve_batch(
-                &stack,
-                NetKind::Power,
-                &load_sweep(&stack, 2),
-                &mut scratch,
-                &mut reports,
-            )
-            .unwrap();
+        run_batch(
+            &config.solve_params(),
+            &stack,
+            NetKind::Power,
+            &load_sweep(&stack, 2),
+            &mut scratch,
+            &mut reports,
+        )
+        .unwrap();
         for (j, rep) in reports.iter().enumerate() {
             assert!(!rep.converged, "lane {j}");
             assert!(rep.pad_mismatch > 1e-14, "lane {j}: {}", rep.pad_mismatch);
         }
         // A converged single-tier solve reports its actual residual too.
-        let ok = VpSolver::default().solve(&stack, NetKind::Power).unwrap();
-        assert!(ok.report.converged);
+        let (_, ok) = solve_fresh(&VpConfig::default(), &stack, NetKind::Power).unwrap();
+        assert!(ok.converged);
         assert!(
-            ok.report.pad_mismatch > 0.0
-                && ok.report.pad_mismatch < VpConfig::default().inner_tolerance,
+            ok.pad_mismatch > 0.0 && ok.pad_mismatch < VpConfig::default().inner_tolerance,
             "converged residual should be the real (non-hardcoded) value, got {}",
-            ok.report.pad_mismatch
+            ok.pad_mismatch
         );
     }
 
@@ -1972,20 +1816,13 @@ mod tests {
             .uniform_load(1e-4)
             .build()
             .unwrap();
-        let solver = VpSolver::default();
-        let mut scratch = VpScratch::new(&stack, &solver.config).unwrap();
-        let rep = solver
-            .solve_with(&stack, NetKind::Power, &mut scratch)
-            .unwrap();
+        let (scratch, rep) = solve_fresh(&VpConfig::default(), &stack, NetKind::Power).unwrap();
         assert_eq!(rep.workspace_bytes, scratch.memory_bytes());
         let single = Stack3d::builder(10, 10, 1)
             .uniform_load(1e-4)
             .build()
             .unwrap();
-        let mut scratch1 = VpScratch::new(&single, &solver.config).unwrap();
-        let rep1 = solver
-            .solve_with(&single, NetKind::Power, &mut scratch1)
-            .unwrap();
+        let (scratch1, rep1) = solve_fresh(&VpConfig::default(), &single, NetKind::Power).unwrap();
         assert_eq!(rep1.workspace_bytes, scratch1.memory_bytes());
     }
 

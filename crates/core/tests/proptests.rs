@@ -126,3 +126,79 @@ fn vp_ground_mirrors_power() {
         }
     }
 }
+
+/// The `Backend::Pcg` prefactor contract: on seeded random stacks the
+/// IC(0) preconditioner is **SPD-applied** — its application is symmetric
+/// (`u·M⁻¹v == v·M⁻¹u`) and positive (`r·M⁻¹r > 0`) — and therefore
+/// preconditioned CG on the stamped system descends the energy norm
+/// `f(x) = ½·xᵀAx − bᵀx` monotonically, iteration by iteration. A broken
+/// (non-SPD) preconditioner shows up here as an energy increase long
+/// before it corrupts voltages.
+#[test]
+fn ic0_preconditioner_is_spd_applied_energy_decreases_monotonically() {
+    use voltprop_sparse::{vec_ops, IncompleteCholesky};
+
+    for case in 0..16u64 {
+        let stack = arbitrary_stack(400 + case);
+        let sys = stack.stamp(NetKind::Power).unwrap();
+        let a = sys.matrix();
+        let b = sys.rhs();
+        let n = sys.dim();
+        let ic = IncompleteCholesky::new(a).unwrap();
+
+        // SPD application: symmetric and positive on seeded vectors.
+        let mut g = SmallRng::new(900 + case);
+        let u: Vec<f64> = (0..n).map(|_| g.f64() - 0.5).collect();
+        let w: Vec<f64> = (0..n).map(|_| g.f64() - 0.5).collect();
+        let mu = ic.solve(&u);
+        let mw = ic.solve(&w);
+        let uw = vec_ops::dot(&u, &mw);
+        let wu = vec_ops::dot(&w, &mu);
+        assert!(
+            (uw - wu).abs() <= 1e-9 * uw.abs().max(wu.abs()).max(1.0),
+            "case {case}: IC(0) application is asymmetric ({uw} vs {wu})"
+        );
+        assert!(
+            vec_ops::dot(&u, &mu) > 0.0,
+            "case {case}: IC(0) application is not positive definite"
+        );
+
+        // The PCG recurrence with that preconditioner: energy must be
+        // non-increasing every iteration (CG minimizes f over the
+        // growing Krylov space; an SPD M preserves that).
+        let energy = |x: &[f64]| {
+            let ax = a.mul_vec(x);
+            0.5 * vec_ops::dot(x, &ax) - vec_ops::dot(b, x)
+        };
+        let mut x = vec![0.0; n];
+        let mut r = b.to_vec();
+        let mut z = ic.solve(&r);
+        let mut p = z.clone();
+        let mut ap = vec![0.0; n];
+        let mut rz = vec_ops::dot(&r, &z);
+        let bnorm = vec_ops::norm2(b);
+        let mut prev = energy(&x);
+        for iter in 0..40 {
+            if vec_ops::norm2(&r) <= 1e-10 * bnorm {
+                break;
+            }
+            assert!(rz > 0.0, "case {case} iter {iter}: rᵀM⁻¹r = {rz}");
+            a.spmv(&p, &mut ap);
+            let pap = vec_ops::dot(&p, &ap);
+            assert!(pap > 0.0, "case {case} iter {iter}: pᵀAp = {pap}");
+            let alpha = rz / pap;
+            vec_ops::axpy(alpha, &p, &mut x);
+            vec_ops::axpy(-alpha, &ap, &mut r);
+            ic.solve_into(&r, &mut z);
+            let rz_new = vec_ops::dot(&r, &z);
+            vec_ops::xpby(&z, rz_new / rz, &mut p);
+            rz = rz_new;
+            let e = energy(&x);
+            assert!(
+                e <= prev + 1e-12 * prev.abs().max(1e-30),
+                "case {case} iter {iter}: energy rose {prev} -> {e}"
+            );
+            prev = e;
+        }
+    }
+}

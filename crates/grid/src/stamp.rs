@@ -153,6 +153,27 @@ impl StampedSystem {
             .collect()
     }
 
+    /// Allocation-free variant of [`StampedSystem::expand`]: writes the
+    /// leading `v.len()` circuit nodes' voltages into `v`, substituting
+    /// `rail` at Dirichlet nodes instead of the voltages recorded at
+    /// stamp time (every Dirichlet node of a power grid sits at the
+    /// net's rail, so callers serving both nets from one stamped matrix
+    /// pass the rail of the net the solve ran on). Passing a `v` of
+    /// `stack.num_nodes()` entries skips the virtual rail node a
+    /// resistive-pad stamp appends past the grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()` or `v.len() > self.num_nodes()`.
+    pub fn expand_into(&self, x: &[f64], rail: f64, v: &mut [f64]) {
+        assert_eq!(x.len(), self.dim(), "solution length mismatch");
+        assert!(v.len() <= self.num_nodes, "voltage vector too long");
+        for (n, out) in v.iter_mut().enumerate() {
+            let s = self.sys_index[n];
+            *out = if s == FIXED { rail } else { x[s as usize] };
+        }
+    }
+
     /// Restricts full per-node voltages to the reduced unknown vector
     /// (inverse of [`StampedSystem::expand`] on free nodes).
     ///

@@ -26,6 +26,18 @@ pub enum SolverError {
         /// Human-readable description.
         what: String,
     },
+    /// An iterative method broke down numerically before reaching its
+    /// budget — e.g. conjugate gradients hit `pᵀAp ≤ 0` (the operator is
+    /// not positive definite on the Krylov space) or a zero/non-finite
+    /// `rᵀM⁻¹r` (the preconditioner is not SPD-applied). Unlike
+    /// [`SolverError::DidNotConverge`] this means more iterations cannot
+    /// help; the system or preconditioner itself is at fault.
+    Breakdown {
+        /// The iteration the breakdown was detected at.
+        iteration: usize,
+        /// The quantity that broke down.
+        what: String,
+    },
 }
 
 impl fmt::Display for SolverError {
@@ -43,6 +55,9 @@ impl fmt::Display for SolverError {
                  (best {residual:.3e}, target {tolerance:.3e})"
             ),
             SolverError::Unsupported { what } => write!(f, "unsupported problem: {what}"),
+            SolverError::Breakdown { iteration, what } => {
+                write!(f, "numerical breakdown at iteration {iteration}: {what}")
+            }
         }
     }
 }
@@ -88,6 +103,13 @@ mod tests {
             tolerance: 1e-6,
         };
         assert!(e.to_string().contains("10"));
+        assert!(e.source().is_none());
+
+        let e = SolverError::Breakdown {
+            iteration: 3,
+            what: "pᵀAp = -1".into(),
+        };
+        assert!(e.to_string().contains("breakdown"));
         assert!(e.source().is_none());
     }
 }

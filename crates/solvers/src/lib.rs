@@ -7,7 +7,10 @@
 //!   Cholesky factorization of the MNA system.
 //! * **Krylov** — [`ConjugateGradient`] and [`Pcg`] with pluggable
 //!   preconditioners ([`PrecondKind`]: Jacobi, IC(0), SSOR, aggregation
-//!   AMG), the paper's main comparator (refs \[6\], \[12\]).
+//!   AMG), the paper's main comparator (refs \[6\], \[12\]). The
+//!   serving-grade form is [`PcgEngine`]: the full 3-D system stamped
+//!   and the IC(0) factor built once, warm solves allocation-free —
+//!   `voltprop_core::Session` routes `Backend::Pcg` through it.
 //! * **Stationary** — [`relax`] (point Jacobi / Gauss–Seidel / SOR), the
 //!   structured [`RowBased`] method of Zhong & Wong (ref \[5\]) that the VP
 //!   algorithm builds on, and [`Rb3d`], the naive extension of row-based
@@ -101,7 +104,7 @@ pub use cg::ConjugateGradient;
 pub use direct::DirectCholesky;
 pub use engine::{ParDispatch, SweepSchedule, TierEngine};
 pub use error::SolverError;
-pub use pcg::Pcg;
+pub use pcg::{Pcg, PcgEngine};
 pub use pool::{PoolJob, WorkerPool, WorkerScratch};
 pub use precond::{PrecondKind, Preconditioner};
 pub use random_walk::RandomWalkSolver;

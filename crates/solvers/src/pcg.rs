@@ -1,5 +1,6 @@
 use crate::{LinearSolver, PrecondKind, Solution, SolveReport, SolverError};
-use voltprop_sparse::{vec_ops, CsrMatrix};
+use voltprop_grid::{NetKind, Stack3d, StampedSystem};
+use voltprop_sparse::{vec_ops, CsrMatrix, IncompleteCholesky, SparseError};
 
 /// Preconditioned conjugate gradients — the paper's comparator (refs \[6\],
 /// \[12\]).
@@ -7,6 +8,11 @@ use voltprop_sparse::{vec_ops, CsrMatrix};
 /// Defaults: IC(0) preconditioner, relative residual `1e-8` (which lands
 /// node voltages well inside the paper's 0.5 mV accuracy budget on the
 /// benchmark grids), iteration budget 50 000.
+///
+/// This is the one-shot matrix-level entry point; callers solving many
+/// load patterns against one grid should build a [`PcgEngine`] instead
+/// (or route `Backend::Pcg` through `voltprop_core::Session`, which holds
+/// one), amortizing the stamping and the preconditioner factorization.
 ///
 /// # Example
 ///
@@ -58,61 +64,105 @@ impl Pcg {
     }
 }
 
+/// The preconditioned CG recurrence on caller-owned buffers: solves
+/// `A x = b` starting from `x = 0`, applying the preconditioner through
+/// `apply` (which must implement `z ← M⁻¹ r` for an SPD `M`). Performs no
+/// heap allocation on the success path — both the one-shot [`Pcg`] and
+/// the warm [`PcgEngine`] run on this core.
+///
+/// Returns `(iterations, relative_residual)` on convergence. Breakdown is
+/// detected *before* the quantities are divided by:
+///
+/// * `pᵀAp ≤ 0` or non-finite — `A` is not positive definite on the
+///   Krylov space;
+/// * `rᵀM⁻¹r ≤ 0` or non-finite — the preconditioner is not SPD-applied
+///   (this previously produced silent NaN voltages through the
+///   `rz_new / rz` division).
+///
+/// Either surfaces as [`SolverError::Breakdown`]; an exhausted budget is
+/// [`SolverError::DidNotConverge`] with the true relative residual. On
+/// any error `x` holds the last accepted iterate.
+#[allow(clippy::too_many_arguments)]
+fn pcg_core(
+    a: &CsrMatrix,
+    b: &[f64],
+    apply: &mut dyn FnMut(&[f64], &mut [f64]),
+    x: &mut [f64],
+    r: &mut [f64],
+    z: &mut [f64],
+    p: &mut [f64],
+    ap: &mut [f64],
+    tolerance: f64,
+    max_iterations: usize,
+) -> Result<(usize, f64), SolverError> {
+    let bnorm = vec_ops::norm2(b);
+    x.fill(0.0);
+    if bnorm == 0.0 {
+        return Ok((0, 0.0));
+    }
+    r.copy_from_slice(b);
+    apply(r, z);
+    p.copy_from_slice(z);
+    let mut rz = vec_ops::dot(r, z);
+    let target = tolerance * bnorm;
+    let mut iterations = 0;
+    let mut rnorm = bnorm;
+    while rnorm > target {
+        if iterations >= max_iterations {
+            return Err(SolverError::DidNotConverge {
+                iterations,
+                residual: rnorm / bnorm,
+                tolerance,
+            });
+        }
+        if rz <= 0.0 || !rz.is_finite() {
+            return Err(SolverError::Breakdown {
+                iteration: iterations,
+                what: format!("rᵀM⁻¹r = {rz:e} (preconditioner is not SPD-applied)"),
+            });
+        }
+        a.spmv(p, ap);
+        let pap = vec_ops::dot(p, ap);
+        if pap <= 0.0 || !pap.is_finite() {
+            return Err(SolverError::Breakdown {
+                iteration: iterations,
+                what: format!("pᵀAp = {pap:e} (matrix is not positive definite)"),
+            });
+        }
+        let alpha = rz / pap;
+        vec_ops::axpy(alpha, p, x);
+        vec_ops::axpy(-alpha, ap, r);
+        rnorm = vec_ops::norm2(r);
+        apply(r, z);
+        let rz_new = vec_ops::dot(r, z);
+        vec_ops::xpby(z, rz_new / rz, p);
+        rz = rz_new;
+        iterations += 1;
+    }
+    Ok((iterations, rnorm / bnorm))
+}
+
 impl LinearSolver for Pcg {
     fn solve(&self, a: &CsrMatrix, b: &[f64]) -> Result<Solution, SolverError> {
         let n = b.len();
-        let bnorm = vec_ops::norm2(b);
         let m = self.preconditioner.build(a)?;
-        if bnorm == 0.0 {
-            return Ok(Solution {
-                x: vec![0.0; n],
-                report: SolveReport {
-                    iterations: 0,
-                    residual: 0.0,
-                    converged: true,
-                    workspace_bytes: 5 * n * 8 + m.memory_bytes(),
-                },
-            });
-        }
         let mut x = vec![0.0; n];
-        let mut r = b.to_vec();
+        let mut r = vec![0.0; n];
         let mut z = vec![0.0; n];
-        m.apply_into(&r, &mut z);
-        let mut p = z.clone();
+        let mut p = vec![0.0; n];
         let mut ap = vec![0.0; n];
-        let mut rz = vec_ops::dot(&r, &z);
-        let target = self.tolerance * bnorm;
-        let mut iterations = 0;
-        let mut rnorm = bnorm;
-        while iterations < self.max_iterations {
-            if rnorm <= target {
-                break;
-            }
-            a.spmv(&p, &mut ap);
-            let pap = vec_ops::dot(&p, &ap);
-            if pap <= 0.0 {
-                return Err(SolverError::Sparse(
-                    voltprop_sparse::SparseError::NotPositiveDefinite { column: iterations },
-                ));
-            }
-            let alpha = rz / pap;
-            vec_ops::axpy(alpha, &p, &mut x);
-            vec_ops::axpy(-alpha, &ap, &mut r);
-            rnorm = vec_ops::norm2(&r);
-            m.apply_into(&r, &mut z);
-            let rz_new = vec_ops::dot(&r, &z);
-            vec_ops::xpby(&z, rz_new / rz, &mut p);
-            rz = rz_new;
-            iterations += 1;
-        }
-        let residual = rnorm / bnorm;
-        if residual > self.tolerance {
-            return Err(SolverError::DidNotConverge {
-                iterations,
-                residual,
-                tolerance: self.tolerance,
-            });
-        }
+        let (iterations, residual) = pcg_core(
+            a,
+            b,
+            &mut |r, z| m.apply_into(r, z),
+            &mut x,
+            &mut r,
+            &mut z,
+            &mut p,
+            &mut ap,
+            self.tolerance,
+            self.max_iterations,
+        )?;
         Ok(Solution {
             x,
             report: SolveReport {
@@ -131,6 +181,271 @@ impl LinearSolver for Pcg {
             PrecondKind::Ssor(_) => "pcg-ssor",
             PrecondKind::Amg => "pcg-amg",
         }
+    }
+}
+
+/// The engine's prefactored preconditioner: IC(0) by default, with the
+/// diagonal (Jacobi) fallback when the incomplete factorization breaks
+/// down even after its diagonal-shift retries.
+#[derive(Debug)]
+enum EnginePrecond {
+    Ic0(IncompleteCholesky),
+    Jacobi(Vec<f64>),
+}
+
+impl EnginePrecond {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        match self {
+            EnginePrecond::Ic0(ic) => ic.solve_into(r, z),
+            EnginePrecond::Jacobi(inv_diag) => {
+                for (zi, (ri, di)) in z.iter_mut().zip(r.iter().zip(inv_diag)) {
+                    *zi = ri * di;
+                }
+            }
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        match self {
+            EnginePrecond::Ic0(ic) => ic.memory_bytes(),
+            EnginePrecond::Jacobi(inv_diag) => inv_diag.len() * 8,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            EnginePrecond::Ic0(_) => "ic0",
+            EnginePrecond::Jacobi(_) => "jacobi",
+        }
+    }
+}
+
+/// The prefactored, reusable state of preconditioned CG on one stack: the
+/// full 3-D MNA system stamped once, the preconditioner factored once
+/// (IC(0), falling back to Jacobi on a non-positive pivot), and every
+/// iteration buffer preallocated — the PCG counterpart of [`Rb3dEngine`]
+/// (`voltprop_core::Session` routes `Backend::Pcg` through one).
+///
+/// The power and ground nets share one conductance matrix (only the rail
+/// and the load sign differ), so a single factorization serves both; the
+/// load-independent part of each net's right-hand side is split out at
+/// build, and [`PcgEngine::solve`] reassembles the full RHS from the
+/// request's loads without touching the heap. Warm solves perform **zero
+/// heap allocations**.
+///
+/// [`Rb3dEngine`]: crate::Rb3dEngine
+///
+/// # Example
+///
+/// ```
+/// use voltprop_grid::{NetKind, Stack3d};
+/// use voltprop_solvers::PcgEngine;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let stack = Stack3d::builder(8, 8, 3).uniform_load(1e-4).build()?;
+/// let mut engine = PcgEngine::build(&stack)?;
+/// let mut v = vec![0.0; engine.num_nodes()];
+/// let report = engine.solve(stack.loads(), NetKind::Power, 1e-8, 50_000, &mut v)?;
+/// assert!(report.converged);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct PcgEngine {
+    nn: usize,
+    vdd: f64,
+    /// The power-net stamped system; the ground net reuses its matrix and
+    /// node-index map (same conductances, same Dirichlet set).
+    sys: StampedSystem,
+    /// Load-independent RHS part per net (pad/rail folding terms).
+    rhs_base_power: Vec<f64>,
+    rhs_base_ground: Vec<f64>,
+    precond: EnginePrecond,
+    /// Iteration scratch, all `sys.dim()`-sized.
+    rhs: Vec<f64>,
+    x: Vec<f64>,
+    r: Vec<f64>,
+    z: Vec<f64>,
+    p: Vec<f64>,
+    ap: Vec<f64>,
+}
+
+impl PcgEngine {
+    /// Validates the stack, stamps the full 3-D MNA system once, and
+    /// factors the preconditioner: IC(0) first, falling back to Jacobi
+    /// scaling if the incomplete factorization reports a non-positive
+    /// pivot even after its diagonal-shift retries.
+    ///
+    /// # Errors
+    ///
+    /// [`SolverError::Grid`] if the stack fails validation or cannot be
+    /// stamped; [`SolverError::Sparse`] if even the Jacobi fallback is
+    /// impossible (a non-positive diagonal — the system is not SPD).
+    pub fn build(stack: &Stack3d) -> Result<Self, SolverError> {
+        stack.validate()?;
+        let nn = stack.num_nodes();
+        let sys = stack.stamp(NetKind::Power)?;
+        let ground = stack.stamp(NetKind::Ground)?;
+        debug_assert_eq!(sys.dim(), ground.dim(), "nets share the conductance matrix");
+        let dim = sys.dim();
+
+        // The stamped RHS is (load-independent rail folding) + sign·loads
+        // on the free nodes; subtracting the build-time load contribution
+        // leaves the base each request's loads are re-added to.
+        let mut rhs_base_power = sys.rhs().to_vec();
+        let mut rhs_base_ground = ground.rhs().to_vec();
+        for (node, &load) in stack.loads().iter().enumerate() {
+            if let Some(ri) = sys.reduced_index(node) {
+                rhs_base_power[ri] += load; // power stamps −load
+                rhs_base_ground[ri] -= load; // ground stamps +load
+            }
+        }
+
+        let precond = match IncompleteCholesky::new(sys.matrix()) {
+            Ok(ic) => EnginePrecond::Ic0(ic),
+            Err(SparseError::NotPositiveDefinite { .. }) => {
+                let diag = sys.matrix().diag();
+                let mut inv_diag = Vec::with_capacity(dim);
+                for (i, &d) in diag.iter().enumerate() {
+                    if d <= 0.0 {
+                        return Err(SolverError::Sparse(SparseError::NotPositiveDefinite {
+                            column: i,
+                        }));
+                    }
+                    inv_diag.push(1.0 / d);
+                }
+                EnginePrecond::Jacobi(inv_diag)
+            }
+            Err(e) => return Err(e.into()),
+        };
+
+        Ok(PcgEngine {
+            nn,
+            vdd: stack.vdd(),
+            sys,
+            rhs_base_power,
+            rhs_base_ground,
+            precond,
+            rhs: vec![0.0; dim],
+            x: vec![0.0; dim],
+            r: vec![0.0; dim],
+            z: vec![0.0; dim],
+            p: vec![0.0; dim],
+            ap: vec![0.0; dim],
+        })
+    }
+
+    /// Number of grid nodes this engine serves.
+    pub fn num_nodes(&self) -> usize {
+        self.nn
+    }
+
+    /// Number of unknowns of the reduced (pad-folded) system.
+    pub fn dim(&self) -> usize {
+        self.sys.dim()
+    }
+
+    /// The active preconditioner: `"ic0"` in the common case, `"jacobi"`
+    /// if the incomplete factorization broke down at build.
+    pub fn precond_name(&self) -> &'static str {
+        self.precond.name()
+    }
+
+    /// Runs preconditioned CG on one load vector (`loads[node]`, flat
+    /// tier-major, `num_nodes` entries), writing the full per-node
+    /// voltages into `v` (same layout). Every call starts from the zero
+    /// initial guess, so results are deterministic regardless of what `v`
+    /// held; warm calls perform **zero heap allocations**.
+    ///
+    /// `tolerance` is the relative residual target `‖b − Ax‖₂ / ‖b‖₂`,
+    /// `max_iterations` the CG iteration budget.
+    ///
+    /// # Errors
+    ///
+    /// * [`SolverError::Unsupported`] on a malformed `loads`/`v` length.
+    /// * [`SolverError::DidNotConverge`] if the budget runs out (in which
+    ///   case `v` holds the last iterate).
+    /// * [`SolverError::Breakdown`] on numerical breakdown (`pᵀAp ≤ 0` or
+    ///   a zero/non-finite `rᵀM⁻¹r`); more iterations cannot help.
+    pub fn solve(
+        &mut self,
+        loads: &[f64],
+        net: NetKind,
+        tolerance: f64,
+        max_iterations: usize,
+        v: &mut [f64],
+    ) -> Result<SolveReport, SolverError> {
+        let nn = self.nn;
+        if loads.len() != nn || v.len() != nn {
+            return Err(SolverError::Unsupported {
+                what: format!(
+                    "pcg engine serves {nn} nodes (got {} loads, {} voltages)",
+                    loads.len(),
+                    v.len()
+                ),
+            });
+        }
+        let (rail, load_sign, base): (f64, f64, &[f64]) = match net {
+            NetKind::Power => (self.vdd, -1.0, &self.rhs_base_power),
+            NetKind::Ground => (0.0, 1.0, &self.rhs_base_ground),
+        };
+        self.rhs.copy_from_slice(base);
+        for (node, &load) in loads.iter().enumerate() {
+            if let Some(ri) = self.sys.reduced_index(node) {
+                self.rhs[ri] += load_sign * load;
+            }
+        }
+        let PcgEngine {
+            sys,
+            precond,
+            rhs,
+            x,
+            r,
+            z,
+            p,
+            ap,
+            ..
+        } = self;
+        let outcome = pcg_core(
+            sys.matrix(),
+            rhs,
+            &mut |r, z| precond.apply(r, z),
+            x,
+            r,
+            z,
+            p,
+            ap,
+            tolerance,
+            max_iterations,
+        );
+        // Expand on every path: on DidNotConverge `x` holds the last
+        // iterate (mirroring `Rb3dEngine::solve`). `v` spans the grid's
+        // `nn` nodes, so the virtual rail node of resistive-pad stamps
+        // (which sits past `nn`) is skipped.
+        sys.expand_into(x, rail, v);
+        let (iterations, residual) = outcome?;
+        Ok(SolveReport {
+            iterations,
+            residual,
+            converged: true,
+            workspace_bytes: self.memory_bytes() + v.len() * 8,
+        })
+    }
+
+    /// Estimated heap footprint in bytes (stamped system, preconditioner
+    /// factor, RHS bases, and iteration scratch; the caller owns `v`).
+    pub fn memory_bytes(&self) -> usize {
+        self.sys.memory_bytes()
+            + self.precond.memory_bytes()
+            + (self.rhs_base_power.len()
+                + self.rhs_base_ground.len()
+                + self.rhs.len()
+                + self.x.len()
+                + self.r.len()
+                + self.z.len()
+                + self.p.len()
+                + self.ap.len())
+                * 8
     }
 }
 
@@ -219,6 +534,143 @@ mod tests {
         assert!(matches!(
             tight.solve(sys.matrix(), sys.rhs()),
             Err(SolverError::DidNotConverge { .. })
+        ));
+    }
+
+    #[test]
+    fn indefinite_matrix_is_typed_breakdown_not_nan() {
+        // A symmetric indefinite matrix: plain CG must refuse with a
+        // typed breakdown instead of quietly iterating on NaNs. Jacobi
+        // needs a positive diagonal, so keep the diagonal positive but
+        // dominate it with negative coupling (eigenvalues straddle 0).
+        let mut t = voltprop_sparse::TripletMatrix::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(1, 1, 1.0);
+        t.push(0, 1, 3.0);
+        t.push(1, 0, 3.0);
+        let a = t.to_csr();
+        let solver = Pcg {
+            preconditioner: PrecondKind::Jacobi,
+            tolerance: 1e-12,
+            max_iterations: 100,
+        };
+        match solver.solve(&a, &[1.0, -1.0]) {
+            Err(SolverError::Breakdown { what, .. }) => {
+                assert!(what.contains("pᵀAp"), "unexpected breakdown: {what}");
+            }
+            other => panic!("expected Breakdown, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn engine_matches_one_shot_pcg_and_direct() {
+        let stack = bench_stack();
+        let mut engine = PcgEngine::build(&stack).unwrap();
+        assert_eq!(engine.precond_name(), "ic0");
+        assert!(engine.dim() > 0 && engine.memory_bytes() > 0);
+        let mut v = vec![0.0; engine.num_nodes()];
+        for net in [NetKind::Power, NetKind::Ground] {
+            let exact = DirectCholesky::new().solve_stack(&stack, net).unwrap();
+            let rep = engine
+                .solve(stack.loads(), net, 1e-8, 50_000, &mut v)
+                .unwrap();
+            assert!(rep.converged);
+            let err = crate::residual::max_abs_error(&exact.voltages, &v);
+            assert!(err < 5e-4, "{net:?}: max error {err}");
+            let one_shot = Pcg::default().solve_stack(&stack, net).unwrap();
+            let drift = crate::residual::max_abs_error(&one_shot.voltages, &v);
+            assert!(drift < 1e-9, "{net:?}: engine vs one-shot drift {drift}");
+        }
+    }
+
+    #[test]
+    fn engine_reuse_across_load_patterns_is_deterministic() {
+        let stack = bench_stack();
+        let mut engine = PcgEngine::build(&stack).unwrap();
+        let mut v1 = vec![0.0; engine.num_nodes()];
+        let mut v2 = vec![0.0; engine.num_nodes()];
+        let scaled: Vec<f64> = stack.loads().iter().map(|l| 1.5 * l).collect();
+        engine
+            .solve(stack.loads(), NetKind::Power, 1e-8, 50_000, &mut v1)
+            .unwrap();
+        // A different load pattern in between must not perturb a repeat.
+        engine
+            .solve(&scaled, NetKind::Power, 1e-8, 50_000, &mut v2)
+            .unwrap();
+        engine
+            .solve(stack.loads(), NetKind::Power, 1e-8, 50_000, &mut v2)
+            .unwrap();
+        assert_eq!(v1, v2, "warm engine solves must be reproducible");
+        // Scaled loads against a fresh stamp: same answer.
+        let mut scaled_stack = stack.clone();
+        scaled_stack.set_loads(scaled.clone()).unwrap();
+        let fresh = Pcg::default()
+            .solve_stack(&scaled_stack, NetKind::Power)
+            .unwrap();
+        engine
+            .solve(&scaled, NetKind::Power, 1e-8, 50_000, &mut v2)
+            .unwrap();
+        let drift = crate::residual::max_abs_error(&fresh.voltages, &v2);
+        assert!(drift < 1e-9, "reused engine drift {drift}");
+    }
+
+    #[test]
+    fn engine_serves_resistive_pads_and_single_tier() {
+        // The shapes voltage propagation refuses are exactly what the PCG
+        // reference exists for.
+        for stack in [
+            Stack3d::builder(8, 8, 3)
+                .pad_resistance(0.2)
+                .uniform_load(3e-4)
+                .build()
+                .unwrap(),
+            Stack3d::builder(10, 10, 1)
+                .uniform_load(2e-4)
+                .build()
+                .unwrap(),
+        ] {
+            let exact = DirectCholesky::new()
+                .solve_stack(&stack, NetKind::Power)
+                .unwrap();
+            let mut engine = PcgEngine::build(&stack).unwrap();
+            let mut v = vec![0.0; engine.num_nodes()];
+            engine
+                .solve(stack.loads(), NetKind::Power, 1e-8, 50_000, &mut v)
+                .unwrap();
+            let err = crate::residual::max_abs_error(
+                &exact.voltages[..stack.num_nodes()],
+                &v[..stack.num_nodes()],
+            );
+            assert!(err < 5e-4, "max error {err}");
+        }
+    }
+
+    #[test]
+    fn engine_budget_exhaustion_keeps_last_iterate() {
+        let stack = bench_stack();
+        let mut engine = PcgEngine::build(&stack).unwrap();
+        let mut v = vec![0.0; engine.num_nodes()];
+        let err = engine
+            .solve(stack.loads(), NetKind::Power, 1e-14, 1, &mut v)
+            .unwrap_err();
+        assert!(matches!(err, SolverError::DidNotConverge { .. }));
+        assert!(v.iter().all(|x| x.is_finite()));
+        assert!(v.iter().any(|&x| x != 0.0), "one iterate was taken");
+    }
+
+    #[test]
+    fn engine_rejects_malformed_lengths() {
+        let stack = bench_stack();
+        let mut engine = PcgEngine::build(&stack).unwrap();
+        let mut v = vec![0.0; engine.num_nodes()];
+        assert!(matches!(
+            engine.solve(&[1e-4; 3], NetKind::Power, 1e-8, 100, &mut v),
+            Err(SolverError::Unsupported { .. })
+        ));
+        let mut short = vec![0.0; 3];
+        assert!(matches!(
+            engine.solve(stack.loads(), NetKind::Power, 1e-8, 100, &mut short),
+            Err(SolverError::Unsupported { .. })
         ));
     }
 }

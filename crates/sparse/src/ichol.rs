@@ -154,6 +154,19 @@ impl IncompleteCholesky {
         z
     }
 
+    /// Applies the preconditioner out of place: solves `L Lᵀ z = r`
+    /// without touching `r` and without allocating — the warm-path
+    /// variant reusable solver engines call on their pinned scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r.len()` or `z.len()` differ from the matrix dimension.
+    pub fn solve_into(&self, r: &[f64], z: &mut [f64]) {
+        assert_eq!(r.len(), z.len(), "rhs/solution length mismatch");
+        z.copy_from_slice(r);
+        self.solve_in_place(z);
+    }
+
     /// In-place variant of [`IncompleteCholesky::solve`].
     ///
     /// # Panics

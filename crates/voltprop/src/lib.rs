@@ -46,8 +46,9 @@
 //! # }
 //! ```
 //!
-//! Migrating from the deprecated `VpSolver::solve{,_with,_batch}` entry
-//! points? See `MIGRATION.md` at the repository root for a one-page map.
+//! Migrating from the old `VpSolver::solve{,_with,_batch}` entry points
+//! (removed in this release)? See `MIGRATION.md` at the repository root
+//! for a one-page map.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -59,14 +60,14 @@ pub use voltprop_sparse as sparse;
 
 pub use voltprop_core::{
     Backend, BuildError, BuildParams, LoadCase, LoadSet, Session, SessionError, SolutionView,
-    SolveParams, VpConfig, VpReport, VpScratch, VpSolution, VpSolver,
+    SolveParams, VpConfig, VpReport, VpSolver,
 };
 pub use voltprop_grid::{
     GridError, LoadProfile, NetKind, Netlist, NetlistCircuit, Stack3d, StampedSystem, SynthConfig,
     TableCircuit, TsvPattern,
 };
 pub use voltprop_solvers::{
-    ConjugateGradient, DirectCholesky, LaneReport, LinearSolver, Pcg, PrecondKind,
+    ConjugateGradient, DirectCholesky, LaneReport, LinearSolver, Pcg, PcgEngine, PrecondKind,
     RandomWalkSolver, Rb3d, Rb3dEngine, SolveReport, SolverError, StackSolution, StackSolver,
 };
 

@@ -34,6 +34,7 @@ use voltprop::{
     Netlist,
     NetlistCircuit,
     Pcg,
+    PcgEngine,
     PrecondKind,
     RandomWalkSolver,
     Rb3d,
@@ -51,11 +52,12 @@ use voltprop::{
     SynthConfig,
     TableCircuit,
     TsvPattern,
-    // Core solver types (legacy shims remain exported while deprecated).
+    // Core solver types. (The deprecated `VpSolver::solve{,_with,_batch}`
+    // shims, `VpScratch`, and `VpSolution` were removed in this release —
+    // `Session` is the solve entry point; `VpSolver` remains as the
+    // `StackSolver` trait-object form of the method.)
     VpConfig,
     VpReport,
-    VpScratch,
-    VpSolution,
     VpSolver,
 };
 
@@ -132,6 +134,39 @@ fn session_api_signatures_hold() {
     let mut v = vec![0.0; rb.num_nodes()];
     let _rb_rep: Result<SolveReport, SolverError> =
         rb.solve(stack.loads(), NetKind::Power, 1.0, 1e-7, 200_000, &mut v);
+
+    // Prefactored PCG engine (the reference backend's substrate).
+    let pe: Result<PcgEngine, SolverError> = PcgEngine::build(&stack);
+    let mut pe: PcgEngine = pe.unwrap();
+    let _dim: usize = pe.dim();
+    let _name: &'static str = pe.precond_name();
+    let mut pv = vec![0.0; pe.num_nodes()];
+    let _pe_rep: Result<SolveReport, SolverError> =
+        pe.solve(stack.loads(), NetKind::Power, 1e-8, 50_000, &mut pv);
+
+    // The Pcg backend routes through the same session surface, and a
+    // backend whose prefactor failed reports a reasoned unavailability.
+    {
+        let routed: Result<SolutionView<'_>, SessionError> = session.solve(
+            &LoadCase::new(&stack).backend(Backend::Pcg).params(
+                SolveParams::new()
+                    .inner_tolerance(1e-8)
+                    .max_inner_sweeps(50_000),
+            ),
+        );
+        assert!(routed.is_ok());
+    }
+    {
+        // `BackendUnavailable` carries the build-time reason.
+        let err = SessionError::BackendUnavailable {
+            backend: Backend::Pcg,
+            reason: "build-time PCG prefactor failed".into(),
+        };
+        if let SessionError::BackendUnavailable { backend, reason } = err {
+            let _b: Backend = backend;
+            let _r: String = reason;
+        }
+    }
 }
 
 #[test]

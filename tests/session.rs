@@ -1,16 +1,15 @@
 //! Integration: the `Session` lifecycle — build → solve → batch →
-//! transient on one handle — must reproduce the legacy entry points
-//! bitwise, refuse geometry drift instead of silently rebuilding, and
-//! route multiple backends through the same prefactored state.
+//! transient on one handle — must be bitwise reproducible (pinned by a
+//! saved fixture, replacing the deleted `VpSolver` legacy shims as the
+//! reference), refuse geometry drift instead of silently rebuilding, and
+//! route all three backends through the same prefactored state.
 
-// The comparisons deliberately call the deprecated `VpSolver` shims:
-// they are the legacy reference the session must match exactly.
-#![allow(deprecated)]
+use std::fmt::Write as _;
 
 use voltprop::solvers::residual;
 use voltprop::{
-    Backend, DirectCholesky, LoadCase, LoadProfile, LoadSet, NetKind, Rb3d, Session, SessionError,
-    SolveParams, Stack3d, StackSolver, VpConfig, VpScratch, VpSolver,
+    Backend, DirectCholesky, LoadCase, LoadProfile, LoadSet, NetKind, Pcg, Rb3d, Session,
+    SessionError, SolveParams, Stack3d, StackSolver, VpConfig,
 };
 
 fn stack() -> Stack3d {
@@ -37,67 +36,126 @@ fn load_sweep(stack: &Stack3d, k: usize) -> Vec<f64> {
     loads
 }
 
+/// The saved fixture that pins the session's bitwise behavior across
+/// releases. Regenerate deliberately with
+/// `VOLTPROP_BLESS=1 cargo test --test session pinned_fixture`.
+const FIXTURE_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/fixtures/session_pinned.txt"
+);
+
 #[test]
-fn full_lifecycle_on_one_session_matches_legacy_paths_bitwise() {
+fn pinned_fixture_guards_bitwise_behavior() {
+    // When the deprecated `VpSolver::solve{,_with,_batch}` shims were
+    // removed, the "session matches legacy bitwise" comparisons moved
+    // here: the exact bit patterns those paths produced (and the session
+    // reproduced) are committed as a fixture, so a refactor that
+    // perturbs a single ULP anywhere in the solve pipeline fails loudly
+    // and must re-bless deliberately.
     let stack = stack();
     let nn = stack.num_nodes();
-    let config = VpConfig::default();
-    let solver = VpSolver::new(config);
-    let mut session = Session::build(&stack, config).unwrap();
+    let mut session = Session::build(&stack, VpConfig::default()).unwrap();
 
-    // 1. Single solve == legacy solve_with, bitwise.
-    let mut scratch = VpScratch::new(&stack, &config).unwrap();
-    let legacy_report = solver
-        .solve_with(&stack, NetKind::Power, &mut scratch)
-        .unwrap();
+    let mut blob: Vec<u64> = Vec::new();
+    let section = |name: &str, bits: &mut Vec<u64>, values: &[f64]| {
+        assert!(!values.is_empty(), "{name}: empty section");
+        bits.extend(values.iter().map(|v| v.to_bits()));
+    };
+
+    // 1. Single solve: voltages + pillar currents.
     let view = session.solve(&LoadCase::new(&stack)).unwrap();
-    assert_eq!(view.voltages(), scratch.voltages());
-    assert_eq!(view.pillar_currents(), scratch.pillar_currents());
-    assert_eq!(*view.report(), legacy_report);
+    assert!(view.converged());
+    section("single voltages", &mut blob, view.voltages());
+    section("single pillar currents", &mut blob, view.pillar_currents());
 
-    // 2. Batch == legacy solve_batch, bitwise, on the same session.
-    let k = 4;
+    // 2. Batch of 2 diverging lanes: per-lane voltages + pillar currents.
+    let k = 2;
     let loads = load_sweep(&stack, k);
-    let mut reports = Vec::new();
-    solver
-        .solve_batch(&stack, NetKind::Power, &loads, &mut scratch, &mut reports)
-        .unwrap();
     let batch = session.solve_batch(&LoadSet::new(&stack, &loads)).unwrap();
     assert_eq!(batch.lanes(), k);
+    let mut lane_bits: Vec<u64> = Vec::new();
     for j in 0..k {
-        assert_eq!(batch.lane_voltages(j).unwrap(), scratch.batch_voltages(j));
-        assert_eq!(
-            batch.lane_pillar_currents(j).unwrap(),
-            scratch.batch_pillar_currents(j)
+        section(
+            "batch lane voltages",
+            &mut lane_bits,
+            batch.lane_voltages(j).unwrap(),
         );
-        assert_eq!(*batch.lane_report(j).unwrap(), reports[j]);
+        section(
+            "batch lane pillar currents",
+            &mut lane_bits,
+            batch.lane_pillar_currents(j).unwrap(),
+        );
     }
+    blob.extend_from_slice(&lane_bits);
 
-    // 3. Transient (steps as lanes) == legacy per-step batch, bitwise,
-    // still on the same session.
-    let steps = 3;
-    let wave = load_sweep(&stack, steps);
-    solver
-        .solve_batch(&stack, NetKind::Power, &wave, &mut scratch, &mut reports)
-        .unwrap();
+    // 3. Transient with the same waveform must reproduce the batch
+    // lanes bitwise (steps are lanes; no fixture needed for this).
     let transient = session
-        .transient(&LoadCase::new(&stack), steps, |s, lane| {
-            lane.copy_from_slice(&wave[s * nn..(s + 1) * nn]);
+        .transient(&LoadCase::new(&stack), k, |s, lane| {
+            lane.copy_from_slice(&loads[s * nn..(s + 1) * nn]);
         })
         .unwrap();
-    assert!(transient.converged());
-    for s in 0..steps {
-        assert_eq!(
-            transient.lane_voltages(s).unwrap(),
-            scratch.batch_voltages(s),
-            "step {s}"
+    let mut transient_bits: Vec<u64> = Vec::new();
+    for j in 0..k {
+        section(
+            "transient lane voltages",
+            &mut transient_bits,
+            transient.lane_voltages(j).unwrap(),
+        );
+        section(
+            "transient lane pillar currents",
+            &mut transient_bits,
+            transient.lane_pillar_currents(j).unwrap(),
         );
     }
+    assert_eq!(
+        transient_bits, lane_bits,
+        "transient steps must be bitwise identical to the equivalent batch"
+    );
 
-    // 4. And a single solve again after all of that — arenas are shared,
-    // results must not bleed between request shapes.
-    let view = session.solve(&LoadCase::new(&stack)).unwrap();
-    assert_eq!(view.voltages(), scratch.voltages());
+    // 4. Batched lanes are bitwise identical to the corresponding single
+    // solves on the same session (the lockstep-freeze contract).
+    let mut lane_stack = stack.clone();
+    lane_stack.set_loads(loads[..nn].to_vec()).unwrap();
+    let solo = session.solve(&LoadCase::new(&lane_stack)).unwrap();
+    let solo_bits: Vec<u64> = solo.voltages().iter().map(|v| v.to_bits()).collect();
+    assert_eq!(
+        solo_bits,
+        lane_bits[..nn],
+        "batch lane 0 must be bitwise identical to the single solve"
+    );
+
+    if std::env::var_os("VOLTPROP_BLESS").is_some() {
+        let mut out = String::with_capacity(blob.len() * 17 + 64);
+        out.push_str("# session_pinned fixture: f64 bit patterns, one per line.\n");
+        out.push_str("# Regenerate: VOLTPROP_BLESS=1 cargo test --test session pinned_fixture\n");
+        for bits in &blob {
+            writeln!(out, "{bits:016x}").unwrap();
+        }
+        std::fs::write(FIXTURE_PATH, out).unwrap();
+        eprintln!("blessed {} values into {FIXTURE_PATH}", blob.len());
+        return;
+    }
+
+    let fixture = std::fs::read_to_string(FIXTURE_PATH)
+        .expect("fixture missing — run with VOLTPROP_BLESS=1 to generate");
+    let expected: Vec<u64> = fixture
+        .lines()
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| u64::from_str_radix(l, 16).expect("malformed fixture line"))
+        .collect();
+    assert_eq!(
+        expected.len(),
+        blob.len(),
+        "fixture length drifted — re-bless deliberately if intended"
+    );
+    let mismatches = expected.iter().zip(&blob).filter(|(a, b)| a != b).count();
+    assert_eq!(
+        mismatches,
+        0,
+        "{mismatches}/{} pinned values drifted bitwise — re-bless deliberately if intended",
+        blob.len()
+    );
 }
 
 #[test]
@@ -266,14 +324,113 @@ fn rb3d_backend_routes_through_the_same_session() {
 }
 
 #[test]
-fn pcg_backend_is_declared_but_pending() {
+fn pcg_backend_routes_through_the_same_session() {
+    let stack = stack();
+    let mut session = Session::build(&stack, VpConfig::default()).unwrap();
+    let pcg_params = SolveParams::new()
+        .inner_tolerance(1e-8)
+        .max_inner_sweeps(50_000);
+
+    // Single solve: agrees with the standalone Pcg solver (same IC(0)
+    // preconditioner, same tolerance) and with the direct reference.
+    let standalone = Pcg::default().solve_stack(&stack, NetKind::Power).unwrap();
+    let routed = session
+        .solve(
+            &LoadCase::new(&stack)
+                .backend(Backend::Pcg)
+                .params(pcg_params),
+        )
+        .unwrap();
+    assert!(routed.converged());
+    assert!(routed.pillar_currents().is_empty(), "pcg computes none");
+    let drift = residual::max_abs_error(&standalone.voltages, routed.voltages());
+    assert!(drift < 1e-9, "session pcg vs standalone drift {drift}");
+    let exact = DirectCholesky::new()
+        .solve_stack(&stack, NetKind::Power)
+        .unwrap();
+    let err = residual::max_abs_error(&exact.voltages, routed.voltages());
+    assert!(err < 5e-4, "pcg vs direct {err}");
+    // The report carries CG iterations and the relative residual.
+    assert!(routed.report().outer_iterations > 0);
+    assert!(routed.report().pad_mismatch <= 1e-8);
+
+    // Ground net through the same prefactored engine (shared matrix).
+    let ground = session
+        .solve(
+            &LoadCase::new(&stack)
+                .net(NetKind::Ground)
+                .backend(Backend::Pcg)
+                .params(pcg_params),
+        )
+        .unwrap();
+    let exact_gnd = DirectCholesky::new()
+        .solve_stack(&stack, NetKind::Ground)
+        .unwrap();
+    let gnd_err = residual::max_abs_error(&exact_gnd.voltages, ground.voltages());
+    assert!(gnd_err < 5e-4, "pcg ground vs direct {gnd_err}");
+
+    // Batched Pcg: every lane matches a standalone solve on its loads.
+    let loads = load_sweep(&stack, 3);
+    let batch = session
+        .solve_batch(
+            &LoadSet::new(&stack, &loads)
+                .backend(Backend::Pcg)
+                .params(pcg_params),
+        )
+        .unwrap();
+    assert_eq!(batch.lanes(), 3);
+    assert!(batch.converged());
+    let nn = stack.num_nodes();
+    for j in 0..3 {
+        let mut lane_stack = stack.clone();
+        lane_stack
+            .set_loads(loads[j * nn..(j + 1) * nn].to_vec())
+            .unwrap();
+        let solo = Pcg::default()
+            .solve_stack(&lane_stack, NetKind::Power)
+            .unwrap();
+        let lane_drift = residual::max_abs_error(&solo.voltages, batch.lane_voltages(j).unwrap());
+        assert!(lane_drift < 1e-9, "lane {j} drift {lane_drift}");
+    }
+
+    // Transient routes through the same per-lane engine path.
+    let transient = session
+        .transient(
+            &LoadCase::new(&stack)
+                .backend(Backend::Pcg)
+                .params(pcg_params),
+            2,
+            |s, lane| lane.copy_from_slice(&loads[s * nn..(s + 1) * nn]),
+        )
+        .unwrap();
+    assert_eq!(transient.lanes(), 2);
+    assert!(transient.converged());
+
+    // A starved iteration budget freezes the lane with its true residual
+    // instead of failing the batch (mirroring the other backends).
+    let starved = session
+        .solve_batch(
+            &LoadSet::new(&stack, &loads).backend(Backend::Pcg).params(
+                SolveParams::new()
+                    .inner_tolerance(1e-14)
+                    .max_inner_sweeps(1),
+            ),
+        )
+        .unwrap();
+    for j in 0..starved.lanes() {
+        let rep = starved.lane_report(j).unwrap();
+        assert!(!rep.converged, "lane {j}");
+        assert!(rep.pad_mismatch > 1e-14, "lane {j}: {}", rep.pad_mismatch);
+    }
+}
+
+#[test]
+fn transient_rejects_zero_steps_loads() {
     let stack = stack();
     let mut session = Session::build(&stack, VpConfig::default()).unwrap();
     assert!(matches!(
-        session.solve(&LoadCase::new(&stack).backend(Backend::Pcg)),
-        Err(SessionError::BackendUnavailable {
-            backend: Backend::Pcg
-        })
+        session.transient(&LoadCase::new(&stack), 0, |_, _| {}),
+        Err(SessionError::Solver(_))
     ));
 }
 
@@ -297,34 +454,6 @@ fn lane_accessors_are_nonpanicking() {
 }
 
 #[test]
-fn deprecated_solve_keeps_the_legacy_scratch_usable() {
-    // Regression: `VpSolver::solve` used to `mem::take` the voltages out
-    // of its scratch; the shim must leave any scratch it touches valid.
-    let stack = stack();
-    let solver = VpSolver::default();
-    let sol = solver.solve(&stack, NetKind::Power).unwrap();
-    assert_eq!(sol.voltages.len(), stack.num_nodes());
-    // And a scratch reused across solve_with calls after a geometry
-    // rebuild stays consistent (the historical failure shape).
-    let mut scratch = VpScratch::new(&stack, &solver.config).unwrap();
-    solver
-        .solve_with(&stack, NetKind::Power, &mut scratch)
-        .unwrap();
-    assert_eq!(scratch.voltages().len(), stack.num_nodes());
-    assert_eq!(scratch.voltages(), &sol.voltages[..]);
-}
-
-#[test]
-fn transient_rejects_zero_steps_loads() {
-    let stack = stack();
-    let mut session = Session::build(&stack, VpConfig::default()).unwrap();
-    assert!(matches!(
-        session.transient(&LoadCase::new(&stack), 0, |_, _| {}),
-        Err(SessionError::Solver(_))
-    ));
-}
-
-#[test]
 fn malformed_load_sets_are_rejected() {
     let stack = stack();
     let nn = stack.num_nodes();
@@ -335,7 +464,7 @@ fn malformed_load_sets_are_rejected() {
         vec![-1e-4; nn],
         vec![f64::NAN; nn],
     ] {
-        for backend in [Backend::VoltProp, Backend::Rb3d] {
+        for backend in [Backend::VoltProp, Backend::Rb3d, Backend::Pcg] {
             assert!(
                 matches!(
                     session.solve_batch(&LoadSet::new(&stack, &bad).backend(backend)),
