@@ -29,7 +29,13 @@
 //! * the `Backend::Pcg` reference route: warm single and batch-8 PCG
 //!   requests on the session's prefactored engine, **asserting zero
 //!   allocator calls** and sub-0.5 mV agreement with VoltProp, recording
-//!   the method's speedup over the general sparse reference.
+//!   the method's speedup over the general sparse reference;
+//! * the vectorized kernels: per-kernel effective GB/s of the batched
+//!   f64 solve sweep, the red-black sweep at parallelism 2, and the PCG
+//!   axpy/dot core, plus the f64-vs-mixed batched-sweep throughput
+//!   ratio and per-RHS solve latency — **asserting zero allocator
+//!   calls** on the warm mixed paths and refined-f32 tolerance parity
+//!   (max |ΔV| vs the f64 solve ≤ 1e-7 at parallelism 2).
 //!
 //! Each invocation appends one JSON entry to `BENCH_rowbased.json` at the
 //! repository root (see [`voltprop_bench::trajectory`]), building the
@@ -52,6 +58,7 @@ use voltprop_core::{Backend, LoadCase, LoadSet, Session, SolveParams, VpConfig};
 use voltprop_grid::Stack3d;
 use voltprop_solvers::rowbased::{RbWorkspace, RowBased, TierProblem};
 use voltprop_solvers::{LaneReport, ParDispatch, SweepSchedule, TierEngine};
+use voltprop_sparse::vec_ops;
 
 #[global_allocator]
 static ALLOC: CountingAllocator = CountingAllocator;
@@ -287,26 +294,37 @@ fn batch_block(w: usize, h: usize, tiers: usize, batch_sizes: &[usize]) -> Strin
             .expect("sequential solve converges");
         seq_voltages.push(view.voltages().to_vec());
     }
-    let start = Instant::now();
-    for lane_stack in &lane_stacks {
-        session
-            .solve(&LoadCase::new(lane_stack))
-            .expect("sequential solve converges");
+    // Two timed passes, keeping the faster one — same scheduler-drift
+    // guard as the pool block (this host oversubscribes its one core).
+    let mut seq_ms_per_rhs = f64::INFINITY;
+    for _ in 0..2 {
+        let start = Instant::now();
+        for lane_stack in &lane_stacks {
+            session
+                .solve(&LoadCase::new(lane_stack))
+                .expect("sequential solve converges");
+        }
+        let pass = start.elapsed().as_secs_f64() * 1e3 / kmax as f64;
+        seq_ms_per_rhs = seq_ms_per_rhs.min(pass);
     }
-    let seq_ms_per_rhs = start.elapsed().as_secs_f64() * 1e3 / kmax as f64;
 
     let mut batch_lines = Vec::new();
     let mut per_rhs_by_size = Vec::new();
     let mut worst_dv = 0.0f64;
     for &k in batch_sizes {
         let set = LoadSet::new(&stack, &loads[..k * nn]);
-        // Warm call sizes the arena; the second call is measured.
+        // Warm call sizes the arena; then three timed calls, keeping the
+        // fastest (every timed call must stay allocation-free).
         session.solve_batch(&set).expect("warm batch solve");
         let calls_before = alloc::alloc_calls();
         let bytes_before = alloc::reset_peak();
-        let start = Instant::now();
-        let view = session.solve_batch(&set).expect("timed batch solve");
-        let ms = start.elapsed().as_secs_f64() * 1e3;
+        let mut ms = f64::INFINITY;
+        for _ in 0..3 {
+            let start = Instant::now();
+            session.solve_batch(&set).expect("timed batch solve");
+            ms = ms.min(start.elapsed().as_secs_f64() * 1e3);
+        }
+        let view = session.solve_batch(&set).expect("checked batch solve");
         let alloc_calls = alloc::alloc_calls() - calls_before;
         let alloc_peak_bytes = alloc::peak_bytes().saturating_sub(bytes_before);
         assert!(view.converged(), "batch {k}: all lanes must converge");
@@ -693,6 +711,199 @@ fn pcg_block(w: usize, h: usize, tiers: usize, k: usize) -> String {
     )
 }
 
+/// The vectorized-kernel bandwidth experiment: effective GB/s of the
+/// hot kernels this workspace spends its time in — the batched f64
+/// solve sweep, the red-black sweep at parallelism 2, and the PCG
+/// axpy/dot core — plus the f64-vs-mixed comparison: per-sweep latency
+/// of the batched sweep kernel in both precisions (fixed budget, the
+/// throughput-ratio acceptance number) and warm per-RHS latency of a
+/// converging single solve at parallelism 2 in both precisions, with
+/// the refined-f32 solution asserted to agree with the f64 one
+/// (tolerance parity) and **zero allocator calls** asserted on every
+/// warm path including the mixed ones.
+///
+/// Effective bandwidth uses a fixed per-sweep traffic model over the
+/// free (unpinned) nodes: per lane 24 B (`v` read + write + injection
+/// read) plus 32 B of lane-independent prefactored coefficients; axpy
+/// moves 24 B and dot 16 B per element. The model undercounts cache
+/// refills, so the numbers are comparable across runs rather than
+/// absolute — that is all a trajectory needs.
+fn kernels_block(edge: usize, k: usize, sweeps: usize, vec_len: usize) -> String {
+    eprintln!("kernels {edge}x{edge} batch {k} ({sweeps} sweeps, vec {vec_len})...");
+    let fixture = TierFixture::new(edge);
+    let n = edge * edge;
+    let n_free = fixture.fixed.iter().filter(|&&f| !f).count();
+
+    // Batch arrays: every lane carries a scaled copy of the fixture load.
+    let mut injection = vec![0.0; n * k];
+    let mut v0 = vec![0.0; n * k];
+    for i in 0..n {
+        for j in 0..k {
+            injection[i * k + j] = (0.75 + 0.5 * j as f64 / k as f64) * fixture.injection[i];
+            v0[i * k + j] = fixture.v0[i];
+        }
+    }
+    let batch_sweep_bytes = (24 * k + 32) as f64 * n_free as f64;
+
+    // Fixed-budget batched sweeps, f64 and mixed (tolerance 0 never
+    // converges, so the f64 path runs exactly `batch_sweeps` sweeps and
+    // the mixed path refines until the same total-f32-sweep budget is
+    // spent). The budget is 4× the single-RHS one so the mixed path's
+    // per-round f64 residual evaluation is amortized the way a real
+    // refinement round amortizes it (the stagnation cut ends rounds
+    // after dozens of sweeps on grids this size, not a handful). One
+    // warm call per precision sizes the arenas; then three timed passes
+    // per precision, interleaved f64/mixed and keeping the fastest of
+    // each — the same scheduler-drift guard as the pool block, applied
+    // to both sides of the throughput ratio. No timed pass may allocate.
+    let batch_sweeps = 4 * sweeps;
+    let mut engine = fixture.engine(SweepSchedule::Sequential);
+    let mut lanes = vec![LaneReport::default(); k];
+    let mut time_batch = |mixed: bool| -> (f64, usize) {
+        let mut v = v0.clone();
+        let calls_before = alloc::alloc_calls();
+        let start = Instant::now();
+        if mixed {
+            engine
+                .solve_batch_masked_mixed(
+                    &injection,
+                    &mut v,
+                    0.0,
+                    batch_sweeps,
+                    1.0,
+                    None,
+                    &mut lanes,
+                )
+                .expect("mixed batch sweeps");
+        } else {
+            engine
+                .solve_batch_masked(&injection, &mut v, 0.0, batch_sweeps, 1.0, None, &mut lanes)
+                .expect("f64 batch sweeps");
+        }
+        let ns = start.elapsed().as_nanos() as f64 / batch_sweeps as f64;
+        (ns, alloc::alloc_calls() - calls_before)
+    };
+    time_batch(false); // warm: sizes the f64 arenas, faults pages
+    time_batch(true); // warm: sizes the f32 shadow scratch
+    let (mut f64_ns_per_sweep, mut mixed_ns_per_sweep) = (f64::INFINITY, f64::INFINITY);
+    let (mut f64_allocs, mut mixed_allocs) = (0usize, 0usize);
+    for _ in 0..3 {
+        let (ns, allocs) = time_batch(false);
+        f64_ns_per_sweep = f64_ns_per_sweep.min(ns);
+        f64_allocs += allocs;
+        let (ns, allocs) = time_batch(true);
+        mixed_ns_per_sweep = mixed_ns_per_sweep.min(ns);
+        mixed_allocs += allocs;
+    }
+    assert_eq!(
+        f64_allocs, 0,
+        "warm f64 batch sweeps must make zero allocator calls"
+    );
+    assert_eq!(
+        mixed_allocs, 0,
+        "warm mixed batch sweeps must make zero allocator calls"
+    );
+
+    // Red-black sweep at parallelism 2 (single RHS).
+    let rb2_ns = time_engine_sweeps(&fixture, SweepSchedule::RedBlack { threads: 2 }, sweeps);
+    let rb_sweep_bytes = (24 + 32) as f64 * n_free as f64;
+
+    // PCG vector core: axpy and dot over `vec_len` elements. The axpy
+    // alpha alternates sign so `y` stays bounded across repetitions; the
+    // dot results are accumulated so the loop cannot be elided.
+    let reps = 200usize;
+    let x: Vec<f64> = (0..vec_len).map(|i| 1.0 + (i % 7) as f64 * 0.125).collect();
+    let mut y = vec![0.5; vec_len];
+    vec_ops::axpy(1e-3, &x, &mut y); // warm
+    let calls_before = alloc::alloc_calls();
+    let start = Instant::now();
+    for r in 0..reps {
+        let alpha = if r % 2 == 0 { 1e-3 } else { -1e-3 };
+        vec_ops::axpy(alpha, &x, &mut y);
+    }
+    let axpy_ns = start.elapsed().as_nanos() as f64 / reps as f64;
+    let mut acc = vec_ops::dot(&x, &y); // warm
+    let start = Instant::now();
+    for _ in 0..reps {
+        acc += vec_ops::dot(&x, &y);
+    }
+    let dot_ns = start.elapsed().as_nanos() as f64 / reps as f64;
+    let vec_allocs = alloc::alloc_calls() - calls_before;
+    assert_eq!(vec_allocs, 0, "axpy/dot must not allocate");
+    assert!(acc.is_finite(), "dot accumulator must stay finite");
+
+    // Tolerance parity at parallelism 2: a converging single-RHS solve
+    // in both precisions from one engine must land on (numerically) the
+    // same solution — the refined-f32 path meets the f64 tolerance
+    // contract — and the warm mixed solve must not allocate.
+    let tol = 1e-9;
+    let mut rb_engine = fixture.engine(SweepSchedule::RedBlack { threads: 2 });
+    let time_solve = |engine: &mut TierEngine, mixed: bool, v_out: &mut Vec<f64>| -> (f64, usize) {
+        let run = |engine: &mut TierEngine, v: &mut [f64]| {
+            if mixed {
+                engine
+                    .solve_mixed(&fixture.injection, v, tol, 200_000)
+                    .expect("mixed solve converges");
+            } else {
+                engine
+                    .solve(&fixture.injection, v, tol, 200_000)
+                    .expect("f64 solve converges");
+            }
+        };
+        let mut v = fixture.v0.clone();
+        run(engine, &mut v); // warm
+        let mut v = fixture.v0.clone();
+        let calls_before = alloc::alloc_calls();
+        let start = Instant::now();
+        run(engine, &mut v);
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        *v_out = v;
+        (ms, alloc::alloc_calls() - calls_before)
+    };
+    let mut v_f64 = Vec::new();
+    let (solve_f64_ms, _) = time_solve(&mut rb_engine, false, &mut v_f64);
+    let mut v_mixed = Vec::new();
+    let (solve_mixed_ms, mixed_solve_allocs) = time_solve(&mut rb_engine, true, &mut v_mixed);
+    assert_eq!(
+        mixed_solve_allocs, 0,
+        "warm mixed solve must make zero allocator calls"
+    );
+    let parity_dv = max_abs_diff(&v_f64, &v_mixed);
+    assert!(
+        parity_dv <= 1e-7,
+        "mixed solve deviates {parity_dv} V from the f64 solve at tolerance {tol}"
+    );
+
+    format!(
+        "{{\n    \"grid\": \"{edge}x{edge}\",\n    \"batch\": {k},\n    \
+         \"sweeps_timed\": {sweeps},\n    \"batch_sweeps_timed\": {batch_sweeps},\n    \
+         \"free_nodes\": {n_free},\n    \
+         \"batch_sweep_f64_ns_per_sweep\": {},\n    \
+         \"batch_sweep_f64_gbps\": {},\n    \
+         \"batch_sweep_mixed_ns_per_sweep\": {},\n    \
+         \"mixed_over_f64_sweep_throughput\": {},\n    \
+         \"redblack2_ns_per_sweep\": {},\n    \"redblack2_gbps\": {},\n    \
+         \"vec_len\": {vec_len},\n    \"axpy_gbps\": {},\n    \"dot_gbps\": {},\n    \
+         \"solve_f64_warm_ms_parallelism2\": {},\n    \
+         \"solve_mixed_warm_ms_parallelism2\": {},\n    \
+         \"max_abs_dv_mixed_vs_f64\": {},\n    \
+         \"warm_alloc_calls_f64_batch\": {f64_allocs},\n    \
+         \"warm_alloc_calls_mixed_batch\": {mixed_allocs},\n    \
+         \"warm_alloc_calls_mixed_solve\": {mixed_solve_allocs}\n  }}",
+        json_f64(f64_ns_per_sweep),
+        json_f64(batch_sweep_bytes / f64_ns_per_sweep),
+        json_f64(mixed_ns_per_sweep),
+        json_f64(f64_ns_per_sweep / mixed_ns_per_sweep),
+        json_f64(rb2_ns),
+        json_f64(rb_sweep_bytes / rb2_ns),
+        json_f64(24.0 * vec_len as f64 / axpy_ns),
+        json_f64(16.0 * vec_len as f64 / dot_ns),
+        json_f64(solve_f64_ms),
+        json_f64(solve_mixed_ms),
+        json_f64(parity_dv),
+    )
+}
+
 fn repo_root() -> PathBuf {
     // crates/bench → workspace root.
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -807,6 +1018,17 @@ fn main() {
         vec![pcg_block(128, 128, 3, 8)]
     };
 
+    // The vectorized-kernel bandwidth trajectory: effective GB/s of the
+    // batched sweep / red-black sweep / axpy-dot kernels plus the
+    // f64-vs-mixed precision comparison. The quick run is the CI smoke
+    // that asserts the zero-allocation and refined-f32 tolerance-parity
+    // contracts at parallelism 2.
+    let kernel_blocks = if quick {
+        vec![kernels_block(64, 16, 40, 1 << 16)]
+    } else {
+        vec![kernels_block(256, 64, 24, 1 << 20)]
+    };
+
     let unix_time = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
@@ -818,7 +1040,7 @@ fn main() {
          \"row_sweeps\": [\n  {}\n  ],\n  \"vp_solver\": [\n  {}\n  ],\n  \
          \"vp_batch\": [\n  {}\n  ],\n  \"pool_latency\": [\n  {}\n  ],\n  \
          \"batch_compaction\": [\n  {}\n  ],\n  \"session\": [\n  {}\n  ],\n  \
-         \"pcg\": [\n  {}\n  ]\n}}",
+         \"pcg\": [\n  {}\n  ],\n  \"kernels\": [\n  {}\n  ]\n}}",
         row_blocks.join(",\n  "),
         vp_blocks.join(",\n  "),
         batch_blocks.join(",\n  "),
@@ -826,6 +1048,7 @@ fn main() {
         compaction_blocks.join(",\n  "),
         session_blocks.join(",\n  "),
         pcg_blocks.join(",\n  "),
+        kernel_blocks.join(",\n  "),
     );
     if let Err(e) = append_run(&out, &entry) {
         eprintln!("error: could not append to {}: {e}", out.display());

@@ -47,7 +47,14 @@
 //!   VoltProp route (`voltprop_speedup_over_pcg_*` — the method's
 //!   committed speedup over the general sparse reference),
 //!   `pcg_iterations`, `max_abs_dv_pcg_vs_voltprop` (asserted
-//!   < 0.5 mV), and `pcg_*_warm_alloc_calls` (asserted 0).
+//!   < 0.5 mV), and `pcg_*_warm_alloc_calls` (asserted 0);
+//! * `kernels` (PR 6) — per-kernel effective GB/s of the vectorized
+//!   hot loops (batched f64 solve sweep, red-black sweep at
+//!   parallelism 2, PCG axpy/dot) under a fixed traffic model, the
+//!   f64-vs-mixed batched-sweep throughput ratio
+//!   (`mixed_over_f64_sweep_throughput`), warm f64/mixed per-RHS solve
+//!   latencies, `max_abs_dv_mixed_vs_f64` (asserted ≤ 1e-7), and
+//!   `warm_alloc_calls_*` on the mixed paths (asserted 0).
 
 use std::fs;
 use std::io;

@@ -127,7 +127,7 @@ mod solver;
 mod tier_cache;
 mod vda;
 
-pub use config::{BuildParams, SolveParams, VpConfig};
+pub use config::{BuildParams, Precision, SolveParams, VpConfig};
 pub use report::VpReport;
 pub use session::{Backend, BuildError, LoadCase, LoadSet, Session, SessionError, SolutionView};
 pub use solver::VpSolver;

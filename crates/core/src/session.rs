@@ -658,13 +658,24 @@ impl Session {
             }
             Backend::Pcg => {
                 let engine = pcg_engine(&mut self.pcg)?;
-                let rep = engine.solve(
-                    case.stack.loads(),
-                    case.net,
-                    params.inner_tolerance,
-                    params.max_inner_sweeps,
-                    &mut self.pcg_voltages[..self.nn],
-                )?;
+                let mixed = params.precision.resolve() == crate::Precision::MixedF32;
+                let rep = if mixed {
+                    engine.solve_mixed(
+                        case.stack.loads(),
+                        case.net,
+                        params.inner_tolerance,
+                        params.max_inner_sweeps,
+                        &mut self.pcg_voltages[..self.nn],
+                    )?
+                } else {
+                    engine.solve(
+                        case.stack.loads(),
+                        case.net,
+                        params.inner_tolerance,
+                        params.max_inner_sweeps,
+                        &mut self.pcg_voltages[..self.nn],
+                    )?
+                };
                 self.reports.clear();
                 self.reports.push(pcg_report(&rep));
                 Ok(SolutionView {
@@ -805,32 +816,46 @@ impl Session {
             }
             Backend::Pcg => {
                 let engine = pcg_engine(&mut self.pcg)?;
+                let mixed = params.precision.resolve() == crate::Precision::MixedF32;
                 run_engine_batch(
                     self.nn,
                     loads,
                     &mut self.pcg_voltages,
                     &mut self.reports,
-                    |lane_loads, v| match engine.solve(
-                        lane_loads,
-                        net,
-                        params.inner_tolerance,
-                        params.max_inner_sweeps,
-                        v,
-                    ) {
-                        Ok(rep) => Ok(pcg_report(&rep)),
-                        Err(SolverError::DidNotConverge {
-                            iterations,
-                            residual,
-                            ..
-                        }) => Ok(VpReport {
-                            outer_iterations: iterations,
-                            inner_sweeps: iterations,
-                            pad_mismatch: residual,
-                            final_beta: 0.0,
-                            converged: false,
-                            workspace_bytes: engine.memory_bytes(),
-                        }),
-                        Err(e) => Err(e),
+                    |lane_loads, v| {
+                        let attempt = if mixed {
+                            engine.solve_mixed(
+                                lane_loads,
+                                net,
+                                params.inner_tolerance,
+                                params.max_inner_sweeps,
+                                v,
+                            )
+                        } else {
+                            engine.solve(
+                                lane_loads,
+                                net,
+                                params.inner_tolerance,
+                                params.max_inner_sweeps,
+                                v,
+                            )
+                        };
+                        match attempt {
+                            Ok(rep) => Ok(pcg_report(&rep)),
+                            Err(SolverError::DidNotConverge {
+                                iterations,
+                                residual,
+                                ..
+                            }) => Ok(VpReport {
+                                outer_iterations: iterations,
+                                inner_sweeps: iterations,
+                                pad_mismatch: residual,
+                                final_beta: 0.0,
+                                converged: false,
+                                workspace_bytes: engine.memory_bytes(),
+                            }),
+                            Err(e) => Err(e),
+                        }
                     },
                 )
             }

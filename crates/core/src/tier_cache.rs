@@ -120,6 +120,47 @@ impl CachedTier {
             .solve_batch_masked(injection, v, tolerance, max_sweeps, omega, mask, lanes)
     }
 
+    /// Mixed-precision [`CachedTier::solve_with_omega`]: f32 correction
+    /// sweeps with f64 residual accumulation and iterative refinement.
+    /// See [`TierEngine::solve_mixed_with_omega`].
+    ///
+    /// # Errors
+    ///
+    /// See [`TierEngine::solve_mixed_with_omega`].
+    pub(crate) fn solve_mixed_with_omega(
+        &mut self,
+        injection: &[f64],
+        v: &mut [f64],
+        tolerance: f64,
+        max_sweeps: usize,
+        omega: f64,
+    ) -> Result<SolveReport, SolverError> {
+        self.engine
+            .solve_mixed_with_omega(injection, v, tolerance, max_sweeps, omega)
+    }
+
+    /// Mixed-precision [`CachedTier::solve_batch_masked`]. See
+    /// [`TierEngine::solve_batch_masked_mixed`].
+    ///
+    /// # Errors
+    ///
+    /// [`SolverError::Unsupported`] for malformed batch arrays; per-lane
+    /// non-convergence is reported in `lanes`, not as an error.
+    #[allow(clippy::too_many_arguments)] // mirrors the engine entry point
+    pub(crate) fn solve_batch_masked_mixed(
+        &mut self,
+        injection: &[f64],
+        v: &mut [f64],
+        tolerance: f64,
+        max_sweeps: usize,
+        omega: f64,
+        mask: Option<&[bool]>,
+        lanes: &mut [LaneReport],
+    ) -> Result<SolveReport, SolverError> {
+        self.engine
+            .solve_batch_masked_mixed(injection, v, tolerance, max_sweeps, omega, mask, lanes)
+    }
+
     /// Estimated heap footprint in bytes.
     pub(crate) fn memory_bytes(&self) -> usize {
         self.engine.memory_bytes()

@@ -52,10 +52,10 @@
 //! (converged, or masked out by the caller), each sweep picks a kernel
 //! from the active count `m` out of `k` lanes:
 //!
-//! * `4m > 3k` — the **full** unit-stride kernel; the arithmetic waste on
+//! * `8m > 3k` — the **full** unit-stride kernel; the arithmetic waste on
 //!   frozen lanes is cheaper than gather/scatter.
-//! * `m ≤ 2` — the **scalar** per-lane kernel through a strided lane
-//!   view; at one or two stragglers the batch costs what the equivalent
+//! * `m ≤ 3` — the **scalar** per-lane kernel through a strided lane
+//!   view; at a few stragglers the batch costs what the equivalent
 //!   standalone solves cost.
 //! * otherwise — the **compacted** kernel: gather the active lanes'
 //!   right-hand sides into an `m`-wide row, substitute, scatter the
@@ -66,7 +66,42 @@
 //! lanes are never touched, and the kernel choice — a pure function of
 //! `(m, k)` — cannot perturb thread-count determinism.
 //! [`TierEngine::set_lane_compaction`] disables the heuristic (the
-//! always-full PR 2 behaviour) for benchmarking.
+//! always-full PR 2 behaviour) for benchmarking. The thresholds were
+//! re-measured against the blocked/FMA kernels with the
+//! `measure_batch_kernel_crossover` harness (k = 64, 64×64 tier): the
+//! full kernel sweeps at a flat ~0.3 ms regardless of `m` while the
+//! compacted kernel's gather/scatter scales at ~11 µs per active lane,
+//! so the full kernel now wins from ~42 % occupancy down from the
+//! scalar-tuned 75 %; the strided scalar fallback sped up the least and
+//! carries the tie out to three stragglers.
+//!
+//! # Blocked lane kernels
+//!
+//! Every batched inner loop is a **fixed-width blocked loop over the
+//! lanes** built from fused multiply-adds: the RHS-assembly, forward-
+//! and backward-substitution loops all process `[f64; 8]` (f32: 16)
+//! unit-stride chunks with `mul_add`, which the compiler turns into FMA
+//! vector code on any target with FMA — no nightly intrinsics. Because
+//! the remainder lanes run the *same* per-element fused operation, lane
+//! blocking is numerically invisible: batch-of-1 equals solo bitwise at
+//! every lane count. Wide batches over long segments are additionally
+//! traversed in cache-sized **lane blocks** (`lane_block_width`) so
+//! the substitution scratch of a 512-wide row pass stays L2-resident
+//! instead of streaming the whole batch through cache per row; lanes
+//! are independent, so this is invisible too. The scalar kernel uses
+//! the same fused forms, preserving the batch ≡ scalar contract.
+//!
+//! # Mixed precision
+//!
+//! [`TierEngine::solve_mixed`] / [`TierEngine::solve_batch_masked_mixed`]
+//! run the sweeps in f32 — halving memory traffic on this bandwidth-
+//! bound stencil — wrapped in classical iterative refinement: each round
+//! evaluates the exact f64 residual, solves the correction system in f32
+//! through a prefactored [`FactoredSegmentsF32`] mirror built once at
+//! construction, and applies the correction in f64. Refined results meet
+//! the same tolerance contract as the f64 path (gated in the
+//! cross-solver agreement suite); an exhausted sweep budget reports
+//! `converged = false` rather than a silently loose answer.
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
@@ -75,7 +110,7 @@ use std::sync::{Arc, Barrier, RwLock};
 use crate::pool::{PoolJob, WorkerPool, WorkerScratch};
 use crate::rowbased::TierProblem;
 use crate::{LaneReport, SolveReport, SolverError};
-use voltprop_sparse::tridiag::FactoredSegments;
+use voltprop_sparse::tridiag::{FactoredSegments, FactoredSegmentsF32};
 
 /// How a [`TierEngine`] orders its row solves within one sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -149,7 +184,39 @@ const BUDGET: usize = 2;
 
 /// At or below this many active lanes a batched sweep falls back to the
 /// scalar per-lane kernel (see the module docs for the full crossover).
-const SCALAR_LANE_CROSSOVER: usize = 2;
+/// Measured against the blocked/FMA kernels: the compacted kernel's
+/// gather/scatter overhead only amortizes from four active lanes up.
+const SCALAR_LANE_CROSSOVER: usize = 3;
+
+/// Cache budget for one segment's substitution scratch in the full
+/// batched kernel. Wide batches over long rows are traversed in lane
+/// blocks sized so the forward-intermediate scratch of a whole segment
+/// pass stays L2-resident (a 512-wide row × 64 lanes of `f64` scratch
+/// is 256 KiB — it would thrash a typical 256 KiB–1 MiB L2 together
+/// with the voltage and injection streams). Lanes are independent, so
+/// the block boundaries are numerically invisible.
+const LANE_BLOCK_CACHE_BYTES: usize = 128 * 1024;
+
+/// Lane-block granularity of the cache-blocked traversal (one AVX-512
+/// register of `f64`; blocks are multiples of this).
+const MIN_LANE_BLOCK: usize = 8;
+
+/// Lane-block width of the cache-blocked full batched kernel: the
+/// widest multiple of [`MIN_LANE_BLOCK`] whose `len`-row scratch fits
+/// [`LANE_BLOCK_CACHE_BYTES`], clamped to `[MIN_LANE_BLOCK, k]`. A pure
+/// function of `(len, k)`, so every thread blocks identically.
+fn lane_block_width(len: usize, k: usize, elem_bytes: usize) -> usize {
+    let fit = LANE_BLOCK_CACHE_BYTES / (len.max(1) * elem_bytes);
+    let blk = (fit / MIN_LANE_BLOCK) * MIN_LANE_BLOCK;
+    blk.max(MIN_LANE_BLOCK).min(k)
+}
+
+/// Relative stagnation cut-off of one mixed-precision correction solve:
+/// a lane stops sweeping its `f32` correction once the per-sweep update
+/// drops below this fraction of the round's peak update — about the
+/// point where `f32` rounding stops the iterate from improving — and
+/// hands back to the `f64` residual refinement loop.
+const MIXED_STAGNATION_REL: f32 = 1e-5;
 
 /// The batched sweep kernel selected for one sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -166,7 +233,7 @@ enum BatchKernel {
 /// The compaction crossover: a pure function of the active count, so
 /// every worker thread (and every thread count) picks the same kernel.
 fn choose_batch_kernel(active: usize, lanes: usize, compaction: bool) -> BatchKernel {
-    if !compaction || 4 * active > 3 * lanes {
+    if !compaction || 8 * active > 3 * lanes {
         BatchKernel::Full
     } else if active <= SCALAR_LANE_CROSSOVER {
         BatchKernel::Scalar
@@ -195,6 +262,14 @@ struct Topo {
     red_chunks: Vec<Range<usize>>,
     black_chunks: Vec<Range<usize>>,
     factors: FactoredSegments,
+    /// `f32` mirror of `factors`, built once at construction for the
+    /// mixed-precision sweep path.
+    factors32: FactoredSegmentsF32,
+    /// Per-node matrix diagonal (0 at pinned nodes). The sweeps never
+    /// need it — it is baked into `factors` — but the mixed-precision
+    /// path evaluates true `f64` residuals `r = b - A v` between its
+    /// `f32` correction solves, which needs the diagonal explicitly.
+    diag: Vec<f64>,
 }
 
 impl Topo {
@@ -208,6 +283,8 @@ impl Topo {
             + (self.red_idx.len() + self.black_idx.len()) * size_of::<u32>()
             + (self.red_chunks.len() + self.black_chunks.len()) * size_of::<Range<usize>>()
             + self.factors.memory_bytes()
+            + self.factors32.memory_bytes()
+            + self.diag.capacity() * size_of::<f64>()
             + self.fixed.len()
     }
 }
@@ -541,6 +618,75 @@ impl BatchState {
     }
 }
 
+/// Lane buffers of the mixed-precision (`f32` sweeps + `f64` residual
+/// refinement) solve path. The path works entirely in **residual form**
+/// — every round sweeps an `f32` *correction* image against an `f32`
+/// copy of the true `f64` residual, so no `f32` copy of the voltages or
+/// right-hand sides is ever needed. Grow-only: buffers are sized to the
+/// largest `(n, lane count)` the engine has served, so alternating
+/// single and batched mixed solves stay allocation-free once warm.
+#[derive(Debug, Default)]
+struct MixedState {
+    /// `f32` correction image of the current refinement round,
+    /// node-major/lane-minor (zero at pinned nodes, so pin terms vanish
+    /// from the correction equation).
+    d32: Vec<f32>,
+    /// `f32` residual right-hand sides of the current round.
+    r32: Vec<f32>,
+    /// `f32` forward-substitution scratch, `max_segment_len * lanes`.
+    scratch32: Vec<f32>,
+    /// Per-lane max-|update| accumulators of one `f32` sweep.
+    dmax32: Vec<f32>,
+    /// Per-lane peak sweep update within the current round (for the
+    /// stagnation cut-off).
+    peak32: Vec<f32>,
+    /// Per-lane live flags across refinement rounds.
+    active: Vec<bool>,
+    /// Per-lane live flags within one round's correction solve.
+    round_active: Vec<bool>,
+    /// One node's worth of `f64` residual accumulators (`k` lanes) —
+    /// the residual is accumulated here in full precision before the
+    /// single narrowing to `f32`.
+    rrow: Vec<f64>,
+}
+
+impl MixedState {
+    /// Grows every buffer to serve `k` lanes of an `n`-node tier with
+    /// segments up to `seg_len` (never shrinks).
+    fn ensure(&mut self, n: usize, seg_len: usize, k: usize) {
+        let nk = n * k;
+        if self.d32.len() < nk {
+            self.d32.resize(nk, 0.0);
+            self.r32.resize(nk, 0.0);
+        }
+        if self.scratch32.len() < seg_len * k {
+            self.scratch32.resize(seg_len * k, 0.0);
+        }
+        if self.dmax32.len() < k {
+            self.dmax32.resize(k, 0.0);
+            self.peak32.resize(k, 0.0);
+            self.active.resize(k, false);
+            self.round_active.resize(k, false);
+        }
+        if self.rrow.len() < k {
+            self.rrow.resize(k, 0.0);
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        (self.d32.capacity()
+            + self.r32.capacity()
+            + self.scratch32.capacity()
+            + self.dmax32.capacity()
+            + self.peak32.capacity())
+            * size_of::<f32>()
+            + self.rrow.capacity() * size_of::<f64>()
+            + self.active.capacity()
+            + self.round_active.capacity()
+    }
+}
+
 /// A tier's prefactored row-sweep engine.
 ///
 /// Built once per tier, reused across every sweep and outer iteration:
@@ -600,6 +746,8 @@ pub struct TierEngine {
     /// Lazily sized parallel batch job (rebuilt when the lane count
     /// changes).
     batch_par: Option<Arc<BatchShared>>,
+    /// Lazily sized (grow-only) mixed-precision lane buffers.
+    mixed: MixedState,
 }
 
 impl TierEngine {
@@ -643,6 +791,7 @@ impl TierEngine {
 
         let mut segments = Vec::new();
         let mut factors = FactoredSegments::new();
+        let mut node_diag = vec![0.0f64; n];
         // Segment-local coefficient buffers (setup only).
         let mut lower = Vec::new();
         let mut diag = Vec::new();
@@ -679,6 +828,7 @@ impl TierEngine {
                         d += g_v;
                     }
                     diag.push(d);
+                    node_diag[row0 + gx] = d;
                     if i + 1 < len {
                         lower.push(-g_h);
                         upper.push(-g_h);
@@ -704,6 +854,7 @@ impl TierEngine {
         let black_chunks = balance_chunks(&segments, &black_idx, threads);
 
         let scratch = vec![0.0; factors.max_segment_len()];
+        let factors32 = FactoredSegmentsF32::mirror(&factors);
         let topo = Arc::new(Topo {
             width,
             height,
@@ -717,6 +868,8 @@ impl TierEngine {
             red_chunks,
             black_chunks,
             factors,
+            factors32,
+            diag: node_diag,
         });
         let par = (threads > 1).then(|| Arc::new(ParShared::new(Arc::clone(&topo))));
 
@@ -731,6 +884,7 @@ impl TierEngine {
             par,
             batch: BatchState::default(),
             batch_par: None,
+            mixed: MixedState::default(),
         })
     }
 
@@ -780,7 +934,10 @@ impl TierEngine {
 
     /// Enables or disables active-lane compaction for batched sweeps.
     /// `false` restores the always-full-width kernel; results are bitwise
-    /// identical either way.
+    /// identical either way. When enabled, the kernel crossover
+    /// (re-measured against the vectorized kernels — see the module
+    /// docs) picks the full kernel above `8m > 3k` active occupancy and
+    /// the scalar per-lane fallback at `m ≤ 3` stragglers.
     pub fn set_lane_compaction(&mut self, enabled: bool) {
         self.compaction = enabled;
     }
@@ -970,33 +1127,7 @@ impl TierEngine {
         lanes: &mut [LaneReport],
     ) -> Result<SolveReport, SolverError> {
         let k = lanes.len();
-        let n = self.topo.n();
-        if k == 0 {
-            return Err(SolverError::Unsupported {
-                what: "batched solve needs at least one lane".into(),
-            });
-        }
-        if injection.len() != n * k || v.len() != n * k {
-            return Err(SolverError::Unsupported {
-                what: format!(
-                    "batch arrays must have {n} × {k} entries (injection {}, v {})",
-                    injection.len(),
-                    v.len()
-                ),
-            });
-        }
-        if let Some(m) = mask {
-            if m.len() != k {
-                return Err(SolverError::Unsupported {
-                    what: format!("lane mask must have {k} entries (got {})", m.len()),
-                });
-            }
-        }
-        if !(omega > 0.0 && omega < 2.0) {
-            return Err(SolverError::Unsupported {
-                what: format!("SOR omega {omega} outside (0, 2)"),
-            });
-        }
+        self.check_batch_call(injection, v, omega, mask, k)?;
         self.ensure_batch(k);
         for (j, lane) in lanes.iter_mut().enumerate() {
             let on = mask.is_none_or(|m| m[j]);
@@ -1106,6 +1237,222 @@ impl TierEngine {
         Ok(aggregate_report(lanes, sweeps, self.memory_bytes()))
     }
 
+    /// Mixed-precision [`TierEngine::solve`] (ω = 1): iteratively refined
+    /// f32 sweeps with f64 residual accumulation. See
+    /// [`TierEngine::solve_mixed_with_omega`].
+    ///
+    /// # Errors
+    ///
+    /// [`SolverError::DidNotConverge`] if the f32 sweep budget
+    /// `max_sweeps` runs out before the refinement converges.
+    pub fn solve_mixed(
+        &mut self,
+        injection: &[f64],
+        v: &mut [f64],
+        tolerance: f64,
+        max_sweeps: usize,
+    ) -> Result<SolveReport, SolverError> {
+        self.solve_mixed_with_omega(injection, v, tolerance, max_sweeps, 1.0)
+    }
+
+    /// Mixed-precision solve: repeats *(true f64 residual → f32
+    /// correction sweeps → f64 update)* until the whole refinement round
+    /// moves the iterate by less than `tolerance`. Every round evaluates
+    /// `r = b − A·v` in full f64, then runs relaxed Gauss–Seidel sweeps
+    /// on the correction system `A·d = r` entirely in f32 (through the
+    /// prefactored f32 mirror built at construction) until the f32
+    /// iterate stagnates, and applies `v += d` in f64. The f32 buffers
+    /// live in the engine and only grow, so warm solves make no
+    /// allocator calls.
+    ///
+    /// The convergence criterion — a full round's largest applied
+    /// correction below `tolerance` — is at least as strict as the f64
+    /// path's per-sweep criterion, so a converged mixed solve meets the
+    /// same tolerance contract as [`TierEngine::solve_with_omega`].
+    /// `max_sweeps` budgets the *total f32 sweeps* across all rounds;
+    /// exhausting it reports the honest partial state instead of a
+    /// silently loose answer. The refinement always runs on the calling
+    /// thread, so its iterates are identical at every `parallelism`.
+    ///
+    /// # Errors
+    ///
+    /// [`SolverError::Unsupported`] for inconsistent array lengths or an
+    /// out-of-range `ω`; [`SolverError::DidNotConverge`] if `max_sweeps`
+    /// runs out.
+    pub fn solve_mixed_with_omega(
+        &mut self,
+        injection: &[f64],
+        v: &mut [f64],
+        tolerance: f64,
+        max_sweeps: usize,
+        omega: f64,
+    ) -> Result<SolveReport, SolverError> {
+        self.check_call(injection, v, omega)?;
+        let mut lanes = [LaneReport {
+            iterations: 0,
+            residual: f64::INFINITY,
+            converged: false,
+        }];
+        let sweeps = self.mixed_core(injection, v, tolerance, max_sweeps, omega, &mut lanes);
+        let report = aggregate_report(&lanes, sweeps, self.memory_bytes());
+        if report.converged {
+            Ok(report)
+        } else {
+            Err(SolverError::DidNotConverge {
+                iterations: report.iterations,
+                residual: report.residual,
+                tolerance,
+            })
+        }
+    }
+
+    /// Batched mixed-precision solve: the drop-in counterpart of
+    /// [`TierEngine::solve_batch_masked`] running the refinement of
+    /// [`TierEngine::solve_mixed_with_omega`] over all `lanes.len()`
+    /// right-hand sides at once (same node-major/lane-minor layout, same
+    /// mask semantics, same per-lane freezing — a lane whose refinement
+    /// round moves it by less than `tolerance` stops receiving
+    /// corrections). Lanes that exhaust the shared f32 sweep budget
+    /// report `converged = false`; the call still returns `Ok`.
+    ///
+    /// # Errors
+    ///
+    /// [`SolverError::Unsupported`] for an empty batch, inconsistent
+    /// array lengths, a bad mask length, or an out-of-range `ω`.
+    #[allow(clippy::too_many_arguments)] // mirrors solve_batch_masked
+    pub fn solve_batch_masked_mixed(
+        &mut self,
+        injection: &[f64],
+        v: &mut [f64],
+        tolerance: f64,
+        max_sweeps: usize,
+        omega: f64,
+        mask: Option<&[bool]>,
+        lanes: &mut [LaneReport],
+    ) -> Result<SolveReport, SolverError> {
+        let k = lanes.len();
+        self.check_batch_call(injection, v, omega, mask, k)?;
+        for (j, lane) in lanes.iter_mut().enumerate() {
+            let on = mask.is_none_or(|m| m[j]);
+            *lane = LaneReport {
+                iterations: 0,
+                residual: if on { f64::INFINITY } else { 0.0 },
+                converged: !on,
+            };
+        }
+        let sweeps = self.mixed_core(injection, v, tolerance, max_sweeps, omega, lanes);
+        Ok(aggregate_report(lanes, sweeps, self.memory_bytes()))
+    }
+
+    /// The shared mixed-precision refinement loop. `lanes` arrives
+    /// pre-initialised (masked-off lanes already `converged`); returns
+    /// the total number of f32 sweeps spent. Runs entirely on the
+    /// calling thread.
+    fn mixed_core(
+        &mut self,
+        injection: &[f64],
+        v: &mut [f64],
+        tolerance: f64,
+        max_sweeps: usize,
+        omega: f64,
+        lanes: &mut [LaneReport],
+    ) -> usize {
+        let k = lanes.len();
+        let topo = Arc::clone(&self.topo);
+        let schedule = self.schedule;
+        let seg_len = topo.factors.max_segment_len();
+        self.mixed.ensure(topo.n(), seg_len, k);
+        let MixedState {
+            d32,
+            r32,
+            scratch32,
+            dmax32,
+            peak32,
+            active,
+            round_active,
+            rrow,
+        } = &mut self.mixed;
+        let omega32 = omega as f32;
+        let mut live = 0usize;
+        for (j, lane) in lanes.iter().enumerate() {
+            active[j] = !lane.converged;
+            if active[j] {
+                live += 1;
+            }
+        }
+        let mut sweeps_total = 0usize;
+        while live > 0 && sweeps_total < max_sweeps {
+            // f64 ground truth: the exact residual of the current iterate.
+            compute_residual_f32(&topo, injection, v, k, rrow, r32);
+            // f32 correction solve: relaxed sweeps on A·d = r from d = 0
+            // until each lane's sweep update stagnates relative to its
+            // peak (further f32 sweeps would only circulate roundoff).
+            d32[..topo.n() * k].fill(0.0);
+            peak32[..k].fill(0.0);
+            round_active[..k].copy_from_slice(&active[..k]);
+            let mut round_live = live;
+            while round_live > 0 && sweeps_total < max_sweeps {
+                dmax32[..k].fill(0.0);
+                mixed_sweep(
+                    &topo,
+                    schedule,
+                    sweeps_total % 2 == 0,
+                    r32,
+                    d32,
+                    omega32,
+                    k,
+                    round_active,
+                    scratch32,
+                    dmax32,
+                );
+                sweeps_total += 1;
+                for j in 0..k {
+                    if !round_active[j] {
+                        continue;
+                    }
+                    if dmax32[j] > peak32[j] {
+                        peak32[j] = dmax32[j];
+                    }
+                    let floor = (MIXED_STAGNATION_REL * peak32[j]).max(f32::MIN_POSITIVE);
+                    if dmax32[j] <= floor {
+                        round_active[j] = false;
+                        round_live -= 1;
+                    }
+                }
+            }
+            // Apply the round's correction in f64 and measure how far it
+            // moved each active lane (the refinement's convergence test).
+            // The correction is exactly 0.0 at pinned nodes and frozen
+            // lanes (their entries are zeroed at round start and never
+            // written by the gated sweeps), so the pass is dense and
+            // branch-free: zero entries change nothing and contribute
+            // nothing to the per-lane maxima.
+            dmax32[..k].fill(0.0);
+            for (vrow, drow) in v
+                .chunks_exact_mut(k)
+                .zip(d32[..topo.n() * k].chunks_exact(k))
+            {
+                for ((vj, &c), m) in vrow.iter_mut().zip(drow).zip(dmax32[..k].iter_mut()) {
+                    *m = m.max(c.abs());
+                    *vj += f64::from(c);
+                }
+            }
+            for (j, lane) in lanes.iter_mut().enumerate() {
+                if !active[j] {
+                    continue;
+                }
+                lane.iterations = sweeps_total;
+                lane.residual = f64::from(dmax32[j]);
+                if lane.residual < tolerance {
+                    lane.converged = true;
+                    active[j] = false;
+                    live -= 1;
+                }
+            }
+        }
+        sweeps_total
+    }
+
     /// Sizes the batch state for `k` lanes (no-op when already sized):
     /// the in-place sweep buffers on single-threaded schedules, the
     /// shared pool job on multi-threaded ones (whose workers bring their
@@ -1196,6 +1543,7 @@ impl TierEngine {
                 .map(WorkerScratch::memory_bytes)
                 .sum::<usize>()
             + self.batch.memory_bytes()
+            + self.mixed.memory_bytes()
             + self.par.as_ref().map_or(0, |p| p.memory_bytes())
             + self.batch_par.as_ref().map_or(0, |b| b.memory_bytes())
     }
@@ -1210,6 +1558,47 @@ impl TierEngine {
                     v.len()
                 ),
             });
+        }
+        if !(omega > 0.0 && omega < 2.0) {
+            return Err(SolverError::Unsupported {
+                what: format!("SOR omega {omega} outside (0, 2)"),
+            });
+        }
+        Ok(())
+    }
+
+    /// Shared argument validation for the batched entry points
+    /// ([`TierEngine::solve_batch_masked`] and
+    /// [`TierEngine::solve_batch_masked_mixed`]).
+    fn check_batch_call(
+        &self,
+        injection: &[f64],
+        v: &[f64],
+        omega: f64,
+        mask: Option<&[bool]>,
+        k: usize,
+    ) -> Result<(), SolverError> {
+        let n = self.topo.n();
+        if k == 0 {
+            return Err(SolverError::Unsupported {
+                what: "batched solve needs at least one lane".into(),
+            });
+        }
+        if injection.len() != n * k || v.len() != n * k {
+            return Err(SolverError::Unsupported {
+                what: format!(
+                    "batch arrays must have {n} × {k} entries (injection {}, v {})",
+                    injection.len(),
+                    v.len()
+                ),
+            });
+        }
+        if let Some(m) = mask {
+            if m.len() != k {
+                return Err(SolverError::Unsupported {
+                    what: format!("lane mask must have {k} entries (got {})", m.len()),
+                });
+            }
         }
         if !(omega > 0.0 && omega < 2.0) {
             return Err(SolverError::Unsupported {
@@ -1492,23 +1881,26 @@ fn solve_segment<V: VoltView, I: InjSrc + ?Sized>(
     let offset = seg.offset as usize;
     let mut max_delta = 0.0f64;
     // Forward pass: build each right-hand side entry from the frozen
-    // neighbours and eliminate on the fly (no staging buffer).
+    // neighbours and eliminate on the fly (no staging buffer). Each
+    // neighbour term is a fused multiply-add — the same per-element
+    // operation the blocked batched kernels broadcast over their lanes,
+    // which keeps scalar and batched iterates bitwise identical.
     let mut prev = 0.0;
     for i in 0..len {
         let gx = start + i;
         let node = row0 + gx;
         let mut b = injection.at(node);
         if gx > 0 && fixed[node - 1] {
-            b += g_h * view.get(node - 1);
+            b = g_h.mul_add(view.get(node - 1), b);
         }
         if gx + 1 < w && fixed[node + 1] {
-            b += g_h * view.get(node + 1);
+            b = g_h.mul_add(view.get(node + 1), b);
         }
         if y > 0 {
-            b += g_v * view.get(node - w);
+            b = g_v.mul_add(view.get(node - w), b);
         }
         if y + 1 < h {
-            b += g_v * view.get(node + w);
+            b = g_v.mul_add(view.get(node + w), b);
         }
         let dp = factors.forward_step(offset + i, b, prev);
         scratch[i] = dp;
@@ -1520,7 +1912,7 @@ fn solve_segment<V: VoltView, I: InjSrc + ?Sized>(
         let xi = factors.backward_step(offset + i, scratch[i], next);
         let node = row0 + start + i;
         let old = view.get(node);
-        let new = old + omega * (xi - old);
+        let new = omega.mul_add(xi - old, old);
         let delta = (new - old).abs();
         if delta > max_delta {
             max_delta = delta;
@@ -1583,11 +1975,16 @@ fn batch_segment_dispatch<V: VoltView>(
 /// `k` lanes at once. `injection` and the view are node-major/lane-minor
 /// (lane `j` of node `i` at `i * k + j`), so every inner loop over the
 /// lanes is unit-stride while the factors, pin mask, and neighbour
-/// offsets are loaded once per row. Lanes with `active[j] == false` are
-/// computed but not applied (their voltages — and deltas — stay exactly
-/// as they are), which keeps every active lane's arithmetic bitwise
-/// identical to the scalar kernel. Per-lane maxima of the applied updates
-/// accumulate into `delta`.
+/// offsets are loaded once per row. Wide batches over long segments are
+/// traversed in **cache-sized lane blocks** (see [`lane_block_width`]):
+/// each block makes a complete forward/backward pass over the segment
+/// before the next block starts, so the substitution scratch stays
+/// L2-resident. Lanes are independent, so blocking cannot change any
+/// lane's bits. Lanes with `active[j] == false` are computed but not
+/// applied (their voltages — and deltas — stay exactly as they are),
+/// which keeps every active lane's arithmetic bitwise identical to the
+/// scalar kernel. Per-lane maxima of the applied updates accumulate
+/// into `delta`.
 #[allow(clippy::too_many_arguments)]
 #[inline]
 fn solve_segment_batch<V: VoltView>(
@@ -1596,6 +1993,38 @@ fn solve_segment_batch<V: VoltView>(
     injection: &[f64],
     omega: f64,
     k: usize,
+    active: &[bool],
+    scratch: &mut [f64],
+    view: &mut V,
+    delta: &mut [f64],
+) {
+    let len = seg.len as usize;
+    let bw = lane_block_width(len, k, std::mem::size_of::<f64>());
+    let mut j0 = 0usize;
+    while j0 < k {
+        let w = bw.min(k - j0);
+        solve_segment_batch_block(
+            topo, seg, injection, omega, k, j0, w, active, scratch, view, delta,
+        );
+        j0 += w;
+    }
+}
+
+/// One lane block of [`solve_segment_batch`]: lanes `j0 .. j0 + bw` of
+/// the `k`-wide batch, with the scratch packed at stride `bw`. The
+/// inner loops are unit-stride fused multiply-adds over the block (the
+/// same per-element operations as the scalar kernel, in the same term
+/// order).
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn solve_segment_batch_block<V: VoltView>(
+    topo: &Topo,
+    seg: Segment,
+    injection: &[f64],
+    omega: f64,
+    k: usize,
+    j0: usize,
+    bw: usize,
     active: &[bool],
     scratch: &mut [f64],
     view: &mut V,
@@ -1615,57 +2044,61 @@ fn solve_segment_batch<V: VoltView>(
     for i in 0..len {
         let gx = start + i;
         let node = row0 + gx;
-        let base = node * k;
-        let (done, rest) = scratch.split_at_mut(i * k);
-        let row = &mut rest[..k];
-        row.copy_from_slice(&injection[base..base + k]);
+        let base = node * k + j0;
+        let (done, rest) = scratch.split_at_mut(i * bw);
+        let row = &mut rest[..bw];
+        row.copy_from_slice(&injection[base..base + bw]);
         if gx > 0 && fixed[node - 1] {
-            let nb = (node - 1) * k;
+            let nb = (node - 1) * k + j0;
             for (j, b) in row.iter_mut().enumerate() {
-                *b += g_h * view.get(nb + j);
+                *b = g_h.mul_add(view.get(nb + j), *b);
             }
         }
         if gx + 1 < w && fixed[node + 1] {
-            let nb = (node + 1) * k;
+            let nb = (node + 1) * k + j0;
             for (j, b) in row.iter_mut().enumerate() {
-                *b += g_h * view.get(nb + j);
+                *b = g_h.mul_add(view.get(nb + j), *b);
             }
         }
         if y > 0 {
-            let nb = (node - w) * k;
+            let nb = (node - w) * k + j0;
             for (j, b) in row.iter_mut().enumerate() {
-                *b += g_v * view.get(nb + j);
+                *b = g_v.mul_add(view.get(nb + j), *b);
             }
         }
         if y + 1 < h {
-            let nb = (node + w) * k;
+            let nb = (node + w) * k + j0;
             for (j, b) in row.iter_mut().enumerate() {
-                *b += g_v * view.get(nb + j);
+                *b = g_v.mul_add(view.get(nb + j), *b);
             }
         }
         let prev = if i == 0 {
             None
         } else {
-            Some(&done[(i - 1) * k..])
+            Some(&done[(i - 1) * bw..])
         };
         factors.forward_row(offset + i, row, prev);
     }
     // Backward pass: substitute row by row (in place in the scratch) and
     // apply the relaxed update for the active lanes.
     for i in (0..len).rev() {
-        let (head, tail) = scratch.split_at_mut((i + 1) * k);
-        let row = &mut head[i * k..];
-        let next = if i + 1 == len { None } else { Some(&tail[..k]) };
+        let (head, tail) = scratch.split_at_mut((i + 1) * bw);
+        let row = &mut head[i * bw..];
+        let next = if i + 1 == len {
+            None
+        } else {
+            Some(&tail[..bw])
+        };
         factors.backward_row(offset + i, row, next);
         let node = row0 + start + i;
-        let base = node * k;
+        let base = node * k + j0;
         for (j, &xi) in row.iter().enumerate() {
             let old = view.get(base + j);
-            let relaxed = old + omega * (xi - old);
-            let new = if active[j] { relaxed } else { old };
+            let relaxed = omega.mul_add(xi - old, old);
+            let new = if active[j0 + j] { relaxed } else { old };
             let d = (new - old).abs();
-            if d > delta[j] {
-                delta[j] = d;
+            if d > delta[j0 + j] {
+                delta[j0 + j] = d;
             }
             view.set(base + j, new);
         }
@@ -1712,25 +2145,25 @@ fn solve_segment_batch_ids<V: VoltView>(
         if gx > 0 && fixed[node - 1] {
             let nb = (node - 1) * k;
             for (b, &j) in row.iter_mut().zip(ids) {
-                *b += g_h * view.get(nb + j as usize);
+                *b = g_h.mul_add(view.get(nb + j as usize), *b);
             }
         }
         if gx + 1 < w && fixed[node + 1] {
             let nb = (node + 1) * k;
             for (b, &j) in row.iter_mut().zip(ids) {
-                *b += g_h * view.get(nb + j as usize);
+                *b = g_h.mul_add(view.get(nb + j as usize), *b);
             }
         }
         if y > 0 {
             let nb = (node - w) * k;
             for (b, &j) in row.iter_mut().zip(ids) {
-                *b += g_v * view.get(nb + j as usize);
+                *b = g_v.mul_add(view.get(nb + j as usize), *b);
             }
         }
         if y + 1 < h {
             let nb = (node + w) * k;
             for (b, &j) in row.iter_mut().zip(ids) {
-                *b += g_v * view.get(nb + j as usize);
+                *b = g_v.mul_add(view.get(nb + j as usize), *b);
             }
         }
         let prev = if i == 0 {
@@ -1750,12 +2183,283 @@ fn solve_segment_batch_ids<V: VoltView>(
         for (&xi, &j) in row.iter().zip(ids) {
             let j = j as usize;
             let old = view.get(base + j);
-            let new = old + omega * (xi - old);
+            let new = omega.mul_add(xi - old, old);
             let d = (new - old).abs();
             if d > delta[j] {
                 delta[j] = d;
             }
             view.set(base + j, new);
+        }
+    }
+}
+
+/// Exact f64 residual `r = b − A·v` of the tier system, narrowed to f32
+/// for the mixed-precision correction solve. Rows of pinned nodes are
+/// zero (their voltages are exact by definition); every free row
+/// accumulates the diagonal and all existing neighbour couplings in f64
+/// before the single final narrowing, so the correction targets the true
+/// remaining error, not an f32 approximation of it.
+fn compute_residual_f32(
+    topo: &Topo,
+    injection: &[f64],
+    v: &[f64],
+    k: usize,
+    rrow: &mut [f64],
+    r32: &mut [f32],
+) {
+    let (w, h) = (topo.width, topo.height);
+    let (g_h, g_v) = (topo.g_h, topo.g_v);
+    // One unit-stride pass per coupling term over the node's lane row
+    // (accumulated in the f64 `rrow` scratch), in the same term order as
+    // the scalar chain — slice windows keep every loop branch-free and
+    // vectorizable, and the result is bit-for-bit the scalar one.
+    let rrow = &mut rrow[..k];
+    for node in 0..topo.n() {
+        let base = node * k;
+        if topo.fixed[node] {
+            r32[base..base + k].fill(0.0);
+            continue;
+        }
+        let x = node % w;
+        let y = node / w;
+        let neg_d = -topo.diag[node];
+        let vc = &v[base..base + k];
+        let inj = &injection[base..base + k];
+        for j in 0..k {
+            rrow[j] = neg_d.mul_add(vc[j], inj[j]);
+        }
+        if x > 0 {
+            let vn = &v[base - k..base];
+            for j in 0..k {
+                rrow[j] = g_h.mul_add(vn[j], rrow[j]);
+            }
+        }
+        if x + 1 < w {
+            let vn = &v[base + k..base + 2 * k];
+            for j in 0..k {
+                rrow[j] = g_h.mul_add(vn[j], rrow[j]);
+            }
+        }
+        if y > 0 {
+            let vn = &v[base - w * k..base - w * k + k];
+            for j in 0..k {
+                rrow[j] = g_v.mul_add(vn[j], rrow[j]);
+            }
+        }
+        if y + 1 < h {
+            let vn = &v[base + w * k..base + w * k + k];
+            for j in 0..k {
+                rrow[j] = g_v.mul_add(vn[j], rrow[j]);
+            }
+        }
+        let out = &mut r32[base..base + k];
+        for j in 0..k {
+            out[j] = rrow[j] as f32;
+        }
+    }
+}
+
+/// One f32 correction sweep under the engine's schedule (both colors for
+/// red-black, alternating direction via `downward` for sequential).
+/// Always runs on the calling thread: the mixed path's iterates are
+/// identical at every parallelism setting.
+#[allow(clippy::too_many_arguments)]
+fn mixed_sweep(
+    topo: &Topo,
+    schedule: SweepSchedule,
+    downward: bool,
+    r32: &[f32],
+    d32: &mut [f32],
+    omega: f32,
+    k: usize,
+    active: &[bool],
+    scratch: &mut [f32],
+    dmax: &mut [f32],
+) {
+    match schedule {
+        SweepSchedule::Sequential => {
+            let nseg = topo.segments.len();
+            for s in 0..nseg {
+                let si = if downward { s } else { nseg - 1 - s };
+                solve_segment_batch_f32(
+                    topo,
+                    topo.segments[si],
+                    r32,
+                    omega,
+                    k,
+                    active,
+                    scratch,
+                    d32,
+                    dmax,
+                );
+            }
+        }
+        SweepSchedule::RedBlack { .. } => {
+            for idx in [&topo.red_idx, &topo.black_idx] {
+                for &si in idx.iter() {
+                    solve_segment_batch_f32(
+                        topo,
+                        topo.segments[si as usize],
+                        r32,
+                        omega,
+                        k,
+                        active,
+                        scratch,
+                        d32,
+                        dmax,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// f32 twin of [`solve_segment_batch`] for the mixed-precision
+/// correction system: sweeps one prefactored segment for all `k` lanes
+/// of the correction image `d32` against the f32 right-hand sides `r32`,
+/// through the [`FactoredSegmentsF32`] mirror. Same node-major/
+/// lane-minor layout, same cache-sized lane blocking (f32 elements pack
+/// twice as many lanes per block), same active-lane gating. Operates on
+/// plain slices — the mixed path is single-threaded by design.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn solve_segment_batch_f32(
+    topo: &Topo,
+    seg: Segment,
+    r32: &[f32],
+    omega: f32,
+    k: usize,
+    active: &[bool],
+    scratch: &mut [f32],
+    d32: &mut [f32],
+    dmax: &mut [f32],
+) {
+    let len = seg.len as usize;
+    // Fused singleton path: a one-node segment's correction equation has
+    // no horizontal terms at all (its neighbours are pinned, so their
+    // correction is identically zero) and its forward elimination is a
+    // single reciprocal-pivot multiply. Checkerboard-pinned tiers — the
+    // paper's TSV regime — are half singletons, so skipping the lane
+    // blocking and the row-kernel calls here matters. The arithmetic is
+    // the exact op chain of the general path (copy, vertical `mul_add`s,
+    // `* inv_m`, relax), so the iterates are bit-for-bit identical.
+    if len == 1 {
+        let w = topo.width;
+        let node = seg.row as usize * w + seg.start as usize;
+        let base = node * k;
+        let inv_m = topo.factors32.inv_m(seg.offset as usize);
+        let g_v = topo.g_v as f32;
+        let row = &mut scratch[..k];
+        row.copy_from_slice(&r32[base..base + k]);
+        if node >= w {
+            let up = &d32[base - w * k..base - w * k + k];
+            for j in 0..k {
+                row[j] = g_v.mul_add(up[j], row[j]);
+            }
+        }
+        if node + w < topo.n() {
+            let down = &d32[base + w * k..base + w * k + k];
+            for j in 0..k {
+                row[j] = g_v.mul_add(down[j], row[j]);
+            }
+        }
+        let drow = &mut d32[base..base + k];
+        for j in 0..k {
+            let xi = row[j] * inv_m;
+            let old = drow[j];
+            let relaxed = omega.mul_add(xi - old, old);
+            let new = if active[j] { relaxed } else { old };
+            let d = (new - old).abs();
+            if d > dmax[j] {
+                dmax[j] = d;
+            }
+            drow[j] = new;
+        }
+        return;
+    }
+    let bw = lane_block_width(len, k, std::mem::size_of::<f32>());
+    let mut j0 = 0usize;
+    while j0 < k {
+        let w = bw.min(k - j0);
+        solve_segment_batch_f32_block(topo, seg, r32, omega, k, j0, w, active, scratch, d32, dmax);
+        j0 += w;
+    }
+}
+
+/// One lane block of [`solve_segment_batch_f32`] (lanes `j0 .. j0 + bw`,
+/// scratch packed at stride `bw`).
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn solve_segment_batch_f32_block(
+    topo: &Topo,
+    seg: Segment,
+    r32: &[f32],
+    omega: f32,
+    k: usize,
+    j0: usize,
+    bw: usize,
+    active: &[bool],
+    scratch: &mut [f32],
+    d32: &mut [f32],
+    dmax: &mut [f32],
+) {
+    let (w, h) = (topo.width, topo.height);
+    let g_v = topo.g_v as f32;
+    let factors = &topo.factors32;
+    let y = seg.row as usize;
+    let start = seg.start as usize;
+    let len = seg.len as usize;
+    let row0 = y * w;
+    let offset = seg.offset as usize;
+    for i in 0..len {
+        let gx = start + i;
+        let node = row0 + gx;
+        let base = node * k + j0;
+        let (done, rest) = scratch.split_at_mut(i * bw);
+        let row = &mut rest[..bw];
+        row.copy_from_slice(&r32[base..base + bw]);
+        // The correction is zero at pinned nodes by construction, so the
+        // fixed-horizontal-neighbour terms of the f64 kernel vanish here;
+        // only the vertical couplings feed back between sweeps.
+        if y > 0 {
+            let nb = (node - w) * k + j0;
+            for (j, b) in row.iter_mut().enumerate() {
+                *b = g_v.mul_add(d32[nb + j], *b);
+            }
+        }
+        if y + 1 < h {
+            let nb = (node + w) * k + j0;
+            for (j, b) in row.iter_mut().enumerate() {
+                *b = g_v.mul_add(d32[nb + j], *b);
+            }
+        }
+        let prev = if i == 0 {
+            None
+        } else {
+            Some(&done[(i - 1) * bw..])
+        };
+        factors.forward_row(offset + i, row, prev);
+    }
+    for i in (0..len).rev() {
+        let (head, tail) = scratch.split_at_mut((i + 1) * bw);
+        let row = &mut head[i * bw..];
+        let next = if i + 1 == len {
+            None
+        } else {
+            Some(&tail[..bw])
+        };
+        factors.backward_row(offset + i, row, next);
+        let node = row0 + start + i;
+        let base = node * k + j0;
+        for (j, &xi) in row.iter().enumerate() {
+            let old = d32[base + j];
+            let relaxed = omega.mul_add(xi - old, old);
+            let new = if active[j0 + j] { relaxed } else { old };
+            let d = (new - old).abs();
+            if d > dmax[j0 + j] {
+                dmax[j0 + j] = d;
+            }
+            d32[base + j] = new;
         }
     }
 }
@@ -2004,14 +2708,159 @@ mod tests {
     #[test]
     fn compaction_crossover_covers_all_kernels() {
         assert_eq!(choose_batch_kernel(8, 8, true), BatchKernel::Full);
-        assert_eq!(choose_batch_kernel(7, 8, true), BatchKernel::Full);
-        assert_eq!(choose_batch_kernel(4, 8, true), BatchKernel::Compact);
+        assert_eq!(choose_batch_kernel(4, 8, true), BatchKernel::Full);
         assert_eq!(choose_batch_kernel(2, 8, true), BatchKernel::Scalar);
         assert_eq!(choose_batch_kernel(1, 64, true), BatchKernel::Scalar);
+        assert_eq!(choose_batch_kernel(3, 64, true), BatchKernel::Scalar);
+        assert_eq!(choose_batch_kernel(4, 64, true), BatchKernel::Compact);
         assert_eq!(choose_batch_kernel(16, 64, true), BatchKernel::Compact);
+        // The measured full/compact tie sits at ~42 % occupancy; the
+        // constant rounds it down to 3/8 so the tie-adjacent band uses
+        // the flat-cost full kernel.
+        assert_eq!(choose_batch_kernel(24, 64, true), BatchKernel::Compact);
+        assert_eq!(choose_batch_kernel(25, 64, true), BatchKernel::Full);
         // Compaction disabled: always the full kernel (the PR 2 path).
         for m in 0..=8 {
             assert_eq!(choose_batch_kernel(m, 8, false), BatchKernel::Full);
+        }
+    }
+
+    /// Manual re-measurement harness for the [`choose_batch_kernel`]
+    /// crossover constants: times a fixed sweep budget through each
+    /// kernel — forced, bypassing the crossover — at a range of active
+    /// counts `m` with `k = 64` lanes. Not a regression test; run by
+    /// hand whenever the sweep kernels change:
+    ///
+    /// ```text
+    /// cargo test -p voltprop-solvers --release \
+    ///     measure_batch_kernel_crossover -- --ignored --nocapture
+    /// ```
+    /// Manual timing harness: fixed-budget f64 vs mixed batched sweeps
+    /// on the perfsuite kernels fixture (256×256 checkerboard, 64
+    /// lanes). Not a regression test; run by hand whenever the sweep or
+    /// refinement kernels change:
+    ///
+    /// ```text
+    /// cargo test -p voltprop-solvers --release \
+    ///     measure_mixed_round_split -- --ignored --nocapture
+    /// ```
+    #[test]
+    #[ignore = "manual timing harness; run --release with --nocapture"]
+    fn measure_mixed_round_split() {
+        use std::time::Instant;
+        let (edge, k) = (256usize, 64usize);
+        let n = edge * edge;
+        let mut fixed = vec![false; n];
+        for y in (0..edge).step_by(2) {
+            for x in (0..edge).step_by(2) {
+                fixed[y * edge + x] = true;
+            }
+        }
+        let mut eng = TierEngine::new(
+            edge,
+            edge,
+            50.0,
+            50.0,
+            Arc::from(&fixed[..]),
+            None,
+            SweepSchedule::Sequential,
+        )
+        .unwrap();
+        let mut injection = vec![0.0; n * k];
+        let v0: Vec<f64> = vec![1.8; n * k];
+        for i in 0..n {
+            if fixed[i] {
+                continue;
+            }
+            for j in 0..k {
+                injection[i * k + j] = (0.75 + 0.5 * j as f64 / k as f64) * -5e-4;
+            }
+        }
+        let mut lanes = vec![LaneReport::default(); k];
+        for _ in 0..3 {
+            let mut v = v0.clone();
+            let t = Instant::now();
+            eng.solve_batch_masked(&injection, &mut v, 0.0, 96, 1.0, None, &mut lanes)
+                .unwrap();
+            let f64_ms = t.elapsed().as_secs_f64() * 1e3;
+            let mut v = v0.clone();
+            let t = Instant::now();
+            eng.solve_batch_masked_mixed(&injection, &mut v, 0.0, 96, 1.0, None, &mut lanes)
+                .unwrap();
+            let mixed_ms = t.elapsed().as_secs_f64() * 1e3;
+            println!(
+                "f64 {f64_ms:.1} ms  mixed {mixed_ms:.1} ms  ratio {:.3}",
+                f64_ms / mixed_ms
+            );
+        }
+    }
+
+    #[test]
+    #[ignore = "manual timing harness; run --release with --nocapture"]
+    fn measure_batch_kernel_crossover() {
+        use std::time::Instant;
+        let (w, h, k) = (64usize, 64usize, 64usize);
+        let (fixed, v0, injection) = random_problem(3, w, h);
+        let v0 = interleave(&vec![v0; k]);
+        let injections: Vec<Vec<f64>> = (0..k)
+            .map(|j| {
+                let scale = 0.5 + j as f64 / k as f64;
+                injection.iter().map(|&b| scale * b).collect()
+            })
+            .collect();
+        let injection = interleave(&injections);
+        let mut eng = engine(w, h, &fixed, SweepSchedule::Sequential);
+        eng.ensure_batch(k);
+        let topo = Arc::clone(&eng.topo);
+        let BatchState {
+            scratch,
+            active,
+            delta,
+            ids,
+            ..
+        } = &mut eng.batch;
+        let sweeps = 400usize;
+        println!("  m        full     compact      scalar   (ns/sweep, best of 3)");
+        for m in [1usize, 2, 3, 4, 6, 8, 12, 16, 24, 32, 40, 48, 56, 64] {
+            for (j, slot) in active.iter_mut().enumerate() {
+                *slot = j < m;
+            }
+            for (j, slot) in ids[..m].iter_mut().enumerate() {
+                *slot = j as u32;
+            }
+            let mut row = format!("{m:3}");
+            for kernel in [BatchKernel::Full, BatchKernel::Compact, BatchKernel::Scalar] {
+                let mut best = f64::INFINITY;
+                for _rep in 0..3 {
+                    let mut v = v0.clone();
+                    let mut view = SliceView(&mut v);
+                    let start = Instant::now();
+                    for s in 0..sweeps {
+                        delta.fill(0.0);
+                        let nseg = topo.segments.len();
+                        let downward = s % 2 == 0;
+                        for i in 0..nseg {
+                            let si = if downward { i } else { nseg - 1 - i };
+                            batch_segment_dispatch(
+                                kernel,
+                                &topo,
+                                topo.segments[si],
+                                &injection,
+                                1.0,
+                                k,
+                                active,
+                                &ids[..m],
+                                scratch,
+                                &mut view,
+                                delta,
+                            );
+                        }
+                    }
+                    best = best.min(start.elapsed().as_nanos() as f64 / sweeps as f64);
+                }
+                row.push_str(&format!("  {best:10.0}"));
+            }
+            println!("{row}");
         }
     }
 
@@ -2361,6 +3210,136 @@ mod tests {
             "pool scratch must not grow when engine sizes alternate"
         );
         assert_eq!(pool.workers_spawned(), 2);
+    }
+
+    #[test]
+    fn mixed_solve_matches_f64_solution() {
+        for (seed, schedule) in [
+            (1u64, SweepSchedule::Sequential),
+            (5, SweepSchedule::RedBlack { threads: 1 }),
+            (23, SweepSchedule::RedBlack { threads: 1 }),
+        ] {
+            let (w, h) = (13, 9);
+            let (fixed, v0, injection) = random_problem(seed, w, h);
+            let mut v_f64 = v0.clone();
+            engine(w, h, &fixed, schedule)
+                .solve(&injection, &mut v_f64, 1e-11, 100_000)
+                .unwrap();
+            let mut v_mixed = v0.clone();
+            let report = engine(w, h, &fixed, schedule)
+                .solve_mixed(&injection, &mut v_mixed, 1e-10, 1_000_000)
+                .unwrap();
+            assert!(report.converged);
+            let worst = v_f64
+                .iter()
+                .zip(&v_mixed)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max);
+            assert!(
+                worst <= 1e-8,
+                "seed {seed} {schedule:?}: mixed deviates by {worst} V"
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_batch_lanes_are_bitwise_identical_to_solo_mixed() {
+        let (w, h) = (14, 10);
+        // Lane counts straddle the f32 lane-block width.
+        for k in [1usize, 3, 9] {
+            // All lanes share one topology (the seed-40 pin mask); each
+            // lane's injection is perturbed deterministically so lanes
+            // genuinely differ.
+            let (fixed, _, _) = random_problem(40, w, h);
+            let mut solo = Vec::new();
+            for j in 0..k {
+                let (_, v0, injection) = random_problem(40, w, h);
+                let mut inj = injection;
+                for (i, x) in inj.iter_mut().enumerate() {
+                    if !fixed[i] {
+                        *x *= 1.0 + 0.1 * j as f64 + 1e-3 * (i % 7) as f64;
+                    }
+                }
+                let mut v = v0.clone();
+                engine(w, h, &fixed, SweepSchedule::RedBlack { threads: 1 })
+                    .solve_mixed_with_omega(&inj, &mut v, 1e-9, 1_000_000, 1.2)
+                    .unwrap();
+                solo.push((inj, v0, v));
+            }
+            let inj_b = interleave(&solo.iter().map(|s| s.0.clone()).collect::<Vec<_>>());
+            let mut v_b = interleave(&solo.iter().map(|s| s.1.clone()).collect::<Vec<_>>());
+            let mut lanes = vec![LaneReport::default(); k];
+            engine(w, h, &fixed, SweepSchedule::RedBlack { threads: 1 })
+                .solve_batch_masked_mixed(&inj_b, &mut v_b, 1e-9, 1_000_000, 1.2, None, &mut lanes)
+                .unwrap();
+            for (j, lane) in lanes.iter().enumerate() {
+                assert!(lane.converged, "k {k} lane {j} did not converge");
+                assert_eq!(
+                    lane_of(&v_b, j, k),
+                    solo[j].2,
+                    "k {k} lane {j} must match solo mixed bitwise"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_is_parallelism_invariant() {
+        let (w, h) = (17, 12);
+        let (fixed, v0, injection) = random_problem(7, w, h);
+        let mut v1 = v0.clone();
+        engine(w, h, &fixed, SweepSchedule::RedBlack { threads: 1 })
+            .solve_mixed(&injection, &mut v1, 1e-9, 1_000_000)
+            .unwrap();
+        let mut v4 = v0.clone();
+        engine(w, h, &fixed, SweepSchedule::RedBlack { threads: 4 })
+            .solve_mixed(&injection, &mut v4, 1e-9, 1_000_000)
+            .unwrap();
+        assert_eq!(v1, v4, "mixed refinement must not depend on parallelism");
+    }
+
+    #[test]
+    fn mixed_starved_budget_reports_unconverged() {
+        let (w, h) = (16, 16);
+        let (fixed, v0, injection) = random_problem(8, w, h);
+        let err = engine(w, h, &fixed, SweepSchedule::RedBlack { threads: 1 })
+            .solve_mixed(&injection, &mut v0.clone(), 1e-12, 3)
+            .unwrap_err();
+        assert!(
+            matches!(err, SolverError::DidNotConverge { iterations: 3, .. }),
+            "{err:?}"
+        );
+        let k = 2;
+        let inj_b = interleave(&vec![injection.clone(); k]);
+        let mut v_b = interleave(&vec![v0.clone(); k]);
+        let mut lanes = vec![LaneReport::default(); k];
+        let report = engine(w, h, &fixed, SweepSchedule::RedBlack { threads: 1 })
+            .solve_batch_masked_mixed(&inj_b, &mut v_b, 1e-12, 3, 1.0, None, &mut lanes)
+            .unwrap();
+        assert!(!report.converged);
+        for lane in &lanes {
+            assert!(!lane.converged, "starved lane must report converged=false");
+            assert!(lane.residual.is_finite() && lane.residual > 1e-12);
+        }
+    }
+
+    #[test]
+    fn mixed_warm_solves_do_not_grow_workspace() {
+        let (w, h) = (20, 15);
+        let (fixed, v0, injection) = random_problem(3, w, h);
+        let mut e = engine(w, h, &fixed, SweepSchedule::RedBlack { threads: 1 });
+        let mut v = v0.clone();
+        e.solve_mixed(&injection, &mut v, 1e-9, 1_000_000).unwrap();
+        let after_first = e.memory_bytes();
+        for _ in 0..3 {
+            let mut v = v0.clone();
+            e.solve_mixed(&injection, &mut v, 1e-9, 1_000_000).unwrap();
+        }
+        assert_eq!(
+            e.memory_bytes(),
+            after_first,
+            "warm mixed solves must reuse the sized f32 workspace"
+        );
     }
 
     #[test]

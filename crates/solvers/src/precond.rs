@@ -175,7 +175,7 @@ impl Preconditioner for SsorPrecond {
             for (c, v) in cols.iter().zip(vals) {
                 let j = *c as usize;
                 if j < i {
-                    acc -= v * z[j];
+                    acc = (-v).mul_add(z[j], acc);
                 }
             }
             z[i] = acc * w / self.diag[i];
@@ -191,7 +191,7 @@ impl Preconditioner for SsorPrecond {
             for (c, v) in cols.iter().zip(vals) {
                 let j = *c as usize;
                 if j > i {
-                    acc -= v * z[j];
+                    acc = (-v).mul_add(z[j], acc);
                 }
             }
             z[i] = acc * w / self.diag[i];

@@ -92,7 +92,7 @@ impl LinearSolver for Relaxation {
                         for (c, v) in cols.iter().zip(vals) {
                             let j = *c as usize;
                             if j != i {
-                                acc -= v * x[j];
+                                acc = (-v).mul_add(x[j], acc);
                             }
                         }
                         x_next[i] = acc / diag[i];
@@ -111,11 +111,11 @@ impl LinearSolver for Relaxation {
                         for (c, v) in cols.iter().zip(vals) {
                             let j = *c as usize;
                             if j != i {
-                                acc -= v * x[j];
+                                acc = (-v).mul_add(x[j], acc);
                             }
                         }
                         let gs = acc / diag[i];
-                        let new = x[i] + omega * (gs - x[i]);
+                        let new = omega.mul_add(gs - x[i], x[i]);
                         max_delta = max_delta.max((new - x[i]).abs());
                         x[i] = new;
                     }

@@ -12,10 +12,14 @@
 //! neighbouring segments' right-hand sides.
 //!
 //! [`RowBased`] is the reference kernel: it re-eliminates every row each
-//! sweep and runs strictly sequentially. The production path is the
-//! prefactored [`TierEngine`] (see
-//! [`RowBased::solve_tier_scheduled`]), which factors each segment once
-//! and can sweep the red-black row coloring across threads.
+//! sweep, runs strictly sequentially, and keeps its inner loops in plain
+//! scalar f64 on purpose — it is the easy-to-audit baseline the fast
+//! paths are tested against. The production path is the prefactored
+//! [`TierEngine`] (see [`RowBased::solve_tier_scheduled`]), which
+//! factors each segment once, sweeps batched lanes through blocked FMA
+//! kernels (optionally in refined f32 — see the
+//! [engine docs](crate::engine)), and can run the red-black row coloring
+//! across threads.
 
 use crate::engine::{SweepSchedule, TierEngine};
 use crate::{SolveReport, SolverError};

@@ -1,9 +1,26 @@
 //! Dense vector kernels used by the iterative solvers.
 //!
-//! These are deliberately plain, allocation-free loops over slices: the
-//! iterative methods in `voltprop-solvers` call them in their inner loops.
+//! These are allocation-free loops over slices, written as fixed-width
+//! blocks so the compiler can vectorize them: the iterative methods in
+//! `voltprop-solvers` call them in their inner loops. The reductions
+//! ([`dot`], [`norm2`]) use **blocked pairwise accumulation** — a fixed
+//! summation tree whose shape depends only on the vector length — so the
+//! result is deterministic (bit for bit) for a given input no matter how
+//! the caller batches its solves, and the rounding error grows like
+//! `O(log n)` instead of the `O(n)` of a naive running sum.
 
-/// Dot product `xᵀ y`.
+/// Elements reduced by one leaf of the pairwise tree. Each leaf runs
+/// `LANE_BLOCK` independent accumulators so the loop vectorizes.
+const PAIRWISE_BLOCK: usize = 64;
+
+/// Accumulator / unroll width of the blocked inner loops.
+const LANE_BLOCK: usize = 4;
+
+/// Dot product `xᵀ y`, reduced with a fixed pairwise tree (see the
+/// module docs): leaves of `PAIRWISE_BLOCK` elements are combined in a
+/// shape that depends only on `x.len()`, so the result is a pure
+/// function of the operands — batch-1 and batch-N callers that hand in
+/// the same lane get the same bits.
 ///
 /// # Panics
 ///
@@ -16,30 +33,80 @@
 /// ```
 pub fn dot(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "dot: length mismatch");
-    x.iter().zip(y).map(|(a, b)| a * b).sum()
+    pairwise_dot(x, y)
 }
 
-/// `y += alpha * x`.
+/// Recursive pairwise reduction. The split point is the largest
+/// power-of-two multiple of `PAIRWISE_BLOCK` strictly below `n`, so
+/// the tree shape — and therefore the rounding — is a function of `n`
+/// alone.
+fn pairwise_dot(x: &[f64], y: &[f64]) -> f64 {
+    let n = x.len();
+    if n <= PAIRWISE_BLOCK {
+        return leaf_dot(x, y);
+    }
+    let mut half = PAIRWISE_BLOCK;
+    while half * 2 < n {
+        half *= 2;
+    }
+    pairwise_dot(&x[..half], &y[..half]) + pairwise_dot(&x[half..], &y[half..])
+}
+
+/// One leaf of the pairwise tree: `LANE_BLOCK` independent fused
+/// accumulators over fixed-width chunks, remainder folded in last, then
+/// a balanced combine. At most `PAIRWISE_BLOCK` elements.
+fn leaf_dot(x: &[f64], y: &[f64]) -> f64 {
+    let mut acc = [0.0f64; LANE_BLOCK];
+    let mut xc = x.chunks_exact(LANE_BLOCK);
+    let mut yc = y.chunks_exact(LANE_BLOCK);
+    for (xb, yb) in xc.by_ref().zip(yc.by_ref()) {
+        for j in 0..LANE_BLOCK {
+            acc[j] = xb[j].mul_add(yb[j], acc[j]);
+        }
+    }
+    let mut tail = 0.0f64;
+    for (&a, &b) in xc.remainder().iter().zip(yc.remainder()) {
+        tail = a.mul_add(b, tail);
+    }
+    (acc[0] + acc[2]) + (acc[1] + acc[3]) + tail
+}
+
+/// `y += alpha * x`, as fused multiply-adds in `LANE_BLOCK`-wide
+/// blocks (each element is independent, so blocking is invisible).
 ///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "axpy: length mismatch");
-    for (yi, xi) in y.iter_mut().zip(x) {
-        *yi += alpha * xi;
+    let mut yc = y.chunks_exact_mut(LANE_BLOCK);
+    let mut xc = x.chunks_exact(LANE_BLOCK);
+    for (yb, xb) in yc.by_ref().zip(xc.by_ref()) {
+        for j in 0..LANE_BLOCK {
+            yb[j] = alpha.mul_add(xb[j], yb[j]);
+        }
+    }
+    for (yi, &xi) in yc.into_remainder().iter_mut().zip(xc.remainder()) {
+        *yi = alpha.mul_add(xi, *yi);
     }
 }
 
-/// `y = x + beta * y` (the CG direction update).
+/// `y = x + beta * y` (the CG direction update), fused like [`axpy`].
 ///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
 pub fn xpby(x: &[f64], beta: f64, y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "xpby: length mismatch");
-    for (yi, xi) in y.iter_mut().zip(x) {
-        *yi = xi + beta * *yi;
+    let mut yc = y.chunks_exact_mut(LANE_BLOCK);
+    let mut xc = x.chunks_exact(LANE_BLOCK);
+    for (yb, xb) in yc.by_ref().zip(xc.by_ref()) {
+        for j in 0..LANE_BLOCK {
+            yb[j] = beta.mul_add(yb[j], xb[j]);
+        }
+    }
+    for (yi, &xi) in yc.into_remainder().iter_mut().zip(xc.remainder()) {
+        *yi = beta.mul_add(*yi, xi);
     }
 }
 
@@ -50,7 +117,7 @@ pub fn scale(alpha: f64, x: &mut [f64]) {
     }
 }
 
-/// Euclidean norm ‖x‖₂.
+/// Euclidean norm ‖x‖₂, via the pairwise [`dot`].
 pub fn norm2(x: &[f64]) -> f64 {
     dot(x, x).sqrt()
 }
@@ -134,5 +201,112 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn dot_length_mismatch_panics() {
         let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    fn pseudo_random(seed: u64, n: usize, scale_pow: i32) -> Vec<f64> {
+        let mut s = seed;
+        (0..n)
+            .map(|i| {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let u = ((s >> 33) as f64) / (u32::MAX as f64) - 0.5;
+                // Ill-scaled: magnitudes spanning ~2^scale_pow, alternating
+                // signs so the true sum suffers heavy cancellation.
+                u * (2.0f64).powi((i as i32 * 7 % scale_pow.max(1)) - scale_pow / 2)
+            })
+            .collect()
+    }
+
+    /// Kahan (compensated) dot product — the accuracy reference.
+    fn kahan_dot(x: &[f64], y: &[f64]) -> f64 {
+        let mut sum = 0.0f64;
+        let mut c = 0.0f64;
+        for (&a, &b) in x.iter().zip(y) {
+            let term = a * b - c;
+            let t = sum + term;
+            c = (t - sum) - term;
+            sum = t;
+        }
+        sum
+    }
+
+    /// Naive left-to-right dot (the pre-vectorization implementation),
+    /// used to show the pairwise tree does not do worse.
+    fn naive_dot(x: &[f64], y: &[f64]) -> f64 {
+        x.iter().zip(y).map(|(a, b)| a * b).sum()
+    }
+
+    #[test]
+    fn dot_is_deterministic_across_batch_orderings() {
+        // A batch-N caller hands each lane to `dot` as its own slice; a
+        // batch-1 caller hands the same lane alone. Both must see the
+        // same bits: the reduction is a pure function of the slice, with
+        // a tree shape fixed by the length (no data-dependent or
+        // call-order-dependent state).
+        let k = 5;
+        let n = 777;
+        let lanes: Vec<Vec<f64>> = (0..k)
+            .map(|j| pseudo_random(100 + j as u64, n, 24))
+            .collect();
+        let ys: Vec<Vec<f64>> = (0..k)
+            .map(|j| pseudo_random(900 + j as u64, n, 24))
+            .collect();
+        // Batch-N ordering: all lanes, in order, twice over.
+        let batch: Vec<f64> = (0..2 * k).map(|r| dot(&lanes[r % k], &ys[r % k])).collect();
+        // Batch-1 ordering: each lane alone (fresh pass, reverse order).
+        for j in (0..k).rev() {
+            let solo = dot(&lanes[j], &ys[j]);
+            assert_eq!(solo.to_bits(), batch[j].to_bits(), "lane {j}");
+            assert_eq!(solo.to_bits(), batch[k + j].to_bits(), "lane {j} rerun");
+        }
+    }
+
+    #[test]
+    fn dot_tree_shape_depends_only_on_length() {
+        // Same data viewed through sub-slices of different origins must
+        // reduce identically when the lengths match.
+        let x = pseudo_random(7, 1000, 30);
+        let y = pseudo_random(8, 1000, 30);
+        for (a, b) in [(0usize, 640usize), (100, 740), (360, 1000)] {
+            let d = dot(&x[a..b], &y[a..b]);
+            let copied_x: Vec<f64> = x[a..b].to_vec();
+            let copied_y: Vec<f64> = y[a..b].to_vec();
+            assert_eq!(d.to_bits(), dot(&copied_x, &copied_y).to_bits());
+        }
+    }
+
+    #[test]
+    fn dot_accuracy_vs_kahan_on_ill_scaled_inputs() {
+        for (seed, n) in [(1u64, 513usize), (2, 4096), (3, 10_000)] {
+            let x = pseudo_random(seed, n, 40);
+            let y = pseudo_random(seed + 50, n, 40);
+            let reference = kahan_dot(&x, &y);
+            let pairwise = dot(&x, &y);
+            let naive = naive_dot(&x, &y);
+            let scale: f64 = x
+                .iter()
+                .zip(&y)
+                .map(|(a, b)| (a * b).abs())
+                .fold(0.0, f64::max);
+            let err_pairwise = (pairwise - reference).abs() / scale;
+            let err_naive = (naive - reference).abs() / scale;
+            // Blocked pairwise must stay within a few ulps of the
+            // compensated reference and never lose to the naive sum.
+            assert!(
+                err_pairwise < 1e-13,
+                "seed {seed} n {n}: pairwise off by {err_pairwise:.3e} (naive {err_naive:.3e})"
+            );
+            assert!(
+                err_pairwise <= err_naive + 1e-16,
+                "seed {seed} n {n}: pairwise ({err_pairwise:.3e}) worse than naive ({err_naive:.3e})"
+            );
+        }
+    }
+
+    #[test]
+    fn norm2_matches_dot_bits() {
+        let x = pseudo_random(11, 333, 12);
+        assert_eq!(norm2(&x).to_bits(), dot(&x, &x).sqrt().to_bits());
     }
 }

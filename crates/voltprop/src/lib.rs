@@ -59,8 +59,8 @@ pub use voltprop_solvers as solvers;
 pub use voltprop_sparse as sparse;
 
 pub use voltprop_core::{
-    Backend, BuildError, BuildParams, LoadCase, LoadSet, Session, SessionError, SolutionView,
-    SolveParams, VpConfig, VpReport, VpSolver,
+    Backend, BuildError, BuildParams, LoadCase, LoadSet, Precision, Session, SessionError,
+    SolutionView, SolveParams, VpConfig, VpReport, VpSolver,
 };
 pub use voltprop_grid::{
     GridError, LoadProfile, NetKind, Netlist, NetlistCircuit, Stack3d, StampedSystem, SynthConfig,

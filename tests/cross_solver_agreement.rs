@@ -3,8 +3,8 @@
 
 use voltprop::solvers::residual;
 use voltprop::{
-    Backend, DirectCholesky, LoadCase, NetKind, Pcg, PrecondKind, Rb3d, Session, SolveParams,
-    StackSolver, SynthConfig, VpConfig, VpSolver,
+    Backend, DirectCholesky, LoadCase, NetKind, Pcg, Precision, PrecondKind, Rb3d, Session,
+    SolveParams, StackSolver, SynthConfig, VpConfig, VpSolver,
 };
 
 const HALF_MV: f64 = 5e-4;
@@ -62,9 +62,10 @@ fn all_solvers_agree_on_ground_net() {
     }
 }
 
-/// The three-way gate: VoltProp, Rb3d, and Pcg served from **one**
-/// prefactored session must agree with the direct reference — and with
-/// each other — within the paper's 0.5 mV budget, on both nets.
+/// The agreement gate: VoltProp (f64 **and** mixed precision), Rb3d, and
+/// Pcg served from **one** prefactored session must agree with the
+/// direct reference — and with each other — within the paper's 0.5 mV
+/// budget, on both nets.
 fn assert_three_way_agreement(stack: &voltprop::Stack3d, label: &str) {
     let mut session = Session::build(stack, VpConfig::default()).unwrap();
     let rb_params = SolveParams::new()
@@ -73,10 +74,16 @@ fn assert_three_way_agreement(stack: &voltprop::Stack3d, label: &str) {
     let pcg_params = SolveParams::new()
         .inner_tolerance(1e-8)
         .max_inner_sweeps(50_000);
+    let mixed_params = SolveParams::new().precision(Precision::MixedF32);
     for net in [NetKind::Power, NetKind::Ground] {
         let reference = DirectCholesky::new().solve_stack(stack, net).unwrap();
         let vp = session
             .solve(&LoadCase::new(stack).net(net))
+            .unwrap()
+            .voltages()
+            .to_vec();
+        let vp_mixed = session
+            .solve(&LoadCase::new(stack).net(net).params(mixed_params))
             .unwrap()
             .voltages()
             .to_vec();
@@ -100,7 +107,12 @@ fn assert_three_way_agreement(stack: &voltprop::Stack3d, label: &str) {
             .unwrap()
             .voltages()
             .to_vec();
-        for (name, v) in [("voltprop", &vp), ("rb3d", &rb), ("pcg", &pcg)] {
+        for (name, v) in [
+            ("voltprop", &vp),
+            ("voltprop-mixed", &vp_mixed),
+            ("rb3d", &rb),
+            ("pcg", &pcg),
+        ] {
             let err = residual::max_abs_error(&reference.voltages, v);
             assert!(
                 err < HALF_MV,
@@ -108,7 +120,11 @@ fn assert_three_way_agreement(stack: &voltprop::Stack3d, label: &str) {
                 err * 1e3
             );
         }
-        for (pair, a, b) in [("vp-pcg", &vp, &pcg), ("vp-rb3d", &vp, &rb)] {
+        for (pair, a, b) in [
+            ("vp-pcg", &vp, &pcg),
+            ("vp-rb3d", &vp, &rb),
+            ("vp-mixed", &vp, &vp_mixed),
+        ] {
             let err = residual::max_abs_error(a, b);
             assert!(
                 err < HALF_MV,
@@ -187,6 +203,39 @@ fn three_backends_agree_on_one_session_single_tier() {
         .build()
         .unwrap();
     assert_three_way_agreement(&stack, "single tier 12x12x1");
+}
+
+#[test]
+fn starved_refinement_budget_reports_unconverged() {
+    // A mixed-precision solve whose f32 sweep budget cannot reach the
+    // tolerance must say so honestly: `converged = false` with a finite
+    // residual, never a silent pass. Single-tier routes the budget
+    // straight into the refinement loop, so the starvation is direct.
+    let stack = voltprop::Stack3d::builder(12, 12, 1)
+        .load_profile(
+            voltprop::LoadProfile::UniformRandom {
+                min: 1e-5,
+                max: 1e-3,
+            },
+            11,
+        )
+        .build()
+        .unwrap();
+    let mut session = Session::build(&stack, VpConfig::default()).unwrap();
+    let starved = SolveParams::new()
+        .precision(Precision::MixedF32)
+        .inner_tolerance(1e-14)
+        .max_inner_sweeps(2);
+    let view = session
+        .solve(&LoadCase::new(&stack).params(starved))
+        .unwrap();
+    let rep = view.report();
+    assert!(!rep.converged, "2 f32 sweeps cannot reach 1e-14");
+    assert!(
+        rep.pad_mismatch.is_finite() && rep.pad_mismatch > 1e-14,
+        "true residual must be reported, got {}",
+        rep.pad_mismatch
+    );
 }
 
 #[test]

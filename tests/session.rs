@@ -36,6 +36,13 @@ fn load_sweep(stack: &Stack3d, k: usize) -> Vec<f64> {
     loads
 }
 
+/// `true` when `VOLTPROP_FORCE_PRECISION` overrides every request's
+/// precision (the CI forced-mixed pass). Bitwise-pinning assertions
+/// compare against the f64 path and must skip under the override.
+fn forced_precision() -> bool {
+    std::env::var_os("VOLTPROP_FORCE_PRECISION").is_some()
+}
+
 /// The saved fixture that pins the session's bitwise behavior across
 /// releases. Regenerate deliberately with
 /// `VOLTPROP_BLESS=1 cargo test --test session pinned_fixture`.
@@ -52,6 +59,10 @@ fn pinned_fixture_guards_bitwise_behavior() {
     // reproduced) are committed as a fixture, so a refactor that
     // perturbs a single ULP anywhere in the solve pipeline fails loudly
     // and must re-bless deliberately.
+    if forced_precision() {
+        eprintln!("skipping: VOLTPROP_FORCE_PRECISION overrides the f64 path this fixture pins");
+        return;
+    }
     let stack = stack();
     let nn = stack.num_nodes();
     let mut session = Session::build(&stack, VpConfig::default()).unwrap();
@@ -332,7 +343,11 @@ fn pcg_backend_routes_through_the_same_session() {
         .max_inner_sweeps(50_000);
 
     // Single solve: agrees with the standalone Pcg solver (same IC(0)
-    // preconditioner, same tolerance) and with the direct reference.
+    // preconditioner, same tolerance) and with the direct reference. The
+    // standalone solver always runs the f64 path, so under a forced
+    // mixed-precision override the comparison loosens from near-bitwise
+    // to the shared accuracy budget.
+    let tight = if forced_precision() { 5e-4 } else { 1e-9 };
     let standalone = Pcg::default().solve_stack(&stack, NetKind::Power).unwrap();
     let routed = session
         .solve(
@@ -344,7 +359,7 @@ fn pcg_backend_routes_through_the_same_session() {
     assert!(routed.converged());
     assert!(routed.pillar_currents().is_empty(), "pcg computes none");
     let drift = residual::max_abs_error(&standalone.voltages, routed.voltages());
-    assert!(drift < 1e-9, "session pcg vs standalone drift {drift}");
+    assert!(drift < tight, "session pcg vs standalone drift {drift}");
     let exact = DirectCholesky::new()
         .solve_stack(&stack, NetKind::Power)
         .unwrap();
@@ -390,7 +405,7 @@ fn pcg_backend_routes_through_the_same_session() {
             .solve_stack(&lane_stack, NetKind::Power)
             .unwrap();
         let lane_drift = residual::max_abs_error(&solo.voltages, batch.lane_voltages(j).unwrap());
-        assert!(lane_drift < 1e-9, "lane {j} drift {lane_drift}");
+        assert!(lane_drift < tight, "lane {j} drift {lane_drift}");
     }
 
     // Transient routes through the same per-lane engine path.
