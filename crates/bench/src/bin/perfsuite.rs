@@ -30,6 +30,11 @@
 //!   requests on the session's prefactored engine, **asserting zero
 //!   allocator calls** and sub-0.5 mV agreement with VoltProp, recording
 //!   the method's speedup over the general sparse reference;
+//! * the shared-session concurrency path: one [`SharedSession`] (built
+//!   at parallelism 2) serving warm solves from 1/4/16 simulated client
+//!   threads — requests/s and p50/p99 per-request latency — with
+//!   **zero allocator calls** asserted on the single-threaded warm
+//!   checkout → solve → return hot path;
 //! * the vectorized kernels: per-kernel effective GB/s of the batched
 //!   f64 solve sweep, the red-black sweep at parallelism 2, and the PCG
 //!   axpy/dot core, plus the f64-vs-mixed batched-sweep throughput
@@ -54,7 +59,7 @@ use voltprop_bench::alloc::{self, CountingAllocator};
 use voltprop_bench::trajectory::{
     append_run, hardware_context_json, hardware_threads, json_bool, json_f64,
 };
-use voltprop_core::{Backend, LoadCase, LoadSet, Session, SolveParams, VpConfig};
+use voltprop_core::{Backend, LoadCase, LoadSet, Session, SharedSession, SolveParams, VpConfig};
 use voltprop_grid::Stack3d;
 use voltprop_solvers::rowbased::{RbWorkspace, RowBased, TierProblem};
 use voltprop_solvers::{LaneReport, ParDispatch, SweepSchedule, TierEngine};
@@ -711,6 +716,101 @@ fn pcg_block(w: usize, h: usize, tiers: usize, k: usize) -> String {
     )
 }
 
+/// The shared-session concurrency experiment: one [`SharedSession`]
+/// built at the given parallelism with `slots` scratch slots, serving
+/// `requests_per_client` warm solves from each of 1/4/16 simulated
+/// client threads. Reports aggregate requests/s and p50/p99 per-request
+/// latency (latency vectors are preallocated so measurement itself never
+/// allocates inside a request window), after asserting **zero allocator
+/// calls** across warm single-threaded checkout → solve → return
+/// round-trips — the `SharedSession` hot-path contract.
+fn concurrency_block(
+    w: usize,
+    h: usize,
+    tiers: usize,
+    parallelism: usize,
+    slots: usize,
+    clients_list: &[usize],
+    requests_per_client: usize,
+) -> String {
+    eprintln!(
+        "shared session {w}x{h}x{tiers} parallelism={parallelism} slots={slots} \
+         clients {clients_list:?} x {requests_per_client}..."
+    );
+    let stack = Stack3d::builder(w, h, tiers)
+        .uniform_load(2e-4)
+        .build()
+        .expect("valid stack");
+    let shared = SharedSession::build(&stack, VpConfig::new().parallelism(parallelism), slots)
+        .expect("shared session builds");
+    let case = LoadCase::new(&stack);
+
+    // Warm every scratch slot: hold all slots checked out at once so each
+    // one faults its pages and sizes its arenas before anything is timed.
+    {
+        let guards: Vec<_> = (0..slots)
+            .map(|_| shared.solve(&case).expect("warm solve converges"))
+            .collect();
+        drop(guards);
+    }
+
+    // The zero-allocation hot path: warm checkout → solve → return,
+    // single-threaded so the counting allocator sees only this path.
+    let hot_rounds = 4usize;
+    let calls_before = alloc::alloc_calls();
+    for _ in 0..hot_rounds {
+        let solution = shared.solve(&case).expect("warm shared solve");
+        assert!(solution.view().converged());
+    }
+    let hot_path_allocs = alloc::alloc_calls() - calls_before;
+    assert_eq!(
+        hot_path_allocs, 0,
+        "warm SharedSession checkout → solve → return must make zero allocator calls"
+    );
+
+    let mut lines = Vec::new();
+    for &clients in clients_list {
+        let total = clients * requests_per_client;
+        let mut latencies: Vec<Vec<f64>> = (0..clients)
+            .map(|_| Vec::with_capacity(requests_per_client))
+            .collect();
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for lane in latencies.iter_mut() {
+                let shared = &shared;
+                let case = &case;
+                scope.spawn(move || {
+                    for _ in 0..requests_per_client {
+                        let t0 = Instant::now();
+                        let solution = shared.solve(case).expect("concurrent solve converges");
+                        assert!(solution.view().converged());
+                        drop(solution); // slot goes back before the clock stops
+                        lane.push(t0.elapsed().as_secs_f64() * 1e3);
+                    }
+                });
+            }
+        });
+        let wall_s = start.elapsed().as_secs_f64();
+        let mut all: Vec<f64> = latencies.into_iter().flatten().collect();
+        all.sort_by(f64::total_cmp);
+        let pct = |p: f64| all[((all.len() - 1) as f64 * p).round() as usize];
+        lines.push(format!(
+            "      {{ \"clients\": {clients}, \"requests\": {total}, \
+             \"requests_per_s\": {}, \"p50_ms\": {}, \"p99_ms\": {} }}",
+            json_f64(total as f64 / wall_s),
+            json_f64(pct(0.50)),
+            json_f64(pct(0.99)),
+        ));
+    }
+    format!(
+        "{{\n    \"grid\": \"{w}x{h}x{tiers}\",\n    \"parallelism\": {parallelism},\n    \
+         \"slots\": {slots},\n    \"requests_per_client\": {requests_per_client},\n    \
+         \"hot_path_warm_alloc_calls\": {hot_path_allocs},\n    \
+         \"clients\": [\n{}\n    ]\n  }}",
+        lines.join(",\n"),
+    )
+}
+
 /// The vectorized-kernel bandwidth experiment: effective GB/s of the
 /// hot kernels this workspace spends its time in — the batched f64
 /// solve sweep, the red-black sweep at parallelism 2, and the PCG
@@ -1018,6 +1118,16 @@ fn main() {
         vec![pcg_block(128, 128, 3, 8)]
     };
 
+    // The shared-session concurrency trajectory: requests/s and p50/p99
+    // at 1/4/16 simulated clients on one SharedSession at parallelism 2,
+    // plus the asserted zero-allocation hot path. The quick run is the
+    // CI smoke for both contracts.
+    let concurrency_blocks = if quick {
+        vec![concurrency_block(64, 64, 3, 2, 4, &[1, 4, 16], 6)]
+    } else {
+        vec![concurrency_block(128, 128, 3, 2, 4, &[1, 4, 16], 16)]
+    };
+
     // The vectorized-kernel bandwidth trajectory: effective GB/s of the
     // batched sweep / red-black sweep / axpy-dot kernels plus the
     // f64-vs-mixed precision comparison. The quick run is the CI smoke
@@ -1040,7 +1150,8 @@ fn main() {
          \"row_sweeps\": [\n  {}\n  ],\n  \"vp_solver\": [\n  {}\n  ],\n  \
          \"vp_batch\": [\n  {}\n  ],\n  \"pool_latency\": [\n  {}\n  ],\n  \
          \"batch_compaction\": [\n  {}\n  ],\n  \"session\": [\n  {}\n  ],\n  \
-         \"pcg\": [\n  {}\n  ],\n  \"kernels\": [\n  {}\n  ]\n}}",
+         \"pcg\": [\n  {}\n  ],\n  \"concurrency\": [\n  {}\n  ],\n  \
+         \"kernels\": [\n  {}\n  ]\n}}",
         row_blocks.join(",\n  "),
         vp_blocks.join(",\n  "),
         batch_blocks.join(",\n  "),
@@ -1048,6 +1159,7 @@ fn main() {
         compaction_blocks.join(",\n  "),
         session_blocks.join(",\n  "),
         pcg_blocks.join(",\n  "),
+        concurrency_blocks.join(",\n  "),
         kernel_blocks.join(",\n  "),
     );
     if let Err(e) = append_run(&out, &entry) {

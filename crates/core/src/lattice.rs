@@ -17,7 +17,7 @@
 use voltprop_grid::Stack3d;
 use voltprop_solvers::rowbased::{RbWorkspace, RowBased, TierProblem};
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 #[allow(clippy::large_enum_variant)] // one lattice per solve; Grid carries its scratch
 pub(crate) enum PillarLattice {
     /// Pillars form a complete `cw × ch` grid.

@@ -123,12 +123,17 @@ mod config;
 mod lattice;
 mod report;
 mod session;
+mod shared;
 mod solver;
 mod tier_cache;
 mod vda;
 
 pub use config::{BuildParams, Precision, SolveParams, VpConfig};
 pub use report::VpReport;
-pub use session::{Backend, BuildError, LoadCase, LoadSet, Session, SessionError, SolutionView};
+pub use session::{
+    Backend, BuildError, LoadCase, LoadSet, Session, SessionCore, SessionError, SolutionView,
+    SolveScratch,
+};
+pub use shared::{SharedSession, SharedSolution, TryCheckout};
 pub use solver::VpSolver;
 pub use vda::VdaController;

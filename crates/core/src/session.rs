@@ -28,6 +28,7 @@
 
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 use voltprop_grid::{GridError, NetKind, Stack3d};
 use voltprop_solvers::{PcgEngine, Rb3dEngine, SolverError};
@@ -222,10 +223,10 @@ impl From<SolverError> for SessionError {
 /// ```
 #[derive(Debug, Clone, Copy)]
 pub struct LoadCase<'a> {
-    stack: &'a Stack3d,
-    net: NetKind,
-    backend: Backend,
-    params: Option<SolveParams>,
+    pub(crate) stack: &'a Stack3d,
+    pub(crate) net: NetKind,
+    pub(crate) backend: Backend,
+    pub(crate) params: Option<SolveParams>,
 }
 
 impl<'a> LoadCase<'a> {
@@ -273,11 +274,11 @@ impl<'a> LoadCase<'a> {
 /// Net, backend, and parameter overrides apply to every lane.
 #[derive(Debug, Clone, Copy)]
 pub struct LoadSet<'a> {
-    stack: &'a Stack3d,
-    loads: &'a [f64],
-    net: NetKind,
-    backend: Backend,
-    params: Option<SolveParams>,
+    pub(crate) stack: &'a Stack3d,
+    pub(crate) loads: &'a [f64],
+    pub(crate) net: NetKind,
+    pub(crate) backend: Backend,
+    pub(crate) params: Option<SolveParams>,
 }
 
 impl<'a> LoadSet<'a> {
@@ -450,143 +451,181 @@ impl<'a> SolutionView<'a> {
     }
 }
 
-/// The prefactored solve handle: tier factorizations, the pillar
-/// lattice, and every solve buffer, built once by [`Session::build`] and
-/// amortized across all following requests.
+/// The frozen, shareable half of a session: every piece of read-only
+/// post-build state — the voltage-propagation tier factors and pillar
+/// lattice, the [`Backend::Rb3d`] engine topology, the [`Backend::Pcg`]
+/// stamped system with its IC(0) factor, and the f32 shadow factors of
+/// both routes — plus the session's build-time and default per-solve
+/// parameters.
 ///
-/// A session is tied to one grid *geometry* (footprint, tiers,
-/// resistances, TSV and pad sites) and one build-time configuration
-/// (sweep parallelism). Within that contract everything may vary per
-/// request: loads, net, tolerances, and the [`Backend`] the request is
-/// routed through — voltage propagation, the naive row-based baseline,
-/// and the prefactored PCG reference all serve from this one handle.
-/// Warm requests perform **zero heap allocations** on the
-/// [`Backend::VoltProp`] and [`Backend::Pcg`] routes (single, batched,
-/// and transient — measured by `perfsuite`), and batched VoltProp lanes
-/// are bitwise identical to the corresponding single solves.
+/// # Ownership rules
 ///
-/// # Example
-///
-/// ```
-/// use voltprop_core::{LoadCase, LoadSet, Session, VpConfig};
-/// use voltprop_grid::{NetKind, Stack3d};
-///
-/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
-/// let stack = Stack3d::builder(12, 12, 3).uniform_load(2e-4).build()?;
-/// let mut session = Session::build(&stack, VpConfig::default())?;
-///
-/// // Single solve on the stack's own loads.
-/// let view = session.solve(&LoadCase::new(&stack))?;
-/// assert!(view.converged());
-/// let worst = view.worst_drop(stack.vdd());
-///
-/// // A two-scenario what-if sweep on the same prefactored state.
-/// let mut loads = stack.loads().to_vec();
-/// loads.extend(stack.loads().iter().map(|l| 1.5 * l));
-/// let sweep = session.solve_batch(&LoadSet::new(&stack, &loads))?;
-/// assert_eq!(sweep.lanes(), 2);
-/// assert!(sweep.lane_worst_drop(1, stack.vdd())? >= worst);
-/// # Ok(())
-/// # }
-/// ```
+/// * A `SessionCore` is **immutable after build**: no method takes
+///   `&mut self`, so one core behind an [`Arc`] serves any number of
+///   threads.
+/// * All per-request mutable state lives in [`SolveScratch`]es created
+///   by [`SessionCore::new_scratch`]. A scratch internally holds its own
+///   `Arc` references to the core's factors (forking never restamps or
+///   refactors anything), so it remains valid even if the core handle
+///   that created it is dropped first.
+/// * A scratch is exclusively owned by whoever holds it: a [`Session`]
+///   permanently owns one, a [`SharedSession`](crate::SharedSession)
+///   keeps a bounded pool and checks one out per request. Solves fully
+///   re-initialize every buffer they read, so identical requests on any
+///   scratch of one core produce bitwise-identical results.
 #[derive(Debug)]
-pub struct Session {
+pub struct SessionCore {
     build: BuildParams,
     defaults: SolveParams,
     width: usize,
     height: usize,
     tiers: usize,
     nn: usize,
-    scratch: VpScratch,
-    rb: Rb3dEngine,
-    /// The prefactored PCG reference backend, or the reason its
-    /// build-time prefactor failed (served as
+    /// The pristine scratch template built alongside the factors. Its
+    /// engine-internal `Arc`s *are* the frozen state every fork shares;
+    /// its mutable arenas are never written after build (one scratch set
+    /// of standby memory, the price of fork-based sharing).
+    proto: SolveScratch,
+    /// Why the build-time PCG prefactor failed, if it did (served as
     /// [`SessionError::BackendUnavailable`]).
-    pcg: Result<PcgEngine, String>,
-    /// Lane-major Rb3d voltages (grown to the largest lane count seen).
-    rb_voltages: Vec<f64>,
-    /// Lane-major Pcg voltages (grown to the largest lane count seen).
-    pcg_voltages: Vec<f64>,
-    /// Staging buffer for [`Session::transient`] waveforms.
-    transient_loads: Vec<f64>,
-    /// Per-lane reports of the most recent request.
-    reports: Vec<VpReport>,
+    pcg_unavailable: Option<String>,
 }
 
-impl Session {
+/// The per-request mutable half of a session: every buffer a solve
+/// writes — the voltage/injection/batch arenas and Anderson mixing
+/// history of the VoltProp route, the [`Backend::Rb3d`] sweep state, the
+/// [`Backend::Pcg`] iteration vectors (including the f32 refinement
+/// image), the transient staging buffer, and the per-lane reports.
+///
+/// A scratch is created by [`SessionCore::new_scratch`] and is tied to
+/// that core's geometry; it shares the core's prefactored read-only
+/// state internally and has no public operations of its own — solves
+/// are driven through [`Session`] (which permanently owns one scratch)
+/// or [`SharedSession`](crate::SharedSession) (which pools them and
+/// checks one out per request). Every solve re-initializes the buffers
+/// it reads, so a scratch never leaks one request's state into the
+/// next.
+#[derive(Debug)]
+pub struct SolveScratch {
+    pub(crate) vp: VpScratch,
+    pub(crate) rb: Rb3dEngine,
+    pub(crate) pcg: Option<PcgEngine>,
+    /// Lane-major Rb3d voltages (grown to the largest lane count seen).
+    pub(crate) rb_voltages: Vec<f64>,
+    /// Lane-major Pcg voltages (grown to the largest lane count seen).
+    pub(crate) pcg_voltages: Vec<f64>,
+    /// Staging buffer for [`Session::transient`] waveforms.
+    pub(crate) transient_loads: Vec<f64>,
+    /// Per-lane reports of the most recent request.
+    pub(crate) reports: Vec<VpReport>,
+}
+
+impl SolveScratch {
+    /// Estimated heap footprint of this scratch's buffers plus the
+    /// shared factors it references (forks of one core count the shared
+    /// factor bytes each).
+    pub fn memory_bytes(&self) -> usize {
+        self.vp.memory_bytes()
+            + self.rb.memory_bytes()
+            + self.pcg.as_ref().map_or(0, PcgEngine::memory_bytes)
+            + (self.rb_voltages.len() + self.pcg_voltages.len() + self.transient_loads.len()) * 8
+            + self.reports.capacity() * std::mem::size_of::<VpReport>()
+    }
+}
+
+impl SessionCore {
     /// Validates the stack and builds all prefactored solve state: the
     /// voltage propagation scratch (tier factors, pillar lattice, outer
     /// buffers), the [`Backend::Rb3d`] engine, **and** the
     /// [`Backend::Pcg`] engine (the full 3-D system stamped and its
     /// IC(0) preconditioner factored, with Jacobi fallback), so any
-    /// backend can serve without further factorization. The config's
-    /// build-time half is fixed for the session's lifetime; its
-    /// per-solve half becomes the session defaults that a
-    /// [`LoadCase`]/[`LoadSet`] may override.
+    /// backend can serve without further factorization.
     ///
     /// A failed PCG prefactor does **not** fail the build — the other
     /// backends stay usable, and Pcg requests surface the recorded
     /// reason as [`SessionError::BackendUnavailable`].
-    ///
-    /// Batch arenas are sized on the first batched request with a given
-    /// lane count (a cold call); all later requests with that lane count
-    /// are allocation-free.
     ///
     /// # Errors
     ///
     /// [`BuildError`] if the grid fails validation, voltage propagation
     /// cannot serve the topology (pads away from pillars, resistive pads
     /// on a single tier), or a factorization fails.
-    pub fn build(stack: &Stack3d, config: VpConfig) -> Result<Session, BuildError> {
-        let scratch = VpScratch::new(stack, &config)?;
+    pub fn build(stack: &Stack3d, config: VpConfig) -> Result<SessionCore, BuildError> {
+        let vp = VpScratch::new(stack, &config)?;
         let rb = Rb3dEngine::build(stack, config.parallelism)?;
-        let pcg =
-            PcgEngine::build(stack).map_err(|e| format!("build-time PCG prefactor failed: {e}"));
+        let (pcg, pcg_unavailable) = match PcgEngine::build(stack) {
+            Ok(engine) => (Some(engine), None),
+            Err(e) => (None, Some(format!("build-time PCG prefactor failed: {e}"))),
+        };
         let nn = stack.num_nodes();
-        Ok(Session {
+        Ok(SessionCore {
             build: config.build_params(),
             defaults: config.solve_params(),
             width: stack.width(),
             height: stack.height(),
             tiers: stack.tiers(),
             nn,
-            scratch,
-            rb,
-            pcg,
-            rb_voltages: vec![0.0; nn],
-            pcg_voltages: vec![0.0; nn],
-            transient_loads: Vec::new(),
-            reports: Vec::new(),
+            proto: SolveScratch {
+                vp,
+                rb,
+                pcg,
+                rb_voltages: vec![0.0; nn],
+                pcg_voltages: vec![0.0; nn],
+                transient_loads: Vec::new(),
+                reports: Vec::new(),
+            },
+            pcg_unavailable,
         })
     }
 
-    /// The session's build-time parameters.
+    /// A fresh [`SolveScratch`] for this core: the prefactored read-only
+    /// state (tier factors, pin mask, stamped system, preconditioner) is
+    /// shared via `Arc` — nothing is restamped or refactored — and every
+    /// mutable buffer is freshly allocated. This is the cold, allocating
+    /// step; warm solves on the returned scratch allocate nothing.
+    #[must_use]
+    pub fn new_scratch(&self) -> SolveScratch {
+        SolveScratch {
+            vp: self.proto.vp.fork(),
+            rb: self.proto.rb.fork(),
+            pcg: self.proto.pcg.as_ref().map(PcgEngine::fork),
+            rb_voltages: vec![0.0; self.nn],
+            pcg_voltages: vec![0.0; self.nn],
+            transient_loads: Vec::new(),
+            reports: Vec::new(),
+        }
+    }
+
+    /// The core's build-time parameters.
     pub fn build_params(&self) -> BuildParams {
         self.build
     }
 
-    /// The session's default per-solve parameters (from the config given
-    /// to [`Session::build`]).
+    /// The core's default per-solve parameters (from the config given to
+    /// [`SessionCore::build`]).
     pub fn defaults(&self) -> SolveParams {
         self.defaults
     }
 
-    /// Estimated heap footprint of all prefactored state and arenas.
+    /// Number of grid nodes per lane (the build stack's `num_nodes`).
+    pub fn num_nodes(&self) -> usize {
+        self.nn
+    }
+
+    /// Estimated heap footprint of the prefactored state (including the
+    /// pristine scratch template; checked-out scratches count
+    /// separately).
     pub fn memory_bytes(&self) -> usize {
-        self.scratch.memory_bytes()
-            + self.rb.memory_bytes()
-            + self.pcg.as_ref().map_or(0, PcgEngine::memory_bytes)
-            + (self.rb_voltages.len() + self.pcg_voltages.len() + self.transient_loads.len()) * 8
-            + self.reports.capacity() * std::mem::size_of::<VpReport>()
+        self.proto.memory_bytes()
     }
 
-    /// Whether the stack's geometry matches what this session was built
-    /// for (loads are ignored).
+    /// Whether the stack's geometry matches what this core was built for
+    /// (loads are ignored).
     pub fn serves(&self, stack: &Stack3d) -> bool {
-        self.scratch.geometry_matches(stack)
+        self.proto.vp.geometry_matches(stack)
     }
 
-    fn check_geometry(&self, stack: &Stack3d) -> Result<(), SessionError> {
+    pub(crate) fn check_geometry(&self, stack: &Stack3d) -> Result<(), SessionError> {
         if self.serves(stack) {
             return Ok(());
         }
@@ -606,58 +645,39 @@ impl Session {
         })
     }
 
-    /// Serves one load pattern (the stack's own loads), routed through
-    /// the case's [`Backend`]. Warm calls are allocation-free on every
-    /// route.
-    ///
-    /// # Errors
-    ///
-    /// * [`SessionError::GeometryChanged`] if the case's stack differs
-    ///   geometrically from the build-time stack.
-    /// * [`SessionError::BackendUnavailable`] for a backend whose
-    ///   build-time prefactor failed (carrying the reason).
-    /// * [`SessionError::Solver`] for engine failures (convergence
-    ///   budget exhausted, numerical breakdown, invalid loads).
-    pub fn solve(&mut self, case: &LoadCase<'_>) -> Result<SolutionView<'_>, SessionError> {
+    /// Runs one [`LoadCase`] into `scratch` (no view yet — the borrow of
+    /// the case stays separable from the result view, which
+    /// [`SessionCore::single_view`] builds afterwards).
+    pub(crate) fn solve_on(
+        &self,
+        scratch: &mut SolveScratch,
+        case: &LoadCase<'_>,
+    ) -> Result<(), SessionError> {
         self.check_geometry(case.stack)?;
         case.stack.validate().map_err(SolverError::from)?;
         let params = case.params.unwrap_or(self.defaults);
         match case.backend {
             Backend::VoltProp => {
-                let report = run_single(&params, case.stack, case.net, &mut self.scratch)?;
-                self.reports.clear();
-                self.reports.push(report);
-                Ok(SolutionView {
-                    voltages: self.scratch.voltages(),
-                    pillar_currents: self.scratch.pillar_currents(),
-                    reports: &self.reports,
-                    lanes: 1,
-                    nodes: self.nn,
-                    sites: self.scratch.num_sites(),
-                })
+                let report = run_single(&params, case.stack, case.net, &mut scratch.vp)?;
+                scratch.reports.clear();
+                scratch.reports.push(report);
+                Ok(())
             }
             Backend::Rb3d => {
-                let rep = self.rb.solve(
+                let rep = scratch.rb.solve(
                     case.stack.loads(),
                     case.net,
                     params.sor_omega,
                     params.inner_tolerance,
                     params.max_inner_sweeps,
-                    &mut self.rb_voltages[..self.nn],
+                    &mut scratch.rb_voltages[..self.nn],
                 )?;
-                self.reports.clear();
-                self.reports.push(rb_report(&rep, self.tiers));
-                Ok(SolutionView {
-                    voltages: &self.rb_voltages[..self.nn],
-                    pillar_currents: &[],
-                    reports: &self.reports,
-                    lanes: 1,
-                    nodes: self.nn,
-                    sites: 0,
-                })
+                scratch.reports.clear();
+                scratch.reports.push(rb_report(&rep, self.tiers));
+                Ok(())
             }
             Backend::Pcg => {
-                let engine = pcg_engine(&mut self.pcg)?;
+                let engine = pcg_engine(&mut scratch.pcg, &self.pcg_unavailable)?;
                 let mixed = params.precision.resolve() == crate::Precision::MixedF32;
                 let rep = if mixed {
                     engine.solve_mixed(
@@ -665,7 +685,7 @@ impl Session {
                         case.net,
                         params.inner_tolerance,
                         params.max_inner_sweeps,
-                        &mut self.pcg_voltages[..self.nn],
+                        &mut scratch.pcg_voltages[..self.nn],
                     )?
                 } else {
                     engine.solve(
@@ -673,86 +693,57 @@ impl Session {
                         case.net,
                         params.inner_tolerance,
                         params.max_inner_sweeps,
-                        &mut self.pcg_voltages[..self.nn],
+                        &mut scratch.pcg_voltages[..self.nn],
                     )?
                 };
-                self.reports.clear();
-                self.reports.push(pcg_report(&rep));
-                Ok(SolutionView {
-                    voltages: &self.pcg_voltages[..self.nn],
-                    pillar_currents: &[],
-                    reports: &self.reports,
-                    lanes: 1,
-                    nodes: self.nn,
-                    sites: 0,
-                })
+                scratch.reports.clear();
+                scratch.reports.push(pcg_report(&rep));
+                Ok(())
             }
         }
     }
 
-    /// Serves `k` load patterns as one batched request. On the
-    /// [`Backend::VoltProp`] route all lanes sweep together through the
-    /// shared tier factors in lockstep — each converged lane is bitwise
-    /// identical to the corresponding [`Session::solve`] — and a lane
-    /// that exhausts a budget reports `converged = false` in its
-    /// [`SolutionView::lane_report`] instead of failing the batch. The
-    /// [`Backend::Rb3d`] and [`Backend::Pcg`] routes serve the lanes as
-    /// per-lane solves on their prefactored engines (factorizations
-    /// still amortized; a lane that finishes is final and never touched
-    /// by later lanes, and a lane that exhausts its budget likewise
-    /// reports `converged = false` instead of failing the batch).
-    ///
-    /// # Errors
-    ///
-    /// See [`Session::solve`]; additionally
-    /// [`SessionError::Solver`]`(`[`SolverError::Unsupported`]`)` if the
-    /// load buffer is empty, not a whole number of load vectors, or
-    /// contains negative/non-finite currents.
-    pub fn solve_batch(&mut self, set: &LoadSet<'_>) -> Result<SolutionView<'_>, SessionError> {
-        self.batch_on(set.stack, set.net, set.backend, set.params, set.loads)?;
-        Ok(self.batch_view(set.backend))
-    }
-
-    /// Serves a time-stepped waveform: `steps` load vectors produced by
-    /// `fill(step, lane_loads)` become the lanes of one batched solve —
-    /// the quasi-static transient pattern (grid fixed, currents moving).
-    /// The waveform is staged in a session-owned buffer, so warm calls
-    /// with an unchanged `steps` allocate nothing.
-    ///
-    /// `fill` is called once per step, in step order, with a zeroed (or
-    /// previously used) slice of `stack.num_nodes()` entries to
-    /// overwrite.
-    ///
-    /// # Errors
-    ///
-    /// See [`Session::solve_batch`].
-    pub fn transient<F>(
-        &mut self,
-        case: &LoadCase<'_>,
-        steps: usize,
-        mut fill: F,
-    ) -> Result<SolutionView<'_>, SessionError>
-    where
-        F: FnMut(usize, &mut [f64]),
-    {
-        let nn = self.nn;
-        // Stage the waveform in the session buffer without holding a
-        // borrow across the solve (take + restore is allocation-free).
-        let mut loads = std::mem::take(&mut self.transient_loads);
-        loads.resize(steps * nn, 0.0);
-        for s in 0..steps {
-            fill(s, &mut loads[s * nn..(s + 1) * nn]);
+    /// The one-lane view over the arena a successful
+    /// [`SessionCore::solve_on`] wrote.
+    pub(crate) fn single_view<'s>(
+        &self,
+        scratch: &'s SolveScratch,
+        backend: Backend,
+    ) -> SolutionView<'s> {
+        match backend {
+            Backend::VoltProp => SolutionView {
+                voltages: scratch.vp.voltages(),
+                pillar_currents: scratch.vp.pillar_currents(),
+                reports: &scratch.reports,
+                lanes: 1,
+                nodes: self.nn,
+                sites: scratch.vp.num_sites(),
+            },
+            Backend::Rb3d => SolutionView {
+                voltages: &scratch.rb_voltages[..self.nn],
+                pillar_currents: &[],
+                reports: &scratch.reports,
+                lanes: 1,
+                nodes: self.nn,
+                sites: 0,
+            },
+            Backend::Pcg => SolutionView {
+                voltages: &scratch.pcg_voltages[..self.nn],
+                pillar_currents: &[],
+                reports: &scratch.reports,
+                lanes: 1,
+                nodes: self.nn,
+                sites: 0,
+            },
         }
-        let outcome = self.batch_on(case.stack, case.net, case.backend, case.params, &loads);
-        self.transient_loads = loads;
-        outcome?;
-        Ok(self.batch_view(case.backend))
     }
 
-    /// Runs a batched request into the backend's arena (no view yet —
-    /// keeps the borrow of `loads` separable from the returned view).
-    fn batch_on(
-        &mut self,
+    /// Runs a batched request into the backend's arena in `scratch` (no
+    /// view yet — keeps the borrow of `loads` separable from the
+    /// returned view).
+    pub(crate) fn batch_on(
+        &self,
+        scratch: &mut SolveScratch,
         stack: &Stack3d,
         net: NetKind,
         backend: Backend,
@@ -769,8 +760,8 @@ impl Session {
                     stack,
                     net,
                     loads,
-                    &mut self.scratch,
-                    &mut self.reports,
+                    &mut scratch.vp,
+                    &mut scratch.reports,
                 )?;
                 Ok(())
             }
@@ -782,13 +773,13 @@ impl Session {
             // numerical breakdown, which more lanes cannot fix — still
             // fails the whole request.
             Backend::Rb3d => {
-                let rb = &mut self.rb;
+                let rb = &mut scratch.rb;
                 let tiers = self.tiers;
                 run_engine_batch(
                     self.nn,
                     loads,
-                    &mut self.rb_voltages,
-                    &mut self.reports,
+                    &mut scratch.rb_voltages,
+                    &mut scratch.reports,
                     |lane_loads, v| match rb.solve(
                         lane_loads,
                         net,
@@ -815,13 +806,13 @@ impl Session {
                 )
             }
             Backend::Pcg => {
-                let engine = pcg_engine(&mut self.pcg)?;
+                let engine = pcg_engine(&mut scratch.pcg, &self.pcg_unavailable)?;
                 let mixed = params.precision.resolve() == crate::Precision::MixedF32;
                 run_engine_batch(
                     self.nn,
                     loads,
-                    &mut self.pcg_voltages,
-                    &mut self.reports,
+                    &mut scratch.pcg_voltages,
+                    &mut scratch.reports,
                     |lane_loads, v| {
                         let attempt = if mixed {
                             engine.solve_mixed(
@@ -863,40 +854,44 @@ impl Session {
     }
 
     /// The view over the arena the given backend's batched results live
-    /// in (call only after a successful [`Session::batch_on`]).
-    fn batch_view(&self, backend: Backend) -> SolutionView<'_> {
+    /// in (call only after a successful [`SessionCore::batch_on`]).
+    pub(crate) fn batch_view<'s>(
+        &self,
+        scratch: &'s SolveScratch,
+        backend: Backend,
+    ) -> SolutionView<'s> {
         match backend {
             Backend::VoltProp => {
-                let (voltages, pillar_currents, k) = self
-                    .scratch
+                let (voltages, pillar_currents, k) = scratch
+                    .vp
                     .batch_view()
                     .expect("batched VoltProp solve just ran");
                 SolutionView {
                     voltages,
                     pillar_currents,
-                    reports: &self.reports,
+                    reports: &scratch.reports,
                     lanes: k,
                     nodes: self.nn,
-                    sites: self.scratch.num_sites(),
+                    sites: scratch.vp.num_sites(),
                 }
             }
             Backend::Rb3d => {
-                let k = self.reports.len();
+                let k = scratch.reports.len();
                 SolutionView {
-                    voltages: &self.rb_voltages[..k * self.nn],
+                    voltages: &scratch.rb_voltages[..k * self.nn],
                     pillar_currents: &[],
-                    reports: &self.reports,
+                    reports: &scratch.reports,
                     lanes: k,
                     nodes: self.nn,
                     sites: 0,
                 }
             }
             Backend::Pcg => {
-                let k = self.reports.len();
+                let k = scratch.reports.len();
                 SolutionView {
-                    voltages: &self.pcg_voltages[..k * self.nn],
+                    voltages: &scratch.pcg_voltages[..k * self.nn],
                     pillar_currents: &[],
-                    reports: &self.reports,
+                    reports: &scratch.reports,
                     lanes: k,
                     nodes: self.nn,
                     sites: 0,
@@ -904,18 +899,244 @@ impl Session {
             }
         }
     }
+
+    /// Stages a time-stepped waveform in `scratch` and runs it as one
+    /// batched request (see [`Session::transient`]).
+    pub(crate) fn transient_on<F>(
+        &self,
+        scratch: &mut SolveScratch,
+        case: &LoadCase<'_>,
+        steps: usize,
+        mut fill: F,
+    ) -> Result<(), SessionError>
+    where
+        F: FnMut(usize, &mut [f64]),
+    {
+        let nn = self.nn;
+        // Stage the waveform in the scratch buffer without holding a
+        // borrow across the solve (take + restore is allocation-free).
+        let mut loads = std::mem::take(&mut scratch.transient_loads);
+        loads.resize(steps * nn, 0.0);
+        for s in 0..steps {
+            fill(s, &mut loads[s * nn..(s + 1) * nn]);
+        }
+        let outcome = self.batch_on(
+            scratch,
+            case.stack,
+            case.net,
+            case.backend,
+            case.params,
+            &loads,
+        );
+        scratch.transient_loads = loads;
+        outcome
+    }
 }
 
-/// The session's prefactored PCG engine, or the recorded build-time
-/// failure as [`SessionError::BackendUnavailable`]. A free function over
-/// the field (not a method) so callers can keep borrowing the session's
-/// other arenas while they hold the engine.
-fn pcg_engine(pcg: &mut Result<PcgEngine, String>) -> Result<&mut PcgEngine, SessionError> {
+/// The prefactored solve handle: tier factorizations, the pillar
+/// lattice, and every solve buffer, built once by [`Session::build`] and
+/// amortized across all following requests.
+///
+/// A session is tied to one grid *geometry* (footprint, tiers,
+/// resistances, TSV and pad sites) and one build-time configuration
+/// (sweep parallelism). Within that contract everything may vary per
+/// request: loads, net, tolerances, and the [`Backend`] the request is
+/// routed through — voltage propagation, the naive row-based baseline,
+/// and the prefactored PCG reference all serve from this one handle.
+/// Warm requests perform **zero heap allocations** on the
+/// [`Backend::VoltProp`] and [`Backend::Pcg`] routes (single, batched,
+/// and transient — measured by `perfsuite`), and batched VoltProp lanes
+/// are bitwise identical to the corresponding single solves.
+///
+/// Internally a session is a frozen [`Arc`]`<`[`SessionCore`]`>` (the
+/// factors) plus one permanently-owned [`SolveScratch`] (the mutable
+/// buffers) — the same split [`SharedSession`](crate::SharedSession)
+/// uses to serve N threads from one factorization. A `Session` is the
+/// single-owner view: `solve` takes `&mut self` and never contends.
+///
+/// # Example
+///
+/// ```
+/// use voltprop_core::{LoadCase, LoadSet, Session, VpConfig};
+/// use voltprop_grid::{NetKind, Stack3d};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let stack = Stack3d::builder(12, 12, 3).uniform_load(2e-4).build()?;
+/// let mut session = Session::build(&stack, VpConfig::default())?;
+///
+/// // Single solve on the stack's own loads.
+/// let view = session.solve(&LoadCase::new(&stack))?;
+/// assert!(view.converged());
+/// let worst = view.worst_drop(stack.vdd());
+///
+/// // A two-scenario what-if sweep on the same prefactored state.
+/// let mut loads = stack.loads().to_vec();
+/// loads.extend(stack.loads().iter().map(|l| 1.5 * l));
+/// let sweep = session.solve_batch(&LoadSet::new(&stack, &loads))?;
+/// assert_eq!(sweep.lanes(), 2);
+/// assert!(sweep.lane_worst_drop(1, stack.vdd())? >= worst);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Session {
+    core: Arc<SessionCore>,
+    scratch: SolveScratch,
+}
+
+impl Session {
+    /// Validates the stack and builds all prefactored solve state — see
+    /// [`SessionCore::build`] for what is factored. The config's
+    /// build-time half is fixed for the session's lifetime; its
+    /// per-solve half becomes the session defaults that a
+    /// [`LoadCase`]/[`LoadSet`] may override.
+    ///
+    /// A failed PCG prefactor does **not** fail the build — the other
+    /// backends stay usable, and Pcg requests surface the recorded
+    /// reason as [`SessionError::BackendUnavailable`].
+    ///
+    /// Batch arenas are sized on the first batched request with a given
+    /// lane count (a cold call); all later requests with that lane count
+    /// are allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError`] if the grid fails validation, voltage propagation
+    /// cannot serve the topology (pads away from pillars, resistive pads
+    /// on a single tier), or a factorization fails.
+    pub fn build(stack: &Stack3d, config: VpConfig) -> Result<Session, BuildError> {
+        Ok(Session::from_core(Arc::new(SessionCore::build(
+            stack, config,
+        )?)))
+    }
+
+    /// A session serving an existing core: shares the factorization
+    /// (nothing is rebuilt) and allocates this session's own
+    /// [`SolveScratch`]. Useful to pair a single-owner `Session` with a
+    /// [`SharedSession`](crate::SharedSession) on one factorization.
+    pub fn from_core(core: Arc<SessionCore>) -> Session {
+        let scratch = core.new_scratch();
+        Session { core, scratch }
+    }
+
+    /// The frozen core this session solves against (share it to build
+    /// more sessions on the same factorization).
+    pub fn core(&self) -> &Arc<SessionCore> {
+        &self.core
+    }
+
+    /// The session's build-time parameters.
+    pub fn build_params(&self) -> BuildParams {
+        self.core.build_params()
+    }
+
+    /// The session's default per-solve parameters (from the config given
+    /// to [`Session::build`]).
+    pub fn defaults(&self) -> SolveParams {
+        self.core.defaults()
+    }
+
+    /// Estimated heap footprint of all prefactored state and arenas.
+    pub fn memory_bytes(&self) -> usize {
+        self.core.memory_bytes() + self.scratch.memory_bytes()
+    }
+
+    /// Whether the stack's geometry matches what this session was built
+    /// for (loads are ignored).
+    pub fn serves(&self, stack: &Stack3d) -> bool {
+        self.core.serves(stack)
+    }
+
+    /// Serves one load pattern (the stack's own loads), routed through
+    /// the case's [`Backend`]. Warm calls are allocation-free on every
+    /// route.
+    ///
+    /// # Errors
+    ///
+    /// * [`SessionError::GeometryChanged`] if the case's stack differs
+    ///   geometrically from the build-time stack.
+    /// * [`SessionError::BackendUnavailable`] for a backend whose
+    ///   build-time prefactor failed (carrying the reason).
+    /// * [`SessionError::Solver`] for engine failures (convergence
+    ///   budget exhausted, numerical breakdown, invalid loads).
+    pub fn solve(&mut self, case: &LoadCase<'_>) -> Result<SolutionView<'_>, SessionError> {
+        self.core.solve_on(&mut self.scratch, case)?;
+        Ok(self.core.single_view(&self.scratch, case.backend))
+    }
+
+    /// Serves `k` load patterns as one batched request. On the
+    /// [`Backend::VoltProp`] route all lanes sweep together through the
+    /// shared tier factors in lockstep — each converged lane is bitwise
+    /// identical to the corresponding [`Session::solve`] — and a lane
+    /// that exhausts a budget reports `converged = false` in its
+    /// [`SolutionView::lane_report`] instead of failing the batch. The
+    /// [`Backend::Rb3d`] and [`Backend::Pcg`] routes serve the lanes as
+    /// per-lane solves on their prefactored engines (factorizations
+    /// still amortized; a lane that finishes is final and never touched
+    /// by later lanes, and a lane that exhausts its budget likewise
+    /// reports `converged = false` instead of failing the batch).
+    ///
+    /// # Errors
+    ///
+    /// See [`Session::solve`]; additionally
+    /// [`SessionError::Solver`]`(`[`SolverError::Unsupported`]`)` if the
+    /// load buffer is empty, not a whole number of load vectors, or
+    /// contains negative/non-finite currents.
+    pub fn solve_batch(&mut self, set: &LoadSet<'_>) -> Result<SolutionView<'_>, SessionError> {
+        self.core.batch_on(
+            &mut self.scratch,
+            set.stack,
+            set.net,
+            set.backend,
+            set.params,
+            set.loads,
+        )?;
+        Ok(self.core.batch_view(&self.scratch, set.backend))
+    }
+
+    /// Serves a time-stepped waveform: `steps` load vectors produced by
+    /// `fill(step, lane_loads)` become the lanes of one batched solve —
+    /// the quasi-static transient pattern (grid fixed, currents moving).
+    /// The waveform is staged in a session-owned buffer, so warm calls
+    /// with an unchanged `steps` allocate nothing.
+    ///
+    /// `fill` is called once per step, in step order, with a zeroed (or
+    /// previously used) slice of `stack.num_nodes()` entries to
+    /// overwrite.
+    ///
+    /// # Errors
+    ///
+    /// See [`Session::solve_batch`].
+    pub fn transient<F>(
+        &mut self,
+        case: &LoadCase<'_>,
+        steps: usize,
+        fill: F,
+    ) -> Result<SolutionView<'_>, SessionError>
+    where
+        F: FnMut(usize, &mut [f64]),
+    {
+        self.core
+            .transient_on(&mut self.scratch, case, steps, fill)?;
+        Ok(self.core.batch_view(&self.scratch, case.backend))
+    }
+}
+
+/// The scratch's prefactored PCG engine, or the core's recorded
+/// build-time failure as [`SessionError::BackendUnavailable`]. A free
+/// function over the field (not a method) so callers can keep borrowing
+/// the scratch's other arenas while they hold the engine.
+fn pcg_engine<'a>(
+    pcg: &'a mut Option<PcgEngine>,
+    unavailable: &Option<String>,
+) -> Result<&'a mut PcgEngine, SessionError> {
     match pcg {
-        Ok(engine) => Ok(engine),
-        Err(reason) => Err(SessionError::BackendUnavailable {
+        Some(engine) => Ok(engine),
+        None => Err(SessionError::BackendUnavailable {
             backend: Backend::Pcg,
-            reason: reason.clone(),
+            reason: unavailable
+                .clone()
+                .unwrap_or_else(|| "PCG engine missing".into()),
         }),
     }
 }

@@ -371,6 +371,48 @@ impl VpScratch {
         })
     }
 
+    /// A new scratch sharing this one's frozen half with fresh per-solve
+    /// mutable state: the prefactored tier engines are shared through
+    /// [`CachedTier::fork`] (no refactorization), the pin mask `Arc` is
+    /// cloned, the pillar lattice is cloned (it carries only a tiny
+    /// coarse-solve scratch of its own), and every outer-loop buffer is
+    /// freshly allocated. The batch arena starts empty and is sized
+    /// lazily on the fork's first batched solve.
+    ///
+    /// Forks solve independently — two forks may run concurrently from
+    /// different threads — and reproduce the original scratch's solves
+    /// bitwise: [`run_single`] and [`run_batch`] re-initialize every
+    /// buffer they read before using it.
+    #[must_use]
+    pub(crate) fn fork(&self) -> VpScratch {
+        let ns = self.v0.len();
+        VpScratch {
+            width: self.width,
+            height: self.height,
+            tiers: self.tiers,
+            vdd: self.vdd,
+            r_tsv: self.r_tsv,
+            r_pad: self.r_pad,
+            tier_g: self.tier_g.clone(),
+            site_flat: self.site_flat.clone(),
+            is_pad_site: self.is_pad_site.clone(),
+            fixed: Arc::clone(&self.fixed),
+            lattice: self.lattice.clone(),
+            tier_cache: self.tier_cache.iter().map(CachedTier::fork).collect(),
+            amplification: self.amplification,
+            voltages: vec![0.0; self.voltages.len()],
+            injection: vec![0.0; self.injection.len()],
+            v0: vec![0.0; ns],
+            pillar_current: vec![0.0; ns],
+            mismatch: vec![0.0; ns],
+            correction: vec![0.0; ns],
+            last_good_v0: vec![0.0; ns],
+            last_good_correction: vec![0.0; ns],
+            anderson: Anderson::new(4, ns),
+            batch: None,
+        }
+    }
+
     /// The solved per-node voltages of the most recent [`run_single`]
     /// call (flat tier-major).
     pub fn voltages(&self) -> &[f64] {

@@ -161,6 +161,15 @@ impl CachedTier {
             .solve_batch_masked_mixed(injection, v, tolerance, max_sweeps, omega, mask, lanes)
     }
 
+    /// A new cache sharing this one's frozen factors with fresh per-solve
+    /// scratch. See [`TierEngine::fork`].
+    #[must_use]
+    pub(crate) fn fork(&self) -> CachedTier {
+        CachedTier {
+            engine: self.engine.fork(),
+        }
+    }
+
     /// Estimated heap footprint in bytes.
     pub(crate) fn memory_bytes(&self) -> usize {
         self.engine.memory_bytes()

@@ -1,0 +1,91 @@
+//! `voltprop-serve` — a zero-dependency JSON-over-TCP daemon serving
+//! IR-drop solves from registry-cached
+//! [`SharedSession`](voltprop_core::SharedSession)s.
+//!
+//! The daemon keeps one prefactored session per distinct grid geometry
+//! (keyed by a hash of the geometry fields, never the loads) and serves
+//! concurrent solve requests against it through the session's bounded
+//! scratch checkout pool: up to `slots` requests solve in parallel,
+//! later arrivals queue. The wire protocol is newline-delimited JSON —
+//! see [`proto`] for the request/response schema.
+//!
+//! ```no_run
+//! use voltprop_serve::{request, serve, ServeConfig};
+//!
+//! # fn main() -> std::io::Result<()> {
+//! let server = serve("127.0.0.1:0", ServeConfig::default())?;
+//! let reply = request(
+//!     server.addr(),
+//!     r#"{"op":"solve","stack":{"width":8,"height":8,"tiers":2,"loads":1e-4}}"#,
+//! )?;
+//! assert!(reply.contains("\"ok\":true"));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod proto;
+mod server;
+
+pub use server::{serve, ServeConfig, ServerHandle};
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A persistent client connection: send request lines, read response
+/// lines, keep the socket open across requests.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a running daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying connect failure.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        Ok(Client {
+            reader: BufReader::new(TcpStream::connect(addr)?),
+        })
+    }
+
+    /// Sends one request line and blocks for the matching response line
+    /// (without its trailing newline).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket failures; an empty read (server closed the
+    /// connection) surfaces as [`std::io::ErrorKind::UnexpectedEof`].
+    pub fn request(&mut self, line: &str) -> std::io::Result<String> {
+        let stream = self.reader.get_mut();
+        stream.write_all(line.as_bytes())?;
+        stream.write_all(b"\n")?;
+        stream.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection before responding",
+            ));
+        }
+        while response.ends_with('\n') || response.ends_with('\r') {
+            response.pop();
+        }
+        Ok(response)
+    }
+}
+
+/// One-shot convenience: connect, send one request line, return the
+/// response line. Used by the CI smoke step and `--smoke`.
+///
+/// # Errors
+///
+/// Propagates the underlying socket failures.
+pub fn request(addr: impl ToSocketAddrs, line: &str) -> std::io::Result<String> {
+    Client::connect(addr)?.request(line)
+}

@@ -1,0 +1,161 @@
+//! CLI entry point for the `voltprop-serve` daemon.
+//!
+//! ```text
+//! voltprop-serve [--port N] [--slots N] [--parallelism N]
+//! voltprop-serve --smoke [--clients N] [--slots N] [--parallelism N]
+//! ```
+//!
+//! Without `--smoke`, binds `127.0.0.1:<port>` (port 0 picks an
+//! ephemeral port, printed on stdout) and serves until a `shutdown`
+//! request arrives. With `--smoke`, runs an in-process self-test: start
+//! on an ephemeral port, fire concurrent solve requests from `--clients`
+//! client threads, check the registry cached exactly one session, and
+//! shut down cleanly — exiting non-zero on any failed check.
+
+use voltprop_serve::{json::Json, serve, Client, ServeConfig, ServerHandle};
+
+fn main() {
+    let mut port: u16 = 7317;
+    let mut config = ServeConfig::default();
+    let mut smoke = false;
+    let mut clients: usize = 4;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("error: {arg} needs a {what} argument");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--port" => port = parse(&value("port"), "--port"),
+            "--slots" => config.slots = parse(&value("count"), "--slots"),
+            "--parallelism" => config.parallelism = parse(&value("count"), "--parallelism"),
+            "--clients" => clients = parse(&value("count"), "--clients"),
+            "--smoke" => smoke = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: voltprop-serve [--port N] [--slots N] [--parallelism N] \
+                     [--smoke [--clients N]]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("error: unknown argument {other:?} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if smoke {
+        match run_smoke(config, clients) {
+            Ok(summary) => println!("smoke ok: {summary}"),
+            Err(what) => {
+                eprintln!("smoke FAILED: {what}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let server = match serve(("127.0.0.1", port), config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: cannot bind 127.0.0.1:{port}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "voltprop-serve listening on {} (slots={}, parallelism={})",
+        server.addr(),
+        config.slots,
+        config.parallelism
+    );
+    server.wait();
+    println!("voltprop-serve stopped");
+}
+
+fn parse<T: std::str::FromStr>(text: &str, flag: &str) -> T {
+    text.parse().unwrap_or_else(|_| {
+        eprintln!("error: invalid value {text:?} for {flag}");
+        std::process::exit(2);
+    })
+}
+
+/// In-process self-test: N client threads × 3 solve requests each (two
+/// load levels and one explicit-params request) against one geometry,
+/// then registry and shutdown checks.
+fn run_smoke(config: ServeConfig, clients: usize) -> Result<String, String> {
+    let server: ServerHandle =
+        serve("127.0.0.1:0", config).map_err(|e| format!("bind failed: {e}"))?;
+    let addr = server.addr();
+
+    let failures: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients.max(1))
+            .map(|c| {
+                scope.spawn(move || -> Result<(), String> {
+                    let mut client = Client::connect(addr)
+                        .map_err(|e| format!("client {c} connect: {e}"))?;
+                    let requests = [
+                        r#"{"op":"solve","stack":{"width":12,"height":12,"tiers":3,"tsv_pitch":2,"loads":1e-4}}"#.to_string(),
+                        format!(
+                            r#"{{"op":"solve","stack":{{"width":12,"height":12,"tiers":3,"tsv_pitch":2,"loads":{}}}}}"#,
+                            2e-4 * (c + 1) as f64
+                        ),
+                        r#"{"op":"solve","stack":{"width":12,"height":12,"tiers":3,"tsv_pitch":2,"loads":1e-4},"backend":"pcg","params":{"inner_tolerance":1e-8}}"#.to_string(),
+                    ];
+                    for (i, line) in requests.iter().enumerate() {
+                        let reply = client
+                            .request(line)
+                            .map_err(|e| format!("client {c} request {i}: {e}"))?;
+                        let value = Json::parse(&reply)
+                            .map_err(|e| format!("client {c} reply {i} unparsable: {e}"))?;
+                        if value.get("ok").and_then(Json::as_bool) != Some(true) {
+                            return Err(format!("client {c} request {i} failed: {reply}"));
+                        }
+                        if value.get("converged").and_then(Json::as_bool) != Some(true) {
+                            return Err(format!("client {c} request {i} did not converge: {reply}"));
+                        }
+                    }
+                    Ok(())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .filter_map(|h| match h.join() {
+                Ok(Ok(())) => None,
+                Ok(Err(what)) => Some(what),
+                Err(_) => Some("client thread panicked".to_string()),
+            })
+            .collect()
+    });
+    if !failures.is_empty() {
+        return Err(failures.join("; "));
+    }
+
+    let mut client = Client::connect(addr).map_err(|e| format!("info connect: {e}"))?;
+    let info = client
+        .request(r#"{"op":"info"}"#)
+        .map_err(|e| format!("info request: {e}"))?;
+    let info_value = Json::parse(&info).map_err(|e| format!("info reply unparsable: {e}"))?;
+    let sessions = info_value.get("sessions").and_then(Json::as_usize);
+    if sessions != Some(1) {
+        return Err(format!(
+            "expected exactly 1 cached session for 1 geometry, got {info}"
+        ));
+    }
+    let bye = client
+        .request(r#"{"op":"shutdown"}"#)
+        .map_err(|e| format!("shutdown request: {e}"))?;
+    if !bye.contains("\"stopping\":true") {
+        return Err(format!("unexpected shutdown reply: {bye}"));
+    }
+    drop(server); // joins the accept loop and all handlers
+
+    Ok(format!(
+        "{} clients x 3 requests, 1 cached session, clean shutdown",
+        clients.max(1)
+    ))
+}

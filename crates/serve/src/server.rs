@@ -1,0 +1,364 @@
+//! The daemon: a TCP listener serving the newline-delimited JSON
+//! protocol of [`crate::proto`] from a registry of geometry-keyed
+//! [`SharedSession`]s.
+//!
+//! One thread accepts connections; each connection gets its own handler
+//! thread. Solves on one cached session run concurrently — admission
+//! control (the bounded scratch pool inside [`SharedSession`]) queues
+//! excess requests rather than rejecting them. Shutdown is graceful: a
+//! `shutdown` request (or [`ServerHandle::shutdown`]) stops the accept
+//! loop, handler threads notice within their read-timeout tick, and
+//! every thread is joined before the handle returns.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, ErrorKind as IoKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use voltprop_core::{LoadCase, SessionError, SharedSession, VpConfig};
+use voltprop_grid::Stack3d;
+
+use crate::json::Json;
+use crate::proto::{
+    parse_request, BuildPolicy, ErrorKind, Request, ServeError, SolveRequest, PROTOCOL_VERSION,
+};
+
+/// How often blocked reads wake up to check the stop flag.
+const POLL_TICK: Duration = Duration::from_millis(100);
+
+/// Daemon configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Scratch slots per cached session — the number of solves one
+    /// geometry serves concurrently before requests queue.
+    pub slots: usize,
+    /// Worker-thread parallelism each session is built with.
+    pub parallelism: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            slots: 4,
+            parallelism: 1,
+        }
+    }
+}
+
+/// State shared between the accept loop and every connection handler.
+struct Shared {
+    stop: AtomicBool,
+    registry: Mutex<HashMap<u64, Arc<SharedSession>>>,
+    config: ServeConfig,
+}
+
+fn lock_registry(shared: &Shared) -> std::sync::MutexGuard<'_, HashMap<u64, Arc<SharedSession>>> {
+    // A panicking solve can only poison a registry guard between two
+    // plain HashMap operations, which cannot leave the map torn.
+    shared
+        .registry
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A running daemon. Dropping the handle shuts the daemon down and joins
+/// its threads.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound listen address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The bound TCP port.
+    pub fn port(&self) -> u16 {
+        self.addr.port()
+    }
+
+    /// Signals shutdown and joins the accept loop and all connection
+    /// handlers. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop; it re-checks the flag per connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+
+    /// Blocks until the daemon stops (a `shutdown` request arrives),
+    /// joining all of its threads.
+    pub fn wait(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Binds `addr` and starts serving in background threads.
+///
+/// # Errors
+///
+/// Propagates the listener bind failure; everything after the bind is
+/// reported per-request on the wire instead.
+pub fn serve(addr: impl ToSocketAddrs, config: ServeConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        stop: AtomicBool::new(false),
+        registry: Mutex::new(HashMap::new()),
+        config,
+    });
+    let accept_shared = Arc::clone(&shared);
+    let accept = std::thread::spawn(move || accept_loop(&listener, addr, &accept_shared));
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept: Some(accept),
+    })
+}
+
+fn accept_loop(listener: &TcpListener, addr: SocketAddr, shared: &Arc<Shared>) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                handlers.retain(|h| !h.is_finished());
+                let conn_shared = Arc::clone(shared);
+                handlers.push(std::thread::spawn(move || {
+                    handle_connection(stream, addr, &conn_shared);
+                }));
+            }
+            Err(e) if e.kind() == IoKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+    for handler in handlers {
+        let _ = handler.join();
+    }
+}
+
+fn handle_connection(stream: TcpStream, addr: SocketAddr, shared: &Arc<Shared>) {
+    // The read timeout turns blocked reads into periodic stop-flag
+    // checks so shutdown can drain every handler.
+    let _ = stream.set_read_timeout(Some(POLL_TICK));
+    let mut writer = match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // client closed
+            Ok(_) => {
+                let trimmed = line.trim();
+                if !trimmed.is_empty() {
+                    let (response, stop_after) = handle_line(shared, trimmed);
+                    if write_line(&mut writer, &response).is_err() {
+                        return;
+                    }
+                    if stop_after {
+                        shared.stop.store(true, Ordering::SeqCst);
+                        // Unblock the accept loop so it drains.
+                        let _ = TcpStream::connect(addr);
+                        return;
+                    }
+                }
+                line.clear();
+            }
+            // Timeout tick: partial input (if any) stays buffered in
+            // `line`; loop around to re-check the stop flag.
+            Err(e) if matches!(e.kind(), IoKind::WouldBlock | IoKind::TimedOut) => continue,
+            Err(e) if e.kind() == IoKind::Interrupted => continue,
+            Err(e) if e.kind() == IoKind::InvalidData => {
+                // Non-UTF-8 on the wire: line framing is gone, so answer
+                // with a typed error and close this connection.
+                let err = ServeError {
+                    kind: ErrorKind::MalformedRequest,
+                    message: "request line is not valid UTF-8".to_string(),
+                };
+                let _ = write_line(&mut writer, &err.to_response());
+                return;
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn write_line(writer: &mut TcpStream, response: &str) -> std::io::Result<()> {
+    writer.write_all(response.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// Dispatches one request line to a `(response, stop_after)` pair. Every
+/// failure mode is a typed error response — this function never panics
+/// and never asks for the connection to be dropped.
+fn handle_line(shared: &Arc<Shared>, line: &str) -> (String, bool) {
+    match parse_request(line) {
+        Err(e) => (e.to_response(), false),
+        Ok(Request::Ping) => (
+            Json::Obj(vec![
+                ("ok".to_string(), Json::Bool(true)),
+                ("pong".to_string(), Json::Bool(true)),
+            ])
+            .to_string(),
+            false,
+        ),
+        Ok(Request::Info) => {
+            let sessions = lock_registry(shared).len();
+            (
+                Json::Obj(vec![
+                    ("ok".to_string(), Json::Bool(true)),
+                    ("protocol".to_string(), Json::from(PROTOCOL_VERSION)),
+                    ("sessions".to_string(), Json::from(sessions)),
+                    ("slots".to_string(), Json::from(shared.config.slots)),
+                    (
+                        "parallelism".to_string(),
+                        Json::from(shared.config.parallelism),
+                    ),
+                ])
+                .to_string(),
+                false,
+            )
+        }
+        Ok(Request::Shutdown) => (
+            Json::Obj(vec![
+                ("ok".to_string(), Json::Bool(true)),
+                ("stopping".to_string(), Json::Bool(true)),
+            ])
+            .to_string(),
+            true,
+        ),
+        Ok(Request::Solve(req)) => (
+            solve(shared, &req).unwrap_or_else(|e| e.to_response()),
+            false,
+        ),
+    }
+}
+
+fn solve(shared: &Arc<Shared>, req: &SolveRequest) -> Result<String, ServeError> {
+    let stack = req.stack.build_stack()?;
+    let hash = req.stack.geometry_hash();
+    let (session, cached) = lookup_session(shared, hash, &stack, req.build)?;
+
+    let mut case = LoadCase::new(&stack).net(req.net).backend(req.backend);
+    if let Some(params) = req.params {
+        case = case.params(params);
+    }
+    let solution = session.solve(&case).map_err(map_session_error)?;
+    let view = solution.view();
+    let report = view.report();
+
+    let mut members = vec![
+        ("ok".to_string(), Json::Bool(true)),
+        ("geometry".to_string(), Json::from(format!("{hash:016x}"))),
+        ("cached".to_string(), Json::Bool(cached)),
+        ("backend".to_string(), Json::from(backend_name(req.backend))),
+        ("converged".to_string(), Json::Bool(view.converged())),
+        (
+            "iterations".to_string(),
+            Json::from(report.outer_iterations),
+        ),
+        ("sweeps".to_string(), Json::from(report.inner_sweeps)),
+        ("residual".to_string(), Json::from(report.pad_mismatch)),
+        ("nodes".to_string(), Json::from(view.nodes())),
+        (
+            "worst_drop".to_string(),
+            Json::from(view.worst_drop(stack.vdd())),
+        ),
+    ];
+    if req.voltages {
+        members.push((
+            "voltages".to_string(),
+            Json::Arr(view.voltages().iter().map(|&v| Json::Num(v)).collect()),
+        ));
+    }
+    Ok(Json::Obj(members).to_string())
+}
+
+/// Resolves the session serving `hash`, honoring the build policy.
+/// Factoring a new session happens outside the registry lock so a slow
+/// build never blocks requests against already-cached geometries; a
+/// concurrent duplicate build loses the insert race and is dropped.
+fn lookup_session(
+    shared: &Arc<Shared>,
+    hash: u64,
+    stack: &Stack3d,
+    policy: BuildPolicy,
+) -> Result<(Arc<SharedSession>, bool), ServeError> {
+    if let Some(session) = lock_registry(shared).get(&hash) {
+        if session.serves(stack) {
+            return Ok((Arc::clone(session), true));
+        }
+        // A 64-bit hash collision between distinct geometries: serve
+        // correctness over cache residency by rebuilding below.
+    }
+    if policy == BuildPolicy::Reject {
+        return Err(ServeError {
+            kind: ErrorKind::GeometryNotCached,
+            message: format!(
+                "geometry {hash:016x} is not in the registry and the request set \"build\":\"reject\""
+            ),
+        });
+    }
+    let config = VpConfig::default().parallelism(shared.config.parallelism);
+    let session =
+        SharedSession::build(stack, config, shared.config.slots).map_err(|e| ServeError {
+            kind: ErrorKind::Build,
+            message: e.to_string(),
+        })?;
+    let session = Arc::new(session);
+    let mut registry = lock_registry(shared);
+    let entry = registry.entry(hash).or_insert_with(|| Arc::clone(&session));
+    if !entry.serves(stack) {
+        *entry = Arc::clone(&session);
+    }
+    Ok((Arc::clone(entry), false))
+}
+
+fn map_session_error(e: SessionError) -> ServeError {
+    let kind = match e {
+        SessionError::BackendUnavailable { .. } => ErrorKind::BackendUnavailable,
+        _ => ErrorKind::Solver,
+    };
+    ServeError {
+        kind,
+        message: e.to_string(),
+    }
+}
+
+fn backend_name(backend: voltprop_core::Backend) -> &'static str {
+    match backend {
+        voltprop_core::Backend::VoltProp => "voltprop",
+        voltprop_core::Backend::Rb3d => "rb3d",
+        voltprop_core::Backend::Pcg => "pcg",
+        // `Backend` is non-exhaustive; name future variants once the
+        // protocol grows words for them.
+        _ => "unknown",
+    }
+}

@@ -949,6 +949,41 @@ impl TierEngine {
         self.pool = Some(pool);
     }
 
+    /// A new engine sharing this engine's frozen half — the factored
+    /// segments, their f32 mirror, the pin mask, and the balanced sweep
+    /// chunks (one `Arc` bump, no refactorization) — with **fresh**
+    /// per-solve mutable state (substitution scratch, parallel job
+    /// images, batch arenas, mixed-precision buffers).
+    ///
+    /// This is the engine-level shared/scratch split: everything built by
+    /// [`TierEngine::new`] that is read-only after construction lives
+    /// behind the shared `Arc`, and everything a solve writes is owned by
+    /// the fork. Two forks may therefore solve concurrently from
+    /// different threads against one factorization, and a fork's solves
+    /// are bitwise identical to the original engine's (same factors, same
+    /// sweep order, freshly re-initialized state every call).
+    ///
+    /// Configuration knobs (schedule, dispatch, compaction, pool
+    /// override) are copied at fork time; later `set_*` calls on either
+    /// engine do not affect the other.
+    #[must_use]
+    pub fn fork(&self) -> TierEngine {
+        let topo = Arc::clone(&self.topo);
+        TierEngine {
+            schedule: self.schedule,
+            dispatch: self.dispatch,
+            compaction: self.compaction,
+            pool: self.pool.clone(),
+            scoped_scratch: Vec::new(),
+            scratch: vec![0.0; self.scratch.len()],
+            par: (topo.threads > 1).then(|| Arc::new(ParShared::new(Arc::clone(&topo)))),
+            batch: BatchState::default(),
+            batch_par: None,
+            mixed: MixedState::default(),
+            topo,
+        }
+    }
+
     /// Sweeps until the largest per-sweep voltage update falls below
     /// `tolerance`, reading the initial guess (and pinned values) from `v`
     /// and leaving the solution there. Plain block Gauss–Seidel (ω = 1).

@@ -1,4 +1,5 @@
 use crate::{LinearSolver, PrecondKind, Solution, SolveReport, SolverError};
+use std::sync::Arc;
 use voltprop_grid::{NetKind, Stack3d, StampedSystem};
 use voltprop_sparse::{vec_ops, CsrMatrix, IncompleteCholesky, SparseError};
 
@@ -276,15 +277,9 @@ impl EnginePrecond {
 /// ```
 #[derive(Debug)]
 pub struct PcgEngine {
-    nn: usize,
-    vdd: f64,
-    /// The power-net stamped system; the ground net reuses its matrix and
-    /// node-index map (same conductances, same Dirichlet set).
-    sys: StampedSystem,
-    /// Load-independent RHS part per net (pad/rail folding terms).
-    rhs_base_power: Vec<f64>,
-    rhs_base_ground: Vec<f64>,
-    precond: EnginePrecond,
+    /// The frozen post-build half, shared by every fork of this engine
+    /// (see [`PcgEngine::fork`]).
+    shared: Arc<PcgShared>,
     /// Iteration scratch, all `sys.dim()`-sized.
     rhs: Vec<f64>,
     x: Vec<f64>,
@@ -295,6 +290,23 @@ pub struct PcgEngine {
     /// f32 working image for the mixed-precision preconditioner
     /// application ([`PcgEngine::solve_mixed`]).
     z32: Vec<f32>,
+}
+
+/// The read-only post-build half of a [`PcgEngine`]: the stamped system,
+/// the factored preconditioner, and the load-independent RHS bases. One
+/// `PcgShared` behind an [`Arc`] backs every fork of an engine; nothing
+/// here is written after `build`.
+#[derive(Debug)]
+struct PcgShared {
+    nn: usize,
+    vdd: f64,
+    /// The power-net stamped system; the ground net reuses its matrix and
+    /// node-index map (same conductances, same Dirichlet set).
+    sys: StampedSystem,
+    /// Load-independent RHS part per net (pad/rail folding terms).
+    rhs_base_power: Vec<f64>,
+    rhs_base_ground: Vec<f64>,
+    precond: EnginePrecond,
 }
 
 impl PcgEngine {
@@ -351,12 +363,14 @@ impl PcgEngine {
         };
 
         Ok(PcgEngine {
-            nn,
-            vdd: stack.vdd(),
-            sys,
-            rhs_base_power,
-            rhs_base_ground,
-            precond,
+            shared: Arc::new(PcgShared {
+                nn,
+                vdd: stack.vdd(),
+                sys,
+                rhs_base_power,
+                rhs_base_ground,
+                precond,
+            }),
             rhs: vec![0.0; dim],
             x: vec![0.0; dim],
             r: vec![0.0; dim],
@@ -367,20 +381,41 @@ impl PcgEngine {
         })
     }
 
+    /// A new engine sharing this engine's frozen half — the stamped
+    /// system, the factored preconditioner (and its f32 shadow), and the
+    /// RHS bases — with freshly allocated iteration scratch. No
+    /// restamping or refactorization happens; forks solve independently
+    /// and reproduce the original's solves bitwise (every solve starts
+    /// from the zero initial guess).
+    #[must_use]
+    pub fn fork(&self) -> PcgEngine {
+        let dim = self.shared.sys.dim();
+        PcgEngine {
+            shared: Arc::clone(&self.shared),
+            rhs: vec![0.0; dim],
+            x: vec![0.0; dim],
+            r: vec![0.0; dim],
+            z: vec![0.0; dim],
+            p: vec![0.0; dim],
+            ap: vec![0.0; dim],
+            z32: vec![0.0; dim],
+        }
+    }
+
     /// Number of grid nodes this engine serves.
     pub fn num_nodes(&self) -> usize {
-        self.nn
+        self.shared.nn
     }
 
     /// Number of unknowns of the reduced (pad-folded) system.
     pub fn dim(&self) -> usize {
-        self.sys.dim()
+        self.shared.sys.dim()
     }
 
     /// The active preconditioner: `"ic0"` in the common case, `"jacobi"`
     /// if the incomplete factorization broke down at build.
     pub fn precond_name(&self) -> &'static str {
-        self.precond.name()
+        self.shared.precond.name()
     }
 
     /// Runs preconditioned CG on one load vector (`loads[node]`, flat
@@ -442,7 +477,7 @@ impl PcgEngine {
         v: &mut [f64],
         mixed: bool,
     ) -> Result<SolveReport, SolverError> {
-        let nn = self.nn;
+        let nn = self.shared.nn;
         if loads.len() != nn || v.len() != nn {
             return Err(SolverError::Unsupported {
                 what: format!(
@@ -453,18 +488,17 @@ impl PcgEngine {
             });
         }
         let (rail, load_sign, base): (f64, f64, &[f64]) = match net {
-            NetKind::Power => (self.vdd, -1.0, &self.rhs_base_power),
-            NetKind::Ground => (0.0, 1.0, &self.rhs_base_ground),
+            NetKind::Power => (self.shared.vdd, -1.0, &self.shared.rhs_base_power),
+            NetKind::Ground => (0.0, 1.0, &self.shared.rhs_base_ground),
         };
         self.rhs.copy_from_slice(base);
         for (node, &load) in loads.iter().enumerate() {
-            if let Some(ri) = self.sys.reduced_index(node) {
+            if let Some(ri) = self.shared.sys.reduced_index(node) {
                 self.rhs[ri] += load_sign * load;
             }
         }
         let PcgEngine {
-            sys,
-            precond,
+            shared,
             rhs,
             x,
             r,
@@ -472,8 +506,9 @@ impl PcgEngine {
             p,
             ap,
             z32,
-            ..
         } = self;
+        let sys = &shared.sys;
+        let precond = &shared.precond;
         // Two monomorphic calls rather than one boxed closure: boxing
         // would put an allocation on the warm path.
         let outcome = if mixed {
@@ -520,10 +555,10 @@ impl PcgEngine {
     /// Estimated heap footprint in bytes (stamped system, preconditioner
     /// factor, RHS bases, and iteration scratch; the caller owns `v`).
     pub fn memory_bytes(&self) -> usize {
-        self.sys.memory_bytes()
-            + self.precond.memory_bytes()
-            + (self.rhs_base_power.len()
-                + self.rhs_base_ground.len()
+        self.shared.sys.memory_bytes()
+            + self.shared.precond.memory_bytes()
+            + (self.shared.rhs_base_power.len()
+                + self.shared.rhs_base_ground.len()
                 + self.rhs.len()
                 + self.x.len()
                 + self.r.len()

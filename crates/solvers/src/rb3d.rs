@@ -212,6 +212,33 @@ impl Rb3dEngine {
         })
     }
 
+    /// A new engine sharing this engine's frozen half with fresh
+    /// per-solve mutable state: the per-tier factored segments are shared
+    /// through [`TierEngine::fork`] (no refactorization), the small
+    /// topology descriptors (TSV/pad masks, per-tier conductances) are
+    /// copied, and the injection staging buffer is freshly allocated.
+    ///
+    /// Forks solve independently — two forks may run concurrently from
+    /// different threads — and reproduce the original engine's solves
+    /// bitwise ([`Rb3dEngine::solve`] re-initializes `v` every call).
+    #[must_use]
+    pub fn fork(&self) -> Rb3dEngine {
+        Rb3dEngine {
+            width: self.width,
+            height: self.height,
+            tiers: self.tiers,
+            vdd: self.vdd,
+            g_tsv: self.g_tsv,
+            ideal_pads: self.ideal_pads,
+            g_pad: self.g_pad,
+            tsv_mask: self.tsv_mask.clone(),
+            pad_mask: self.pad_mask.clone(),
+            tier_g: self.tier_g.clone(),
+            engines: self.engines.iter().map(TierEngine::fork).collect(),
+            injection: vec![0.0; self.injection.len()],
+        }
+    }
+
     /// Number of grid nodes this engine serves.
     pub fn num_nodes(&self) -> usize {
         self.width * self.height * self.tiers

@@ -16,6 +16,9 @@
 //! entry point is [`Session`]: build the prefactored solve state once,
 //! then serve single solves, batched what-if sweeps, and transient
 //! waveforms from it — across backends — with zero warm allocations.
+//! [`SharedSession`] serves the same factorization to N threads
+//! concurrently through a bounded scratch checkout pool (and the
+//! `voltprop-serve` daemon builds a JSON-over-TCP service on top of it).
 //!
 //! # Quickstart
 //!
@@ -59,8 +62,9 @@ pub use voltprop_solvers as solvers;
 pub use voltprop_sparse as sparse;
 
 pub use voltprop_core::{
-    Backend, BuildError, BuildParams, LoadCase, LoadSet, Precision, Session, SessionError,
-    SolutionView, SolveParams, VpConfig, VpReport, VpSolver,
+    Backend, BuildError, BuildParams, LoadCase, LoadSet, Precision, Session, SessionCore,
+    SessionError, SharedSession, SharedSolution, SolutionView, SolveParams, SolveScratch,
+    TryCheckout, VpConfig, VpReport, VpSolver,
 };
 pub use voltprop_grid::{
     GridError, LoadProfile, NetKind, Netlist, NetlistCircuit, Stack3d, StampedSystem, SynthConfig,

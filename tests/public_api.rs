@@ -40,10 +40,14 @@ use voltprop::{
     Rb3d,
     Rb3dEngine,
     Session,
+    SessionCore,
     SessionError,
+    SharedSession,
+    SharedSolution,
     SolutionView,
     SolveParams,
     SolveReport,
+    SolveScratch,
     SolverError,
     Stack3d,
     StackSolution,
@@ -51,6 +55,7 @@ use voltprop::{
     StampedSystem,
     SynthConfig,
     TableCircuit,
+    TryCheckout,
     TsvPattern,
     // Core solver types. (The deprecated `VpSolver::solve{,_with,_batch}`
     // shims, `VpScratch`, and `VpSolution` were removed in this release —
@@ -166,6 +171,65 @@ fn session_api_signatures_hold() {
             let _b: Backend = backend;
             let _r: String = reason;
         }
+    }
+}
+
+#[test]
+fn shared_session_api_signatures_hold() {
+    use std::sync::Arc;
+
+    let stack: Stack3d = Stack3d::builder(8, 8, 2)
+        .uniform_load(1e-4)
+        .build()
+        .unwrap();
+
+    // The frozen-core / scratch split behind every session handle.
+    let core: Result<SessionCore, BuildError> = SessionCore::build(&stack, VpConfig::default());
+    let core: Arc<SessionCore> = Arc::new(core.unwrap());
+    let _nn: usize = core.num_nodes();
+    let _mem: usize = core.memory_bytes();
+    let _bp: BuildParams = core.build_params();
+    let _sp: SolveParams = core.defaults();
+    assert!(core.serves(&stack));
+    let scratch: SolveScratch = core.new_scratch();
+    let _smem: usize = scratch.memory_bytes();
+
+    // A plain Session is a thin wrapper over one core + one scratch.
+    let session: Session = Session::from_core(Arc::clone(&core));
+    let _core_ref: &Arc<SessionCore> = session.core();
+
+    // SharedSession: `&self` solves from a bounded checkout pool.
+    let built: Result<SharedSession, BuildError> =
+        SharedSession::build(&stack, VpConfig::default(), 2);
+    drop(built.unwrap());
+    let shared: SharedSession = SharedSession::from_core(core, 2);
+    let _slots: usize = shared.slots();
+    let _avail: usize = shared.available();
+    assert!(shared.serves(&stack));
+
+    let case: LoadCase<'_> = LoadCase::new(&stack);
+    {
+        let solution: Result<SharedSolution<'_>, SessionError> = shared.solve(&case);
+        let solution: SharedSolution<'_> = solution.unwrap();
+        let view: SolutionView<'_> = solution.view();
+        assert!(view.converged());
+    }
+    {
+        let attempt: Result<TryCheckout<SharedSolution<'_>>, SessionError> =
+            shared.try_solve(&case);
+        match attempt.unwrap() {
+            TryCheckout::Ready(solution) => assert!(solution.view().converged()),
+            TryCheckout::Busy => panic!("an idle pool must be ready"),
+        }
+    }
+    {
+        let loads: Vec<f64> = stack.loads().to_vec();
+        let set: LoadSet<'_> = LoadSet::new(&stack, &loads);
+        let batch: Result<SharedSolution<'_>, SessionError> = shared.solve_batch(&set);
+        assert_eq!(batch.unwrap().view().lanes(), 1);
+        let attempt: Result<TryCheckout<SharedSolution<'_>>, SessionError> =
+            shared.try_solve_batch(&set);
+        assert!(matches!(attempt.unwrap(), TryCheckout::Ready(_)));
     }
 }
 
