@@ -40,7 +40,13 @@
 //!   axpy/dot core, plus the f64-vs-mixed batched-sweep throughput
 //!   ratio and per-RHS solve latency — **asserting zero allocator
 //!   calls** on the warm mixed paths and refined-f32 tolerance parity
-//!   (max |ΔV| vs the f64 solve ≤ 1e-7 at parallelism 2).
+//!   (max |ΔV| vs the f64 solve ≤ 1e-7 at parallelism 2);
+//! * the overload/admission path: bounded-wait `try_solve_for` shed
+//!   decision latency against a saturated one-slot pool (asserted close
+//!   to the configured wait — a shed must not dawdle), admission
+//!   latency once the slot frees, and cooperative-deadline shed
+//!   accuracy (elapsed time of a budget-starved solve vs its deadline,
+//!   the overshoot bounded by one outer iteration).
 //!
 //! Each invocation appends one JSON entry to `BENCH_rowbased.json` at the
 //! repository root (see [`voltprop_bench::trajectory`]), building the
@@ -59,9 +65,13 @@ use voltprop_bench::alloc::{self, CountingAllocator};
 use voltprop_bench::trajectory::{
     append_run, hardware_context_json, hardware_threads, json_bool, json_f64,
 };
-use voltprop_core::{Backend, LoadCase, LoadSet, Session, SharedSession, SolveParams, VpConfig};
+use voltprop_core::{
+    Backend, Deadline, LoadCase, LoadSet, Session, SessionError, SharedSession, SolveParams,
+    TryCheckout, VpConfig,
+};
 use voltprop_grid::Stack3d;
 use voltprop_solvers::rowbased::{RbWorkspace, RowBased, TierProblem};
+use voltprop_solvers::SolverError;
 use voltprop_solvers::{LaneReport, ParDispatch, SweepSchedule, TierEngine};
 use voltprop_sparse::vec_ops;
 
@@ -811,6 +821,106 @@ fn concurrency_block(
     )
 }
 
+/// The overload/admission experiment: how fast the robustness machinery
+/// makes its decisions. Against a deliberately saturated one-slot
+/// [`SharedSession`]:
+///
+/// * `try_solve_for(wait)` must report `Busy` in about `wait` — the
+///   shed decision may not dawdle (asserted ≤ 10× the configured wait;
+///   the slack absorbs scheduler noise on oversubscribed CI hosts);
+/// * once the slot frees, the same call must be admitted;
+/// * a budget-starved solve (unattainable tolerance, huge iteration
+///   budget) under a cooperative [`Deadline`] must return
+///   `DeadlineExceeded` shortly after the deadline — the overshoot is
+///   the between-iteration check granularity the serve layer's typed
+///   `deadline-exceeded` contract rests on.
+fn overload_block(w: usize, h: usize, tiers: usize, wait_ms: u64, deadline_ms: u64) -> String {
+    eprintln!(
+        "overload admission {w}x{h}x{tiers} (wait {wait_ms} ms, deadline {deadline_ms} ms)..."
+    );
+    let stack = Stack3d::builder(w, h, tiers)
+        .uniform_load(2e-4)
+        .build()
+        .expect("valid stack");
+    let shared = SharedSession::build(&stack, VpConfig::default(), 1).expect("session builds");
+    let case = LoadCase::new(&stack);
+    let wait = std::time::Duration::from_millis(wait_ms);
+
+    // Warm the single slot, then hold it checked out: every admission
+    // attempt below contends against a saturated pool.
+    drop(shared.solve(&case).expect("warm solve converges"));
+    let sheds = 6usize;
+    let mut shed_ms = Vec::with_capacity(sheds);
+    let admitted_ms;
+    {
+        let hog = shared.solve(&case).expect("hog solve converges");
+        for _ in 0..sheds {
+            let start = Instant::now();
+            match shared.try_solve_for(&case, wait) {
+                Ok(TryCheckout::Busy) => shed_ms.push(start.elapsed().as_secs_f64() * 1e3),
+                Ok(TryCheckout::Ready(_)) => panic!("a held slot cannot admit"),
+                Err(e) => panic!("shed attempt errored: {e}"),
+            }
+        }
+        drop(hog);
+        // The freed slot admits the very next bounded-wait attempt.
+        let start = Instant::now();
+        match shared.try_solve_for(&case, wait) {
+            Ok(TryCheckout::Ready(solution)) => {
+                assert!(solution.view().converged());
+                admitted_ms = start.elapsed().as_secs_f64() * 1e3;
+            }
+            Ok(TryCheckout::Busy) => panic!("a freed slot must admit"),
+            Err(e) => panic!("admitted attempt errored: {e}"),
+        }
+    }
+    shed_ms.sort_by(f64::total_cmp);
+    let shed_p50 = shed_ms[shed_ms.len() / 2];
+    let shed_worst = *shed_ms.last().expect("non-empty");
+    assert!(
+        shed_worst <= 10.0 * wait_ms as f64,
+        "shed decision took {shed_worst} ms against a {wait_ms} ms bounded wait"
+    );
+
+    // Cooperative-deadline accuracy on a solve only the deadline can end.
+    let starved = LoadCase::new(&stack)
+        .params(
+            SolveParams::new()
+                .epsilon(1e-300)
+                .inner_tolerance(1e-5)
+                .max_outer_iterations(1_000_000_000),
+        )
+        .deadline(Deadline::after(std::time::Duration::from_millis(
+            deadline_ms,
+        )));
+    let start = Instant::now();
+    match shared.solve(&starved) {
+        Err(SessionError::Solver(SolverError::DeadlineExceeded { .. })) => {}
+        other => panic!("starved solve must exceed its deadline, got {other:?}"),
+    }
+    let deadline_elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+    let overshoot_ms = deadline_elapsed_ms - deadline_ms as f64;
+    assert!(
+        overshoot_ms <= 1_000.0,
+        "deadline shed overshot by {overshoot_ms} ms (check granularity regressed)"
+    );
+
+    format!(
+        "{{\n    \"grid\": \"{w}x{h}x{tiers}\",\n    \"slots\": 1,\n    \
+         \"bounded_wait_ms\": {wait_ms},\n    \"sheds_timed\": {sheds},\n    \
+         \"shed_decision_p50_ms\": {},\n    \"shed_decision_worst_ms\": {},\n    \
+         \"admitted_after_release_ms\": {},\n    \
+         \"deadline_ms\": {deadline_ms},\n    \
+         \"deadline_shed_elapsed_ms\": {},\n    \
+         \"deadline_overshoot_ms\": {}\n  }}",
+        json_f64(shed_p50),
+        json_f64(shed_worst),
+        json_f64(admitted_ms),
+        json_f64(deadline_elapsed_ms),
+        json_f64(overshoot_ms),
+    )
+}
+
 /// The vectorized-kernel bandwidth experiment: effective GB/s of the
 /// hot kernels this workspace spends its time in — the batched f64
 /// solve sweep, the red-black sweep at parallelism 2, and the PCG
@@ -1128,6 +1238,16 @@ fn main() {
         vec![concurrency_block(128, 128, 3, 2, 4, &[1, 4, 16], 16)]
     };
 
+    // The overload/admission trajectory: bounded-wait shed decision
+    // latency, post-release admission, and cooperative-deadline shed
+    // accuracy on a saturated one-slot pool — the serving robustness
+    // contract, measured at the session layer it rests on.
+    let overload_blocks = if quick {
+        vec![overload_block(64, 64, 3, 25, 60)]
+    } else {
+        vec![overload_block(128, 128, 3, 25, 120)]
+    };
+
     // The vectorized-kernel bandwidth trajectory: effective GB/s of the
     // batched sweep / red-black sweep / axpy-dot kernels plus the
     // f64-vs-mixed precision comparison. The quick run is the CI smoke
@@ -1151,7 +1271,7 @@ fn main() {
          \"vp_batch\": [\n  {}\n  ],\n  \"pool_latency\": [\n  {}\n  ],\n  \
          \"batch_compaction\": [\n  {}\n  ],\n  \"session\": [\n  {}\n  ],\n  \
          \"pcg\": [\n  {}\n  ],\n  \"concurrency\": [\n  {}\n  ],\n  \
-         \"kernels\": [\n  {}\n  ]\n}}",
+         \"overload\": [\n  {}\n  ],\n  \"kernels\": [\n  {}\n  ]\n}}",
         row_blocks.join(",\n  "),
         vp_blocks.join(",\n  "),
         batch_blocks.join(",\n  "),
@@ -1160,6 +1280,7 @@ fn main() {
         session_blocks.join(",\n  "),
         pcg_blocks.join(",\n  "),
         concurrency_blocks.join(",\n  "),
+        overload_blocks.join(",\n  "),
         kernel_blocks.join(",\n  "),
     );
     if let Err(e) = append_run(&out, &entry) {

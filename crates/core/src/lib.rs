@@ -120,6 +120,7 @@
 
 mod anderson;
 mod config;
+mod deadline;
 mod lattice;
 mod report;
 mod session;
@@ -129,6 +130,7 @@ mod tier_cache;
 mod vda;
 
 pub use config::{BuildParams, Precision, SolveParams, VpConfig};
+pub use deadline::Deadline;
 pub use report::VpReport;
 pub use session::{
     Backend, BuildError, LoadCase, LoadSet, Session, SessionCore, SessionError, SolutionView,

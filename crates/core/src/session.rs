@@ -35,7 +35,7 @@ use voltprop_solvers::{PcgEngine, Rb3dEngine, SolverError};
 use voltprop_sparse::SparseError;
 
 use crate::solver::{run_batch, run_single, validate_loads, VpScratch};
-use crate::{BuildParams, SolveParams, VpConfig, VpReport};
+use crate::{BuildParams, Deadline, SolveParams, VpConfig, VpReport};
 
 /// The solver engine a request is routed through.
 ///
@@ -227,17 +227,20 @@ pub struct LoadCase<'a> {
     pub(crate) net: NetKind,
     pub(crate) backend: Backend,
     pub(crate) params: Option<SolveParams>,
+    pub(crate) deadline: Deadline,
 }
 
 impl<'a> LoadCase<'a> {
     /// A power-net request on the stack's own loads, using the session's
-    /// default backend ([`Backend::VoltProp`]) and parameters.
+    /// default backend ([`Backend::VoltProp`]) and parameters, with no
+    /// deadline.
     pub fn new(stack: &'a Stack3d) -> Self {
         LoadCase {
             stack,
             net: NetKind::Power,
             backend: Backend::VoltProp,
             params: None,
+            deadline: Deadline::NONE,
         }
     }
 
@@ -260,6 +263,15 @@ impl<'a> LoadCase<'a> {
         self
     }
 
+    /// Attaches a wall-clock [`Deadline`]: the engine outer loops check
+    /// it between iterations and abandon the solve with
+    /// [`SessionError::Solver`]`(`[`SolverError::DeadlineExceeded`]`)`
+    /// once it passes (see [`Deadline`] for the check granularity).
+    pub fn deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
     /// The stack this request reads geometry and loads from.
     pub fn stack(&self) -> &'a Stack3d {
         self.stack
@@ -279,11 +291,12 @@ pub struct LoadSet<'a> {
     pub(crate) net: NetKind,
     pub(crate) backend: Backend,
     pub(crate) params: Option<SolveParams>,
+    pub(crate) deadline: Deadline,
 }
 
 impl<'a> LoadSet<'a> {
     /// A power-net batch over `loads` (lane-major, a whole number of
-    /// `stack.num_nodes()`-sized vectors).
+    /// `stack.num_nodes()`-sized vectors), with no deadline.
     pub fn new(stack: &'a Stack3d, loads: &'a [f64]) -> Self {
         LoadSet {
             stack,
@@ -291,6 +304,7 @@ impl<'a> LoadSet<'a> {
             net: NetKind::Power,
             backend: Backend::VoltProp,
             params: None,
+            deadline: Deadline::NONE,
         }
     }
 
@@ -310,6 +324,16 @@ impl<'a> LoadSet<'a> {
     /// batch only.
     pub fn params(mut self, params: SolveParams) -> Self {
         self.params = Some(params);
+        self
+    }
+
+    /// Attaches a wall-clock [`Deadline`] covering the whole batch: the
+    /// lockstep outer loop (VoltProp) or per-lane loop (engine routes)
+    /// checks it between iterations/lanes and abandons the batch with
+    /// [`SessionError::Solver`]`(`[`SolverError::DeadlineExceeded`]`)`
+    /// once it passes.
+    pub fn deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = deadline;
         self
     }
 
@@ -658,12 +682,22 @@ impl SessionCore {
         let params = case.params.unwrap_or(self.defaults);
         match case.backend {
             Backend::VoltProp => {
-                let report = run_single(&params, case.stack, case.net, &mut scratch.vp)?;
+                let report = run_single(
+                    &params,
+                    case.stack,
+                    case.net,
+                    &mut scratch.vp,
+                    case.deadline,
+                )?;
                 scratch.reports.clear();
                 scratch.reports.push(report);
                 Ok(())
             }
             Backend::Rb3d => {
+                // A prefactored engine solve is one opaque call, so the
+                // deadline is checked on entry only — the iteration
+                // budget bounds the tail.
+                case.deadline.check(0)?;
                 let rep = scratch.rb.solve(
                     case.stack.loads(),
                     case.net,
@@ -677,6 +711,7 @@ impl SessionCore {
                 Ok(())
             }
             Backend::Pcg => {
+                case.deadline.check(0)?;
                 let engine = pcg_engine(&mut scratch.pcg, &self.pcg_unavailable)?;
                 let mixed = params.precision.resolve() == crate::Precision::MixedF32;
                 let rep = if mixed {
@@ -741,6 +776,7 @@ impl SessionCore {
     /// Runs a batched request into the backend's arena in `scratch` (no
     /// view yet — keeps the borrow of `loads` separable from the
     /// returned view).
+    #[allow(clippy::too_many_arguments)] // the full batched-request surface
     pub(crate) fn batch_on(
         &self,
         scratch: &mut SolveScratch,
@@ -749,6 +785,7 @@ impl SessionCore {
         backend: Backend,
         params: Option<SolveParams>,
         loads: &[f64],
+        deadline: Deadline,
     ) -> Result<(), SessionError> {
         self.check_geometry(stack)?;
         stack.validate().map_err(SolverError::from)?;
@@ -762,6 +799,7 @@ impl SessionCore {
                     loads,
                     &mut scratch.vp,
                     &mut scratch.reports,
+                    deadline,
                 )?;
                 Ok(())
             }
@@ -780,6 +818,7 @@ impl SessionCore {
                     loads,
                     &mut scratch.rb_voltages,
                     &mut scratch.reports,
+                    deadline,
                     |lane_loads, v| match rb.solve(
                         lane_loads,
                         net,
@@ -813,6 +852,7 @@ impl SessionCore {
                     loads,
                     &mut scratch.pcg_voltages,
                     &mut scratch.reports,
+                    deadline,
                     |lane_loads, v| {
                         let attempt = if mixed {
                             engine.solve_mixed(
@@ -927,6 +967,7 @@ impl SessionCore {
             case.backend,
             case.params,
             &loads,
+            case.deadline,
         );
         scratch.transient_loads = loads;
         outcome
@@ -1090,6 +1131,7 @@ impl Session {
             set.backend,
             set.params,
             set.loads,
+            set.deadline,
         )?;
         Ok(self.core.batch_view(&self.scratch, set.backend))
     }
@@ -1148,12 +1190,15 @@ fn pcg_engine<'a>(
 /// `solve_lane` on each lane's slices in order — a finished lane is
 /// final and never touched by later lanes. `solve_lane` returns the
 /// lane's [`VpReport`] (budget exhaustion mapped to `converged = false`
-/// by the caller) or a hard error that fails the whole request.
+/// by the caller) or a hard error that fails the whole request. The
+/// request [`Deadline`] is checked before every lane — this per-lane
+/// loop is the engine routes' cooperative cancellation point.
 fn run_engine_batch(
     nn: usize,
     loads: &[f64],
     voltages: &mut Vec<f64>,
     reports: &mut Vec<VpReport>,
+    deadline: Deadline,
     mut solve_lane: impl FnMut(&[f64], &mut [f64]) -> Result<VpReport, SolverError>,
 ) -> Result<(), SessionError> {
     let k = validate_loads(nn, loads)?;
@@ -1162,6 +1207,7 @@ fn run_engine_batch(
     }
     reports.clear();
     for j in 0..k {
+        deadline.check(j)?;
         let lane_loads = &loads[j * nn..(j + 1) * nn];
         let v = &mut voltages[j * nn..(j + 1) * nn];
         reports.push(solve_lane(lane_loads, v)?);

@@ -20,6 +20,7 @@
 //! a slot.
 
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
 
 use voltprop_grid::Stack3d;
 
@@ -110,6 +111,10 @@ pub enum TryCheckout<T> {
 pub struct SharedSession {
     core: Arc<SessionCore>,
     slots: usize,
+    /// Heap footprint (core + all slot scratches), computed once at
+    /// build. Quarantined slots are rebuilt like-for-like, so the figure
+    /// never drifts — registries can budget against it without locking.
+    bytes: usize,
     state: Mutex<PoolState>,
     available: Condvar,
 }
@@ -141,9 +146,12 @@ impl SharedSession {
         for _ in 0..slots {
             ready.push(core.new_scratch());
         }
+        let bytes =
+            core.memory_bytes() + ready.iter().map(SolveScratch::memory_bytes).sum::<usize>();
         SharedSession {
             core,
             slots,
+            bytes,
             state: Mutex::new(PoolState { ready, live: 0 }),
             available: Condvar::new(),
         }
@@ -165,6 +173,21 @@ impl SharedSession {
     pub fn available(&self) -> usize {
         let state = lock_recover(&self.state);
         self.slots - state.live
+    }
+
+    /// Scratches currently checked out with callers. A session with
+    /// `in_flight() > 0` is actively serving requests — registries must
+    /// not evict it.
+    pub fn in_flight(&self) -> usize {
+        lock_recover(&self.state).live
+    }
+
+    /// Estimated heap footprint of the whole pool: the prefactored core
+    /// plus every slot's scratch. Computed once at build and stable
+    /// thereafter (quarantine rebuilds are like-for-like), so eviction
+    /// byte budgets can rely on it without re-measuring.
+    pub fn memory_bytes(&self) -> usize {
+        self.bytes
     }
 
     /// Whether the stack's geometry matches what this pool's core was
@@ -236,6 +259,43 @@ impl SharedSession {
         }
     }
 
+    /// Bounded-wait [`SharedSession::solve`]: waits up to `wait` for a
+    /// scratch slot, then reports [`TryCheckout::Busy`] instead of
+    /// blocking indefinitely. This is the admission-control primitive
+    /// for servers: a hard bound on head-of-line queueing, after which
+    /// the caller sheds the request with a typed overload error.
+    ///
+    /// # Errors
+    ///
+    /// See [`SharedSession::solve`].
+    pub fn try_solve_for<'s>(
+        &'s self,
+        case: &LoadCase<'_>,
+        wait: Duration,
+    ) -> Result<TryCheckout<SharedSolution<'s>>, SessionError> {
+        match self.checkout_for(wait) {
+            Some(scratch) => self.run_single(scratch, case).map(TryCheckout::Ready),
+            None => Ok(TryCheckout::Busy),
+        }
+    }
+
+    /// Bounded-wait [`SharedSession::solve_batch`]; the batched twin of
+    /// [`SharedSession::try_solve_for`].
+    ///
+    /// # Errors
+    ///
+    /// See [`SharedSession::solve_batch`].
+    pub fn try_solve_batch_for<'s>(
+        &'s self,
+        set: &LoadSet<'_>,
+        wait: Duration,
+    ) -> Result<TryCheckout<SharedSolution<'s>>, SessionError> {
+        match self.checkout_for(wait) {
+            Some(scratch) => self.run_batch(scratch, set).map(TryCheckout::Ready),
+            None => Ok(TryCheckout::Busy),
+        }
+    }
+
     /// Runs a checked-out scratch through one [`LoadCase`]. The guard is
     /// armed *before* the solve so that an engine panic unwinds through
     /// its `Drop` (quarantining the slot) and an `Err` drops it normally
@@ -277,6 +337,7 @@ impl SharedSession {
             set.backend,
             set.params,
             set.loads,
+            set.deadline,
         )?;
         Ok(guard)
     }
@@ -303,6 +364,34 @@ impl SharedSession {
                 .available
                 .wait(state)
                 .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Bounded-wait [`SharedSession::checkout`]: waits on the condvar
+    /// against an absolute deadline (immune to spurious wakeups), `None`
+    /// once `wait` has elapsed with every slot still out.
+    fn checkout_for(&self, wait: Duration) -> Option<SolveScratch> {
+        let until = Instant::now() + wait;
+        let mut state = lock_recover(&self.state);
+        loop {
+            if let Some(scratch) = state.ready.pop() {
+                state.live += 1;
+                return Some(scratch);
+            }
+            if state.live < self.slots {
+                state.live += 1;
+                drop(state);
+                return Some(self.core.new_scratch());
+            }
+            let left = until.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return None;
+            }
+            state = self
+                .available
+                .wait_timeout(state, left)
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
         }
     }
 
@@ -484,6 +573,57 @@ mod tests {
         let b = shared.solve(&LoadCase::new(&s)).unwrap();
         assert!(a.view().converged() && b.view().converged());
         assert_eq!(a.view().voltages(), b.view().voltages());
+    }
+
+    #[test]
+    fn bounded_wait_sheds_after_the_timeout_and_admits_after_release() {
+        let s = stack();
+        let shared = SharedSession::build(&s, VpConfig::default(), 1).unwrap();
+        let held = shared.solve(&LoadCase::new(&s)).unwrap();
+        assert_eq!(shared.in_flight(), 1);
+        // Full pool + expired budget: shed, don't block.
+        match shared.try_solve_for(&LoadCase::new(&s), Duration::from_millis(5)) {
+            Ok(TryCheckout::Busy) => {}
+            other => panic!("expected Busy, got {other:?}"),
+        }
+        // A waiter inside its budget is admitted when the slot frees.
+        std::thread::scope(|scope| {
+            let waiter =
+                scope.spawn(|| shared.try_solve_for(&LoadCase::new(&s), Duration::from_secs(30)));
+            std::thread::sleep(Duration::from_millis(20));
+            drop(held);
+            match waiter.join().unwrap() {
+                Ok(TryCheckout::Ready(sol)) => assert!(sol.view().converged()),
+                other => panic!("expected Ready, got {other:?}"),
+            }
+        });
+        assert_eq!(shared.in_flight(), 0);
+    }
+
+    #[test]
+    fn memory_bytes_is_stable_and_accounts_core_plus_slots() {
+        let s = stack();
+        let shared = SharedSession::build(&s, VpConfig::default(), 2).unwrap();
+        let bytes = shared.memory_bytes();
+        let core_bytes = shared.core().memory_bytes();
+        assert!(
+            bytes > core_bytes,
+            "pool bytes ({bytes}) must include the slot scratches on top of the core ({core_bytes})"
+        );
+        // Stable across solves and across a quarantine rebuild.
+        let sol = shared.solve(&LoadCase::new(&s)).unwrap();
+        drop(sol);
+        let unwound = catch_unwind(AssertUnwindSafe(|| {
+            let _held = shared.solve(&LoadCase::new(&s)).unwrap();
+            panic!("quarantine the slot");
+        }));
+        assert!(unwound.is_err());
+        let _rebuilt = shared.solve(&LoadCase::new(&s)).unwrap();
+        assert_eq!(
+            shared.memory_bytes(),
+            bytes,
+            "byte accounting must not drift"
+        );
     }
 
     #[test]

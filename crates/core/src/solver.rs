@@ -529,12 +529,15 @@ impl VpSolver {
 /// inside a scratch that **must already match the stack's geometry**
 /// (callers check; [`Session`](crate::Session) surfaces a mismatch as
 /// `GeometryChanged`).
-/// Zero heap allocations once the scratch is warm.
+/// Zero heap allocations once the scratch is warm. The request
+/// [`Deadline`](crate::Deadline) is checked once per outer iteration —
+/// the cooperative cancellation hook of this route.
 pub(crate) fn run_single(
     params: &crate::SolveParams,
     stack: &Stack3d,
     net: NetKind,
     scratch: &mut VpScratch,
+    deadline: crate::Deadline,
 ) -> Result<VpReport, SolverError> {
     let rail = match net {
         NetKind::Power => stack.vdd(),
@@ -545,6 +548,8 @@ pub(crate) fn run_single(
         NetKind::Ground => -1.0,
     };
     if scratch.tiers == 1 {
+        // One opaque planar solve: check on entry, budget bounds the tail.
+        deadline.check(0)?;
         return run_single_tier(params, stack, rail, sign, scratch);
     }
 
@@ -601,6 +606,7 @@ pub(crate) fn run_single(
     let mut worst = f64::INFINITY;
     let mut converged = false;
     while outer < params.max_outer_iterations {
+        deadline.check(outer)?;
         // Every pass runs at the tight tolerance. (A "progressive"
         // scheme that loosened early passes was tried and reverted: the
         // noisy mismatch measurements it produced destabilized the VDA
@@ -778,7 +784,8 @@ pub(crate) fn validate_loads(nn: usize, loads: &[f64]) -> Result<usize, SolverEr
 /// arena for the lane count, and runs every lane in lockstep through the
 /// shared tier factors. The scratch **must already match the stack's
 /// geometry** (callers check). Warm calls with an unchanged lane count
-/// perform no heap allocation.
+/// perform no heap allocation. The [`Deadline`](crate::Deadline) is
+/// checked once per lockstep outer pass (it governs the whole batch).
 pub(crate) fn run_batch(
     params: &crate::SolveParams,
     stack: &Stack3d,
@@ -786,6 +793,7 @@ pub(crate) fn run_batch(
     loads: &[f64],
     scratch: &mut VpScratch,
     reports: &mut Vec<VpReport>,
+    deadline: crate::Deadline,
 ) -> Result<(), SolverError> {
     let k = validate_loads(stack.num_nodes(), loads)?;
     let per = scratch.width * scratch.height;
@@ -802,9 +810,11 @@ pub(crate) fn run_batch(
         NetKind::Ground => -1.0,
     };
     if scratch.tiers == 1 {
+        // One opaque batched solve: check on entry, budget bounds the tail.
+        deadline.check(0)?;
         run_batch_single_tier(params, rail, sign, loads, k, scratch, reports)
     } else {
-        run_batch_multi(params, rail, sign, loads, k, scratch, reports)
+        run_batch_multi(params, rail, sign, loads, k, scratch, reports, deadline)
     }
 }
 
@@ -877,6 +887,7 @@ fn run_batch_single_tier(
 /// [`LaneOuterState`]; a lane that converges (or fails a budget) is
 /// masked out of all later tier solves, so its iterate — bitwise
 /// identical to the sequential solve — is never touched again.
+#[allow(clippy::too_many_arguments)] // mirrors run_batch's surface
 fn run_batch_multi(
     params: &crate::SolveParams,
     rail: f64,
@@ -885,6 +896,7 @@ fn run_batch_multi(
     k: usize,
     scratch: &mut VpScratch,
     reports: &mut Vec<VpReport>,
+    deadline: crate::Deadline,
 ) -> Result<(), SolverError> {
     let (w, h, tiers) = (scratch.width, scratch.height, scratch.tiers);
     let per = w * h;
@@ -918,6 +930,7 @@ fn run_batch_multi(
         let mut n_running = k;
         let mut outer = 0usize;
         while outer < params.max_outer_iterations && n_running > 0 {
+            deadline.check(outer)?;
             for j in 0..k {
                 if arena.mask[j] {
                     arena.pillar_current[j * ns..(j + 1) * ns].fill(0.0);
@@ -1245,7 +1258,13 @@ fn largest_pillar_cluster(stack: &Stack3d) -> usize {
 impl StackSolver for VpSolver {
     fn solve_stack(&self, stack: &Stack3d, net: NetKind) -> Result<StackSolution, SolverError> {
         let mut scratch = VpScratch::new(stack, &self.config)?;
-        let report = run_single(&self.config.solve_params(), stack, net, &mut scratch)?;
+        let report = run_single(
+            &self.config.solve_params(),
+            stack,
+            net,
+            &mut scratch,
+            crate::Deadline::NONE,
+        )?;
         Ok(StackSolution {
             voltages: std::mem::take(&mut scratch.voltages),
             report: report.to_solve_report(),
@@ -1264,6 +1283,7 @@ mod tests {
     // integration tests. The former deprecated `VpSolver` shims were
     // removed; see MIGRATION.md.
     use super::*;
+    use crate::Deadline;
     use voltprop_grid::{LoadProfile, TsvPattern};
     use voltprop_solvers::{residual, DirectCholesky};
 
@@ -1276,7 +1296,13 @@ mod tests {
         net: NetKind,
     ) -> Result<(VpScratch, VpReport), SolverError> {
         let mut scratch = VpScratch::new(stack, config)?;
-        let report = run_single(&config.solve_params(), stack, net, &mut scratch)?;
+        let report = run_single(
+            &config.solve_params(),
+            stack,
+            net,
+            &mut scratch,
+            crate::Deadline::NONE,
+        )?;
         Ok((scratch, report))
     }
 
@@ -1664,7 +1690,14 @@ mod tests {
         let config = VpConfig::default();
         let params = config.solve_params();
         let mut scratch = VpScratch::new(&stack_a, &config).unwrap();
-        let r1 = run_single(&params, &stack_a, NetKind::Power, &mut scratch).unwrap();
+        let r1 = run_single(
+            &params,
+            &stack_a,
+            NetKind::Power,
+            &mut scratch,
+            Deadline::NONE,
+        )
+        .unwrap();
         assert!(r1.converged);
         let (fresh, _) = solve_fresh(&config, &stack_a, NetKind::Power).unwrap();
         assert_eq!(scratch.voltages(), fresh.voltages());
@@ -1676,7 +1709,14 @@ mod tests {
             .set_loads(stack_a.loads().iter().map(|l| l * 1.5).collect())
             .unwrap();
         assert!(scratch.geometry_matches(&stack_b));
-        let r2 = run_single(&params, &stack_b, NetKind::Power, &mut scratch).unwrap();
+        let r2 = run_single(
+            &params,
+            &stack_b,
+            NetKind::Power,
+            &mut scratch,
+            Deadline::NONE,
+        )
+        .unwrap();
         assert!(r2.converged);
         let (fresh_b, _) = solve_fresh(&config, &stack_b, NetKind::Power).unwrap();
         assert_eq!(scratch.voltages(), fresh_b.voltages());
@@ -1713,6 +1753,7 @@ mod tests {
             &loads,
             &mut scratch,
             &mut reports,
+            Deadline::NONE,
         )
         .unwrap();
         assert_eq!(reports.len(), k);
@@ -1723,7 +1764,14 @@ mod tests {
             lane_stack
                 .set_loads(loads[j * nn..(j + 1) * nn].to_vec())
                 .unwrap();
-            let solo = run_single(&params, &lane_stack, NetKind::Power, &mut solo_scratch).unwrap();
+            let solo = run_single(
+                &params,
+                &lane_stack,
+                NetKind::Power,
+                &mut solo_scratch,
+                Deadline::NONE,
+            )
+            .unwrap();
             assert_eq!(
                 lane_voltages(&scratch, j),
                 solo_scratch.voltages(),
@@ -1799,6 +1847,7 @@ mod tests {
             &loads,
             &mut scratch,
             &mut reports,
+            Deadline::NONE,
         )
         .unwrap();
         assert_eq!(scratch.batch_lanes(), 3);
@@ -1813,6 +1862,7 @@ mod tests {
             &loads,
             &mut scratch,
             &mut reports,
+            Deadline::NONE,
         )
         .unwrap();
         for j in 0..3 {
@@ -1847,7 +1897,8 @@ mod tests {
                         NetKind::Power,
                         &bad,
                         &mut scratch,
-                        &mut reports
+                        &mut reports,
+                        Deadline::NONE
                     ),
                     Err(SolverError::Unsupported { .. })
                 ),
@@ -1885,6 +1936,7 @@ mod tests {
             &load_sweep(&stack, 2),
             &mut scratch,
             &mut reports,
+            Deadline::NONE,
         )
         .unwrap();
         for (j, rep) in reports.iter().enumerate() {

@@ -1,0 +1,288 @@
+//! Fault injection for overload hardening: [`ChaosConfig`].
+//!
+//! Chaos mode makes the daemon *hostile to its own clients* so tests
+//! can prove the server itself stays healthy while everything around it
+//! misbehaves. Four faults are injected, each with an independent
+//! probability per response:
+//!
+//! * **drop** — close the connection instead of answering;
+//! * **truncate** — write a prefix of the response bytes, then close
+//!   (the client sees a torn frame);
+//! * **slow** — stall [`ChaosConfig::slow_ms`] before answering (a slow
+//!   peer / saturated link);
+//! * **breakdown** — starve the solve's iteration budget so the request
+//!   fails with a typed `solver-error` (an unhealthy numerical kernel).
+//!
+//! The soak harness runs a chaos-enabled server under concurrent load
+//! and asserts the invariants that matter: no leaked handler threads,
+//! the registry within its byte budget, every connection ending in a
+//! typed error or a clean close, and bounded latency for well-behaved
+//! requests.
+//!
+//! Chaos is off by default. Enable it programmatically via
+//! [`ServeConfig::chaos`](crate::ServeConfig::chaos) or from the
+//! environment with `VOLTPROP_CHAOS` (parsed by
+//! [`ChaosConfig::from_env`]):
+//!
+//! ```text
+//! VOLTPROP_CHAOS="drop=0.05,truncate=0.05,slow=0.1,slow_ms=40,breakdown=0.1,seed=7"
+//! ```
+//!
+//! Fault decisions are drawn from a deterministic per-connection
+//! generator seeded from [`ChaosConfig::seed`] and the connection
+//! ordinal, so a failing soak run replays identically.
+
+use voltprop_grid::rng::SmallRng;
+
+/// Per-response fault probabilities, all in `[0, 1]`. The default is
+/// all-zero (chaos off).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ChaosConfig {
+    /// Probability of dropping the connection instead of responding.
+    pub drop_frac: f64,
+    /// Probability of truncating the response mid-frame, then closing.
+    pub truncate_frac: f64,
+    /// Probability of stalling [`ChaosConfig::slow_ms`] before the
+    /// response bytes are written.
+    pub slow_frac: f64,
+    /// Stall length for slow responses, in milliseconds.
+    pub slow_ms: u64,
+    /// Probability of starving a solve's iteration budget so it fails
+    /// with a typed solver error.
+    pub breakdown_frac: f64,
+    /// Seed for the deterministic fault stream.
+    pub seed: u64,
+}
+
+/// What chaos decided to do with one response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResponseFate {
+    /// Write the response normally.
+    Deliver,
+    /// Close the connection without writing anything.
+    Drop,
+    /// Write only this many bytes of the response, then close.
+    Truncate {
+        /// Bytes of the response to write before closing (may be 0).
+        keep: usize,
+    },
+    /// Sleep [`ChaosConfig::slow_ms`], then write normally.
+    SlowThenDeliver,
+}
+
+impl ChaosConfig {
+    /// Chaos fully disabled (every probability zero).
+    pub const OFF: ChaosConfig = ChaosConfig {
+        drop_frac: 0.0,
+        truncate_frac: 0.0,
+        slow_frac: 0.0,
+        slow_ms: 0,
+        breakdown_frac: 0.0,
+        seed: 0,
+    };
+
+    /// Whether any fault has a nonzero probability.
+    pub fn enabled(&self) -> bool {
+        self.drop_frac > 0.0
+            || self.truncate_frac > 0.0
+            || self.slow_frac > 0.0
+            || self.breakdown_frac > 0.0
+    }
+
+    /// Validates the probabilities (each must be a finite value in
+    /// `[0, 1]`).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, frac) in [
+            ("drop", self.drop_frac),
+            ("truncate", self.truncate_frac),
+            ("slow", self.slow_frac),
+            ("breakdown", self.breakdown_frac),
+        ] {
+            if !frac.is_finite() || !(0.0..=1.0).contains(&frac) {
+                return Err(format!(
+                    "chaos {name} fraction must be in [0, 1], got {frac}"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses `VOLTPROP_CHAOS` from the environment: `None` when unset
+    /// or empty, the parsed (validated) config otherwise.
+    ///
+    /// # Errors
+    ///
+    /// A description of the malformed key/value when set but invalid.
+    pub fn from_env() -> Result<Option<ChaosConfig>, String> {
+        match std::env::var("VOLTPROP_CHAOS") {
+            Ok(spec) if !spec.trim().is_empty() => Self::parse(&spec).map(Some),
+            _ => Ok(None),
+        }
+    }
+
+    /// Parses a `key=value,key=value` chaos spec. Keys: `drop`,
+    /// `truncate`, `slow`, `breakdown` (fractions in `[0, 1]`),
+    /// `slow_ms`, `seed` (non-negative integers).
+    ///
+    /// # Errors
+    ///
+    /// A description of the first malformed or unknown entry.
+    pub fn parse(spec: &str) -> Result<ChaosConfig, String> {
+        let mut config = ChaosConfig::OFF;
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("chaos entry {part:?} is not key=value"))?;
+            let frac = || -> Result<f64, String> {
+                value
+                    .parse::<f64>()
+                    .map_err(|e| format!("chaos {key}={value:?}: {e}"))
+            };
+            let int = || -> Result<u64, String> {
+                value
+                    .parse::<u64>()
+                    .map_err(|e| format!("chaos {key}={value:?}: {e}"))
+            };
+            match key.trim() {
+                "drop" => config.drop_frac = frac()?,
+                "truncate" => config.truncate_frac = frac()?,
+                "slow" => config.slow_frac = frac()?,
+                "breakdown" => config.breakdown_frac = frac()?,
+                "slow_ms" => config.slow_ms = int()?,
+                "seed" => config.seed = int()?,
+                other => {
+                    return Err(format!(
+                        "unknown chaos key {other:?} (expected drop, truncate, \
+                         slow, slow_ms, breakdown, or seed)"
+                    ))
+                }
+            }
+        }
+        config.validate()?;
+        Ok(config)
+    }
+
+    /// The deterministic fault stream for one connection.
+    pub fn rng_for_connection(&self, ordinal: u64) -> SmallRng {
+        // Mix the ordinal through a splitmix-style step so consecutive
+        // connections get unrelated streams from one seed.
+        let mixed = (self.seed ^ ordinal.wrapping_mul(0x9e37_79b9_7f4a_7c15)).wrapping_add(1);
+        SmallRng::new(mixed)
+    }
+
+    /// Draws the fate of one response of `len` bytes. Faults are tried
+    /// in drop → truncate → slow order, each with its own probability.
+    pub fn response_fate(&self, rng: &mut SmallRng, len: usize) -> ResponseFate {
+        if !self.enabled() {
+            return ResponseFate::Deliver;
+        }
+        if self.drop_frac > 0.0 && rng.f64() < self.drop_frac {
+            return ResponseFate::Drop;
+        }
+        if self.truncate_frac > 0.0 && rng.f64() < self.truncate_frac {
+            let keep = if len == 0 { 0 } else { rng.usize_below(len) };
+            return ResponseFate::Truncate { keep };
+        }
+        if self.slow_frac > 0.0 && rng.f64() < self.slow_frac {
+            return ResponseFate::SlowThenDeliver;
+        }
+        ResponseFate::Deliver
+    }
+
+    /// Whether this solve should have its iteration budget starved.
+    pub fn force_breakdown(&self, rng: &mut SmallRng) -> bool {
+        self.breakdown_frac > 0.0 && rng.f64() < self.breakdown_frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_is_inert() {
+        assert!(!ChaosConfig::OFF.enabled());
+        assert!(!ChaosConfig::default().enabled());
+        let mut rng = ChaosConfig::OFF.rng_for_connection(0);
+        for _ in 0..64 {
+            assert_eq!(
+                ChaosConfig::OFF.response_fate(&mut rng, 100),
+                ResponseFate::Deliver
+            );
+            assert!(!ChaosConfig::OFF.force_breakdown(&mut rng));
+        }
+    }
+
+    #[test]
+    fn parse_round_trips_and_validates() {
+        let c =
+            ChaosConfig::parse("drop=0.1, truncate=0.2,slow=0.3,slow_ms=40,breakdown=0.4,seed=7")
+                .unwrap();
+        assert_eq!(c.drop_frac, 0.1);
+        assert_eq!(c.truncate_frac, 0.2);
+        assert_eq!(c.slow_frac, 0.3);
+        assert_eq!(c.slow_ms, 40);
+        assert_eq!(c.breakdown_frac, 0.4);
+        assert_eq!(c.seed, 7);
+        assert!(c.enabled());
+        assert!(ChaosConfig::parse("drop=1.5").is_err());
+        assert!(ChaosConfig::parse("drop=-0.1").is_err());
+        assert!(ChaosConfig::parse("warp=0.5").is_err());
+        assert!(ChaosConfig::parse("drop").is_err());
+        assert!(ChaosConfig::parse("slow_ms=abc").is_err());
+        assert_eq!(ChaosConfig::parse("").unwrap(), ChaosConfig::OFF);
+    }
+
+    #[test]
+    fn fault_stream_is_deterministic_per_connection() {
+        let config = ChaosConfig {
+            drop_frac: 0.2,
+            truncate_frac: 0.2,
+            slow_frac: 0.2,
+            slow_ms: 1,
+            breakdown_frac: 0.2,
+            seed: 99,
+        };
+        let draw = |ordinal: u64| {
+            let mut rng = config.rng_for_connection(ordinal);
+            (0..32)
+                .map(|_| config.response_fate(&mut rng, 64))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draw(3), draw(3), "same connection replays identically");
+        assert_ne!(draw(3), draw(4), "different connections differ");
+    }
+
+    #[test]
+    fn all_fates_reachable_under_heavy_chaos() {
+        let config = ChaosConfig {
+            drop_frac: 0.25,
+            truncate_frac: 0.25,
+            slow_frac: 0.25,
+            slow_ms: 1,
+            breakdown_frac: 0.5,
+            seed: 5,
+        };
+        let mut rng = config.rng_for_connection(0);
+        let (mut dropped, mut truncated, mut slowed, mut delivered, mut broke) = (0, 0, 0, 0, 0);
+        for _ in 0..512 {
+            match config.response_fate(&mut rng, 64) {
+                ResponseFate::Drop => dropped += 1,
+                ResponseFate::Truncate { keep } => {
+                    assert!(keep < 64);
+                    truncated += 1;
+                }
+                ResponseFate::SlowThenDeliver => slowed += 1,
+                ResponseFate::Deliver => delivered += 1,
+            }
+            if config.force_breakdown(&mut rng) {
+                broke += 1;
+            }
+        }
+        assert!(dropped > 0 && truncated > 0 && slowed > 0 && delivered > 0 && broke > 0);
+    }
+}

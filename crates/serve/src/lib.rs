@@ -6,8 +6,9 @@
 //! (keyed by a hash of the geometry fields, never the loads) and serves
 //! concurrent solve requests against it through the session's bounded
 //! scratch checkout pool: up to `slots` requests solve in parallel,
-//! later arrivals queue. The wire protocol is newline-delimited JSON —
-//! see [`proto`] for the request/response schema.
+//! later arrivals queue briefly, and sustained excess is shed with
+//! typed errors. The wire protocol is newline-delimited JSON — see
+//! [`proto`] for the request/response schema.
 //!
 //! ```no_run
 //! use voltprop_serve::{request, serve, ServeConfig};
@@ -22,15 +23,72 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Operating voltprop-serve
+//!
+//! The daemon is engineered to degrade predictably under overload
+//! instead of queueing unboundedly. Operators control four limits (all
+//! [`ServeConfig`] fields, all exposed as `voltprop-serve` CLI flags):
+//!
+//! * **`max_connections`** (`--max-connections`) — the connection cap.
+//!   A connection accepted past the cap receives exactly one
+//!   `overloaded` error line (with a `retry_after_ms` hint) and is
+//!   closed; no handler thread is spawned for it.
+//! * **`registry_bytes`** (`--registry-bytes`) — the session cache
+//!   budget. Each cached geometry costs
+//!   [`SharedSession::memory_bytes`](voltprop_core::SharedSession::memory_bytes);
+//!   past the budget, idle sessions are evicted
+//!   least-recently-used-first. Sessions with in-flight solves are
+//!   never evicted — the registry runs over budget until they drain
+//!   rather than invalidate live work.
+//! * **`deadline_default_ms`** (`--deadline-default-ms`) — the default
+//!   wall-clock budget per solve, counted from request receipt through
+//!   queueing and the solve itself. Requests may override it with their
+//!   own `"deadline_ms"`. Expiry is cooperative (checked between
+//!   engine iterations) and surfaces as a typed `deadline-exceeded`
+//!   error; a request without either deadline may run arbitrarily
+//!   long.
+//! * **`checkout_wait_ms` / `max_rps_per_conn` / `max_line_bytes`** —
+//!   the admission-control knobs: the bounded wait for a scratch slot
+//!   before a solve is shed `overloaded`; an optional per-connection
+//!   request rate cap (shed without closing); and the request-line
+//!   length cap (`malformed-request`, then close — the only overload
+//!   response that closes an admitted connection, because framing is
+//!   unrecoverable mid-line).
+//!
+//! ## The retry contract
+//!
+//! Every shed is a typed `overloaded` error carrying `retry_after_ms`.
+//! Clients should back off at least that long (the hint is jittered
+//! server-side, so honoring it avoids synchronized retry waves) and
+//! may then retry idempotently — solves are pure functions of their
+//! request. `deadline-exceeded` means the work itself exceeded its
+//! budget: retrying with the same deadline will likely fail again;
+//! raise `deadline_ms`, relax the solve tolerances, or drop `slots`
+//! contention instead.
+//!
+//! ## Fault injection
+//!
+//! For hardening tests, [`ChaosConfig`] (the `VOLTPROP_CHAOS`
+//! environment variable or [`ServeConfig::chaos`]) makes the daemon
+//! drop, truncate, and stall its own responses and starve solves at
+//! configurable rates. [`ServerHandle::stats`] exposes the counters
+//! soak tests assert on: after [`ServerHandle::shutdown`],
+//! `handlers_spawned == handlers_finished` (no leaked threads), the
+//! registry within budget, and every shed accounted for.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod json;
 pub mod proto;
+pub mod registry;
 mod server;
 
-pub use server::{serve, ServeConfig, ServerHandle};
+pub use chaos::{ChaosConfig, ResponseFate};
+pub use registry::{RegistryStats, SessionRegistry};
+pub use server::{serve, ServeConfig, ServeStats, ServerHandle};
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};

@@ -52,6 +52,10 @@ pub struct ServeError {
     pub kind: ErrorKind,
     /// Human-readable description.
     pub message: String,
+    /// Shedding hint rendered as `"retry_after_ms"` in the error object:
+    /// how long a well-behaved client should back off before retrying.
+    /// Only [`ErrorKind::Overloaded`] responses set it.
+    pub retry_after_ms: Option<u64>,
 }
 
 /// Machine-readable error categories of the wire protocol.
@@ -71,6 +75,15 @@ pub enum ErrorKind {
     BackendUnavailable,
     /// The solve itself failed (e.g. convergence budget exhausted).
     Solver,
+    /// The request's wall-clock deadline (its `deadline_ms`, or the
+    /// server default) expired before the solve finished. The partial
+    /// solve was abandoned cooperatively.
+    DeadlineExceeded,
+    /// The server shed the request under load: every scratch slot stayed
+    /// busy for the admission window, the connection cap was hit, or the
+    /// per-connection rate limit tripped. The error object carries a
+    /// `retry_after_ms` backoff hint.
+    Overloaded,
 }
 
 impl ErrorKind {
@@ -83,15 +96,19 @@ impl ErrorKind {
             ErrorKind::Build => "build-error",
             ErrorKind::BackendUnavailable => "backend-unavailable",
             ErrorKind::Solver => "solver-error",
+            ErrorKind::DeadlineExceeded => "deadline-exceeded",
+            ErrorKind::Overloaded => "overloaded",
         }
     }
 }
 
 impl ServeError {
-    fn new(kind: ErrorKind, message: impl Into<String>) -> ServeError {
+    /// A typed error with no retry hint.
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> ServeError {
         ServeError {
             kind,
             message: message.into(),
+            retry_after_ms: None,
         }
     }
 
@@ -99,18 +116,28 @@ impl ServeError {
         ServeError::new(ErrorKind::BadRequest, message)
     }
 
+    /// An [`ErrorKind::Overloaded`] shed carrying a backoff hint.
+    pub fn overloaded(message: impl Into<String>, retry_after_ms: u64) -> ServeError {
+        ServeError {
+            kind: ErrorKind::Overloaded,
+            message: message.into(),
+            retry_after_ms: Some(retry_after_ms),
+        }
+    }
+
     /// Serializes the error as a complete response line (without the
     /// trailing newline).
     pub fn to_response(&self) -> String {
+        let mut members = vec![
+            ("kind".to_string(), Json::from(self.kind.as_str())),
+            ("message".to_string(), Json::from(self.message.clone())),
+        ];
+        if let Some(ms) = self.retry_after_ms {
+            members.push(("retry_after_ms".to_string(), Json::Num(ms as f64)));
+        }
         Json::Obj(vec![
             ("ok".to_string(), Json::Bool(false)),
-            (
-                "error".to_string(),
-                Json::Obj(vec![
-                    ("kind".to_string(), Json::from(self.kind.as_str())),
-                    ("message".to_string(), Json::from(self.message.clone())),
-                ]),
-            ),
+            ("error".to_string(), Json::Obj(members)),
         ])
         .to_string()
     }
@@ -225,6 +252,9 @@ pub struct SolveRequest {
     pub build: BuildPolicy,
     /// Whether the response should carry the full voltage vector.
     pub voltages: bool,
+    /// Wall-clock budget for this request in milliseconds. `None` defers
+    /// to the server's configured default.
+    pub deadline_ms: Option<u64>,
 }
 
 /// A parsed request line.
@@ -310,6 +340,15 @@ fn parse_solve(value: &Json) -> Result<SolveRequest, ServeError> {
             .as_bool()
             .ok_or_else(|| ServeError::bad("\"voltages\" must be a bool"))?,
     };
+    let deadline_ms = match value.get("deadline_ms") {
+        None | Some(Json::Null) => None,
+        Some(v) => Some(
+            v.as_usize()
+                .filter(|&ms| ms > 0)
+                .map(|ms| ms as u64)
+                .ok_or_else(|| ServeError::bad("\"deadline_ms\" must be a positive integer"))?,
+        ),
+    };
     Ok(SolveRequest {
         stack,
         net,
@@ -317,6 +356,7 @@ fn parse_solve(value: &Json) -> Result<SolveRequest, ServeError> {
         params,
         build,
         voltages,
+        deadline_ms,
     })
 }
 
@@ -529,6 +569,41 @@ mod tests {
         );
         assert_eq!(a.stack.geometry_hash(), b.stack.geometry_hash());
         assert_ne!(a.stack.geometry_hash(), c.stack.geometry_hash());
+    }
+
+    #[test]
+    fn deadline_ms_parses_and_validates() {
+        let req = spec(
+            "{\"op\":\"solve\",\"stack\":{\"width\":8,\"height\":8,\"tiers\":2,\"loads\":1e-4},\"deadline_ms\":250}",
+        );
+        assert_eq!(req.deadline_ms, Some(250));
+        let req = spec(
+            "{\"op\":\"solve\",\"stack\":{\"width\":8,\"height\":8,\"tiers\":2,\"loads\":1e-4}}",
+        );
+        assert_eq!(req.deadline_ms, None);
+        for bad in ["0", "-5", "\"fast\"", "1.5"] {
+            let line = format!(
+                "{{\"op\":\"solve\",\"stack\":{{\"width\":8,\"height\":8,\"tiers\":2,\"loads\":1e-4}},\"deadline_ms\":{bad}}}"
+            );
+            let err = parse_request(&line).unwrap_err();
+            assert_eq!(err.kind, ErrorKind::BadRequest, "for deadline_ms={bad}");
+        }
+    }
+
+    #[test]
+    fn overloaded_renders_retry_after_hint() {
+        let err = ServeError::overloaded("all slots busy", 40);
+        let back = Json::parse(&err.to_response()).unwrap();
+        assert_eq!(back.get("ok").and_then(Json::as_bool), Some(false));
+        let error = back.get("error").unwrap();
+        assert_eq!(error.get("kind").and_then(Json::as_str), Some("overloaded"));
+        assert_eq!(
+            error.get("retry_after_ms").and_then(Json::as_usize),
+            Some(40)
+        );
+        // Errors without a hint must not render the member at all.
+        let plain = ServeError::new(ErrorKind::Solver, "x");
+        assert!(!plain.to_response().contains("retry_after_ms"));
     }
 
     #[test]

@@ -38,6 +38,16 @@ pub enum SolverError {
         /// The quantity that broke down.
         what: String,
     },
+    /// The request's wall-clock deadline passed before the iteration
+    /// finished. This is cooperative cancellation, not a numerical
+    /// failure: the outer loops check the deadline between iterations
+    /// and abandon the solve so the caller (e.g. a serving deadline
+    /// budget) gets control back instead of a hung request. The partial
+    /// iterate is discarded.
+    DeadlineExceeded {
+        /// Iterations completed when the expired deadline was detected.
+        iterations: usize,
+    },
 }
 
 impl fmt::Display for SolverError {
@@ -57,6 +67,9 @@ impl fmt::Display for SolverError {
             SolverError::Unsupported { what } => write!(f, "unsupported problem: {what}"),
             SolverError::Breakdown { iteration, what } => {
                 write!(f, "numerical breakdown at iteration {iteration}: {what}")
+            }
+            SolverError::DeadlineExceeded { iterations } => {
+                write!(f, "deadline exceeded after {iterations} iterations")
             }
         }
     }
@@ -110,6 +123,10 @@ mod tests {
             what: "pᵀAp = -1".into(),
         };
         assert!(e.to_string().contains("breakdown"));
+        assert!(e.source().is_none());
+
+        let e = SolverError::DeadlineExceeded { iterations: 5 };
+        assert!(e.to_string().contains("deadline"));
         assert!(e.source().is_none());
     }
 }

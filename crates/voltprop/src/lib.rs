@@ -62,7 +62,7 @@ pub use voltprop_solvers as solvers;
 pub use voltprop_sparse as sparse;
 
 pub use voltprop_core::{
-    Backend, BuildError, BuildParams, LoadCase, LoadSet, Precision, Session, SessionCore,
+    Backend, BuildError, BuildParams, Deadline, LoadCase, LoadSet, Precision, Session, SessionCore,
     SessionError, SharedSession, SharedSolution, SolutionView, SolveParams, SolveScratch,
     TryCheckout, VpConfig, VpReport, VpSolver,
 };

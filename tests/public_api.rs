@@ -22,6 +22,7 @@ use voltprop::{
     BuildParams,
     // Cross-solver layer.
     ConjugateGradient,
+    Deadline,
     DirectCholesky,
     // Grid modeling.
     GridError,
@@ -86,16 +87,25 @@ fn session_api_signatures_hold() {
     let _defaults: SolveParams = session.defaults();
     let _bp: BuildParams = session.build_params();
 
-    // Request builders.
+    // Request builders (deadlines ride on both request types).
     let case: LoadCase<'_> = LoadCase::new(&stack)
         .net(NetKind::Power)
         .backend(Backend::VoltProp)
-        .params(SolveParams::new().epsilon(1e-4));
+        .params(SolveParams::new().epsilon(1e-4))
+        .deadline(Deadline::NONE);
     let loads: Vec<f64> = stack.loads().to_vec();
     let set: LoadSet<'_> = LoadSet::new(&stack, &loads)
         .net(NetKind::Power)
         .backend(Backend::VoltProp)
-        .params(SolveParams::new());
+        .params(SolveParams::new())
+        .deadline(Deadline::after(std::time::Duration::from_secs(3600)));
+
+    // The Deadline surface itself.
+    let dl: Deadline = Deadline::after(std::time::Duration::from_millis(5));
+    let _instant: Option<std::time::Instant> = dl.instant();
+    let _expired: bool = dl.expired();
+    let _left: Option<std::time::Duration> = dl.remaining();
+    let _check: Result<(), SolverError> = Deadline::NONE.check(0);
 
     // One request/response surface: single, batch, transient.
     {
@@ -205,6 +215,8 @@ fn shared_session_api_signatures_hold() {
     let shared: SharedSession = SharedSession::from_core(core, 2);
     let _slots: usize = shared.slots();
     let _avail: usize = shared.available();
+    let _live: usize = shared.in_flight();
+    let _bytes: usize = shared.memory_bytes();
     assert!(shared.serves(&stack));
 
     let case: LoadCase<'_> = LoadCase::new(&stack);
@@ -229,6 +241,18 @@ fn shared_session_api_signatures_hold() {
         assert_eq!(batch.unwrap().view().lanes(), 1);
         let attempt: Result<TryCheckout<SharedSolution<'_>>, SessionError> =
             shared.try_solve_batch(&set);
+        assert!(matches!(attempt.unwrap(), TryCheckout::Ready(_)));
+    }
+    {
+        // Bounded-wait admission: try for up to a wait, then report Busy.
+        use std::time::Duration;
+        let attempt: Result<TryCheckout<SharedSolution<'_>>, SessionError> =
+            shared.try_solve_for(&case, Duration::from_millis(50));
+        assert!(matches!(attempt.unwrap(), TryCheckout::Ready(_)));
+        let loads: Vec<f64> = stack.loads().to_vec();
+        let set: LoadSet<'_> = LoadSet::new(&stack, &loads);
+        let attempt: Result<TryCheckout<SharedSolution<'_>>, SessionError> =
+            shared.try_solve_batch_for(&set, Duration::from_millis(50));
         assert!(matches!(attempt.unwrap(), TryCheckout::Ready(_)));
     }
 }

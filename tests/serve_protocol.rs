@@ -20,6 +20,7 @@ fn start() -> voltprop_serve::ServerHandle {
         ServeConfig {
             slots: 2,
             parallelism: 1,
+            ..ServeConfig::default()
         },
     )
     .expect("daemon binds an ephemeral port")

@@ -491,3 +491,42 @@ fn malformed_load_sets_are_rejected() {
         }
     }
 }
+
+#[test]
+fn budget_starved_solves_report_deadline_exceeded() {
+    use std::time::Duration;
+    use voltprop::{Deadline, SolverError};
+
+    let stack = stack();
+    let mut session = Session::build(&stack, VpConfig::default()).unwrap();
+    // Unattainable outer tolerance (with the inner one pinned attainable
+    // so every inner solve succeeds, f64 or forced-mixed) + an iteration
+    // budget too large to exhaust: only the deadline can end this solve.
+    let starved = SolveParams::new()
+        .epsilon(1e-300)
+        .inner_tolerance(1e-5)
+        .max_outer_iterations(1_000_000_000);
+    let case = LoadCase::new(&stack)
+        .params(starved)
+        .deadline(Deadline::after(Duration::from_millis(50)));
+    assert!(matches!(
+        session.solve(&case),
+        Err(SessionError::Solver(SolverError::DeadlineExceeded { .. }))
+    ));
+    // Batches spend from the same budget, per lane.
+    let loads = load_sweep(&stack, 2);
+    let set = LoadSet::new(&stack, &loads)
+        .params(starved)
+        .deadline(Deadline::after(Duration::from_millis(50)));
+    assert!(matches!(
+        session.solve_batch(&set),
+        Err(SessionError::Solver(SolverError::DeadlineExceeded { .. }))
+    ));
+    // An already-expired deadline sheds before any work happens…
+    assert!(matches!(
+        session.solve(&LoadCase::new(&stack).deadline(Deadline::after(Duration::ZERO))),
+        Err(SessionError::Solver(SolverError::DeadlineExceeded { .. }))
+    ));
+    // …and the session survives shed solves: a sane request still works.
+    assert!(session.solve(&LoadCase::new(&stack)).unwrap().converged());
+}
