@@ -23,9 +23,15 @@
 //!   32 active lanes, compacted vs uncompacted (asserted bitwise
 //!   identical) against a scalar single-RHS reference;
 //! * the `Session` lifecycle: warm single, batch-64, and 24-step
-//!   transient requests on one prefactored session, **asserting zero
+//!   `solve_steps` requests on one prefactored session, **asserting zero
 //!   allocator calls** per warm request (bitwise behavior is pinned by
 //!   the saved fixture in `tests/session.rs`);
+//! * the true-transient engine: `Session::transient_dynamic` stepping a
+//!   waveform with backward-Euler companion models on a decap-loaded
+//!   stack — warm steps/s per backend on the **single** prefactored
+//!   `G + C/h` system, **asserting zero allocator calls** and zero
+//!   re-prefactors across the warm step loop, plus the committed
+//!   factor-reuse speedup over `refactor_each_step`;
 //! * the `Backend::Pcg` reference route: warm single and batch-8 PCG
 //!   requests on the session's prefactored engine, **asserting zero
 //!   allocator calls** and sub-0.5 mV agreement with VoltProp, recording
@@ -66,8 +72,8 @@ use voltprop_bench::trajectory::{
     append_run, hardware_context_json, hardware_threads, json_bool, json_f64,
 };
 use voltprop_core::{
-    Backend, Deadline, LoadCase, LoadSet, Session, SessionError, SharedSession, SolveParams,
-    TryCheckout, VpConfig,
+    Backend, Deadline, FnWaveform, LoadCase, LoadSet, Session, SessionError, SharedSession,
+    SolveParams, TraceSink, TransientParams, TransientReport, TryCheckout, VpConfig,
 };
 use voltprop_grid::Stack3d;
 use voltprop_solvers::rowbased::{RbWorkspace, RowBased, TierProblem};
@@ -572,7 +578,8 @@ fn vp_voltages(w: usize, h: usize, tiers: usize, parallelism: usize) -> Vec<f64>
 
 /// The session-API experiment: one prefactored [`Session`] serving a warm
 /// single solve, a warm batch of `k` lanes, and a warm `steps`-step
-/// transient — asserting **zero allocator calls** on each warm request.
+/// quasi-static `solve_steps` sweep — asserting **zero allocator calls**
+/// on each warm request.
 /// (Bitwise behavior is pinned separately by the saved fixture in
 /// `tests/session.rs`, which replaced the deleted `VpSolver` legacy
 /// comparison paths.)
@@ -610,11 +617,11 @@ fn session_block(w: usize, h: usize, tiers: usize, k: usize, steps: usize) -> St
         s.solve_batch(&set).expect("session batch");
     });
 
-    let (transient_ms, transient_allocs) = timed("transient", &mut session, &mut |s| {
-        s.transient(&case, steps, |j, lane| {
+    let (transient_ms, transient_allocs) = timed("solve_steps", &mut session, &mut |s| {
+        s.solve_steps(&case, steps, |j, lane| {
             lane.copy_from_slice(&wave[j * nn..(j + 1) * nn]);
         })
-        .expect("session transient");
+        .expect("session solve_steps");
     });
 
     format!(
@@ -629,6 +636,108 @@ fn session_block(w: usize, h: usize, tiers: usize, k: usize, steps: usize) -> St
         json_f64(single_ms),
         json_f64(batch_ms),
         json_f64(transient_ms),
+    )
+}
+
+/// The true-transient experiment: `Session::transient_dynamic` stepping a
+/// `steps`-step waveform on a decap-loaded stack with backward-Euler
+/// companion models. Measures warm steps/s per backend on the **single**
+/// prefactored `G + C/h` system — asserting **zero allocator calls** and
+/// zero re-prefactors across the warm step loop — and times the same
+/// waveform with `refactor_each_step`, committing the factor-reuse
+/// speedup (asserted > 1: reusing the factor must never lose to
+/// rebuilding it every step).
+fn transient_block(w: usize, h: usize, tiers: usize, steps: usize) -> String {
+    eprintln!("transient engine {w}x{h}x{tiers} ({steps} steps)...");
+    let stack = Stack3d::builder(w, h, tiers)
+        .uniform_load(1e-4)
+        .grid_capacitance(2e-13)
+        .decap(0, w / 3, h / 3, 2e-10)
+        .pad_capacitance(5e-13)
+        .build()
+        .expect("valid stack");
+    let nn = stack.num_nodes();
+    let h_step = 2e-11;
+    // Pre-rendered load frames: the streaming waveform copies one frame
+    // per step, so the warm step loop stays allocation-free.
+    let frames = sweep_loads(&stack, steps);
+    let watch = [nn / 2];
+    let mut session = Session::build(&stack, VpConfig::default()).expect("session builds");
+
+    let measure = |session: &mut Session,
+                   backend: Backend,
+                   refactor_each_step: bool|
+     -> (f64, usize, TransientReport) {
+        let request = TransientParams::new(&stack, h_step)
+            .backend(backend)
+            .observe(&watch)
+            .refactor_each_step(refactor_each_step);
+        let mut sink = TraceSink::with_capacity(steps, 1);
+        let run_once = |session: &mut Session, sink: &mut TraceSink| -> TransientReport {
+            let mut wave = FnWaveform::new(steps, |s, _t, loads: &mut [f64]| {
+                loads.copy_from_slice(&frames[s * nn..(s + 1) * nn]);
+            });
+            sink.clear();
+            session
+                .transient_dynamic(&mut wave, sink, &request)
+                .expect("transient run")
+        };
+        run_once(session, &mut sink); // cold: builds + factors the companion system
+        let calls_before = alloc::alloc_calls();
+        let start = Instant::now();
+        let report = run_once(session, &mut sink);
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        let allocs = alloc::alloc_calls() - calls_before;
+        assert_eq!(report.steps, steps);
+        if refactor_each_step {
+            assert_eq!(
+                report.refactors, steps,
+                "{backend:?}: refactor_each_step must rebuild the factor every step"
+            );
+        } else {
+            assert_eq!(
+                allocs, 0,
+                "{backend:?}: warm transient step loop must not allocate"
+            );
+            assert_eq!(
+                report.refactors, 0,
+                "{backend:?}: warm step loop must reuse the prefactored companion system"
+            );
+        }
+        (ms, allocs, report)
+    };
+
+    let (vp_ms, vp_allocs, vp_report) = measure(&mut session, Backend::VoltProp, false);
+    let (rb_ms, rb_allocs, _) = measure(&mut session, Backend::Rb3d, false);
+    let (pcg_ms, pcg_allocs, _) = measure(&mut session, Backend::Pcg, false);
+    let (refactor_ms, _, _) = measure(&mut session, Backend::VoltProp, true);
+    let speedup = refactor_ms / vp_ms;
+    assert!(
+        speedup > 1.0,
+        "factor reuse ({vp_ms:.3} ms) must beat re-prefactoring every step ({refactor_ms:.3} ms)"
+    );
+
+    let steps_per_s = |ms: f64| steps as f64 / (ms / 1e3);
+    format!(
+        "{{\n    \"grid\": \"{w}x{h}x{tiers}\",\n    \"steps\": {steps},\n    \
+         \"step_ps\": {},\n    \
+         \"voltprop_warm_ms\": {},\n    \"voltprop_steps_per_s\": {},\n    \
+         \"rb3d_warm_ms\": {},\n    \"rb3d_steps_per_s\": {},\n    \
+         \"pcg_warm_ms\": {},\n    \"pcg_steps_per_s\": {},\n    \
+         \"voltprop_solver_iterations\": {},\n    \
+         \"warm_alloc_calls\": {},\n    \
+         \"refactor_each_step_ms\": {},\n    \"factor_reuse_speedup\": {}\n  }}",
+        json_f64(h_step * 1e12),
+        json_f64(vp_ms),
+        json_f64(steps_per_s(vp_ms)),
+        json_f64(rb_ms),
+        json_f64(steps_per_s(rb_ms)),
+        json_f64(pcg_ms),
+        json_f64(steps_per_s(pcg_ms)),
+        vp_report.solver_iterations,
+        vp_allocs + rb_allocs + pcg_allocs,
+        json_f64(refactor_ms),
+        json_f64(speedup),
     )
 }
 
@@ -1219,6 +1328,16 @@ fn main() {
         vec![session_block(128, 128, 3, 64, 24)]
     };
 
+    // The true-transient trajectory: warm steps/s of the companion-model
+    // stepper per backend on one prefactored `G + C/h` system (zero warm
+    // allocations, zero re-prefactors) and the committed factor-reuse
+    // speedup over re-prefactoring every step.
+    let transient_blocks = if quick {
+        vec![transient_block(48, 48, 2, 120)]
+    } else {
+        vec![transient_block(64, 64, 3, 1000)]
+    };
+
     // The PCG reference backend: warm single + batch-8 on the session's
     // prefactored engine, zero warm allocations, agreement within the
     // paper's budget — the committed voltprop-vs-reference speedup.
@@ -1270,6 +1389,7 @@ fn main() {
          \"row_sweeps\": [\n  {}\n  ],\n  \"vp_solver\": [\n  {}\n  ],\n  \
          \"vp_batch\": [\n  {}\n  ],\n  \"pool_latency\": [\n  {}\n  ],\n  \
          \"batch_compaction\": [\n  {}\n  ],\n  \"session\": [\n  {}\n  ],\n  \
+         \"transient\": [\n  {}\n  ],\n  \
          \"pcg\": [\n  {}\n  ],\n  \"concurrency\": [\n  {}\n  ],\n  \
          \"overload\": [\n  {}\n  ],\n  \"kernels\": [\n  {}\n  ]\n}}",
         row_blocks.join(",\n  "),
@@ -1278,6 +1398,7 @@ fn main() {
         pool_blocks.join(",\n  "),
         compaction_blocks.join(",\n  "),
         session_blocks.join(",\n  "),
+        transient_blocks.join(",\n  "),
         pcg_blocks.join(",\n  "),
         concurrency_blocks.join(",\n  "),
         overload_blocks.join(",\n  "),

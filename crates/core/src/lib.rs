@@ -36,8 +36,9 @@
 //! lattice are built once and amortized across every load pattern. The
 //! API mirrors that through [`Session`]: [`Session::build`] performs all
 //! allocation and factorization up front, and every request — a single
-//! [`LoadCase`], a batched [`LoadSet`], or a [`Session::transient`]
-//! waveform — flows through the same prefactored state and returns a
+//! [`LoadCase`], a batched [`LoadSet`], a [`Session::solve_steps`]
+//! sequence, or a [`Session::transient_dynamic`] waveform (see below) —
+//! flows through the same prefactored state and returns a
 //! borrowed [`SolutionView`]. Geometry is a build-time contract
 //! (mismatches surface as [`SessionError::GeometryChanged`], never a
 //! silent rebuild), while loads, nets, tolerances ([`SolveParams`]) and
@@ -95,9 +96,25 @@
 //! instead of discarding the batch. For a *single* load vector
 //! [`Session::solve`] remains the faster entry point (the batch
 //! kernel's per-lane bookkeeping only pays for itself from a few lanes
-//! up); see `examples/load_sweep.rs` for a complete what-if sweep and
-//! `examples/transient.rs` for time-steps-as-lanes stepping through
-//! [`Session::transient`].
+//! up); see `examples/load_sweep.rs` for a complete what-if sweep.
+//!
+//! # True transients: companion models on a prefactored system
+//!
+//! Quasi-static stepping ([`Session::solve_steps`], formerly
+//! `Session::transient`) treats every time step as an independent DC
+//! solve. The true transient engine ([`Session::transient_dynamic`])
+//! integrates `G v + C v̇ = b(t)`: per-node grid/decap/pad capacitances
+//! (stamped by [`voltprop_grid::StackBuilder`]) are folded into the
+//! conductance system as a backward-Euler or trapezoidal companion model
+//! `G + α·diag(C)`, prefactored **once** and reused across the whole
+//! waveform — only a step-size, integrator, or capacitance change
+//! re-prefactors. Waveform I/O streams: a [`Waveform`] produces one
+//! step's loads at a time and a [`TransientSink`] consumes one step's
+//! voltages at a time, so a million-step run never materializes a
+//! million-lane arena, and warm steps perform zero heap allocations
+//! (measured by `perfsuite`). All three [`Backend`]s serve the companion
+//! system from the session's state; see `examples/transient.rs` for an
+//! RC step response against the closed-form exponential.
 //!
 //! # Example
 //!
@@ -127,6 +144,7 @@ mod session;
 mod shared;
 mod solver;
 mod tier_cache;
+pub mod transient;
 mod vda;
 
 pub use config::{BuildParams, Precision, SolveParams, VpConfig};
@@ -138,4 +156,8 @@ pub use session::{
 };
 pub use shared::{SharedSession, SharedSolution, TryCheckout};
 pub use solver::VpSolver;
+pub use transient::{
+    FnWaveform, Integrator, PwlWaveform, ScaledWaveform, TraceSink, TransientParams,
+    TransientReport, TransientSink, Waveform,
+};
 pub use vda::VdaController;

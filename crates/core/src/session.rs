@@ -10,8 +10,13 @@
 //! * [`Session::solve`] — one load pattern ([`LoadCase`]);
 //! * [`Session::solve_batch`] — `k` load patterns swept together
 //!   ([`LoadSet`], lanes share the tier factors);
-//! * [`Session::transient`] — a time-stepped waveform solved with the
-//!   steps as batch lanes (the quasi-static transient pattern).
+//! * [`Session::solve_steps`] — a sequence of load vectors solved with
+//!   the steps as batch lanes (the *quasi-static* stepping pattern; no
+//!   grid dynamics);
+//! * [`Session::transient_dynamic`] — the **true** transient engine:
+//!   `G v + C v̇ = b(t)` stepped with backward-Euler/trapezoidal
+//!   companion models on a prefactored companion system (see
+//!   [`crate::transient`]).
 //!
 //! Results come back as borrowed [`SolutionView`]s whose lane accessors
 //! return `Result` instead of panicking, per-solve knobs (tolerances,
@@ -538,7 +543,7 @@ pub struct SolveScratch {
     pub(crate) rb_voltages: Vec<f64>,
     /// Lane-major Pcg voltages (grown to the largest lane count seen).
     pub(crate) pcg_voltages: Vec<f64>,
-    /// Staging buffer for [`Session::transient`] waveforms.
+    /// Staging buffer for [`Session::solve_steps`] load sequences.
     pub(crate) transient_loads: Vec<f64>,
     /// Per-lane reports of the most recent request.
     pub(crate) reports: Vec<VpReport>,
@@ -940,8 +945,8 @@ impl SessionCore {
         }
     }
 
-    /// Stages a time-stepped waveform in `scratch` and runs it as one
-    /// batched request (see [`Session::transient`]).
+    /// Stages a sequence of load steps in `scratch` and runs it as one
+    /// batched request (see [`Session::solve_steps`]).
     pub(crate) fn transient_on<F>(
         &self,
         scratch: &mut SolveScratch,
@@ -1021,8 +1026,12 @@ impl SessionCore {
 /// ```
 #[derive(Debug)]
 pub struct Session {
-    core: Arc<SessionCore>,
-    scratch: SolveScratch,
+    pub(crate) core: Arc<SessionCore>,
+    pub(crate) scratch: SolveScratch,
+    /// The transient companion state ([`Session::transient_dynamic`]):
+    /// `None` until the first transient run, then cached across runs and
+    /// rebuilt only on a step-size/integrator/capacitance change.
+    pub(crate) dynamic: Option<Box<crate::transient::TransientState>>,
 }
 
 impl Session {
@@ -1057,7 +1066,11 @@ impl Session {
     /// [`SharedSession`](crate::SharedSession) on one factorization.
     pub fn from_core(core: Arc<SessionCore>) -> Session {
         let scratch = core.new_scratch();
-        Session { core, scratch }
+        Session {
+            core,
+            scratch,
+            dynamic: None,
+        }
     }
 
     /// The frozen core this session solves against (share it to build
@@ -1136,11 +1149,17 @@ impl Session {
         Ok(self.core.batch_view(&self.scratch, set.backend))
     }
 
-    /// Serves a time-stepped waveform: `steps` load vectors produced by
+    /// Serves a sequence of load steps: `steps` load vectors produced by
     /// `fill(step, lane_loads)` become the lanes of one batched solve —
-    /// the quasi-static transient pattern (grid fixed, currents moving).
-    /// The waveform is staged in a session-owned buffer, so warm calls
+    /// the *quasi-static* stepping pattern (grid fixed, currents moving,
+    /// no capacitive dynamics: every step is an independent DC solve).
+    /// The staged loads live in a session-owned buffer, so warm calls
     /// with an unchanged `steps` allocate nothing.
+    ///
+    /// For a true transient — capacitances integrated with companion
+    /// models on a prefactored companion system, streaming waveform I/O
+    /// instead of a steps-as-lanes arena — see
+    /// [`Session::transient_dynamic`].
     ///
     /// `fill` is called once per step, in step order, with a zeroed (or
     /// previously used) slice of `stack.num_nodes()` entries to
@@ -1149,7 +1168,7 @@ impl Session {
     /// # Errors
     ///
     /// See [`Session::solve_batch`].
-    pub fn transient<F>(
+    pub fn solve_steps<F>(
         &mut self,
         case: &LoadCase<'_>,
         steps: usize,
@@ -1161,6 +1180,31 @@ impl Session {
         self.core
             .transient_on(&mut self.scratch, case, steps, fill)?;
         Ok(self.core.batch_view(&self.scratch, case.backend))
+    }
+
+    /// Deprecated name of [`Session::solve_steps`]. It never integrated
+    /// grid dynamics — each step is an independent quasi-static solve —
+    /// so the name moved aside for the true transient engine,
+    /// [`Session::transient_dynamic`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Session::solve_steps`].
+    #[deprecated(
+        since = "0.9.0",
+        note = "renamed to `solve_steps` (quasi-static steps-as-lanes); \
+                for true capacitive transients use `transient_dynamic`"
+    )]
+    pub fn transient<F>(
+        &mut self,
+        case: &LoadCase<'_>,
+        steps: usize,
+        fill: F,
+    ) -> Result<SolutionView<'_>, SessionError>
+    where
+        F: FnMut(usize, &mut [f64]),
+    {
+        self.solve_steps(case, steps, fill)
     }
 }
 

@@ -516,6 +516,55 @@ impl VpScratch {
     pub(crate) fn num_nodes(&self) -> usize {
         self.width * self.height * self.tiers
     }
+
+    /// Prefactors a full set of transient companion tier engines against
+    /// this scratch's geometry: tier `t`'s engine carries
+    /// `alpha_c[t·per + site]` (the `α·C` grounded companion
+    /// conductances, siemens, flat tier-major over all `nn` nodes) on its
+    /// diagonal, sharing this scratch's pin mask. Built once per step
+    /// size by the transient engine and then reused across every step —
+    /// the same factor-once contract as the static tier cache.
+    ///
+    /// # Errors
+    ///
+    /// See [`CachedTier::new_companion`].
+    pub(crate) fn build_companion_tiers(
+        &self,
+        alpha_c: &[f64],
+        parallelism: usize,
+    ) -> Result<Vec<CachedTier>, SolverError> {
+        let per = self.width * self.height;
+        self.tier_g
+            .iter()
+            .enumerate()
+            .map(|(t, &(g_h, g_v))| {
+                CachedTier::new_companion(
+                    self.width,
+                    self.height,
+                    g_h,
+                    g_v,
+                    self.fixed.clone(),
+                    Some(&alpha_c[t * per..(t + 1) * per]),
+                    parallelism,
+                )
+            })
+            .collect()
+    }
+}
+
+/// The transient companion context of one voltage-propagation solve: the
+/// companion-augmented tier factors (`G_tier + diag(α·C)`), the `α·C`
+/// diagonal itself (needed by the pinned-site KCL), and the per-step
+/// companion currents `i_eq` (absolute sign, positive into the node).
+/// `None` in [`run_single`] is the static solve.
+pub(crate) struct CompanionRef<'a> {
+    /// Companion-augmented tier engines (from
+    /// [`VpScratch::build_companion_tiers`]), one per tier.
+    pub tiers: &'a mut [CachedTier],
+    /// `α·C` per node (flat tier-major, `nn` entries, siemens).
+    pub alpha_c: &'a [f64],
+    /// Companion injections `i_eq` per node (flat tier-major, amperes).
+    pub source: &'a [f64],
 }
 
 impl VpSolver {
@@ -539,6 +588,28 @@ pub(crate) fn run_single(
     scratch: &mut VpScratch,
     deadline: crate::Deadline,
 ) -> Result<VpReport, SolverError> {
+    run_single_dynamic(params, stack, net, stack.loads(), scratch, deadline, None)
+}
+
+/// [`run_single`] with an explicit load vector (the transient stepper
+/// feeds waveform samples without mutating the stack) and an optional
+/// transient [`CompanionRef`]: companion-augmented tier factors replace
+/// the static ones, the companion currents join every tier's injection,
+/// and the pinned-site KCL accounts for the `α·C` grounded conductance
+/// (`+ α·C·v − i_eq`) so the propagated pillar currents solve the
+/// companion system `(G + α·diag(C)) v = b`. The VDA feedback loop is
+/// untouched — its fixed point is whatever system the tier solves and
+/// the KCL describe.
+#[allow(clippy::too_many_arguments)] // the full dynamic-solve surface
+pub(crate) fn run_single_dynamic(
+    params: &crate::SolveParams,
+    stack: &Stack3d,
+    net: NetKind,
+    loads: &[f64],
+    scratch: &mut VpScratch,
+    deadline: crate::Deadline,
+    companion: Option<CompanionRef<'_>>,
+) -> Result<VpReport, SolverError> {
     let rail = match net {
         NetKind::Power => stack.vdd(),
         NetKind::Ground => 0.0,
@@ -550,7 +621,7 @@ pub(crate) fn run_single(
     if scratch.tiers == 1 {
         // One opaque planar solve: check on entry, budget bounds the tail.
         deadline.check(0)?;
-        return run_single_tier(params, stack, rail, sign, scratch);
+        return run_single_tier(params, loads, rail, sign, scratch, companion);
     }
 
     let (w, h, tiers) = (scratch.width, scratch.height, scratch.tiers);
@@ -579,6 +650,15 @@ pub(crate) fn run_single(
         ..
     } = scratch;
     let lattice = lattice.as_mut().expect("multi-tier scratch has a lattice");
+    // The companion context swaps in the augmented tier factors; the
+    // `α·C` / `i_eq` slices stay empty on the static path so the hot
+    // loops branch on one bool.
+    let (tier_cache, comp_alpha_c, comp_source): (&mut [CachedTier], &[f64], &[f64]) =
+        match companion {
+            Some(c) => (c.tiers, c.alpha_c, c.source),
+            None => (tier_cache, &[], &[]),
+        };
+    let dynamic = !comp_alpha_c.is_empty();
 
     v.fill(rail);
     v0.fill(rail);
@@ -628,9 +708,17 @@ pub(crate) fn run_single(
             }
             // Phase 1 (intra-plane voltage calculation). The TSV
             // resistance is deliberately absent: pinned terminals carry
-            // it in the propagation phase instead.
-            for i in 0..per {
-                injection[i] = -sign * stack.loads()[t * per + i];
+            // it in the propagation phase instead. The companion
+            // currents i_eq join the injection in their absolute
+            // (net-independent) sign.
+            if dynamic {
+                for i in 0..per {
+                    injection[i] = -sign * loads[t * per + i] + comp_source[t * per + i];
+                }
+            } else {
+                for i in 0..per {
+                    injection[i] = -sign * loads[t * per + i];
+                }
             }
             let tier_v = &mut v[t * per..(t + 1) * per];
             let rep = if mixed {
@@ -654,7 +742,13 @@ pub(crate) fn run_single(
             for (k, &s) in site_flat.iter().enumerate() {
                 let (x, y) = (s % w, s / w);
                 let vj = tier_v[s];
-                let mut out = sign * stack.loads()[t * per + s];
+                let mut out = sign * loads[t * per + s];
+                if dynamic {
+                    // The pinned node's own companion branch: its α·C
+                    // grounded conductance draws α·C·v from the pillar
+                    // and its companion source i_eq supplies current.
+                    out += comp_alpha_c[t * per + s] * vj - comp_source[t * per + s];
+                }
                 if x > 0 {
                     out += gh * (vj - tier_v[s - 1]);
                 }
@@ -1141,10 +1235,11 @@ fn run_batch_multi(
 /// not as an error.
 fn run_single_tier(
     params: &crate::SolveParams,
-    stack: &Stack3d,
+    loads: &[f64],
     rail: f64,
     sign: f64,
     scratch: &mut VpScratch,
+    companion: Option<CompanionRef<'_>>,
 ) -> Result<VpReport, SolverError> {
     let per = scratch.width * scratch.height;
     let VpScratch {
@@ -1154,9 +1249,22 @@ fn run_single_tier(
         ..
     } = scratch;
     voltages.fill(rail);
-    for (inj, load) in injection.iter_mut().zip(&stack.loads()[..per]) {
+    for (inj, load) in injection.iter_mut().zip(&loads[..per]) {
         *inj = -sign * load;
     }
+    // On the planar path every companion site is either free (its α·C
+    // lives in the augmented factors, its i_eq in the injection) or a
+    // pad pinned at the rail (where the companion branch is inert), so
+    // only the factors and the injection change.
+    let tier_cache: &mut [CachedTier] = match companion {
+        Some(c) => {
+            for (inj, src) in injection.iter_mut().zip(&c.source[..per]) {
+                *inj += src;
+            }
+            c.tiers
+        }
+        None => tier_cache,
+    };
     let mixed = params.precision.resolve() == crate::Precision::MixedF32;
     let attempt = if mixed {
         tier_cache[0].solve_mixed_with_omega(

@@ -47,6 +47,28 @@ impl CachedTier {
         fixed: Arc<[bool]>,
         parallelism: usize,
     ) -> Result<Self, SolverError> {
+        Self::new_companion(width, height, g_h, g_v, fixed, None, parallelism)
+    }
+
+    /// [`CachedTier::new`] with per-node grounded conductances added to
+    /// the diagonal before factoring — the transient companion terms
+    /// `α·C` (`extra_diag[site]`, siemens). The augmented tridiagonal
+    /// factors are built once here and reused by every sweep, exactly
+    /// like the static path; `None` (or all-zero) degenerates to
+    /// [`CachedTier::new`].
+    ///
+    /// # Errors
+    ///
+    /// See [`TierEngine::new`].
+    pub(crate) fn new_companion(
+        width: usize,
+        height: usize,
+        g_h: f64,
+        g_v: f64,
+        fixed: Arc<[bool]>,
+        extra_diag: Option<&[f64]>,
+        parallelism: usize,
+    ) -> Result<Self, SolverError> {
         Ok(CachedTier {
             engine: TierEngine::new(
                 width,
@@ -54,7 +76,7 @@ impl CachedTier {
                 g_h,
                 g_v,
                 fixed,
-                None,
+                extra_diag,
                 SweepSchedule::from_parallelism(parallelism),
             )?,
         })

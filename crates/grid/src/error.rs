@@ -27,6 +27,13 @@ pub enum GridError {
         /// The rejected value in amperes.
         amps: f64,
     },
+    /// A capacitance value was negative or non-finite.
+    InvalidCapacitance {
+        /// Which capacitance (grid, tier, decap, pad, node …).
+        what: &'static str,
+        /// The rejected value in farads.
+        farads: f64,
+    },
     /// The grid has no TSV pillars, so the lower tiers cannot be powered.
     NoTsvs,
     /// The grid has no pads, so the network has no voltage reference.
@@ -85,6 +92,9 @@ impl fmt::Display for GridError {
             }
             GridError::InvalidLoad { node, amps } => {
                 write!(f, "invalid load current {amps} A at node {node}")
+            }
+            GridError::InvalidCapacitance { what, farads } => {
+                write!(f, "invalid {what} capacitance: {farads} F")
             }
             GridError::NoTsvs => write!(f, "grid has no TSV pillars"),
             GridError::NoPads => write!(f, "grid has no power pads"),

@@ -90,6 +90,9 @@ pub struct Stack3d {
     pad_mask: Vec<bool>,
     /// Per-node load current (A), flat tier-major; ≥ 0.
     loads: Vec<f64>,
+    /// Per-node capacitance to ground (F), flat tier-major; empty for a
+    /// resistive-only stack (the pre-transient model, and the default).
+    caps: Vec<f64>,
     /// Supply voltage (V).
     vdd: f64,
 }
@@ -250,9 +253,39 @@ impl Stack3d {
         self.loads.iter().sum()
     }
 
+    /// Whether the stack carries any capacitance — i.e. whether transient
+    /// analysis sees real grid dynamics. A resistive-only stack (the
+    /// default) has none; every node then responds instantaneously.
+    pub fn has_dynamics(&self) -> bool {
+        !self.caps.is_empty()
+    }
+
+    /// Per-node capacitance to ground (F), flat tier-major, or `None` for
+    /// a resistive-only stack. Includes grid capacitance, decap cells, and
+    /// package/pad capacitance, summed per node at build time.
+    pub fn capacitances(&self) -> Option<&[f64]> {
+        (!self.caps.is_empty()).then_some(&self.caps[..])
+    }
+
+    /// The capacitance to ground at `(tier, x, y)` in farads (`0.0` for a
+    /// resistive-only stack).
+    pub fn capacitance(&self, tier: usize, x: usize, y: usize) -> f64 {
+        if self.caps.is_empty() {
+            0.0
+        } else {
+            self.caps[self.node_index(tier, x, y)]
+        }
+    }
+
+    /// Total capacitance hanging on the net (F).
+    pub fn total_capacitance(&self) -> f64 {
+        self.caps.iter().sum()
+    }
+
     /// Estimated heap footprint of the model itself in bytes.
     pub fn memory_bytes(&self) -> usize {
         self.loads.len() * 8
+            + self.caps.len() * 8
             + self.tsv_mask.len()
             + self.pad_mask.len()
             + self.tsv_sites.len() * 8
@@ -282,6 +315,11 @@ pub struct StackBuilder {
     pad_lattice: Option<usize>,
     loads: Option<Vec<f64>>,
     load_profile: Option<(LoadProfile, u64)>,
+    c_grid: f64,
+    c_tier: Vec<Option<f64>>,
+    c_pad: f64,
+    decaps: Vec<(usize, usize, usize, f64)>,
+    caps: Option<Vec<f64>>,
     vdd: f64,
 }
 
@@ -300,6 +338,11 @@ impl StackBuilder {
             pad_lattice: None,
             loads: None,
             load_profile: None,
+            c_grid: 0.0,
+            c_tier: vec![None; tiers],
+            c_pad: 0.0,
+            decaps: Vec::new(),
+            caps: None,
             vdd: 1.8,
         }
     }
@@ -378,6 +421,51 @@ impl StackBuilder {
     pub fn loads(mut self, loads: Vec<f64>) -> Self {
         self.loads = Some(loads);
         self.load_profile = None;
+        self
+    }
+
+    /// Attaches the same capacitance to ground (F) to every node of every
+    /// tier — the distributed on-die grid capacitance (device + wire).
+    /// Zero (the default) keeps the stack resistive-only.
+    pub fn grid_capacitance(mut self, farads: f64) -> Self {
+        self.c_grid = farads;
+        self
+    }
+
+    /// Overrides the per-node grid capacitance of one tier (tiers
+    /// fabricated in different processes, or an interposer tier).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tier` is out of range.
+    pub fn tier_capacitance(mut self, tier: usize, farads: f64) -> Self {
+        self.c_tier[tier] = Some(farads);
+        self
+    }
+
+    /// Adds an explicit decap cell (F) at `(tier, x, y)`, on top of the
+    /// grid capacitance. Repeated calls on the same node accumulate.
+    pub fn decap(mut self, tier: usize, x: usize, y: usize, farads: f64) -> Self {
+        self.decaps.push((tier, x, y, farads));
+        self
+    }
+
+    /// Adds package/pad capacitance (F) at every pad site on the top tier.
+    ///
+    /// Only meaningful with resistive pads (a positive
+    /// [`StackBuilder::pad_resistance`]): an ideal pad is a Dirichlet node
+    /// pinned to the rail, so any capacitance hanging on it carries no
+    /// dynamics.
+    pub fn pad_capacitance(mut self, farads: f64) -> Self {
+        self.c_pad = farads;
+        self
+    }
+
+    /// Supplies an explicit per-node capacitance vector (flat tier-major,
+    /// `width*height*tiers` entries), replacing the grid/tier uniform base.
+    /// Decap cells and pad capacitance still add on top.
+    pub fn node_capacitances(mut self, farads: Vec<f64>) -> Self {
+        self.caps = Some(farads);
         self
     }
 
@@ -571,6 +659,88 @@ impl StackBuilder {
             }
         }
 
+        for (what, c) in [("grid", self.c_grid), ("pad", self.c_pad)] {
+            if !(c.is_finite() && c >= 0.0) {
+                return Err(GridError::InvalidCapacitance { what, farads: c });
+            }
+        }
+        for c in self.c_tier.iter().flatten() {
+            if !(c.is_finite() && *c >= 0.0) {
+                return Err(GridError::InvalidCapacitance {
+                    what: "tier",
+                    farads: *c,
+                });
+            }
+        }
+        let has_caps = self.caps.is_some()
+            || self.c_grid != 0.0
+            || self.c_pad != 0.0
+            || self.c_tier.iter().any(Option::is_some)
+            || !self.decaps.is_empty();
+        let caps = if has_caps {
+            let mut caps = match self.caps {
+                Some(c) => {
+                    if c.len() != n {
+                        return Err(GridError::InvalidDimension {
+                            what: "capacitance vector length",
+                            value: c.len(),
+                        });
+                    }
+                    c
+                }
+                None => {
+                    let mut c = Vec::with_capacity(n);
+                    for tier in 0..self.tiers {
+                        let per_node = self.c_tier[tier].unwrap_or(self.c_grid);
+                        c.extend(std::iter::repeat_n(per_node, w * h));
+                    }
+                    c
+                }
+            };
+            for &(tier, x, y, farads) in &self.decaps {
+                if tier >= self.tiers {
+                    return Err(GridError::InvalidDimension {
+                        what: "decap tier",
+                        value: tier,
+                    });
+                }
+                if x >= w || y >= h {
+                    return Err(GridError::CoordOutOfBounds {
+                        coord: (x, y),
+                        extent: (w, h),
+                    });
+                }
+                if !(farads.is_finite() && farads >= 0.0) {
+                    return Err(GridError::InvalidCapacitance {
+                        what: "decap",
+                        farads,
+                    });
+                }
+                caps[(tier * h + y) * w + x] += farads;
+            }
+            if self.c_pad != 0.0 {
+                let top = self.tiers - 1;
+                for y in 0..h {
+                    for x in 0..w {
+                        if pad_mask[y * w + x] {
+                            caps[(top * h + y) * w + x] += self.c_pad;
+                        }
+                    }
+                }
+            }
+            for &c in &caps {
+                if !(c.is_finite() && c >= 0.0) {
+                    return Err(GridError::InvalidCapacitance {
+                        what: "node",
+                        farads: c,
+                    });
+                }
+            }
+            caps
+        } else {
+            Vec::new()
+        };
+
         Ok(Stack3d {
             width: w,
             height: h,
@@ -583,6 +753,7 @@ impl StackBuilder {
             tsv_sites,
             pad_mask,
             loads,
+            caps,
             vdd: self.vdd,
         })
     }
@@ -842,5 +1013,90 @@ mod tests {
     fn memory_bytes_nonzero() {
         let s = Stack3d::builder(3, 3, 2).build().unwrap();
         assert!(s.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn default_stack_has_no_dynamics() {
+        let s = Stack3d::builder(4, 4, 2).build().unwrap();
+        assert!(!s.has_dynamics());
+        assert_eq!(s.capacitances(), None);
+        assert_eq!(s.capacitance(0, 1, 1), 0.0);
+        assert_eq!(s.total_capacitance(), 0.0);
+    }
+
+    #[test]
+    fn capacitance_layers_compose() {
+        let s = Stack3d::builder(4, 4, 2)
+            .grid_capacitance(1e-12)
+            .tier_capacitance(1, 2e-12)
+            .decap(0, 1, 1, 5e-12)
+            .decap(0, 1, 1, 5e-12) // accumulates
+            .pad_resistance(0.1)
+            .pad_capacitance(1e-9)
+            .build()
+            .unwrap();
+        assert!(s.has_dynamics());
+        assert_eq!(s.capacitance(0, 0, 0), 1e-12);
+        assert_eq!(s.capacitance(1, 1, 0), 2e-12);
+        assert!((s.capacitance(0, 1, 1) - 1.1e-11).abs() < 1e-24);
+        // Pads sit on the top tier at TSV sites.
+        assert!((s.capacitance(1, 0, 0) - (2e-12 + 1e-9)).abs() < 1e-22);
+        let caps = s.capacitances().unwrap();
+        assert_eq!(caps.len(), s.num_nodes());
+        assert!((s.total_capacitance() - caps.iter().sum::<f64>()).abs() < 1e-20);
+    }
+
+    #[test]
+    fn explicit_capacitance_vector_replaces_base() {
+        let n = 2 * 2;
+        let s = Stack3d::builder(2, 2, 1)
+            .grid_capacitance(1e-12) // replaced by the explicit vector
+            .node_capacitances(vec![1e-15; n])
+            .decap(0, 1, 1, 3e-15)
+            .build()
+            .unwrap();
+        assert_eq!(s.capacitance(0, 0, 1), 1e-15);
+        assert!((s.capacitance(0, 1, 1) - 4e-15).abs() < 1e-28);
+    }
+
+    #[test]
+    fn bad_capacitances_rejected() {
+        assert!(matches!(
+            Stack3d::builder(4, 4, 2).grid_capacitance(-1e-12).build(),
+            Err(GridError::InvalidCapacitance { what: "grid", .. })
+        ));
+        assert!(matches!(
+            Stack3d::builder(4, 4, 2)
+                .tier_capacitance(0, f64::NAN)
+                .build(),
+            Err(GridError::InvalidCapacitance { what: "tier", .. })
+        ));
+        assert!(matches!(
+            Stack3d::builder(4, 4, 2).decap(0, 1, 1, -1e-15).build(),
+            Err(GridError::InvalidCapacitance { what: "decap", .. })
+        ));
+        assert!(matches!(
+            Stack3d::builder(4, 4, 2).decap(5, 1, 1, 1e-15).build(),
+            Err(GridError::InvalidDimension {
+                what: "decap tier",
+                ..
+            })
+        ));
+        assert!(matches!(
+            Stack3d::builder(4, 4, 2).decap(0, 9, 1, 1e-15).build(),
+            Err(GridError::CoordOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            Stack3d::builder(4, 4, 2)
+                .node_capacitances(vec![0.0; 3])
+                .build(),
+            Err(GridError::InvalidDimension { .. })
+        ));
+        assert!(matches!(
+            Stack3d::builder(4, 4, 2)
+                .node_capacitances(vec![f64::INFINITY; 32])
+                .build(),
+            Err(GridError::InvalidCapacitance { what: "node", .. })
+        ));
     }
 }

@@ -59,6 +59,29 @@ impl StampedSystem {
         injections: &[f64],
         fixed: &[(usize, f64)],
     ) -> Result<Self, GridError> {
+        Self::assemble_with_ground(num_nodes, edges, &[], injections, fixed)
+    }
+
+    /// [`StampedSystem::assemble`] with an additional per-node conductance
+    /// to the 0 V reference: `ground[node]` is added to the diagonal of the
+    /// node's row (no right-hand-side contribution). This is how transient
+    /// companion models fold `C/h` into the conductance system — each
+    /// grounded capacitor becomes a grounded conductance whose companion
+    /// current rides on the per-step right-hand side instead.
+    ///
+    /// `ground` may be shorter than `num_nodes` (missing entries are zero);
+    /// entries on Dirichlet nodes are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::EmptyCircuit`] if there are no free nodes.
+    pub fn assemble_with_ground(
+        num_nodes: usize,
+        edges: impl Iterator<Item = (usize, usize, f64)>,
+        ground: &[f64],
+        injections: &[f64],
+        fixed: &[(usize, f64)],
+    ) -> Result<Self, GridError> {
         let mut sys_index = vec![0u32; num_nodes];
         let mut fixed_voltage = vec![0.0; num_nodes];
         for &(node, volts) in fixed {
@@ -95,6 +118,11 @@ impl StampedSystem {
                     rhs[ib as usize] += g * fixed_voltage[a];
                 }
                 (ia, ib) => trip.stamp_conductance(ia as usize, ib as usize, g),
+            }
+        }
+        for (node, &g) in ground.iter().enumerate() {
+            if g != 0.0 && sys_index[node] != FIXED {
+                trip.stamp_to_ground(sys_index[node] as usize, g);
             }
         }
         Ok(StampedSystem {
@@ -215,6 +243,33 @@ impl Stack3d {
     /// Returns [`GridError::EmptyCircuit`] if folding leaves no unknowns
     /// (e.g. a 1×1×1 grid whose only node is a pad).
     pub fn stamp(&self, net: NetKind) -> Result<StampedSystem, GridError> {
+        self.stamp_dynamic(net, 0.0)
+    }
+
+    /// Assembles the transient companion system `G + α·diag(C)` for one
+    /// supply net: [`Stack3d::stamp`] plus each node's capacitance scaled
+    /// by `alpha` added to the diagonal of its row.
+    ///
+    /// `alpha` is the companion coefficient of the integration rule —
+    /// `1/h` for backward Euler, `2/h` for the trapezoidal rule — so the
+    /// returned matrix is the one a transient stepper factors once and
+    /// reuses across every step of a fixed-`h` waveform. The companion
+    /// *currents* (`α·C·v_n` plus, for trapezoidal, the capacitor-current
+    /// state) are per-step right-hand-side terms and are **not** stamped
+    /// here; `alpha = 0.0` (or a stack without capacitance) degenerates to
+    /// the static stamp.
+    ///
+    /// # Errors
+    ///
+    /// [`GridError::InvalidCapacitance`] for a negative or non-finite
+    /// `alpha`; otherwise as [`Stack3d::stamp`].
+    pub fn stamp_dynamic(&self, net: NetKind, alpha: f64) -> Result<StampedSystem, GridError> {
+        if !(alpha.is_finite() && alpha >= 0.0) {
+            return Err(GridError::InvalidCapacitance {
+                what: "companion coefficient (alpha, 1/s)",
+                farads: alpha,
+            });
+        }
         let n = self.num_nodes();
         let (w, h, t) = (self.width(), self.height(), self.tiers());
         let top = t - 1;
@@ -297,7 +352,17 @@ impl Stack3d {
             (n + 1, inj, vec![(n, rail)])
         };
 
-        StampedSystem::assemble(num_total, edges.into_iter(), &injections, &fixed)
+        let ground: Vec<f64> = match (alpha != 0.0, self.capacitances()) {
+            (true, Some(caps)) => caps.iter().map(|&c| alpha * c).collect(),
+            _ => Vec::new(),
+        };
+        StampedSystem::assemble_with_ground(
+            num_total,
+            edges.into_iter(),
+            &ground,
+            &injections,
+            &fixed,
+        )
     }
 }
 
@@ -459,6 +524,58 @@ mod tests {
         assert!(matches!(
             s.stamp(NetKind::Power),
             Err(GridError::EmptyCircuit)
+        ));
+    }
+
+    #[test]
+    fn companion_stamp_adds_alpha_c_to_diagonal_only() {
+        let s = Stack3d::builder(4, 4, 2)
+            .uniform_load(1e-4)
+            .grid_capacitance(2e-12)
+            .decap(0, 1, 1, 1e-10)
+            .build()
+            .unwrap();
+        let base = s.stamp(NetKind::Power).unwrap();
+        let alpha = 1.0 / 1e-9; // h = 1 ns
+        let companion = s.stamp_dynamic(NetKind::Power, alpha).unwrap();
+        assert_eq!(base.dim(), companion.dim());
+        assert_eq!(base.rhs(), companion.rhs(), "companion rhs is per-step");
+        let caps = s.capacitances().unwrap();
+        for node in 0..s.num_nodes() {
+            let (Some(i), Some(j)) = (base.reduced_index(node), companion.reduced_index(node))
+            else {
+                continue;
+            };
+            assert_eq!(i, j);
+            let expect = base.matrix().get(i, i) + alpha * caps[node];
+            assert!(
+                (companion.matrix().get(i, i) - expect).abs() < 1e-9 * expect.abs(),
+                "diagonal of node {node} off"
+            );
+            let (cols, vals) = base.matrix().row(i);
+            for (&c, &v) in cols.iter().zip(vals) {
+                if c as usize != i {
+                    assert_eq!(companion.matrix().get(i, c as usize), v);
+                }
+            }
+        }
+        assert!(companion.matrix().is_symmetric(1e-12));
+        assert!(Cholesky::factor(companion.matrix()).is_ok());
+    }
+
+    #[test]
+    fn companion_stamp_without_caps_matches_static() {
+        let s = Stack3d::builder(4, 4, 2)
+            .uniform_load(1e-4)
+            .build()
+            .unwrap();
+        let base = s.stamp(NetKind::Power).unwrap();
+        let dynamic = s.stamp_dynamic(NetKind::Power, 1e9).unwrap();
+        assert_eq!(base.matrix().values(), dynamic.matrix().values());
+        assert_eq!(base.rhs(), dynamic.rhs());
+        assert!(matches!(
+            s.stamp_dynamic(NetKind::Power, -1.0),
+            Err(GridError::InvalidCapacitance { .. })
         ));
     }
 

@@ -321,10 +321,30 @@ impl PcgEngine {
     /// stamped; [`SolverError::Sparse`] if even the Jacobi fallback is
     /// impossible (a non-positive diagonal — the system is not SPD).
     pub fn build(stack: &Stack3d) -> Result<Self, SolverError> {
+        Self::build_inner(stack, 0.0)
+    }
+
+    /// [`PcgEngine::build`] on the transient companion system
+    /// `G + α·diag(C)` (see `Stack3d::stamp_dynamic`): the augmented
+    /// matrix is stamped and its IC(0) preconditioner factored **once**,
+    /// after which a transient stepper reuses them for every step of a
+    /// fixed-`h` waveform, feeding the per-step companion currents
+    /// through [`PcgEngine::solve_with_source`]. `alpha = 0.0` is exactly
+    /// [`PcgEngine::build`].
+    ///
+    /// # Errors
+    ///
+    /// See [`PcgEngine::build`]; additionally [`SolverError::Grid`] for a
+    /// negative or non-finite `alpha`.
+    pub fn build_companion(stack: &Stack3d, alpha: f64) -> Result<Self, SolverError> {
+        Self::build_inner(stack, alpha)
+    }
+
+    fn build_inner(stack: &Stack3d, alpha: f64) -> Result<Self, SolverError> {
         stack.validate()?;
         let nn = stack.num_nodes();
-        let sys = stack.stamp(NetKind::Power)?;
-        let ground = stack.stamp(NetKind::Ground)?;
+        let sys = stack.stamp_dynamic(NetKind::Power, alpha)?;
+        let ground = stack.stamp_dynamic(NetKind::Ground, alpha)?;
         debug_assert_eq!(sys.dim(), ground.dim(), "nets share the conductance matrix");
         let dim = sys.dim();
 
@@ -442,7 +462,37 @@ impl PcgEngine {
         max_iterations: usize,
         v: &mut [f64],
     ) -> Result<SolveReport, SolverError> {
-        self.solve_inner(loads, net, tolerance, max_iterations, v, false)
+        self.solve_inner(loads, net, None, tolerance, max_iterations, v, false)
+    }
+
+    /// [`PcgEngine::solve`] with an additional per-node current source
+    /// (`source[node]`, A, positive into the node, net-independent sign)
+    /// added to the right-hand side — the transient companion currents
+    /// `α·C·v_n` (+ capacitor-current state for trapezoidal). Entries at
+    /// Dirichlet (folded) nodes are ignored. Warm calls perform zero heap
+    /// allocations.
+    ///
+    /// # Errors
+    ///
+    /// See [`PcgEngine::solve`].
+    pub fn solve_with_source(
+        &mut self,
+        loads: &[f64],
+        net: NetKind,
+        source: &[f64],
+        tolerance: f64,
+        max_iterations: usize,
+        v: &mut [f64],
+    ) -> Result<SolveReport, SolverError> {
+        self.solve_inner(
+            loads,
+            net,
+            Some(source),
+            tolerance,
+            max_iterations,
+            v,
+            false,
+        )
     }
 
     /// Like [`PcgEngine::solve`] with the preconditioner applied in f32
@@ -465,20 +515,22 @@ impl PcgEngine {
         max_iterations: usize,
         v: &mut [f64],
     ) -> Result<SolveReport, SolverError> {
-        self.solve_inner(loads, net, tolerance, max_iterations, v, true)
+        self.solve_inner(loads, net, None, tolerance, max_iterations, v, true)
     }
 
+    #[allow(clippy::too_many_arguments)] // internal fan-in of the entry points
     fn solve_inner(
         &mut self,
         loads: &[f64],
         net: NetKind,
+        source: Option<&[f64]>,
         tolerance: f64,
         max_iterations: usize,
         v: &mut [f64],
         mixed: bool,
     ) -> Result<SolveReport, SolverError> {
         let nn = self.shared.nn;
-        if loads.len() != nn || v.len() != nn {
+        if loads.len() != nn || v.len() != nn || source.is_some_and(|s| s.len() != nn) {
             return Err(SolverError::Unsupported {
                 what: format!(
                     "pcg engine serves {nn} nodes (got {} loads, {} voltages)",
@@ -495,6 +547,9 @@ impl PcgEngine {
         for (node, &load) in loads.iter().enumerate() {
             if let Some(ri) = self.shared.sys.reduced_index(node) {
                 self.rhs[ri] += load_sign * load;
+                if let Some(src) = source {
+                    self.rhs[ri] += src[node];
+                }
             }
         }
         let PcgEngine {
@@ -797,6 +852,64 @@ mod tests {
         assert!(matches!(err, SolverError::DidNotConverge { .. }));
         assert!(v.iter().all(|x| x.is_finite()));
         assert!(v.iter().any(|&x| x != 0.0), "one iterate was taken");
+    }
+
+    #[test]
+    fn companion_engine_matches_direct_companion_system() {
+        use crate::LinearSolver;
+        let stack = Stack3d::builder(12, 12, 3)
+            .grid_capacitance(2e-12)
+            .decap(1, 5, 5, 8e-11)
+            .load_profile(
+                voltprop_grid::LoadProfile::UniformRandom {
+                    min: 1e-5,
+                    max: 1e-3,
+                },
+                3,
+            )
+            .build()
+            .unwrap();
+        let alpha = 2.0 / 1e-11; // 2/h: trapezoidal at h = 10 ps
+        let nn = stack.num_nodes();
+        let caps = stack.capacitances().unwrap();
+        let source: Vec<f64> = (0..nn)
+            .map(|i| alpha * caps[i] * (1.6 + 1e-3 * (i % 5) as f64))
+            .collect();
+
+        let sys = stack.stamp_dynamic(NetKind::Power, alpha).unwrap();
+        let mut rhs = sys.rhs().to_vec();
+        for (r, sr) in rhs.iter_mut().zip(sys.restrict(&source)) {
+            *r += sr;
+        }
+        let exact = sys.expand(&DirectCholesky::new().solve(sys.matrix(), &rhs).unwrap().x);
+
+        let mut engine = PcgEngine::build_companion(&stack, alpha).unwrap();
+        assert_eq!(engine.precond_name(), "ic0");
+        let mut v = vec![0.0; nn];
+        let rep = engine
+            .solve_with_source(
+                stack.loads(),
+                NetKind::Power,
+                &source,
+                1e-10,
+                50_000,
+                &mut v,
+            )
+            .unwrap();
+        assert!(rep.converged);
+        let err = crate::residual::max_abs_error(&exact[..nn], &v);
+        assert!(err < 1e-6, "max error {err}");
+
+        // alpha = 0 is bitwise the static engine.
+        let mut a0 = PcgEngine::build_companion(&stack, 0.0).unwrap();
+        let mut b0 = PcgEngine::build(&stack).unwrap();
+        let mut va = vec![0.0; nn];
+        let mut vb = vec![0.0; nn];
+        a0.solve(stack.loads(), NetKind::Power, 1e-8, 50_000, &mut va)
+            .unwrap();
+        b0.solve(stack.loads(), NetKind::Power, 1e-8, 50_000, &mut vb)
+            .unwrap();
+        assert_eq!(va, vb);
     }
 
     #[test]

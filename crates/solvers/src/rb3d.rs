@@ -125,6 +125,28 @@ impl Rb3dEngine {
     /// [`SolverError::Grid`] if the stack fails validation;
     /// [`SolverError::Sparse`] if a tier factorization fails.
     pub fn build(stack: &Stack3d, parallelism: usize) -> Result<Self, SolverError> {
+        Self::build_inner(stack, parallelism, 0.0)
+    }
+
+    /// Builds the transient companion variant of the engine: every node's
+    /// capacitance scaled by `alpha` (the companion coefficient, `1/h`
+    /// for backward Euler or `2/h` for trapezoidal) is folded into that
+    /// node's diagonal before the tier rows are factored, so the engine
+    /// iterates on `G + α·diag(C)`. The per-step companion *currents* are
+    /// passed to [`Rb3dEngine::solve_with_source`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Rb3dEngine::build`].
+    pub fn build_companion(
+        stack: &Stack3d,
+        parallelism: usize,
+        alpha: f64,
+    ) -> Result<Self, SolverError> {
+        Self::build_inner(stack, parallelism, alpha)
+    }
+
+    fn build_inner(stack: &Stack3d, parallelism: usize, alpha: f64) -> Result<Self, SolverError> {
         stack.validate()?;
         let (w, h, tiers) = (stack.width(), stack.height(), stack.tiers());
         let per_tier = w * h;
@@ -165,6 +187,15 @@ impl Rb3dEngine {
                         fixed[top][site] = true;
                     } else {
                         extra[top][site] += g_pad;
+                    }
+                }
+            }
+        }
+        if alpha != 0.0 {
+            if let Some(caps) = stack.capacitances() {
+                for (t, e) in extra.iter_mut().enumerate() {
+                    for (site, extra_g) in e.iter_mut().enumerate() {
+                        *extra_g += alpha * caps[t * per_tier + site];
                     }
                 }
             }
@@ -291,8 +322,57 @@ impl Rb3dEngine {
         max_iterations: usize,
         v: &mut [f64],
     ) -> Result<SolveReport, SolverError> {
+        self.solve_inner(loads, net, None, omega, tolerance, max_iterations, v, true)
+    }
+
+    /// [`Rb3dEngine::solve`] with an additional per-node current source
+    /// (`source[node]`, A, positive into the node, already in absolute
+    /// net-independent sign) added to every node's injection — the
+    /// transient companion currents `α·C·v_n` (+ capacitor-current state
+    /// for trapezoidal). Unlike [`Rb3dEngine::solve`], the iteration
+    /// starts from the caller's `v` (a transient stepper warm-starts each
+    /// step from the previous one).
+    ///
+    /// # Errors
+    ///
+    /// See [`Rb3dEngine::solve`].
+    #[allow(clippy::too_many_arguments)] // mirrors `solve` plus the source
+    pub fn solve_with_source(
+        &mut self,
+        loads: &[f64],
+        net: NetKind,
+        source: &[f64],
+        omega: f64,
+        tolerance: f64,
+        max_iterations: usize,
+        v: &mut [f64],
+    ) -> Result<SolveReport, SolverError> {
+        self.solve_inner(
+            loads,
+            net,
+            Some(source),
+            omega,
+            tolerance,
+            max_iterations,
+            v,
+            false,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)] // internal fan-in of both entry points
+    fn solve_inner(
+        &mut self,
+        loads: &[f64],
+        net: NetKind,
+        source: Option<&[f64]>,
+        omega: f64,
+        tolerance: f64,
+        max_iterations: usize,
+        v: &mut [f64],
+        reset: bool,
+    ) -> Result<SolveReport, SolverError> {
         let nn = self.num_nodes();
-        if loads.len() != nn || v.len() != nn {
+        if loads.len() != nn || v.len() != nn || source.is_some_and(|s| s.len() != nn) {
             return Err(SolverError::Unsupported {
                 what: format!(
                     "rb3d engine serves {nn} nodes (got {} loads, {} voltages)",
@@ -313,8 +393,11 @@ impl Rb3dEngine {
             NetKind::Ground => 1.0,
         };
 
-        // Initial guess: flat rail voltage (pads already at their value).
-        v.fill(rail);
+        // Initial guess: flat rail voltage (pads already at their value),
+        // unless the caller warm-starts (transient stepping).
+        if reset {
+            v.fill(rail);
+        }
 
         let mut iterations = 0;
         let mut max_delta = f64::INFINITY;
@@ -328,6 +411,9 @@ impl Rb3dEngine {
                 for site in 0..per_tier {
                     let node = t * per_tier + site;
                     let mut b = load_sign * loads[node];
+                    if let Some(src) = source {
+                        b += src[node];
+                    }
                     if self.tsv_mask[site] {
                         if t > 0 {
                             b += self.g_tsv * v[node - per_tier];
@@ -401,7 +487,7 @@ impl StackSolver for Rb3d {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{residual, DirectCholesky};
+    use crate::{residual, DirectCholesky, LinearSolver};
 
     fn stack(r_tsv: f64) -> Stack3d {
         Stack3d::builder(8, 8, 3)
@@ -580,5 +666,63 @@ mod tests {
         ] {
             assert!(!engine.geometry_matches(&drifted));
         }
+    }
+
+    #[test]
+    fn companion_engine_matches_direct_companion_system() {
+        // A companion-built engine with a per-node source must reproduce the
+        // direct solve of the companion-stamped system G + alpha*diag(C).
+        let s = Stack3d::builder(8, 8, 3)
+            .tsv_resistance(0.05)
+            .grid_capacitance(2e-12)
+            .decap(0, 3, 3, 5e-11)
+            .load_profile(
+                voltprop_grid::LoadProfile::UniformRandom {
+                    min: 1e-5,
+                    max: 5e-4,
+                },
+                17,
+            )
+            .build()
+            .unwrap();
+        let alpha = 1.0 / 1e-11; // 1/h for backward Euler at h = 10 ps
+        let nn = s.num_nodes();
+        // Companion currents alpha*C*v_n from a made-up previous state.
+        let source: Vec<f64> = (0..nn)
+            .map(|i| alpha * s.capacitances().unwrap()[i] * (1.7 + 1e-3 * (i % 7) as f64))
+            .collect();
+
+        let sys = s.stamp_dynamic(NetKind::Power, alpha).unwrap();
+        let mut rhs = sys.rhs().to_vec();
+        for (r, sr) in rhs.iter_mut().zip(sys.restrict(&source)) {
+            *r += sr;
+        }
+        let exact = sys.expand(&DirectCholesky::new().solve(sys.matrix(), &rhs).unwrap().x);
+
+        let mut engine = Rb3dEngine::build_companion(&s, 1, alpha).unwrap();
+        let mut v = vec![s.vdd(); nn];
+        let rep = engine
+            .solve_with_source(
+                s.loads(),
+                NetKind::Power,
+                &source,
+                1.0,
+                1e-8,
+                200_000,
+                &mut v,
+            )
+            .unwrap();
+        assert!(rep.converged);
+        let err = residual::max_abs_error(&exact[..nn], &v);
+        assert!(err < 5e-4, "max error {err}");
+
+        // alpha = 0 degenerates to the static engine.
+        let mut static_engine = Rb3dEngine::build_companion(&s, 1, 0.0).unwrap();
+        let mut v0 = vec![0.0; nn];
+        static_engine
+            .solve(s.loads(), NetKind::Power, 1.0, 1e-7, 200_000, &mut v0)
+            .unwrap();
+        let plain = Rb3d::default().solve_stack(&s, NetKind::Power).unwrap();
+        assert_eq!(plain.voltages, v0);
     }
 }

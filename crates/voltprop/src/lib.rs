@@ -14,8 +14,12 @@
 //!
 //! The most common items are re-exported at the crate root. The primary
 //! entry point is [`Session`]: build the prefactored solve state once,
-//! then serve single solves, batched what-if sweeps, and transient
-//! waveforms from it — across backends — with zero warm allocations.
+//! then serve single solves, batched what-if sweeps, quasi-static step
+//! sequences ([`Session::solve_steps`]), and true capacitive transients
+//! ([`Session::transient_dynamic`]: backward-Euler/trapezoidal companion
+//! models on a prefactored companion system, streaming [`Waveform`] in
+//! and [`TransientSink`] out) from it — across backends — with zero warm
+//! allocations.
 //! [`SharedSession`] serves the same factorization to N threads
 //! concurrently through a bounded scratch checkout pool (and the
 //! `voltprop-serve` daemon builds a JSON-over-TCP service on top of it).
@@ -62,9 +66,10 @@ pub use voltprop_solvers as solvers;
 pub use voltprop_sparse as sparse;
 
 pub use voltprop_core::{
-    Backend, BuildError, BuildParams, Deadline, LoadCase, LoadSet, Precision, Session, SessionCore,
-    SessionError, SharedSession, SharedSolution, SolutionView, SolveParams, SolveScratch,
-    TryCheckout, VpConfig, VpReport, VpSolver,
+    Backend, BuildError, BuildParams, Deadline, FnWaveform, Integrator, LoadCase, LoadSet,
+    Precision, PwlWaveform, ScaledWaveform, Session, SessionCore, SessionError, SharedSession,
+    SharedSolution, SolutionView, SolveParams, SolveScratch, TraceSink, TransientParams,
+    TransientReport, TransientSink, TryCheckout, VpConfig, VpReport, VpSolver, Waveform,
 };
 pub use voltprop_grid::{
     GridError, LoadProfile, NetKind, Netlist, NetlistCircuit, Stack3d, StampedSystem, SynthConfig,

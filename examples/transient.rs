@@ -1,22 +1,25 @@
-//! RC transient stepping through `Session::transient`: a whole activity
-//! waveform solved as one lane stream on prefactored state.
+//! The true transient engine: an RC step response on a decap-loaded 3-D
+//! grid, stepped with companion models on a **single** prefactored
+//! companion system.
 //!
-//! Quasi-static transient analysis asks for the grid's voltage map at
-//! every time step of a load waveform. The grid itself never changes —
-//! only the block currents do — so the time steps are exactly the shape
-//! the session's batched path serves: factor the tiers once
-//! (`Session::build`), hand `Session::transient` a closure that writes
-//! each step's loads, and the stepper sweeps the whole waveform together
-//! with the steps as batch lanes.
+//! A block powers on: its current steps from zero to full draw. On a
+//! purely resistive grid the voltage map would jump instantly; with the
+//! grid's distributed capacitance and a decap bank stamped in
+//! (`StackBuilder::grid_capacitance` / `decap`), the supply instead
+//! *droops and recovers* with an RC time constant — exactly what
+//! `Session::transient_dynamic` integrates. Discretizing
+//! `G v + C v̇ = b(t)` with backward Euler folds `C/h` into the
+//! conductance system, so every step is a solve against the same
+//! `G + C/h` matrix: factored once, reused for the whole waveform
+//! (`TransientReport::refactors` proves it), with the waveform streaming
+//! in one step's loads at a time and the sink streaming out one step's
+//! voltages at a time.
 //!
-//! The workload models two RC-shaped activity transients on top of a
-//! background load: a power-gated block charging up with time constant
-//! `τ_on` (current `∝ 1 − e^{−t/τ}`) and a burst decaying with `τ_off`
-//! (`∝ e^{−t/τ}`), plus a DVFS step halfway through. Early and late
-//! steps sit near their asymptotes and converge in few outer iterations,
-//! while mid-ramp steps work hardest — so lanes freeze at very different
-//! times and the engines' active-lane compaction carries the stragglers:
-//! frozen steps cost nothing in later inner sweeps.
+//! As a cross-check, the quasi-static path (`Session::solve_steps`, the
+//! renamed steps-as-lanes stepper) runs the same waveform without
+//! dynamics: at t → ∞ both agree (DC), mid-transient the quasi-static
+//! answer tracks the load instantly while the true transient lags with
+//! τ — the gap **is** the decap action.
 //!
 //! ```sh
 //! cargo run --release --example transient
@@ -24,110 +27,143 @@
 
 use std::time::Instant;
 
-use voltprop::{LoadCase, Session, Stack3d, VpConfig};
+use voltprop::{
+    Backend, FnWaveform, Integrator, LoadCase, Session, SolveParams, Stack3d, TraceSink,
+    TransientParams, VpConfig,
+};
+
+/// Tolerances tight enough that integrator differences, not solver
+/// noise, dominate the traces.
+fn tight() -> SolveParams {
+    SolveParams::new()
+        .epsilon(1e-8)
+        .inner_tolerance(1e-10)
+        .max_inner_sweeps(100_000)
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let (w, h, tiers) = (40, 40, 3);
-    let stack = Stack3d::builder(w, h, tiers)
+    let (w, h_dim, tiers) = (40, 40, 3);
+    let stack = Stack3d::builder(w, h_dim, tiers)
         .uniform_load(5e-5) // background activity on every node
+        .grid_capacitance(2e-13) // distributed device + wire cap
+        .decap(0, 10, 10, 2e-10) // decap bank beside the hot block
+        .decap(0, 12, 10, 2e-10)
+        .pad_capacitance(5e-13)
         .build()?;
-    let nn = stack.num_nodes();
-    let per = w * h;
+    let per = w * h_dim;
 
-    // The waveform: T time steps of dt, two RC transients + a DVFS step.
-    let steps = 24usize;
-    let dt = 0.5; // in units of the block time constants below
-    let tau_on = 3.0 * dt;
-    let tau_off = 4.0 * dt;
-    let in_block = |x: usize, y: usize, cx: usize, cy: usize| -> bool {
-        x.abs_diff(cx) <= 6 && y.abs_diff(cy) <= 6
-    };
-    // Writes time step `s`'s load vector (the session stages the steps
-    // into its own lane buffer, so warm calls allocate nothing).
-    let waveform = |s: usize, loads: &mut [f64]| {
-        let t = s as f64 * dt;
-        let ramp_on = 1.0 - (-t / tau_on).exp(); // block A powering on
-        let decay = (-t / tau_off).exp(); // block B burst dying out
-        let dvfs = if s >= steps / 2 { 1.25 } else { 1.0 }; // global step
+    // The waveform: a block on tier 0 steps from 0 to full draw at t = 0
+    // and a second burst block switches off halfway through.
+    let steps = 200usize;
+    let h = 2e-11; // 20 ps steps
+    let in_block =
+        |x: usize, y: usize, cx: usize, cy: usize| x.abs_diff(cx) <= 6 && y.abs_diff(cy) <= 6;
+    let loads_at = |s: usize, loads: &mut [f64]| {
+        let off_at = steps / 2;
         for (node, load) in loads.iter_mut().enumerate() {
             let tier = node / per;
             let (x, y) = ((node % per) % w, (node % per) / w);
             let mut i = stack.loads()[node];
             if tier == 0 && in_block(x, y, 10, 10) {
-                i += 1.5e-3 * ramp_on;
+                i += 1.5e-3; // block A: full draw from t = 0+
             }
-            if tier == 2 && in_block(x, y, 30, 28) {
-                i += 1.0e-3 * decay;
+            if tier == 2 && in_block(x, y, 30, 28) && s < off_at {
+                i += 1.0e-3; // block B: on until it gates off
             }
-            *load = dvfs * i;
+            *load = i;
         }
     };
 
-    // One prefactored session serves the whole study: the transient
-    // stream and the step-by-step reference below share its factors.
+    // One prefactored session serves everything below.
     let mut session = Session::build(&stack, VpConfig::default())?;
-    let case = LoadCase::new(&stack);
-    session.transient(&case, steps, waveform)?; // warm
-    let start = Instant::now();
-    let view = session.transient(&case, steps, waveform)?;
-    let batched = start.elapsed();
-    assert!(view.converged(), "all steps converge");
 
-    // Collect per-step results before reusing the session (the view
-    // borrows its arenas).
-    let step_drops: Vec<f64> = (0..steps)
-        .map(|s| view.lane_worst_drop(s, stack.vdd()))
-        .collect::<Result<_, _>>()?;
-    let step_reports: Vec<_> = view.reports().to_vec();
+    // Watch the hottest node of block A (tier 0 center).
+    let hot = 10 * w + 10;
+    let watch = [hot];
 
-    // Sequential reference: one warm single-case solve per time step.
-    let mut step_stack = stack.clone();
-    let mut step_loads = vec![0.0; nn];
-    let mut solve_all_steps = |session: &mut Session| -> Result<(), Box<dyn std::error::Error>> {
-        for s in 0..steps {
-            waveform(s, &mut step_loads);
-            step_stack.set_loads(step_loads.clone())?;
-            session.solve(&LoadCase::new(&step_stack))?;
-        }
-        Ok(())
+    // --- The true transient: companion models, one prefactor ----------
+    let mut run = |integrator: Integrator| -> Result<(TraceSink, _), voltprop::SessionError> {
+        let mut wave = FnWaveform::new(steps, |s, _t, loads: &mut [f64]| loads_at(s, loads));
+        let mut sink = TraceSink::with_capacity(steps, 1);
+        let request = TransientParams::new(&stack, h)
+            .integrator(integrator)
+            .backend(Backend::VoltProp)
+            .params(tight())
+            .observe(&watch);
+        let report = session.transient_dynamic(&mut wave, &mut sink, &request)?;
+        Ok((sink, report))
     };
-    solve_all_steps(&mut session)?; // warm
+    run(Integrator::BackwardEuler)?; // warm (cold call builds the factor)
     let start = Instant::now();
-    solve_all_steps(&mut session)?;
-    let sequential = start.elapsed();
+    let (be_trace, be_report) = run(Integrator::BackwardEuler)?;
+    let be_time = start.elapsed();
+    let (trap_trace, _) = run(Integrator::Trapezoidal)?;
+    assert_eq!(be_report.steps, steps);
 
     println!(
-        "transient: {steps} time steps over {w}x{h}x{tiers} nodes\n\
-         batched   {:.1} ms ({:.2} ms/step)\n\
-         one-by-one {:.1} ms ({:.2} ms/step)  ->  batch speedup {:.2}x\n",
-        batched.as_secs_f64() * 1e3,
-        batched.as_secs_f64() * 1e3 / steps as f64,
-        sequential.as_secs_f64() * 1e3,
-        sequential.as_secs_f64() * 1e3 / steps as f64,
-        sequential.as_secs_f64() / batched.as_secs_f64(),
+        "true transient: {steps} steps of {:.0} ps over {w}x{h_dim}x{tiers} nodes \
+         ({:.1} nF on the net)\n\
+         backward Euler: {:.1} ms ({:.0} steps/s), {} prefactor(s), {} solver iterations\n",
+        h * 1e12,
+        stack.total_capacitance() * 1e9,
+        be_time.as_secs_f64() * 1e3,
+        steps as f64 / be_time.as_secs_f64(),
+        be_report.refactors,
+        be_report.solver_iterations,
     );
 
-    println!("  step   time    worst IR drop   outer  sweeps  status");
-    let mut worst_step = (0usize, 0.0f64);
-    for (s, (drop, rep)) in step_drops.iter().zip(&step_reports).enumerate() {
-        if *drop > worst_step.1 {
-            worst_step = (s, *drop);
-        }
+    // --- Cross-check: the quasi-static stepper (no dynamics) -----------
+    let view = session.solve_steps(&LoadCase::new(&stack).params(tight()), steps, |s, lane| {
+        loads_at(s, lane);
+    })?;
+    assert!(view.converged());
+    let static_trace: Vec<f64> = (0..steps)
+        .map(|s| view.lane_voltages(s).map(|v| v[hot]))
+        .collect::<Result<_, _>>()?;
+
+    println!("  step   t(ps)   quasi-static    BE transient    trap transient");
+    for s in [0, 1, 3, 7, 15, 40, 99, 100, 101, 105, 150, steps - 1] {
         println!(
-            "  {:>4}  {:>5.2}   {:>9.2} mV   {:>5}  {:>6}  {}",
+            "  {:>4}  {:>6.0}   {:>9.2} mV    {:>9.2} mV    {:>9.2} mV",
             s,
-            s as f64 * dt,
-            drop * 1e3,
-            rep.outer_iterations,
-            rep.inner_sweeps,
-            if rep.converged { "ok" } else { "NOT CONVERGED" },
+            (s as f64 + 1.0) * h * 1e12,
+            (stack.vdd() - static_trace[s]) * 1e3,
+            (stack.vdd() - be_trace.step_values(s)[0]) * 1e3,
+            (stack.vdd() - trap_trace.step_values(s)[0]) * 1e3,
         );
     }
+
+    // Quantify the decap action: the quasi-static droop is immediate,
+    // the true transient's worst droop is later and no deeper.
+    let worst = |trace: &[f64]| {
+        trace
+            .iter()
+            .enumerate()
+            .map(|(s, &v)| (s, stack.vdd() - v))
+            .fold((0usize, 0.0f64), |m, c| if c.1 > m.1 { c } else { m })
+    };
+    let be_flat: Vec<f64> = (0..steps).map(|s| be_trace.step_values(s)[0]).collect();
+    let (sq, dq) = worst(&static_trace);
+    let (st, dt) = worst(&be_flat);
     println!(
-        "\nworst transient IR drop: {:.2} mV at step {} (t = {:.2})",
-        worst_step.1 * 1e3,
-        worst_step.0,
-        worst_step.0 as f64 * dt,
+        "\nworst droop at the hot node: quasi-static {:.2} mV at step {sq}, \
+         true transient {:.2} mV at step {st}",
+        dq * 1e3,
+        dt * 1e3,
+    );
+
+    // At the end of a long settled stretch the transient has converged to
+    // the quasi-static (DC) answer — the cross-check that both paths
+    // solve the same grid.
+    let settle = steps / 2 - 1; // last step before block B gates off
+    let gap = (static_trace[settle] - be_trace.step_values(settle)[0]).abs();
+    assert!(
+        gap < 1e-4,
+        "settled transient must match the DC answer (gap {gap} V)"
+    );
+    println!(
+        "settled-vs-DC gap at step {settle}: {:.1} µV (same grid, same answer)",
+        gap * 1e6
     );
     Ok(())
 }

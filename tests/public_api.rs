@@ -24,8 +24,11 @@ use voltprop::{
     ConjugateGradient,
     Deadline,
     DirectCholesky,
+    // Transient engine (waveform sources, sinks, companion stepping).
+    FnWaveform,
     // Grid modeling.
     GridError,
+    Integrator,
     LaneReport,
     LinearSolver,
     LoadCase,
@@ -37,9 +40,11 @@ use voltprop::{
     Pcg,
     PcgEngine,
     PrecondKind,
+    PwlWaveform,
     RandomWalkSolver,
     Rb3d,
     Rb3dEngine,
+    ScaledWaveform,
     Session,
     SessionCore,
     SessionError,
@@ -56,6 +61,10 @@ use voltprop::{
     StampedSystem,
     SynthConfig,
     TableCircuit,
+    TraceSink,
+    TransientParams,
+    TransientReport,
+    TransientSink,
     TryCheckout,
     TsvPattern,
     // Core solver types. (The deprecated `VpSolver::solve{,_with,_batch}`
@@ -65,6 +74,7 @@ use voltprop::{
     VpConfig,
     VpReport,
     VpSolver,
+    Waveform,
 };
 
 // Sub-crate facades.
@@ -128,11 +138,67 @@ fn session_api_signatures_hold() {
         assert_eq!(batch.unwrap().lanes(), 1);
     }
     {
+        // Quasi-static stepping: renamed from `transient` this release.
         let tr: Result<SolutionView<'_>, SessionError> =
-            session.transient(&case, 2, |_s: usize, lane: &mut [f64]| {
+            session.solve_steps(&case, 2, |_s: usize, lane: &mut [f64]| {
                 lane.copy_from_slice(&loads);
             });
         assert_eq!(tr.unwrap().lanes(), 2);
+        // The deprecated shim still compiles and routes to `solve_steps`.
+        #[allow(deprecated)]
+        let shim: Result<SolutionView<'_>, SessionError> =
+            session.transient(&case, 2, |_s: usize, lane: &mut [f64]| {
+                lane.copy_from_slice(&loads);
+            });
+        assert_eq!(shim.unwrap().lanes(), 2);
+    }
+    {
+        // The true transient engine: streaming waveform in, streaming
+        // sink out, companion models prefactored once per step size.
+        let h: f64 = 1e-10;
+        let mut wave: PwlWaveform = PwlWaveform::new(loads.clone(), 4, h)
+            .breakpoint(0.0, 0.0)
+            .breakpoint(2.0 * h, 1.0);
+        let _steps: usize = wave.steps();
+        let mut fnwave: FnWaveform<_> = FnWaveform::new(4, |_s: usize, _t: f64, l: &mut [f64]| {
+            l.fill(1e-4);
+        });
+        let mut scaled: ScaledWaveform = ScaledWaveform::new(loads.clone(), [0.5, 1.0]);
+        let mut sink: TraceSink = TraceSink::with_capacity(4, stack.num_nodes());
+        let request: TransientParams<'_> = TransientParams::new(&stack, h)
+            .integrator(Integrator::Trapezoidal)
+            .net(NetKind::Power)
+            .backend(Backend::VoltProp)
+            .params(SolveParams::new())
+            .deadline(Deadline::NONE)
+            .refactor_each_step(false);
+        let _h: f64 = request.step_size();
+        let rep: Result<TransientReport, SessionError> =
+            session.transient_dynamic(&mut wave, &mut sink, &request);
+        let rep: TransientReport = rep.unwrap();
+        let _steps_run: usize = rep.steps;
+        let _refactors: usize = rep.refactors;
+        let _iters: usize = rep.solver_iterations;
+        let _bytes: usize = rep.workspace_bytes;
+        let _times: &[f64] = sink.times();
+        let _vals: &[f64] = sink.step_values(0);
+        // Closure sinks and the other waveform shapes serve too.
+        let mut last = 0.0f64;
+        let mut closure_sink = |_s: usize, t: f64, _v: &[f64]| last = t;
+        session
+            .transient_dynamic(&mut fnwave, &mut closure_sink, &request)
+            .unwrap();
+        session
+            .transient_dynamic(&mut scaled, &mut closure_sink, &request)
+            .unwrap();
+        assert!(last > 0.0);
+        // Observation restricts what streams to the sink.
+        let watch: [usize; 2] = [0, stack.num_nodes() - 1];
+        let narrow: TransientParams<'_> = TransientParams::new(&stack, h).observe(&watch);
+        let mut narrow_sink = |_s: usize, _t: f64, v: &[f64]| assert_eq!(v.len(), 2);
+        session
+            .transient_dynamic(&mut fnwave, &mut narrow_sink, &narrow)
+            .unwrap();
     }
 
     // Config split.

@@ -1,5 +1,5 @@
 //! Integration: the `Session` lifecycle — build → solve → batch →
-//! transient on one handle — must be bitwise reproducible (pinned by a
+//! step sweep on one handle — must be bitwise reproducible (pinned by a
 //! saved fixture, replacing the deleted `VpSolver` legacy shims as the
 //! reference), refuse geometry drift instead of silently rebuilding, and
 //! route all three backends through the same prefactored state.
@@ -99,10 +99,10 @@ fn pinned_fixture_guards_bitwise_behavior() {
     }
     blob.extend_from_slice(&lane_bits);
 
-    // 3. Transient with the same waveform must reproduce the batch
+    // 3. Step-sweeping the same waveform must reproduce the batch
     // lanes bitwise (steps are lanes; no fixture needed for this).
     let transient = session
-        .transient(&LoadCase::new(&stack), k, |s, lane| {
+        .solve_steps(&LoadCase::new(&stack), k, |s, lane| {
             lane.copy_from_slice(&loads[s * nn..(s + 1) * nn]);
         })
         .unwrap();
@@ -408,9 +408,9 @@ fn pcg_backend_routes_through_the_same_session() {
         assert!(lane_drift < tight, "lane {j} drift {lane_drift}");
     }
 
-    // Transient routes through the same per-lane engine path.
+    // Step sweeps route through the same per-lane engine path.
     let transient = session
-        .transient(
+        .solve_steps(
             &LoadCase::new(&stack)
                 .backend(Backend::Pcg)
                 .params(pcg_params),
@@ -440,11 +440,11 @@ fn pcg_backend_routes_through_the_same_session() {
 }
 
 #[test]
-fn transient_rejects_zero_steps_loads() {
+fn solve_steps_rejects_zero_steps_loads() {
     let stack = stack();
     let mut session = Session::build(&stack, VpConfig::default()).unwrap();
     assert!(matches!(
-        session.transient(&LoadCase::new(&stack), 0, |_, _| {}),
+        session.solve_steps(&LoadCase::new(&stack), 0, |_, _| {}),
         Err(SessionError::Solver(_))
     ));
 }
