@@ -47,6 +47,14 @@
 //!   ratio and per-RHS solve latency — **asserting zero allocator
 //!   calls** on the warm mixed paths and refined-f32 tolerance parity
 //!   (max |ΔV| vs the f64 solve ≤ 1e-7 at parallelism 2);
+//! * row-band sharding: band-scaling per-sweep throughput of the
+//!   halo-exchanging sharded engine on a tier footprint that exceeds one
+//!   shard's cache, against the unsharded red-black pool path at the
+//!   same thread count — **asserting bitwise-identical** fixed-budget
+//!   states and **zero allocator calls** on every warm sharded pass —
+//!   plus the sharded-`Session` contract (warm single / batch /
+//!   transient requests at `shards = 2`: 0 allocs, bitwise equal to the
+//!   unsharded session, zero mid-loop re-prefactors);
 //! * the overload/admission path: bounded-wait `try_solve_for` shed
 //!   decision latency against a saturated one-slot pool (asserted close
 //!   to the configured wait — a shed must not dawdle), admission
@@ -1223,6 +1231,258 @@ fn kernels_block(edge: usize, k: usize, sweeps: usize, vec_len: usize) -> String
     )
 }
 
+/// The row-band sharding experiment: band-scaling throughput of the
+/// sharded engine on a tier footprint that exceeds one shard's cache,
+/// against the unsharded red-black pool path at the same thread count
+/// (both sides pay the atomic-image copy, so the ratio isolates the
+/// halo-exchange and barrier overhead). Fixed sweep budgets from the
+/// same start vector must leave **bitwise identical** states — the
+/// `BuildParams::shards` determinism contract, asserted here on the
+/// bench geometry and pinned across backends by `tests/sharding.rs` —
+/// and every warm sharded pass must make **zero allocator calls**.
+///
+/// The session half re-asserts both contracts at the `Session` layer:
+/// warm single, batch, and true-transient requests on a `shards = 2`
+/// session (0 allocs, bitwise equal to the unsharded session, zero
+/// mid-loop re-prefactors).
+#[allow(clippy::too_many_arguments)] // one committed experiment, two geometries
+fn sharding_block(
+    edge: usize,
+    shard_counts: &[usize],
+    sweeps: usize,
+    passes: usize,
+    w: usize,
+    h: usize,
+    tiers: usize,
+    k: usize,
+    transient_steps: usize,
+) -> String {
+    eprintln!("row-band sharding {edge}x{edge} ({sweeps} sweeps, shards {shard_counts:?})...");
+    let fixture = TierFixture::new(edge);
+    let threads = 2usize;
+    let footprint_mb = (fixture.v0.len() * 8) as f64 / (1024.0 * 1024.0);
+
+    // One engine per configuration: the unsharded red-black pool path
+    // first (the reference), then each shard count through the sharded
+    // constructor (shards = 1 builds no halo machinery and is asserted
+    // to cost nothing). All configurations are timed through the same
+    // loop with interleaved passes, keeping each one's fastest — the
+    // scheduler-drift guard the pool block uses, applied across the
+    // whole comparison so no side gets a quieter slice of the host.
+    let mut engines = vec![fixture.engine(SweepSchedule::RedBlack { threads })];
+    for &shards in shard_counts {
+        engines.push(
+            TierEngine::new_sharded(
+                fixture.edge,
+                fixture.edge,
+                50.0,
+                50.0,
+                Arc::from(&fixture.fixed[..]),
+                None,
+                SweepSchedule::RedBlack { threads },
+                shards,
+            )
+            .expect("fixture tier is well-formed"),
+        );
+    }
+    // Warm every engine (pool workers, halo images, page faults) and
+    // capture its fixed-budget final state for the bitwise assertion.
+    let mut v = fixture.v0.clone();
+    let mut finals: Vec<Vec<f64>> = Vec::with_capacity(engines.len());
+    for engine in engines.iter_mut() {
+        v.copy_from_slice(&fixture.v0);
+        let _ = engine.solve(&fixture.injection, &mut v, 0.0, sweeps);
+        finals.push(v.clone());
+    }
+    for (i, &shards) in shard_counts.iter().enumerate() {
+        assert!(
+            finals[i + 1]
+                .iter()
+                .zip(&finals[0])
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "shards {shards}: fixed-budget sharded state must be bitwise \
+             identical to the unsharded red-black state"
+        );
+    }
+    // Short 4-sweep chunks, many interleaved passes, and a rotated
+    // visit order per pass: min-of-many needs each configuration to
+    // see at least one quiet slice of the host, and the rotation keeps
+    // a periodic noise source from always landing on the same engine.
+    let mut best = vec![f64::INFINITY; engines.len()];
+    let mut allocs = vec![0usize; engines.len()];
+    let chunk = 4usize;
+    for pass in 0..passes {
+        for idx in 0..engines.len() {
+            let i = (idx + pass) % engines.len();
+            v.copy_from_slice(&fixture.v0);
+            let calls_before = alloc::alloc_calls();
+            let start = Instant::now();
+            let _ = engines[i].solve(&fixture.injection, &mut v, 0.0, chunk);
+            best[i] = best[i].min(start.elapsed().as_nanos() as f64 / chunk as f64);
+            allocs[i] += alloc::alloc_calls() - calls_before;
+        }
+    }
+    let timed_sweeps = chunk * passes;
+    let unsharded_ns = best[0];
+    let mut band_lines = Vec::new();
+    let mut shards2_ratio = f64::NAN;
+    for (i, &shards) in shard_counts.iter().enumerate() {
+        let (ns, config_allocs) = (best[i + 1], allocs[i + 1]);
+        assert_eq!(
+            config_allocs, 0,
+            "shards {shards}: warm sharded sweeps must make zero allocator calls"
+        );
+        let ratio = unsharded_ns / ns;
+        if shards == 2 {
+            shards2_ratio = ratio;
+        }
+        band_lines.push(format!(
+            "      {{ \"shards\": {shards}, \"ns_per_sweep\": {}, \
+             \"warm_alloc_calls\": {config_allocs}, \"throughput_vs_unsharded\": {} }}",
+            json_f64(ns),
+            json_f64(ratio),
+        ));
+    }
+
+    // Session layer: a shards = 2 session must serve warm single, batch,
+    // and transient requests with zero allocator calls and reproduce the
+    // unsharded session bitwise.
+    eprintln!("sharded session {w}x{h}x{tiers} (batch {k}, transient {transient_steps})...");
+    let stack = Stack3d::builder(w, h, tiers)
+        .uniform_load(2e-4)
+        .build()
+        .expect("valid stack");
+    let loads = sweep_loads(&stack, k);
+    let mut base =
+        Session::build(&stack, VpConfig::new().parallelism(threads)).expect("session builds");
+    let mut sharded = Session::build(&stack, VpConfig::new().parallelism(threads).shards(2))
+        .expect("sharded session builds");
+    let case = LoadCase::new(&stack);
+    let set = LoadSet::new(&stack, &loads);
+
+    let base_v = base
+        .solve(&case)
+        .expect("unsharded solve")
+        .voltages()
+        .to_vec();
+    sharded.solve(&case).expect("warm sharded solve");
+    let calls_before = alloc::alloc_calls();
+    let start = Instant::now();
+    let view = sharded.solve(&case).expect("timed sharded solve");
+    let single_ms = start.elapsed().as_secs_f64() * 1e3;
+    let single_allocs = alloc::alloc_calls() - calls_before;
+    assert_eq!(
+        single_allocs, 0,
+        "warm sharded session solve must not allocate"
+    );
+    assert!(
+        view.voltages()
+            .iter()
+            .zip(&base_v)
+            .all(|(a, b)| a.to_bits() == b.to_bits()),
+        "sharded session solve must be bitwise identical to the unsharded session"
+    );
+
+    let base_batch: Vec<Vec<f64>> = {
+        let view = base.solve_batch(&set).expect("unsharded batch");
+        (0..k)
+            .map(|j| view.lane_voltages(j).expect("lane in range").to_vec())
+            .collect()
+    };
+    sharded.solve_batch(&set).expect("warm sharded batch");
+    let calls_before = alloc::alloc_calls();
+    let start = Instant::now();
+    let view = sharded.solve_batch(&set).expect("timed sharded batch");
+    let batch_ms = start.elapsed().as_secs_f64() * 1e3;
+    let batch_allocs = alloc::alloc_calls() - calls_before;
+    assert_eq!(
+        batch_allocs, 0,
+        "warm sharded session batch must not allocate"
+    );
+    for (j, base_lane) in base_batch.iter().enumerate() {
+        assert!(
+            view.lane_voltages(j)
+                .expect("lane in range")
+                .iter()
+                .zip(base_lane)
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "sharded batch lane {j} must be bitwise identical to the unsharded session"
+        );
+    }
+
+    // True transient on a decap stack: the sharded companion engines must
+    // reuse their prefactors (zero mid-loop refactors), stay warm-clean,
+    // and trace bitwise with the unsharded run.
+    let tstack = Stack3d::builder(w / 2, h / 2, 2)
+        .uniform_load(1e-4)
+        .grid_capacitance(2e-13)
+        .decap(0, w / 6, h / 6, 2e-10)
+        .build()
+        .expect("valid transient stack");
+    let tnn = tstack.num_nodes();
+    let frames = sweep_loads(&tstack, transient_steps);
+    let run_transient = |session: &mut Session, sink: &mut TraceSink| -> TransientReport {
+        let mut wave = FnWaveform::new(transient_steps, |s, _t, loads: &mut [f64]| {
+            loads.copy_from_slice(&frames[s * tnn..(s + 1) * tnn]);
+        });
+        sink.clear();
+        session
+            .transient_dynamic(&mut wave, sink, &TransientParams::new(&tstack, 2e-11))
+            .expect("transient run")
+    };
+    let mut tbase =
+        Session::build(&tstack, VpConfig::new().parallelism(threads)).expect("session builds");
+    let mut tsharded = Session::build(&tstack, VpConfig::new().parallelism(threads).shards(2))
+        .expect("sharded session builds");
+    let mut base_sink = TraceSink::with_capacity(transient_steps, tnn);
+    run_transient(&mut tbase, &mut base_sink);
+    let mut sink = TraceSink::with_capacity(transient_steps, tnn);
+    run_transient(&mut tsharded, &mut sink); // cold: factors the companion system
+    let calls_before = alloc::alloc_calls();
+    let report = run_transient(&mut tsharded, &mut sink);
+    let transient_allocs = alloc::alloc_calls() - calls_before;
+    assert_eq!(
+        transient_allocs, 0,
+        "warm sharded transient step loop must not allocate"
+    );
+    assert_eq!(
+        report.refactors, 0,
+        "warm sharded step loop must reuse the prefactored companion system"
+    );
+    assert!(
+        sink.values()
+            .iter()
+            .zip(base_sink.values())
+            .all(|(a, b)| a.to_bits() == b.to_bits()),
+        "sharded transient trace must be bitwise identical to the unsharded session"
+    );
+
+    format!(
+        "{{\n    \"tier_grid\": \"{edge}x{edge}\",\n    \"tier_footprint_mb\": {},\n    \
+         \"sweeps_timed\": {timed_sweeps},\n    \"threads\": {threads},\n    \
+         \"unsharded_redblack_ns_per_sweep\": {},\n    \
+         \"bands\": [\n{}\n    ],\n    \
+         \"throughput_shards2_vs_unsharded\": {},\n    \
+         \"bitwise_identical_vs_unsharded\": {},\n    \
+         \"session_grid\": \"{w}x{h}x{tiers}\",\n    \"session_shards\": 2,\n    \
+         \"session_single_warm_ms\": {},\n    \
+         \"session_batch_warm_ms\": {},\n    \
+         \"session_single_warm_alloc_calls\": {single_allocs},\n    \
+         \"session_batch_warm_alloc_calls\": {batch_allocs},\n    \
+         \"transient_steps\": {transient_steps},\n    \
+         \"transient_warm_alloc_calls\": {transient_allocs},\n    \
+         \"session_bitwise_vs_unsharded\": {}\n  }}",
+        json_f64(footprint_mb),
+        json_f64(unsharded_ns),
+        band_lines.join(",\n"),
+        json_f64(shards2_ratio),
+        json_bool(true),
+        json_f64(single_ms),
+        json_f64(batch_ms),
+        json_bool(true),
+    )
+}
+
 fn repo_root() -> PathBuf {
     // crates/bench → workspace root.
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -1367,6 +1627,27 @@ fn main() {
         vec![overload_block(128, 128, 3, 25, 120)]
     };
 
+    // The row-band sharding trajectory: band-scaling throughput on a
+    // tier footprint that exceeds one shard's cache, bitwise-asserted
+    // against the unsharded red-black path, plus the zero-allocation
+    // sharded-session contract (single / batch / transient). The quick
+    // run is the CI smoke for both contracts.
+    let sharding_blocks = if quick {
+        vec![sharding_block(1024, &[1, 2, 4], 12, 8, 96, 96, 4, 8, 40)]
+    } else {
+        vec![sharding_block(
+            2048,
+            &[1, 2, 4, 8],
+            10,
+            40,
+            256,
+            256,
+            8,
+            8,
+            200,
+        )]
+    };
+
     // The vectorized-kernel bandwidth trajectory: effective GB/s of the
     // batched sweep / red-black sweep / axpy-dot kernels plus the
     // f64-vs-mixed precision comparison. The quick run is the CI smoke
@@ -1391,7 +1672,8 @@ fn main() {
          \"batch_compaction\": [\n  {}\n  ],\n  \"session\": [\n  {}\n  ],\n  \
          \"transient\": [\n  {}\n  ],\n  \
          \"pcg\": [\n  {}\n  ],\n  \"concurrency\": [\n  {}\n  ],\n  \
-         \"overload\": [\n  {}\n  ],\n  \"kernels\": [\n  {}\n  ]\n}}",
+         \"overload\": [\n  {}\n  ],\n  \"sharding\": [\n  {}\n  ],\n  \
+         \"kernels\": [\n  {}\n  ]\n}}",
         row_blocks.join(",\n  "),
         vp_blocks.join(",\n  "),
         batch_blocks.join(",\n  "),
@@ -1402,6 +1684,7 @@ fn main() {
         pcg_blocks.join(",\n  "),
         concurrency_blocks.join(",\n  "),
         overload_blocks.join(",\n  "),
+        sharding_blocks.join(",\n  "),
         kernel_blocks.join(",\n  "),
     );
     if let Err(e) = append_run(&out, &entry) {

@@ -115,6 +115,9 @@ pub struct VpConfig {
     /// parallel solves stay allocation-free. Red-black results are
     /// deterministic in the thread count.
     pub parallelism: usize,
+    /// Row-band shards per tier for the inner sweeps (see
+    /// [`BuildParams::shards`]). `0` and `1` both mean unsharded.
+    pub shards: usize,
     /// Arithmetic precision of the inner kernels (see [`Precision`]).
     pub precision: Precision,
 }
@@ -129,6 +132,7 @@ impl Default for VpConfig {
             inner_tolerance: 1e-5,
             max_inner_sweeps: 10_000,
             parallelism: 1,
+            shards: 1,
             precision: Precision::F64,
         }
     }
@@ -185,6 +189,13 @@ impl VpConfig {
         self
     }
 
+    /// Sets the per-tier row-band shard count (`0` and `1` both mean
+    /// unsharded; see [`BuildParams::shards`]).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
     /// Sets the inner-kernel arithmetic precision.
     pub fn precision(mut self, precision: Precision) -> Self {
         self.precision = precision;
@@ -196,6 +207,7 @@ impl VpConfig {
     pub fn build_params(&self) -> BuildParams {
         BuildParams {
             parallelism: self.parallelism.max(1),
+            shards: self.shards.max(1),
         }
     }
 
@@ -223,6 +235,7 @@ impl VpConfig {
             inner_tolerance: solve.inner_tolerance,
             max_inner_sweeps: solve.max_inner_sweeps,
             parallelism: build.parallelism.max(1),
+            shards: build.shards.max(1),
             precision: solve.precision,
         }
     }
@@ -232,24 +245,52 @@ impl VpConfig {
 /// state a [`Session`](crate::Session) allocates up front and therefore
 /// cannot change between solves on one session.
 ///
-/// Today this is the worker-thread count; a geometry-compatible stack can
-/// be served with any per-solve [`SolveParams`], but changing the
-/// parallelism requires building a new session.
+/// Today this is the worker-thread count and the row-band shard count; a
+/// geometry-compatible stack can be served with any per-solve
+/// [`SolveParams`], but changing either build parameter requires building
+/// a new session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BuildParams {
     /// Worker threads for the inner row sweeps (see
     /// [`VpConfig::parallelism`]).
     pub parallelism: usize,
+    /// Row-band shards per tier: each tier footprint is split along the
+    /// y-axis into this many contiguous bands with 1-row halos, and
+    /// every inner sweep runs per band against a private halo-extended
+    /// voltage image, exchanging the halos between the red and black
+    /// half-sweeps. The buffers are built once at
+    /// [`Session::build`](crate::Session::build), so single, batched,
+    /// and transient solves all run sharded with no warm allocator
+    /// calls. `0` and `1` both mean unsharded; the count is clamped to
+    /// the tier height.
+    ///
+    /// # Determinism contract
+    ///
+    /// Sharding restructures dispatch and memory layout, never
+    /// arithmetic. `shards >= 2` forces the red-black sweep schedule
+    /// (keeping `parallelism` as the thread count), and on that schedule
+    /// the row-based routes — single solves, masked/compacted batches,
+    /// transient steps, both precisions — produce **bitwise identical**
+    /// voltages, iteration counts, and residuals at every shard count
+    /// and thread count: per-sweep convergence deltas are reduced across
+    /// shards in shard order with exact `f64::max` folds, so lane
+    /// freezing cannot depend on the partition. The PCG backend has no
+    /// row structure to shard; it accepts the knob, runs unsharded, and
+    /// keeps its usual tolerance contract.
+    pub shards: usize,
 }
 
 impl Default for BuildParams {
     fn default() -> Self {
-        BuildParams { parallelism: 1 }
+        BuildParams {
+            parallelism: 1,
+            shards: 1,
+        }
     }
 }
 
 impl BuildParams {
-    /// The default build parameters (sequential sweeps).
+    /// The default build parameters (sequential sweeps, unsharded).
     pub fn new() -> Self {
         Self::default()
     }
@@ -258,6 +299,14 @@ impl BuildParams {
     /// the sequential schedule).
     pub fn parallelism(mut self, threads: usize) -> Self {
         self.parallelism = threads.max(1);
+        self
+    }
+
+    /// Sets the per-tier row-band shard count (`0` and `1` both mean
+    /// unsharded; see [`BuildParams::shards`] for the determinism
+    /// contract).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
         self
     }
 }
@@ -404,6 +453,16 @@ mod tests {
     }
 
     #[test]
+    fn shards_default_to_one_and_clamp() {
+        assert_eq!(VpConfig::default().shards, 1);
+        assert_eq!(BuildParams::default().shards, 1);
+        assert_eq!(VpConfig::new().shards(0).shards, 1);
+        assert_eq!(BuildParams::new().shards(0).shards, 1);
+        assert_eq!(VpConfig::new().shards(4).build_params().shards, 4);
+        assert_eq!(BuildParams::new().shards(3).shards, 3);
+    }
+
+    #[test]
     fn split_roundtrips() {
         let c = VpConfig::new()
             .epsilon(2e-5)
@@ -412,6 +471,7 @@ mod tests {
             .sor_omega(1.4)
             .max_inner_sweeps(99)
             .parallelism(3)
+            .shards(2)
             .precision(Precision::MixedF32);
         let rebuilt = VpConfig::from_parts(c.build_params(), c.solve_params());
         assert_eq!(rebuilt, c);

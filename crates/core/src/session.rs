@@ -581,7 +581,7 @@ impl SessionCore {
     /// on a single tier), or a factorization fails.
     pub fn build(stack: &Stack3d, config: VpConfig) -> Result<SessionCore, BuildError> {
         let vp = VpScratch::new(stack, &config)?;
-        let rb = Rb3dEngine::build(stack, config.parallelism)?;
+        let rb = Rb3dEngine::build_sharded(stack, config.parallelism, config.shards)?;
         let (pcg, pcg_unavailable) = match PcgEngine::build(stack) {
             Ok(engine) => (Some(engine), None),
             Err(e) => (None, Some(format!("build-time PCG prefactor failed: {e}"))),
@@ -1180,31 +1180,6 @@ impl Session {
         self.core
             .transient_on(&mut self.scratch, case, steps, fill)?;
         Ok(self.core.batch_view(&self.scratch, case.backend))
-    }
-
-    /// Deprecated name of [`Session::solve_steps`]. It never integrated
-    /// grid dynamics — each step is an independent quasi-static solve —
-    /// so the name moved aside for the true transient engine,
-    /// [`Session::transient_dynamic`].
-    ///
-    /// # Errors
-    ///
-    /// See [`Session::solve_steps`].
-    #[deprecated(
-        since = "0.9.0",
-        note = "renamed to `solve_steps` (quasi-static steps-as-lanes); \
-                for true capacitive transients use `transient_dynamic`"
-    )]
-    pub fn transient<F>(
-        &mut self,
-        case: &LoadCase<'_>,
-        steps: usize,
-        fill: F,
-    ) -> Result<SolutionView<'_>, SessionError>
-    where
-        F: FnMut(usize, &mut [f64]),
-    {
-        self.solve_steps(case, steps, fill)
     }
 }
 

@@ -227,6 +227,7 @@ impl VpScratch {
         let (w, h, tiers) = (stack.width(), stack.height(), stack.tiers());
         let per = w * h;
         let parallelism = config.parallelism.max(1);
+        let shards = config.shards.max(1);
         let tier_g: Vec<(f64, f64)> = (0..tiers)
             .map(|t| (1.0 / stack.r_horizontal(t), 1.0 / stack.r_vertical(t)))
             .collect();
@@ -251,6 +252,7 @@ impl VpScratch {
                 tier_g[0].1,
                 fixed.clone(),
                 parallelism,
+                shards,
             )?];
             return Ok(VpScratch {
                 width: w,
@@ -325,7 +327,7 @@ impl VpScratch {
         let fixed: Arc<[bool]> = fixed.into();
         let tier_cache: Vec<CachedTier> = tier_g
             .iter()
-            .map(|&(g_h, g_v)| CachedTier::new(w, h, g_h, g_v, fixed.clone(), parallelism))
+            .map(|&(g_h, g_v)| CachedTier::new(w, h, g_h, g_v, fixed.clone(), parallelism, shards))
             .collect::<Result<_, _>>()?;
         let lattice = PillarLattice::build(stack, sites, &is_pad_site);
 
@@ -532,6 +534,7 @@ impl VpScratch {
         &self,
         alpha_c: &[f64],
         parallelism: usize,
+        shards: usize,
     ) -> Result<Vec<CachedTier>, SolverError> {
         let per = self.width * self.height;
         self.tier_g
@@ -546,6 +549,7 @@ impl VpScratch {
                     self.fixed.clone(),
                     Some(&alpha_c[t * per..(t + 1) * per]),
                     parallelism,
+                    shards,
                 )
             })
             .collect()

@@ -33,8 +33,10 @@ pub(crate) struct CachedTier {
 }
 
 impl CachedTier {
-    /// Builds the cache for a tier with the given (shared) pin mask and
-    /// inner-sweep thread count.
+    /// Builds the cache for a tier with the given (shared) pin mask,
+    /// inner-sweep thread count, and row-band shard count (`shards >= 2`
+    /// sweeps per band against halo-extended images; see
+    /// [`TierEngine::new_sharded`]).
     ///
     /// # Errors
     ///
@@ -46,8 +48,9 @@ impl CachedTier {
         g_v: f64,
         fixed: Arc<[bool]>,
         parallelism: usize,
+        shards: usize,
     ) -> Result<Self, SolverError> {
-        Self::new_companion(width, height, g_h, g_v, fixed, None, parallelism)
+        Self::new_companion(width, height, g_h, g_v, fixed, None, parallelism, shards)
     }
 
     /// [`CachedTier::new`] with per-node grounded conductances added to
@@ -60,6 +63,7 @@ impl CachedTier {
     /// # Errors
     ///
     /// See [`TierEngine::new`].
+    #[allow(clippy::too_many_arguments)] // mirrors the engine constructor
     pub(crate) fn new_companion(
         width: usize,
         height: usize,
@@ -68,9 +72,10 @@ impl CachedTier {
         fixed: Arc<[bool]>,
         extra_diag: Option<&[f64]>,
         parallelism: usize,
+        shards: usize,
     ) -> Result<Self, SolverError> {
         Ok(CachedTier {
-            engine: TierEngine::new(
+            engine: TierEngine::new_sharded(
                 width,
                 height,
                 g_h,
@@ -78,6 +83,7 @@ impl CachedTier {
                 fixed,
                 extra_diag,
                 SweepSchedule::from_parallelism(parallelism),
+                shards,
             )?,
         })
     }
@@ -236,7 +242,7 @@ mod tests {
             let g_v = 0.8;
 
             let mut v_cached = v_init.clone();
-            let mut cached = CachedTier::new(w, h, g_h, g_v, Arc::from(&fixed[..]), 1).unwrap();
+            let mut cached = CachedTier::new(w, h, g_h, g_v, Arc::from(&fixed[..]), 1, 1).unwrap();
             cached
                 .solve(&injection, &mut v_cached, 1e-10, 100_000)
                 .unwrap();
@@ -275,12 +281,12 @@ mod tests {
             let (fixed, v_init, injection) = fixture(w, h, seed);
             let shared: Arc<[bool]> = Arc::from(&fixed[..]);
             let mut v_seq = v_init.clone();
-            CachedTier::new(w, h, 2.0, 1.5, shared.clone(), 1)
+            CachedTier::new(w, h, 2.0, 1.5, shared.clone(), 1, 1)
                 .unwrap()
                 .solve(&injection, &mut v_seq, 1e-12, 100_000)
                 .unwrap();
             let mut v_par = v_init.clone();
-            CachedTier::new(w, h, 2.0, 1.5, shared, 4)
+            CachedTier::new(w, h, 2.0, 1.5, shared, 4, 1)
                 .unwrap()
                 .solve(&injection, &mut v_par, 1e-12, 100_000)
                 .unwrap();
@@ -303,7 +309,7 @@ mod tests {
         let mut v = vec![0.0; w * h];
         v[0] = 1.8;
         let injection = vec![0.0; w * h];
-        let mut cached = CachedTier::new(w, h, 1.0, 1.0, Arc::from(fixed), 1).unwrap();
+        let mut cached = CachedTier::new(w, h, 1.0, 1.0, Arc::from(fixed), 1, 1).unwrap();
         assert!(matches!(
             cached.solve(&injection, &mut v, 1e-15, 2),
             Err(SolverError::DidNotConverge { .. })
@@ -312,7 +318,7 @@ mod tests {
 
     #[test]
     fn reports_positive_memory() {
-        let cached = CachedTier::new(5, 3, 1.0, 1.0, Arc::from(vec![false; 15]), 1).unwrap();
+        let cached = CachedTier::new(5, 3, 1.0, 1.0, Arc::from(vec![false; 15]), 1, 1).unwrap();
         assert!(cached.memory_bytes() > 0);
     }
 }

@@ -593,6 +593,7 @@ impl Session {
         let caps = request.stack.capacitances();
         let params = request.params.unwrap_or(core.defaults());
         let parallelism = core.build_params().parallelism.max(1);
+        let shards = core.build_params().shards.max(1);
         let rail = match request.net {
             NetKind::Power => request.stack.vdd(),
             NetKind::Ground => 0.0,
@@ -656,6 +657,7 @@ impl Session {
                     &params,
                     alpha,
                     parallelism,
+                    shards,
                     &mut refactors,
                     &mut solver_iterations,
                 )?;
@@ -670,6 +672,7 @@ impl Session {
                     &params,
                     alpha,
                     parallelism,
+                    shards,
                     &mut refactors,
                     &mut solver_iterations,
                 )?;
@@ -696,6 +699,7 @@ impl Session {
                     &params,
                     alpha,
                     parallelism,
+                    shards,
                     &mut refactors,
                     &mut solver_iterations,
                 )?;
@@ -740,17 +744,18 @@ fn solve_companion_step(
     params: &SolveParams,
     alpha: f64,
     parallelism: usize,
+    shards: usize,
     refactors: &mut usize,
     solver_iterations: &mut usize,
 ) -> Result<(), SessionError> {
     match request.backend {
         Backend::VoltProp => {
             if state.vp_tiers.is_none() {
-                state.vp_tiers = Some(
-                    scratch
-                        .vp
-                        .build_companion_tiers(&state.alpha_c, parallelism)?,
-                );
+                state.vp_tiers = Some(scratch.vp.build_companion_tiers(
+                    &state.alpha_c,
+                    parallelism,
+                    shards,
+                )?);
                 *refactors += 1;
             }
             let tiers = state.vp_tiers.as_mut().expect("just ensured");
@@ -772,10 +777,11 @@ fn solve_companion_step(
         }
         Backend::Rb3d => {
             if state.rb.is_none() {
-                state.rb = Some(Rb3dEngine::build_companion(
+                state.rb = Some(Rb3dEngine::build_companion_sharded(
                     request.stack,
                     parallelism,
                     alpha,
+                    shards,
                 )?);
                 *refactors += 1;
             }

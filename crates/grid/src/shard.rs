@@ -1,0 +1,233 @@
+//! Row-band shard partitioning of a tier footprint.
+//!
+//! The row-based sweeps are row-local except across the red/black color
+//! boundary: a row couples only to the rows directly above and below it.
+//! That locality lets a large footprint split into `N` contiguous
+//! **row bands** along the y-axis, each extended by a 1-row halo image of
+//! its neighbours' boundary rows. A shard sweeps its own rows reading
+//! neighbour rows from the halo; between the red and black half-sweeps
+//! only the halo rows of the freshly-updated color need exchanging.
+//!
+//! A [`ShardPlan`] is the pure partition descriptor: which rows each
+//! shard **owns** (every row — and therefore every load and pad site —
+//! belongs to exactly one shard) and which halo rows it mirrors. The
+//! solver crates build their execution state (halo buffers, per-band
+//! segment lists) on top of it.
+
+/// One contiguous row band of a [`ShardPlan`].
+///
+/// The band owns rows `y0 .. y1` exclusively: their nodes, loads, and
+/// pads belong to this shard and no other. When a neighbouring band
+/// exists, the band additionally mirrors that neighbour's boundary row
+/// as a read-only halo (`lo .. y0` and `y1 .. hi`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardBand {
+    y0: usize,
+    y1: usize,
+    halo_above: bool,
+    halo_below: bool,
+}
+
+impl ShardBand {
+    /// First owned row.
+    pub fn y0(&self) -> usize {
+        self.y0
+    }
+
+    /// One past the last owned row.
+    pub fn y1(&self) -> usize {
+        self.y1
+    }
+
+    /// Number of owned rows (always at least 1).
+    pub fn rows(&self) -> usize {
+        self.y1 - self.y0
+    }
+
+    /// Whether the band mirrors the row above (`y0 > 0`).
+    pub fn halo_above(&self) -> bool {
+        self.halo_above
+    }
+
+    /// Whether the band mirrors the row below (`y1 < height`).
+    pub fn halo_below(&self) -> bool {
+        self.halo_below
+    }
+
+    /// First halo-extended row (`y0 - 1` with a halo above, else `y0`).
+    pub fn lo(&self) -> usize {
+        self.y0 - usize::from(self.halo_above)
+    }
+
+    /// One past the last halo-extended row (`y1 + 1` with a halo below,
+    /// else `y1`).
+    pub fn hi(&self) -> usize {
+        self.y1 + usize::from(self.halo_below)
+    }
+
+    /// Number of halo-extended rows (`hi - lo`).
+    pub fn span(&self) -> usize {
+        self.hi() - self.lo()
+    }
+}
+
+/// A row-band partition of a `height`-row tier footprint into `N`
+/// contiguous shards with 1-row halos.
+///
+/// Bands are near-equal: with `height = q·N + r`, the first `r` bands
+/// carry `q + 1` rows and the rest `q`. The requested shard count is
+/// clamped to `[1, height]` so every band owns at least one row.
+///
+/// # Example
+///
+/// ```
+/// use voltprop_grid::ShardPlan;
+///
+/// let plan = ShardPlan::new(10, 4);
+/// assert_eq!(plan.num_shards(), 4);
+/// let rows: Vec<usize> = plan.bands().iter().map(|b| b.rows()).collect();
+/// assert_eq!(rows, [3, 3, 2, 2]);
+/// assert_eq!(plan.owner_of_row(0), 0);
+/// assert_eq!(plan.owner_of_row(9), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    height: usize,
+    bands: Vec<ShardBand>,
+}
+
+impl ShardPlan {
+    /// Partitions `height` rows into `shards` near-equal contiguous
+    /// bands (clamped to `[1, height]`). A zero `height` yields an empty
+    /// plan with no bands.
+    pub fn new(height: usize, shards: usize) -> ShardPlan {
+        let mut bands = Vec::new();
+        if height > 0 {
+            let s = shards.clamp(1, height);
+            let base = height / s;
+            let rem = height % s;
+            let mut y0 = 0usize;
+            for i in 0..s {
+                let rows = base + usize::from(i < rem);
+                let y1 = y0 + rows;
+                bands.push(ShardBand {
+                    y0,
+                    y1,
+                    halo_above: y0 > 0,
+                    halo_below: y1 < height,
+                });
+                y0 = y1;
+            }
+        }
+        ShardPlan { height, bands }
+    }
+
+    /// Number of bands in the plan.
+    pub fn num_shards(&self) -> usize {
+        self.bands.len()
+    }
+
+    /// Total row count the plan partitions.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The bands, in ascending row order.
+    pub fn bands(&self) -> &[ShardBand] {
+        &self.bands
+    }
+
+    /// The index of the band owning row `y` — the unique shard a row's
+    /// nodes, loads, and pads belong to. O(1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y >= height`.
+    pub fn owner_of_row(&self, y: usize) -> usize {
+        assert!(y < self.height, "row {y} outside {} rows", self.height);
+        let s = self.bands.len();
+        let base = self.height / s;
+        let rem = self.height % s;
+        let split = rem * (base + 1);
+        if y < split {
+            y / (base + 1)
+        } else {
+            rem + (y - split) / base
+        }
+    }
+
+    /// Estimated heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.bands.capacity() * std::mem::size_of::<ShardBand>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bands_cover_every_row_exactly_once() {
+        for height in [1usize, 2, 3, 7, 16, 33] {
+            for shards in [1usize, 2, 3, 4, 9, 64] {
+                let plan = ShardPlan::new(height, shards);
+                assert_eq!(plan.num_shards(), shards.clamp(1, height));
+                let mut y = 0usize;
+                for (s, band) in plan.bands().iter().enumerate() {
+                    assert_eq!(band.y0(), y, "h={height} s={shards}");
+                    assert!(band.rows() >= 1);
+                    for row in band.y0()..band.y1() {
+                        assert_eq!(plan.owner_of_row(row), s);
+                    }
+                    y = band.y1();
+                }
+                assert_eq!(y, height);
+            }
+        }
+    }
+
+    #[test]
+    fn bands_are_near_equal() {
+        let plan = ShardPlan::new(100, 8);
+        let rows: Vec<usize> = plan.bands().iter().map(ShardBand::rows).collect();
+        assert_eq!(rows.iter().sum::<usize>(), 100);
+        let (min, max) = (rows.iter().min().unwrap(), rows.iter().max().unwrap());
+        assert!(max - min <= 1, "rows {rows:?}");
+    }
+
+    #[test]
+    fn halos_exist_exactly_at_interior_boundaries() {
+        let plan = ShardPlan::new(9, 3);
+        let b = plan.bands();
+        assert!(!b[0].halo_above() && b[0].halo_below());
+        assert!(b[1].halo_above() && b[1].halo_below());
+        assert!(b[2].halo_above() && !b[2].halo_below());
+        assert_eq!((b[0].lo(), b[0].hi()), (0, 4));
+        assert_eq!((b[1].lo(), b[1].hi()), (2, 7));
+        assert_eq!((b[2].lo(), b[2].hi()), (5, 9));
+        assert_eq!(b[1].span(), 5);
+    }
+
+    #[test]
+    fn single_shard_has_no_halo() {
+        let plan = ShardPlan::new(5, 1);
+        let b = plan.bands()[0];
+        assert_eq!((b.lo(), b.hi()), (0, 5));
+        assert!(!b.halo_above() && !b.halo_below());
+    }
+
+    #[test]
+    fn shard_count_clamps_to_height() {
+        let plan = ShardPlan::new(3, 10);
+        assert_eq!(plan.num_shards(), 3);
+        assert!(plan.bands().iter().all(|b| b.rows() == 1));
+        assert_eq!(ShardPlan::new(4, 0).num_shards(), 1);
+    }
+
+    #[test]
+    fn empty_height_yields_empty_plan() {
+        let plan = ShardPlan::new(0, 4);
+        assert_eq!(plan.num_shards(), 0);
+        assert_eq!(plan.height(), 0);
+    }
+}

@@ -102,6 +102,24 @@
 //! the same tolerance contract as the f64 path (gated in the
 //! cross-solver agreement suite); an exhausted sweep budget reports
 //! `converged = false` rather than a silently loose answer.
+//!
+//! # Row-band sharding
+//!
+//! [`TierEngine::new_sharded`] splits the tier into contiguous row bands
+//! (a [`ShardPlan`]) with 1-row halos. Each shard sweeps its owned rows
+//! inside a **private halo-extended voltage buffer** instead of the one
+//! global image; between the red and black half-sweeps, each shard
+//! refreshes its halo rows of the just-updated color from the owning
+//! neighbour's buffer. Because a red row reads only frozen odd rows (and
+//! vice versa), the exchanged rows are exactly the values the unsharded
+//! red-black sweep would read — sharding is a restructuring of dispatch
+//! and memory layout, not of arithmetic, and results are **bitwise
+//! identical to the unsharded red-black engine at every shard count and
+//! thread count**. Convergence deltas are reduced across shards in shard
+//! order with `f64::max` (exact), so per-lane freezing is partition-
+//! invariant too. Scalar solves run through the same job as one-lane
+//! batches (the batch-of-1 ≡ solo contract above), so single, batched,
+//! and sweep-once paths share one sharded code path.
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
@@ -110,6 +128,7 @@ use std::sync::{Arc, Barrier, RwLock};
 use crate::pool::{PoolJob, WorkerPool, WorkerScratch};
 use crate::rowbased::TierProblem;
 use crate::{LaneReport, SolveReport, SolverError};
+use voltprop_grid::ShardPlan;
 use voltprop_sparse::tridiag::{FactoredSegments, FactoredSegmentsF32};
 
 /// How a [`TierEngine`] orders its row solves within one sweep.
@@ -590,6 +609,375 @@ impl PoolJob for BatchShared {
     }
 }
 
+/// One row band of a sharded tier, resolved from the [`ShardPlan`]
+/// descriptor into execution terms: owned/halo row ranges plus the
+/// owned segments pre-split by sweep color.
+#[derive(Debug)]
+struct ShardBandExec {
+    /// First owned row.
+    y0: usize,
+    /// One past the last owned row.
+    y1: usize,
+    /// First halo-extended row (`y0 - 1` when a shard sits above).
+    lo: usize,
+    /// One past the last halo-extended row.
+    hi: usize,
+    /// Owned even-row segment indices into `Topo::segments`, ascending.
+    red: Vec<u32>,
+    /// Owned odd-row segment indices, ascending.
+    black: Vec<u32>,
+}
+
+/// The frozen execution layout of a sharded tier: the per-band segment
+/// lists and a contiguous shard→thread assignment balanced by owned
+/// node count. Shared (via `Arc`) between the scalar and batched shard
+/// jobs and across [`TierEngine::fork`]s.
+#[derive(Debug)]
+struct ShardLayout {
+    bands: Vec<ShardBandExec>,
+    /// Per-thread contiguous shard ranges (`chunks.len() == threads`).
+    chunks: Vec<Range<usize>>,
+}
+
+impl ShardLayout {
+    fn build(topo: &Topo, shards: usize) -> ShardLayout {
+        let plan = ShardPlan::new(topo.height, shards);
+        let bands: Vec<ShardBandExec> = plan
+            .bands()
+            .iter()
+            .map(|b| {
+                let mut red = Vec::new();
+                let mut black = Vec::new();
+                for (i, seg) in topo.segments.iter().enumerate() {
+                    let y = seg.row as usize;
+                    if y >= b.y0() && y < b.y1() {
+                        if y % 2 == 0 {
+                            red.push(i as u32);
+                        } else {
+                            black.push(i as u32);
+                        }
+                    }
+                }
+                ShardBandExec {
+                    y0: b.y0(),
+                    y1: b.y1(),
+                    lo: b.lo(),
+                    hi: b.hi(),
+                    red,
+                    black,
+                }
+            })
+            .collect();
+        // Contiguous shard→thread split balanced by owned node count,
+        // same greedy rule as `balance_chunks` over segments.
+        let weights: Vec<usize> = bands
+            .iter()
+            .map(|b| {
+                b.red
+                    .iter()
+                    .chain(&b.black)
+                    .map(|&i| topo.segments[i as usize].len as usize)
+                    .sum()
+            })
+            .collect();
+        let total: usize = weights.iter().sum();
+        let threads = topo.threads;
+        let mut chunks = Vec::with_capacity(threads);
+        let mut pos = 0usize;
+        let mut acc = 0usize;
+        for t in 0..threads {
+            let begin = pos;
+            if t + 1 == threads {
+                pos = bands.len();
+            } else {
+                let target = total * (t + 1) / threads;
+                while pos < bands.len() && acc < target {
+                    acc += weights[pos];
+                    pos += 1;
+                }
+            }
+            chunks.push(begin..pos);
+        }
+        ShardLayout { bands, chunks }
+    }
+
+    fn num_shards(&self) -> usize {
+        self.bands.len()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.bands
+            .iter()
+            .map(|b| (b.red.capacity() + b.black.capacity()) * size_of::<u32>())
+            .sum::<usize>()
+            + self.bands.capacity() * size_of::<ShardBandExec>()
+            + self.chunks.capacity() * size_of::<Range<usize>>()
+    }
+}
+
+/// The pool job of a sharded solve, sized for a fixed lane count `k`
+/// (scalar solves run as `k = 1` — the batch-of-1 ≡ solo contract makes
+/// that bitwise-free). Each shard owns a private halo-extended voltage
+/// image; the job interleaves color half-sweeps with halo exchanges and
+/// reduces convergence deltas **across shards in shard order**, so the
+/// outcome is invariant in both the thread and the shard count.
+#[derive(Debug)]
+struct ShardShared {
+    topo: Arc<Topo>,
+    layout: Arc<ShardLayout>,
+    k: usize,
+    input: RwLock<BatchInput>,
+    /// Per-shard halo-extended voltage images, `(hi - lo) * width * k`
+    /// slots each, node-major/lane-minor in halo-local coordinates.
+    bufs: Vec<Vec<AtomicU64>>,
+    /// `shards × k` per-sweep delta slots; reduced in shard order.
+    deltas: Vec<AtomicU64>,
+    active: Vec<AtomicBool>,
+    active_ids: Vec<AtomicU32>,
+    n_active: AtomicUsize,
+    lane_iters: Vec<AtomicUsize>,
+    lane_residual: Vec<AtomicU64>,
+    lane_converged: Vec<AtomicBool>,
+    sweeps_done: AtomicUsize,
+    status: AtomicUsize,
+    compaction: AtomicBool,
+    barrier: Barrier,
+}
+
+impl ShardShared {
+    fn new(topo: Arc<Topo>, layout: Arc<ShardLayout>, k: usize) -> Self {
+        let n = topo.n();
+        let wk = topo.width * k;
+        let shards = layout.num_shards();
+        let bufs = layout
+            .bands
+            .iter()
+            .map(|b| (0..(b.hi - b.lo) * wk).map(|_| AtomicU64::new(0)).collect())
+            .collect();
+        ShardShared {
+            input: RwLock::new(BatchInput {
+                injection: vec![0.0; n * k],
+                omega: 1.0,
+                tolerance: 0.0,
+                max_sweeps: 0,
+            }),
+            bufs,
+            deltas: (0..shards * k).map(|_| AtomicU64::new(0)).collect(),
+            active: (0..k).map(|_| AtomicBool::new(true)).collect(),
+            active_ids: (0..k).map(|_| AtomicU32::new(0)).collect(),
+            n_active: AtomicUsize::new(0),
+            lane_iters: (0..k).map(|_| AtomicUsize::new(0)).collect(),
+            lane_residual: (0..k).map(|_| AtomicU64::new(0)).collect(),
+            lane_converged: (0..k).map(|_| AtomicBool::new(false)).collect(),
+            sweeps_done: AtomicUsize::new(0),
+            status: AtomicUsize::new(RUN),
+            compaction: AtomicBool::new(true),
+            barrier: Barrier::new(topo.threads),
+            layout,
+            topo,
+            k,
+        }
+    }
+
+    /// Refreshes shard `s`'s halo rows whose color matches `phase`
+    /// (0 = even/red, 1 = odd/black) from the owning neighbours'
+    /// buffers. Pull model: during an exchange, shard `s`'s buffer is
+    /// written only at `s`'s halo rows and read only at `s`'s owned
+    /// rows, so concurrent exchanges on different threads touch
+    /// disjoint slots (the surrounding barriers order them against the
+    /// sweeps).
+    fn exchange_halos(&self, s: usize, phase: usize) {
+        let band = &self.layout.bands[s];
+        if band.lo < band.y0 && band.lo % 2 == phase {
+            self.copy_halo_row(s, s - 1, band.lo);
+        }
+        if band.hi > band.y1 && band.y1 % 2 == phase {
+            self.copy_halo_row(s, s + 1, band.y1);
+        }
+    }
+
+    /// Copies global row `y` (owned by shard `src`) into shard `dst`'s
+    /// halo image.
+    fn copy_halo_row(&self, dst: usize, src: usize, y: usize) {
+        let wk = self.topo.width * self.k;
+        let row0 = y * wk;
+        let d0 = row0 - self.layout.bands[dst].lo * wk;
+        let s0 = row0 - self.layout.bands[src].lo * wk;
+        for (d, s) in self.bufs[dst][d0..d0 + wk]
+            .iter()
+            .zip(&self.bufs[src][s0..s0 + wk])
+        {
+            d.store(s.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let input = self.input.read().expect("shard input lock");
+        let buf_slots: usize = self.bufs.iter().map(Vec::capacity).sum();
+        (buf_slots + self.deltas.len() + self.lane_residual.len()) * size_of::<AtomicU64>()
+            + input.injection.capacity() * size_of::<f64>()
+            + self.active_ids.len() * size_of::<AtomicU32>()
+            + self.lane_iters.len() * size_of::<AtomicUsize>()
+            + self.active.len()
+            + self.lane_converged.len()
+    }
+}
+
+/// The per-thread loop of a sharded solve. Five barriers per sweep:
+/// red half-sweep → barrier → even-halo exchange → barrier → black
+/// half-sweep → barrier → odd-halo exchange → barrier → reduce/freeze →
+/// barrier. A color's halo rows are exchanged immediately after that
+/// color updates, so the next half-sweep reads exactly the values the
+/// unsharded red-black sweep would.
+impl PoolJob for ShardShared {
+    fn run(&self, tid: usize, ws: &mut WorkerScratch) {
+        let topo = &*self.topo;
+        let lay = &*self.layout;
+        let k = self.k;
+        let wk = topo.width * k;
+        let input = self.input.read().expect("shard input lock");
+        let injection: &[f64] = &input.injection;
+        ws.ensure(topo.factors.max_segment_len() * k, k);
+        let WorkerScratch {
+            f,
+            active,
+            delta,
+            ids,
+            ..
+        } = ws;
+        let scratch = &mut f[..];
+        let active = &mut active[..k];
+        let delta = &mut delta[..k];
+        let ids = &mut ids[..k];
+        let compaction = self.compaction.load(Ordering::Relaxed);
+        let mine = lay.chunks[tid].clone();
+        loop {
+            let m = self.n_active.load(Ordering::Relaxed);
+            for (id, slot) in ids[..m].iter_mut().zip(&self.active_ids) {
+                *id = slot.load(Ordering::Relaxed);
+            }
+            for (a, slot) in active.iter_mut().zip(&self.active) {
+                *a = slot.load(Ordering::Relaxed);
+            }
+            let kernel = choose_batch_kernel(m, k, compaction);
+            for phase in 0..2 {
+                for s in mine.clone() {
+                    let band = &lay.bands[s];
+                    let segs = if phase == 0 { &band.red } else { &band.black };
+                    delta.fill(0.0);
+                    let mut view = ShardAtomicView {
+                        buf: &self.bufs[s],
+                        off: band.lo * wk,
+                    };
+                    for &si in segs {
+                        // Scalar solves take the same `solve_segment`
+                        // kernel as the unsharded parallel path (the
+                        // batch-of-1 dispatch is bitwise identical but
+                        // pays lane-indirection the scalar kernel
+                        // doesn't).
+                        if k == 1 {
+                            delta[0] = delta[0].max(solve_segment(
+                                topo,
+                                topo.segments[si as usize],
+                                injection,
+                                input.omega,
+                                scratch,
+                                &mut view,
+                            ));
+                        } else {
+                            batch_segment_dispatch(
+                                kernel,
+                                topo,
+                                topo.segments[si as usize],
+                                injection,
+                                input.omega,
+                                k,
+                                active,
+                                &ids[..m],
+                                scratch,
+                                &mut view,
+                                delta,
+                            );
+                        }
+                    }
+                    // Red overwrites the shard's slots (self-resetting
+                    // between sweeps), black folds its maxima in.
+                    for (j, &d) in delta.iter().enumerate() {
+                        let slot = &self.deltas[s * k + j];
+                        let bits = if phase == 0 {
+                            d.to_bits()
+                        } else {
+                            f64::from_bits(slot.load(Ordering::Relaxed))
+                                .max(d)
+                                .to_bits()
+                        };
+                        slot.store(bits, Ordering::Relaxed);
+                    }
+                }
+                self.barrier.wait();
+                for s in mine.clone() {
+                    self.exchange_halos(s, phase);
+                }
+                self.barrier.wait();
+            }
+            if tid == 0 {
+                let sweep = self.sweeps_done.fetch_add(1, Ordering::Relaxed) + 1;
+                let shards = lay.num_shards();
+                let mut live = 0usize;
+                for j in 0..k {
+                    if self.lane_converged[j].load(Ordering::Relaxed) {
+                        continue;
+                    }
+                    let d = (0..shards)
+                        .map(|s| f64::from_bits(self.deltas[s * k + j].load(Ordering::Relaxed)))
+                        .fold(0.0f64, f64::max);
+                    self.lane_iters[j].store(sweep, Ordering::Relaxed);
+                    self.lane_residual[j].store(d.to_bits(), Ordering::Relaxed);
+                    if d < input.tolerance {
+                        self.lane_converged[j].store(true, Ordering::Relaxed);
+                        self.active[j].store(false, Ordering::Relaxed);
+                    } else {
+                        live += 1;
+                    }
+                }
+                let mut next_m = 0usize;
+                for j in 0..k {
+                    if self.active[j].load(Ordering::Relaxed) {
+                        self.active_ids[next_m].store(j as u32, Ordering::Relaxed);
+                        next_m += 1;
+                    }
+                }
+                self.n_active.store(next_m, Ordering::Relaxed);
+                if live == 0 {
+                    self.status.store(DONE, Ordering::Relaxed);
+                } else if sweep >= input.max_sweeps {
+                    self.status.store(BUDGET, Ordering::Relaxed);
+                }
+            }
+            self.barrier.wait();
+            if self.status.load(Ordering::Relaxed) != RUN {
+                return;
+            }
+        }
+    }
+}
+
+/// Sharded-dispatch state of a [`TierEngine`]: the frozen layout plus
+/// the prebuilt scalar (`k = 1`) job and the lazily (re)built batched
+/// job, mirroring `par` / `batch_par` on the unsharded side.
+#[derive(Debug)]
+struct ShardState {
+    layout: Arc<ShardLayout>,
+    /// `k = 1` job serving `solve` / `sweep_once`, built eagerly so warm
+    /// scalar solves never allocate.
+    scalar: Arc<ShardShared>,
+    /// Batched job, rebuilt when the lane count changes (like
+    /// `batch_par`).
+    batch: Option<Arc<ShardShared>>,
+}
+
 /// Single-threaded state for batched (multi right-hand-side) solves.
 ///
 /// Sized on the first [`TierEngine::solve_batch`] call for a given lane
@@ -748,6 +1136,10 @@ pub struct TierEngine {
     batch_par: Option<Arc<BatchShared>>,
     /// Lazily sized (grow-only) mixed-precision lane buffers.
     mixed: MixedState,
+    /// Row-band sharded dispatch (present when built with
+    /// [`TierEngine::new_sharded`] and `shards >= 2`); replaces `par` /
+    /// `batch_par` on the f64 solve paths.
+    shard: Option<ShardState>,
 }
 
 impl TierEngine {
@@ -769,6 +1161,69 @@ impl TierEngine {
         extra_diag: Option<&[f64]>,
         schedule: SweepSchedule,
     ) -> Result<Self, SolverError> {
+        Self::new_inner(width, height, g_h, g_v, fixed, extra_diag, schedule, 1)
+    }
+
+    /// [`TierEngine::new`] with the tier additionally split into `shards`
+    /// row bands (see [`ShardPlan`]): every f64 solve path sweeps each
+    /// band inside a private halo-extended voltage buffer, exchanging the
+    /// 1-row halos between the red and black half-sweeps and reducing
+    /// per-sweep convergence deltas across the shards in shard order.
+    ///
+    /// `shards <= 1` builds the plain engine. `shards >= 2` forces the
+    /// [`SweepSchedule::RedBlack`] schedule (on the passed schedule's
+    /// thread count) — a red row reads only frozen odd rows and vice
+    /// versa, which is exactly what makes the halo image exact — and the
+    /// band count is clamped to the tier height.
+    ///
+    /// # Determinism contract
+    ///
+    /// Sharding restructures dispatch and memory layout, not arithmetic:
+    /// solves, sweeps, and batched solves (masked or compacted) are
+    /// **bitwise identical** to the unsharded red-black engine at every
+    /// shard count and thread count. The cross-shard reduction folds
+    /// per-shard/per-lane deltas with `f64::max` (exact), so
+    /// [`LaneReport`] freezing cannot depend on the partition either.
+    ///
+    /// # Errors
+    ///
+    /// See [`TierEngine::new`].
+    #[allow(clippy::too_many_arguments)] // mirrors `new` plus the band count
+    pub fn new_sharded(
+        width: usize,
+        height: usize,
+        g_h: f64,
+        g_v: f64,
+        fixed: Arc<[bool]>,
+        extra_diag: Option<&[f64]>,
+        schedule: SweepSchedule,
+        shards: usize,
+    ) -> Result<Self, SolverError> {
+        Self::new_inner(width, height, g_h, g_v, fixed, extra_diag, schedule, shards)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn new_inner(
+        width: usize,
+        height: usize,
+        g_h: f64,
+        g_v: f64,
+        fixed: Arc<[bool]>,
+        extra_diag: Option<&[f64]>,
+        schedule: SweepSchedule,
+        shards: usize,
+    ) -> Result<Self, SolverError> {
+        // Sharding requires the red-black ordering: the per-color halo
+        // exchange is what keeps a sharded sweep bitwise equal to the
+        // unsharded sweep, so shards >= 2 forces the schedule (keeping
+        // the caller's thread count).
+        let schedule = if shards > 1 {
+            SweepSchedule::RedBlack {
+                threads: schedule.threads(),
+            }
+        } else {
+            schedule
+        };
         let n = width * height;
         if fixed.len() != n {
             return Err(SolverError::Unsupported {
@@ -871,7 +1326,16 @@ impl TierEngine {
             factors32,
             diag: node_diag,
         });
-        let par = (threads > 1).then(|| Arc::new(ParShared::new(Arc::clone(&topo))));
+        let shard = (shards > 1 && height > 1).then(|| {
+            let layout = Arc::new(ShardLayout::build(&topo, shards));
+            ShardState {
+                scalar: Arc::new(ShardShared::new(Arc::clone(&topo), Arc::clone(&layout), 1)),
+                batch: None,
+                layout,
+            }
+        });
+        let par =
+            (shard.is_none() && threads > 1).then(|| Arc::new(ParShared::new(Arc::clone(&topo))));
 
         Ok(TierEngine {
             topo,
@@ -885,6 +1349,7 @@ impl TierEngine {
             batch: BatchState::default(),
             batch_par: None,
             mixed: MixedState::default(),
+            shard,
         })
     }
 
@@ -912,6 +1377,12 @@ impl TierEngine {
     /// The schedule this engine sweeps with.
     pub fn schedule(&self) -> SweepSchedule {
         self.schedule
+    }
+
+    /// Number of row-band shards the f64 solve paths sweep over (1 for
+    /// an unsharded engine).
+    pub fn shards(&self) -> usize {
+        self.shard.as_ref().map_or(1, |s| s.layout.num_shards())
     }
 
     /// How parallel solves are handed to worker threads (default:
@@ -969,6 +1440,15 @@ impl TierEngine {
     #[must_use]
     pub fn fork(&self) -> TierEngine {
         let topo = Arc::clone(&self.topo);
+        let shard = self.shard.as_ref().map(|s| ShardState {
+            layout: Arc::clone(&s.layout),
+            scalar: Arc::new(ShardShared::new(
+                Arc::clone(&topo),
+                Arc::clone(&s.layout),
+                1,
+            )),
+            batch: None,
+        });
         TierEngine {
             schedule: self.schedule,
             dispatch: self.dispatch,
@@ -976,10 +1456,12 @@ impl TierEngine {
             pool: self.pool.clone(),
             scoped_scratch: Vec::new(),
             scratch: vec![0.0; self.scratch.len()],
-            par: (topo.threads > 1).then(|| Arc::new(ParShared::new(Arc::clone(&topo)))),
+            par: (shard.is_none() && topo.threads > 1)
+                .then(|| Arc::new(ParShared::new(Arc::clone(&topo)))),
             batch: BatchState::default(),
             batch_par: None,
             mixed: MixedState::default(),
+            shard,
             topo,
         }
     }
@@ -1016,6 +1498,9 @@ impl TierEngine {
         omega: f64,
     ) -> Result<SolveReport, SolverError> {
         self.check_call(injection, v, omega)?;
+        if self.shard.is_some() {
+            return self.solve_sharded(injection, v, tolerance, max_sweeps, omega);
+        }
         if self.topo.threads > 1 {
             return self.solve_parallel(injection, v, tolerance, max_sweeps, omega);
         }
@@ -1061,6 +1546,24 @@ impl TierEngine {
         omega: f64,
     ) -> Result<f64, SolverError> {
         self.check_call(injection, v, omega)?;
+        if let Some(shard) = &self.shard {
+            let shared = Arc::clone(&shard.scalar);
+            let mut lanes = [LaneReport {
+                iterations: 0,
+                residual: f64::INFINITY,
+                converged: false,
+            }];
+            self.run_sharded(
+                &shared,
+                injection,
+                v,
+                f64::NEG_INFINITY,
+                1,
+                omega,
+                &mut lanes,
+            );
+            return Ok(lanes[0].residual);
+        }
         Ok(match self.schedule {
             SweepSchedule::Sequential => self.sweep_sequential_slice(injection, v, downward, omega),
             SweepSchedule::RedBlack { threads } if threads > 1 => {
@@ -1171,6 +1674,17 @@ impl TierEngine {
                 residual: if on { f64::INFINITY } else { 0.0 },
                 converged: !on,
             };
+        }
+        if self.shard.is_some() {
+            let shared = Arc::clone(
+                self.shard
+                    .as_ref()
+                    .and_then(|s| s.batch.as_ref())
+                    .expect("sharded batch job sized by ensure_batch"),
+            );
+            let sweeps =
+                self.run_sharded(&shared, injection, v, tolerance, max_sweeps, omega, lanes);
+            return Ok(aggregate_report(lanes, sweeps, self.memory_bytes()));
         }
         if self.topo.threads > 1 {
             return Ok(self.solve_batch_parallel(injection, v, tolerance, max_sweeps, omega, lanes));
@@ -1497,7 +2011,13 @@ impl TierEngine {
             return;
         }
         self.batch.lanes = k;
-        if self.topo.threads > 1 {
+        if let Some(shard) = &mut self.shard {
+            shard.batch = Some(Arc::new(ShardShared::new(
+                Arc::clone(&self.topo),
+                Arc::clone(&shard.layout),
+                k,
+            )));
+        } else if self.topo.threads > 1 {
             self.batch_par = Some(Arc::new(BatchShared::new(Arc::clone(&self.topo), k)));
         } else {
             let seg_len = self.topo.factors.max_segment_len();
@@ -1567,6 +2087,116 @@ impl TierEngine {
         aggregate_report(lanes, sweeps, self.memory_bytes())
     }
 
+    /// Scalar sharded solve: runs as a one-lane batch on the prebuilt
+    /// `k = 1` shard job (bitwise-free by the batch-of-1 ≡ solo
+    /// contract), keeping [`TierEngine::solve`]'s error semantics.
+    fn solve_sharded(
+        &mut self,
+        injection: &[f64],
+        v: &mut [f64],
+        tolerance: f64,
+        max_sweeps: usize,
+        omega: f64,
+    ) -> Result<SolveReport, SolverError> {
+        if max_sweeps == 0 {
+            return Err(SolverError::DidNotConverge {
+                iterations: 0,
+                residual: f64::INFINITY,
+                tolerance,
+            });
+        }
+        let shared = Arc::clone(&self.shard.as_ref().expect("sharded state").scalar);
+        let mut lanes = [LaneReport {
+            iterations: 0,
+            residual: f64::INFINITY,
+            converged: false,
+        }];
+        let sweeps = self.run_sharded(
+            &shared, injection, v, tolerance, max_sweeps, omega, &mut lanes,
+        );
+        if lanes[0].converged {
+            Ok(SolveReport {
+                iterations: sweeps,
+                residual: lanes[0].residual,
+                converged: true,
+                workspace_bytes: self.memory_bytes(),
+            })
+        } else {
+            Err(SolverError::DidNotConverge {
+                iterations: sweeps,
+                residual: lanes[0].residual,
+                tolerance,
+            })
+        }
+    }
+
+    /// Publishes lane state and voltages into a [`ShardShared`] job,
+    /// scatters `v` into the per-shard halo images (halo rows included,
+    /// so the first red half-sweep reads correct neighbour values), runs
+    /// the job, and gathers the **owned** rows back. Returns the sweep
+    /// count. Warm calls are allocation-free on the pool dispatch.
+    #[allow(clippy::too_many_arguments)] // mirrors solve_batch_parallel + job
+    fn run_sharded(
+        &mut self,
+        shared: &Arc<ShardShared>,
+        injection: &[f64],
+        v: &mut [f64],
+        tolerance: f64,
+        max_sweeps: usize,
+        omega: f64,
+        lanes: &mut [LaneReport],
+    ) -> usize {
+        let k = shared.k;
+        let wk = self.topo.width * k;
+        {
+            let mut input = shared.input.write().expect("shard input lock");
+            input.injection.copy_from_slice(injection);
+            input.omega = omega;
+            input.tolerance = tolerance;
+            input.max_sweeps = max_sweeps;
+        }
+        for (band, buf) in shared.layout.bands.iter().zip(&shared.bufs) {
+            let g0 = band.lo * wk;
+            for (slot, &x) in buf.iter().zip(&v[g0..]) {
+                slot.store(x.to_bits(), Ordering::Relaxed);
+            }
+        }
+        let mut m = 0usize;
+        for (j, lane) in lanes.iter().enumerate() {
+            shared.lane_iters[j].store(lane.iterations, Ordering::Relaxed);
+            shared.lane_residual[j].store(lane.residual.to_bits(), Ordering::Relaxed);
+            shared.lane_converged[j].store(lane.converged, Ordering::Relaxed);
+            shared.active[j].store(!lane.converged, Ordering::Relaxed);
+            if !lane.converged {
+                shared.active_ids[m].store(j as u32, Ordering::Relaxed);
+                m += 1;
+            }
+        }
+        shared.n_active.store(m, Ordering::Relaxed);
+        shared.sweeps_done.store(0, Ordering::Relaxed);
+        shared.status.store(RUN, Ordering::Relaxed);
+        shared.compaction.store(self.compaction, Ordering::Relaxed);
+        if m > 0 && max_sweeps > 0 {
+            self.dispatch_job(Arc::clone(shared) as Arc<dyn PoolJob>);
+        }
+        for (band, buf) in shared.layout.bands.iter().zip(&shared.bufs) {
+            let own = (band.y0 - band.lo) * wk;
+            let len = (band.y1 - band.y0) * wk;
+            let g0 = band.y0 * wk;
+            for (slot, x) in buf[own..own + len].iter().zip(&mut v[g0..g0 + len]) {
+                *x = f64::from_bits(slot.load(Ordering::Relaxed));
+            }
+        }
+        for (j, lane) in lanes.iter_mut().enumerate() {
+            *lane = LaneReport {
+                iterations: shared.lane_iters[j].load(Ordering::Relaxed),
+                residual: f64::from_bits(shared.lane_residual[j].load(Ordering::Relaxed)),
+                converged: shared.lane_converged[j].load(Ordering::Relaxed),
+            };
+        }
+        shared.sweeps_done.load(Ordering::Relaxed)
+    }
+
     /// Estimated heap footprint in bytes.
     pub fn memory_bytes(&self) -> usize {
         use std::mem::size_of;
@@ -1581,6 +2211,11 @@ impl TierEngine {
             + self.mixed.memory_bytes()
             + self.par.as_ref().map_or(0, |p| p.memory_bytes())
             + self.batch_par.as_ref().map_or(0, |b| b.memory_bytes())
+            + self.shard.as_ref().map_or(0, |s| {
+                s.layout.memory_bytes()
+                    + s.scalar.memory_bytes()
+                    + s.batch.as_ref().map_or(0, |b| b.memory_bytes())
+            })
     }
 
     fn check_call(&self, injection: &[f64], v: &[f64], omega: f64) -> Result<(), SolverError> {
@@ -1842,6 +2477,33 @@ impl VoltView for AtomicView<'_> {
     #[inline(always)]
     fn set(&mut self, i: usize, value: f64) {
         self.0[i].store(value.to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// A shard's halo-extended image viewed in **global** node coordinates:
+/// the kernels keep indexing `node * k + j` exactly as on the global
+/// image, and the view translates into the shard-local buffer (whose
+/// slot 0 is global row `lo`). Every index a kernel touches while
+/// sweeping a shard's owned segments — own row, in-row pinned
+/// neighbours, and the rows above/below — lies inside `lo..hi`, so the
+/// offset never underflows. Same relaxed-ordering argument as
+/// [`AtomicView`], with the halo exchange supplying the cross-shard
+/// edges.
+struct ShardAtomicView<'a> {
+    buf: &'a [AtomicU64],
+    /// `lo * width * k` of the shard this view wraps.
+    off: usize,
+}
+
+impl VoltView for ShardAtomicView<'_> {
+    #[inline(always)]
+    fn get(&self, i: usize) -> f64 {
+        f64::from_bits(self.buf[i - self.off].load(Ordering::Relaxed))
+    }
+
+    #[inline(always)]
+    fn set(&mut self, i: usize, value: f64) {
+        self.buf[i - self.off].store(value.to_bits(), Ordering::Relaxed);
     }
 }
 
@@ -3398,5 +4060,242 @@ mod tests {
             assert_eq!(covered, idx.len());
             assert_eq!(expect_begin, idx.len());
         }
+    }
+
+    fn sharded_engine(
+        w: usize,
+        h: usize,
+        fixed: &[bool],
+        threads: usize,
+        shards: usize,
+    ) -> TierEngine {
+        TierEngine::new_sharded(
+            w,
+            h,
+            1.25,
+            0.8,
+            Arc::from(fixed),
+            None,
+            SweepSchedule::RedBlack { threads },
+            shards,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn shard_layout_covers_every_segment_exactly_once() {
+        let (w, h) = (29, 17);
+        let (fixed, _, _) = random_problem(8, w, h);
+        for (threads, shards) in [(1usize, 2usize), (3, 4), (4, 17), (2, 5)] {
+            let e = sharded_engine(w, h, &fixed, threads, shards);
+            let lay = &e.shard.as_ref().unwrap().layout;
+            assert_eq!(lay.num_shards(), shards.min(h));
+            let mut seen = vec![0usize; e.topo.segments.len()];
+            for band in &lay.bands {
+                for &si in band.red.iter().chain(&band.black) {
+                    let seg = e.topo.segments[si as usize];
+                    let y = seg.row as usize;
+                    assert!(y >= band.y0 && y < band.y1, "segment outside owned rows");
+                    assert_eq!(y % 2 == 0, band.red.contains(&si));
+                    seen[si as usize] += 1;
+                }
+            }
+            assert!(
+                seen.iter().all(|&c| c == 1),
+                "threads {threads} shards {shards}"
+            );
+            let mut expect_begin = 0usize;
+            for c in &lay.chunks {
+                assert_eq!(c.start, expect_begin, "shard chunks must be contiguous");
+                expect_begin = c.end;
+            }
+            assert_eq!(expect_begin, lay.num_shards());
+            assert_eq!(lay.chunks.len(), threads);
+        }
+    }
+
+    #[test]
+    fn sharded_solve_is_bitwise_equal_to_unsharded_redblack() {
+        let (w, h) = (17, 12);
+        for seed in [2u64, 7] {
+            let (fixed, v0, injection) = random_problem(seed, w, h);
+            let mut v_ref = v0.clone();
+            let rep_ref = engine(w, h, &fixed, SweepSchedule::RedBlack { threads: 2 })
+                .solve(&injection, &mut v_ref, 1e-10, 100_000)
+                .unwrap();
+            for shards in [2usize, 3, 4, 12] {
+                for threads in [1usize, 2, 3] {
+                    let mut e = sharded_engine(w, h, &fixed, threads, shards);
+                    assert_eq!(e.shards(), shards);
+                    let mut v = v0.clone();
+                    let rep = e.solve(&injection, &mut v, 1e-10, 100_000).unwrap();
+                    assert_eq!(v, v_ref, "seed {seed} shards {shards} threads {threads}");
+                    assert_eq!(rep.iterations, rep_ref.iterations);
+                    assert_eq!(rep.residual.to_bits(), rep_ref.residual.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharding_forces_redblack_schedule() {
+        let (w, h) = (13, 9);
+        let (fixed, v0, injection) = random_problem(5, w, h);
+        let mut e = TierEngine::new_sharded(
+            w,
+            h,
+            1.25,
+            0.8,
+            Arc::from(&fixed[..]),
+            None,
+            SweepSchedule::Sequential,
+            2,
+        )
+        .unwrap();
+        assert_eq!(e.schedule(), SweepSchedule::RedBlack { threads: 1 });
+        let mut v = v0.clone();
+        e.solve(&injection, &mut v, 1e-10, 100_000).unwrap();
+        let mut v_rb = v0.clone();
+        engine(w, h, &fixed, SweepSchedule::RedBlack { threads: 1 })
+            .solve(&injection, &mut v_rb, 1e-10, 100_000)
+            .unwrap();
+        assert_eq!(v, v_rb);
+    }
+
+    #[test]
+    fn sharded_sweep_once_matches_unsharded() {
+        let (w, h) = (11, 8);
+        let (fixed, v0, injection) = random_problem(9, w, h);
+        let mut v1 = v0.clone();
+        let d1 = engine(w, h, &fixed, SweepSchedule::RedBlack { threads: 1 })
+            .sweep_once(&injection, &mut v1, true, 1.0)
+            .unwrap();
+        for (threads, shards) in [(1usize, 3usize), (2, 2), (3, 8)] {
+            let mut e = sharded_engine(w, h, &fixed, threads, shards);
+            let mut v = v0.clone();
+            let d = e.sweep_once(&injection, &mut v, true, 1.0).unwrap();
+            assert_eq!(v, v1, "threads {threads} shards {shards}");
+            assert_eq!(d.to_bits(), d1.to_bits());
+        }
+    }
+
+    #[test]
+    fn sharded_batch_matches_unsharded_including_masks() {
+        let (w, h, k) = (15, 11, 8);
+        let (fixed, v0s, injections) = batch_fixture(12, w, h, k);
+        let injection = interleave(&injections);
+        let masks: [Option<Vec<bool>>; 2] = [None, Some((0..k).map(|j| j % 3 != 1).collect())];
+        for mask in &masks {
+            let mut v_ref = interleave(&v0s);
+            let mut lanes_ref = vec![LaneReport::default(); k];
+            engine(w, h, &fixed, SweepSchedule::RedBlack { threads: 2 })
+                .solve_batch_masked(
+                    &injection,
+                    &mut v_ref,
+                    1e-10,
+                    100_000,
+                    1.0,
+                    mask.as_deref(),
+                    &mut lanes_ref,
+                )
+                .unwrap();
+            for (shards, threads) in [(2usize, 1usize), (2, 3), (4, 2), (11, 2)] {
+                let mut e = sharded_engine(w, h, &fixed, threads, shards);
+                let mut v = interleave(&v0s);
+                let mut lanes = vec![LaneReport::default(); k];
+                e.solve_batch_masked(
+                    &injection,
+                    &mut v,
+                    1e-10,
+                    100_000,
+                    1.0,
+                    mask.as_deref(),
+                    &mut lanes,
+                )
+                .unwrap();
+                assert_eq!(
+                    v,
+                    v_ref,
+                    "shards {shards} threads {threads} masked {}",
+                    mask.is_some()
+                );
+                assert_eq!(lanes, lanes_ref);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_batch_compaction_toggle_is_bitwise_neutral() {
+        let (w, h, k) = (13, 10, 6);
+        let (fixed, v0s, injections) = batch_fixture(4, w, h, k);
+        let injection = interleave(&injections);
+        let mut results = Vec::new();
+        for compaction in [true, false] {
+            let mut e = sharded_engine(w, h, &fixed, 2, 3);
+            e.set_lane_compaction(compaction);
+            let mut v = interleave(&v0s);
+            let mut lanes = vec![LaneReport::default(); k];
+            e.solve_batch(&injection, &mut v, 1e-10, 100_000, &mut lanes)
+                .unwrap();
+            results.push((v, lanes.to_vec()));
+        }
+        assert_eq!(results[0], results[1]);
+    }
+
+    #[test]
+    fn sharded_mixed_matches_unsharded_redblack_mixed() {
+        let (w, h) = (14, 10);
+        let (fixed, v0, injection) = random_problem(7, w, h);
+        let mut v_ref = v0.clone();
+        engine(w, h, &fixed, SweepSchedule::RedBlack { threads: 1 })
+            .solve_mixed(&injection, &mut v_ref, 1e-9, 1_000_000)
+            .unwrap();
+        let mut e = sharded_engine(w, h, &fixed, 1, 4);
+        let mut v = v0.clone();
+        e.solve_mixed(&injection, &mut v, 1e-9, 1_000_000).unwrap();
+        assert_eq!(v, v_ref);
+    }
+
+    #[test]
+    fn sharded_budget_exhaustion_is_error() {
+        let (w, h) = (9, 7);
+        let (fixed, v0, injection) = random_problem(1, w, h);
+        let mut e = sharded_engine(w, h, &fixed, 2, 2);
+        let mut v = v0.clone();
+        match e.solve(&injection, &mut v, 1e-14, 3) {
+            Err(SolverError::DidNotConverge { iterations: 3, .. }) => {}
+            other => panic!("expected 3-sweep budget error, got {other:?}"),
+        }
+        match e.solve(&injection, &mut v, 1e-14, 0) {
+            Err(SolverError::DidNotConverge { iterations: 0, .. }) => {}
+            other => panic!("expected 0-sweep budget error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sharded_warm_solves_do_not_grow_workspace_and_forks_match() {
+        let (w, h) = (20, 15);
+        let (fixed, v0, injection) = random_problem(3, w, h);
+        let mut e = sharded_engine(w, h, &fixed, 2, 2);
+        let mut v = v0.clone();
+        e.solve(&injection, &mut v, 1e-10, 100_000).unwrap();
+        let mut fork = e.fork();
+        let mut v_fork = v0.clone();
+        fork.solve(&injection, &mut v_fork, 1e-10, 100_000).unwrap();
+        assert_eq!(v_fork, v);
+        let after_first = e.memory_bytes();
+        for _ in 0..3 {
+            let mut v2 = v0.clone();
+            e.solve(&injection, &mut v2, 1e-10, 100_000).unwrap();
+            assert_eq!(v2, v);
+        }
+        assert_eq!(
+            e.memory_bytes(),
+            after_first,
+            "warm sharded solves must reuse the halo images"
+        );
+        // The halo images and layout show up in the accounting.
+        let plain = engine(w, h, &fixed, SweepSchedule::RedBlack { threads: 2 });
+        assert!(e.memory_bytes() > plain.memory_bytes());
     }
 }

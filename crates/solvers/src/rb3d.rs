@@ -125,7 +125,24 @@ impl Rb3dEngine {
     /// [`SolverError::Grid`] if the stack fails validation;
     /// [`SolverError::Sparse`] if a tier factorization fails.
     pub fn build(stack: &Stack3d, parallelism: usize) -> Result<Self, SolverError> {
-        Self::build_inner(stack, parallelism, 0.0)
+        Self::build_inner(stack, parallelism, 0.0, 1)
+    }
+
+    /// [`Rb3dEngine::build`] with every tier split into `shards` row
+    /// bands (see [`TierEngine::new_sharded`]): each tier sweep runs
+    /// sharded with per-color halo exchanges, and results stay bitwise
+    /// identical to the unsharded red-black engine at every shard and
+    /// thread count.
+    ///
+    /// # Errors
+    ///
+    /// See [`Rb3dEngine::build`].
+    pub fn build_sharded(
+        stack: &Stack3d,
+        parallelism: usize,
+        shards: usize,
+    ) -> Result<Self, SolverError> {
+        Self::build_inner(stack, parallelism, 0.0, shards)
     }
 
     /// Builds the transient companion variant of the engine: every node's
@@ -143,10 +160,30 @@ impl Rb3dEngine {
         parallelism: usize,
         alpha: f64,
     ) -> Result<Self, SolverError> {
-        Self::build_inner(stack, parallelism, alpha)
+        Self::build_inner(stack, parallelism, alpha, 1)
     }
 
-    fn build_inner(stack: &Stack3d, parallelism: usize, alpha: f64) -> Result<Self, SolverError> {
+    /// [`Rb3dEngine::build_companion`] with every tier split into
+    /// `shards` row bands (see [`Rb3dEngine::build_sharded`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`Rb3dEngine::build`].
+    pub fn build_companion_sharded(
+        stack: &Stack3d,
+        parallelism: usize,
+        alpha: f64,
+        shards: usize,
+    ) -> Result<Self, SolverError> {
+        Self::build_inner(stack, parallelism, alpha, shards)
+    }
+
+    fn build_inner(
+        stack: &Stack3d,
+        parallelism: usize,
+        alpha: f64,
+        shards: usize,
+    ) -> Result<Self, SolverError> {
         stack.validate()?;
         let (w, h, tiers) = (stack.width(), stack.height(), stack.tiers());
         let per_tier = w * h;
@@ -216,7 +253,7 @@ impl Rb3dEngine {
             } else {
                 free_mask.clone()
             };
-            engines.push(TierEngine::new(
+            engines.push(TierEngine::new_sharded(
                 w,
                 h,
                 tier_g[t].0,
@@ -224,6 +261,7 @@ impl Rb3dEngine {
                 mask,
                 Some(&extra[t]),
                 schedule,
+                shards,
             )?);
         }
 
